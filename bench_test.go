@@ -1,0 +1,129 @@
+// Package gofusion hosts the paper-level benchmarks: one testing.B
+// benchmark per evaluation table/figure (Table 1, Figures 5-7) plus the
+// design-choice ablations from DESIGN.md. Dataset sizes default to
+// laptop scale and are overridable via GOFUSION_BENCH_* environment
+// variables (see internal/bench.DefaultConfig). The gofusion-bench binary
+// runs the same harness and prints the paper's tables.
+package gofusion
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gofusion/internal/baseline"
+	"gofusion/internal/bench"
+	"gofusion/internal/core"
+)
+
+var (
+	benchOnce sync.Once
+	benchCfg  bench.Config
+	benchErr  error
+)
+
+func setup(b *testing.B) bench.Config {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCfg = bench.DefaultConfig()
+		benchErr = benchCfg.EnsureData()
+	})
+	if benchErr != nil {
+		b.Fatalf("generating benchmark data: %v", benchErr)
+	}
+	return benchCfg
+}
+
+// runBoth registers per-engine sub-benchmarks for one query.
+func runBoth(b *testing.B, s *core.SessionContext, e *baseline.Engine, name, query string) {
+	b.Run(name+"/gofusion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := bench.RunGoFusion(s, query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(name+"/tightdb", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := bench.RunTightDB(e, query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchWorkload(b *testing.B, w bench.Workload, cores int) {
+	cfg := setup(b)
+	s, err := cfg.GoFusionSession(w, cores)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := cfg.TightDBEngine(w, cores)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nums, queries := bench.WorkloadQueries(w)
+	for _, n := range nums {
+		runBoth(b, s, e, fmt.Sprintf("Q%02d", n), queries[n])
+	}
+}
+
+// BenchmarkTable1ClickBench reproduces Table 1: ClickBench queries on a
+// single core, both engines, over partitioned GPQ files.
+func BenchmarkTable1ClickBench(b *testing.B) {
+	benchWorkload(b, bench.ClickBench, 1)
+}
+
+// BenchmarkFigure5TPCH reproduces Figure 5: the 22 TPC-H queries on a
+// single core, one GPQ file per table.
+func BenchmarkFigure5TPCH(b *testing.B) {
+	benchWorkload(b, bench.TPCH, 1)
+}
+
+// BenchmarkFigure6H2O reproduces Figure 6: the 10 H2O groupby queries on
+// a single core over one CSV file.
+func BenchmarkFigure6H2O(b *testing.B) {
+	benchWorkload(b, bench.H2O, 1)
+}
+
+// BenchmarkFigure7Scalability reproduces Figure 7: ClickBench query
+// duration as the core count grows (a representative query subset keeps
+// the sweep tractable; the harness binary runs the full set).
+func BenchmarkFigure7Scalability(b *testing.B) {
+	cfg := setup(b)
+	queries := []int{3, 13, 16, 21, 32}
+	_, all := bench.WorkloadQueries(bench.ClickBench)
+	for _, cores := range cfg.Cores {
+		s, err := cfg.GoFusionSession(bench.ClickBench, cores)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := cfg.TightDBEngine(bench.ClickBench, cores)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range queries {
+			runBoth(b, s, e, fmt.Sprintf("Q%02d/cores=%d", q, cores), all[q])
+		}
+	}
+}
+
+// BenchmarkAblations measures the design choices called out in DESIGN.md
+// (statistics pruning, late materialization, RowFormat keys, sort-order
+// aware aggregation, Top-K).
+func BenchmarkAblations(b *testing.B) {
+	cfg := setup(b)
+	b.Run("all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			abl, err := cfg.RunAblations()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				for _, a := range abl {
+					b.Logf("%-42s on=%-12s off=%-12s speedup=%s", a.Name, a.On, a.Off, a.Speedup())
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Command gofusion-bench regenerates the paper's evaluation tables and
+// figures (Section 8): Table 1 (ClickBench single core), Figure 5 (TPC-H),
+// Figure 6 (H2O-G groupby), Figure 7 (multi-core scalability), plus the
+// DESIGN.md ablations. It prints the same rows/series the paper reports,
+// with GoFusion standing in for DataFusion and TightDB for DuckDB.
+//
+// Usage:
+//
+//	gofusion-bench -exp all                 # everything, laptop scale
+//	gofusion-bench -exp table1 -repeat 3
+//	gofusion-bench -exp fig7 -cores 1,2,4,8
+//	gofusion-bench -exp fig5 -sf 0.1 -data /tmp/benchdata
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gofusion/internal/bench"
+)
+
+func main() {
+	cfg := bench.DefaultConfig()
+	exp := flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|ablation|all")
+	repeat := flag.Int("repeat", 3, "timed repetitions per query (best kept)")
+	sf := flag.Float64("sf", cfg.TPCHSF, "TPC-H scale factor")
+	hits := flag.Int("hits", cfg.HitsRows, "ClickBench row count")
+	hitsFiles := flag.Int("hits-files", cfg.HitsFiles, "ClickBench file count")
+	h2oRows := flag.Int("h2o", cfg.H2ORows, "H2O groupby row count")
+	data := flag.String("data", cfg.DataDir, "dataset cache directory")
+	cores := flag.String("cores", "", "comma-separated core counts for fig7 (default: powers of two up to NumCPU)")
+	flag.Parse()
+
+	cfg.TPCHSF = *sf
+	cfg.HitsRows = *hits
+	cfg.HitsFiles = *hitsFiles
+	cfg.H2ORows = *h2oRows
+	cfg.DataDir = *data
+	if *cores != "" {
+		cfg.Cores = nil
+		for _, part := range strings.Split(*cores, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fatal("bad -cores value %q", part)
+			}
+			cfg.Cores = append(cfg.Cores, n)
+		}
+	}
+
+	fmt.Printf("generating datasets under %s (tpch sf=%g, hits=%d rows/%d files, h2o=%d rows)...\n",
+		cfg.DataDir, cfg.TPCHSF, cfg.HitsRows, cfg.HitsFiles, cfg.H2ORows)
+	if err := cfg.EnsureData(); err != nil {
+		fatal("%v", err)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			compare(cfg, bench.ClickBench, *repeat,
+				"Table 1: ClickBench single core (seconds)")
+		case "fig5":
+			compare(cfg, bench.TPCH, *repeat,
+				"Figure 5: TPC-H single core (seconds)")
+		case "fig6":
+			compare(cfg, bench.H2O, *repeat,
+				"Figure 6: H2O-G groupby single core (seconds)")
+		case "fig7":
+			scalability(cfg, *repeat)
+		case "ablation":
+			ablations(cfg)
+		default:
+			fatal("unknown experiment %q", name)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "ablation"} {
+			run(name)
+		}
+	} else {
+		run(*exp)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gofusion-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func compare(cfg bench.Config, w bench.Workload, repeat int, title string) {
+	fmt.Printf("\n== %s ==\n", title)
+	fmt.Printf("%-6s %-12s %-12s %s\n", "Query", "GoFusion", "TightDB", "Delta")
+	results, err := cfg.CompareEngines(w, 1, repeat)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var gfWins, tdWins int
+	for _, r := range results {
+		gf, td := "ERR", "ERR"
+		if r.GFErr == nil {
+			gf = fmt.Sprintf("%.3f", r.GoFusion.Seconds())
+		}
+		if r.TDErr == nil {
+			td = fmt.Sprintf("%.3f", r.TightDB.Seconds())
+		}
+		fmt.Printf("%-6d %-12s %-12s %s\n", r.Query, gf, td, r.Delta())
+		if r.GFErr == nil && r.TDErr == nil {
+			if r.GoFusion <= r.TightDB {
+				gfWins++
+			} else {
+				tdWins++
+			}
+		}
+	}
+	fmt.Printf("summary: GoFusion faster on %d queries, TightDB faster on %d\n", gfWins, tdWins)
+}
+
+func scalability(cfg bench.Config, repeat int) {
+	fmt.Printf("\n== Figure 7: ClickBench scalability (query duration vs cores, seconds) ==\n")
+	queryNums := []int{3, 8, 13, 16, 19, 21, 28, 32, 37}
+	points, err := cfg.Scalability(bench.ClickBench, queryNums, repeat)
+	if err != nil {
+		fatal("%v", err)
+	}
+	// Pivot: one block per query, one row per core count.
+	byQuery := map[int][]bench.ScalabilityPoint{}
+	for _, p := range points {
+		byQuery[p.Query] = append(byQuery[p.Query], p)
+	}
+	for _, q := range queryNums {
+		fmt.Printf("\nQ%d:\n%-7s %-12s %-12s\n", q, "cores", "gofusion", "tightdb")
+		for _, p := range byQuery[q] {
+			fmt.Printf("%-7d %-12.3f %-12.3f\n", p.Cores, p.GoFusion.Seconds(), p.TightDB.Seconds())
+		}
+	}
+}
+
+func ablations(cfg bench.Config) {
+	fmt.Printf("\n== Ablations: DESIGN.md design choices ==\n")
+	abl, err := cfg.RunAblations()
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%-44s %-12s %-12s %-8s %s\n", "Optimization", "On", "Off", "Speedup", "Note")
+	for _, a := range abl {
+		fmt.Printf("%-44s %-12s %-12s %-8s %s\n", a.Name, a.On.Round(1e6), a.Off.Round(1e6), a.Speedup(), a.Note)
+	}
+}

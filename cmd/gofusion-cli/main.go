@@ -1,0 +1,134 @@
+// Command gofusion-cli is an interactive SQL shell over registered data
+// files, in the spirit of datafusion-cli.
+//
+// Usage:
+//
+//	gofusion-cli -gpq sales=data/sales.gpq -csv users=users.csv [-p 8]
+//	> SELECT region, count(*) FROM sales GROUP BY region;
+//	> EXPLAIN SELECT ...;
+//	> \d            -- list tables
+//	> \q            -- quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gofusion/internal/core"
+	"gofusion/internal/csvio"
+)
+
+// tableFlags collects repeated -gpq/-csv/-json name=path flags.
+type tableFlags struct {
+	kind  string
+	items *[]tableSpec
+}
+
+type tableSpec struct{ kind, name, path string }
+
+func (f tableFlags) String() string { return "" }
+func (f tableFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("expected name=path, got %q", v)
+	}
+	*f.items = append(*f.items, tableSpec{kind: f.kind, name: parts[0], path: parts[1]})
+	return nil
+}
+
+func main() {
+	var tables []tableSpec
+	parallelism := flag.Int("p", 1, "target partitions")
+	memLimit := flag.Int64("mem", 0, "memory limit in bytes (0 = unlimited)")
+	command := flag.String("c", "", "run one SQL statement and exit")
+	flag.Var(tableFlags{"gpq", &tables}, "gpq", "register GPQ table: name=path (file or directory; repeatable)")
+	flag.Var(tableFlags{"csv", &tables}, "csv", "register CSV table: name=path (repeatable)")
+	flag.Var(tableFlags{"json", &tables}, "json", "register NDJSON table: name=path (repeatable)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.TargetPartitions = *parallelism
+	cfg.MemoryLimit = *memLimit
+	session := core.NewSession(cfg)
+
+	for _, t := range tables {
+		var err error
+		switch t.kind {
+		case "gpq":
+			if st, serr := os.Stat(t.path); serr == nil && st.IsDir() {
+				err = session.RegisterGPQDir(t.name, t.path)
+			} else {
+				err = session.RegisterGPQ(t.name, t.path)
+			}
+		case "csv":
+			err = session.RegisterCSV(t.name, t.path, csvio.DefaultOptions())
+		case "json":
+			err = session.RegisterJSON(t.name, t.path)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "registering %s: %v\n", t.name, err)
+			os.Exit(1)
+		}
+	}
+
+	if *command != "" {
+		if err := runStatement(session, *command); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("gofusion-cli — type SQL terminated by ';', \\d for tables, \\q to quit")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var pending strings.Builder
+	fmt.Print("> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case "\\q", "exit", "quit":
+			return
+		case "\\d":
+			sp, _ := session.Catalog().SchemaByName("public")
+			for _, name := range sp.TableNames() {
+				t, _ := sp.Table(name)
+				fmt.Printf("%s  %s\n", name, t.Schema())
+			}
+			fmt.Print("> ")
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			stmt := strings.TrimSpace(pending.String())
+			pending.Reset()
+			if stmt != "" && stmt != ";" {
+				if err := runStatement(session, stmt); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+				}
+			}
+			fmt.Print("> ")
+		} else {
+			fmt.Print("... ")
+		}
+	}
+}
+
+func runStatement(session *core.SessionContext, stmt string) error {
+	start := time.Now()
+	df, err := session.SQL(stmt)
+	if err != nil {
+		return err
+	}
+	if err := df.Show(os.Stdout, 50); err != nil {
+		return err
+	}
+	fmt.Printf("(%s)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

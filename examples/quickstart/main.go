@@ -1,0 +1,115 @@
+// Quickstart: register a CSV file, run SQL and DataFrame queries, and
+// write the result to a GPQ file — the engine's one-paragraph pitch.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/core"
+	"gofusion/internal/csvio"
+	"gofusion/internal/logical"
+	"gofusion/internal/parquet"
+)
+
+const salesCSV = `region,product,amount,sold_on
+east,keyboard,120.50,2024-01-03
+west,mouse,19.99,2024-01-04
+east,monitor,279.00,2024-01-04
+north,keyboard,118.00,2024-01-05
+west,monitor,265.50,2024-01-06
+east,mouse,21.25,2024-01-06
+west,keyboard,125.75,2024-01-07
+east,monitor,289.99,2024-01-08
+`
+
+func main() {
+	dir, err := os.MkdirTemp("", "gofusion-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	csvPath := filepath.Join(dir, "sales.csv")
+	if err := os.WriteFile(csvPath, []byte(salesCSV), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Create a session and register the file (schema is inferred).
+	session := core.NewSession(core.SessionConfig{TargetPartitions: 2})
+	if err := session.RegisterCSV("sales", csvPath, csvio.DefaultOptions()); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. SQL.
+	fmt.Println("revenue by region (SQL):")
+	df, err := session.SQL(`
+		SELECT region, count(*) AS orders, sum(amount) AS revenue
+		FROM sales
+		GROUP BY region
+		ORDER BY revenue DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := df.Show(os.Stdout, 10); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The same query through the DataFrame API.
+	fmt.Println("\ntop products over $100 (DataFrame API):")
+	table, err := session.Table("sales")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := table.
+		Filter(&logical.BinaryExpr{Op: logical.OpGt, L: logical.Col("amount"), R: logical.Lit(100.0)}).
+		Aggregate(
+			[]logical.Expr{logical.Col("product")},
+			[]logical.Expr{
+				&logical.Alias{E: &logical.AggFunc{Name: "avg", Args: []logical.Expr{logical.Col("amount")}}, Name: "avg_amount"},
+			}).
+		Sort(logical.SortDesc(logical.Col("avg_amount"))).
+		CollectBatch()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.FormatBatch(os.Stdout, out, 10); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. EXPLAIN shows the plan stack.
+	fmt.Println("\nplans:")
+	text, err := df.Explain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(text)
+
+	// 5. Write results to the columnar file format and read them back.
+	gpqPath := filepath.Join(dir, "by_region.gpq")
+	batch, err := df.CollectBatch()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := parquet.WriteFile(gpqPath, df.Schema().ToArrow(),
+		[]*arrow.RecordBatch{batch}, parquet.DefaultWriterOptions()); err != nil {
+		log.Fatal(err)
+	}
+	if err := session.RegisterGPQ("by_region", gpqPath); err != nil {
+		log.Fatal(err)
+	}
+	n, err := mustDF(session.SQL("SELECT count(*) FROM by_region")).Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round-tripped %d region rows through %s\n", n, filepath.Base(gpqPath))
+}
+
+func mustDF(df *core.DataFrame, err error) *core.DataFrame {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return df
+}

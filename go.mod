@@ -1,0 +1,3 @@
+module gofusion
+
+go 1.22

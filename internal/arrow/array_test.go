@@ -1,0 +1,240 @@
+package arrow
+
+import (
+	"testing"
+)
+
+func TestNumericBuilderRoundTrip(t *testing.T) {
+	b := NewNumericBuilder[int64](Int64)
+	b.Append(10)
+	b.AppendNull()
+	b.Append(-3)
+	b.AppendSlice([]int64{7, 8})
+	arr := b.Finish().(*Int64Array)
+
+	if arr.Len() != 5 {
+		t.Fatalf("len = %d", arr.Len())
+	}
+	if arr.NullCount() != 1 {
+		t.Fatalf("nulls = %d", arr.NullCount())
+	}
+	if !arr.IsNull(1) || arr.IsNull(0) {
+		t.Fatal("null placement wrong")
+	}
+	want := []int64{10, 0, -3, 7, 8}
+	for i, w := range want {
+		if arr.Value(i) != w {
+			t.Fatalf("value[%d] = %d, want %d", i, arr.Value(i), w)
+		}
+	}
+}
+
+func TestBuilderReuseAfterFinish(t *testing.T) {
+	b := NewNumericBuilder[int64](Int64)
+	b.Append(1)
+	first := b.Finish()
+	b.Append(2)
+	second := b.Finish().(*Int64Array)
+	if first.Len() != 1 || second.Len() != 1 || second.Value(0) != 2 {
+		t.Fatal("builder must reset after Finish")
+	}
+}
+
+func TestStringArray(t *testing.T) {
+	b := NewStringBuilder(String)
+	b.Append("hello")
+	b.AppendNull()
+	b.Append("")
+	b.Append("world")
+	arr := b.Finish().(*StringArray)
+	if arr.Len() != 4 || arr.NullCount() != 1 {
+		t.Fatalf("len=%d nulls=%d", arr.Len(), arr.NullCount())
+	}
+	if arr.Value(0) != "hello" || arr.Value(2) != "" || arr.Value(3) != "world" {
+		t.Fatal("values wrong")
+	}
+	s := arr.Slice(1, 3).(*StringArray)
+	if s.Len() != 3 || !s.IsNull(0) || s.Value(2) != "world" {
+		t.Fatalf("slice wrong: %v", s)
+	}
+}
+
+func TestBoolArray(t *testing.T) {
+	b := NewBoolBuilder()
+	for _, v := range []bool{true, false, true, true} {
+		b.Append(v)
+	}
+	b.AppendNull()
+	arr := b.Finish().(*BoolArray)
+	if arr.TrueCount() != 3 {
+		t.Fatalf("TrueCount = %d", arr.TrueCount())
+	}
+	if !arr.Value(0) || arr.Value(1) || !arr.IsNull(4) {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestSliceValidityRepack(t *testing.T) {
+	b := NewNumericBuilder[int64](Int64)
+	for i := 0; i < 20; i++ {
+		if i%3 == 0 {
+			b.AppendNull()
+		} else {
+			b.Append(int64(i))
+		}
+	}
+	arr := b.Finish()
+	s := arr.Slice(5, 10)
+	for i := 0; i < 10; i++ {
+		orig := i + 5
+		if s.IsNull(i) != (orig%3 == 0) {
+			t.Fatalf("slice null mismatch at %d", i)
+		}
+	}
+}
+
+func TestAppendFromAcrossArrays(t *testing.T) {
+	src := NewStringFromSlice([]string{"a", "b", "c"})
+	b := NewStringBuilder(String)
+	b.AppendFrom(src, 2)
+	b.AppendFrom(src, 0)
+	out := b.Finish().(*StringArray)
+	if out.Value(0) != "c" || out.Value(1) != "a" {
+		t.Fatal("AppendFrom wrong")
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := NewSchema(
+		NewField("id", Int64, false),
+		NewField("Name", String, true),
+	)
+	if s.FieldIndex("name") != 1 || s.FieldIndex("ID") != 0 {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if s.FieldIndex("missing") != -1 {
+		t.Fatal("missing should be -1")
+	}
+	sel := s.Select([]int{1})
+	if sel.NumFields() != 1 || sel.Field(0).Name != "Name" {
+		t.Fatal("Select wrong")
+	}
+}
+
+func TestRecordBatch(t *testing.T) {
+	schema := NewSchema(NewField("a", Int64, false), NewField("b", String, true))
+	rb := NewRecordBatch(schema, []Array{
+		NewInt64([]int64{1, 2, 3}),
+		NewStringFromSlice([]string{"x", "y", "z"}),
+	})
+	if rb.NumRows() != 3 || rb.NumCols() != 2 {
+		t.Fatal("shape wrong")
+	}
+	sl := rb.Slice(1, 2)
+	if sl.NumRows() != 2 || sl.Column(0).(*Int64Array).Value(0) != 2 {
+		t.Fatal("slice wrong")
+	}
+	p := rb.Project([]int{1})
+	if p.NumCols() != 1 || p.Schema().Field(0).Name != "b" {
+		t.Fatal("project wrong")
+	}
+	if rb.ColumnByName("B") == nil {
+		t.Fatal("ColumnByName failed")
+	}
+}
+
+func TestListArray(t *testing.T) {
+	lb := NewListBuilder(Int64)
+	child := lb.Child().(*NumericBuilder[int64])
+	child.Append(1)
+	child.Append(2)
+	lb.CloseList()
+	lb.AppendNull()
+	child.Append(3)
+	lb.CloseList()
+	arr := lb.Finish().(*ListArray)
+	if arr.Len() != 3 || !arr.IsNull(1) {
+		t.Fatal("list shape wrong")
+	}
+	v0 := arr.ValueArray(0).(*Int64Array)
+	if v0.Len() != 2 || v0.Value(1) != 2 {
+		t.Fatal("list values wrong")
+	}
+	v2 := arr.ValueArray(2).(*Int64Array)
+	if v2.Len() != 1 || v2.Value(0) != 3 {
+		t.Fatal("list values wrong after null")
+	}
+}
+
+func TestStructArray(t *testing.T) {
+	st := StructOf(NewField("x", Int64, false), NewField("y", String, true))
+	sb := NewStructBuilder(st)
+	sb.FieldBuilder(0).(*NumericBuilder[int64]).Append(1)
+	sb.FieldBuilder(1).(*StringBuilder).Append("a")
+	sb.CloseRow()
+	sb.AppendNull()
+	arr := sb.Finish().(*StructArray)
+	if arr.Len() != 2 || !arr.IsNull(1) {
+		t.Fatal("struct shape wrong")
+	}
+	if arr.Field(0).(*Int64Array).Value(0) != 1 {
+		t.Fatal("struct field wrong")
+	}
+}
+
+func TestDecimalScalarFormat(t *testing.T) {
+	s := NewScalar(Decimal(12, 2), int64(-1234))
+	if got := s.String(); got != "-12.34" {
+		t.Fatalf("decimal format = %q", got)
+	}
+	if got := FormatDecimal(5, 2); got != "0.05" {
+		t.Fatalf("decimal format = %q", got)
+	}
+}
+
+func TestDateParsing(t *testing.T) {
+	d, err := ParseDate32("1995-03-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatDate32(d); got != "1995-03-15" {
+		t.Fatalf("round trip = %q", got)
+	}
+	ts, err := ParseTimestamp("2013-07-15 12:30:45")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatTimestamp(ts); got != "2013-07-15T12:30:45" {
+		t.Fatalf("ts round trip = %q", got)
+	}
+}
+
+func TestDataTypeEqualAndString(t *testing.T) {
+	if !Decimal(12, 2).Equal(Decimal(15, 2)) {
+		t.Fatal("decimals with same scale should be equal")
+	}
+	if Decimal(12, 2).Equal(Decimal(12, 3)) {
+		t.Fatal("different scales should differ")
+	}
+	if !ListOf(Int64).Equal(ListOf(Int64)) || ListOf(Int64).Equal(ListOf(Int32)) {
+		t.Fatal("list equality wrong")
+	}
+	if Int64.String() != "Int64" || Decimal(12, 2).String() != "Decimal(12,2)" {
+		t.Fatal("type names wrong")
+	}
+}
+
+func TestScalarEqual(t *testing.T) {
+	if !Int64Scalar(5).Equal(Int64Scalar(5)) {
+		t.Fatal("equal scalars")
+	}
+	if Int64Scalar(5).Equal(Float64Scalar(5)) {
+		t.Fatal("different types must not be equal")
+	}
+	if !NullScalar(Int64).Equal(NullScalar(Int64)) {
+		t.Fatal("nulls equal")
+	}
+	if NullScalar(Int64).Equal(Int64Scalar(0)) {
+		t.Fatal("null vs zero")
+	}
+}

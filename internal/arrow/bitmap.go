@@ -1,0 +1,106 @@
+package arrow
+
+import "math/bits"
+
+// Bitmap is a little-endian bit-packed boolean buffer, used for validity
+// (null) tracking exactly as in the Arrow format: bit i set means slot i is
+// valid (non-null). A nil Bitmap means "all valid".
+type Bitmap []byte
+
+// NewBitmap allocates a bitmap with capacity for n bits, all clear.
+func NewBitmap(n int) Bitmap {
+	return make(Bitmap, (n+7)/8)
+}
+
+// NewBitmapSet allocates a bitmap with capacity for n bits, all set.
+func NewBitmapSet(n int) Bitmap {
+	b := make(Bitmap, (n+7)/8)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	// Clear trailing bits beyond n so CountSet is exact.
+	if rem := n % 8; rem != 0 && len(b) > 0 {
+		b[len(b)-1] &= byte(1<<rem) - 1
+	}
+	return b
+}
+
+// Get reports whether bit i is set. A nil bitmap reports true for all i.
+func (b Bitmap) Get(i int) bool {
+	if b == nil {
+		return true
+	}
+	return b[i>>3]&(1<<(i&7)) != 0
+}
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) { b[i>>3] |= 1 << (i & 7) }
+
+// Clear clears bit i.
+func (b Bitmap) Clear(i int) { b[i>>3] &^= 1 << (i & 7) }
+
+// Put sets bit i to v.
+func (b Bitmap) Put(i int, v bool) {
+	if v {
+		b.Set(i)
+	} else {
+		b.Clear(i)
+	}
+}
+
+// CountSet returns the number of set bits among the first n bits.
+func (b Bitmap) CountSet(n int) int {
+	if b == nil {
+		return n
+	}
+	full := n / 8
+	c := 0
+	for _, w := range b[:full] {
+		c += bits.OnesCount8(w)
+	}
+	if rem := n % 8; rem != 0 {
+		c += bits.OnesCount8(b[full] & (byte(1<<rem) - 1))
+	}
+	return c
+}
+
+// And stores x AND y into b for n bits. Any nil operand is treated as
+// all-ones. b must have capacity for n bits.
+func (b Bitmap) And(x, y Bitmap, n int) {
+	nb := (n + 7) / 8
+	switch {
+	case x == nil && y == nil:
+		for i := 0; i < nb; i++ {
+			b[i] = 0xFF
+		}
+	case x == nil:
+		copy(b[:nb], y[:nb])
+	case y == nil:
+		copy(b[:nb], x[:nb])
+	default:
+		for i := 0; i < nb; i++ {
+			b[i] = x[i] & y[i]
+		}
+	}
+}
+
+// Clone returns a copy of the bitmap, preserving nil.
+func (b Bitmap) Clone() Bitmap {
+	if b == nil {
+		return nil
+	}
+	c := make(Bitmap, len(b))
+	copy(c, b)
+	return c
+}
+
+// andValidity merges two validity bitmaps over n slots, returning nil when
+// the result would be all-valid.
+func andValidity(x, y Bitmap, n int) Bitmap {
+	if x == nil && y == nil {
+		return nil
+	}
+	out := NewBitmap(n)
+	out.And(x, y, n)
+	return out
+}

@@ -1,0 +1,417 @@
+package compute
+
+import (
+	"bytes"
+	"fmt"
+
+	"gofusion/internal/arrow"
+)
+
+// CmpOp identifies a comparison operator.
+type CmpOp int
+
+// Comparison operators with SQL semantics (NULL operands produce NULL).
+const (
+	Eq CmpOp = iota
+	Neq
+	Lt
+	LtEq
+	Gt
+	GtEq
+)
+
+var cmpNames = [...]string{"=", "!=", "<", "<=", ">", ">="}
+
+func (op CmpOp) String() string { return cmpNames[op] }
+
+// Negate returns the logically negated operator (e.g. Lt -> GtEq).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case Eq:
+		return Neq
+	case Neq:
+		return Eq
+	case Lt:
+		return GtEq
+	case LtEq:
+		return Gt
+	case Gt:
+		return LtEq
+	default:
+		return Lt
+	}
+}
+
+// Flip returns the operator with sides swapped (e.g. a < b  ==  b > a).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case Lt:
+		return Gt
+	case LtEq:
+		return GtEq
+	case Gt:
+		return Lt
+	case GtEq:
+		return LtEq
+	default:
+		return op
+	}
+}
+
+type orderedNum interface {
+	~int8 | ~int16 | ~int32 | ~int64 | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~float32 | ~float64
+}
+
+func cmpVecVec[T orderedNum](op CmpOp, a, b []T) arrow.Bitmap {
+	out := arrow.NewBitmap(len(a))
+	switch op {
+	case Eq:
+		for i := range a {
+			if a[i] == b[i] {
+				out.Set(i)
+			}
+		}
+	case Neq:
+		for i := range a {
+			if a[i] != b[i] {
+				out.Set(i)
+			}
+		}
+	case Lt:
+		for i := range a {
+			if a[i] < b[i] {
+				out.Set(i)
+			}
+		}
+	case LtEq:
+		for i := range a {
+			if a[i] <= b[i] {
+				out.Set(i)
+			}
+		}
+	case Gt:
+		for i := range a {
+			if a[i] > b[i] {
+				out.Set(i)
+			}
+		}
+	case GtEq:
+		for i := range a {
+			if a[i] >= b[i] {
+				out.Set(i)
+			}
+		}
+	}
+	return out
+}
+
+func cmpVecScalar[T orderedNum](op CmpOp, a []T, s T) arrow.Bitmap {
+	out := arrow.NewBitmap(len(a))
+	switch op {
+	case Eq:
+		for i := range a {
+			if a[i] == s {
+				out.Set(i)
+			}
+		}
+	case Neq:
+		for i := range a {
+			if a[i] != s {
+				out.Set(i)
+			}
+		}
+	case Lt:
+		for i := range a {
+			if a[i] < s {
+				out.Set(i)
+			}
+		}
+	case LtEq:
+		for i := range a {
+			if a[i] <= s {
+				out.Set(i)
+			}
+		}
+	case Gt:
+		for i := range a {
+			if a[i] > s {
+				out.Set(i)
+			}
+		}
+	case GtEq:
+		for i := range a {
+			if a[i] >= s {
+				out.Set(i)
+			}
+		}
+	}
+	return out
+}
+
+func holds(op CmpOp, c int) bool {
+	switch op {
+	case Eq:
+		return c == 0
+	case Neq:
+		return c != 0
+	case Lt:
+		return c < 0
+	case LtEq:
+		return c <= 0
+	case Gt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+func numArrays[T arrow.Number](a, b arrow.Array) (*arrow.NumericArray[T], *arrow.NumericArray[T]) {
+	return a.(*arrow.NumericArray[T]), b.(*arrow.NumericArray[T])
+}
+
+// Compare evaluates `a op b` element-wise. Both arrays must have the same
+// length and compatible physical types (the planner coerces logical types).
+func Compare(op CmpOp, a, b arrow.Array) (*arrow.BoolArray, error) {
+	if a.Len() != b.Len() {
+		return nil, fmt.Errorf("compute: compare length mismatch %d vs %d", a.Len(), b.Len())
+	}
+	n := a.Len()
+	valid := andValidity(a, b)
+	ta, tb := a.DataType(), b.DataType()
+	if physicalKind(ta) != physicalKind(tb) {
+		return nil, fmt.Errorf("compute: cannot compare %s with %s", ta, tb)
+	}
+	var vals arrow.Bitmap
+	switch physicalKind(ta) {
+	case kindI8:
+		x, y := numArrays[int8](a, b)
+		vals = cmpVecVec(op, x.Values(), y.Values())
+	case kindI16:
+		x, y := numArrays[int16](a, b)
+		vals = cmpVecVec(op, x.Values(), y.Values())
+	case kindI32:
+		x, y := numArrays[int32](a, b)
+		vals = cmpVecVec(op, x.Values(), y.Values())
+	case kindI64:
+		x, y := numArrays[int64](a, b)
+		vals = cmpVecVec(op, x.Values(), y.Values())
+	case kindU8:
+		x, y := numArrays[uint8](a, b)
+		vals = cmpVecVec(op, x.Values(), y.Values())
+	case kindU16:
+		x, y := numArrays[uint16](a, b)
+		vals = cmpVecVec(op, x.Values(), y.Values())
+	case kindU32:
+		x, y := numArrays[uint32](a, b)
+		vals = cmpVecVec(op, x.Values(), y.Values())
+	case kindU64:
+		x, y := numArrays[uint64](a, b)
+		vals = cmpVecVec(op, x.Values(), y.Values())
+	case kindF32:
+		x, y := numArrays[float32](a, b)
+		vals = cmpVecVec(op, x.Values(), y.Values())
+	case kindF64:
+		x, y := numArrays[float64](a, b)
+		vals = cmpVecVec(op, x.Values(), y.Values())
+	case kindStr:
+		x, y := a.(*arrow.StringArray), b.(*arrow.StringArray)
+		vals = arrow.NewBitmap(n)
+		for i := 0; i < n; i++ {
+			if holds(op, bytes.Compare(x.ValueBytes(i), y.ValueBytes(i))) {
+				vals.Set(i)
+			}
+		}
+	case kindBool:
+		x, y := a.(*arrow.BoolArray), b.(*arrow.BoolArray)
+		vals = arrow.NewBitmap(n)
+		for i := 0; i < n; i++ {
+			xv, yv := b2i(x.Value(i)), b2i(y.Value(i))
+			if holds(op, xv-yv) {
+				vals.Set(i)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("compute: comparison unsupported for %s", ta)
+	}
+	return arrow.NewBool(vals, valid, n), nil
+}
+
+// CompareScalar evaluates `a op s` element-wise with a broadcast scalar.
+func CompareScalar(op CmpOp, a arrow.Array, s arrow.Scalar) (*arrow.BoolArray, error) {
+	n := a.Len()
+	if s.Null {
+		return arrow.NewBool(arrow.NewBitmap(n), arrow.NewBitmap(n), n), nil
+	}
+	valid := a.Validity().Clone()
+	var vals arrow.Bitmap
+	switch physicalKind(a.DataType()) {
+	case kindI8:
+		vals = cmpVecScalar(op, a.(*arrow.Int8Array).Values(), int8(s.AsInt64()))
+	case kindI16:
+		vals = cmpVecScalar(op, a.(*arrow.Int16Array).Values(), int16(s.AsInt64()))
+	case kindI32:
+		vals = cmpVecScalar(op, a.(*arrow.Int32Array).Values(), int32(s.AsInt64()))
+	case kindI64:
+		vals = cmpVecScalar(op, a.(*arrow.Int64Array).Values(), s.AsInt64())
+	case kindU8:
+		vals = cmpVecScalar(op, a.(*arrow.Uint8Array).Values(), uint8(s.AsInt64()))
+	case kindU16:
+		vals = cmpVecScalar(op, a.(*arrow.Uint16Array).Values(), uint16(s.AsInt64()))
+	case kindU32:
+		vals = cmpVecScalar(op, a.(*arrow.Uint32Array).Values(), uint32(s.AsInt64()))
+	case kindU64:
+		vals = cmpVecScalar(op, a.(*arrow.Uint64Array).Values(), uint64(s.AsInt64()))
+	case kindF32:
+		vals = cmpVecScalar(op, a.(*arrow.Float32Array).Values(), float32(s.AsFloat64()))
+	case kindF64:
+		vals = cmpVecScalar(op, a.(*arrow.Float64Array).Values(), s.AsFloat64())
+	case kindStr:
+		x := a.(*arrow.StringArray)
+		sv := []byte(s.AsString())
+		vals = arrow.NewBitmap(n)
+		switch op {
+		case Eq:
+			for i := 0; i < n; i++ {
+				if bytes.Equal(x.ValueBytes(i), sv) {
+					vals.Set(i)
+				}
+			}
+		case Neq:
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(x.ValueBytes(i), sv) {
+					vals.Set(i)
+				}
+			}
+		default:
+			for i := 0; i < n; i++ {
+				if holds(op, bytes.Compare(x.ValueBytes(i), sv)) {
+					vals.Set(i)
+				}
+			}
+		}
+	case kindBool:
+		x := a.(*arrow.BoolArray)
+		sv := b2i(s.AsBool())
+		vals = arrow.NewBitmap(n)
+		for i := 0; i < n; i++ {
+			if holds(op, b2i(x.Value(i))-sv) {
+				vals.Set(i)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("compute: scalar comparison unsupported for %s", a.DataType())
+	}
+	return arrow.NewBool(vals, valid, n), nil
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type physKind int
+
+const (
+	kindOther physKind = iota
+	kindBool
+	kindI8
+	kindI16
+	kindI32
+	kindI64
+	kindU8
+	kindU16
+	kindU32
+	kindU64
+	kindF32
+	kindF64
+	kindStr
+)
+
+// physicalKind maps logical types onto their physical representation so
+// kernels can share code (Int64 / Timestamp / Decimal are all kindI64).
+func physicalKind(t *arrow.DataType) physKind {
+	switch t.ID {
+	case arrow.BOOL:
+		return kindBool
+	case arrow.INT8:
+		return kindI8
+	case arrow.INT16:
+		return kindI16
+	case arrow.INT32, arrow.DATE32:
+		return kindI32
+	case arrow.INT64, arrow.TIMESTAMP, arrow.DECIMAL:
+		return kindI64
+	case arrow.UINT8:
+		return kindU8
+	case arrow.UINT16:
+		return kindU16
+	case arrow.UINT32:
+		return kindU32
+	case arrow.UINT64:
+		return kindU64
+	case arrow.FLOAT32:
+		return kindF32
+	case arrow.FLOAT64:
+		return kindF64
+	case arrow.STRING, arrow.BINARY:
+		return kindStr
+	}
+	return kindOther
+}
+
+func andValidity(a, b arrow.Array) arrow.Bitmap {
+	av, bv := a.Validity(), b.Validity()
+	if av == nil && bv == nil {
+		return nil
+	}
+	out := arrow.NewBitmap(a.Len())
+	out.And(av, bv, a.Len())
+	return out
+}
+
+// CompareScalars compares two scalars of the same physical kind, returning
+// -1, 0, or 1. Null ordering is not handled here; callers must check first.
+func CompareScalars(a, b arrow.Scalar) int {
+	switch physicalKind(a.Type) {
+	case kindBool:
+		return b2i(a.AsBool()) - b2i(b.AsBool())
+	case kindF32, kindF64:
+		x, y := a.AsFloat64(), b.AsFloat64()
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case kindStr:
+		x, y := a.AsString(), b.AsString()
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case kindU64:
+		x, y := uint64(a.AsInt64()), uint64(b.AsInt64())
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	default:
+		x, y := a.AsInt64(), b.AsInt64()
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+}

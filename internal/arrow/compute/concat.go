@@ -1,0 +1,168 @@
+package compute
+
+import (
+	"fmt"
+
+	"gofusion/internal/arrow"
+)
+
+// Concat concatenates arrays of the same type into one array.
+func Concat(arrs []arrow.Array) (arrow.Array, error) {
+	if len(arrs) == 0 {
+		return nil, fmt.Errorf("compute: concat of zero arrays")
+	}
+	if len(arrs) == 1 {
+		return arrs[0], nil
+	}
+	t := arrs[0].DataType()
+	total := 0
+	for _, a := range arrs {
+		if !a.DataType().Equal(t) {
+			return nil, fmt.Errorf("compute: concat type mismatch %s vs %s", t, a.DataType())
+		}
+		total += a.Len()
+	}
+	switch t.ID {
+	case arrow.INT8:
+		return concatNumeric[int8](arrs, t, total), nil
+	case arrow.INT16:
+		return concatNumeric[int16](arrs, t, total), nil
+	case arrow.INT32, arrow.DATE32:
+		return concatNumeric[int32](arrs, t, total), nil
+	case arrow.INT64, arrow.TIMESTAMP, arrow.DECIMAL:
+		return concatNumeric[int64](arrs, t, total), nil
+	case arrow.UINT8:
+		return concatNumeric[uint8](arrs, t, total), nil
+	case arrow.UINT16:
+		return concatNumeric[uint16](arrs, t, total), nil
+	case arrow.UINT32:
+		return concatNumeric[uint32](arrs, t, total), nil
+	case arrow.UINT64:
+		return concatNumeric[uint64](arrs, t, total), nil
+	case arrow.FLOAT32:
+		return concatNumeric[float32](arrs, t, total), nil
+	case arrow.FLOAT64:
+		return concatNumeric[float64](arrs, t, total), nil
+	case arrow.STRING, arrow.BINARY:
+		return concatString(arrs, t, total), nil
+	case arrow.NULL:
+		return arrow.NewNull(total), nil
+	default:
+		b := arrow.NewBuilder(t)
+		for _, a := range arrs {
+			for i := 0; i < a.Len(); i++ {
+				b.AppendFrom(a, i)
+			}
+		}
+		return b.Finish(), nil
+	}
+}
+
+func concatNumeric[T arrow.Number](arrs []arrow.Array, t *arrow.DataType, total int) arrow.Array {
+	out := make([]T, 0, total)
+	anyNull := false
+	for _, a := range arrs {
+		if a.NullCount() > 0 {
+			anyNull = true
+		}
+	}
+	var valid arrow.Bitmap
+	if anyNull {
+		valid = arrow.NewBitmap(total)
+	}
+	pos := 0
+	for _, a := range arrs {
+		na := a.(*arrow.NumericArray[T])
+		out = append(out, na.Values()...)
+		if anyNull {
+			for i := 0; i < na.Len(); i++ {
+				if na.IsValid(i) {
+					valid.Set(pos + i)
+				}
+			}
+		}
+		pos += na.Len()
+	}
+	return arrow.NewNumeric(t, out, valid)
+}
+
+func concatString(arrs []arrow.Array, t *arrow.DataType, total int) arrow.Array {
+	dataLen := 0
+	anyNull := false
+	for _, a := range arrs {
+		sa := a.(*arrow.StringArray)
+		n := sa.Len()
+		if n > 0 {
+			dataLen += int(sa.Offsets()[n]) - int(sa.Offsets()[0])
+		}
+		if sa.NullCount() > 0 {
+			anyNull = true
+		}
+	}
+	offsets := make([]int32, 1, total+1)
+	data := make([]byte, 0, dataLen)
+	var valid arrow.Bitmap
+	if anyNull {
+		valid = arrow.NewBitmap(total)
+	}
+	pos := 0
+	for _, a := range arrs {
+		sa := a.(*arrow.StringArray)
+		n := sa.Len()
+		base := int32(len(data))
+		if n > 0 {
+			start, end := sa.Offsets()[0], sa.Offsets()[n]
+			data = append(data, sa.Data()[start:end]...)
+			for i := 1; i <= n; i++ {
+				offsets = append(offsets, base+sa.Offsets()[i]-start)
+			}
+		}
+		if anyNull {
+			for i := 0; i < n; i++ {
+				if sa.IsValid(i) {
+					valid.Set(pos + i)
+				}
+			}
+		}
+		pos += n
+	}
+	return arrow.NewString(t, offsets, data, valid)
+}
+
+// ConcatBatches concatenates batches sharing a schema into one batch.
+func ConcatBatches(schema *arrow.Schema, batches []*arrow.RecordBatch) (*arrow.RecordBatch, error) {
+	if len(batches) == 0 {
+		return EmptyBatch(schema), nil
+	}
+	if len(batches) == 1 {
+		return batches[0], nil
+	}
+	numCols := schema.NumFields()
+	cols := make([]arrow.Array, numCols)
+	rows := 0
+	for _, b := range batches {
+		rows += b.NumRows()
+	}
+	for c := 0; c < numCols; c++ {
+		parts := make([]arrow.Array, len(batches))
+		for i, b := range batches {
+			parts[i] = b.Column(c)
+		}
+		a, err := Concat(parts)
+		if err != nil {
+			return nil, err
+		}
+		cols[c] = a
+	}
+	return arrow.NewRecordBatchWithRows(schema, cols, rows), nil
+}
+
+// EmptyBatch returns a zero-row batch for the schema, with typed zero-length
+// columns so downstream kernels can dispatch on them.
+func EmptyBatch(schema *arrow.Schema) *arrow.RecordBatch {
+	cols := make([]arrow.Array, schema.NumFields())
+	for i, f := range schema.Fields() {
+		cols[i] = arrow.NewBuilder(f.Type).Finish()
+	}
+	return arrow.NewRecordBatchWithRows(schema, cols, 0)
+}

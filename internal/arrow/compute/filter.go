@@ -1,0 +1,166 @@
+// Package compute implements vectorized kernels over arrow Arrays:
+// selection (filter, take), comparisons, boolean algebra, arithmetic,
+// casting, hashing, concatenation, sorting and simple aggregation
+// primitives. Kernels are the shared fast path for both the modular engine
+// and the baseline comparator.
+package compute
+
+import (
+	"fmt"
+
+	"gofusion/internal/arrow"
+)
+
+// Filter returns the elements of a for which mask is valid and true.
+// This implements SQL WHERE semantics: NULL mask slots are dropped.
+func Filter(a arrow.Array, mask *arrow.BoolArray) (arrow.Array, error) {
+	if a.Len() != mask.Len() {
+		return nil, fmt.Errorf("compute: filter length mismatch %d vs %d", a.Len(), mask.Len())
+	}
+	keep := mask.TrueCount()
+	if keep == a.Len() {
+		return a, nil
+	}
+	switch arr := a.(type) {
+	case *arrow.Int8Array:
+		return filterNumeric(arr, mask, keep), nil
+	case *arrow.Int16Array:
+		return filterNumeric(arr, mask, keep), nil
+	case *arrow.Int32Array:
+		return filterNumeric(arr, mask, keep), nil
+	case *arrow.Int64Array:
+		return filterNumeric(arr, mask, keep), nil
+	case *arrow.Uint8Array:
+		return filterNumeric(arr, mask, keep), nil
+	case *arrow.Uint16Array:
+		return filterNumeric(arr, mask, keep), nil
+	case *arrow.Uint32Array:
+		return filterNumeric(arr, mask, keep), nil
+	case *arrow.Uint64Array:
+		return filterNumeric(arr, mask, keep), nil
+	case *arrow.Float32Array:
+		return filterNumeric(arr, mask, keep), nil
+	case *arrow.Float64Array:
+		return filterNumeric(arr, mask, keep), nil
+	case *arrow.StringArray:
+		return filterString(arr, mask, keep), nil
+	case *arrow.BoolArray:
+		return filterBool(arr, mask, keep), nil
+	case *arrow.NullArray:
+		return arrow.NewNull(keep), nil
+	default:
+		// Generic slow path for nested types.
+		b := arrow.NewBuilder(a.DataType())
+		for i := 0; i < a.Len(); i++ {
+			if mask.IsValid(i) && mask.Value(i) {
+				b.AppendFrom(a, i)
+			}
+		}
+		return b.Finish(), nil
+	}
+}
+
+func maskKeep(mask *arrow.BoolArray, i int) bool {
+	return mask.IsValid(i) && mask.Value(i)
+}
+
+func filterNumeric[T arrow.Number](a *arrow.NumericArray[T], mask *arrow.BoolArray, keep int) arrow.Array {
+	out := make([]T, 0, keep)
+	vals := a.Values()
+	n := a.Len()
+	if a.NullCount() == 0 {
+		if mask.NullCount() == 0 && mask.Validity() == nil {
+			bm := mask.ValuesBitmap()
+			for i := 0; i < n; i++ {
+				if bm.Get(i) {
+					out = append(out, vals[i])
+				}
+			}
+			return arrow.NewNumeric(a.DataType(), out, nil)
+		}
+		for i := 0; i < n; i++ {
+			if maskKeep(mask, i) {
+				out = append(out, vals[i])
+			}
+		}
+		return arrow.NewNumeric(a.DataType(), out, nil)
+	}
+	valid := arrow.NewBitmap(keep)
+	j := 0
+	for i := 0; i < n; i++ {
+		if maskKeep(mask, i) {
+			out = append(out, vals[i])
+			if a.IsValid(i) {
+				valid.Set(j)
+			}
+			j++
+		}
+	}
+	return arrow.NewNumeric(a.DataType(), out, valid)
+}
+
+func filterString(a *arrow.StringArray, mask *arrow.BoolArray, keep int) arrow.Array {
+	offsets := make([]int32, 1, keep+1)
+	// Estimate output data size proportionally.
+	est := 0
+	if a.Len() > 0 {
+		est = len(a.Data()) * keep / a.Len()
+	}
+	data := make([]byte, 0, est)
+	var valid arrow.Bitmap
+	if a.NullCount() > 0 {
+		valid = arrow.NewBitmap(keep)
+	}
+	j := 0
+	for i := 0; i < a.Len(); i++ {
+		if !maskKeep(mask, i) {
+			continue
+		}
+		data = append(data, a.ValueBytes(i)...)
+		offsets = append(offsets, int32(len(data)))
+		if valid != nil && a.IsValid(i) {
+			valid.Set(j)
+		}
+		j++
+	}
+	return arrow.NewString(a.DataType(), offsets, data, valid)
+}
+
+func filterBool(a *arrow.BoolArray, mask *arrow.BoolArray, keep int) arrow.Array {
+	vals := arrow.NewBitmap(keep)
+	var valid arrow.Bitmap
+	if a.NullCount() > 0 {
+		valid = arrow.NewBitmap(keep)
+	}
+	j := 0
+	for i := 0; i < a.Len(); i++ {
+		if !maskKeep(mask, i) {
+			continue
+		}
+		if a.Value(i) {
+			vals.Set(j)
+		}
+		if valid != nil && a.IsValid(i) {
+			valid.Set(j)
+		}
+		j++
+	}
+	return arrow.NewBool(vals, valid, keep)
+}
+
+// FilterBatch filters every column of a batch by the mask.
+func FilterBatch(b *arrow.RecordBatch, mask *arrow.BoolArray) (*arrow.RecordBatch, error) {
+	keep := mask.TrueCount()
+	if keep == b.NumRows() {
+		return b, nil
+	}
+	cols := make([]arrow.Array, b.NumCols())
+	for i, c := range b.Columns() {
+		fc, err := Filter(c, mask)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = fc
+	}
+	return arrow.NewRecordBatchWithRows(b.Schema(), cols, keep), nil
+}

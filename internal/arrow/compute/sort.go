@@ -1,0 +1,107 @@
+package compute
+
+import (
+	"sort"
+
+	"gofusion/internal/arrow"
+)
+
+// SortKey describes one sort column with SQL ordering options.
+type SortKey struct {
+	// Col indexes into the column list passed to SortToIndices.
+	Col        int
+	Descending bool
+	NullsFirst bool
+}
+
+// CompareRows compares row i of cols against row j under the sort keys,
+// returning a negative, zero, or positive result. This is the generic
+// (boxed) comparator; hot sorts use the rowformat package instead.
+func CompareRows(cols []arrow.Array, keys []SortKey, i, j int) int {
+	for _, k := range keys {
+		a := cols[k.Col]
+		ni, nj := a.IsNull(i), a.IsNull(j)
+		var c int
+		switch {
+		case ni && nj:
+			c = 0
+		case ni:
+			if k.NullsFirst {
+				c = -1
+			} else {
+				c = 1
+			}
+		case nj:
+			if k.NullsFirst {
+				c = 1
+			} else {
+				c = -1
+			}
+		default:
+			c = compareAt(a, i, j)
+			if k.Descending {
+				c = -c
+			}
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func compareAt(a arrow.Array, i, j int) int {
+	switch arr := a.(type) {
+	case *arrow.Int64Array:
+		return cmpOrd(arr.Value(i), arr.Value(j))
+	case *arrow.Int32Array:
+		return cmpOrd(arr.Value(i), arr.Value(j))
+	case *arrow.Int16Array:
+		return cmpOrd(arr.Value(i), arr.Value(j))
+	case *arrow.Int8Array:
+		return cmpOrd(arr.Value(i), arr.Value(j))
+	case *arrow.Uint64Array:
+		return cmpOrd(arr.Value(i), arr.Value(j))
+	case *arrow.Uint32Array:
+		return cmpOrd(arr.Value(i), arr.Value(j))
+	case *arrow.Uint16Array:
+		return cmpOrd(arr.Value(i), arr.Value(j))
+	case *arrow.Uint8Array:
+		return cmpOrd(arr.Value(i), arr.Value(j))
+	case *arrow.Float64Array:
+		return cmpOrd(arr.Value(i), arr.Value(j))
+	case *arrow.Float32Array:
+		return cmpOrd(arr.Value(i), arr.Value(j))
+	case *arrow.StringArray:
+		return cmpOrd(arr.Value(i), arr.Value(j))
+	case *arrow.BoolArray:
+		return b2i(arr.Value(i)) - b2i(arr.Value(j))
+	default:
+		return CompareScalars(a.GetScalar(i), a.GetScalar(j))
+	}
+}
+
+func cmpOrd[T interface {
+	~int8 | ~int16 | ~int32 | ~int64 | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~float32 | ~float64 | ~string
+}](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// SortToIndices returns row indices that order the columns by the sort
+// keys. The sort is stable so ties preserve input order.
+func SortToIndices(cols []arrow.Array, keys []SortKey, numRows int) []int32 {
+	indices := make([]int32, numRows)
+	for i := range indices {
+		indices[i] = int32(i)
+	}
+	sort.SliceStable(indices, func(x, y int) bool {
+		return CompareRows(cols, keys, int(indices[x]), int(indices[y])) < 0
+	})
+	return indices
+}

@@ -1,0 +1,73 @@
+package arrow
+
+import "fmt"
+
+// Datum is a columnar value: either an Array or a single Scalar that
+// broadcasts over a batch (the paper's ColumnarValue, Section 7). Physical
+// expressions and functions consume and produce Datums so scalar operands
+// avoid materialization.
+type Datum struct {
+	arr    Array
+	scalar Scalar
+	isArr  bool
+}
+
+// ArrayDatum wraps an array.
+func ArrayDatum(a Array) Datum { return Datum{arr: a, isArr: true} }
+
+// ScalarDatum wraps a scalar.
+func ScalarDatum(s Scalar) Datum { return Datum{scalar: s} }
+
+// IsArray reports whether the datum holds an array.
+func (d Datum) IsArray() bool { return d.isArr }
+
+// Array returns the held array; callers must check IsArray first.
+func (d Datum) Array() Array { return d.arr }
+
+// ScalarValue returns the held scalar; callers must check !IsArray first.
+func (d Datum) ScalarValue() Scalar { return d.scalar }
+
+// DataType returns the datum's type.
+func (d Datum) DataType() *DataType {
+	if d.isArr {
+		return d.arr.DataType()
+	}
+	return d.scalar.Type
+}
+
+// Len returns the array length, or -1 for scalars.
+func (d Datum) Len() int {
+	if d.isArr {
+		return d.arr.Len()
+	}
+	return -1
+}
+
+// ToArray materializes the datum as an array of n rows, broadcasting
+// scalars.
+func (d Datum) ToArray(n int) Array {
+	if d.isArr {
+		return d.arr
+	}
+	return ScalarToArray(d.scalar, n)
+}
+
+// ScalarToArray builds an n-row array repeating the scalar.
+func ScalarToArray(s Scalar, n int) Array {
+	if s.Type.ID == NULL {
+		return NewNull(n)
+	}
+	b := NewBuilder(s.Type)
+	b.Reserve(n)
+	for i := 0; i < n; i++ {
+		b.AppendScalar(s)
+	}
+	return b.Finish()
+}
+
+func (d Datum) String() string {
+	if d.isArr {
+		return fmt.Sprintf("Array(%s)", d.arr.DataType())
+	}
+	return fmt.Sprintf("Scalar(%s)", d.scalar)
+}

@@ -1,0 +1,136 @@
+package arrow
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func allTypesBatch() *RecordBatch {
+	schema := NewSchema(
+		NewField("i8", Int8, true),
+		NewField("i64", Int64, true),
+		NewField("f64", Float64, true),
+		NewField("str", String, true),
+		NewField("b", Boolean, true),
+		NewField("d", Date32, true),
+		NewField("ts", Timestamp, true),
+		NewField("dec", Decimal(12, 2), true),
+		NewField("u32", Uint32, false),
+	)
+	mk := func(t *DataType, vals ...Scalar) Array {
+		b := NewBuilder(t)
+		for _, v := range vals {
+			b.AppendScalar(v)
+		}
+		return b.Finish()
+	}
+	return NewRecordBatch(schema, []Array{
+		mk(Int8, NewScalar(Int8, int8(1)), NullScalar(Int8), NewScalar(Int8, int8(-3))),
+		mk(Int64, Int64Scalar(100), Int64Scalar(-200), NullScalar(Int64)),
+		mk(Float64, Float64Scalar(1.5), NullScalar(Float64), Float64Scalar(-2.5)),
+		mk(String, StringScalar("abc"), StringScalar(""), NullScalar(String)),
+		mk(Boolean, BoolScalar(true), BoolScalar(false), NullScalar(Boolean)),
+		mk(Date32, NewScalar(Date32, int32(9000)), NullScalar(Date32), NewScalar(Date32, int32(-5))),
+		mk(Timestamp, NewScalar(Timestamp, int64(1234567)), NewScalar(Timestamp, int64(0)), NullScalar(Timestamp)),
+		mk(Decimal(12, 2), NewScalar(Decimal(12, 2), int64(199)), NullScalar(Decimal(12, 2)), NewScalar(Decimal(12, 2), int64(-50))),
+		mk(Uint32, NewScalar(Uint32, uint32(7)), NewScalar(Uint32, uint32(8)), NewScalar(Uint32, uint32(9))),
+	})
+}
+
+func batchesEqual(t *testing.T, a, b *RecordBatch) {
+	t.Helper()
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		t.Fatalf("shape mismatch: %dx%d vs %dx%d", a.NumRows(), a.NumCols(), b.NumRows(), b.NumCols())
+	}
+	for c := 0; c < a.NumCols(); c++ {
+		for r := 0; r < a.NumRows(); r++ {
+			x, y := a.Column(c).GetScalar(r), b.Column(c).GetScalar(r)
+			if !x.Equal(y) {
+				t.Fatalf("col %d row %d: %v != %v", c, r, x, y)
+			}
+		}
+	}
+}
+
+func TestIPCRoundTrip(t *testing.T) {
+	rb := allTypesBatch()
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, rb); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBatch(&buf, rb.Slice(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got1, err := ReadBatch(&buf, rb.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchesEqual(t, rb, got1)
+	got2, err := ReadBatch(&buf, rb.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchesEqual(t, rb.Slice(1, 2), got2)
+	if _, err := ReadBatch(&buf, rb.Schema()); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestSchemaMarshalRoundTrip(t *testing.T) {
+	s := NewSchema(
+		NewField("a", Int64, false),
+		NewField("d", Decimal(12, 2), true),
+		NewField("l", ListOf(String), true),
+		NewField("s", StructOf(NewField("x", Float64, true)), true),
+	)
+	data, err := MarshalSchema(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSchema(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(got) {
+		t.Fatalf("schema round trip mismatch:\n%s\n%s", s, got)
+	}
+	// Singletons should be restored for pointer-equality fast paths.
+	if got.Field(0).Type != Int64 {
+		t.Fatal("simple types should collapse to singletons")
+	}
+}
+
+func TestIPCListAndStruct(t *testing.T) {
+	lb := NewListBuilder(Int64)
+	lb.Child().(*NumericBuilder[int64]).Append(1)
+	lb.Child().(*NumericBuilder[int64]).Append(2)
+	lb.CloseList()
+	lb.AppendNull()
+	list := lb.Finish()
+
+	st := StructOf(NewField("x", Int64, true))
+	sb := NewStructBuilder(st)
+	sb.FieldBuilder(0).(*NumericBuilder[int64]).Append(42)
+	sb.CloseRow()
+	sb.AppendNull()
+	strct := sb.Finish()
+
+	schema := NewSchema(NewField("l", ListOf(Int64), true), NewField("s", st, true))
+	rb := NewRecordBatch(schema, []Array{list, strct})
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, rb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBatch(&buf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 || !got.Column(0).IsNull(1) || !got.Column(1).IsNull(1) {
+		t.Fatal("nested round trip lost nulls")
+	}
+	l0 := got.Column(0).(*ListArray).ValueArray(0).(*Int64Array)
+	if l0.Len() != 2 || l0.Value(0) != 1 || l0.Value(1) != 2 {
+		t.Fatal("list values lost")
+	}
+}

@@ -1,0 +1,188 @@
+package arrow
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Scalar is a single typed value, possibly null. Scalars appear as literals
+// in expressions, as broadcast operands in kernels, and as boxed row values
+// on slow paths. The dynamic type of Val matches the physical representation
+// of the array type: int8..int64/uint8..uint64/float32/float64 for numerics,
+// int32 for Date32, int64 for Timestamp and Decimal, string for Utf8,
+// []byte for Binary, bool for Boolean, MonthDayMicro for Interval,
+// Array for List and []Scalar for Struct.
+type Scalar struct {
+	Type *DataType
+	Null bool
+	Val  any
+}
+
+// NewScalar builds a non-null scalar of the given type.
+func NewScalar(t *DataType, v any) Scalar { return Scalar{Type: t, Val: v} }
+
+// NullScalar builds a null scalar of the given type.
+func NullScalar(t *DataType) Scalar { return Scalar{Type: t, Null: true} }
+
+// Int64Scalar builds an Int64 scalar.
+func Int64Scalar(v int64) Scalar { return Scalar{Type: Int64, Val: v} }
+
+// Float64Scalar builds a Float64 scalar.
+func Float64Scalar(v float64) Scalar { return Scalar{Type: Float64, Val: v} }
+
+// StringScalar builds a Utf8 scalar.
+func StringScalar(v string) Scalar { return Scalar{Type: String, Val: v} }
+
+// BoolScalar builds a Boolean scalar.
+func BoolScalar(v bool) Scalar { return Scalar{Type: Boolean, Val: v} }
+
+func scalarOf[T Number](t *DataType, v T) Scalar { return Scalar{Type: t, Val: v} }
+
+// IsNull reports whether the scalar is null.
+func (s Scalar) IsNull() bool { return s.Null }
+
+// AsInt64 converts any integer-, date-, timestamp- or decimal-typed scalar
+// value to int64. It panics on other types; callers dispatch on Type first.
+func (s Scalar) AsInt64() int64 {
+	switch v := s.Val.(type) {
+	case int64:
+		return v
+	case int32:
+		return int64(v)
+	case int16:
+		return int64(v)
+	case int8:
+		return int64(v)
+	case uint64:
+		return int64(v)
+	case uint32:
+		return int64(v)
+	case uint16:
+		return int64(v)
+	case uint8:
+		return int64(v)
+	case int:
+		return int64(v)
+	}
+	panic(fmt.Sprintf("scalar %v (%T) is not integer-backed", s.Val, s.Val))
+}
+
+// AsFloat64 converts any numeric scalar value to float64, honoring decimal
+// scale.
+func (s Scalar) AsFloat64() float64 {
+	switch v := s.Val.(type) {
+	case float64:
+		return v
+	case float32:
+		return float64(v)
+	}
+	if s.Type.ID == DECIMAL {
+		return float64(s.AsInt64()) / math.Pow10(s.Type.Scale)
+	}
+	return float64(s.AsInt64())
+}
+
+// AsString returns the string value of a Utf8/Binary scalar.
+func (s Scalar) AsString() string {
+	switch v := s.Val.(type) {
+	case string:
+		return v
+	case []byte:
+		return string(v)
+	}
+	panic(fmt.Sprintf("scalar %v (%T) is not string-backed", s.Val, s.Val))
+}
+
+// AsBool returns the boolean value.
+func (s Scalar) AsBool() bool { return s.Val.(bool) }
+
+// String renders the scalar for plans and debugging.
+func (s Scalar) String() string {
+	if s.Null {
+		return "NULL"
+	}
+	switch s.Type.ID {
+	case STRING:
+		return strconv.Quote(s.AsString())
+	case DECIMAL:
+		return FormatDecimal(s.AsInt64(), s.Type.Scale)
+	case DATE32:
+		return FormatDate32(int32(s.AsInt64()))
+	case TIMESTAMP:
+		return FormatTimestamp(s.AsInt64())
+	default:
+		return fmt.Sprintf("%v", s.Val)
+	}
+}
+
+// Equal reports deep equality of two scalars (same type id, same value, or
+// both null). Used by tests and constant folding.
+func (s Scalar) Equal(o Scalar) bool {
+	if s.Type.ID != o.Type.ID {
+		return false
+	}
+	if s.Null || o.Null {
+		return s.Null == o.Null
+	}
+	switch s.Type.ID {
+	case BINARY:
+		return string(s.Val.([]byte)) == string(o.Val.([]byte))
+	default:
+		return s.Val == o.Val
+	}
+}
+
+// FormatDecimal renders a scaled int64 decimal as a human-readable string.
+func FormatDecimal(v int64, scale int) string {
+	if scale <= 0 {
+		return strconv.FormatInt(v, 10)
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	p := int64(1)
+	for i := 0; i < scale; i++ {
+		p *= 10
+	}
+	intPart, frac := v/p, v%p
+	s := fmt.Sprintf("%d.%0*d", intPart, scale, frac)
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+// FormatDate32 renders days-since-epoch as YYYY-MM-DD.
+func FormatDate32(days int32) string {
+	return time.Unix(int64(days)*86400, 0).UTC().Format("2006-01-02")
+}
+
+// FormatTimestamp renders microseconds-since-epoch as an RFC3339-like string.
+func FormatTimestamp(us int64) string {
+	return time.UnixMicro(us).UTC().Format("2006-01-02T15:04:05.999999")
+}
+
+// ParseDate32 parses YYYY-MM-DD into days-since-epoch.
+func ParseDate32(s string) (int32, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, err
+	}
+	return int32(t.Unix() / 86400), nil
+}
+
+// ParseTimestamp parses common timestamp layouts into microseconds.
+func ParseTimestamp(s string) (int64, error) {
+	for _, layout := range []string{
+		"2006-01-02 15:04:05.999999", "2006-01-02T15:04:05.999999",
+		time.RFC3339Nano, "2006-01-02",
+	} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t.UnixMicro(), nil
+		}
+	}
+	return 0, fmt.Errorf("arrow: cannot parse timestamp %q", s)
+}

@@ -1,0 +1,176 @@
+package arrow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field describes one column: a name, a type, and nullability.
+type Field struct {
+	Name     string
+	Type     *DataType
+	Nullable bool
+}
+
+// NewField constructs a field.
+func NewField(name string, t *DataType, nullable bool) Field {
+	return Field{Name: name, Type: t, Nullable: nullable}
+}
+
+func (f Field) String() string {
+	null := ""
+	if f.Nullable {
+		null = " NULL"
+	}
+	return fmt.Sprintf("%s: %s%s", f.Name, f.Type, null)
+}
+
+// Schema is an ordered list of fields describing a RecordBatch or table.
+type Schema struct {
+	fields []Field
+	index  map[string]int // lower-cased name -> first position
+}
+
+// NewSchema constructs a schema from fields.
+func NewSchema(fields ...Field) *Schema {
+	s := &Schema{fields: fields, index: make(map[string]int, len(fields))}
+	for i, f := range fields {
+		key := strings.ToLower(f.Name)
+		if _, ok := s.index[key]; !ok {
+			s.index[key] = i
+		}
+	}
+	return s
+}
+
+// Fields returns the field list; callers must not mutate it.
+func (s *Schema) Fields() []Field { return s.fields }
+
+// NumFields returns the number of fields.
+func (s *Schema) NumFields() int { return len(s.fields) }
+
+// Field returns field i.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// FieldIndex returns the position of the named field (case-insensitive),
+// or -1 if absent.
+func (s *Schema) FieldIndex(name string) int {
+	if i, ok := s.index[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Select returns a new schema containing the fields at the given positions.
+func (s *Schema) Select(indices []int) *Schema {
+	fields := make([]Field, len(indices))
+	for i, idx := range indices {
+		fields[i] = s.fields[idx]
+	}
+	return NewSchema(fields...)
+}
+
+// Equal reports whether two schemas have identical names and types.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.fields) != len(o.fields) {
+		return false
+	}
+	for i := range s.fields {
+		if s.fields[i].Name != o.fields[i].Name || !s.fields[i].Type.Equal(o.fields[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Schema) String() string {
+	parts := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		parts[i] = f.String()
+	}
+	return "Schema(" + strings.Join(parts, ", ") + ")"
+}
+
+// RecordBatch is a horizontal slice of a table: a schema plus one column
+// array per field, all of equal length. Batches are the unit of data flow
+// between operators.
+type RecordBatch struct {
+	schema  *Schema
+	columns []Array
+	numRows int
+}
+
+// NewRecordBatch constructs a batch; all columns must share the same length.
+func NewRecordBatch(schema *Schema, columns []Array) *RecordBatch {
+	n := 0
+	if len(columns) > 0 {
+		n = columns[0].Len()
+	}
+	for i, c := range columns {
+		if c.Len() != n {
+			panic(fmt.Sprintf("arrow: column %d length %d != %d", i, c.Len(), n))
+		}
+	}
+	return &RecordBatch{schema: schema, columns: columns, numRows: n}
+}
+
+// NewRecordBatchWithRows constructs a zero-column batch that still carries a
+// row count, as produced by scans with empty projections (e.g. COUNT(*)).
+func NewRecordBatchWithRows(schema *Schema, columns []Array, numRows int) *RecordBatch {
+	if len(columns) > 0 {
+		return NewRecordBatch(schema, columns)
+	}
+	return &RecordBatch{schema: schema, columns: columns, numRows: numRows}
+}
+
+// Schema returns the batch schema.
+func (b *RecordBatch) Schema() *Schema { return b.schema }
+
+// NumRows returns the number of rows.
+func (b *RecordBatch) NumRows() int { return b.numRows }
+
+// NumCols returns the number of columns.
+func (b *RecordBatch) NumCols() int { return len(b.columns) }
+
+// Column returns column i.
+func (b *RecordBatch) Column(i int) Array { return b.columns[i] }
+
+// Columns returns all columns; callers must not mutate the slice.
+func (b *RecordBatch) Columns() []Array { return b.columns }
+
+// ColumnByName returns the first column with the given name, or nil.
+func (b *RecordBatch) ColumnByName(name string) Array {
+	i := b.schema.FieldIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return b.columns[i]
+}
+
+// Slice returns a batch view of n rows starting at off.
+func (b *RecordBatch) Slice(off, n int) *RecordBatch {
+	cols := make([]Array, len(b.columns))
+	for i, c := range b.columns {
+		cols[i] = c.Slice(off, n)
+	}
+	return NewRecordBatchWithRows(b.schema, cols, n)
+}
+
+// Project returns a batch with only the columns at the given positions.
+func (b *RecordBatch) Project(indices []int) *RecordBatch {
+	cols := make([]Array, len(indices))
+	for i, idx := range indices {
+		cols[i] = b.columns[idx]
+	}
+	return NewRecordBatchWithRows(b.schema.Select(indices), cols, b.numRows)
+}
+
+// String renders the batch for debugging: schema plus up to 20 rows.
+func (b *RecordBatch) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "RecordBatch: %d rows\n", b.numRows)
+	for i, f := range b.schema.fields {
+		fmt.Fprintf(&sb, "  %s = %s\n", f.Name, b.columns[i])
+	}
+	return sb.String()
+}

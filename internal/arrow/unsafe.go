@@ -1,0 +1,13 @@
+package arrow
+
+import "unsafe"
+
+// unsafeString views a byte slice as a string without copying. Callers must
+// guarantee the bytes are not mutated while the string is alive; all array
+// buffers are immutable, so views into them satisfy this.
+func unsafeString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}

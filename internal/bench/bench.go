@@ -1,0 +1,325 @@
+// Package bench is the experiment harness reproducing the paper's
+// evaluation (Section 8): it generates the three workload datasets on
+// disk, builds both engines over the same files, runs every query of
+// Table 1, Figure 5, Figure 6 and Figure 7, and reports per-query
+// durations with the paper's delta column. The bench_test.go benchmarks
+// and the gofusion-bench binary both drive this package.
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"gofusion/internal/baseline"
+	"gofusion/internal/core"
+	"gofusion/internal/workload/clickbench"
+	"gofusion/internal/workload/h2o"
+	"gofusion/internal/workload/tpch"
+)
+
+// Config sizes the experiments. The defaults are laptop-scale versions of
+// the paper's datasets (14 GB hits / SF=10 TPC-H / 1e7-row CSV).
+type Config struct {
+	// DataDir caches generated datasets between runs.
+	DataDir string
+	// TPCHSF is the TPC-H scale factor (paper: 10).
+	TPCHSF float64
+	// HitsRows is the ClickBench row count (paper: ~100M).
+	HitsRows int
+	// HitsFiles partitions hits into this many GPQ files (paper: 100).
+	HitsFiles int
+	// H2ORows is the H2O groupby CSV row count (paper: 1e7).
+	H2ORows int
+	// Cores lists the parallelism levels for the Figure 7 sweep.
+	Cores []int
+}
+
+// DefaultConfig returns laptop-scale defaults, overridable via the
+// GOFUSION_BENCH_* environment variables.
+func DefaultConfig() Config {
+	cfg := Config{
+		DataDir:   envStr("GOFUSION_BENCH_DIR", filepath.Join(os.TempDir(), "gofusion-bench-data")),
+		TPCHSF:    envFloat("GOFUSION_BENCH_SF", 0.05),
+		HitsRows:  envInt("GOFUSION_BENCH_HITS", 500_000),
+		HitsFiles: envInt("GOFUSION_BENCH_HITS_FILES", 8),
+		H2ORows:   envInt("GOFUSION_BENCH_H2O", 1_000_000),
+	}
+	for c := 1; c <= runtime.NumCPU(); c *= 2 {
+		cfg.Cores = append(cfg.Cores, c)
+	}
+	return cfg
+}
+
+func envStr(k, def string) string {
+	if v := os.Getenv(k); v != "" {
+		return v
+	}
+	return def
+}
+
+func envInt(k string, def int) int {
+	if v := os.Getenv(k); v != "" {
+		var x int
+		if _, err := fmt.Sscanf(v, "%d", &x); err == nil {
+			return x
+		}
+	}
+	return def
+}
+
+func envFloat(k string, def float64) float64 {
+	if v := os.Getenv(k); v != "" {
+		var x float64
+		if _, err := fmt.Sscanf(v, "%f", &x); err == nil {
+			return x
+		}
+	}
+	return def
+}
+
+func (c Config) tpchDir() string { return filepath.Join(c.DataDir, fmt.Sprintf("tpch-sf%g", c.TPCHSF)) }
+func (c Config) hitsDir() string {
+	return filepath.Join(c.DataDir, fmt.Sprintf("hits-%d-%d", c.HitsRows, c.HitsFiles))
+}
+func (c Config) h2oPath() string {
+	return filepath.Join(c.DataDir, fmt.Sprintf("h2o-%d.csv", c.H2ORows))
+}
+
+// EnsureData generates any missing datasets into DataDir.
+func (c Config) EnsureData() error {
+	if _, err := os.Stat(filepath.Join(c.tpchDir(), "lineitem.gpq")); err != nil {
+		if err := tpch.WriteGPQ(c.tpchDir(), c.TPCHSF, 1_000_000); err != nil {
+			return fmt.Errorf("bench: generating tpch: %w", err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(c.hitsDir(), "hits_000.gpq")); err != nil {
+		if err := clickbench.WriteGPQ(c.hitsDir(), c.HitsRows, c.HitsFiles); err != nil {
+			return fmt.Errorf("bench: generating hits: %w", err)
+		}
+	}
+	if _, err := os.Stat(c.h2oPath()); err != nil {
+		if err := os.MkdirAll(c.DataDir, 0o755); err != nil {
+			return err
+		}
+		if err := h2o.WriteCSV(c.h2oPath(), c.H2ORows); err != nil {
+			return fmt.Errorf("bench: generating h2o: %w", err)
+		}
+	}
+	return nil
+}
+
+// Workload selects one dataset.
+type Workload int
+
+// Workloads.
+const (
+	ClickBench Workload = iota
+	TPCH
+	H2O
+)
+
+// GoFusionSession builds a session over the on-disk dataset at the given
+// parallelism.
+func (c Config) GoFusionSession(w Workload, cores int) (*core.SessionContext, error) {
+	cfg := core.DefaultConfig()
+	cfg.TargetPartitions = cores
+	s := core.NewSession(cfg)
+	switch w {
+	case ClickBench:
+		return s, clickbench.RegisterGPQ(s, c.hitsDir())
+	case TPCH:
+		return s, tpch.RegisterGPQ(s, c.tpchDir())
+	case H2O:
+		return s, h2o.Register(s, c.h2oPath())
+	}
+	return nil, fmt.Errorf("bench: unknown workload")
+}
+
+// TightDBEngine builds the baseline engine over the same files.
+func (c Config) TightDBEngine(w Workload, cores int) (*baseline.Engine, error) {
+	e := baseline.New(cores)
+	switch w {
+	case ClickBench:
+		return e, e.RegisterGPQDir("hits", c.hitsDir())
+	case TPCH:
+		for _, name := range tpch.TableNames {
+			if err := e.RegisterGPQ(name, filepath.Join(c.tpchDir(), name+".gpq")); err != nil {
+				return nil, err
+			}
+		}
+		return e, nil
+	case H2O:
+		return e, e.RegisterCSV("x", c.h2oPath())
+	}
+	return nil, fmt.Errorf("bench: unknown workload")
+}
+
+// WorkloadQueries returns the numbered queries of a workload (Table 1
+// uses the paper's ClickBench subset).
+func WorkloadQueries(w Workload) (nums []int, queries map[int]string) {
+	switch w {
+	case ClickBench:
+		return clickbench.PaperQueryNumbers(), clickbench.Queries()
+	case TPCH:
+		for i := 1; i <= 22; i++ {
+			nums = append(nums, i)
+		}
+		return nums, tpch.Queries
+	case H2O:
+		for i := 1; i <= 10; i++ {
+			nums = append(nums, i)
+		}
+		return nums, h2o.Queries
+	}
+	return nil, nil
+}
+
+// RunGoFusion times one query on the engine.
+func RunGoFusion(s *core.SessionContext, query string) (time.Duration, int, error) {
+	start := time.Now()
+	df, err := s.SQL(query)
+	if err != nil {
+		return 0, 0, err
+	}
+	batch, err := df.CollectBatch()
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), batch.NumRows(), nil
+}
+
+// RunTightDB times one query on the baseline.
+func RunTightDB(e *baseline.Engine, query string) (time.Duration, int, error) {
+	start := time.Now()
+	batch, err := e.Query(query)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), batch.NumRows(), nil
+}
+
+// Result is one per-query comparison row.
+type Result struct {
+	Query    int
+	GoFusion time.Duration
+	TightDB  time.Duration
+	GFErr    error
+	TDErr    error
+}
+
+// Delta renders the paper's Table 1 delta column (e.g. "2.25x faster").
+func (r Result) Delta() string {
+	if r.GFErr != nil || r.TDErr != nil || r.GoFusion == 0 || r.TightDB == 0 {
+		return "n/a"
+	}
+	gf, td := r.GoFusion.Seconds(), r.TightDB.Seconds()
+	if gf <= td {
+		return fmt.Sprintf("%.2fx faster", td/gf)
+	}
+	return fmt.Sprintf("%.2fx slower", gf/td)
+}
+
+// CompareEngines runs every query of a workload on both engines at the
+// given core count, with `repeat` timed repetitions (best kept).
+func (c Config) CompareEngines(w Workload, cores, repeat int) ([]Result, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	nums, queries := WorkloadQueries(w)
+	s, err := c.GoFusionSession(w, cores)
+	if err != nil {
+		return nil, err
+	}
+	e, err := c.TightDBEngine(w, cores)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, n := range nums {
+		r := Result{Query: n}
+		for i := 0; i < repeat; i++ {
+			d, _, err := RunGoFusion(s, queries[n])
+			if err != nil {
+				r.GFErr = err
+				break
+			}
+			if r.GoFusion == 0 || d < r.GoFusion {
+				r.GoFusion = d
+			}
+		}
+		for i := 0; i < repeat; i++ {
+			d, _, err := RunTightDB(e, queries[n])
+			if err != nil {
+				r.TDErr = err
+				break
+			}
+			if r.TightDB == 0 || d < r.TightDB {
+				r.TightDB = d
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ScalabilityPoint is one (query, cores) duration pair per engine.
+type ScalabilityPoint struct {
+	Query    int
+	Cores    int
+	GoFusion time.Duration
+	TightDB  time.Duration
+}
+
+// Scalability sweeps core counts over a query subset (Figure 7).
+func (c Config) Scalability(w Workload, queryNums []int, repeat int) ([]ScalabilityPoint, error) {
+	nums, queries := WorkloadQueries(w)
+	if queryNums == nil {
+		queryNums = nums
+	}
+	var out []ScalabilityPoint
+	for _, cores := range c.Cores {
+		results := map[int]*ScalabilityPoint{}
+		s, err := c.GoFusionSession(w, cores)
+		if err != nil {
+			return nil, err
+		}
+		e, err := c.TightDBEngine(w, cores)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range queryNums {
+			p := &ScalabilityPoint{Query: n, Cores: cores}
+			for i := 0; i < max(repeat, 1); i++ {
+				d, _, err := RunGoFusion(s, queries[n])
+				if err != nil {
+					return nil, fmt.Errorf("bench: Q%d at %d cores: %w", n, cores, err)
+				}
+				if p.GoFusion == 0 || d < p.GoFusion {
+					p.GoFusion = d
+				}
+				d, _, err = RunTightDB(e, queries[n])
+				if err != nil {
+					return nil, fmt.Errorf("bench: baseline Q%d at %d cores: %w", n, cores, err)
+				}
+				if p.TightDB == 0 || d < p.TightDB {
+					p.TightDB = d
+				}
+			}
+			results[n] = p
+		}
+		for _, n := range queryNums {
+			out = append(out, *results[n])
+		}
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"testing"
+)
+
+// smallConfig keeps the harness smoke test fast.
+func smallConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := Config{
+		DataDir:   t.TempDir(),
+		TPCHSF:    0.002,
+		HitsRows:  3000,
+		HitsFiles: 2,
+		H2ORows:   3000,
+		Cores:     []int{1, 2},
+	}
+	if err := cfg.EnsureData(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestHarnessEndToEnd(t *testing.T) {
+	cfg := smallConfig(t)
+	// Every workload compares cleanly on both engines.
+	for _, w := range []Workload{ClickBench, TPCH, H2O} {
+		results, err := cfg.CompareEngines(w, 1, 1)
+		if err != nil {
+			t.Fatalf("workload %d: %v", w, err)
+		}
+		if len(results) == 0 {
+			t.Fatalf("workload %d: no results", w)
+		}
+		for _, r := range results {
+			if r.GFErr != nil {
+				t.Fatalf("workload %d Q%d gofusion: %v", w, r.Query, r.GFErr)
+			}
+			if r.TDErr != nil {
+				t.Fatalf("workload %d Q%d tightdb: %v", w, r.Query, r.TDErr)
+			}
+			if r.Delta() == "n/a" {
+				t.Fatalf("workload %d Q%d: no delta", w, r.Query)
+			}
+		}
+	}
+}
+
+func TestScalabilitySweep(t *testing.T) {
+	cfg := smallConfig(t)
+	points, err := cfg.Scalability(ClickBench, []int{1, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 queries x 2 core counts.
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.GoFusion == 0 || p.TightDB == 0 {
+			t.Fatalf("missing timing: %+v", p)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	cfg := smallConfig(t)
+	abl, err := cfg.RunAblations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abl) != 5 {
+		t.Fatalf("ablations = %d", len(abl))
+	}
+	for _, a := range abl {
+		if a.On == 0 || a.Off == 0 {
+			t.Fatalf("%s: missing measurement", a.Name)
+		}
+	}
+	// EnsureData is idempotent (cached datasets).
+	if err := cfg.EnsureData(); err != nil {
+		t.Fatal(err)
+	}
+}

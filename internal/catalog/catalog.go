@@ -1,0 +1,303 @@
+// Package catalog implements the catalog and data source APIs (paper
+// Sections 5.2, 7.2, 7.3): CatalogProvider -> SchemaProvider ->
+// TableProvider, with built-in providers for in-memory tables and GPQ /
+// CSV / JSON files. Built-in providers use exactly the API exposed to
+// user-defined providers, including projection, filter, and limit
+// pushdown, partitioned parallel reads, and known sort orders.
+package catalog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/logical"
+)
+
+// Stream incrementally produces record batches; Next returns io.EOF when
+// exhausted. Streams are single-consumer.
+type Stream interface {
+	Schema() *arrow.Schema
+	Next() (*arrow.RecordBatch, error)
+	Close()
+}
+
+// OrderedCol names a column of a known sort order.
+type OrderedCol struct {
+	Name string
+	Desc bool
+}
+
+// Statistics summarizes a table for planning.
+type Statistics struct {
+	// NumRows is the exact or estimated row count, -1 when unknown.
+	NumRows int64
+	// TotalBytes is the on-disk size, -1 when unknown.
+	TotalBytes int64
+}
+
+// UnknownStats is the zero-knowledge statistics value.
+func UnknownStats() Statistics { return Statistics{NumRows: -1, TotalBytes: -1} }
+
+// ScanRequest carries pushdown information into a provider scan.
+type ScanRequest struct {
+	// Projection selects provider-schema column indexes; nil means all.
+	Projection []int
+	// Filters are conjuncts the provider may apply (fully, partially, or
+	// not at all); ScanResult.ExactFilters reports which were exact.
+	Filters []logical.Expr
+	// Limit stops the scan after this many rows, -1 for none. Only valid
+	// when every filter is applied exactly.
+	Limit int64
+	// Partitions is the desired read parallelism (providers may return
+	// fewer).
+	Partitions int
+	// BatchRows is the preferred output batch size.
+	BatchRows int
+}
+
+// ScanResult describes a prepared scan: a projected schema and a factory
+// for per-partition streams.
+type ScanResult struct {
+	Schema     *arrow.Schema
+	Partitions int
+	// Open starts reading one partition. Each partition may be opened at
+	// most once.
+	Open func(partition int) (Stream, error)
+	// ExactFilters[i] reports whether Filters[i] was applied exactly (the
+	// engine then drops its own re-evaluation).
+	ExactFilters []bool
+	// SortOrder describes a known output ordering (within every
+	// partition), or nil.
+	SortOrder []OrderedCol
+}
+
+// TableProvider is the data source extension point.
+type TableProvider interface {
+	// Schema returns the full table schema.
+	Schema() *arrow.Schema
+	// Scan prepares a (possibly pushed-down) scan.
+	Scan(req ScanRequest) (*ScanResult, error)
+	// Statistics returns planning statistics.
+	Statistics() Statistics
+}
+
+// SchemaProvider is a named collection of tables.
+type SchemaProvider interface {
+	TableNames() []string
+	Table(name string) (TableProvider, bool)
+}
+
+// CatalogProvider is a named collection of schemas.
+type CatalogProvider interface {
+	SchemaNames() []string
+	SchemaByName(name string) (SchemaProvider, bool)
+}
+
+// MemorySchema is the built-in mutable SchemaProvider.
+type MemorySchema struct {
+	mu     sync.RWMutex
+	tables map[string]TableProvider
+}
+
+// NewMemorySchema returns an empty schema.
+func NewMemorySchema() *MemorySchema {
+	return &MemorySchema{tables: map[string]TableProvider{}}
+}
+
+// Register adds or replaces a table.
+func (s *MemorySchema) Register(name string, t TableProvider) {
+	s.mu.Lock()
+	s.tables[strings.ToLower(name)] = t
+	s.mu.Unlock()
+}
+
+// Deregister removes a table.
+func (s *MemorySchema) Deregister(name string) {
+	s.mu.Lock()
+	delete(s.tables, strings.ToLower(name))
+	s.mu.Unlock()
+}
+
+// TableNames lists registered tables, sorted.
+func (s *MemorySchema) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table looks up a table by name (case-insensitive).
+func (s *MemorySchema) Table(name string) (TableProvider, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// MemoryCatalog is the built-in mutable CatalogProvider.
+type MemoryCatalog struct {
+	mu      sync.RWMutex
+	schemas map[string]SchemaProvider
+}
+
+// NewMemoryCatalog returns a catalog with an empty "public" schema.
+func NewMemoryCatalog() *MemoryCatalog {
+	c := &MemoryCatalog{schemas: map[string]SchemaProvider{}}
+	c.RegisterSchema("public", NewMemorySchema())
+	return c
+}
+
+// RegisterSchema adds or replaces a schema.
+func (c *MemoryCatalog) RegisterSchema(name string, s SchemaProvider) {
+	c.mu.Lock()
+	c.schemas[strings.ToLower(name)] = s
+	c.mu.Unlock()
+}
+
+// SchemaNames lists schemas, sorted.
+func (c *MemoryCatalog) SchemaNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.schemas))
+	for n := range c.schemas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SchemaByName looks up a schema (case-insensitive).
+func (c *MemoryCatalog) SchemaByName(name string) (SchemaProvider, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.schemas[strings.ToLower(name)]
+	return s, ok
+}
+
+// batchStream adapts a batch slice into a Stream.
+type batchStream struct {
+	schema  *arrow.Schema
+	batches []*arrow.RecordBatch
+	pos     int
+}
+
+// NewBatchStream wraps pre-materialized batches as a Stream.
+func NewBatchStream(schema *arrow.Schema, batches []*arrow.RecordBatch) Stream {
+	return &batchStream{schema: schema, batches: batches}
+}
+
+func (s *batchStream) Schema() *arrow.Schema { return s.schema }
+func (s *batchStream) Close()                {}
+func (s *batchStream) Next() (*arrow.RecordBatch, error) {
+	if s.pos >= len(s.batches) {
+		return nil, io.EOF
+	}
+	b := s.batches[s.pos]
+	s.pos++
+	return b, nil
+}
+
+// MemTable is an in-memory TableProvider over partitioned record batches.
+type MemTable struct {
+	schema     *arrow.Schema
+	partitions [][]*arrow.RecordBatch
+	sortOrder  []OrderedCol
+	numRows    int64
+}
+
+// NewMemTable builds a table from one batch list per partition.
+func NewMemTable(schema *arrow.Schema, partitions [][]*arrow.RecordBatch) (*MemTable, error) {
+	var rows int64
+	for _, part := range partitions {
+		for _, b := range part {
+			if !b.Schema().Equal(schema) {
+				return nil, fmt.Errorf("catalog: batch schema %s != table schema %s", b.Schema(), schema)
+			}
+			rows += int64(b.NumRows())
+		}
+	}
+	return &MemTable{schema: schema, partitions: partitions, numRows: rows}, nil
+}
+
+// WithSortOrder declares a known per-partition sort order.
+func (m *MemTable) WithSortOrder(order []OrderedCol) *MemTable {
+	m.sortOrder = order
+	return m
+}
+
+// Schema returns the table schema.
+func (m *MemTable) Schema() *arrow.Schema { return m.schema }
+
+// Statistics returns the exact row count.
+func (m *MemTable) Statistics() Statistics {
+	return Statistics{NumRows: m.numRows, TotalBytes: -1}
+}
+
+// Scan implements projection and limit pushdown over in-memory batches.
+func (m *MemTable) Scan(req ScanRequest) (*ScanResult, error) {
+	outSchema := m.schema
+	if req.Projection != nil {
+		outSchema = m.schema.Select(req.Projection)
+	}
+	parts := m.partitions
+	if len(parts) == 0 {
+		parts = [][]*arrow.RecordBatch{nil}
+	}
+	// Limit pushdown is only sound with no (unapplied) filters.
+	limit := req.Limit
+	if len(req.Filters) > 0 {
+		limit = -1
+	}
+	return &ScanResult{
+		Schema:       outSchema,
+		Partitions:   len(parts),
+		ExactFilters: make([]bool, len(req.Filters)),
+		SortOrder:    m.sortOrder,
+		Open: func(p int) (Stream, error) {
+			src := parts[p]
+			var out []*arrow.RecordBatch
+			var taken int64
+			for _, b := range src {
+				if req.Projection != nil {
+					b = b.Project(req.Projection)
+				}
+				if limit >= 0 {
+					if taken >= limit {
+						break
+					}
+					if taken+int64(b.NumRows()) > limit {
+						b = b.Slice(0, int(limit-taken))
+					}
+				}
+				taken += int64(b.NumRows())
+				out = append(out, b)
+			}
+			return NewBatchStream(outSchema, out), nil
+		},
+	}, nil
+}
+
+// funcStream adapts a next function into a Stream (for providers that
+// synthesize batches on demand).
+type funcStream struct {
+	schema *arrow.Schema
+	next   func() (*arrow.RecordBatch, error)
+}
+
+// NewBatchStreamFunc wraps a next callback as a Stream; next returns
+// io.EOF when exhausted.
+func NewBatchStreamFunc(schema *arrow.Schema, next func() (*arrow.RecordBatch, error)) Stream {
+	return &funcStream{schema: schema, next: next}
+}
+
+func (s *funcStream) Schema() *arrow.Schema             { return s.schema }
+func (s *funcStream) Next() (*arrow.RecordBatch, error) { return s.next() }
+func (s *funcStream) Close()                            {}

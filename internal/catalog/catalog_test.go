@@ -1,0 +1,364 @@
+package catalog
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/csvio"
+	"gofusion/internal/jsonio"
+	"gofusion/internal/logical"
+	"gofusion/internal/memory"
+	"gofusion/internal/parquet"
+)
+
+func drain(t *testing.T, s Stream) []*arrow.RecordBatch {
+	t.Helper()
+	defer s.Close()
+	var out []*arrow.RecordBatch
+	for {
+		b, err := s.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+}
+
+func countRows(bs []*arrow.RecordBatch) int {
+	n := 0
+	for _, b := range bs {
+		n += b.NumRows()
+	}
+	return n
+}
+
+func TestMemoryCatalogAndSchema(t *testing.T) {
+	c := NewMemoryCatalog()
+	sp, ok := c.SchemaByName("PUBLIC")
+	if !ok {
+		t.Fatal("public schema missing")
+	}
+	ms := sp.(*MemorySchema)
+	schema := arrow.NewSchema(arrow.NewField("x", arrow.Int64, false))
+	mt, _ := NewMemTable(schema, nil)
+	ms.Register("T1", mt)
+	if _, ok := ms.Table("t1"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if len(ms.TableNames()) != 1 {
+		t.Fatal("table names wrong")
+	}
+	ms.Deregister("t1")
+	if _, ok := ms.Table("t1"); ok {
+		t.Fatal("deregister failed")
+	}
+	c.RegisterSchema("extra", NewMemorySchema())
+	if len(c.SchemaNames()) != 2 {
+		t.Fatal("schema names wrong")
+	}
+}
+
+func TestMemTableScanPushdown(t *testing.T) {
+	schema := arrow.NewSchema(
+		arrow.NewField("a", arrow.Int64, false),
+		arrow.NewField("b", arrow.String, false),
+	)
+	mk := func(vals ...int64) *arrow.RecordBatch {
+		sb := arrow.NewStringBuilder(arrow.String)
+		for range vals {
+			sb.Append("x")
+		}
+		return arrow.NewRecordBatch(schema, []arrow.Array{arrow.NewInt64(vals), sb.Finish()})
+	}
+	mt, err := NewMemTable(schema, [][]*arrow.RecordBatch{
+		{mk(1, 2, 3)}, {mk(4, 5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Statistics().NumRows != 5 {
+		t.Fatal("stats wrong")
+	}
+	res, err := mt.Scan(ScanRequest{Projection: []int{0}, Limit: 2, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions != 2 || res.Schema.NumFields() != 1 {
+		t.Fatal("scan shape wrong")
+	}
+	total := 0
+	for p := 0; p < res.Partitions; p++ {
+		s, err := res.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += countRows(drain(t, s))
+	}
+	// Limit applies per partition on MemTable (2 per partition max).
+	if total > 4 {
+		t.Fatalf("limit not applied: %d", total)
+	}
+	// Limit must NOT apply under unpushed filters.
+	res2, _ := mt.Scan(ScanRequest{Limit: 1, Partitions: 1,
+		Filters: []logical.Expr{logical.Eq(logical.Col("a"), logical.Lit(5))}})
+	s, _ := res2.Open(0)
+	if countRows(drain(t, s)) != 3 {
+		t.Fatal("limit must be ignored with unapplied filters")
+	}
+	if res2.ExactFilters[0] {
+		t.Fatal("MemTable does not apply filters")
+	}
+}
+
+func writeGPQ(t *testing.T, dir string, n int) string {
+	t.Helper()
+	schema := arrow.NewSchema(
+		arrow.NewField("id", arrow.Int64, false),
+		arrow.NewField("name", arrow.String, false),
+	)
+	ib := arrow.NewNumericBuilder[int64](arrow.Int64)
+	sb := arrow.NewStringBuilder(arrow.String)
+	for i := 0; i < n; i++ {
+		ib.Append(int64(i))
+		sb.Append("n")
+	}
+	path := filepath.Join(dir, "data.gpq")
+	err := parquet.WriteFile(path, schema,
+		[]*arrow.RecordBatch{arrow.NewRecordBatch(schema, []arrow.Array{ib.Finish(), sb.Finish()})},
+		parquet.WriterOptions{RowGroupRows: 100, PageRows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGPQTableFilterPushdownExactness(t *testing.T) {
+	dir := t.TempDir()
+	path := writeGPQ(t, dir, 1000)
+	tbl, err := NewGPQTable([]string{path}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Statistics().NumRows != 1000 {
+		t.Fatal("stats rows wrong")
+	}
+	// A compilable filter is exact and rows come back filtered.
+	res, err := tbl.Scan(ScanRequest{
+		Filters: []logical.Expr{
+			&logical.BinaryExpr{Op: logical.OpLt, L: logical.Col("id"), R: logical.Lit(int64(10))},
+		},
+		Limit:      -1,
+		Partitions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ExactFilters[0] {
+		t.Fatal("comparison filter should be exact")
+	}
+	s, _ := res.Open(0)
+	if countRows(drain(t, s)) != 10 {
+		t.Fatal("pushdown rows wrong")
+	}
+	// An uncompilable filter is inexact and ignored by the provider.
+	res2, err := tbl.Scan(ScanRequest{
+		Filters: []logical.Expr{
+			&logical.ScalarFunc{Name: "weird", Args: []logical.Expr{logical.Col("name")}},
+		},
+		Limit:      -1,
+		Partitions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ExactFilters[0] {
+		t.Fatal("function filter cannot be exact")
+	}
+}
+
+func TestGPQFilePruning(t *testing.T) {
+	// Two files with disjoint id ranges: a filter on one range must prune
+	// the other file at plan time.
+	dir := t.TempDir()
+	schema := arrow.NewSchema(arrow.NewField("id", arrow.Int64, false))
+	write := func(name string, lo, hi int64) string {
+		b := arrow.NewNumericBuilder[int64](arrow.Int64)
+		for v := lo; v < hi; v++ {
+			b.Append(v)
+		}
+		p := filepath.Join(dir, name)
+		if err := parquet.WriteFile(p, schema,
+			[]*arrow.RecordBatch{arrow.NewRecordBatch(schema, []arrow.Array{b.Finish()})},
+			parquet.DefaultWriterOptions()); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	f1 := write("low.gpq", 0, 100)
+	f2 := write("high.gpq", 1000, 1100)
+	tbl, err := NewGPQTable([]string{f1, f2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Scan(ScanRequest{
+		Filters:    []logical.Expr{&logical.BinaryExpr{Op: logical.OpGt, L: logical.Col("id"), R: logical.Lit(int64(1050))}},
+		Limit:      -1,
+		Partitions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one file survives pruning, so only one partition.
+	if res.Partitions != 1 {
+		t.Fatalf("partitions = %d, want 1 after file pruning", res.Partitions)
+	}
+	s, _ := res.Open(0)
+	if countRows(drain(t, s)) != 49 {
+		t.Fatal("rows wrong after pruning")
+	}
+}
+
+func TestGPQSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	f1 := writeGPQ(t, dir, 10)
+	other := filepath.Join(dir, "other.gpq")
+	schema := arrow.NewSchema(arrow.NewField("different", arrow.Float64, false))
+	if err := parquet.WriteFile(other, schema,
+		[]*arrow.RecordBatch{arrow.NewRecordBatch(schema, []arrow.Array{arrow.NewFloat64([]float64{1})})},
+		parquet.DefaultWriterOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGPQTable([]string{f1, other}, nil); err == nil {
+		t.Fatal("mixed schemas must be rejected")
+	}
+}
+
+func TestListingTable(t *testing.T) {
+	dir := t.TempDir()
+	writeGPQ(t, dir, 50)
+	cache := memory.NewCacheManager(8, 8)
+	tbl, err := ListingTable(dir, "gpq", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Statistics().NumRows != 50 {
+		t.Fatal("listing stats wrong")
+	}
+	// Second listing hits the cache.
+	if _, err := ListingTable(dir, "gpq", cache); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := cache.Listings().Stats()
+	if hits == 0 {
+		t.Fatal("listing cache unused")
+	}
+	if _, err := ListingTable(dir, "csv", cache); err == nil {
+		t.Fatal("no csv files should error")
+	}
+}
+
+func TestCSVTableProjection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(path, []byte("a,b\n1,x\n2,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewCSVTable(path, nil, csvio.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Scan(ScanRequest{Projection: []int{1}, Limit: -1, Partitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := res.Open(0)
+	batches := drain(t, s)
+	if countRows(batches) != 2 || batches[0].NumCols() != 1 {
+		t.Fatal("csv projection wrong")
+	}
+	if batches[0].Column(0).(*arrow.StringArray).Value(1) != "y" {
+		t.Fatal("csv values wrong")
+	}
+}
+
+func TestJSONTable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.json")
+	if err := os.WriteFile(path, []byte("{\"a\": 1}\n{\"a\": 2}\n{\"a\": 3}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewJSONTable(path, nil, jsonio.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Scan(ScanRequest{Limit: 2, Partitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := res.Open(0)
+	if countRows(drain(t, s)) != 2 {
+		t.Fatal("json limit wrong")
+	}
+}
+
+func TestCompiledPredicateAtoms(t *testing.T) {
+	schema := arrow.NewSchema(
+		arrow.NewField("n", arrow.Int64, true),
+		arrow.NewField("s", arrow.String, true),
+	)
+	filters := []logical.Expr{
+		&logical.BinaryExpr{Op: logical.OpGtEq, L: logical.Col("n"), R: logical.Lit(int64(5))},
+		&logical.Like{E: logical.Col("s"), Pattern: logical.Lit("ab%")},
+		&logical.InList{E: logical.Col("n"), List: []logical.Expr{logical.Lit(int64(5)), logical.Lit(int64(7))}},
+		&logical.IsNull{E: logical.Col("s"), Negated: true},
+	}
+	pred, exact := CompileFilters(filters, schema)
+	for i, e := range exact {
+		if !e {
+			t.Fatalf("filter %d should compile", i)
+		}
+	}
+	// Row-level evaluation.
+	nb := arrow.NewNumericBuilder[int64](arrow.Int64)
+	sb := arrow.NewStringBuilder(arrow.String)
+	for _, v := range []int64{5, 7, 9} {
+		nb.Append(v)
+	}
+	sb.Append("abc")
+	sb.Append("zzz")
+	sb.AppendNull()
+	mask, err := pred.Evaluate(map[int]arrow.Array{0: nb.Finish(), 1: sb.Finish()}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: n=5 in-list, >=5, s=abc like ab%, not null -> true.
+	if !mask.Value(0) {
+		t.Fatal("row 0 should pass")
+	}
+	// Row 1: like fails.
+	if mask.IsValid(1) && mask.Value(1) {
+		t.Fatal("row 1 should fail")
+	}
+	// Stats pruning: n in (5,7) prunes containers above 7.
+	keep := pred.KeepColumnStats(0, parquet.ColumnStats{
+		Min: arrow.Int64Scalar(100), Max: arrow.Int64Scalar(200), HasMinMax: true, NumRows: 10})
+	if keep {
+		t.Fatal("stats should prune")
+	}
+	// LIKE prefix pruning on strings.
+	keepS := pred.KeepColumnStats(1, parquet.ColumnStats{
+		Min: arrow.StringScalar("x"), Max: arrow.StringScalar("z"), HasMinMax: true, NumRows: 10})
+	if keepS {
+		t.Fatal("like prefix should prune [x,z]")
+	}
+	// Equality probes only come from = atoms (none here).
+	if len(pred.EqProbes()) != 0 {
+		t.Fatal("no eq probes expected")
+	}
+}

@@ -1,0 +1,475 @@
+package catalog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/csvio"
+	"gofusion/internal/jsonio"
+	"gofusion/internal/logical"
+	"gofusion/internal/memory"
+	"gofusion/internal/parquet"
+)
+
+// GPQTable is a TableProvider over one or more GPQ files, with projection,
+// predicate and limit pushdown, file-level pruning, and partitioned reads.
+type GPQTable struct {
+	files  []string
+	schema *arrow.Schema
+	stats  Statistics
+	order  []OrderedCol
+	cache  *memory.CacheManager
+}
+
+// NewGPQTable opens a GPQ-backed table. All files must share a schema.
+// cache may be nil.
+func NewGPQTable(files []string, cache *memory.CacheManager) (*GPQTable, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("catalog: GPQ table needs at least one file")
+	}
+	t := &GPQTable{files: files, cache: cache, stats: Statistics{}}
+	for i, f := range files {
+		meta, err := t.metadata(f)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			t.schema = meta.Schema
+			if so, ok := meta.KV["sort_order"]; ok {
+				t.order = parseSortOrder(so)
+			}
+		} else if !meta.Schema.Equal(t.schema) {
+			return nil, fmt.Errorf("catalog: %s schema differs from %s", f, files[0])
+		}
+		t.stats.NumRows += meta.NumRows
+		if st, err := os.Stat(f); err == nil {
+			t.stats.TotalBytes += st.Size()
+		}
+	}
+	return t, nil
+}
+
+func parseSortOrder(s string) []OrderedCol {
+	var out []OrderedCol
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) == 0 {
+			continue
+		}
+		out = append(out, OrderedCol{
+			Name: fields[0],
+			Desc: len(fields) > 1 && strings.EqualFold(fields[1], "DESC"),
+		})
+	}
+	return out
+}
+
+// metadata reads (and caches) a file's footer.
+func (t *GPQTable) metadata(path string) (*parquet.FileMetadata, error) {
+	load := func() (any, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		return parquet.ReadMetadata(f, st.Size())
+	}
+	if t.cache != nil {
+		v, err := t.cache.FileMeta().GetOrLoad(path, load)
+		if err != nil {
+			return nil, err
+		}
+		return v.(*parquet.FileMetadata), nil
+	}
+	v, err := load()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*parquet.FileMetadata), nil
+}
+
+// Schema returns the table schema.
+func (t *GPQTable) Schema() *arrow.Schema { return t.schema }
+
+// Statistics returns exact row counts from file footers.
+func (t *GPQTable) Statistics() Statistics { return t.stats }
+
+// Scan prepares a pushed-down partitioned scan. Files whose footer
+// statistics refute the predicate are eliminated at plan time.
+func (t *GPQTable) Scan(req ScanRequest) (*ScanResult, error) {
+	pred, exact := CompileFilters(req.Filters, t.schema)
+	allExact := true
+	for _, e := range exact {
+		if !e {
+			allExact = false
+		}
+	}
+	limit := req.Limit
+	if !allExact {
+		limit = -1
+	}
+
+	// Plan-time file pruning using footer-aggregated statistics.
+	files := t.files
+	if pred != nil {
+		kept := make([]string, 0, len(files))
+		for _, f := range files {
+			meta, err := t.metadata(f)
+			if err != nil {
+				return nil, err
+			}
+			keep := true
+			for _, col := range pred.Columns() {
+				if !pred.KeepColumnStats(col, fileColumnStats(meta, col)) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				kept = append(kept, f)
+			}
+		}
+		files = kept
+	}
+
+	numParts := req.Partitions
+	if numParts <= 0 {
+		numParts = 1
+	}
+	if numParts > len(files) {
+		numParts = len(files)
+	}
+	if numParts == 0 {
+		numParts = 1
+	}
+	outSchema := t.schema
+	if req.Projection != nil {
+		outSchema = t.schema.Select(req.Projection)
+	}
+	order := t.order
+	if len(files) > 1 {
+		// Multiple files per partition interleave; order only survives a
+		// single file per partition.
+		order = nil
+	}
+	return &ScanResult{
+		Schema:       outSchema,
+		Partitions:   numParts,
+		ExactFilters: exact,
+		SortOrder:    order,
+		Open: func(p int) (Stream, error) {
+			var mine []string
+			for i := p; i < len(files); i += numParts {
+				mine = append(mine, files[i])
+			}
+			return &gpqStream{
+				files:  mine,
+				schema: outSchema,
+				opts: parquet.ScanOptions{
+					Projection: req.Projection,
+					Predicate:  pred,
+					Limit:      limit,
+					BatchRows:  req.BatchRows,
+				},
+			}, nil
+		},
+	}, nil
+}
+
+func fileColumnStats(meta *parquet.FileMetadata, col int) parquet.ColumnStats {
+	return meta.ColumnStatsForFile(col)
+}
+
+// gpqStream reads a list of GPQ files sequentially.
+type gpqStream struct {
+	files   []string
+	schema  *arrow.Schema
+	opts    parquet.ScanOptions
+	reader  *parquet.FileReader
+	scanner *parquet.Scanner
+	taken   int64
+}
+
+func (s *gpqStream) Schema() *arrow.Schema { return s.schema }
+
+func (s *gpqStream) Next() (*arrow.RecordBatch, error) {
+	for {
+		if s.scanner == nil {
+			if len(s.files) == 0 {
+				return nil, io.EOF
+			}
+			if s.opts.Limit >= 0 && s.taken >= s.opts.Limit {
+				return nil, io.EOF
+			}
+			fr, err := parquet.OpenFile(s.files[0])
+			if err != nil {
+				return nil, err
+			}
+			s.files = s.files[1:]
+			opts := s.opts
+			if opts.Limit >= 0 {
+				opts.Limit -= s.taken
+			}
+			sc, err := fr.Scan(opts)
+			if err != nil {
+				fr.Close()
+				return nil, err
+			}
+			s.reader, s.scanner = fr, sc
+		}
+		b, err := s.scanner.Next()
+		if err == io.EOF {
+			s.reader.Close()
+			s.reader, s.scanner = nil, nil
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.taken += int64(b.NumRows())
+		return b, nil
+	}
+}
+
+func (s *gpqStream) Close() {
+	if s.reader != nil {
+		s.reader.Close()
+		s.reader, s.scanner = nil, nil
+	}
+}
+
+// CSVTable is a TableProvider over a CSV file with projection pushdown.
+type CSVTable struct {
+	path   string
+	schema *arrow.Schema
+	opts   csvio.Options
+}
+
+// NewCSVTable opens a CSV-backed table, inferring the schema when schema
+// is nil.
+func NewCSVTable(path string, schema *arrow.Schema, opts csvio.Options) (*CSVTable, error) {
+	if schema == nil {
+		inferred, err := csvio.InferSchema(path, opts)
+		if err != nil {
+			return nil, err
+		}
+		schema = inferred
+	}
+	return &CSVTable{path: path, schema: schema, opts: opts}, nil
+}
+
+// Schema returns the table schema.
+func (t *CSVTable) Schema() *arrow.Schema { return t.schema }
+
+// Statistics returns the file size only; row counts require a full parse.
+func (t *CSVTable) Statistics() Statistics {
+	st := UnknownStats()
+	if fi, err := os.Stat(t.path); err == nil {
+		st.TotalBytes = fi.Size()
+	}
+	return st
+}
+
+// Scan reads the file in one partition with projection pushdown.
+func (t *CSVTable) Scan(req ScanRequest) (*ScanResult, error) {
+	outSchema := t.schema
+	if req.Projection != nil {
+		outSchema = t.schema.Select(req.Projection)
+	}
+	limit := req.Limit
+	if len(req.Filters) > 0 {
+		limit = -1
+	}
+	return &ScanResult{
+		Schema:       outSchema,
+		Partitions:   1,
+		ExactFilters: make([]bool, len(req.Filters)),
+		Open: func(int) (Stream, error) {
+			opts := t.opts
+			if req.BatchRows > 0 {
+				opts.BatchRows = req.BatchRows
+			}
+			r, err := csvio.NewReader(t.path, t.schema, req.Projection, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &limitStream{inner: &csvStream{r: r}, remaining: limit}, nil
+		},
+	}, nil
+}
+
+type csvStream struct{ r *csvio.Reader }
+
+func (s *csvStream) Schema() *arrow.Schema             { return s.r.Schema() }
+func (s *csvStream) Next() (*arrow.RecordBatch, error) { return s.r.Next() }
+func (s *csvStream) Close()                            { s.r.Close() }
+
+// JSONTable is a TableProvider over an NDJSON file.
+type JSONTable struct {
+	path   string
+	schema *arrow.Schema
+	opts   jsonio.Options
+}
+
+// NewJSONTable opens an NDJSON-backed table, inferring the schema when
+// schema is nil.
+func NewJSONTable(path string, schema *arrow.Schema, opts jsonio.Options) (*JSONTable, error) {
+	if schema == nil {
+		inferred, err := jsonio.InferSchema(path, opts)
+		if err != nil {
+			return nil, err
+		}
+		schema = inferred
+	}
+	return &JSONTable{path: path, schema: schema, opts: opts}, nil
+}
+
+// Schema returns the table schema.
+func (t *JSONTable) Schema() *arrow.Schema { return t.schema }
+
+// Statistics returns the file size only.
+func (t *JSONTable) Statistics() Statistics {
+	st := UnknownStats()
+	if fi, err := os.Stat(t.path); err == nil {
+		st.TotalBytes = fi.Size()
+	}
+	return st
+}
+
+// Scan reads the file in one partition; projection is applied after
+// decoding.
+func (t *JSONTable) Scan(req ScanRequest) (*ScanResult, error) {
+	outSchema := t.schema
+	if req.Projection != nil {
+		outSchema = t.schema.Select(req.Projection)
+	}
+	limit := req.Limit
+	if len(req.Filters) > 0 {
+		limit = -1
+	}
+	return &ScanResult{
+		Schema:       outSchema,
+		Partitions:   1,
+		ExactFilters: make([]bool, len(req.Filters)),
+		Open: func(int) (Stream, error) {
+			opts := t.opts
+			if req.BatchRows > 0 {
+				opts.BatchRows = req.BatchRows
+			}
+			r, err := jsonio.NewReader(t.path, t.schema, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &limitStream{
+				inner:     &jsonStream{r: r, projection: req.Projection, schema: outSchema},
+				remaining: limit,
+			}, nil
+		},
+	}, nil
+}
+
+type jsonStream struct {
+	r          *jsonio.Reader
+	projection []int
+	schema     *arrow.Schema
+}
+
+func (s *jsonStream) Schema() *arrow.Schema { return s.schema }
+func (s *jsonStream) Close()                { s.r.Close() }
+func (s *jsonStream) Next() (*arrow.RecordBatch, error) {
+	b, err := s.r.Next()
+	if err != nil {
+		return nil, err
+	}
+	if s.projection != nil {
+		b = b.Project(s.projection)
+	}
+	return b, nil
+}
+
+// limitStream truncates an inner stream after n rows (n < 0 disables).
+type limitStream struct {
+	inner     Stream
+	remaining int64
+}
+
+func (s *limitStream) Schema() *arrow.Schema { return s.inner.Schema() }
+func (s *limitStream) Close()                { s.inner.Close() }
+func (s *limitStream) Next() (*arrow.RecordBatch, error) {
+	if s.remaining == 0 {
+		return nil, io.EOF
+	}
+	b, err := s.inner.Next()
+	if err != nil {
+		return nil, err
+	}
+	if s.remaining < 0 {
+		return b, nil
+	}
+	if int64(b.NumRows()) > s.remaining {
+		b = b.Slice(0, int(s.remaining))
+	}
+	s.remaining -= int64(b.NumRows())
+	return b, nil
+}
+
+// ListingTable builds a TableProvider from a directory of data files of
+// one format ("gpq", "csv", "json"), in the style of Hive-partitioned
+// listings. Files are discovered recursively and sorted for determinism.
+func ListingTable(dir, format string, cache *memory.CacheManager) (TableProvider, error) {
+	ext := "." + format
+	var files []string
+	listKey := dir + "|" + format
+	if cache != nil {
+		if cached, ok := cache.Listings().Get(listKey); ok {
+			files = cached
+		}
+	}
+	if files == nil {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(strings.ToLower(d.Name()), ext) {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(files)
+		if cache != nil {
+			cache.Listings().Put(listKey, files)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("catalog: no %s files under %s", format, dir)
+	}
+	switch format {
+	case "gpq":
+		return NewGPQTable(files, cache)
+	case "csv":
+		if len(files) == 1 {
+			return NewCSVTable(files[0], nil, csvio.DefaultOptions())
+		}
+		return nil, fmt.Errorf("catalog: multi-file CSV listings are not supported")
+	case "json":
+		if len(files) == 1 {
+			return NewJSONTable(files[0], nil, jsonio.Options{})
+		}
+		return nil, fmt.Errorf("catalog: multi-file JSON listings are not supported")
+	}
+	return nil, fmt.Errorf("catalog: unknown format %q", format)
+}
+
+var _ logical.TableSource = (TableProvider)(nil)

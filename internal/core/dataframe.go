@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/arrow/compute"
+	"gofusion/internal/exec"
+	"gofusion/internal/logical"
+)
+
+// DataFrame is a lazy query: a logical plan plus the session that will
+// optimize and run it (paper Section 5.3.3, modeled after pandas). All
+// transformation methods return new frames; execution happens at Collect.
+type DataFrame struct {
+	session *SessionContext
+	plan    logical.Plan
+	err     error
+}
+
+// LogicalPlan returns the frame's (unoptimized) logical plan.
+func (df *DataFrame) LogicalPlan() logical.Plan { return df.plan }
+
+// Err returns the first deferred construction error.
+func (df *DataFrame) Err() error { return df.err }
+
+// Schema returns the output schema.
+func (df *DataFrame) Schema() *logical.Schema {
+	if df.plan == nil {
+		return logical.NewSchema()
+	}
+	return df.plan.Schema()
+}
+
+func (df *DataFrame) derive(plan logical.Plan, err error) *DataFrame {
+	if df.err != nil {
+		return df
+	}
+	if err != nil {
+		return &DataFrame{session: df.session, err: err}
+	}
+	return &DataFrame{session: df.session, plan: plan}
+}
+
+// Select projects expressions (strings are parsed as column names).
+func (df *DataFrame) Select(exprs ...logical.Expr) *DataFrame {
+	if df.err != nil {
+		return df
+	}
+	p, err := logical.NewProjection(df.plan, exprs, df.session.reg)
+	return df.derive(p, err)
+}
+
+// SelectColumns projects named columns.
+func (df *DataFrame) SelectColumns(names ...string) *DataFrame {
+	exprs := make([]logical.Expr, len(names))
+	for i, n := range names {
+		exprs[i] = logical.Col(n)
+	}
+	return df.Select(exprs...)
+}
+
+// Filter keeps rows matching the predicate.
+func (df *DataFrame) Filter(pred logical.Expr) *DataFrame {
+	if df.err != nil {
+		return df
+	}
+	return df.derive(&logical.Filter{Input: df.plan, Predicate: pred}, nil)
+}
+
+// Aggregate groups and aggregates.
+func (df *DataFrame) Aggregate(groups []logical.Expr, aggs []logical.Expr) *DataFrame {
+	if df.err != nil {
+		return df
+	}
+	p, err := logical.NewAggregate(df.plan, groups, aggs, df.session.reg)
+	return df.derive(p, err)
+}
+
+// Sort orders the output.
+func (df *DataFrame) Sort(keys ...logical.SortExpr) *DataFrame {
+	if df.err != nil {
+		return df
+	}
+	return df.derive(&logical.Sort{Input: df.plan, Keys: keys, Fetch: -1}, nil)
+}
+
+// Limit applies skip/fetch.
+func (df *DataFrame) Limit(skip, fetch int64) *DataFrame {
+	if df.err != nil {
+		return df
+	}
+	return df.derive(&logical.Limit{Input: df.plan, Skip: skip, Fetch: fetch}, nil)
+}
+
+// Join joins with another frame.
+func (df *DataFrame) Join(right *DataFrame, jt logical.JoinType, on []logical.EquiPair, filter logical.Expr) *DataFrame {
+	if df.err != nil {
+		return df
+	}
+	if right.err != nil {
+		return right
+	}
+	return df.derive(logical.NewJoin(df.plan, right.plan, jt, on, filter), nil)
+}
+
+// Union appends another frame's rows.
+func (df *DataFrame) Union(other *DataFrame, all bool) *DataFrame {
+	if df.err != nil {
+		return df
+	}
+	if other.err != nil {
+		return other
+	}
+	plan, err := logical.FromPlan(df.plan, df.session.reg).Union(other.plan, all).Build()
+	return df.derive(plan, err)
+}
+
+// Distinct removes duplicate rows.
+func (df *DataFrame) Distinct() *DataFrame {
+	if df.err != nil {
+		return df
+	}
+	return df.derive(&logical.Distinct{Input: df.plan}, nil)
+}
+
+// Window appends window expressions.
+func (df *DataFrame) Window(exprs ...logical.Expr) *DataFrame {
+	if df.err != nil {
+		return df
+	}
+	p, err := logical.NewWindow(df.plan, exprs, df.session.reg)
+	return df.derive(p, err)
+}
+
+// Alias renames the frame's relation.
+func (df *DataFrame) Alias(name string) *DataFrame {
+	if df.err != nil {
+		return df
+	}
+	return df.derive(logical.NewSubqueryAlias(df.plan, name), nil)
+}
+
+// Collect executes the frame and returns all batches.
+func (df *DataFrame) Collect() ([]*arrow.RecordBatch, error) {
+	if df.err != nil {
+		return nil, df.err
+	}
+	pp, err := df.session.CreatePhysicalPlan(df.plan)
+	if err != nil {
+		return nil, err
+	}
+	return df.session.ExecutePlan(pp)
+}
+
+// CollectBatch executes and concatenates the result into a single batch.
+func (df *DataFrame) CollectBatch() (*arrow.RecordBatch, error) {
+	batches, err := df.Collect()
+	if err != nil {
+		return nil, err
+	}
+	return compute.ConcatBatches(df.Schema().ToArrow(), batches)
+}
+
+// Count executes and returns the output row count.
+func (df *DataFrame) Count() (int64, error) {
+	batches, err := df.Collect()
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, b := range batches {
+		n += int64(b.NumRows())
+	}
+	return n, nil
+}
+
+// Explain renders logical, optimized, and physical plans.
+func (df *DataFrame) Explain() (string, error) {
+	if df.err != nil {
+		return "", df.err
+	}
+	var sb strings.Builder
+	sb.WriteString("== Logical Plan ==\n")
+	sb.WriteString(logical.Explain(df.plan))
+	optimized, err := df.session.OptimizePlan(df.plan)
+	if err != nil {
+		return "", fmt.Errorf("optimizing: %w", err)
+	}
+	sb.WriteString("== Optimized Plan ==\n")
+	sb.WriteString(logical.Explain(optimized))
+	pp, err := df.session.CreatePhysicalPlan(df.plan)
+	if err != nil {
+		return "", fmt.Errorf("physical planning: %w", err)
+	}
+	sb.WriteString("== Physical Plan ==\n")
+	sb.WriteString(exec.ExplainPhysical(pp))
+	return sb.String(), nil
+}
+
+// Show writes a formatted table of results (up to maxRows) to w.
+func (df *DataFrame) Show(w io.Writer, maxRows int) error {
+	batch, err := df.CollectBatch()
+	if err != nil {
+		return err
+	}
+	return FormatBatch(w, batch, maxRows)
+}
+
+// FormatBatch renders a record batch as an aligned text table.
+func FormatBatch(w io.Writer, batch *arrow.RecordBatch, maxRows int) error {
+	if maxRows <= 0 || maxRows > batch.NumRows() {
+		maxRows = batch.NumRows()
+	}
+	ncols := batch.NumCols()
+	headers := make([]string, ncols)
+	widths := make([]int, ncols)
+	for c := 0; c < ncols; c++ {
+		headers[c] = batch.Schema().Field(c).Name
+		widths[c] = len(headers[c])
+	}
+	cells := make([][]string, maxRows)
+	for r := 0; r < maxRows; r++ {
+		cells[r] = make([]string, ncols)
+		for c := 0; c < ncols; c++ {
+			v := "NULL"
+			if batch.Column(c).IsValid(r) {
+				v = compute.ScalarToDisplay(batch.Column(c).GetScalar(r))
+			}
+			cells[r][c] = v
+			if len(v) > widths[c] {
+				widths[c] = len(v)
+			}
+		}
+	}
+	line := func(parts []string) string {
+		out := make([]string, ncols)
+		for c, p := range parts {
+			out[c] = fmt.Sprintf("%-*s", widths[c], p)
+		}
+		return "| " + strings.Join(out, " | ") + " |"
+	}
+	sep := make([]string, ncols)
+	for c := range sep {
+		sep[c] = strings.Repeat("-", widths[c])
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for r := 0; r < maxRows; r++ {
+		if _, err := fmt.Fprintln(w, line(cells[r])); err != nil {
+			return err
+		}
+	}
+	if maxRows < batch.NumRows() {
+		fmt.Fprintf(w, "... %d more rows\n", batch.NumRows()-maxRows)
+	}
+	return nil
+}

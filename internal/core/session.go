@@ -1,0 +1,330 @@
+// Package core is the engine's public facade (the paper's SessionContext
+// and DataFrame APIs, Sections 5.1 and 5.3.3): it wires the catalog,
+// function registry, SQL front end, optimizer, physical planner, and
+// execution engine together, and exposes every extension point (UDFs,
+// custom TableProviders, optimizer rules, extension operators, memory
+// pools) to embedding systems.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/catalog"
+	"gofusion/internal/csvio"
+	"gofusion/internal/exec"
+	"gofusion/internal/functions"
+	"gofusion/internal/jsonio"
+	"gofusion/internal/logical"
+	"gofusion/internal/memory"
+	"gofusion/internal/optimizer"
+	"gofusion/internal/physical"
+	"gofusion/internal/planner"
+	"gofusion/internal/sql"
+)
+
+// SessionConfig tunes a session (the paper's target_partitions, batch
+// size, memory limits and spill settings).
+type SessionConfig struct {
+	// TargetPartitions is the planned parallelism; 0 means 1.
+	TargetPartitions int
+	// BatchRows is the engine batch size (default 8192, Section 5.5.1).
+	BatchRows int
+	// MemoryLimit bounds tracked operator memory in bytes; 0 = unlimited.
+	MemoryLimit int64
+	// FairPool divides MemoryLimit evenly among pipeline-breaking
+	// operators instead of first-come-first-served.
+	FairPool bool
+	// SpillDir hosts spill files; empty uses the OS temp dir.
+	SpillDir string
+	// DisableSpill turns off spilling (queries fail on memory pressure).
+	DisableSpill bool
+	// DisableOptimizer skips logical optimization (for tests/ablations).
+	DisableOptimizer bool
+	// PreferHashJoin disables merge join selection.
+	PreferHashJoin bool
+}
+
+// DefaultConfig returns the recommended session configuration.
+func DefaultConfig() SessionConfig {
+	return SessionConfig{TargetPartitions: 1, BatchRows: 8192}
+}
+
+// SessionContext is the entry point for embedding the engine.
+type SessionContext struct {
+	cfg         SessionConfig
+	catalog     *catalog.MemoryCatalog
+	reg         *functions.Registry
+	cache       *memory.CacheManager
+	opt         *optimizer.Optimizer
+	extPlanners []exec.ExtensionPlanner
+}
+
+// NewSession creates a session with the built-in catalog and functions.
+func NewSession(cfg SessionConfig) *SessionContext {
+	if cfg.TargetPartitions <= 0 {
+		cfg.TargetPartitions = 1
+	}
+	if cfg.BatchRows <= 0 {
+		cfg.BatchRows = 8192
+	}
+	reg := functions.NewRegistry()
+	return &SessionContext{
+		cfg:     cfg,
+		catalog: catalog.NewMemoryCatalog(),
+		reg:     reg,
+		cache:   memory.NewCacheManager(1024, 4096),
+		opt:     optimizer.New(reg),
+	}
+}
+
+// Config returns the session configuration.
+func (s *SessionContext) Config() SessionConfig { return s.cfg }
+
+// WithConfig returns a session sharing catalogs and functions but with a
+// different runtime configuration.
+func (s *SessionContext) WithConfig(cfg SessionConfig) *SessionContext {
+	if cfg.TargetPartitions <= 0 {
+		cfg.TargetPartitions = 1
+	}
+	if cfg.BatchRows <= 0 {
+		cfg.BatchRows = 8192
+	}
+	out := *s
+	out.cfg = cfg
+	return &out
+}
+
+// Registry exposes the function registry for UDF/UDAF/UDWF registration
+// (paper Section 7.1).
+func (s *SessionContext) Registry() *functions.Registry { return s.reg }
+
+// Catalog exposes the session catalog (paper Section 7.2).
+func (s *SessionContext) Catalog() *catalog.MemoryCatalog { return s.catalog }
+
+// CacheManager exposes the metadata caches (paper Section 7.4).
+func (s *SessionContext) CacheManager() *memory.CacheManager { return s.cache }
+
+// WithOptimizerRule registers a custom logical optimizer rule to run
+// BEFORE the built-in pipeline (macro expansions must precede filter
+// pushdown); use WithOptimizerRuleLast for post-passes (paper Section
+// 7.6: users control rewrite order).
+func (s *SessionContext) WithOptimizerRule(r optimizer.Rule) *SessionContext {
+	s.opt.WithRuleFirst(r)
+	return s
+}
+
+// WithOptimizerRuleLast registers a custom rule after the built-ins.
+func (s *SessionContext) WithOptimizerRuleLast(r optimizer.Rule) *SessionContext {
+	s.opt.WithRule(r)
+	return s
+}
+
+// WithExtensionPlanner registers a physical planner for user-defined
+// logical operators (paper Section 7.7).
+func (s *SessionContext) WithExtensionPlanner(p exec.ExtensionPlanner) *SessionContext {
+	s.extPlanners = append(s.extPlanners, p)
+	return s
+}
+
+func (s *SessionContext) publicSchema() *catalog.MemorySchema {
+	sp, _ := s.catalog.SchemaByName("public")
+	return sp.(*catalog.MemorySchema)
+}
+
+// RegisterTable registers any TableProvider under a name.
+func (s *SessionContext) RegisterTable(name string, t catalog.TableProvider) {
+	s.publicSchema().Register(name, t)
+}
+
+// DeregisterTable removes a table.
+func (s *SessionContext) DeregisterTable(name string) {
+	s.publicSchema().Deregister(name)
+}
+
+// RegisterBatches registers an in-memory table from record batches.
+func (s *SessionContext) RegisterBatches(name string, schema *arrow.Schema, batches []*arrow.RecordBatch) error {
+	mt, err := catalog.NewMemTable(schema, [][]*arrow.RecordBatch{batches})
+	if err != nil {
+		return err
+	}
+	s.RegisterTable(name, mt)
+	return nil
+}
+
+// RegisterGPQ registers a GPQ-file-backed table (one or more files).
+func (s *SessionContext) RegisterGPQ(name string, files ...string) error {
+	t, err := catalog.NewGPQTable(files, s.cache)
+	if err != nil {
+		return err
+	}
+	s.RegisterTable(name, t)
+	return nil
+}
+
+// RegisterGPQDir registers all GPQ files under a directory as one table.
+func (s *SessionContext) RegisterGPQDir(name, dir string) error {
+	t, err := catalog.ListingTable(dir, "gpq", s.cache)
+	if err != nil {
+		return err
+	}
+	s.RegisterTable(name, t)
+	return nil
+}
+
+// RegisterCSV registers a CSV-backed table with schema inference.
+func (s *SessionContext) RegisterCSV(name, path string, opts csvio.Options) error {
+	t, err := catalog.NewCSVTable(path, nil, opts)
+	if err != nil {
+		return err
+	}
+	s.RegisterTable(name, t)
+	return nil
+}
+
+// RegisterJSON registers an NDJSON-backed table with schema inference.
+func (s *SessionContext) RegisterJSON(name, path string) error {
+	t, err := catalog.NewJSONTable(path, nil, jsonio.Options{})
+	if err != nil {
+		return err
+	}
+	s.RegisterTable(name, t)
+	return nil
+}
+
+// resolveTable implements the planner's table resolver against the
+// session catalog, supporting "table" and "schema.table".
+func (s *SessionContext) resolveTable(name string) (logical.TableSource, error) {
+	schemaName, tableName := "public", name
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		schemaName, tableName = name[:i], name[i+1:]
+	}
+	sp, ok := s.catalog.SchemaByName(schemaName)
+	if !ok {
+		return nil, fmt.Errorf("core: schema %q not found", schemaName)
+	}
+	t, ok := sp.Table(tableName)
+	if !ok {
+		return nil, fmt.Errorf("core: table %q not found", name)
+	}
+	return t, nil
+}
+
+// SQL plans a SQL query, returning a lazy DataFrame.
+func (s *SessionContext) SQL(query string) (*DataFrame, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *sql.SelectStmt:
+		pl := planner.New(s.resolveTable, s.reg)
+		plan, err := pl.PlanQuery(st)
+		if err != nil {
+			return nil, err
+		}
+		return &DataFrame{session: s, plan: plan}, nil
+	case *sql.ExplainStmt:
+		inner, ok := st.Stmt.(*sql.SelectStmt)
+		if !ok {
+			return nil, fmt.Errorf("core: EXPLAIN supports queries only")
+		}
+		pl := planner.New(s.resolveTable, s.reg)
+		plan, err := pl.PlanQuery(inner)
+		if err != nil {
+			return nil, err
+		}
+		df := &DataFrame{session: s, plan: plan}
+		text, err := df.Explain()
+		if err != nil {
+			return nil, err
+		}
+		return s.explainResult(text)
+	}
+	return nil, fmt.Errorf("core: unsupported statement")
+}
+
+// explainResult wraps EXPLAIN output as a one-column result.
+func (s *SessionContext) explainResult(text string) (*DataFrame, error) {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	rows := make([][]logical.Expr, len(lines))
+	for i, l := range lines {
+		rows[i] = []logical.Expr{&logical.Alias{E: logical.Lit(l), Name: "plan"}}
+	}
+	plan, err := logical.NewBuilder(s.reg).ValuesRows(rows).Build()
+	if err != nil {
+		return nil, err
+	}
+	return &DataFrame{session: s, plan: plan}, nil
+}
+
+// Table returns a DataFrame scanning a registered table.
+func (s *SessionContext) Table(name string) (*DataFrame, error) {
+	src, err := s.resolveTable(name)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := logical.NewBuilder(s.reg).Scan(name, src).Build()
+	if err != nil {
+		return nil, err
+	}
+	return &DataFrame{session: s, plan: plan}, nil
+}
+
+// OptimizePlan runs the logical optimizer.
+func (s *SessionContext) OptimizePlan(plan logical.Plan) (logical.Plan, error) {
+	if s.cfg.DisableOptimizer {
+		return plan, nil
+	}
+	return s.opt.Optimize(plan)
+}
+
+// CreatePhysicalPlan optimizes and lowers a logical plan.
+func (s *SessionContext) CreatePhysicalPlan(plan logical.Plan) (physical.ExecutionPlan, error) {
+	optimized, err := s.OptimizePlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &exec.PlannerConfig{
+		TargetPartitions:  s.cfg.TargetPartitions,
+		BatchRows:         s.cfg.BatchRows,
+		Reg:               s.reg,
+		PreferHashJoin:    s.cfg.PreferHashJoin,
+		ExtensionPlanners: s.extPlanners,
+	}
+	return exec.CreatePhysicalPlan(optimized, cfg)
+}
+
+// newExecContext builds the per-query runtime (paper Sections 5.5.4, 7.4).
+func (s *SessionContext) newExecContext() (*physical.ExecContext, func()) {
+	ctx := physical.NewExecContext()
+	ctx.Ctx = context.Background()
+	ctx.BatchRows = s.cfg.BatchRows
+	if s.cfg.MemoryLimit > 0 {
+		if s.cfg.FairPool {
+			ctx.Pool = memory.NewFairPool(s.cfg.MemoryLimit)
+		} else {
+			ctx.Pool = memory.NewGreedyPool(s.cfg.MemoryLimit)
+		}
+	}
+	var dm *memory.DiskManager
+	if !s.cfg.DisableSpill {
+		dm = memory.NewDiskManager(s.cfg.SpillDir, true)
+		ctx.Disk = dm
+	}
+	cleanup := func() {
+		if dm != nil {
+			dm.Close()
+		}
+	}
+	return ctx, cleanup
+}
+
+// ExecutePlan runs a physical plan to completion.
+func (s *SessionContext) ExecutePlan(plan physical.ExecutionPlan) ([]*arrow.RecordBatch, error) {
+	ctx, cleanup := s.newExecContext()
+	defer cleanup()
+	return exec.CollectPlan(ctx, plan)
+}

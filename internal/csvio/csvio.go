@@ -1,0 +1,353 @@
+// Package csvio implements a CSV data source: schema inference, typed
+// vectorized decoding into arrow RecordBatches, and a writer. It backs the
+// engine's CSV TableProvider (paper Section 5.2.2).
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"gofusion/internal/arrow"
+)
+
+// Options configures CSV reading.
+type Options struct {
+	// Delimiter defaults to ','.
+	Delimiter rune
+	// Header indicates the first row contains column names (default true
+	// via DefaultOptions).
+	Header bool
+	// BatchRows is the output batch size (default 8192).
+	BatchRows int
+	// InferRows is how many rows to sample for schema inference
+	// (default 1000).
+	InferRows int
+	// NullLiterals are strings decoded as NULL (default: empty string).
+	NullLiterals []string
+}
+
+// DefaultOptions returns the recommended reader configuration.
+func DefaultOptions() Options {
+	return Options{Delimiter: ',', Header: true, BatchRows: 8192, InferRows: 1000}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Delimiter == 0 {
+		o.Delimiter = ','
+	}
+	if o.BatchRows <= 0 {
+		o.BatchRows = 8192
+	}
+	if o.InferRows <= 0 {
+		o.InferRows = 1000
+	}
+	return o
+}
+
+func (o Options) isNull(s string) bool {
+	if s == "" {
+		return true
+	}
+	for _, n := range o.NullLiterals {
+		if s == n {
+			return true
+		}
+	}
+	return false
+}
+
+// InferSchema samples the head of a CSV file and infers column names and
+// types. Candidate types are tried narrow to wide:
+// Int64 -> Float64 -> Date32 -> Timestamp -> Boolean -> Utf8.
+func InferSchema(path string, opts Options) (*arrow.Schema, error) {
+	opts = opts.withDefaults()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.Comma = opts.Delimiter
+	r.ReuseRecord = true
+
+	var names []string
+	first, err := r.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: empty file %s: %w", path, err)
+	}
+	numCols := len(first)
+	var sampled [][]string
+	if opts.Header {
+		names = append([]string(nil), first...)
+	} else {
+		names = make([]string, numCols)
+		for i := range names {
+			names[i] = fmt.Sprintf("column_%d", i+1)
+		}
+		sampled = append(sampled, append([]string(nil), first...))
+	}
+	for len(sampled) < opts.InferRows {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		sampled = append(sampled, append([]string(nil), rec...))
+	}
+
+	fields := make([]arrow.Field, numCols)
+	for c := 0; c < numCols; c++ {
+		isInt, isFloat, isDate, isTS, isBool := true, true, true, true, true
+		nullable := false
+		seen := false
+		for _, rec := range sampled {
+			v := rec[c]
+			if opts.isNull(v) {
+				nullable = true
+				continue
+			}
+			seen = true
+			if isInt {
+				if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+					isInt = false
+				}
+			}
+			if isFloat {
+				if _, err := strconv.ParseFloat(v, 64); err != nil {
+					isFloat = false
+				}
+			}
+			if isDate {
+				if _, err := arrow.ParseDate32(v); err != nil {
+					isDate = false
+				}
+			}
+			if isTS {
+				if len(v) < 10 {
+					isTS = false
+				} else if _, err := arrow.ParseTimestamp(v); err != nil {
+					isTS = false
+				}
+			}
+			if isBool {
+				if v != "true" && v != "false" && v != "TRUE" && v != "FALSE" {
+					isBool = false
+				}
+			}
+		}
+		t := arrow.String
+		switch {
+		case !seen:
+			t = arrow.String
+			nullable = true
+		case isInt:
+			t = arrow.Int64
+		case isFloat:
+			t = arrow.Float64
+		case isDate:
+			t = arrow.Date32
+		case isTS:
+			t = arrow.Timestamp
+		case isBool:
+			t = arrow.Boolean
+		}
+		fields[c] = arrow.NewField(names[c], t, nullable || t == arrow.String)
+	}
+	return arrow.NewSchema(fields...), nil
+}
+
+// Reader decodes a CSV file into record batches of a fixed schema.
+type Reader struct {
+	f      *os.File
+	r      *csv.Reader
+	schema *arrow.Schema
+	opts   Options
+	// projection maps output columns to CSV field positions; nil = all.
+	projection []int
+	outSchema  *arrow.Schema
+	done       bool
+}
+
+// NewReader opens a CSV file for typed decoding. projection selects file
+// columns by index (nil reads all).
+func NewReader(path string, schema *arrow.Schema, projection []int, opts Options) (*Reader, error) {
+	opts = opts.withDefaults()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := csv.NewReader(f)
+	r.Comma = opts.Delimiter
+	r.ReuseRecord = true
+	r.FieldsPerRecord = schema.NumFields()
+	if opts.Header {
+		if _, err := r.Read(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("csvio: reading header of %s: %w", path, err)
+		}
+	}
+	out := schema
+	if projection != nil {
+		out = schema.Select(projection)
+	}
+	return &Reader{f: f, r: r, schema: schema, opts: opts, projection: projection, outSchema: out}, nil
+}
+
+// Schema returns the output (projected) schema.
+func (rd *Reader) Schema() *arrow.Schema { return rd.outSchema }
+
+// Next decodes the next batch, returning io.EOF at end of file.
+func (rd *Reader) Next() (*arrow.RecordBatch, error) {
+	if rd.done {
+		return nil, io.EOF
+	}
+	cols := rd.projection
+	if cols == nil {
+		cols = make([]int, rd.schema.NumFields())
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	builders := make([]arrow.Builder, len(cols))
+	for i, c := range cols {
+		builders[i] = arrow.NewBuilder(rd.schema.Field(c).Type)
+	}
+	rows := 0
+	for rows < rd.opts.BatchRows {
+		rec, err := rd.r.Read()
+		if err == io.EOF {
+			rd.done = true
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range cols {
+			if err := appendParsed(builders[i], rec[c], rd.opts); err != nil {
+				return nil, fmt.Errorf("csvio: row %d column %q: %w", rows, rd.schema.Field(c).Name, err)
+			}
+		}
+		rows++
+	}
+	if rows == 0 {
+		return nil, io.EOF
+	}
+	arrs := make([]arrow.Array, len(builders))
+	for i, b := range builders {
+		arrs[i] = b.Finish()
+	}
+	return arrow.NewRecordBatchWithRows(rd.outSchema, arrs, rows), nil
+}
+
+// Close releases the underlying file.
+func (rd *Reader) Close() error { return rd.f.Close() }
+
+func appendParsed(b arrow.Builder, v string, opts Options) error {
+	if opts.isNull(v) {
+		b.AppendNull()
+		return nil
+	}
+	switch bb := b.(type) {
+	case *arrow.NumericBuilder[int64]:
+		switch b.DataType().ID {
+		case arrow.TIMESTAMP:
+			ts, err := arrow.ParseTimestamp(v)
+			if err != nil {
+				return err
+			}
+			bb.Append(ts)
+		default:
+			x, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return err
+			}
+			bb.Append(x)
+		}
+	case *arrow.NumericBuilder[float64]:
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return err
+		}
+		bb.Append(x)
+	case *arrow.NumericBuilder[int32]:
+		if b.DataType().ID == arrow.DATE32 {
+			d, err := arrow.ParseDate32(v)
+			if err != nil {
+				return err
+			}
+			bb.Append(d)
+		} else {
+			x, err := strconv.ParseInt(v, 10, 32)
+			if err != nil {
+				return err
+			}
+			bb.Append(int32(x))
+		}
+	case *arrow.BoolBuilder:
+		x, err := strconv.ParseBool(v)
+		if err != nil {
+			return err
+		}
+		bb.Append(x)
+	case *arrow.StringBuilder:
+		bb.Append(v)
+	default:
+		return fmt.Errorf("unsupported CSV column type %s", b.DataType())
+	}
+	return nil
+}
+
+// WriteFile writes batches to a CSV file with a header row.
+func WriteFile(path string, schema *arrow.Schema, batches []*arrow.RecordBatch, delimiter rune) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if delimiter != 0 {
+		w.Comma = delimiter
+	}
+	header := make([]string, schema.NumFields())
+	for i, fld := range schema.Fields() {
+		header[i] = fld.Name
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, schema.NumFields())
+	for _, batch := range batches {
+		for r := 0; r < batch.NumRows(); r++ {
+			for c := 0; c < batch.NumCols(); c++ {
+				rec[c] = formatCSV(batch.Column(c), r)
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func formatCSV(a arrow.Array, i int) string {
+	if a.IsNull(i) {
+		return ""
+	}
+	s := a.GetScalar(i)
+	switch s.Type.ID {
+	case arrow.STRING:
+		return s.AsString()
+	case arrow.FLOAT64, arrow.FLOAT32:
+		return strconv.FormatFloat(s.AsFloat64(), 'g', -1, 64)
+	case arrow.BOOL:
+		return strconv.FormatBool(s.AsBool())
+	default:
+		return s.String()
+	}
+}

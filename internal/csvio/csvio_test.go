@@ -1,0 +1,205 @@
+package csvio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gofusion/internal/arrow"
+)
+
+func writeFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sample = `id,name,score,active,joined
+1,alice,3.5,true,2020-01-15
+2,bob,,false,2021-06-30
+3,,7.25,true,2019-11-01
+`
+
+func TestInferSchema(t *testing.T) {
+	path := writeFile(t, sample)
+	schema, err := InferSchema(path, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := map[string]arrow.TypeID{
+		"id": arrow.INT64, "name": arrow.STRING, "score": arrow.FLOAT64,
+		"active": arrow.BOOL, "joined": arrow.DATE32,
+	}
+	for name, id := range expect {
+		i := schema.FieldIndex(name)
+		if i < 0 {
+			t.Fatalf("missing field %s", name)
+		}
+		if schema.Field(i).Type.ID != id {
+			t.Fatalf("%s: inferred %s", name, schema.Field(i).Type)
+		}
+	}
+	if !schema.Field(schema.FieldIndex("score")).Nullable {
+		t.Fatal("score has empty values, must be nullable")
+	}
+}
+
+func TestReadTyped(t *testing.T) {
+	path := writeFile(t, sample)
+	schema, err := InferSchema(path, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(path, schema, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	b, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRows() != 3 {
+		t.Fatalf("rows = %d", b.NumRows())
+	}
+	if b.ColumnByName("id").(*arrow.Int64Array).Value(2) != 3 {
+		t.Fatal("id wrong")
+	}
+	if !b.ColumnByName("score").IsNull(1) {
+		t.Fatal("empty must be null")
+	}
+	if b.ColumnByName("name").(*arrow.StringArray).Value(0) != "alice" {
+		t.Fatal("name wrong")
+	}
+	d := b.ColumnByName("joined").(*arrow.Int32Array)
+	if arrow.FormatDate32(d.Value(0)) != "2020-01-15" {
+		t.Fatal("date wrong")
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestProjection(t *testing.T) {
+	path := writeFile(t, sample)
+	schema, _ := InferSchema(path, DefaultOptions())
+	r, err := NewReader(path, schema, []int{2, 0}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	b, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumCols() != 2 || b.Schema().Field(0).Name != "score" {
+		t.Fatal("projection wrong")
+	}
+}
+
+func TestNoHeaderAndDelimiter(t *testing.T) {
+	path := writeFile(t, "1|x\n2|y\n")
+	opts := Options{Delimiter: '|', Header: false}
+	schema, err := InferSchema(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Field(0).Name != "column_1" || schema.Field(0).Type.ID != arrow.INT64 {
+		t.Fatalf("schema = %s", schema)
+	}
+	r, err := NewReader(path, schema, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	b, _ := r.Next()
+	if b.NumRows() != 2 {
+		t.Fatal("no-header read wrong")
+	}
+}
+
+func TestBatching(t *testing.T) {
+	content := "x\n"
+	for i := 0; i < 25; i++ {
+		content += "1\n"
+	}
+	path := writeFile(t, content)
+	schema, _ := InferSchema(path, DefaultOptions())
+	opts := DefaultOptions()
+	opts.BatchRows = 10
+	r, _ := NewReader(path, schema, nil, opts)
+	defer r.Close()
+	total, batches := 0, 0
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += b.NumRows()
+		batches++
+	}
+	if total != 25 || batches != 3 {
+		t.Fatalf("total=%d batches=%d", total, batches)
+	}
+}
+
+func TestParseErrorsSurface(t *testing.T) {
+	path := writeFile(t, "id\n1\nnot-a-number\n")
+	schema := arrow.NewSchema(arrow.NewField("id", arrow.Int64, false))
+	r, _ := NewReader(path, schema, nil, DefaultOptions())
+	defer r.Close()
+	if _, err := r.Next(); err == nil {
+		t.Fatal("bad int must error")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	schema := arrow.NewSchema(
+		arrow.NewField("a", arrow.Int64, true),
+		arrow.NewField("b", arrow.String, true),
+		arrow.NewField("f", arrow.Float64, true),
+	)
+	ab := arrow.NewNumericBuilder[int64](arrow.Int64)
+	ab.Append(1)
+	ab.AppendNull()
+	sb := arrow.NewStringBuilder(arrow.String)
+	sb.Append("hello, world") // embedded comma exercises quoting
+	sb.Append("plain")
+	fb := arrow.NewNumericBuilder[float64](arrow.Float64)
+	fb.Append(2.5)
+	fb.Append(-0.125)
+	batch := arrow.NewRecordBatch(schema, []arrow.Array{ab.Finish(), sb.Finish(), fb.Finish()})
+
+	path := filepath.Join(t.TempDir(), "rt.csv")
+	if err := WriteFile(path, schema, []*arrow.RecordBatch{batch}, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(path, schema, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 {
+		t.Fatal("row count")
+	}
+	if got.Column(1).(*arrow.StringArray).Value(0) != "hello, world" {
+		t.Fatal("quoted round trip failed")
+	}
+	if !got.Column(0).IsNull(1) {
+		t.Fatal("null round trip failed")
+	}
+	if got.Column(2).(*arrow.Float64Array).Value(1) != -0.125 {
+		t.Fatal("float round trip failed")
+	}
+}

@@ -1,0 +1,819 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/arrow/compute"
+	"gofusion/internal/functions"
+	"gofusion/internal/memory"
+	"gofusion/internal/physical"
+	"gofusion/internal/rowformat"
+)
+
+// AggMode selects the aggregation phase (paper Section 6.3: two-phase
+// parallel partitioned hash grouping).
+type AggMode int
+
+// Aggregation modes.
+const (
+	// PartialAgg aggregates each input partition independently, emitting
+	// partial state; it may flush early under memory pressure.
+	PartialAgg AggMode = iota
+	// FinalAgg merges partial states (after hash repartitioning on group
+	// keys) into final results.
+	FinalAgg
+	// SingleAgg does both in one operator (single-partition plans).
+	SingleAgg
+)
+
+// AggSpec describes one aggregate expression in an aggregation node.
+type AggSpec struct {
+	Fn         *functions.AggFunc
+	Name       string
+	Args       []physical.PhysicalExpr
+	Filter     physical.PhysicalExpr // optional FILTER (WHERE ...)
+	ArgTypes   []*arrow.DataType
+	OutType    *arrow.DataType
+	StateTypes []*arrow.DataType
+}
+
+// NewAggSpec resolves an aggregate function application.
+func NewAggSpec(fn *functions.AggFunc, name string, args []physical.PhysicalExpr, filter physical.PhysicalExpr) (AggSpec, error) {
+	argTypes := make([]*arrow.DataType, len(args))
+	for i, a := range args {
+		argTypes[i] = a.DataType()
+	}
+	out, err := fn.ReturnType(argTypes)
+	if err != nil {
+		return AggSpec{}, err
+	}
+	states, err := fn.StateTypes(argTypes)
+	if err != nil {
+		return AggSpec{}, err
+	}
+	return AggSpec{Fn: fn, Name: name, Args: args, Filter: filter,
+		ArgTypes: argTypes, OutType: out, StateTypes: states}, nil
+}
+
+// HashAggregateExec implements vectorized hash aggregation with normalized
+// group keys, a single-group fast path, a sorted-input streaming fast
+// path, early partial flushing, and state spilling.
+type HashAggregateExec struct {
+	Input      physical.ExecutionPlan
+	Mode       AggMode
+	GroupExprs []physical.PhysicalExpr
+	GroupNames []string
+	Aggs       []AggSpec
+	// InputOrdered marks that the input is sorted on exactly the group
+	// expressions, enabling streaming (partially ordered) aggregation.
+	InputOrdered bool
+	// FlushThreshold caps partial-mode group counts before an early flush
+	// (0 = default).
+	FlushThreshold int
+
+	schema *arrow.Schema
+}
+
+// NewHashAggregateExec computes the operator's output schema from its mode.
+func NewHashAggregateExec(input physical.ExecutionPlan, mode AggMode,
+	groupExprs []physical.PhysicalExpr, groupNames []string, aggs []AggSpec) *HashAggregateExec {
+
+	var fields []arrow.Field
+	for i, g := range groupExprs {
+		fields = append(fields, arrow.NewField(groupNames[i], g.DataType(), true))
+	}
+	if mode == PartialAgg {
+		for i, a := range aggs {
+			for j, st := range a.StateTypes {
+				fields = append(fields, arrow.NewField(fmt.Sprintf("%s_state_%d_%d", a.Name, i, j), st, true))
+			}
+		}
+	} else {
+		for _, a := range aggs {
+			fields = append(fields, arrow.NewField(a.Name, a.OutType, true))
+		}
+	}
+	return &HashAggregateExec{
+		Input: input, Mode: mode,
+		GroupExprs: groupExprs, GroupNames: groupNames, Aggs: aggs,
+		schema: arrow.NewSchema(fields...),
+	}
+}
+
+func (e *HashAggregateExec) Schema() *arrow.Schema { return e.schema }
+func (e *HashAggregateExec) Children() []physical.ExecutionPlan {
+	return []physical.ExecutionPlan{e.Input}
+}
+func (e *HashAggregateExec) Partitions() int { return e.Input.Partitions() }
+func (e *HashAggregateExec) OutputOrdering() []physical.SortField {
+	return nil
+}
+func (e *HashAggregateExec) String() string {
+	modes := [...]string{"Partial", "Final", "Single"}
+	gs := make([]string, len(e.GroupExprs))
+	for i, g := range e.GroupExprs {
+		gs[i] = g.String()
+	}
+	as := make([]string, len(e.Aggs))
+	for i, a := range e.Aggs {
+		as[i] = a.Name
+	}
+	ordered := ""
+	if e.InputOrdered {
+		ordered = " ordered"
+	}
+	return fmt.Sprintf("HashAggregateExec: mode=%s%s gby=[%s] aggr=[%s]",
+		modes[e.Mode], ordered, strings.Join(gs, ", "), strings.Join(as, ", "))
+}
+func (e *HashAggregateExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	c, err := oneChild(ch)
+	if err != nil {
+		return nil, err
+	}
+	out := *e
+	out.Input = c
+	return &out, nil
+}
+
+// groupTable maps normalized group keys to dense group indexes.
+type groupTable struct {
+	enc    *rowformat.Encoder
+	index  map[string]uint32
+	keys   [][]byte
+	keyMem int64
+}
+
+func newGroupTable(types []*arrow.DataType) (*groupTable, error) {
+	enc, err := rowformat.NewEncoder(types, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &groupTable{enc: enc, index: make(map[string]uint32, 1024)}, nil
+}
+
+// assign maps each row of the group columns to a group index, creating
+// groups as needed.
+func (t *groupTable) assign(cols []arrow.Array, numRows int, out []uint32) []uint32 {
+	out = out[:0]
+	var buf []byte
+	for i := 0; i < numRows; i++ {
+		buf = t.enc.AppendRowKey(buf[:0], cols, i)
+		idx, ok := t.index[string(buf)]
+		if !ok {
+			idx = uint32(len(t.keys))
+			key := append([]byte(nil), buf...)
+			t.index[string(key)] = idx
+			t.keys = append(t.keys, key)
+			t.keyMem += int64(len(key)) + 48
+		}
+		out = append(out, idx)
+	}
+	return out
+}
+
+func (t *groupTable) numGroups() int { return len(t.keys) }
+
+// groupColumns decodes the group keys back into arrays.
+func (t *groupTable) groupColumns() ([]arrow.Array, error) {
+	return t.enc.DecodeRows(t.keys)
+}
+
+func (t *groupTable) reset() {
+	t.index = make(map[string]uint32, 1024)
+	t.keys = nil
+	t.keyMem = 0
+}
+
+// aggState is one in-flight aggregation hash table plus accumulators.
+type aggState struct {
+	table *groupTable
+	accs  []functions.GroupsAccumulator
+}
+
+func (e *HashAggregateExec) newState() (*aggState, error) {
+	st := &aggState{}
+	if len(e.GroupExprs) > 0 {
+		types := make([]*arrow.DataType, len(e.GroupExprs))
+		for i, g := range e.GroupExprs {
+			types[i] = g.DataType()
+		}
+		var err error
+		st.table, err = newGroupTable(types)
+		if err != nil {
+			return nil, err
+		}
+	}
+	st.accs = make([]functions.GroupsAccumulator, len(e.Aggs))
+	for i, a := range e.Aggs {
+		acc, err := a.Fn.NewAccumulator(a.ArgTypes)
+		if err != nil {
+			return nil, err
+		}
+		st.accs[i] = acc
+	}
+	return st, nil
+}
+
+func (st *aggState) numGroups() int {
+	if st.table == nil {
+		return 1
+	}
+	return st.table.numGroups()
+}
+
+// update consumes one input batch.
+func (e *HashAggregateExec) update(st *aggState, b *arrow.RecordBatch, groupIdx []uint32) ([]uint32, error) {
+	n := b.NumRows()
+	if st.table != nil {
+		cols := make([]arrow.Array, len(e.GroupExprs))
+		for i, g := range e.GroupExprs {
+			a, err := physical.EvalToArray(g, b)
+			if err != nil {
+				return groupIdx, err
+			}
+			cols[i] = a
+		}
+		groupIdx = st.table.assign(cols, n, groupIdx)
+	} else {
+		groupIdx = groupIdx[:0]
+		for i := 0; i < n; i++ {
+			groupIdx = append(groupIdx, 0)
+		}
+	}
+	numGroups := st.numGroups()
+
+	merge := e.Mode == FinalAgg
+	stateCol := len(e.GroupExprs)
+	for ai := range e.Aggs {
+		a := &e.Aggs[ai]
+		if merge {
+			// Inputs are flattened state columns, in schema order.
+			states := make([]arrow.Array, len(a.StateTypes))
+			for j := range states {
+				states[j] = b.Column(stateCol)
+				stateCol++
+			}
+			if err := st.accs[ai].MergeStates(states, groupIdx, numGroups); err != nil {
+				return groupIdx, err
+			}
+			continue
+		}
+		args := make([]arrow.Array, len(a.Args))
+		for j, ax := range a.Args {
+			arr, err := physical.EvalToArray(ax, b)
+			if err != nil {
+				return groupIdx, err
+			}
+			args[j] = arr
+		}
+		gi := groupIdx
+		if a.Filter != nil {
+			mask, err := physical.EvalPredicate(a.Filter, b)
+			if err != nil {
+				return groupIdx, err
+			}
+			var indices []int32
+			for i := 0; i < n; i++ {
+				if mask.IsValid(i) && mask.Value(i) {
+					indices = append(indices, int32(i))
+				}
+			}
+			for j := range args {
+				args[j] = compute.Take(args[j], indices)
+			}
+			fgi := make([]uint32, len(indices))
+			for k, idx := range indices {
+				fgi[k] = groupIdx[idx]
+			}
+			gi = fgi
+		}
+		if err := st.accs[ai].Update(args, gi, numGroups); err != nil {
+			return groupIdx, err
+		}
+	}
+	return groupIdx, nil
+}
+
+// emit renders the state as output batches (partial state columns or
+// final values depending on mode).
+func (e *HashAggregateExec) emit(st *aggState, batchRows int) ([]*arrow.RecordBatch, error) {
+	numGroups := st.numGroups()
+	if st.table == nil && e.Mode != PartialAgg {
+		// Ungrouped aggregates emit one row even over empty input.
+	} else if st.table != nil && numGroups == 0 {
+		return nil, nil
+	}
+
+	var cols []arrow.Array
+	if st.table != nil {
+		gcols, err := st.table.groupColumns()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, gcols...)
+	}
+	for ai := range e.Aggs {
+		if e.Mode == PartialAgg {
+			states, err := st.accs[ai].State()
+			if err != nil {
+				return nil, err
+			}
+			// Accumulators size state arrays to groups they saw; pad.
+			for _, s := range states {
+				cols = append(cols, padArray(s, numGroups))
+			}
+		} else {
+			out, err := st.accs[ai].Evaluate()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, padArray(out, numGroups))
+		}
+	}
+	full := arrow.NewRecordBatchWithRows(e.schema, cols, numGroups)
+	if batchRows <= 0 {
+		batchRows = 8192
+	}
+	var out []*arrow.RecordBatch
+	for off := 0; off < numGroups; off += batchRows {
+		n := batchRows
+		if off+n > numGroups {
+			n = numGroups - off
+		}
+		out = append(out, full.Slice(off, n))
+	}
+	if numGroups == 0 {
+		out = append(out, full)
+	}
+	return out, nil
+}
+
+// padArray extends an array with nulls up to n rows (groups an
+// accumulator never saw).
+func padArray(a arrow.Array, n int) arrow.Array {
+	if a.Len() >= n {
+		return a
+	}
+	b := arrow.NewBuilder(a.DataType())
+	for i := 0; i < a.Len(); i++ {
+		b.AppendFrom(a, i)
+	}
+	for i := a.Len(); i < n; i++ {
+		b.AppendNull()
+	}
+	return b.Finish()
+}
+
+func (e *HashAggregateExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
+	in, err := e.Input.Execute(ctx, partition)
+	if err != nil {
+		return nil, err
+	}
+	if e.InputOrdered && len(e.GroupExprs) > 0 && e.Mode != FinalAgg {
+		return e.executeOrdered(ctx, in)
+	}
+	return e.executeHashed(ctx, in)
+}
+
+func (e *HashAggregateExec) executeHashed(ctx *physical.ExecContext, in physical.Stream) (physical.Stream, error) {
+	st, err := e.newState()
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	res := memory.NewReservation(ctx.Pool, "HashAggregateExec")
+	unregister := memory.RegisterConsumer(ctx.Pool)
+
+	flushThreshold := e.FlushThreshold
+	if flushThreshold <= 0 {
+		flushThreshold = 1 << 31
+	}
+
+	var queue []*arrow.RecordBatch
+	var spills []*memory.SpillFile
+	var groupIdx []uint32
+	inputDone := false
+
+	cleanup := func() {
+		in.Close()
+		res.Free()
+		unregister()
+		for _, sp := range spills {
+			sp.Release()
+		}
+		spills = nil
+	}
+
+	// spillState writes the current state (as partial batches) to disk and
+	// resets the table.
+	spillState := func() error {
+		if ctx.Disk == nil || !ctx.Disk.Enabled() {
+			return fmt.Errorf("exec: aggregation exceeded memory budget and spilling is disabled")
+		}
+		// Spill batches use the partial-state layout.
+		partial := *e
+		partial.Mode = PartialAgg
+		batches, err := partial.emit(st, 65536)
+		if err != nil {
+			return err
+		}
+		sf, err := ctx.Disk.CreateTemp("agg")
+		if err != nil {
+			return err
+		}
+		for _, b := range batches {
+			if err := arrow.WriteBatch(sf.File(), b); err != nil {
+				return err
+			}
+		}
+		spills = append(spills, sf)
+		if st.table != nil {
+			st.table.reset()
+		}
+		fresh, err := e.newState()
+		if err != nil {
+			return err
+		}
+		st.accs = fresh.accs
+		res.Shrink(res.Size())
+		return nil
+	}
+
+	next := func() (*arrow.RecordBatch, error) {
+		for {
+			if len(queue) > 0 {
+				b := queue[0]
+				queue = queue[1:]
+				return b, nil
+			}
+			if inputDone {
+				return nil, io.EOF
+			}
+			if err := checkCancel(ctx); err != nil {
+				return nil, err
+			}
+			b, err := in.Next()
+			if err == io.EOF {
+				inputDone = true
+				// Merge spills (if any) into the final state.
+				if len(spills) > 0 {
+					if err := e.mergeSpills(ctx, st, spills); err != nil {
+						return nil, err
+					}
+				}
+				batches, err := e.emit(st, ctx.BatchRows)
+				if err != nil {
+					return nil, err
+				}
+				queue = batches
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			if b.NumRows() == 0 {
+				continue
+			}
+			groupIdx, err = e.update(st, b, groupIdx)
+			if err != nil {
+				return nil, err
+			}
+			// Track the dominant memory consumer: the group table.
+			if st.table != nil {
+				if err := res.Resize(st.table.keyMem); err != nil {
+					if e.Mode == PartialAgg {
+						// Early flush: emit partial results downstream.
+						batches, eerr := e.emit(st, ctx.BatchRows)
+						if eerr != nil {
+							return nil, eerr
+						}
+						st.table.reset()
+						fresh, ferr := e.newState()
+						if ferr != nil {
+							return nil, ferr
+						}
+						st.accs = fresh.accs
+						res.Shrink(res.Size())
+						queue = batches
+						continue
+					}
+					if serr := spillState(); serr != nil {
+						return nil, serr
+					}
+				}
+				if e.Mode == PartialAgg && st.table.numGroups() >= flushThreshold {
+					batches, eerr := e.emit(st, ctx.BatchRows)
+					if eerr != nil {
+						return nil, eerr
+					}
+					st.table.reset()
+					fresh, ferr := e.newState()
+					if ferr != nil {
+						return nil, ferr
+					}
+					st.accs = fresh.accs
+					queue = batches
+					continue
+				}
+			}
+		}
+	}
+	return NewFuncStream(e.schema, next, cleanup), nil
+}
+
+// mergeSpills re-merges spilled partial-state batches into the live state.
+func (e *HashAggregateExec) mergeSpills(ctx *physical.ExecContext, st *aggState, spills []*memory.SpillFile) error {
+	partial := *e
+	partial.Mode = PartialAgg
+	spillSchema := NewHashAggregateExec(e.Input, PartialAgg, e.GroupExprs, e.GroupNames, e.Aggs).Schema()
+	var groupIdx []uint32
+	for _, sf := range spills {
+		f := sf.File()
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		for {
+			b, err := arrow.ReadBatch(f, spillSchema)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			groupIdx, err = e.mergePartialBatch(st, b, groupIdx)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mergePartialBatch merges one partial-layout batch into the state.
+func (e *HashAggregateExec) mergePartialBatch(st *aggState, b *arrow.RecordBatch, groupIdx []uint32) ([]uint32, error) {
+	n := b.NumRows()
+	if st.table != nil {
+		cols := make([]arrow.Array, len(e.GroupExprs))
+		for i := range e.GroupExprs {
+			cols[i] = b.Column(i)
+		}
+		groupIdx = st.table.assign(cols, n, groupIdx)
+	} else {
+		groupIdx = groupIdx[:0]
+		for i := 0; i < n; i++ {
+			groupIdx = append(groupIdx, 0)
+		}
+	}
+	numGroups := st.numGroups()
+	stateCol := len(e.GroupExprs)
+	for ai := range e.Aggs {
+		a := &e.Aggs[ai]
+		states := make([]arrow.Array, len(a.StateTypes))
+		for j := range states {
+			states[j] = b.Column(stateCol)
+			stateCol++
+		}
+		if err := st.accs[ai].MergeStates(states, groupIdx, numGroups); err != nil {
+			return groupIdx, err
+		}
+	}
+	return groupIdx, nil
+}
+
+// executeOrdered is the streaming fast path for inputs sorted on the
+// group keys (paper Section 6.7): groups are contiguous, so group indexes
+// come from run detection — one key comparison per row instead of a hash
+// table probe — and completed groups are emitted as soon as the key
+// changes, keeping memory proportional to one batch of groups.
+func (e *HashAggregateExec) executeOrdered(ctx *physical.ExecContext, in physical.Stream) (physical.Stream, error) {
+	types := make([]*arrow.DataType, len(e.GroupExprs))
+	for i, g := range e.GroupExprs {
+		types[i] = g.DataType()
+	}
+	enc, err := rowformat.NewEncoder(types, nil)
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+
+	newRunState := func() (*aggState, error) {
+		st := &aggState{}
+		st.accs = make([]functions.GroupsAccumulator, len(e.Aggs))
+		for i, a := range e.Aggs {
+			acc, err := a.Fn.NewAccumulator(a.ArgTypes)
+			if err != nil {
+				return nil, err
+			}
+			st.accs[i] = acc
+		}
+		return st, nil
+	}
+
+	st, err := newRunState()
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	// Run-detection state: keys of the groups accumulated since the last
+	// flush (the last one may continue into the next batch).
+	var runKeys [][]byte
+	var queue []*arrow.RecordBatch
+	inputDone := false
+
+	emitRuns := func() ([]*arrow.RecordBatch, error) {
+		if len(runKeys) == 0 {
+			return nil, nil
+		}
+		gcols, err := enc.DecodeRows(runKeys)
+		if err != nil {
+			return nil, err
+		}
+		cols := append([]arrow.Array{}, gcols...)
+		for ai := range e.Aggs {
+			if e.Mode == PartialAgg {
+				states, err := st.accs[ai].State()
+				if err != nil {
+					return nil, err
+				}
+				for _, s := range states {
+					cols = append(cols, padArray(s, len(runKeys)))
+				}
+			} else {
+				out, err := st.accs[ai].Evaluate()
+				if err != nil {
+					return nil, err
+				}
+				cols = append(cols, padArray(out, len(runKeys)))
+			}
+		}
+		batch := arrow.NewRecordBatchWithRows(e.schema, cols, len(runKeys))
+		runKeys = nil
+		fresh, err := newRunState()
+		if err != nil {
+			return nil, err
+		}
+		st.accs = fresh.accs
+		return []*arrow.RecordBatch{batch}, nil
+	}
+
+	var groupIdx []uint32
+	next := func() (*arrow.RecordBatch, error) {
+		for {
+			if len(queue) > 0 {
+				b := queue[0]
+				queue = queue[1:]
+				return b, nil
+			}
+			if inputDone {
+				return nil, io.EOF
+			}
+			b, err := in.Next()
+			if err == io.EOF {
+				inputDone = true
+				batches, ferr := emitRuns()
+				if ferr != nil {
+					return nil, ferr
+				}
+				queue = batches
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			n := b.NumRows()
+			if n == 0 {
+				continue
+			}
+			cols := make([]arrow.Array, len(e.GroupExprs))
+			for i, g := range e.GroupExprs {
+				a, err := physical.EvalToArray(g, b)
+				if err != nil {
+					return nil, err
+				}
+				cols[i] = a
+			}
+			keys := enc.EncodeRows(cols, n)
+			// Assign group indexes by run detection, continuing the open
+			// run from the previous batch when the key matches.
+			groupIdx = groupIdx[:0]
+			for i := 0; i < n; i++ {
+				if len(runKeys) == 0 || string(keys[i]) != string(runKeys[len(runKeys)-1]) {
+					runKeys = append(runKeys, append([]byte(nil), keys[i]...))
+				}
+				groupIdx = append(groupIdx, uint32(len(runKeys)-1))
+			}
+			if err := e.updateAccumulators(st, b, groupIdx, len(runKeys)); err != nil {
+				return nil, err
+			}
+			// All groups except the still-open last one are complete; emit
+			// once enough accumulate.
+			if len(runKeys) >= 4096 {
+				// Keep the open run: emit all but the last group.
+				lastKey := runKeys[len(runKeys)-1]
+				completed := runKeys[:len(runKeys)-1]
+				savedAccs := st.accs
+				// Emit the completed prefix by rebuilding state for the
+				// open run from its partial states.
+				gcols, err := enc.DecodeRows(completed)
+				if err != nil {
+					return nil, err
+				}
+				outCols := append([]arrow.Array{}, gcols...)
+				var lastStates [][]arrow.Array
+				for ai := range e.Aggs {
+					states, err := savedAccs[ai].State()
+					if err != nil {
+						return nil, err
+					}
+					var emitPart []arrow.Array
+					var lastPart []arrow.Array
+					for _, s := range states {
+						padded := padArray(s, len(runKeys))
+						emitPart = append(emitPart, padded.Slice(0, len(completed)))
+						lastPart = append(lastPart, padded.Slice(len(completed), 1))
+					}
+					if e.Mode == PartialAgg {
+						outCols = append(outCols, emitPart...)
+					} else {
+						// Rebuild a truncated accumulator to evaluate.
+						acc, err := e.Aggs[ai].Fn.NewAccumulator(e.Aggs[ai].ArgTypes)
+						if err != nil {
+							return nil, err
+						}
+						idx := make([]uint32, len(completed))
+						for k := range idx {
+							idx[k] = uint32(k)
+						}
+						if err := acc.MergeStates(emitPart, idx, len(completed)); err != nil {
+							return nil, err
+						}
+						out, err := acc.Evaluate()
+						if err != nil {
+							return nil, err
+						}
+						outCols = append(outCols, padArray(out, len(completed)))
+					}
+					lastStates = append(lastStates, lastPart)
+				}
+				queue = append(queue, arrow.NewRecordBatchWithRows(e.schema, outCols, len(completed)))
+				// Restart state holding only the open run.
+				fresh, err := newRunState()
+				if err != nil {
+					return nil, err
+				}
+				st.accs = fresh.accs
+				for ai := range e.Aggs {
+					if err := st.accs[ai].MergeStates(lastStates[ai], []uint32{0}, 1); err != nil {
+						return nil, err
+					}
+				}
+				runKeys = [][]byte{lastKey}
+			}
+		}
+	}
+	return NewFuncStream(e.schema, next, in.Close), nil
+}
+
+// updateAccumulators feeds one batch into the accumulators with the given
+// group assignment (shared by the hash and run-detection paths).
+func (e *HashAggregateExec) updateAccumulators(st *aggState, b *arrow.RecordBatch, groupIdx []uint32, numGroups int) error {
+	for ai := range e.Aggs {
+		a := &e.Aggs[ai]
+		args := make([]arrow.Array, len(a.Args))
+		for j, ax := range a.Args {
+			arr, err := physical.EvalToArray(ax, b)
+			if err != nil {
+				return err
+			}
+			args[j] = arr
+		}
+		gi := groupIdx
+		if a.Filter != nil {
+			mask, err := physical.EvalPredicate(a.Filter, b)
+			if err != nil {
+				return err
+			}
+			var indices []int32
+			for i := 0; i < b.NumRows(); i++ {
+				if mask.IsValid(i) && mask.Value(i) {
+					indices = append(indices, int32(i))
+				}
+			}
+			for j := range args {
+				args[j] = compute.Take(args[j], indices)
+			}
+			fgi := make([]uint32, len(indices))
+			for k, idx := range indices {
+				fgi[k] = groupIdx[idx]
+			}
+			gi = fgi
+		}
+		if err := st.accs[ai].Update(args, gi, numGroups); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,458 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/arrow/compute"
+	"gofusion/internal/physical"
+)
+
+// FilterExec keeps rows satisfying the predicate.
+type FilterExec struct {
+	Input     physical.ExecutionPlan
+	Predicate physical.PhysicalExpr
+}
+
+func (e *FilterExec) Schema() *arrow.Schema                { return e.Input.Schema() }
+func (e *FilterExec) Children() []physical.ExecutionPlan   { return []physical.ExecutionPlan{e.Input} }
+func (e *FilterExec) Partitions() int                      { return e.Input.Partitions() }
+func (e *FilterExec) OutputOrdering() []physical.SortField { return e.Input.OutputOrdering() }
+func (e *FilterExec) String() string                       { return "FilterExec: " + e.Predicate.String() }
+func (e *FilterExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	c, err := oneChild(ch)
+	if err != nil {
+		return nil, err
+	}
+	return &FilterExec{Input: c, Predicate: e.Predicate}, nil
+}
+
+func (e *FilterExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
+	in, err := e.Input.Execute(ctx, partition)
+	if err != nil {
+		return nil, err
+	}
+	return NewFuncStream(e.Schema(), func() (*arrow.RecordBatch, error) {
+		for {
+			if err := checkCancel(ctx); err != nil {
+				return nil, err
+			}
+			b, err := in.Next()
+			if err != nil {
+				return nil, err
+			}
+			mask, err := physical.EvalPredicate(e.Predicate, b)
+			if err != nil {
+				return nil, err
+			}
+			out, err := compute.FilterBatch(b, mask)
+			if err != nil {
+				return nil, err
+			}
+			if out.NumRows() > 0 {
+				return out, nil
+			}
+		}
+	}, in.Close), nil
+}
+
+// ProjectionExec computes output expressions.
+type ProjectionExec struct {
+	Input  physical.ExecutionPlan
+	Exprs  []physical.PhysicalExpr
+	schema *arrow.Schema
+}
+
+// NewProjectionExec builds a projection with the given output field names.
+func NewProjectionExec(input physical.ExecutionPlan, exprs []physical.PhysicalExpr, names []string, nullables []bool) *ProjectionExec {
+	fields := make([]arrow.Field, len(exprs))
+	for i, e := range exprs {
+		nullable := true
+		if nullables != nil {
+			nullable = nullables[i]
+		}
+		fields[i] = arrow.NewField(names[i], e.DataType(), nullable)
+	}
+	return &ProjectionExec{Input: input, Exprs: exprs, schema: arrow.NewSchema(fields...)}
+}
+
+func (e *ProjectionExec) Schema() *arrow.Schema { return e.schema }
+func (e *ProjectionExec) Children() []physical.ExecutionPlan {
+	return []physical.ExecutionPlan{e.Input}
+}
+func (e *ProjectionExec) Partitions() int { return e.Input.Partitions() }
+func (e *ProjectionExec) String() string {
+	parts := make([]string, len(e.Exprs))
+	for i, x := range e.Exprs {
+		parts[i] = x.String()
+	}
+	return "ProjectionExec: " + strings.Join(parts, ", ")
+}
+
+// OutputOrdering propagates input ordering through column-only projections.
+func (e *ProjectionExec) OutputOrdering() []physical.SortField {
+	in := e.Input.OutputOrdering()
+	if in == nil {
+		return nil
+	}
+	// Map input column -> output position when projected as a bare column.
+	colMap := map[int]int{}
+	for i, x := range e.Exprs {
+		if c, ok := x.(*physical.ColumnExpr); ok {
+			if _, dup := colMap[c.Index]; !dup {
+				colMap[c.Index] = i
+			}
+		}
+	}
+	var out []physical.SortField
+	for _, f := range in {
+		oi, ok := colMap[f.Col]
+		if !ok {
+			break // ordering prefix only survives while columns survive
+		}
+		out = append(out, physical.SortField{Col: oi, Descending: f.Descending, NullsFirst: f.NullsFirst})
+	}
+	return out
+}
+
+func (e *ProjectionExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	c, err := oneChild(ch)
+	if err != nil {
+		return nil, err
+	}
+	return &ProjectionExec{Input: c, Exprs: e.Exprs, schema: e.schema}, nil
+}
+
+func (e *ProjectionExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
+	in, err := e.Input.Execute(ctx, partition)
+	if err != nil {
+		return nil, err
+	}
+	return NewFuncStream(e.schema, func() (*arrow.RecordBatch, error) {
+		b, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]arrow.Array, len(e.Exprs))
+		for i, x := range e.Exprs {
+			a, err := physical.EvalToArray(x, b)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = a
+		}
+		return arrow.NewRecordBatchWithRows(e.schema, cols, b.NumRows()), nil
+	}, in.Close), nil
+}
+
+// GlobalLimitExec applies skip/fetch over a single partition.
+type GlobalLimitExec struct {
+	Input physical.ExecutionPlan
+	Skip  int64
+	Fetch int64 // -1 = unlimited
+}
+
+func (e *GlobalLimitExec) Schema() *arrow.Schema { return e.Input.Schema() }
+func (e *GlobalLimitExec) Children() []physical.ExecutionPlan {
+	return []physical.ExecutionPlan{e.Input}
+}
+func (e *GlobalLimitExec) Partitions() int { return 1 }
+func (e *GlobalLimitExec) OutputOrdering() []physical.SortField {
+	return e.Input.OutputOrdering()
+}
+func (e *GlobalLimitExec) String() string {
+	return fmt.Sprintf("GlobalLimitExec: skip=%d fetch=%d", e.Skip, e.Fetch)
+}
+func (e *GlobalLimitExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	c, err := oneChild(ch)
+	if err != nil {
+		return nil, err
+	}
+	return &GlobalLimitExec{Input: c, Skip: e.Skip, Fetch: e.Fetch}, nil
+}
+
+func (e *GlobalLimitExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
+	if partition != 0 {
+		return nil, fmt.Errorf("exec: limit has a single partition")
+	}
+	if e.Input.Partitions() != 1 {
+		return nil, fmt.Errorf("exec: GlobalLimitExec requires single-partition input (planner bug)")
+	}
+	in, err := e.Input.Execute(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	skip := e.Skip
+	remaining := e.Fetch
+	return NewFuncStream(e.Schema(), func() (*arrow.RecordBatch, error) {
+		for {
+			if remaining == 0 {
+				return nil, io.EOF
+			}
+			b, err := in.Next()
+			if err != nil {
+				return nil, err
+			}
+			if skip > 0 {
+				if int64(b.NumRows()) <= skip {
+					skip -= int64(b.NumRows())
+					continue
+				}
+				b = b.Slice(int(skip), b.NumRows()-int(skip))
+				skip = 0
+			}
+			if remaining > 0 && int64(b.NumRows()) > remaining {
+				b = b.Slice(0, int(remaining))
+			}
+			if remaining > 0 {
+				remaining -= int64(b.NumRows())
+			}
+			if b.NumRows() > 0 {
+				return b, nil
+			}
+		}
+	}, in.Close), nil
+}
+
+// LocalLimitExec truncates each partition independently (a planner aid
+// under a global limit).
+type LocalLimitExec struct {
+	Input physical.ExecutionPlan
+	Fetch int64
+}
+
+func (e *LocalLimitExec) Schema() *arrow.Schema { return e.Input.Schema() }
+func (e *LocalLimitExec) Children() []physical.ExecutionPlan {
+	return []physical.ExecutionPlan{e.Input}
+}
+func (e *LocalLimitExec) Partitions() int { return e.Input.Partitions() }
+func (e *LocalLimitExec) OutputOrdering() []physical.SortField {
+	return e.Input.OutputOrdering()
+}
+func (e *LocalLimitExec) String() string { return fmt.Sprintf("LocalLimitExec: fetch=%d", e.Fetch) }
+func (e *LocalLimitExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	c, err := oneChild(ch)
+	if err != nil {
+		return nil, err
+	}
+	return &LocalLimitExec{Input: c, Fetch: e.Fetch}, nil
+}
+
+func (e *LocalLimitExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
+	in, err := e.Input.Execute(ctx, partition)
+	if err != nil {
+		return nil, err
+	}
+	remaining := e.Fetch
+	return NewFuncStream(e.Schema(), func() (*arrow.RecordBatch, error) {
+		if remaining <= 0 {
+			return nil, io.EOF
+		}
+		b, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if int64(b.NumRows()) > remaining {
+			b = b.Slice(0, int(remaining))
+		}
+		remaining -= int64(b.NumRows())
+		return b, nil
+	}, in.Close), nil
+}
+
+// CoalescePartitionsExec merges all input partitions into one stream,
+// reading them concurrently.
+type CoalescePartitionsExec struct {
+	Input physical.ExecutionPlan
+}
+
+func (e *CoalescePartitionsExec) Schema() *arrow.Schema { return e.Input.Schema() }
+func (e *CoalescePartitionsExec) Children() []physical.ExecutionPlan {
+	return []physical.ExecutionPlan{e.Input}
+}
+func (e *CoalescePartitionsExec) Partitions() int                      { return 1 }
+func (e *CoalescePartitionsExec) OutputOrdering() []physical.SortField { return nil }
+func (e *CoalescePartitionsExec) String() string {
+	return fmt.Sprintf("CoalescePartitionsExec: inputs=%d", e.Input.Partitions())
+}
+func (e *CoalescePartitionsExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	c, err := oneChild(ch)
+	if err != nil {
+		return nil, err
+	}
+	return &CoalescePartitionsExec{Input: c}, nil
+}
+
+func (e *CoalescePartitionsExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
+	if partition != 0 {
+		return nil, fmt.Errorf("exec: coalesce has a single partition")
+	}
+	n := e.Input.Partitions()
+	if n == 1 {
+		return e.Input.Execute(ctx, 0)
+	}
+	ch := make(chan batchOrErr, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s, err := e.Input.Execute(ctx, p)
+			if err != nil {
+				ch <- batchOrErr{err: err}
+				return
+			}
+			defer s.Close()
+			for {
+				b, err := s.Next()
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					ch <- batchOrErr{err: err}
+					return
+				}
+				ch <- batchOrErr{batch: b}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return &chanStream{schema: e.Schema(), ch: ch}, nil
+}
+
+// UnionExec concatenates the partitions of several same-schema inputs.
+type UnionExec struct {
+	Inputs []physical.ExecutionPlan
+	parts  []int // prefix-sum partition mapping
+}
+
+// NewUnionExec builds a union whose partition list is the concatenation of
+// the inputs' partitions.
+func NewUnionExec(inputs []physical.ExecutionPlan) *UnionExec {
+	u := &UnionExec{Inputs: inputs}
+	for _, in := range inputs {
+		u.parts = append(u.parts, in.Partitions())
+	}
+	return u
+}
+
+func (e *UnionExec) Schema() *arrow.Schema              { return e.Inputs[0].Schema() }
+func (e *UnionExec) Children() []physical.ExecutionPlan { return e.Inputs }
+func (e *UnionExec) Partitions() int {
+	n := 0
+	for _, p := range e.parts {
+		n += p
+	}
+	return n
+}
+func (e *UnionExec) OutputOrdering() []physical.SortField { return nil }
+func (e *UnionExec) String() string                       { return fmt.Sprintf("UnionExec: inputs=%d", len(e.Inputs)) }
+func (e *UnionExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	return NewUnionExec(ch), nil
+}
+
+func (e *UnionExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
+	for i, p := range e.parts {
+		if partition < p {
+			return e.Inputs[i].Execute(ctx, partition)
+		}
+		partition -= p
+	}
+	return nil, fmt.Errorf("exec: union partition out of range")
+}
+
+// ValuesExec produces a fixed set of batches in one partition.
+type ValuesExec struct {
+	schema  *arrow.Schema
+	Batches []*arrow.RecordBatch
+}
+
+// NewValuesExec wraps literal batches.
+func NewValuesExec(schema *arrow.Schema, batches []*arrow.RecordBatch) *ValuesExec {
+	return &ValuesExec{schema: schema, Batches: batches}
+}
+
+func (e *ValuesExec) Schema() *arrow.Schema                { return e.schema }
+func (e *ValuesExec) Children() []physical.ExecutionPlan   { return nil }
+func (e *ValuesExec) Partitions() int                      { return 1 }
+func (e *ValuesExec) OutputOrdering() []physical.SortField { return nil }
+func (e *ValuesExec) String() string                       { return fmt.Sprintf("ValuesExec: %d batches", len(e.Batches)) }
+func (e *ValuesExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	return e, nil
+}
+func (e *ValuesExec) Execute(_ *physical.ExecContext, partition int) (physical.Stream, error) {
+	pos := 0
+	return NewFuncStream(e.schema, func() (*arrow.RecordBatch, error) {
+		if pos >= len(e.Batches) {
+			return nil, io.EOF
+		}
+		b := e.Batches[pos]
+		pos++
+		return b, nil
+	}, nil), nil
+}
+
+// CoalesceBatchesExec re-buffers small batches (e.g. post-filter) back up
+// to the target size so downstream vectorization stays effective.
+type CoalesceBatchesExec struct {
+	Input  physical.ExecutionPlan
+	Target int
+}
+
+func (e *CoalesceBatchesExec) Schema() *arrow.Schema { return e.Input.Schema() }
+func (e *CoalesceBatchesExec) Children() []physical.ExecutionPlan {
+	return []physical.ExecutionPlan{e.Input}
+}
+func (e *CoalesceBatchesExec) Partitions() int { return e.Input.Partitions() }
+func (e *CoalesceBatchesExec) OutputOrdering() []physical.SortField {
+	return e.Input.OutputOrdering()
+}
+func (e *CoalesceBatchesExec) String() string {
+	return fmt.Sprintf("CoalesceBatchesExec: target=%d", e.Target)
+}
+func (e *CoalesceBatchesExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	c, err := oneChild(ch)
+	if err != nil {
+		return nil, err
+	}
+	return &CoalesceBatchesExec{Input: c, Target: e.Target}, nil
+}
+
+func (e *CoalesceBatchesExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
+	in, err := e.Input.Execute(ctx, partition)
+	if err != nil {
+		return nil, err
+	}
+	var pending []*arrow.RecordBatch
+	pendingRows := 0
+	eof := false
+	return NewFuncStream(e.Schema(), func() (*arrow.RecordBatch, error) {
+		for !eof && pendingRows < e.Target {
+			b, err := in.Next()
+			if err == io.EOF {
+				eof = true
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			if b.NumRows() == 0 {
+				continue
+			}
+			pending = append(pending, b)
+			pendingRows += b.NumRows()
+		}
+		if pendingRows == 0 {
+			return nil, io.EOF
+		}
+		out, err := compute.ConcatBatches(e.Schema(), pending)
+		pending, pendingRows = nil, 0
+		return out, err
+	}, in.Close), nil
+}

@@ -1,0 +1,23 @@
+package exec
+
+import (
+	"strings"
+
+	"gofusion/internal/physical"
+)
+
+// ExplainPhysical renders an indented physical plan tree.
+func ExplainPhysical(p physical.ExecutionPlan) string {
+	var sb strings.Builder
+	var walk func(physical.ExecutionPlan, int)
+	walk = func(n physical.ExecutionPlan, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.String())
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(p, 0)
+	return sb.String()
+}

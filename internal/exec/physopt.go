@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"gofusion/internal/physical"
+)
+
+// applyPhysicalOptimizers runs ExecutionPlan rewrites after planning
+// (paper Section 6.1: "ExecutionPlan rewrites include eliminating
+// unnecessary sorts, maximizing parallel execution..."). Sort elimination
+// and Top-K selection happen during lowering where logical context is
+// available; the passes here operate on the physical tree.
+func applyPhysicalOptimizers(plan physical.ExecutionPlan, cfg *PlannerConfig) (physical.ExecutionPlan, error) {
+	plan, err := removeRedundantCoalesce(plan)
+	if err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// transformUp rewrites a physical plan bottom-up.
+func transformUp(plan physical.ExecutionPlan, f func(physical.ExecutionPlan) (physical.ExecutionPlan, error)) (physical.ExecutionPlan, error) {
+	children := plan.Children()
+	if len(children) > 0 {
+		newChildren := make([]physical.ExecutionPlan, len(children))
+		changed := false
+		for i, c := range children {
+			nc, err := transformUp(c, f)
+			if err != nil {
+				return nil, err
+			}
+			newChildren[i] = nc
+			if nc != c {
+				changed = true
+			}
+		}
+		if changed {
+			var err error
+			plan, err = plan.WithChildren(newChildren)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f(plan)
+}
+
+// removeRedundantCoalesce drops stacked CoalesceBatchesExec and
+// single-input CoalescePartitionsExec nodes.
+func removeRedundantCoalesce(plan physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	return transformUp(plan, func(p physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+		switch node := p.(type) {
+		case *CoalesceBatchesExec:
+			if inner, ok := node.Input.(*CoalesceBatchesExec); ok {
+				return &CoalesceBatchesExec{Input: inner.Input, Target: node.Target}, nil
+			}
+		case *CoalescePartitionsExec:
+			if node.Input.Partitions() == 1 {
+				return node.Input, nil
+			}
+		}
+		return p, nil
+	})
+}

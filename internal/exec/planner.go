@@ -1,0 +1,652 @@
+package exec
+
+import (
+	"fmt"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/catalog"
+	"gofusion/internal/functions"
+	"gofusion/internal/logical"
+	"gofusion/internal/optimizer"
+	"gofusion/internal/physical"
+)
+
+// PlannerConfig controls physical planning.
+type PlannerConfig struct {
+	// TargetPartitions is the desired parallelism (paper Section 5.5.2).
+	TargetPartitions int
+	// BatchRows is the preferred batch size (default 8192).
+	BatchRows int
+	// Reg resolves functions.
+	Reg *functions.Registry
+	// PreferHashJoin disables sort-merge join selection when true.
+	PreferHashJoin bool
+	// ExtensionPlanners lower user-defined logical nodes (paper Section
+	// 7.7); each is tried in order.
+	ExtensionPlanners []ExtensionPlanner
+}
+
+// ExtensionPlanner lowers one kind of user-defined logical node.
+type ExtensionPlanner func(node logical.ExtensionNode, inputs []physical.ExecutionPlan, cfg *PlannerConfig) (physical.ExecutionPlan, bool, error)
+
+func (cfg *PlannerConfig) withDefaults() *PlannerConfig {
+	out := *cfg
+	if out.TargetPartitions <= 0 {
+		out.TargetPartitions = 1
+	}
+	if out.BatchRows <= 0 {
+		out.BatchRows = 8192
+	}
+	if out.Reg == nil {
+		out.Reg = functions.NewRegistry()
+	}
+	return &out
+}
+
+// CreatePhysicalPlan lowers an optimized logical plan to an execution plan.
+func CreatePhysicalPlan(plan logical.Plan, cfg *PlannerConfig) (physical.ExecutionPlan, error) {
+	c := cfg.withDefaults()
+	p, err := c.create(plan)
+	if err != nil {
+		return nil, err
+	}
+	return applyPhysicalOptimizers(p, c)
+}
+
+func (cfg *PlannerConfig) compiler(schema *logical.Schema) *physical.Compiler {
+	return physical.NewCompiler(schema, cfg.Reg)
+}
+
+func (cfg *PlannerConfig) compileSorts(keys []logical.SortExpr, schema *logical.Schema) ([]SortSpec, error) {
+	comp := cfg.compiler(schema)
+	out := make([]SortSpec, len(keys))
+	for i, k := range keys {
+		e, err := comp.Compile(k.E)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = SortSpec{Expr: e, Descending: !k.Asc, NullsFirst: k.NullsFirst}
+	}
+	return out, nil
+}
+
+func (cfg *PlannerConfig) create(plan logical.Plan) (physical.ExecutionPlan, error) {
+	switch node := plan.(type) {
+	case *logical.TableScan:
+		return cfg.planScan(node)
+	case *logical.Projection:
+		input, err := cfg.create(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		comp := cfg.compiler(node.Input.Schema())
+		exprs := make([]physical.PhysicalExpr, len(node.Exprs))
+		for i, e := range node.Exprs {
+			pe, err := comp.Compile(e)
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = pe
+		}
+		names := make([]string, node.Schema().Len())
+		nullables := make([]bool, node.Schema().Len())
+		for i, f := range node.Schema().Fields() {
+			names[i] = f.Name
+			nullables[i] = f.Nullable
+		}
+		return NewProjectionExec(input, exprs, names, nullables), nil
+	case *logical.Filter:
+		input, err := cfg.create(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := cfg.compiler(node.Input.Schema()).Compile(node.Predicate)
+		if err != nil {
+			return nil, err
+		}
+		return &CoalesceBatchesExec{Input: &FilterExec{Input: input, Predicate: pred}, Target: cfg.BatchRows}, nil
+	case *logical.Aggregate:
+		return cfg.planAggregate(node)
+	case *logical.Sort:
+		return cfg.planSort(node)
+	case *logical.Limit:
+		input, err := cfg.create(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		if input.Partitions() > 1 {
+			if node.Fetch >= 0 {
+				input = &LocalLimitExec{Input: input, Fetch: node.Skip + node.Fetch}
+			}
+			input = &CoalescePartitionsExec{Input: input}
+		}
+		return &GlobalLimitExec{Input: input, Skip: node.Skip, Fetch: node.Fetch}, nil
+	case *logical.Join:
+		return cfg.planJoin(node)
+	case *logical.SubqueryAlias:
+		// Pure renaming: physical plans reference columns by position.
+		return cfg.create(node.Input)
+	case *logical.Union:
+		inputs := make([]physical.ExecutionPlan, len(node.Inputs))
+		for i, in := range node.Inputs {
+			p, err := cfg.create(in)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = p
+		}
+		// Unify field names to the union schema.
+		return NewUnionExec(inputs), nil
+	case *logical.Distinct:
+		input, err := cfg.create(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return cfg.planDistinct(node, input)
+	case *logical.Window:
+		return cfg.planWindow(node)
+	case *logical.Values:
+		return cfg.planValues(node)
+	case *logical.EmptyRelation:
+		schema := node.Schema().ToArrow()
+		var batches []*arrow.RecordBatch
+		if node.ProduceOneRow {
+			cols := make([]arrow.Array, schema.NumFields())
+			for i, f := range schema.Fields() {
+				b := arrow.NewBuilder(f.Type)
+				b.AppendNull()
+				cols[i] = b.Finish()
+			}
+			batches = append(batches, arrow.NewRecordBatchWithRows(schema, cols, 1))
+		}
+		return NewValuesExec(schema, batches), nil
+	case *logical.Extension:
+		inputs := make([]physical.ExecutionPlan, len(node.Node.Inputs()))
+		for i, in := range node.Node.Inputs() {
+			p, err := cfg.create(in)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = p
+		}
+		for _, ep := range cfg.ExtensionPlanners {
+			p, ok, err := ep(node.Node, inputs, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return p, nil
+			}
+		}
+		return nil, fmt.Errorf("exec: no physical planner for extension node %q", node.Node.Name())
+	}
+	return nil, fmt.Errorf("exec: cannot plan %T", plan)
+}
+
+func (cfg *PlannerConfig) planScan(node *logical.TableScan) (physical.ExecutionPlan, error) {
+	provider, ok := node.Source.(catalog.TableProvider)
+	if !ok {
+		return nil, fmt.Errorf("exec: table %q has no physical provider", node.Name)
+	}
+	req := catalog.ScanRequest{
+		Projection: node.Projection,
+		Filters:    node.Filters,
+		Limit:      node.Fetch,
+		Partitions: cfg.TargetPartitions,
+		BatchRows:  cfg.BatchRows,
+	}
+	result, err := provider.Scan(req)
+	if err != nil {
+		return nil, err
+	}
+	var plan physical.ExecutionPlan = NewTableScanExec(node.Name, result)
+	// Maximize parallelism: fan a narrow scan out across the target
+	// partition count (unless that would destroy a useful sort order).
+	if result.Partitions < cfg.TargetPartitions && result.SortOrder == nil {
+		plan = &RepartitionExec{Input: plan, Scheme: RoundRobinPartitioning, NumParts: cfg.TargetPartitions}
+	}
+	// Re-apply filters the provider could not guarantee exactly.
+	var residual []logical.Expr
+	for i, f := range node.Filters {
+		if i >= len(result.ExactFilters) || !result.ExactFilters[i] {
+			residual = append(residual, f)
+		}
+	}
+	if len(residual) > 0 {
+		pred, err := cfg.compiler(node.Schema()).Compile(logical.And(residual...))
+		if err != nil {
+			return nil, err
+		}
+		plan = &CoalesceBatchesExec{Input: &FilterExec{Input: plan, Predicate: pred}, Target: cfg.BatchRows}
+	}
+	return plan, nil
+}
+
+// aggCall unwraps an aggregate expression (possibly aliased).
+func aggCall(e logical.Expr) (*logical.AggFunc, error) {
+	switch x := e.(type) {
+	case *logical.Alias:
+		return aggCall(x.E)
+	case *logical.AggFunc:
+		return x, nil
+	}
+	return nil, fmt.Errorf("exec: aggregate expression %s must be a direct aggregate call", e)
+}
+
+func (cfg *PlannerConfig) buildAggSpecs(node *logical.Aggregate, comp *physical.Compiler) ([]AggSpec, error) {
+	specs := make([]AggSpec, len(node.AggExprs))
+	outFields := node.Schema().Fields()[len(node.GroupExprs):]
+	for i, e := range node.AggExprs {
+		call, err := aggCall(e)
+		if err != nil {
+			return nil, err
+		}
+		name := call.Name
+		if call.Distinct {
+			if name != "count" {
+				return nil, fmt.Errorf("exec: DISTINCT is only supported for count(), got %s", name)
+			}
+			name = "count_distinct"
+		}
+		fn, ok := cfg.Reg.Agg(name)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown aggregate function %q", name)
+		}
+		args := make([]physical.PhysicalExpr, len(call.Args))
+		for j, a := range call.Args {
+			pa, err := comp.Compile(a)
+			if err != nil {
+				return nil, err
+			}
+			args[j] = pa
+		}
+		var filter physical.PhysicalExpr
+		if call.Filter != nil {
+			filter, err = comp.Compile(call.Filter)
+			if err != nil {
+				return nil, err
+			}
+		}
+		spec, err := NewAggSpec(fn, outFields[i].Name, args, filter)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	return specs, nil
+}
+
+// orderingCoversGroups reports whether the input ordering's leading
+// columns are exactly the group columns (any permutation), enabling the
+// streaming aggregation fast path.
+func orderingCoversGroups(ordering []physical.SortField, groups []physical.PhysicalExpr) bool {
+	if len(ordering) < len(groups) || len(groups) == 0 {
+		return false
+	}
+	lead := map[int]bool{}
+	for _, f := range ordering[:len(groups)] {
+		lead[f.Col] = true
+	}
+	for _, g := range groups {
+		c, ok := g.(*physical.ColumnExpr)
+		if !ok || !lead[c.Index] {
+			return false
+		}
+	}
+	return true
+}
+
+func (cfg *PlannerConfig) planAggregate(node *logical.Aggregate) (physical.ExecutionPlan, error) {
+	input, err := cfg.create(node.Input)
+	if err != nil {
+		return nil, err
+	}
+	comp := cfg.compiler(node.Input.Schema())
+	groupExprs := make([]physical.PhysicalExpr, len(node.GroupExprs))
+	for i, g := range node.GroupExprs {
+		pg, err := comp.Compile(g)
+		if err != nil {
+			return nil, err
+		}
+		groupExprs[i] = pg
+	}
+	groupNames := make([]string, len(node.GroupExprs))
+	for i := range node.GroupExprs {
+		groupNames[i] = node.Schema().Field(i).Name
+	}
+	specs, err := cfg.buildAggSpecs(node, comp)
+	if err != nil {
+		return nil, err
+	}
+
+	ordered := orderingCoversGroups(input.OutputOrdering(), groupExprs)
+
+	if input.Partitions() == 1 {
+		single := NewHashAggregateExec(input, SingleAgg, groupExprs, groupNames, specs)
+		single.InputOrdered = ordered
+		return single, nil
+	}
+
+	// Two-phase: partial per input partition, hash repartition on group
+	// keys, final merge.
+	partial := NewHashAggregateExec(input, PartialAgg, groupExprs, groupNames, specs)
+	partial.InputOrdered = ordered
+
+	// Final-phase group exprs reference the partial output by position.
+	finalGroups := make([]physical.PhysicalExpr, len(groupExprs))
+	for i, g := range groupExprs {
+		finalGroups[i] = physical.NewColumnExpr(i, groupNames[i], g.DataType())
+	}
+	finalSpecs := make([]AggSpec, len(specs))
+	for i, s := range specs {
+		finalSpecs[i] = AggSpec{Fn: s.Fn, Name: s.Name, ArgTypes: s.ArgTypes,
+			OutType: s.OutType, StateTypes: s.StateTypes}
+	}
+
+	var mid physical.ExecutionPlan = partial
+	if len(groupExprs) == 0 {
+		mid = &CoalescePartitionsExec{Input: mid}
+	} else {
+		mid = &RepartitionExec{Input: mid, Scheme: HashPartitioning,
+			HashExprs: finalGroups, NumParts: cfg.TargetPartitions}
+	}
+	return NewHashAggregateExec(mid, FinalAgg, finalGroups, groupNames, finalSpecs), nil
+}
+
+func (cfg *PlannerConfig) planDistinct(node *logical.Distinct, input physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	schema := node.Schema()
+	groupExprs := make([]physical.PhysicalExpr, schema.Len())
+	groupNames := make([]string, schema.Len())
+	for i, f := range schema.Fields() {
+		groupExprs[i] = physical.NewColumnExpr(i, f.Name, f.Type)
+		groupNames[i] = f.Name
+	}
+	if input.Partitions() == 1 {
+		return NewHashAggregateExec(input, SingleAgg, groupExprs, groupNames, nil), nil
+	}
+	partial := NewHashAggregateExec(input, PartialAgg, groupExprs, groupNames, nil)
+	rep := &RepartitionExec{Input: partial, Scheme: HashPartitioning,
+		HashExprs: groupExprs, NumParts: cfg.TargetPartitions}
+	return NewHashAggregateExec(rep, FinalAgg, groupExprs, groupNames, nil), nil
+}
+
+func (cfg *PlannerConfig) planSort(node *logical.Sort) (physical.ExecutionPlan, error) {
+	input, err := cfg.create(node.Input)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := cfg.compileSorts(node.Keys, node.Input.Schema())
+	if err != nil {
+		return nil, err
+	}
+	// Sort elimination: input already provides the requested order.
+	if orderingSatisfies(input.OutputOrdering(), keys) && input.Partitions() == 1 {
+		if node.Fetch >= 0 {
+			return &GlobalLimitExec{Input: input, Skip: 0, Fetch: node.Fetch}, nil
+		}
+		return input, nil
+	}
+	if node.Fetch >= 0 {
+		topk := &TopKExec{Input: input, Keys: keys, K: node.Fetch}
+		if input.Partitions() == 1 {
+			return topk, nil
+		}
+		merged := &SortPreservingMergeExec{Input: topk, Keys: keys}
+		return &GlobalLimitExec{Input: merged, Skip: 0, Fetch: node.Fetch}, nil
+	}
+	sorted := &ExternalSortExec{Input: input, Keys: keys}
+	if input.Partitions() == 1 {
+		return sorted, nil
+	}
+	return &SortPreservingMergeExec{Input: sorted, Keys: keys}, nil
+}
+
+// orderingSatisfies reports whether an existing output ordering subsumes
+// the requested sort keys.
+func orderingSatisfies(have []physical.SortField, want []SortSpec) bool {
+	if len(have) < len(want) {
+		return false
+	}
+	for i, w := range want {
+		c, ok := w.Expr.(*physical.ColumnExpr)
+		if !ok {
+			return false
+		}
+		h := have[i]
+		if h.Col != c.Index || h.Descending != w.Descending || h.NullsFirst != w.NullsFirst {
+			return false
+		}
+	}
+	return true
+}
+
+func (cfg *PlannerConfig) planJoin(node *logical.Join) (physical.ExecutionPlan, error) {
+	left, err := cfg.create(node.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := cfg.create(node.Right)
+	if err != nil {
+		return nil, err
+	}
+	// The residual filter sees (left ++ right) regardless of join type.
+	combined := node.Left.Schema().Merge(node.Right.Schema())
+	var filter physical.PhysicalExpr
+	if node.Filter != nil {
+		filter, err = cfg.compiler(combined).Compile(node.Filter)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if node.Type == logical.CrossJoin || len(node.On) == 0 {
+		jt := node.Type
+		if jt == logical.CrossJoin && filter != nil {
+			jt = logical.InnerJoin
+		}
+		return NewNestedLoopJoinExec(left, right, filter, jt), nil
+	}
+
+	lcomp := cfg.compiler(node.Left.Schema())
+	rcomp := cfg.compiler(node.Right.Schema())
+	on := make([]JoinOn, len(node.On))
+	for i, p := range node.On {
+		le, err := lcomp.Compile(p.L)
+		if err != nil {
+			return nil, err
+		}
+		re, err := rcomp.Compile(p.R)
+		if err != nil {
+			return nil, err
+		}
+		// Coerce key types so both sides encode identically.
+		le, re, err = coerceJoinKeys(le, re)
+		if err != nil {
+			return nil, err
+		}
+		on[i] = JoinOn{L: le, R: re}
+	}
+
+	// Sorted inputs with matching keys use the merge join.
+	if !cfg.PreferHashJoin && filter == nil && mergeJoinApplicable(node.Type, left, right, on) {
+		return NewSortMergeJoinExec(left, right, on, node.Type)
+	}
+
+	if cfg.TargetPartitions > 1 {
+		// A small build side is cheaper to broadcast (CollectLeft) than to
+		// hash-repartition both inputs — but only join types that track no
+		// per-build-row state may share one table across probe partitions.
+		shareable := node.Type == logical.InnerJoin || node.Type == logical.RightJoin ||
+			node.Type == logical.RightSemiJoin || node.Type == logical.RightAntiJoin
+		if shareable {
+			if rows := optimizer.EstimateRows(node.Left); rows >= 0 && rows <= 100_000 {
+				return NewHashJoinExec(left, right, on, filter, node.Type, CollectLeft), nil
+			}
+		}
+		leftKeys := make([]physical.PhysicalExpr, len(on))
+		rightKeys := make([]physical.PhysicalExpr, len(on))
+		for i, p := range on {
+			leftKeys[i] = p.L
+			rightKeys[i] = p.R
+		}
+		lrep := &RepartitionExec{Input: left, Scheme: HashPartitioning, HashExprs: leftKeys, NumParts: cfg.TargetPartitions}
+		rrep := &RepartitionExec{Input: right, Scheme: HashPartitioning, HashExprs: rightKeys, NumParts: cfg.TargetPartitions}
+		return NewHashJoinExec(lrep, rrep, on, filter, node.Type, PartitionedJoin), nil
+	}
+	return NewHashJoinExec(left, right, on, filter, node.Type, CollectLeft), nil
+}
+
+func coerceJoinKeys(l, r physical.PhysicalExpr) (physical.PhysicalExpr, physical.PhysicalExpr, error) {
+	lt, rt := l.DataType(), r.DataType()
+	if lt.Equal(rt) {
+		return l, r, nil
+	}
+	common, err := logical.PromoteNumeric(lt, rt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("exec: incompatible join key types %s and %s", lt, rt)
+	}
+	if !lt.Equal(common) {
+		l = &physical.CastExpr{E: l, To: common}
+	}
+	if !rt.Equal(common) {
+		r = &physical.CastExpr{E: r, To: common}
+	}
+	return l, r, nil
+}
+
+func mergeJoinApplicable(jt logical.JoinType, left, right physical.ExecutionPlan, on []JoinOn) bool {
+	switch jt {
+	case logical.InnerJoin, logical.LeftJoin, logical.RightJoin, logical.LeftSemiJoin, logical.LeftAntiJoin:
+	default:
+		return false
+	}
+	check := func(p physical.ExecutionPlan, side func(JoinOn) physical.PhysicalExpr) bool {
+		ord := p.OutputOrdering()
+		if len(ord) < len(on) || p.Partitions() != 1 {
+			return false
+		}
+		for i, pair := range on {
+			c, ok := side(pair).(*physical.ColumnExpr)
+			if !ok || ord[i].Col != c.Index || ord[i].Descending {
+				return false
+			}
+		}
+		return true
+	}
+	return check(left, func(p JoinOn) physical.PhysicalExpr { return p.L }) &&
+		check(right, func(p JoinOn) physical.PhysicalExpr { return p.R })
+}
+
+func (cfg *PlannerConfig) planWindow(node *logical.Window) (physical.ExecutionPlan, error) {
+	input, err := cfg.create(node.Input)
+	if err != nil {
+		return nil, err
+	}
+	return PlanWindowOver(input, node, cfg)
+}
+
+// PlanWindowOver lowers a logical Window node onto a pre-built physical
+// input (also used by the baseline engine, which shares only the window
+// algorithm).
+func PlanWindowOver(input physical.ExecutionPlan, node *logical.Window, cfg *PlannerConfig) (physical.ExecutionPlan, error) {
+	cfg = cfg.withDefaults()
+	comp := cfg.compiler(node.Input.Schema())
+	inLen := node.Input.Schema().Len()
+	specs := make([]WindowSpec, len(node.WindowExprs))
+	for i, e := range node.WindowExprs {
+		wf, name, err := windowCall(e)
+		if err != nil {
+			return nil, err
+		}
+		spec := WindowSpec{Name: wf.Name, Frame: wf.Frame, OutName: name}
+		for _, a := range wf.Args {
+			pa, err := comp.Compile(a)
+			if err != nil {
+				return nil, err
+			}
+			spec.Args = append(spec.Args, pa)
+		}
+		for _, p := range wf.PartitionBy {
+			pp, err := comp.Compile(p)
+			if err != nil {
+				return nil, err
+			}
+			spec.PartitionBy = append(spec.PartitionBy, pp)
+		}
+		sorts, err := cfg.compileSorts(wf.OrderBy, node.Input.Schema())
+		if err != nil {
+			return nil, err
+		}
+		spec.OrderBy = sorts
+		if !cfg.Reg.IsWindow(wf.Name) {
+			fn, ok := cfg.Reg.Agg(wf.Name)
+			if !ok {
+				return nil, fmt.Errorf("exec: unknown window function %q", wf.Name)
+			}
+			spec.AggFn = fn
+		}
+		spec.OutType = node.Schema().Field(inLen + i).Type
+		specs[i] = spec
+	}
+	return NewWindowExec(input, specs, cfg.Reg), nil
+}
+
+func windowCall(e logical.Expr) (*logical.WindowFunc, string, error) {
+	name := logical.OutputName(e)
+	for {
+		switch x := e.(type) {
+		case *logical.Alias:
+			e = x.E
+		case *logical.WindowFunc:
+			return x, name, nil
+		default:
+			return nil, "", fmt.Errorf("exec: window expression %s must be a direct window call", e)
+		}
+	}
+}
+
+func (cfg *PlannerConfig) planValues(node *logical.Values) (physical.ExecutionPlan, error) {
+	schema := node.Schema().ToArrow()
+	builders := make([]arrow.Builder, schema.NumFields())
+	for i, f := range schema.Fields() {
+		builders[i] = arrow.NewBuilder(f.Type)
+	}
+	empty := logical.NewSchema()
+	comp := physical.NewCompiler(empty, cfg.Reg)
+	oneRow := arrow.NewRecordBatchWithRows(arrow.NewSchema(), nil, 1)
+	for _, row := range node.Rows {
+		for c, cell := range row {
+			pe, err := comp.Compile(cell)
+			if err != nil {
+				return nil, err
+			}
+			d, err := pe.Evaluate(oneRow)
+			if err != nil {
+				return nil, err
+			}
+			var s arrow.Scalar
+			if d.IsArray() {
+				s = d.Array().GetScalar(0)
+			} else {
+				s = d.ScalarValue()
+			}
+			if !s.Type.Equal(schema.Field(c).Type) && !s.Null {
+				s2, err := physical.CastScalarTo(s, schema.Field(c).Type)
+				if err != nil {
+					return nil, err
+				}
+				s = s2
+			}
+			if s.Null {
+				builders[c].AppendNull()
+			} else {
+				builders[c].AppendScalar(s)
+			}
+		}
+	}
+	cols := make([]arrow.Array, len(builders))
+	for i, b := range builders {
+		cols[i] = b.Finish()
+	}
+	return NewValuesExec(schema, []*arrow.RecordBatch{arrow.NewRecordBatchWithRows(schema, cols, len(node.Rows))}), nil
+}

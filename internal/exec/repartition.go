@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/arrow/compute"
+	"gofusion/internal/physical"
+)
+
+// PartitionScheme selects how RepartitionExec routes rows.
+type PartitionScheme int
+
+// Partitioning schemes.
+const (
+	RoundRobinPartitioning PartitionScheme = iota
+	HashPartitioning
+)
+
+// RepartitionExec is the Volcano-style exchange operator (paper Section
+// 5.5): it redistributes N input partitions into M output partitions,
+// decoupling producer and consumer parallelism. Hash partitioning routes
+// rows by key hash so equal keys meet in the same partition.
+type RepartitionExec struct {
+	Input  physical.ExecutionPlan
+	Scheme PartitionScheme
+	// HashExprs are the partitioning keys for HashPartitioning.
+	HashExprs []physical.PhysicalExpr
+	// NumParts is the output partition count.
+	NumParts int
+
+	mu      sync.Mutex
+	started bool
+	outputs []chan batchOrErr
+}
+
+func (e *RepartitionExec) Schema() *arrow.Schema { return e.Input.Schema() }
+func (e *RepartitionExec) Children() []physical.ExecutionPlan {
+	return []physical.ExecutionPlan{e.Input}
+}
+func (e *RepartitionExec) Partitions() int { return e.NumParts }
+func (e *RepartitionExec) OutputOrdering() []physical.SortField {
+	return nil
+}
+func (e *RepartitionExec) String() string {
+	if e.Scheme == HashPartitioning {
+		return fmt.Sprintf("RepartitionExec: hash(%d exprs) into %d", len(e.HashExprs), e.NumParts)
+	}
+	return fmt.Sprintf("RepartitionExec: round-robin into %d", e.NumParts)
+}
+func (e *RepartitionExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	c, err := oneChild(ch)
+	if err != nil {
+		return nil, err
+	}
+	return &RepartitionExec{Input: c, Scheme: e.Scheme, HashExprs: e.HashExprs, NumParts: e.NumParts}, nil
+}
+
+// start launches one producer goroutine per input partition; each routes
+// its rows into the output channels.
+func (e *RepartitionExec) start(ctx *physical.ExecContext) {
+	e.outputs = make([]chan batchOrErr, e.NumParts)
+	for i := range e.outputs {
+		e.outputs[i] = make(chan batchOrErr, 2)
+	}
+	n := e.Input.Partitions()
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			e.produce(ctx, p)
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		for _, ch := range e.outputs {
+			close(ch)
+		}
+	}()
+}
+
+func (e *RepartitionExec) fanError(err error) {
+	for _, ch := range e.outputs {
+		ch <- batchOrErr{err: err}
+	}
+}
+
+func (e *RepartitionExec) produce(ctx *physical.ExecContext, p int) {
+	s, err := e.Input.Execute(ctx, p)
+	if err != nil {
+		e.fanError(err)
+		return
+	}
+	defer s.Close()
+	rr := p % e.NumParts
+	for {
+		if err := checkCancel(ctx); err != nil {
+			e.fanError(err)
+			return
+		}
+		b, err := s.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			e.fanError(err)
+			return
+		}
+		if b.NumRows() == 0 {
+			continue
+		}
+		switch e.Scheme {
+		case RoundRobinPartitioning:
+			e.outputs[rr] <- batchOrErr{batch: b}
+			rr = (rr + 1) % e.NumParts
+		case HashPartitioning:
+			parts, err := e.splitByHash(b)
+			if err != nil {
+				e.fanError(err)
+				return
+			}
+			for i, pb := range parts {
+				if pb != nil && pb.NumRows() > 0 {
+					e.outputs[i] <- batchOrErr{batch: pb}
+				}
+			}
+		}
+	}
+}
+
+func (e *RepartitionExec) splitByHash(b *arrow.RecordBatch) ([]*arrow.RecordBatch, error) {
+	n := b.NumRows()
+	keys := make([]arrow.Array, len(e.HashExprs))
+	for i, x := range e.HashExprs {
+		a, err := physical.EvalToArray(x, b)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = a
+	}
+	hashes := compute.HashColumns(keys, n)
+	masks := make([]arrow.Bitmap, e.NumParts)
+	counts := make([]int, e.NumParts)
+	for i := range masks {
+		masks[i] = arrow.NewBitmap(n)
+	}
+	for i, h := range hashes {
+		p := int(h % uint64(e.NumParts))
+		masks[p].Set(i)
+		counts[p]++
+	}
+	out := make([]*arrow.RecordBatch, e.NumParts)
+	for p := 0; p < e.NumParts; p++ {
+		if counts[p] == 0 {
+			continue
+		}
+		if counts[p] == n {
+			out[p] = b
+			continue
+		}
+		mask := arrow.NewBool(masks[p], nil, n)
+		fb, err := compute.FilterBatch(b, mask)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = fb
+	}
+	return out, nil
+}
+
+func (e *RepartitionExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
+	e.mu.Lock()
+	if !e.started {
+		e.started = true
+		e.start(ctx)
+	}
+	ch := e.outputs[partition]
+	e.mu.Unlock()
+	return &chanStream{schema: e.Schema(), ch: ch}, nil
+}

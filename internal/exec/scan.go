@@ -1,0 +1,57 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/catalog"
+	"gofusion/internal/physical"
+)
+
+// TableScanExec reads from a TableProvider with pushed-down projection,
+// filters, and limit (paper Section 6.8).
+type TableScanExec struct {
+	Name   string
+	Result *catalog.ScanResult
+	order  []physical.SortField
+}
+
+// NewTableScanExec wraps a prepared provider scan.
+func NewTableScanExec(name string, result *catalog.ScanResult) *TableScanExec {
+	ex := &TableScanExec{Name: name, Result: result}
+	for _, oc := range result.SortOrder {
+		idx := result.Schema.FieldIndex(oc.Name)
+		if idx < 0 {
+			// A projected-out ordering column ends the usable prefix.
+			break
+		}
+		ex.order = append(ex.order, physical.SortField{Col: idx, Descending: oc.Desc, NullsFirst: oc.Desc})
+	}
+	return ex
+}
+
+func (e *TableScanExec) Schema() *arrow.Schema { return e.Result.Schema }
+func (e *TableScanExec) Children() []physical.ExecutionPlan {
+	return nil
+}
+func (e *TableScanExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	if len(ch) != 0 {
+		return nil, fmt.Errorf("exec: scan takes no children")
+	}
+	return e, nil
+}
+func (e *TableScanExec) Partitions() int { return e.Result.Partitions }
+func (e *TableScanExec) OutputOrdering() []physical.SortField {
+	return e.order
+}
+func (e *TableScanExec) Execute(_ *physical.ExecContext, partition int) (physical.Stream, error) {
+	return e.Result.Open(partition)
+}
+func (e *TableScanExec) String() string {
+	cols := make([]string, e.Result.Schema.NumFields())
+	for i, f := range e.Result.Schema.Fields() {
+		cols[i] = f.Name
+	}
+	return fmt.Sprintf("TableScanExec: %s partitions=%d cols=[%s]", e.Name, e.Result.Partitions, strings.Join(cols, ","))
+}

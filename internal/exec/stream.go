@@ -1,0 +1,169 @@
+// Package exec implements the streaming execution engine (paper Section
+// 5.5): pull-based partitioned operators exchanging arrow RecordBatches,
+// Volcano-style repartitioning across goroutines, two-phase partitioned
+// hash aggregation, external sort with spilling, hash / merge / nested
+// loop joins, window evaluation, and the physical planner and optimizer
+// that lower logical plans onto these operators.
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/arrow/compute"
+	"gofusion/internal/physical"
+)
+
+// funcStream adapts next/close functions into a Stream.
+type funcStream struct {
+	schema *arrow.Schema
+	next   func() (*arrow.RecordBatch, error)
+	close  func()
+	closed bool
+}
+
+// NewFuncStream builds a Stream from callbacks; close may be nil.
+func NewFuncStream(schema *arrow.Schema, next func() (*arrow.RecordBatch, error), close func()) physical.Stream {
+	return &funcStream{schema: schema, next: next, close: close}
+}
+
+func (s *funcStream) Schema() *arrow.Schema { return s.schema }
+func (s *funcStream) Next() (*arrow.RecordBatch, error) {
+	return s.next()
+}
+func (s *funcStream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.close != nil {
+		s.close()
+	}
+}
+
+// batchOrErr travels through exchange channels.
+type batchOrErr struct {
+	batch *arrow.RecordBatch
+	err   error
+}
+
+// chanStream reads batches from a channel fed by producer goroutines.
+type chanStream struct {
+	schema *arrow.Schema
+	ch     <-chan batchOrErr
+	stop   func()
+	done   bool
+}
+
+func (s *chanStream) Schema() *arrow.Schema { return s.schema }
+func (s *chanStream) Next() (*arrow.RecordBatch, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	be, ok := <-s.ch
+	if !ok {
+		s.done = true
+		return nil, io.EOF
+	}
+	if be.err != nil {
+		s.done = true
+		return nil, be.err
+	}
+	return be.batch, nil
+}
+func (s *chanStream) Close() {
+	if s.stop != nil {
+		s.stop()
+	}
+	// Drain so producers unblock.
+	go func() {
+		for range s.ch {
+		}
+	}()
+	s.done = true
+}
+
+// drainAll pulls every batch from a stream.
+func drainAll(s physical.Stream) ([]*arrow.RecordBatch, error) {
+	defer s.Close()
+	var out []*arrow.RecordBatch
+	for {
+		b, err := s.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if b.NumRows() > 0 {
+			out = append(out, b)
+		}
+	}
+}
+
+// CollectPlan executes every partition of a plan concurrently and returns
+// all batches.
+func CollectPlan(ctx *physical.ExecContext, plan physical.ExecutionPlan) ([]*arrow.RecordBatch, error) {
+	n := plan.Partitions()
+	if n == 1 {
+		s, err := plan.Execute(ctx, 0)
+		if err != nil {
+			return nil, err
+		}
+		return drainAll(s)
+	}
+	results := make([][]*arrow.RecordBatch, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s, err := plan.Execute(ctx, p)
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			results[p], errs[p] = drainAll(s)
+		}(p)
+	}
+	wg.Wait()
+	var out []*arrow.RecordBatch
+	for p := 0; p < n; p++ {
+		if errs[p] != nil {
+			return nil, errs[p]
+		}
+		out = append(out, results[p]...)
+	}
+	return out, nil
+}
+
+// CollectBatch executes a plan and concatenates the result into one batch.
+func CollectBatch(ctx *physical.ExecContext, plan physical.ExecutionPlan) (*arrow.RecordBatch, error) {
+	batches, err := CollectPlan(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	return compute.ConcatBatches(plan.Schema(), batches)
+}
+
+func checkCancel(ctx *physical.ExecContext) error {
+	if ctx.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Ctx.Done():
+		return ctx.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func oneChild(children []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	if len(children) != 1 {
+		return nil, fmt.Errorf("exec: expected 1 child, got %d", len(children))
+	}
+	return children[0], nil
+}

@@ -1,0 +1,151 @@
+package exec
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/physical"
+)
+
+// TopKExec is the specialized Sort+Limit operator (paper Section 6.2,
+// "Top K"): it keeps only the best K rows in a bounded heap instead of
+// sorting the whole input.
+type TopKExec struct {
+	Input physical.ExecutionPlan
+	Keys  []SortSpec
+	K     int64
+}
+
+func (e *TopKExec) Schema() *arrow.Schema              { return e.Input.Schema() }
+func (e *TopKExec) Children() []physical.ExecutionPlan { return []physical.ExecutionPlan{e.Input} }
+func (e *TopKExec) Partitions() int                    { return e.Input.Partitions() }
+func (e *TopKExec) String() string                     { return fmt.Sprintf("TopKExec: k=%d", e.K) }
+func (e *TopKExec) OutputOrdering() []physical.SortField {
+	return (&ExternalSortExec{Input: e.Input, Keys: e.Keys}).OutputOrdering()
+}
+func (e *TopKExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	c, err := oneChild(ch)
+	if err != nil {
+		return nil, err
+	}
+	return &TopKExec{Input: c, Keys: e.Keys, K: e.K}, nil
+}
+
+// topkRow is one retained row: its sort key plus boxed values.
+type topkRow struct {
+	key  []byte
+	vals []arrow.Scalar
+	seq  int64 // arrival order, for stable ties
+}
+
+// topkHeap is a max-heap on (key, seq) so the worst retained row is on
+// top and can be evicted in O(log k).
+type topkHeap []topkRow
+
+func (h topkHeap) Len() int { return len(h) }
+func (h topkHeap) Less(i, j int) bool {
+	c := bytes.Compare(h[i].key, h[j].key)
+	if c != 0 {
+		return c > 0
+	}
+	return h[i].seq > h[j].seq
+}
+func (h topkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *topkHeap) Push(x any)   { *h = append(*h, x.(topkRow)) }
+func (h *topkHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (e *TopKExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
+	in, err := e.Input.Execute(ctx, partition)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := sortEncoder(e.Keys)
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	started := false
+	var result *arrow.RecordBatch
+	emitted := false
+	next := func() (*arrow.RecordBatch, error) {
+		if !started {
+			started = true
+			var h topkHeap
+			var seq int64
+			for {
+				if err := checkCancel(ctx); err != nil {
+					return nil, err
+				}
+				b, err := in.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return nil, err
+				}
+				keys, err := encodeSortKeys(enc, e.Keys, b)
+				if err != nil {
+					return nil, err
+				}
+				for i := 0; i < b.NumRows(); i++ {
+					seq++
+					if int64(len(h)) >= e.K {
+						// Skip rows no better than the current worst.
+						worst := h[0]
+						c := bytes.Compare(keys[i], worst.key)
+						if c > 0 || (c == 0 && seq > worst.seq) {
+							continue
+						}
+					}
+					vals := make([]arrow.Scalar, b.NumCols())
+					for c := 0; c < b.NumCols(); c++ {
+						vals[c] = b.Column(c).GetScalar(i)
+					}
+					heap.Push(&h, topkRow{key: append([]byte(nil), keys[i]...), vals: vals, seq: seq})
+					if int64(len(h)) > e.K {
+						heap.Pop(&h)
+					}
+				}
+			}
+			rows := make([]topkRow, len(h))
+			copy(rows, h)
+			sort.Slice(rows, func(i, j int) bool {
+				c := bytes.Compare(rows[i].key, rows[j].key)
+				if c != 0 {
+					return c < 0
+				}
+				return rows[i].seq < rows[j].seq
+			})
+			builders := make([]arrow.Builder, e.Schema().NumFields())
+			for i, f := range e.Schema().Fields() {
+				builders[i] = arrow.NewBuilder(f.Type)
+			}
+			for _, r := range rows {
+				for c, v := range r.vals {
+					builders[c].AppendScalar(v)
+				}
+			}
+			cols := make([]arrow.Array, len(builders))
+			for i, b := range builders {
+				cols[i] = b.Finish()
+			}
+			result = arrow.NewRecordBatchWithRows(e.Schema(), cols, len(rows))
+		}
+		if emitted || result.NumRows() == 0 {
+			return nil, io.EOF
+		}
+		emitted = true
+		return result, nil
+	}
+	return NewFuncStream(e.Schema(), next, in.Close), nil
+}

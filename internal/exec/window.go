@@ -1,0 +1,496 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/arrow/compute"
+	"gofusion/internal/functions"
+	"gofusion/internal/logical"
+	"gofusion/internal/physical"
+	"gofusion/internal/rowformat"
+)
+
+// WindowSpec is one window expression: a function, its arguments, and the
+// OVER clause.
+type WindowSpec struct {
+	Name        string
+	AggFn       *functions.AggFunc // set when an aggregate runs in window position
+	Args        []physical.PhysicalExpr
+	PartitionBy []physical.PhysicalExpr
+	OrderBy     []SortSpec
+	Frame       logical.WindowFrame
+	OutType     *arrow.DataType
+	OutName     string
+}
+
+// WindowExec evaluates window functions incrementally per partition run
+// (paper Section 6.5), appending one output column per spec while
+// preserving the input row order.
+type WindowExec struct {
+	Input  physical.ExecutionPlan
+	Specs  []WindowSpec
+	Reg    *functions.Registry
+	schema *arrow.Schema
+}
+
+// NewWindowExec computes the output schema (input fields + window fields).
+func NewWindowExec(input physical.ExecutionPlan, specs []WindowSpec, reg *functions.Registry) *WindowExec {
+	fields := append([]arrow.Field{}, input.Schema().Fields()...)
+	for _, s := range specs {
+		fields = append(fields, arrow.NewField(s.OutName, s.OutType, true))
+	}
+	return &WindowExec{Input: input, Specs: specs, Reg: reg, schema: arrow.NewSchema(fields...)}
+}
+
+func (e *WindowExec) Schema() *arrow.Schema              { return e.schema }
+func (e *WindowExec) Children() []physical.ExecutionPlan { return []physical.ExecutionPlan{e.Input} }
+func (e *WindowExec) Partitions() int                    { return 1 }
+func (e *WindowExec) OutputOrdering() []physical.SortField {
+	return e.Input.OutputOrdering()
+}
+func (e *WindowExec) String() string {
+	return fmt.Sprintf("WindowExec: %d window exprs", len(e.Specs))
+}
+func (e *WindowExec) WithChildren(ch []physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	c, err := oneChild(ch)
+	if err != nil {
+		return nil, err
+	}
+	return NewWindowExec(c, e.Specs, e.Reg), nil
+}
+
+func (e *WindowExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
+	if partition != 0 {
+		return nil, fmt.Errorf("exec: window has a single partition")
+	}
+	in, err := (&CoalescePartitionsExec{Input: e.Input}).Execute(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	started := false
+	var out *arrow.RecordBatch
+	pos := 0
+	next := func() (*arrow.RecordBatch, error) {
+		if !started {
+			started = true
+			batches, err := drainAll(in)
+			if err != nil {
+				return nil, err
+			}
+			input, err := compute.ConcatBatches(e.Input.Schema(), batches)
+			if err != nil {
+				return nil, err
+			}
+			cols := append([]arrow.Array{}, input.Columns()...)
+			for i := range e.Specs {
+				col, err := e.evalSpec(&e.Specs[i], input)
+				if err != nil {
+					return nil, err
+				}
+				cols = append(cols, col)
+			}
+			out = arrow.NewRecordBatchWithRows(e.schema, cols, input.NumRows())
+		}
+		if pos >= out.NumRows() {
+			return nil, io.EOF
+		}
+		n := ctx.BatchRows
+		if n <= 0 {
+			n = 8192
+		}
+		if pos+n > out.NumRows() {
+			n = out.NumRows() - pos
+		}
+		b := out.Slice(pos, n)
+		pos += n
+		return b, nil
+	}
+	return NewFuncStream(e.schema, next, in.Close), nil
+}
+
+// evalSpec computes one window column over the whole input, in input row
+// order.
+func (e *WindowExec) evalSpec(spec *WindowSpec, input *arrow.RecordBatch) (arrow.Array, error) {
+	n := input.NumRows()
+	if n == 0 {
+		return arrow.NewBuilder(spec.OutType).Finish(), nil
+	}
+
+	// Sort rows by (partition keys, order keys).
+	var keyCols []arrow.Array
+	var opts []rowformat.SortOption
+	var types []*arrow.DataType
+	for _, p := range spec.PartitionBy {
+		a, err := physical.EvalToArray(p, input)
+		if err != nil {
+			return nil, err
+		}
+		keyCols = append(keyCols, a)
+		opts = append(opts, rowformat.SortOption{})
+		types = append(types, a.DataType())
+	}
+	numPartKeys := len(keyCols)
+	for _, o := range spec.OrderBy {
+		a, err := physical.EvalToArray(o.Expr, input)
+		if err != nil {
+			return nil, err
+		}
+		keyCols = append(keyCols, a)
+		opts = append(opts, rowformat.SortOption{Descending: o.Descending, NullsFirst: o.NullsFirst})
+		types = append(types, a.DataType())
+	}
+
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	var partKeys, orderKeys [][]byte
+	if len(keyCols) > 0 {
+		enc, err := rowformat.NewEncoder(types, opts)
+		if err != nil {
+			return nil, err
+		}
+		full := enc.EncodeRows(keyCols, n)
+		order = sortIndicesByKeys(full, n)
+		// Split partition and order-key prefixes for run detection.
+		partEnc, err := rowformat.NewEncoder(types[:numPartKeys], opts[:numPartKeys])
+		if err != nil {
+			return nil, err
+		}
+		partKeys = partEnc.EncodeRows(keyCols[:numPartKeys], n)
+		if len(spec.OrderBy) > 0 {
+			ordEnc, err := rowformat.NewEncoder(types[numPartKeys:], opts[numPartKeys:])
+			if err != nil {
+				return nil, err
+			}
+			orderKeys = ordEnc.EncodeRows(keyCols[numPartKeys:], n)
+		}
+	}
+
+	// Evaluate argument expressions once over the full input.
+	args := make([]arrow.Array, len(spec.Args))
+	for i, a := range spec.Args {
+		arr, err := physical.EvalToArray(a, input)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = arr
+	}
+
+	results := make([]arrow.Scalar, n) // indexed by original row
+	// Walk partition runs in sorted order.
+	start := 0
+	for start < n {
+		end := start + 1
+		for end < n && samePartition(partKeys, order, start, end) {
+			end++
+		}
+		if err := e.evalPartition(spec, args, order[start:end], orderKeys, results); err != nil {
+			return nil, err
+		}
+		start = end
+	}
+	b := arrow.NewBuilder(spec.OutType)
+	b.Reserve(n)
+	for i := 0; i < n; i++ {
+		b.AppendScalar(results[i])
+	}
+	return b.Finish(), nil
+}
+
+func sortIndicesByKeys(keys [][]byte, n int) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return bytes.Compare(keys[order[a]], keys[order[b]]) < 0
+	})
+	return order
+}
+
+func samePartition(partKeys [][]byte, order []int32, a, b int) bool {
+	if partKeys == nil {
+		return true
+	}
+	return bytes.Equal(partKeys[order[a]], partKeys[order[b]])
+}
+
+// peers returns the index (within rows) one past the last peer of row i
+// (rows with equal order keys).
+func peersEnd(orderKeys [][]byte, rows []int32, i int) int {
+	if orderKeys == nil {
+		return len(rows)
+	}
+	j := i + 1
+	for j < len(rows) && bytes.Equal(orderKeys[rows[j]], orderKeys[rows[i]]) {
+		j++
+	}
+	return j
+}
+
+// evalPartition computes results for one partition's rows (already in
+// window order); results are scattered into the original-row slots.
+func (e *WindowExec) evalPartition(spec *WindowSpec, args []arrow.Array, rows []int32, orderKeys [][]byte, results []arrow.Scalar) error {
+	n := len(rows)
+	name := spec.Name
+	switch name {
+	case "row_number":
+		for i, r := range rows {
+			results[r] = arrow.Int64Scalar(int64(i + 1))
+		}
+		return nil
+	case "rank", "dense_rank", "percent_rank", "cume_dist":
+		rank := int64(0)
+		dense := int64(0)
+		i := 0
+		for i < n {
+			j := peersEnd(orderKeys, rows, i)
+			rank = int64(i + 1)
+			dense++
+			for k := i; k < j; k++ {
+				switch name {
+				case "rank":
+					results[rows[k]] = arrow.Int64Scalar(rank)
+				case "dense_rank":
+					results[rows[k]] = arrow.Int64Scalar(dense)
+				case "percent_rank":
+					if n == 1 {
+						results[rows[k]] = arrow.Float64Scalar(0)
+					} else {
+						results[rows[k]] = arrow.Float64Scalar(float64(rank-1) / float64(n-1))
+					}
+				case "cume_dist":
+					results[rows[k]] = arrow.Float64Scalar(float64(j) / float64(n))
+				}
+			}
+			i = j
+		}
+		return nil
+	case "ntile":
+		buckets := int64(1)
+		if len(spec.Args) > 0 {
+			if lit, ok := spec.Args[0].(*physical.LiteralExpr); ok && !lit.Value.Null {
+				buckets = lit.Value.AsInt64()
+			}
+		}
+		if buckets < 1 {
+			return fmt.Errorf("exec: ntile requires a positive bucket count")
+		}
+		for i, r := range rows {
+			results[r] = arrow.Int64Scalar(int64(i)*buckets/int64(n) + 1)
+		}
+		return nil
+	case "lag", "lead":
+		offset := int64(1)
+		if len(spec.Args) > 1 {
+			if lit, ok := spec.Args[1].(*physical.LiteralExpr); ok && !lit.Value.Null {
+				offset = lit.Value.AsInt64()
+			}
+		}
+		var def arrow.Scalar
+		hasDefault := false
+		if len(spec.Args) > 2 {
+			if lit, ok := spec.Args[2].(*physical.LiteralExpr); ok {
+				def, hasDefault = lit.Value, true
+			}
+		}
+		for i, r := range rows {
+			var src int64
+			if name == "lag" {
+				src = int64(i) - offset
+			} else {
+				src = int64(i) + offset
+			}
+			if src < 0 || src >= int64(n) {
+				if hasDefault {
+					results[r] = def
+				} else {
+					results[r] = arrow.NullScalar(spec.OutType)
+				}
+				continue
+			}
+			results[r] = args[0].GetScalar(int(rows[src]))
+		}
+		return nil
+	case "first_value", "last_value", "nth_value":
+		for i, r := range rows {
+			lo, hi := frameBounds(spec.Frame, i, n, orderKeys, rows)
+			if lo >= hi {
+				results[r] = arrow.NullScalar(spec.OutType)
+				continue
+			}
+			var src int
+			switch name {
+			case "first_value":
+				src = lo
+			case "last_value":
+				src = hi - 1
+			default:
+				nth := int64(1)
+				if len(spec.Args) > 1 {
+					if lit, ok := spec.Args[1].(*physical.LiteralExpr); ok && !lit.Value.Null {
+						nth = lit.Value.AsInt64()
+					}
+				}
+				src = lo + int(nth) - 1
+				if src >= hi {
+					results[r] = arrow.NullScalar(spec.OutType)
+					continue
+				}
+			}
+			results[r] = args[0].GetScalar(int(rows[src]))
+		}
+		return nil
+	}
+
+	// Aggregate in window position.
+	if spec.AggFn == nil {
+		return fmt.Errorf("exec: unknown window function %q", name)
+	}
+	return e.evalAggWindow(spec, args, rows, orderKeys, results)
+}
+
+// frameBounds resolves a frame to [lo, hi) positions within the partition.
+// RANGE frames extend the current-row bound to the full peer group.
+func frameBounds(f logical.WindowFrame, i, n int, orderKeys [][]byte, rows []int32) (int, int) {
+	lo, hi := 0, n
+	switch f.Start.Kind {
+	case logical.UnboundedPreceding:
+		lo = 0
+	case logical.OffsetPreceding:
+		lo = i - int(f.Start.Offset)
+	case logical.CurrentRow:
+		if f.Rows {
+			lo = i
+		} else {
+			// first peer
+			lo = i
+			for lo > 0 && orderKeys != nil && bytes.Equal(orderKeys[rows[lo-1]], orderKeys[rows[i]]) {
+				lo--
+			}
+		}
+	case logical.OffsetFollowing:
+		lo = i + int(f.Start.Offset)
+	case logical.UnboundedFollowing:
+		lo = n
+	}
+	switch f.End.Kind {
+	case logical.UnboundedPreceding:
+		hi = 0
+	case logical.OffsetPreceding:
+		hi = i - int(f.End.Offset) + 1
+	case logical.CurrentRow:
+		if f.Rows {
+			hi = i + 1
+		} else {
+			hi = peersEnd(orderKeys, rows, i)
+		}
+	case logical.OffsetFollowing:
+		hi = i + int(f.End.Offset) + 1
+	case logical.UnboundedFollowing:
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// evalAggWindow computes an aggregate over each row's frame. The common
+// running frame (UNBOUNDED PRECEDING .. CURRENT ROW) is evaluated
+// incrementally; other frames recompute per frame.
+func (e *WindowExec) evalAggWindow(spec *WindowSpec, args []arrow.Array, rows []int32, orderKeys [][]byte, results []arrow.Scalar) error {
+	n := len(rows)
+	argTypes := make([]*arrow.DataType, len(args))
+	for i, a := range args {
+		argTypes[i] = a.DataType()
+	}
+
+	running := spec.Frame.Start.Kind == logical.UnboundedPreceding && spec.Frame.End.Kind == logical.CurrentRow
+	whole := spec.Frame.Start.Kind == logical.UnboundedPreceding && spec.Frame.End.Kind == logical.UnboundedFollowing
+
+	takeArgs := func(idx []int32) []arrow.Array {
+		out := make([]arrow.Array, len(args))
+		for i, a := range args {
+			out[i] = compute.Take(a, idx)
+		}
+		return out
+	}
+
+	switch {
+	case whole:
+		acc, err := spec.AggFn.NewAccumulator(argTypes)
+		if err != nil {
+			return err
+		}
+		gi := make([]uint32, n)
+		if err := acc.Update(takeArgs(rows), gi, 1); err != nil {
+			return err
+		}
+		out, err := acc.Evaluate()
+		if err != nil {
+			return err
+		}
+		v := out.GetScalar(0)
+		for _, r := range rows {
+			results[r] = v
+		}
+		return nil
+	case running:
+		acc, err := spec.AggFn.NewAccumulator(argTypes)
+		if err != nil {
+			return err
+		}
+		i := 0
+		for i < n {
+			// Add the whole peer group, then emit for each peer (RANGE
+			// semantics); ROWS frames have singleton peer groups.
+			j := i + 1
+			if !spec.Frame.Rows {
+				j = peersEnd(orderKeys, rows, i)
+			}
+			if err := acc.Update(takeArgs(rows[i:j]), make([]uint32, j-i), 1); err != nil {
+				return err
+			}
+			out, err := acc.Evaluate()
+			if err != nil {
+				return err
+			}
+			v := out.GetScalar(0)
+			for k := i; k < j; k++ {
+				results[rows[k]] = v
+			}
+			i = j
+		}
+		return nil
+	default:
+		for i := range rows {
+			lo, hi := frameBounds(spec.Frame, i, n, orderKeys, rows)
+			if lo >= hi {
+				results[rows[i]] = arrow.NullScalar(spec.OutType)
+				continue
+			}
+			acc, err := spec.AggFn.NewAccumulator(argTypes)
+			if err != nil {
+				return err
+			}
+			if err := acc.Update(takeArgs(rows[lo:hi]), make([]uint32, hi-lo), 1); err != nil {
+				return err
+			}
+			out, err := acc.Evaluate()
+			if err != nil {
+				return err
+			}
+			results[rows[i]] = out.GetScalar(0)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,157 @@
+// Package functions implements the engine's function library (paper
+// Section 5.4.3): scalar, aggregate, and window functions, all registered
+// through the same API exposed for user-defined functions (Section 7.1).
+// Functions consume and produce arrow Datums (ColumnarValues), so UDFs
+// have the same performance as built-ins.
+package functions
+
+import (
+	"fmt"
+	"strings"
+
+	"gofusion/internal/arrow"
+)
+
+// ScalarFunc describes a scalar function: one output row per input row.
+type ScalarFunc struct {
+	Name string
+	// ReturnType resolves the output type from argument types.
+	ReturnType func(args []*arrow.DataType) (*arrow.DataType, error)
+	// Eval evaluates the function over a batch.
+	Eval func(args []arrow.Datum, numRows int) (arrow.Datum, error)
+}
+
+// AggFunc describes an aggregate function: one output row per group.
+type AggFunc struct {
+	Name string
+	// ReturnType resolves the output type from argument types.
+	ReturnType func(args []*arrow.DataType) (*arrow.DataType, error)
+	// StateTypes lists the partial-aggregation state column types, used by
+	// two-phase aggregation and spilling.
+	StateTypes func(args []*arrow.DataType) ([]*arrow.DataType, error)
+	// NewAccumulator creates a vectorized per-group accumulator.
+	NewAccumulator func(args []*arrow.DataType) (GroupsAccumulator, error)
+}
+
+// WindowFuncDef describes a built-in window function. Aggregate functions
+// may also be used in window position; the executor handles that case.
+type WindowFuncDef struct {
+	Name string
+	// ReturnType resolves the output type from argument types.
+	ReturnType func(args []*arrow.DataType) (*arrow.DataType, error)
+}
+
+// Registry holds all registered functions and resolves their types during
+// planning. It implements logical.Registry.
+type Registry struct {
+	scalars map[string]*ScalarFunc
+	aggs    map[string]*AggFunc
+	windows map[string]*WindowFuncDef
+}
+
+// NewRegistry returns a registry pre-populated with the built-in library.
+func NewRegistry() *Registry {
+	r := &Registry{
+		scalars: map[string]*ScalarFunc{},
+		aggs:    map[string]*AggFunc{},
+		windows: map[string]*WindowFuncDef{},
+	}
+	registerMath(r)
+	registerString(r)
+	registerDateTime(r)
+	registerConditional(r)
+	registerRegexp(r)
+	registerAggregates(r)
+	registerWindowFuncs(r)
+	return r
+}
+
+// RegisterScalar adds (or replaces) a scalar function.
+func (r *Registry) RegisterScalar(f *ScalarFunc) {
+	r.scalars[strings.ToLower(f.Name)] = f
+}
+
+// RegisterAgg adds (or replaces) an aggregate function.
+func (r *Registry) RegisterAgg(f *AggFunc) {
+	r.aggs[strings.ToLower(f.Name)] = f
+}
+
+// RegisterWindow adds (or replaces) a window function.
+func (r *Registry) RegisterWindow(f *WindowFuncDef) {
+	r.windows[strings.ToLower(f.Name)] = f
+}
+
+// Scalar looks up a scalar function by name (case-insensitive).
+func (r *Registry) Scalar(name string) (*ScalarFunc, bool) {
+	f, ok := r.scalars[strings.ToLower(name)]
+	return f, ok
+}
+
+// Agg looks up an aggregate function by name.
+func (r *Registry) Agg(name string) (*AggFunc, bool) {
+	f, ok := r.aggs[strings.ToLower(name)]
+	return f, ok
+}
+
+// Window looks up a window function by name.
+func (r *Registry) Window(name string) (*WindowFuncDef, bool) {
+	f, ok := r.windows[strings.ToLower(name)]
+	return f, ok
+}
+
+// IsAggregate reports whether name is a registered aggregate.
+func (r *Registry) IsAggregate(name string) bool {
+	_, ok := r.aggs[strings.ToLower(name)]
+	return ok
+}
+
+// IsWindow reports whether name is a registered pure window function.
+func (r *Registry) IsWindow(name string) bool {
+	_, ok := r.windows[strings.ToLower(name)]
+	return ok
+}
+
+// ScalarReturnType implements logical.Registry.
+func (r *Registry) ScalarReturnType(name string, args []*arrow.DataType) (*arrow.DataType, error) {
+	f, ok := r.Scalar(name)
+	if !ok {
+		return nil, fmt.Errorf("functions: unknown scalar function %q", name)
+	}
+	return f.ReturnType(args)
+}
+
+// AggReturnType implements logical.Registry.
+func (r *Registry) AggReturnType(name string, args []*arrow.DataType) (*arrow.DataType, error) {
+	f, ok := r.Agg(name)
+	if !ok {
+		return nil, fmt.Errorf("functions: unknown aggregate function %q", name)
+	}
+	return f.ReturnType(args)
+}
+
+// WindowReturnType implements logical.Registry.
+func (r *Registry) WindowReturnType(name string, args []*arrow.DataType) (*arrow.DataType, error) {
+	if f, ok := r.Window(name); ok {
+		return f.ReturnType(args)
+	}
+	// Aggregates are usable in window position.
+	if f, ok := r.Agg(name); ok {
+		return f.ReturnType(args)
+	}
+	return nil, fmt.Errorf("functions: unknown window function %q", name)
+}
+
+// fixedType returns a ReturnType resolver ignoring arguments.
+func fixedType(t *arrow.DataType) func([]*arrow.DataType) (*arrow.DataType, error) {
+	return func([]*arrow.DataType) (*arrow.DataType, error) { return t, nil }
+}
+
+// sameAsArg returns a resolver echoing argument i's type.
+func sameAsArg(i int) func([]*arrow.DataType) (*arrow.DataType, error) {
+	return func(args []*arrow.DataType) (*arrow.DataType, error) {
+		if i >= len(args) {
+			return nil, fmt.Errorf("functions: missing argument %d", i)
+		}
+		return args[i], nil
+	}
+}

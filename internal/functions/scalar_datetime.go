@@ -1,0 +1,240 @@
+package functions
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gofusion/internal/arrow"
+)
+
+// toTime converts a Date32 or Timestamp slot to time.Time (UTC).
+func toTime(a arrow.Array, i int) (time.Time, bool) {
+	if a.IsNull(i) {
+		return time.Time{}, false
+	}
+	switch a.DataType().ID {
+	case arrow.DATE32:
+		days := a.GetScalar(i).AsInt64()
+		return time.Unix(days*86400, 0).UTC(), true
+	case arrow.TIMESTAMP:
+		return time.UnixMicro(a.GetScalar(i).AsInt64()).UTC(), true
+	}
+	return time.Time{}, false
+}
+
+// DatePart extracts a named part of a time value, shared by EXTRACT and
+// date_part.
+func DatePart(part string, t time.Time) (int64, error) {
+	switch strings.ToLower(part) {
+	case "year":
+		return int64(t.Year()), nil
+	case "quarter":
+		return int64((int(t.Month())-1)/3 + 1), nil
+	case "month":
+		return int64(t.Month()), nil
+	case "week":
+		_, w := t.ISOWeek()
+		return int64(w), nil
+	case "day":
+		return int64(t.Day()), nil
+	case "doy":
+		return int64(t.YearDay()), nil
+	case "dow":
+		return int64(t.Weekday()), nil
+	case "hour":
+		return int64(t.Hour()), nil
+	case "minute":
+		return int64(t.Minute()), nil
+	case "second":
+		return int64(t.Second()), nil
+	case "millisecond":
+		return int64(t.Nanosecond() / 1e6), nil
+	case "microsecond":
+		return int64(t.Nanosecond() / 1e3), nil
+	case "epoch":
+		return t.Unix(), nil
+	}
+	return 0, fmt.Errorf("functions: unknown date part %q", part)
+}
+
+// DateTrunc truncates a time to the named precision.
+func DateTrunc(part string, t time.Time) (time.Time, error) {
+	switch strings.ToLower(part) {
+	case "year":
+		return time.Date(t.Year(), 1, 1, 0, 0, 0, 0, time.UTC), nil
+	case "quarter":
+		q := (int(t.Month()) - 1) / 3
+		return time.Date(t.Year(), time.Month(q*3+1), 1, 0, 0, 0, 0, time.UTC), nil
+	case "month":
+		return time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC), nil
+	case "week":
+		// ISO week starts Monday.
+		wd := (int(t.Weekday()) + 6) % 7
+		d := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+		return d.AddDate(0, 0, -wd), nil
+	case "day":
+		return time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC), nil
+	case "hour":
+		return t.Truncate(time.Hour), nil
+	case "minute":
+		return t.Truncate(time.Minute), nil
+	case "second":
+		return t.Truncate(time.Second), nil
+	}
+	return time.Time{}, fmt.Errorf("functions: unknown date_trunc precision %q", part)
+}
+
+func registerDateTime(r *Registry) {
+	r.RegisterScalar(&ScalarFunc{
+		Name:       "date_part",
+		ReturnType: fixedType(arrow.Int64),
+		Eval: func(args []arrow.Datum, numRows int) (arrow.Datum, error) {
+			if len(args) != 2 {
+				return arrow.Datum{}, fmt.Errorf("date_part takes 2 arguments")
+			}
+			partS := args[0].ScalarValue()
+			if args[0].IsArray() {
+				partS = args[0].Array().GetScalar(0)
+			}
+			part := partS.AsString()
+			in := args[1].ToArray(numRows)
+			b := arrow.NewNumericBuilder[int64](arrow.Int64)
+			for i := 0; i < in.Len(); i++ {
+				t, ok := toTime(in, i)
+				if !ok {
+					b.AppendNull()
+					continue
+				}
+				v, err := DatePart(part, t)
+				if err != nil {
+					return arrow.Datum{}, err
+				}
+				b.Append(v)
+			}
+			return arrow.ArrayDatum(b.Finish()), nil
+		},
+	})
+	dp := mustScalar(r, "date_part")
+	r.RegisterScalar(&ScalarFunc{Name: "extract", ReturnType: dp.ReturnType, Eval: dp.Eval})
+
+	r.RegisterScalar(&ScalarFunc{
+		Name: "date_trunc",
+		ReturnType: func(args []*arrow.DataType) (*arrow.DataType, error) {
+			if len(args) == 2 {
+				return args[1], nil
+			}
+			return arrow.Timestamp, nil
+		},
+		Eval: func(args []arrow.Datum, numRows int) (arrow.Datum, error) {
+			partS := args[0].ScalarValue()
+			if args[0].IsArray() {
+				partS = args[0].Array().GetScalar(0)
+			}
+			part := partS.AsString()
+			in := args[1].ToArray(numRows)
+			outType := in.DataType()
+			b := arrow.NewBuilder(outType)
+			for i := 0; i < in.Len(); i++ {
+				t, ok := toTime(in, i)
+				if !ok {
+					b.AppendNull()
+					continue
+				}
+				tt, err := DateTrunc(part, t)
+				if err != nil {
+					return arrow.Datum{}, err
+				}
+				if outType.ID == arrow.DATE32 {
+					b.AppendScalar(arrow.NewScalar(outType, int32(tt.Unix()/86400)))
+				} else {
+					b.AppendScalar(arrow.NewScalar(outType, tt.UnixMicro()))
+				}
+			}
+			return arrow.ArrayDatum(b.Finish()), nil
+		},
+	})
+
+	r.RegisterScalar(&ScalarFunc{
+		Name:       "to_date",
+		ReturnType: fixedType(arrow.Date32),
+		Eval: func(args []arrow.Datum, numRows int) (arrow.Datum, error) {
+			in := args[0].ToArray(numRows)
+			b := arrow.NewNumericBuilder[int32](arrow.Date32)
+			for i := 0; i < in.Len(); i++ {
+				if in.IsNull(i) {
+					b.AppendNull()
+					continue
+				}
+				switch in.DataType().ID {
+				case arrow.STRING:
+					d, err := arrow.ParseDate32(in.GetScalar(i).AsString())
+					if err != nil {
+						return arrow.Datum{}, err
+					}
+					b.Append(d)
+				case arrow.TIMESTAMP:
+					b.Append(int32(in.GetScalar(i).AsInt64() / 86400_000_000))
+				case arrow.DATE32:
+					b.Append(int32(in.GetScalar(i).AsInt64()))
+				default:
+					return arrow.Datum{}, fmt.Errorf("to_date: unsupported input %s", in.DataType())
+				}
+			}
+			return arrow.ArrayDatum(b.Finish()), nil
+		},
+	})
+
+	r.RegisterScalar(&ScalarFunc{
+		Name:       "make_date",
+		ReturnType: fixedType(arrow.Date32),
+		Eval: func(args []arrow.Datum, numRows int) (arrow.Datum, error) {
+			y := args[0].ToArray(numRows)
+			m := args[1].ToArray(numRows)
+			d := args[2].ToArray(numRows)
+			b := arrow.NewNumericBuilder[int32](arrow.Date32)
+			for i := 0; i < numRows; i++ {
+				if y.IsNull(i) || m.IsNull(i) || d.IsNull(i) {
+					b.AppendNull()
+					continue
+				}
+				t := time.Date(int(y.GetScalar(i).AsInt64()), time.Month(m.GetScalar(i).AsInt64()),
+					int(d.GetScalar(i).AsInt64()), 0, 0, 0, 0, time.UTC)
+				b.Append(int32(t.Unix() / 86400))
+			}
+			return arrow.ArrayDatum(b.Finish()), nil
+		},
+	})
+
+	r.RegisterScalar(&ScalarFunc{
+		Name:       "to_timestamp",
+		ReturnType: fixedType(arrow.Timestamp),
+		Eval: func(args []arrow.Datum, numRows int) (arrow.Datum, error) {
+			in := args[0].ToArray(numRows)
+			b := arrow.NewNumericBuilder[int64](arrow.Timestamp)
+			for i := 0; i < in.Len(); i++ {
+				if in.IsNull(i) {
+					b.AppendNull()
+					continue
+				}
+				switch in.DataType().ID {
+				case arrow.STRING:
+					ts, err := arrow.ParseTimestamp(in.GetScalar(i).AsString())
+					if err != nil {
+						return arrow.Datum{}, err
+					}
+					b.Append(ts)
+				case arrow.INT64:
+					b.Append(in.GetScalar(i).AsInt64() * 1_000_000) // seconds
+				case arrow.DATE32:
+					b.Append(in.GetScalar(i).AsInt64() * 86400_000_000)
+				case arrow.TIMESTAMP:
+					b.Append(in.GetScalar(i).AsInt64())
+				default:
+					return arrow.Datum{}, fmt.Errorf("to_timestamp: unsupported input %s", in.DataType())
+				}
+			}
+			return arrow.ArrayDatum(b.Finish()), nil
+		},
+	})
+}

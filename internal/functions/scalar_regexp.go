@@ -1,0 +1,145 @@
+package functions
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+
+	"gofusion/internal/arrow"
+)
+
+// regexpCache memoizes compiled patterns across batches.
+var regexpCache sync.Map // string -> *regexp.Regexp
+
+func compileCached(pattern string) (*regexp.Regexp, error) {
+	if re, ok := regexpCache.Load(pattern); ok {
+		return re.(*regexp.Regexp), nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("functions: bad regexp %q: %w", pattern, err)
+	}
+	regexpCache.Store(pattern, re)
+	return re, nil
+}
+
+func registerRegexp(r *Registry) {
+	r.RegisterScalar(&ScalarFunc{
+		Name:       "regexp_like",
+		ReturnType: fixedType(arrow.Boolean),
+		Eval: func(args []arrow.Datum, numRows int) (arrow.Datum, error) {
+			if len(args) != 2 {
+				return arrow.Datum{}, fmt.Errorf("regexp_like takes 2 arguments")
+			}
+			in, err := asString(args[0], numRows)
+			if err != nil {
+				return arrow.Datum{}, err
+			}
+			pat, err := constantString(args[1])
+			if err != nil {
+				return arrow.Datum{}, err
+			}
+			re, err := compileCached(pat)
+			if err != nil {
+				return arrow.Datum{}, err
+			}
+			b := arrow.NewBoolBuilder()
+			for i := 0; i < in.Len(); i++ {
+				if in.IsNull(i) {
+					b.AppendNull()
+					continue
+				}
+				b.Append(re.Match(in.ValueBytes(i)))
+			}
+			return arrow.ArrayDatum(b.Finish()), nil
+		},
+	})
+
+	r.RegisterScalar(&ScalarFunc{
+		Name:       "regexp_replace",
+		ReturnType: fixedType(arrow.String),
+		Eval: func(args []arrow.Datum, numRows int) (arrow.Datum, error) {
+			if len(args) != 3 {
+				return arrow.Datum{}, fmt.Errorf("regexp_replace takes 3 arguments")
+			}
+			in, err := asString(args[0], numRows)
+			if err != nil {
+				return arrow.Datum{}, err
+			}
+			pat, err := constantString(args[1])
+			if err != nil {
+				return arrow.Datum{}, err
+			}
+			repl, err := constantString(args[2])
+			if err != nil {
+				return arrow.Datum{}, err
+			}
+			re, err := compileCached(pat)
+			if err != nil {
+				return arrow.Datum{}, err
+			}
+			b := arrow.NewStringBuilder(arrow.String)
+			for i := 0; i < in.Len(); i++ {
+				if in.IsNull(i) {
+					b.AppendNull()
+					continue
+				}
+				b.Append(re.ReplaceAllString(in.Value(i), repl))
+			}
+			return arrow.ArrayDatum(b.Finish()), nil
+		},
+	})
+
+	r.RegisterScalar(&ScalarFunc{
+		Name:       "regexp_match",
+		ReturnType: fixedType(arrow.String),
+		Eval: func(args []arrow.Datum, numRows int) (arrow.Datum, error) {
+			if len(args) != 2 {
+				return arrow.Datum{}, fmt.Errorf("regexp_match takes 2 arguments")
+			}
+			in, err := asString(args[0], numRows)
+			if err != nil {
+				return arrow.Datum{}, err
+			}
+			pat, err := constantString(args[1])
+			if err != nil {
+				return arrow.Datum{}, err
+			}
+			re, err := compileCached(pat)
+			if err != nil {
+				return arrow.Datum{}, err
+			}
+			b := arrow.NewStringBuilder(arrow.String)
+			for i := 0; i < in.Len(); i++ {
+				if in.IsNull(i) {
+					b.AppendNull()
+					continue
+				}
+				m := re.FindString(in.Value(i))
+				if m == "" && !re.MatchString(in.Value(i)) {
+					b.AppendNull()
+					continue
+				}
+				b.Append(m)
+			}
+			return arrow.ArrayDatum(b.Finish()), nil
+		},
+	})
+}
+
+// constantString extracts a constant (scalar or first-row) string
+// argument, as regexp patterns must be.
+func constantString(d arrow.Datum) (string, error) {
+	if !d.IsArray() {
+		s := d.ScalarValue()
+		if s.Null {
+			return "", fmt.Errorf("functions: NULL pattern")
+		}
+		return s.AsString(), nil
+	}
+	a := d.Array()
+	if a.Len() == 0 || a.IsNull(0) {
+		return "", fmt.Errorf("functions: NULL pattern")
+	}
+	return a.GetScalar(0).AsString(), nil
+}

@@ -1,0 +1,31 @@
+package functions
+
+import (
+	"fmt"
+
+	"gofusion/internal/arrow"
+)
+
+// registerWindowFuncs registers the built-in pure window functions. Their
+// evaluation lives in the execution engine's WindowExec, which handles
+// partitioning, ordering and frames; the registry provides names and
+// output types for planning. Aggregate functions are also usable in window
+// position and resolve through the aggregate registry.
+func registerWindowFuncs(r *Registry) {
+	for _, name := range []string{"row_number", "rank", "dense_rank", "ntile", "cume_count"} {
+		r.RegisterWindow(&WindowFuncDef{Name: name, ReturnType: fixedType(arrow.Int64)})
+	}
+	r.RegisterWindow(&WindowFuncDef{Name: "percent_rank", ReturnType: fixedType(arrow.Float64)})
+	r.RegisterWindow(&WindowFuncDef{Name: "cume_dist", ReturnType: fixedType(arrow.Float64)})
+	for _, name := range []string{"lag", "lead", "first_value", "last_value", "nth_value"} {
+		r.RegisterWindow(&WindowFuncDef{
+			Name: name,
+			ReturnType: func(args []*arrow.DataType) (*arrow.DataType, error) {
+				if len(args) == 0 {
+					return nil, fmt.Errorf("functions: window value function needs an argument")
+				}
+				return args[0], nil
+			},
+		})
+	}
+}

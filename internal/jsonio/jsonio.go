@@ -1,0 +1,389 @@
+// Package jsonio implements a newline-delimited JSON data source with
+// schema inference, including nested structs and lists (paper Section
+// 5.2.2: "the JSON reader fully supports nested types").
+package jsonio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"gofusion/internal/arrow"
+)
+
+// Options configures JSON reading.
+type Options struct {
+	// BatchRows is the output batch size (default 8192).
+	BatchRows int
+	// InferRows is how many records to sample for schema inference
+	// (default 1000).
+	InferRows int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchRows <= 0 {
+		o.BatchRows = 8192
+	}
+	if o.InferRows <= 0 {
+		o.InferRows = 1000
+	}
+	return o
+}
+
+// InferSchema samples NDJSON records and infers a schema. Object fields
+// become struct fields, arrays become lists of the unified element type,
+// integral numbers become Int64, other numbers Float64. Conflicting types
+// widen to Utf8.
+func InferSchema(path string, opts Options) (*arrow.Schema, error) {
+	opts = opts.withDefaults()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	merged := map[string]*arrow.DataType{}
+	order := []string{}
+	count := 0
+	for sc.Scan() && count < opts.InferRows {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec map[string]any
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.UseNumber()
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("jsonio: record %d: %w", count, err)
+		}
+		for k, v := range rec {
+			t := inferValueType(v)
+			if old, ok := merged[k]; ok {
+				merged[k] = unifyTypes(old, t)
+			} else {
+				merged[k] = t
+				order = append(order, k)
+			}
+		}
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+	fields := make([]arrow.Field, 0, len(order))
+	for _, k := range order {
+		t := merged[k]
+		if t == nil {
+			t = arrow.String
+		}
+		fields = append(fields, arrow.NewField(k, t, true))
+	}
+	return arrow.NewSchema(fields...), nil
+}
+
+// inferValueType maps a decoded JSON value to a DataType; nil returns nil
+// (unknown).
+func inferValueType(v any) *arrow.DataType {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case bool:
+		return arrow.Boolean
+	case json.Number:
+		if _, err := x.Int64(); err == nil {
+			return arrow.Int64
+		}
+		return arrow.Float64
+	case string:
+		return arrow.String
+	case []any:
+		var elem *arrow.DataType
+		for _, e := range x {
+			elem = unifyTypes(elem, inferValueType(e))
+		}
+		if elem == nil {
+			elem = arrow.String
+		}
+		return arrow.ListOf(elem)
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fields := make([]arrow.Field, 0, len(keys))
+		for _, k := range keys {
+			t := inferValueType(x[k])
+			if t == nil {
+				t = arrow.String
+			}
+			fields = append(fields, arrow.NewField(k, t, true))
+		}
+		return arrow.StructOf(fields...)
+	}
+	return arrow.String
+}
+
+// unifyTypes merges two inferred types, widening as needed.
+func unifyTypes(a, b *arrow.DataType) *arrow.DataType {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.Equal(b):
+		return a
+	}
+	num := func(t *arrow.DataType) bool { return t.ID == arrow.INT64 || t.ID == arrow.FLOAT64 }
+	if num(a) && num(b) {
+		return arrow.Float64
+	}
+	if a.ID == arrow.LIST && b.ID == arrow.LIST {
+		return arrow.ListOf(unifyTypes(a.Elem, b.Elem))
+	}
+	if a.ID == arrow.STRUCT && b.ID == arrow.STRUCT {
+		names := map[string]*arrow.DataType{}
+		var order []string
+		for _, f := range a.Fields {
+			names[f.Name] = f.Type
+			order = append(order, f.Name)
+		}
+		for _, f := range b.Fields {
+			if old, ok := names[f.Name]; ok {
+				names[f.Name] = unifyTypes(old, f.Type)
+			} else {
+				names[f.Name] = f.Type
+				order = append(order, f.Name)
+			}
+		}
+		sort.Strings(order)
+		fields := make([]arrow.Field, 0, len(order))
+		for _, n := range order {
+			fields = append(fields, arrow.NewField(n, names[n], true))
+		}
+		return arrow.StructOf(fields...)
+	}
+	return arrow.String
+}
+
+// Reader decodes NDJSON into record batches of a fixed schema.
+type Reader struct {
+	f      *os.File
+	sc     *bufio.Scanner
+	schema *arrow.Schema
+	opts   Options
+	done   bool
+}
+
+// NewReader opens an NDJSON file for decoding with the given schema.
+func NewReader(path string, schema *arrow.Schema, opts Options) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	return &Reader{f: f, sc: sc, schema: schema, opts: opts.withDefaults()}, nil
+}
+
+// Schema returns the reader schema.
+func (rd *Reader) Schema() *arrow.Schema { return rd.schema }
+
+// Close releases the underlying file.
+func (rd *Reader) Close() error { return rd.f.Close() }
+
+// Next decodes the next batch, returning io.EOF at end of file.
+func (rd *Reader) Next() (*arrow.RecordBatch, error) {
+	if rd.done {
+		return nil, io.EOF
+	}
+	builders := make([]arrow.Builder, rd.schema.NumFields())
+	for i, f := range rd.schema.Fields() {
+		builders[i] = arrow.NewBuilder(f.Type)
+	}
+	rows := 0
+	for rows < rd.opts.BatchRows {
+		if !rd.sc.Scan() {
+			rd.done = true
+			if err := rd.sc.Err(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		line := bytes.TrimSpace(rd.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec map[string]any
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.UseNumber()
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("jsonio: %w", err)
+		}
+		for i, f := range rd.schema.Fields() {
+			if err := appendJSON(builders[i], f.Type, rec[f.Name]); err != nil {
+				return nil, fmt.Errorf("jsonio: field %q: %w", f.Name, err)
+			}
+		}
+		rows++
+	}
+	if rows == 0 {
+		return nil, io.EOF
+	}
+	arrs := make([]arrow.Array, len(builders))
+	for i, b := range builders {
+		arrs[i] = b.Finish()
+	}
+	return arrow.NewRecordBatchWithRows(rd.schema, arrs, rows), nil
+}
+
+func appendJSON(b arrow.Builder, t *arrow.DataType, v any) error {
+	if v == nil {
+		b.AppendNull()
+		return nil
+	}
+	switch t.ID {
+	case arrow.BOOL:
+		x, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("expected bool, got %T", v)
+		}
+		b.(*arrow.BoolBuilder).Append(x)
+	case arrow.INT64:
+		n, ok := v.(json.Number)
+		if !ok {
+			return fmt.Errorf("expected number, got %T", v)
+		}
+		x, err := n.Int64()
+		if err != nil {
+			f, ferr := n.Float64()
+			if ferr != nil {
+				return err
+			}
+			x = int64(f)
+		}
+		b.(*arrow.NumericBuilder[int64]).Append(x)
+	case arrow.FLOAT64:
+		n, ok := v.(json.Number)
+		if !ok {
+			return fmt.Errorf("expected number, got %T", v)
+		}
+		x, err := n.Float64()
+		if err != nil {
+			return err
+		}
+		b.(*arrow.NumericBuilder[float64]).Append(x)
+	case arrow.STRING:
+		switch x := v.(type) {
+		case string:
+			b.(*arrow.StringBuilder).Append(x)
+		case json.Number:
+			b.(*arrow.StringBuilder).Append(x.String())
+		case bool:
+			if x {
+				b.(*arrow.StringBuilder).Append("true")
+			} else {
+				b.(*arrow.StringBuilder).Append("false")
+			}
+		default:
+			raw, err := json.Marshal(v)
+			if err != nil {
+				return err
+			}
+			b.(*arrow.StringBuilder).Append(string(raw))
+		}
+	case arrow.LIST:
+		xs, ok := v.([]any)
+		if !ok {
+			return fmt.Errorf("expected array, got %T", v)
+		}
+		lb := b.(*arrow.ListBuilder)
+		for _, e := range xs {
+			if err := appendJSON(lb.Child(), t.Elem, e); err != nil {
+				return err
+			}
+		}
+		lb.CloseList()
+	case arrow.STRUCT:
+		m, ok := v.(map[string]any)
+		if !ok {
+			return fmt.Errorf("expected object, got %T", v)
+		}
+		sb := b.(*arrow.StructBuilder)
+		for i, f := range t.Fields {
+			if err := appendJSON(sb.FieldBuilder(i), f.Type, m[f.Name]); err != nil {
+				return err
+			}
+		}
+		sb.CloseRow()
+	default:
+		return fmt.Errorf("unsupported JSON target type %s", t)
+	}
+	return nil
+}
+
+// WriteFile writes batches as NDJSON.
+func WriteFile(path string, batches []*arrow.RecordBatch) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, batch := range batches {
+		for r := 0; r < batch.NumRows(); r++ {
+			rec := make(map[string]any, batch.NumCols())
+			for c := 0; c < batch.NumCols(); c++ {
+				rec[batch.Schema().Field(c).Name] = scalarToJSON(batch.Column(c).GetScalar(r))
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+func scalarToJSON(s arrow.Scalar) any {
+	if s.Null {
+		return nil
+	}
+	switch s.Type.ID {
+	case arrow.BOOL:
+		return s.AsBool()
+	case arrow.STRING:
+		return s.AsString()
+	case arrow.FLOAT32, arrow.FLOAT64:
+		f := s.AsFloat64()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil
+		}
+		return f
+	case arrow.LIST:
+		arr := s.Val.(arrow.Array)
+		out := make([]any, arr.Len())
+		for i := range out {
+			out[i] = scalarToJSON(arr.GetScalar(i))
+		}
+		return out
+	case arrow.STRUCT:
+		vals := s.Val.([]arrow.Scalar)
+		out := make(map[string]any, len(vals))
+		for i, f := range s.Type.Fields {
+			out[f.Name] = scalarToJSON(vals[i])
+		}
+		return out
+	case arrow.DATE32, arrow.TIMESTAMP, arrow.DECIMAL:
+		return s.String()
+	default:
+		return s.Val
+	}
+}

@@ -1,0 +1,175 @@
+package jsonio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gofusion/internal/arrow"
+)
+
+func writeFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sample = `{"id": 1, "name": "alice", "score": 3.5, "tags": ["a", "b"], "addr": {"city": "Boston", "zip": 2134}}
+{"id": 2, "name": null, "score": 4, "tags": [], "addr": {"city": "NYC", "zip": 10001}}
+{"id": 3, "name": "carol", "score": null, "tags": ["x"], "addr": null}
+`
+
+func TestInferNestedSchema(t *testing.T) {
+	path := writeFile(t, sample)
+	schema, err := InferSchema(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Field(schema.FieldIndex("id")).Type.ID != arrow.INT64 {
+		t.Fatal("id should be Int64")
+	}
+	// score mixes 3.5 and 4 -> Float64
+	if schema.Field(schema.FieldIndex("score")).Type.ID != arrow.FLOAT64 {
+		t.Fatal("score should widen to Float64")
+	}
+	tags := schema.Field(schema.FieldIndex("tags")).Type
+	if tags.ID != arrow.LIST || tags.Elem.ID != arrow.STRING {
+		t.Fatalf("tags = %s", tags)
+	}
+	addr := schema.Field(schema.FieldIndex("addr")).Type
+	if addr.ID != arrow.STRUCT || len(addr.Fields) != 2 {
+		t.Fatalf("addr = %s", addr)
+	}
+}
+
+func TestReadNested(t *testing.T) {
+	path := writeFile(t, sample)
+	schema, err := InferSchema(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(path, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	b, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRows() != 3 {
+		t.Fatalf("rows = %d", b.NumRows())
+	}
+	if !b.ColumnByName("name").IsNull(1) {
+		t.Fatal("null name lost")
+	}
+	tags := b.ColumnByName("tags").(*arrow.ListArray)
+	if tags.ValueArray(0).Len() != 2 || tags.ValueArray(1).Len() != 0 {
+		t.Fatal("list lengths wrong")
+	}
+	addr := b.ColumnByName("addr").(*arrow.StructArray)
+	if !addr.IsNull(2) {
+		t.Fatal("null struct lost")
+	}
+	cityIdx := -1
+	for i, f := range addr.DataType().Fields {
+		if f.Name == "city" {
+			cityIdx = i
+		}
+	}
+	if addr.Field(cityIdx).(*arrow.StringArray).Value(0) != "Boston" {
+		t.Fatal("struct field wrong")
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatal("want EOF")
+	}
+}
+
+func TestTypeConflictWidensToString(t *testing.T) {
+	path := writeFile(t, "{\"x\": 1}\n{\"x\": \"two\"}\n")
+	schema, err := InferSchema(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Field(0).Type.ID != arrow.STRING {
+		t.Fatalf("conflict should widen to string, got %s", schema.Field(0).Type)
+	}
+	r, _ := NewReader(path, schema, Options{})
+	defer r.Close()
+	b, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := b.Column(0).(*arrow.StringArray)
+	if sa.Value(0) != "1" || sa.Value(1) != "two" {
+		t.Fatal("widened values wrong")
+	}
+}
+
+func TestMissingFieldsAreNull(t *testing.T) {
+	path := writeFile(t, "{\"a\": 1, \"b\": 2}\n{\"a\": 3}\n")
+	schema, _ := InferSchema(path, Options{})
+	r, _ := NewReader(path, schema, Options{})
+	defer r.Close()
+	b, _ := r.Next()
+	if !b.ColumnByName("b").IsNull(1) {
+		t.Fatal("missing field must be null")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	schema := arrow.NewSchema(
+		arrow.NewField("n", arrow.Int64, true),
+		arrow.NewField("s", arrow.String, true),
+		arrow.NewField("l", arrow.ListOf(arrow.Int64), true),
+	)
+	nb := arrow.NewNumericBuilder[int64](arrow.Int64)
+	nb.Append(7)
+	nb.AppendNull()
+	sb := arrow.NewStringBuilder(arrow.String)
+	sb.Append("x")
+	sb.Append("y")
+	lb := arrow.NewListBuilder(arrow.Int64)
+	lb.Child().(*arrow.NumericBuilder[int64]).Append(1)
+	lb.CloseList()
+	lb.AppendNull()
+	batch := arrow.NewRecordBatch(schema, []arrow.Array{nb.Finish(), sb.Finish(), lb.Finish()})
+
+	path := filepath.Join(t.TempDir(), "rt.json")
+	if err := WriteFile(path, []*arrow.RecordBatch{batch}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(path, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 || !got.Column(0).IsNull(1) || got.Column(1).(*arrow.StringArray).Value(0) != "x" {
+		t.Fatal("round trip wrong")
+	}
+	l := got.Column(2).(*arrow.ListArray)
+	if l.ValueArray(0).(*arrow.Int64Array).Value(0) != 1 || !l.IsNull(1) {
+		t.Fatal("list round trip wrong")
+	}
+}
+
+func TestBadJSONSurfaces(t *testing.T) {
+	path := writeFile(t, "{\"a\": 1}\nnot-json\n")
+	schema, err := InferSchema(path, Options{InferRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(path, schema, Options{})
+	defer r.Close()
+	if _, err := r.Next(); err == nil {
+		t.Fatal("bad json must error")
+	}
+}

@@ -1,0 +1,211 @@
+package logical
+
+import (
+	"fmt"
+)
+
+// Builder is a fluent LogicalPlan construction API (the paper's
+// LogicalPlanBuilder, Section 5.3.3), used by the DataFrame API and by
+// custom query-language front ends. Errors are deferred to Build.
+type Builder struct {
+	plan Plan
+	reg  Registry
+	err  error
+}
+
+// NewBuilder starts an empty builder resolving functions against reg.
+func NewBuilder(reg Registry) *Builder { return &Builder{reg: reg} }
+
+// FromPlan starts a builder from an existing plan.
+func FromPlan(plan Plan, reg Registry) *Builder { return &Builder{plan: plan, reg: reg} }
+
+func (b *Builder) fail(err error) *Builder {
+	if b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+func (b *Builder) need() bool {
+	if b.err != nil {
+		return false
+	}
+	if b.plan == nil {
+		b.err = fmt.Errorf("logical: builder has no input plan")
+		return false
+	}
+	return true
+}
+
+// Scan starts the plan from a table source.
+func (b *Builder) Scan(name string, source TableSource) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.plan = NewTableScan(name, source)
+	return b
+}
+
+// ValuesRows starts the plan from literal rows.
+func (b *Builder) ValuesRows(rows [][]Expr) *Builder {
+	if b.err != nil {
+		return b
+	}
+	v, err := NewValues(rows, b.reg)
+	if err != nil {
+		return b.fail(err)
+	}
+	b.plan = v
+	return b
+}
+
+// Project applies a projection.
+func (b *Builder) Project(exprs ...Expr) *Builder {
+	if !b.need() {
+		return b
+	}
+	p, err := NewProjection(b.plan, exprs, b.reg)
+	if err != nil {
+		return b.fail(err)
+	}
+	b.plan = p
+	return b
+}
+
+// Filter applies a predicate.
+func (b *Builder) Filter(predicate Expr) *Builder {
+	if !b.need() {
+		return b
+	}
+	b.plan = &Filter{Input: b.plan, Predicate: predicate}
+	return b
+}
+
+// Aggregate groups and aggregates.
+func (b *Builder) Aggregate(groups []Expr, aggs []Expr) *Builder {
+	if !b.need() {
+		return b
+	}
+	a, err := NewAggregate(b.plan, groups, aggs, b.reg)
+	if err != nil {
+		return b.fail(err)
+	}
+	b.plan = a
+	return b
+}
+
+// Sort orders the plan output.
+func (b *Builder) Sort(keys ...SortExpr) *Builder {
+	if !b.need() {
+		return b
+	}
+	b.plan = &Sort{Input: b.plan, Keys: keys, Fetch: -1}
+	return b
+}
+
+// Limit applies OFFSET/LIMIT.
+func (b *Builder) Limit(skip, fetch int64) *Builder {
+	if !b.need() {
+		return b
+	}
+	b.plan = &Limit{Input: b.plan, Skip: skip, Fetch: fetch}
+	return b
+}
+
+// Join joins with another plan.
+func (b *Builder) Join(right Plan, jt JoinType, on []EquiPair, filter Expr) *Builder {
+	if !b.need() {
+		return b
+	}
+	b.plan = NewJoin(b.plan, right, jt, on, filter)
+	return b
+}
+
+// CrossJoin forms the cartesian product with another plan.
+func (b *Builder) CrossJoin(right Plan) *Builder {
+	return b.Join(right, CrossJoin, nil, nil)
+}
+
+// Union appends another plan's rows.
+func (b *Builder) Union(other Plan, all bool) *Builder {
+	if !b.need() {
+		return b
+	}
+	if !sameTypes(b.plan.Schema(), other.Schema()) {
+		return b.fail(fmt.Errorf("logical: UNION inputs have incompatible schemas %s vs %s",
+			b.plan.Schema(), other.Schema()))
+	}
+	if u, ok := b.plan.(*Union); ok && u.All == all {
+		b.plan = &Union{Inputs: append(append([]Plan{}, u.Inputs...), other), All: all}
+	} else {
+		b.plan = &Union{Inputs: []Plan{b.plan, other}, All: all}
+	}
+	return b
+}
+
+func sameTypes(a, b *Schema) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Fields() {
+		if !a.Field(i).Type.Equal(b.Field(i).Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// Distinct removes duplicate rows.
+func (b *Builder) Distinct() *Builder {
+	if !b.need() {
+		return b
+	}
+	b.plan = &Distinct{Input: b.plan}
+	return b
+}
+
+// Window appends window expressions.
+func (b *Builder) Window(exprs ...Expr) *Builder {
+	if !b.need() {
+		return b
+	}
+	w, err := NewWindow(b.plan, exprs, b.reg)
+	if err != nil {
+		return b.fail(err)
+	}
+	b.plan = w
+	return b
+}
+
+// Alias wraps the plan in a subquery alias.
+func (b *Builder) Alias(name string) *Builder {
+	if !b.need() {
+		return b
+	}
+	b.plan = NewSubqueryAlias(b.plan, name)
+	return b
+}
+
+// Extension appends a user-defined logical node whose first input is the
+// current plan.
+func (b *Builder) Extension(node ExtensionNode) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.plan = &Extension{Node: node}
+	return b
+}
+
+// Build returns the constructed plan or the first deferred error.
+func (b *Builder) Build() (Plan, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.plan == nil {
+		return nil, fmt.Errorf("logical: empty builder")
+	}
+	return b.plan, nil
+}
+
+// Plan returns the current plan without error checking (for chaining).
+func (b *Builder) Plan() Plan { return b.plan }

@@ -1,0 +1,514 @@
+package logical
+
+import (
+	"fmt"
+	"strings"
+
+	"gofusion/internal/arrow"
+)
+
+// Expr is a logical expression tree node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// BinOp identifies a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNeq
+	OpLt
+	OpLtEq
+	OpGt
+	OpGtEq
+	OpAnd
+	OpOr
+	OpConcat
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "=", "!=", "<", "<=", ">", ">=", "AND", "OR", "||"}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsComparison reports whether the operator yields a boolean comparison.
+func (op BinOp) IsComparison() bool { return op >= OpEq && op <= OpGtEq }
+
+// IsArithmetic reports whether the operator is numeric arithmetic.
+func (op BinOp) IsArithmetic() bool { return op <= OpMod }
+
+// IsLogical reports whether the operator is AND/OR.
+func (op BinOp) IsLogical() bool { return op == OpAnd || op == OpOr }
+
+// Column references a column, optionally qualified by a relation name.
+type Column struct {
+	Relation string
+	Name     string
+}
+
+func (c *Column) exprNode() {}
+func (c *Column) String() string {
+	if c.Relation == "" {
+		return c.Name
+	}
+	return c.Relation + "." + c.Name
+}
+
+// Col builds an unqualified column reference.
+func Col(name string) *Column {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return &Column{Relation: name[:i], Name: name[i+1:]}
+	}
+	return &Column{Name: name}
+}
+
+// Literal is a constant scalar value.
+type Literal struct{ Value arrow.Scalar }
+
+func (l *Literal) exprNode()      {}
+func (l *Literal) String() string { return l.Value.String() }
+
+// Lit builds a literal from a Go value.
+func Lit(v any) *Literal {
+	switch x := v.(type) {
+	case int:
+		return &Literal{Value: arrow.Int64Scalar(int64(x))}
+	case int64:
+		return &Literal{Value: arrow.Int64Scalar(x)}
+	case float64:
+		return &Literal{Value: arrow.Float64Scalar(x)}
+	case string:
+		return &Literal{Value: arrow.StringScalar(x)}
+	case bool:
+		return &Literal{Value: arrow.BoolScalar(x)}
+	case arrow.Scalar:
+		return &Literal{Value: x}
+	case nil:
+		return &Literal{Value: arrow.NullScalar(arrow.Null)}
+	}
+	panic(fmt.Sprintf("logical: cannot build literal from %T", v))
+}
+
+// BinaryExpr applies a binary operator to two operands.
+type BinaryExpr struct {
+	Op BinOp
+	L  Expr
+	R  Expr
+}
+
+func (b *BinaryExpr) exprNode() {}
+func (b *BinaryExpr) String() string {
+	return fmt.Sprintf("%s %s %s", b.L, b.Op, b.R)
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+func (n *Not) exprNode()      {}
+func (n *Not) String() string { return fmt.Sprintf("NOT %s", n.E) }
+
+// IsNull tests for SQL NULL.
+type IsNull struct {
+	E       Expr
+	Negated bool
+}
+
+func (e *IsNull) exprNode() {}
+func (e *IsNull) String() string {
+	if e.Negated {
+		return fmt.Sprintf("%s IS NOT NULL", e.E)
+	}
+	return fmt.Sprintf("%s IS NULL", e.E)
+}
+
+// Negative is unary minus.
+type Negative struct{ E Expr }
+
+func (n *Negative) exprNode()      {}
+func (n *Negative) String() string { return fmt.Sprintf("(- %s)", n.E) }
+
+// Like is SQL LIKE/NOT LIKE (optionally case-insensitive ILIKE).
+type Like struct {
+	E               Expr
+	Pattern         Expr
+	Negated         bool
+	CaseInsensitive bool
+}
+
+func (l *Like) exprNode() {}
+func (l *Like) String() string {
+	op := "LIKE"
+	if l.CaseInsensitive {
+		op = "ILIKE"
+	}
+	if l.Negated {
+		op = "NOT " + op
+	}
+	return fmt.Sprintf("%s %s %s", l.E, op, l.Pattern)
+}
+
+// InList is `expr IN (a, b, ...)`.
+type InList struct {
+	E       Expr
+	List    []Expr
+	Negated bool
+}
+
+func (e *InList) exprNode() {}
+func (e *InList) String() string {
+	items := make([]string, len(e.List))
+	for i, x := range e.List {
+		items[i] = x.String()
+	}
+	op := "IN"
+	if e.Negated {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("%s %s (%s)", e.E, op, strings.Join(items, ", "))
+}
+
+// Between is `expr [NOT] BETWEEN low AND high`.
+type Between struct {
+	E       Expr
+	Low     Expr
+	High    Expr
+	Negated bool
+}
+
+func (e *Between) exprNode() {}
+func (e *Between) String() string {
+	op := "BETWEEN"
+	if e.Negated {
+		op = "NOT BETWEEN"
+	}
+	return fmt.Sprintf("%s %s %s AND %s", e.E, op, e.Low, e.High)
+}
+
+// WhenClause is one WHEN/THEN arm of a CASE expression.
+type WhenClause struct {
+	When Expr
+	Then Expr
+}
+
+// Case is a SQL CASE expression, with or without an operand.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr // may be nil
+}
+
+func (c *Case) exprNode() {}
+func (c *Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	if c.Operand != nil {
+		fmt.Fprintf(&sb, " %s", c.Operand)
+	}
+	for _, w := range c.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.When, w.Then)
+	}
+	if c.Else != nil {
+		fmt.Fprintf(&sb, " ELSE %s", c.Else)
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// Cast converts an expression to a target type.
+type Cast struct {
+	E  Expr
+	To *arrow.DataType
+}
+
+func (c *Cast) exprNode()      {}
+func (c *Cast) String() string { return fmt.Sprintf("CAST(%s AS %s)", c.E, c.To) }
+
+// ScalarFunc invokes a scalar function (built-in or user-defined).
+type ScalarFunc struct {
+	Name string
+	Args []Expr
+}
+
+func (f *ScalarFunc) exprNode() {}
+func (f *ScalarFunc) String() string {
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", f.Name, strings.Join(args, ", "))
+}
+
+// AggFunc invokes an aggregate function.
+type AggFunc struct {
+	Name     string
+	Args     []Expr
+	Distinct bool
+	Filter   Expr // per-aggregate FILTER (WHERE ...), may be nil
+}
+
+func (f *AggFunc) exprNode() {}
+func (f *AggFunc) String() string {
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	inner := strings.Join(args, ", ")
+	if len(args) == 0 {
+		inner = "*"
+	}
+	if f.Distinct {
+		inner = "DISTINCT " + inner
+	}
+	s := fmt.Sprintf("%s(%s)", f.Name, inner)
+	if f.Filter != nil {
+		s += fmt.Sprintf(" FILTER (WHERE %s)", f.Filter)
+	}
+	return s
+}
+
+// FrameBound describes a window frame endpoint.
+type FrameBound struct {
+	// Kind: 0 = UNBOUNDED PRECEDING, 1 = offset PRECEDING, 2 = CURRENT ROW,
+	// 3 = offset FOLLOWING, 4 = UNBOUNDED FOLLOWING.
+	Kind   int
+	Offset int64
+}
+
+// Frame bound kinds.
+const (
+	UnboundedPreceding = 0
+	OffsetPreceding    = 1
+	CurrentRow         = 2
+	OffsetFollowing    = 3
+	UnboundedFollowing = 4
+)
+
+// WindowFrame is a ROWS or RANGE frame specification.
+type WindowFrame struct {
+	Rows  bool // true = ROWS, false = RANGE
+	Start FrameBound
+	End   FrameBound
+}
+
+// DefaultFrame is RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW.
+func DefaultFrame() WindowFrame {
+	return WindowFrame{Start: FrameBound{Kind: UnboundedPreceding}, End: FrameBound{Kind: CurrentRow}}
+}
+
+// WindowFunc invokes a window function over a partition/order/frame spec.
+type WindowFunc struct {
+	Name        string
+	Args        []Expr
+	PartitionBy []Expr
+	OrderBy     []SortExpr
+	Frame       WindowFrame
+}
+
+func (f *WindowFunc) exprNode() {}
+func (f *WindowFunc) String() string {
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s(%s) OVER (", f.Name, strings.Join(args, ", "))
+	if len(f.PartitionBy) > 0 {
+		parts := make([]string, len(f.PartitionBy))
+		for i, p := range f.PartitionBy {
+			parts[i] = p.String()
+		}
+		fmt.Fprintf(&sb, "PARTITION BY %s", strings.Join(parts, ", "))
+	}
+	if len(f.OrderBy) > 0 {
+		if len(f.PartitionBy) > 0 {
+			sb.WriteByte(' ')
+		}
+		parts := make([]string, len(f.OrderBy))
+		for i, o := range f.OrderBy {
+			parts[i] = o.String()
+		}
+		fmt.Fprintf(&sb, "ORDER BY %s", strings.Join(parts, ", "))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Alias renames an expression's output column.
+type Alias struct {
+	E    Expr
+	Name string
+}
+
+func (a *Alias) exprNode()      {}
+func (a *Alias) String() string { return fmt.Sprintf("%s AS %s", a.E, a.Name) }
+
+// SortExpr is an ORDER BY key (not itself an Expr node).
+type SortExpr struct {
+	E          Expr
+	Asc        bool
+	NullsFirst bool
+}
+
+func (s SortExpr) String() string {
+	dir := "ASC"
+	if !s.Asc {
+		dir = "DESC"
+	}
+	nulls := ""
+	if s.NullsFirst != !s.Asc {
+		if s.NullsFirst {
+			nulls = " NULLS FIRST"
+		} else {
+			nulls = " NULLS LAST"
+		}
+	}
+	return fmt.Sprintf("%s %s%s", s.E, dir, nulls)
+}
+
+// SortAsc returns an ascending, nulls-last sort key (the SQL default).
+func SortAsc(e Expr) SortExpr { return SortExpr{E: e, Asc: true, NullsFirst: false} }
+
+// SortDesc returns a descending, nulls-first sort key (the SQL default).
+func SortDesc(e Expr) SortExpr { return SortExpr{E: e, Asc: false, NullsFirst: true} }
+
+// Wildcard is the parse-time `*`; it never survives planning.
+type Wildcard struct{ Qualifier string }
+
+func (w *Wildcard) exprNode() {}
+func (w *Wildcard) String() string {
+	if w.Qualifier != "" {
+		return w.Qualifier + ".*"
+	}
+	return "*"
+}
+
+// ScalarSubquery is a subquery producing a single value; the optimizer
+// decorrelates it before physical planning. Raw carries the parsed query
+// until the SQL planner fills Plan.
+type ScalarSubquery struct {
+	Plan Plan
+	Raw  any
+}
+
+func (s *ScalarSubquery) exprNode()      {}
+func (s *ScalarSubquery) String() string { return "(<scalar subquery>)" }
+
+// Exists is `[NOT] EXISTS (subquery)`.
+type Exists struct {
+	Plan    Plan
+	Raw     any
+	Negated bool
+}
+
+func (e *Exists) exprNode() {}
+func (e *Exists) String() string {
+	if e.Negated {
+		return "NOT EXISTS (<subquery>)"
+	}
+	return "EXISTS (<subquery>)"
+}
+
+// InSubquery is `expr [NOT] IN (subquery)`.
+type InSubquery struct {
+	E       Expr
+	Plan    Plan
+	Raw     any
+	Negated bool
+}
+
+func (e *InSubquery) exprNode() {}
+func (e *InSubquery) String() string {
+	if e.Negated {
+		return fmt.Sprintf("%s NOT IN (<subquery>)", e.E)
+	}
+	return fmt.Sprintf("%s IN (<subquery>)", e.E)
+}
+
+// OutputName returns the column name an expression produces.
+func OutputName(e Expr) string {
+	switch x := e.(type) {
+	case *Alias:
+		return x.Name
+	case *Column:
+		return x.Name
+	case *Cast:
+		return OutputName(x.E)
+	default:
+		return e.String()
+	}
+}
+
+// helpers for composing expressions
+
+// And conjoins expressions, dropping nils.
+func And(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &BinaryExpr{Op: OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// Eq builds l = r.
+func Eq(l, r Expr) Expr { return &BinaryExpr{Op: OpEq, L: l, R: r} }
+
+// SplitConjunction flattens nested ANDs into a list of conjuncts.
+func SplitConjunction(e Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == OpAnd {
+		return append(SplitConjunction(b.L), SplitConjunction(b.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// OverClause is the parse-time OVER (...) specification carried by an
+// UnresolvedFunc until the SQL planner resolves it into a WindowFunc.
+type OverClause struct {
+	PartitionBy []Expr
+	OrderBy     []SortExpr
+	Frame       *WindowFrame // nil = default frame
+}
+
+// UnresolvedFunc is a parse-time function call; the SQL planner resolves
+// it into a ScalarFunc, AggFunc, or WindowFunc using the function
+// registry.
+type UnresolvedFunc struct {
+	Name     string
+	Args     []Expr
+	Distinct bool
+	Filter   Expr
+	Over     *OverClause
+	Star     bool // count(*)
+}
+
+func (f *UnresolvedFunc) exprNode() {}
+func (f *UnresolvedFunc) String() string {
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	inner := strings.Join(args, ", ")
+	if f.Star {
+		inner = "*"
+	}
+	if f.Distinct {
+		inner = "DISTINCT " + inner
+	}
+	return fmt.Sprintf("%s(%s)", f.Name, inner)
+}

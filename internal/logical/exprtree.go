@@ -1,0 +1,271 @@
+package logical
+
+import "fmt"
+
+// ExprChildren returns an expression's direct child expressions in a
+// stable order matching ExprWithChildren.
+func ExprChildren(e Expr) []Expr {
+	switch x := e.(type) {
+	case *Column, *Literal, *Wildcard, *ScalarSubquery, *Exists:
+		return nil
+	case *BinaryExpr:
+		return []Expr{x.L, x.R}
+	case *Not:
+		return []Expr{x.E}
+	case *IsNull:
+		return []Expr{x.E}
+	case *Negative:
+		return []Expr{x.E}
+	case *Like:
+		return []Expr{x.E, x.Pattern}
+	case *InList:
+		return append([]Expr{x.E}, x.List...)
+	case *Between:
+		return []Expr{x.E, x.Low, x.High}
+	case *Case:
+		var out []Expr
+		if x.Operand != nil {
+			out = append(out, x.Operand)
+		}
+		for _, w := range x.Whens {
+			out = append(out, w.When, w.Then)
+		}
+		if x.Else != nil {
+			out = append(out, x.Else)
+		}
+		return out
+	case *Cast:
+		return []Expr{x.E}
+	case *ScalarFunc:
+		return x.Args
+	case *AggFunc:
+		out := append([]Expr(nil), x.Args...)
+		if x.Filter != nil {
+			out = append(out, x.Filter)
+		}
+		return out
+	case *WindowFunc:
+		out := append([]Expr(nil), x.Args...)
+		out = append(out, x.PartitionBy...)
+		for _, o := range x.OrderBy {
+			out = append(out, o.E)
+		}
+		return out
+	case *Alias:
+		return []Expr{x.E}
+	case *InSubquery:
+		return []Expr{x.E}
+	case *UnresolvedFunc:
+		return unresolvedFuncChildren(x)
+	}
+	panic(fmt.Sprintf("logical: unknown expr %T", e))
+}
+
+// ExprWithChildren rebuilds an expression with new children, in the order
+// returned by ExprChildren.
+func ExprWithChildren(e Expr, ch []Expr) Expr {
+	switch x := e.(type) {
+	case *Column, *Literal, *Wildcard, *ScalarSubquery, *Exists:
+		return e
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, L: ch[0], R: ch[1]}
+	case *Not:
+		return &Not{E: ch[0]}
+	case *IsNull:
+		return &IsNull{E: ch[0], Negated: x.Negated}
+	case *Negative:
+		return &Negative{E: ch[0]}
+	case *Like:
+		return &Like{E: ch[0], Pattern: ch[1], Negated: x.Negated, CaseInsensitive: x.CaseInsensitive}
+	case *InList:
+		return &InList{E: ch[0], List: ch[1:], Negated: x.Negated}
+	case *Between:
+		return &Between{E: ch[0], Low: ch[1], High: ch[2], Negated: x.Negated}
+	case *Case:
+		out := &Case{}
+		i := 0
+		if x.Operand != nil {
+			out.Operand = ch[i]
+			i++
+		}
+		for range x.Whens {
+			out.Whens = append(out.Whens, WhenClause{When: ch[i], Then: ch[i+1]})
+			i += 2
+		}
+		if x.Else != nil {
+			out.Else = ch[i]
+		}
+		return out
+	case *Cast:
+		return &Cast{E: ch[0], To: x.To}
+	case *ScalarFunc:
+		return &ScalarFunc{Name: x.Name, Args: ch}
+	case *AggFunc:
+		out := &AggFunc{Name: x.Name, Distinct: x.Distinct}
+		if x.Filter != nil {
+			out.Args = ch[:len(ch)-1]
+			out.Filter = ch[len(ch)-1]
+		} else {
+			out.Args = ch
+		}
+		return out
+	case *WindowFunc:
+		out := &WindowFunc{Name: x.Name, Frame: x.Frame}
+		i := 0
+		out.Args = ch[i : i+len(x.Args)]
+		i += len(x.Args)
+		out.PartitionBy = ch[i : i+len(x.PartitionBy)]
+		i += len(x.PartitionBy)
+		for _, o := range x.OrderBy {
+			out.OrderBy = append(out.OrderBy, SortExpr{E: ch[i], Asc: o.Asc, NullsFirst: o.NullsFirst})
+			i++
+		}
+		return out
+	case *Alias:
+		return &Alias{E: ch[0], Name: x.Name}
+	case *InSubquery:
+		return &InSubquery{E: ch[0], Plan: x.Plan, Raw: x.Raw, Negated: x.Negated}
+	case *UnresolvedFunc:
+		return unresolvedFuncWithChildren(x, ch)
+	}
+	panic(fmt.Sprintf("logical: unknown expr %T", e))
+}
+
+// TransformExpr rewrites an expression bottom-up: children first, then the
+// rewritten node is passed to f.
+func TransformExpr(e Expr, f func(Expr) (Expr, error)) (Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	children := ExprChildren(e)
+	if len(children) > 0 {
+		newChildren := make([]Expr, len(children))
+		changed := false
+		for i, c := range children {
+			nc, err := TransformExpr(c, f)
+			if err != nil {
+				return nil, err
+			}
+			newChildren[i] = nc
+			if nc != c {
+				changed = true
+			}
+		}
+		if changed {
+			e = ExprWithChildren(e, newChildren)
+		}
+	}
+	return f(e)
+}
+
+// VisitExpr walks an expression pre-order; return false from f to skip a
+// subtree.
+func VisitExpr(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	for _, c := range ExprChildren(e) {
+		VisitExpr(c, f)
+	}
+}
+
+// CollectColumns returns all column references in an expression.
+func CollectColumns(e Expr) []*Column {
+	var out []*Column
+	VisitExpr(e, func(x Expr) bool {
+		if c, ok := x.(*Column); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// HasAggregates reports whether the expression contains an aggregate call
+// (not descending into window functions).
+func HasAggregates(e Expr) bool {
+	found := false
+	VisitExpr(e, func(x Expr) bool {
+		switch x.(type) {
+		case *AggFunc:
+			found = true
+			return false
+		case *WindowFunc:
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// HasWindow reports whether the expression contains a window function.
+func HasWindow(e Expr) bool {
+	found := false
+	VisitExpr(e, func(x Expr) bool {
+		if _, ok := x.(*WindowFunc); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// HasSubquery reports whether the expression contains any subquery node.
+func HasSubquery(e Expr) bool {
+	found := false
+	VisitExpr(e, func(x Expr) bool {
+		switch x.(type) {
+		case *ScalarSubquery, *Exists, *InSubquery:
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ExprEqual reports structural equality of two expressions by rendered
+// form; adequate for CSE and duplicate detection.
+func ExprEqual(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.String() == b.String()
+}
+
+// unresolvedFuncChildren supports tree traversal of parse-time nodes.
+func unresolvedFuncChildren(x *UnresolvedFunc) []Expr {
+	out := append([]Expr(nil), x.Args...)
+	if x.Filter != nil {
+		out = append(out, x.Filter)
+	}
+	if x.Over != nil {
+		out = append(out, x.Over.PartitionBy...)
+		for _, o := range x.Over.OrderBy {
+			out = append(out, o.E)
+		}
+	}
+	return out
+}
+
+func unresolvedFuncWithChildren(x *UnresolvedFunc, ch []Expr) Expr {
+	out := &UnresolvedFunc{Name: x.Name, Distinct: x.Distinct, Star: x.Star}
+	i := len(x.Args)
+	out.Args = ch[:i]
+	if x.Filter != nil {
+		out.Filter = ch[i]
+		i++
+	}
+	if x.Over != nil {
+		over := &OverClause{Frame: x.Over.Frame}
+		over.PartitionBy = ch[i : i+len(x.Over.PartitionBy)]
+		i += len(x.Over.PartitionBy)
+		for _, o := range x.Over.OrderBy {
+			over.OrderBy = append(over.OrderBy, SortExpr{E: ch[i], Asc: o.Asc, NullsFirst: o.NullsFirst})
+			i++
+		}
+		out.Over = over
+	}
+	return out
+}

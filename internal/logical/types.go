@@ -1,0 +1,273 @@
+package logical
+
+import (
+	"fmt"
+
+	"gofusion/internal/arrow"
+)
+
+// Registry resolves function return types during planning. The functions
+// package provides the standard implementation; systems register UDFs
+// through the same interface.
+type Registry interface {
+	// ScalarReturnType resolves a scalar function's output type.
+	ScalarReturnType(name string, args []*arrow.DataType) (*arrow.DataType, error)
+	// AggReturnType resolves an aggregate function's output type.
+	AggReturnType(name string, args []*arrow.DataType) (*arrow.DataType, error)
+	// WindowReturnType resolves a window function's output type.
+	WindowReturnType(name string, args []*arrow.DataType) (*arrow.DataType, error)
+}
+
+// PromoteNumeric returns the common type two numeric (or temporal)
+// operands are coerced to for arithmetic and comparison.
+func PromoteNumeric(a, b *arrow.DataType) (*arrow.DataType, error) {
+	if a.Equal(b) {
+		return a, nil
+	}
+	// Null coerces to the other side.
+	if a.ID == arrow.NULL {
+		return b, nil
+	}
+	if b.ID == arrow.NULL {
+		return a, nil
+	}
+	// Decimal wins over integers; floats win over decimals.
+	switch {
+	case a.ID == arrow.FLOAT64 || b.ID == arrow.FLOAT64:
+		return arrow.Float64, nil
+	case a.ID == arrow.FLOAT32 || b.ID == arrow.FLOAT32:
+		return arrow.Float64, nil
+	case a.ID == arrow.DECIMAL && b.ID == arrow.DECIMAL:
+		s := a.Scale
+		if b.Scale > s {
+			s = b.Scale
+		}
+		return arrow.Decimal(18, s), nil
+	case a.ID == arrow.DECIMAL && b.IsInteger():
+		return a, nil
+	case b.ID == arrow.DECIMAL && a.IsInteger():
+		return b, nil
+	case a.IsInteger() && b.IsInteger():
+		// Promote to the wider signedness-preserving integer; mixed
+		// signedness promotes to Int64.
+		if a.IsSignedInteger() != b.IsSignedInteger() {
+			return arrow.Int64, nil
+		}
+		if a.BitWidth() >= b.BitWidth() {
+			return a, nil
+		}
+		return b, nil
+	case a.ID == arrow.DATE32 && b.ID == arrow.TIMESTAMP,
+		a.ID == arrow.TIMESTAMP && b.ID == arrow.DATE32:
+		return arrow.Timestamp, nil
+	case a.ID == arrow.STRING && b.ID == arrow.STRING:
+		return arrow.String, nil
+	}
+	return nil, fmt.Errorf("logical: no common type for %s and %s", a, b)
+}
+
+// TypeOf derives an expression's output type against a schema.
+func TypeOf(e Expr, schema *Schema, reg Registry) (*arrow.DataType, error) {
+	switch x := e.(type) {
+	case *Column:
+		i, err := schema.IndexOfColumn(x)
+		if err != nil {
+			return nil, err
+		}
+		return schema.Field(i).Type, nil
+	case *Literal:
+		return x.Value.Type, nil
+	case *Alias:
+		return TypeOf(x.E, schema, reg)
+	case *BinaryExpr:
+		if x.Op.IsComparison() || x.Op.IsLogical() {
+			return arrow.Boolean, nil
+		}
+		if x.Op == OpConcat {
+			return arrow.String, nil
+		}
+		lt, err := TypeOf(x.L, schema, reg)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := TypeOf(x.R, schema, reg)
+		if err != nil {
+			return nil, err
+		}
+		// Temporal arithmetic.
+		if lt.IsTemporal() || rt.IsTemporal() {
+			return temporalArithType(x.Op, lt, rt)
+		}
+		common, err := PromoteNumeric(lt, rt)
+		if err != nil {
+			return nil, err
+		}
+		if common.ID == arrow.DECIMAL {
+			switch x.Op {
+			case OpMul:
+				// Mirrors physical coercion: a non-decimal operand is cast
+				// to the common decimal scale before the multiply, so its
+				// effective scale is the common one, not zero.
+				ls, rs := common.Scale, common.Scale
+				if lt.ID == arrow.DECIMAL {
+					ls = lt.Scale
+				}
+				if rt.ID == arrow.DECIMAL {
+					rs = rt.Scale
+				}
+				return arrow.Decimal(18, ls+rs), nil
+			case OpDiv:
+				return arrow.Float64, nil
+			}
+		}
+		if common.IsInteger() && x.Op == OpDiv {
+			return common, nil
+		}
+		return common, nil
+	case *Not, *IsNull, *Like, *InList, *Between, *Exists, *InSubquery:
+		return arrow.Boolean, nil
+	case *Negative:
+		return TypeOf(x.E, schema, reg)
+	case *Case:
+		var t *arrow.DataType
+		for _, w := range x.Whens {
+			wt, err := TypeOf(w.Then, schema, reg)
+			if err != nil {
+				return nil, err
+			}
+			if t == nil || t.ID == arrow.NULL {
+				t = wt
+			} else if wt.ID != arrow.NULL && !t.Equal(wt) {
+				if common, err := PromoteNumeric(t, wt); err == nil {
+					t = common
+				}
+			}
+		}
+		if x.Else != nil {
+			et, err := TypeOf(x.Else, schema, reg)
+			if err != nil {
+				return nil, err
+			}
+			if t == nil || t.ID == arrow.NULL {
+				t = et
+			} else if et.ID != arrow.NULL && !t.Equal(et) {
+				if common, err := PromoteNumeric(t, et); err == nil {
+					t = common
+				}
+			}
+		}
+		if t == nil {
+			t = arrow.Null
+		}
+		return t, nil
+	case *Cast:
+		return x.To, nil
+	case *ScalarFunc:
+		args, err := argTypes(x.Args, schema, reg)
+		if err != nil {
+			return nil, err
+		}
+		return reg.ScalarReturnType(x.Name, args)
+	case *AggFunc:
+		args, err := argTypes(x.Args, schema, reg)
+		if err != nil {
+			return nil, err
+		}
+		return reg.AggReturnType(x.Name, args)
+	case *WindowFunc:
+		args, err := argTypes(x.Args, schema, reg)
+		if err != nil {
+			return nil, err
+		}
+		return reg.WindowReturnType(x.Name, args)
+	case *ScalarSubquery:
+		s := x.Plan.Schema()
+		if s.Len() != 1 {
+			return nil, fmt.Errorf("logical: scalar subquery must return one column")
+		}
+		return s.Field(0).Type, nil
+	case *Wildcard:
+		return nil, fmt.Errorf("logical: wildcard must be expanded before typing")
+	}
+	return nil, fmt.Errorf("logical: cannot type %T", e)
+}
+
+func temporalArithType(op BinOp, lt, rt *arrow.DataType) (*arrow.DataType, error) {
+	switch {
+	case op == OpSub && lt.ID == rt.ID && (lt.ID == arrow.DATE32 || lt.ID == arrow.TIMESTAMP):
+		return arrow.Interval, nil
+	case (op == OpAdd || op == OpSub) && (lt.ID == arrow.DATE32 || lt.ID == arrow.TIMESTAMP) && rt.ID == arrow.INTERVAL:
+		return lt, nil
+	case op == OpAdd && lt.ID == arrow.INTERVAL && (rt.ID == arrow.DATE32 || rt.ID == arrow.TIMESTAMP):
+		return rt, nil
+	case lt.ID == arrow.INTERVAL && rt.ID == arrow.INTERVAL && (op == OpAdd || op == OpSub):
+		return arrow.Interval, nil
+	}
+	return nil, fmt.Errorf("logical: unsupported temporal arithmetic %s %s %s", lt, op, rt)
+}
+
+func argTypes(args []Expr, schema *Schema, reg Registry) ([]*arrow.DataType, error) {
+	out := make([]*arrow.DataType, len(args))
+	for i, a := range args {
+		t, err := TypeOf(a, schema, reg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// NullableOf conservatively derives whether an expression can produce NULL.
+func NullableOf(e Expr, schema *Schema) bool {
+	switch x := e.(type) {
+	case *Column:
+		i, err := schema.IndexOfColumn(x)
+		if err != nil {
+			return true
+		}
+		return schema.Field(i).Nullable
+	case *Literal:
+		return x.Value.Null
+	case *Alias:
+		return NullableOf(x.E, schema)
+	case *IsNull, *Exists:
+		return false
+	case *AggFunc:
+		// COUNT never returns NULL; other aggregates may on empty input.
+		return x.Name != "count"
+	default:
+		for _, c := range ExprChildren(e) {
+			if NullableOf(c, schema) {
+				return true
+			}
+		}
+		// CASE without ELSE and aggregates over empty groups can be null.
+		if c, ok := e.(*Case); ok && c.Else == nil {
+			return true
+		}
+		return false
+	}
+}
+
+// FieldOf derives the output field (name, type, nullability) an expression
+// contributes to a projection's schema.
+func FieldOf(e Expr, schema *Schema, reg Registry) (QField, error) {
+	t, err := TypeOf(e, schema, reg)
+	if err != nil {
+		return QField{}, err
+	}
+	qualifier := ""
+	if c, ok := e.(*Column); ok {
+		i, err := schema.IndexOfColumn(c)
+		if err == nil {
+			qualifier = schema.Field(i).Qualifier
+		}
+	}
+	return QField{
+		Qualifier: qualifier,
+		Name:      OutputName(e),
+		Type:      t,
+		Nullable:  NullableOf(e, schema),
+	}, nil
+}

@@ -1,0 +1,114 @@
+package memory
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheManager caches expensive-to-recompute planning inputs: directory
+// listings (object store LIST calls) and per-file metadata such as
+// statistics used for pruning. Both caches are bounded LRU maps; systems
+// with different policies substitute their own implementation.
+type CacheManager struct {
+	listings *LRU[string, []string]
+	fileMeta *LRU[string, any]
+}
+
+// NewCacheManager returns a cache manager with the given per-cache entry
+// capacities.
+func NewCacheManager(listingCap, metaCap int) *CacheManager {
+	return &CacheManager{
+		listings: NewLRU[string, []string](listingCap),
+		fileMeta: NewLRU[string, any](metaCap),
+	}
+}
+
+// Listings returns the directory-listing cache.
+func (c *CacheManager) Listings() *LRU[string, []string] { return c.listings }
+
+// FileMeta returns the per-file metadata cache.
+func (c *CacheManager) FileMeta() *LRU[string, any] { return c.fileMeta }
+
+// LRU is a small thread-safe least-recently-used cache.
+type LRU[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List
+	items map[K]*list.Element
+	hits  int64
+	miss  int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU returns an LRU holding at most capacity entries (min 1).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{cap: capacity, order: list.New(), items: make(map[K]*list.Element)}
+}
+
+// Get returns the cached value and whether it was present.
+func (l *LRU[K, V]) Get(key K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[key]; ok {
+		l.order.MoveToFront(el)
+		l.hits++
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	l.miss++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes a cache entry, evicting the least recently used
+// entry if over capacity.
+func (l *LRU[K, V]) Put(key K, val V) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[key]; ok {
+		el.Value.(*lruEntry[K, V]).val = val
+		l.order.MoveToFront(el)
+		return
+	}
+	el := l.order.PushFront(&lruEntry[K, V]{key: key, val: val})
+	l.items[key] = el
+	if l.order.Len() > l.cap {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.items, oldest.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// GetOrLoad returns the cached value, computing and caching it on a miss.
+func (l *LRU[K, V]) GetOrLoad(key K, load func() (V, error)) (V, error) {
+	if v, ok := l.Get(key); ok {
+		return v, nil
+	}
+	v, err := load()
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	l.Put(key, v)
+	return v, nil
+}
+
+// Len returns the number of cached entries.
+func (l *LRU[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.order.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (l *LRU[K, V]) Stats() (hits, misses int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits, l.miss
+}

@@ -1,0 +1,324 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"gofusion/internal/logical"
+)
+
+// CommonSubexpressionElimination factors subexpressions that appear more
+// than once in a projection into a lower projection computed once (paper
+// Section 6.1), e.g. TPC-H Q1's `l_extendedprice * (1 - l_discount)`
+// appearing in two aggregates.
+type CommonSubexpressionElimination struct{}
+
+// Name implements Rule.
+func (*CommonSubexpressionElimination) Name() string { return "common_subexpression_elimination" }
+
+// Apply implements Rule.
+func (r *CommonSubexpressionElimination) Apply(plan logical.Plan, ctx *Context) (logical.Plan, error) {
+	return logical.TransformPlan(plan, func(p logical.Plan) (logical.Plan, error) {
+		switch n := p.(type) {
+		case *logical.Projection:
+			return r.rewriteProjection(n, ctx)
+		case *logical.Aggregate:
+			return r.rewriteAggregate(n, ctx)
+		}
+		return p, nil
+	})
+}
+
+// rewriteAggregate factors subexpressions repeated across group keys and
+// aggregate arguments into a projection below the aggregate (e.g. TPC-H
+// Q1 computes `l_extendedprice * (1 - l_discount)` once for two sums).
+func (r *CommonSubexpressionElimination) rewriteAggregate(agg *logical.Aggregate, ctx *Context) (logical.Plan, error) {
+	// Candidate sources: group exprs and the args of each aggregate call.
+	var sources []logical.Expr
+	sources = append(sources, agg.GroupExprs...)
+	for _, ae := range agg.AggExprs {
+		call := ae
+		if a, ok := call.(*logical.Alias); ok {
+			call = a.E
+		}
+		if af, ok := call.(*logical.AggFunc); ok {
+			sources = append(sources, af.Args...)
+			if af.Filter != nil {
+				sources = append(sources, af.Filter)
+			}
+		}
+	}
+	shared, sub := sharedSubexpressions(sources)
+	if len(shared) == 0 {
+		return agg, nil
+	}
+	inSchema := agg.Input.Schema()
+	lowerExprs := make([]logical.Expr, 0, inSchema.Len()+len(shared))
+	for _, f := range inSchema.Fields() {
+		lowerExprs = append(lowerExprs, &logical.Column{Relation: f.Qualifier, Name: f.Name})
+	}
+	for i, e := range shared {
+		lowerExprs = append(lowerExprs, &logical.Alias{E: e, Name: fmt.Sprintf("__cse_%d", i+1)})
+	}
+	lower, err := logical.NewProjection(agg.Input, lowerExprs, ctx.Reg)
+	if err != nil {
+		return agg, nil
+	}
+	// Rewritten expressions are aliased back to their original output
+	// names so name-resolved references above the aggregate keep working
+	// (bare-column group keys are never rewritten, preserving their
+	// qualifiers).
+	rewrite := substituteTopDown(sub)
+	newGroups := make([]logical.Expr, len(agg.GroupExprs))
+	for i, g := range agg.GroupExprs {
+		ng := rewrite(g)
+		if ng != g && logical.OutputName(ng) != logical.OutputName(g) {
+			ng = &logical.Alias{E: ng, Name: logical.OutputName(g)}
+		}
+		newGroups[i] = ng
+	}
+	newAggs := make([]logical.Expr, len(agg.AggExprs))
+	for i, ae := range agg.AggExprs {
+		na := rewrite(ae)
+		if na != ae && logical.OutputName(na) != logical.OutputName(ae) {
+			na = &logical.Alias{E: na, Name: logical.OutputName(ae)}
+		}
+		newAggs[i] = na
+	}
+	out, err := logical.NewAggregate(lower, newGroups, newAggs, ctx.Reg)
+	if err != nil {
+		return agg, nil
+	}
+	return out, nil
+}
+
+// sharedSubexpressions finds outermost non-trivial subexpressions that
+// occur at least twice, returning them plus the substitution map.
+func sharedSubexpressions(sources []logical.Expr) ([]logical.Expr, map[string]*logical.Column) {
+	counts := map[string]int{}
+	exprOf := map[string]logical.Expr{}
+	for _, e := range sources {
+		logical.VisitExpr(e, func(x logical.Expr) bool {
+			if !nontrivial(x) {
+				return true
+			}
+			key := x.String()
+			counts[key]++
+			if _, ok := exprOf[key]; !ok {
+				exprOf[key] = x
+			}
+			return true
+		})
+	}
+	isShared := map[string]bool{}
+	for key, n := range counts {
+		if n >= 2 {
+			isShared[key] = true
+		}
+	}
+	if len(isShared) == 0 {
+		return nil, nil
+	}
+	for key := range isShared {
+		for _, c := range logical.ExprChildren(exprOf[key]) {
+			markNestedShared(c, isShared)
+		}
+	}
+	var shared []logical.Expr
+	sub := map[string]*logical.Column{}
+	i := 0
+	for key, on := range isShared {
+		if !on {
+			continue
+		}
+		i++
+		shared = append(shared, exprOf[key])
+		sub[key] = &logical.Column{Name: fmt.Sprintf("__cse_%d", i)}
+	}
+	return shared, sub
+}
+
+// substituteTopDown returns a rewriter replacing whole-expression matches
+// before descending.
+func substituteTopDown(sub map[string]*logical.Column) func(logical.Expr) logical.Expr {
+	var rewrite func(e logical.Expr) logical.Expr
+	rewrite = func(e logical.Expr) logical.Expr {
+		if a, ok := e.(*logical.Alias); ok {
+			return &logical.Alias{E: rewrite(a.E), Name: a.Name}
+		}
+		if c, ok := sub[e.String()]; ok {
+			return c
+		}
+		children := logical.ExprChildren(e)
+		if len(children) == 0 {
+			return e
+		}
+		newChildren := make([]logical.Expr, len(children))
+		changed := false
+		for i, ch := range children {
+			newChildren[i] = rewrite(ch)
+			if newChildren[i] != ch {
+				changed = true
+			}
+		}
+		if !changed {
+			return e
+		}
+		return logical.ExprWithChildren(e, newChildren)
+	}
+	return rewrite
+}
+
+// nontrivial reports whether an expression is worth factoring: it must do
+// real work (not a bare column/literal/alias) and be deterministic-safe.
+func nontrivial(e logical.Expr) bool {
+	switch e.(type) {
+	case *logical.Column, *logical.Literal, *logical.Alias, *logical.Wildcard:
+		return false
+	}
+	// Subquery and volatile shapes are not factored.
+	return !logical.HasSubquery(e) && !logical.HasAggregates(e) && !logical.HasWindow(e)
+}
+
+func (r *CommonSubexpressionElimination) rewriteProjection(proj *logical.Projection, ctx *Context) (logical.Plan, error) {
+	// Count non-trivial subexpressions across all projection expressions.
+	counts := map[string]int{}
+	exprOf := map[string]logical.Expr{}
+	for _, e := range proj.Exprs {
+		logical.VisitExpr(e, func(x logical.Expr) bool {
+			if !nontrivial(x) {
+				return true
+			}
+			key := x.String()
+			counts[key]++
+			if _, ok := exprOf[key]; !ok {
+				exprOf[key] = x
+			}
+			return true // still count nested repeats
+		})
+	}
+	// Candidates: repeated subexpressions not contained in a larger
+	// repeated subexpression (keep the outermost).
+	var shared []logical.Expr
+	isShared := map[string]bool{}
+	for key, n := range counts {
+		if n >= 2 {
+			isShared[key] = true
+		}
+	}
+	if len(isShared) == 0 {
+		return proj, nil
+	}
+	// Drop candidates nested inside another candidate.
+	for key := range isShared {
+		e := exprOf[key]
+		for _, c := range logical.ExprChildren(e) {
+			markNestedShared(c, isShared)
+		}
+	}
+	for key := range isShared {
+		if isShared[key] {
+			shared = append(shared, exprOf[key])
+		}
+	}
+	if len(shared) == 0 {
+		return proj, nil
+	}
+
+	// Build the lower projection: input columns pass through, shared
+	// expressions are computed once under synthetic names.
+	inSchema := proj.Input.Schema()
+	lowerExprs := make([]logical.Expr, 0, inSchema.Len()+len(shared))
+	for _, f := range inSchema.Fields() {
+		lowerExprs = append(lowerExprs, &logical.Column{Relation: f.Qualifier, Name: f.Name})
+	}
+	sub := map[string]*logical.Column{}
+	for i, e := range shared {
+		name := fmt.Sprintf("__cse_%d", i+1)
+		lowerExprs = append(lowerExprs, &logical.Alias{E: e, Name: name})
+		sub[e.String()] = &logical.Column{Name: name}
+	}
+	lower, err := logical.NewProjection(proj.Input, lowerExprs, ctx.Reg)
+	if err != nil {
+		return proj, nil // bail out rather than fail the query
+	}
+
+	// Rewrite the upper projection top-down so outer matches win.
+	var rewrite func(e logical.Expr) logical.Expr
+	rewrite = func(e logical.Expr) logical.Expr {
+		if a, ok := e.(*logical.Alias); ok {
+			return &logical.Alias{E: rewrite(a.E), Name: a.Name}
+		}
+		if c, ok := sub[e.String()]; ok {
+			return c
+		}
+		children := logical.ExprChildren(e)
+		if len(children) == 0 {
+			return e
+		}
+		newChildren := make([]logical.Expr, len(children))
+		changed := false
+		for i, ch := range children {
+			newChildren[i] = rewrite(ch)
+			if newChildren[i] != ch {
+				changed = true
+			}
+		}
+		if !changed {
+			return e
+		}
+		return logical.ExprWithChildren(e, newChildren)
+	}
+	upperExprs := make([]logical.Expr, len(proj.Exprs))
+	for i, e := range proj.Exprs {
+		ne := rewrite(e)
+		// Preserve output names.
+		want := proj.Schema().Field(i).Name
+		if logical.OutputName(ne) != want {
+			ne = &logical.Alias{E: ne, Name: want}
+		}
+		upperExprs[i] = ne
+	}
+	upper, err := logical.NewProjection(lower, upperExprs, ctx.Reg)
+	if err != nil {
+		return proj, nil
+	}
+	return upper, nil
+}
+
+// markNestedShared clears the shared flag of candidates strictly inside
+// another candidate.
+func markNestedShared(e logical.Expr, isShared map[string]bool) {
+	logical.VisitExpr(e, func(x logical.Expr) bool {
+		if isShared[x.String()] {
+			isShared[x.String()] = false
+		}
+		return true
+	})
+}
+
+// EliminateDistinct removes Distinct over inputs whose rows are already
+// unique: an Aggregate whose group keys are exactly the output columns.
+type EliminateDistinct struct{}
+
+// Name implements Rule.
+func (*EliminateDistinct) Name() string { return "eliminate_distinct" }
+
+// Apply implements Rule.
+func (*EliminateDistinct) Apply(plan logical.Plan, _ *Context) (logical.Plan, error) {
+	return logical.TransformPlan(plan, func(p logical.Plan) (logical.Plan, error) {
+		d, ok := p.(*logical.Distinct)
+		if !ok {
+			return p, nil
+		}
+		switch inner := d.Input.(type) {
+		case *logical.Distinct:
+			return inner, nil
+		case *logical.Aggregate:
+			// Grouped output with no aggregate columns is already distinct.
+			if len(inner.AggExprs) == 0 && len(inner.GroupExprs) > 0 {
+				return inner, nil
+			}
+		}
+		return p, nil
+	})
+}

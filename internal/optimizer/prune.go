@@ -1,0 +1,110 @@
+package optimizer
+
+import (
+	"strings"
+
+	"gofusion/internal/logical"
+)
+
+// PruneScans implements projection pushdown to the data sources (paper
+// Section 6.8): every column referenced anywhere in the plan is
+// collected, and each TableScan is narrowed to the referenced subset, so
+// file readers decode only the needed columns.
+type PruneScans struct{}
+
+// Name implements Rule.
+func (*PruneScans) Name() string { return "prune_scans" }
+
+// Apply implements Rule.
+func (r *PruneScans) Apply(plan logical.Plan, ctx *Context) (logical.Plan, error) {
+	// Gather every column reference in the whole tree, qualified and not.
+	type ref struct{ qualifier, name string }
+	refs := map[ref]bool{}
+	var walkPlan func(p logical.Plan)
+	collect := func(e logical.Expr) {
+		logical.VisitExpr(e, func(x logical.Expr) bool {
+			if c, ok := x.(*logical.Column); ok {
+				refs[ref{strings.ToLower(c.Relation), strings.ToLower(c.Name)}] = true
+			}
+			// Descend into subquery plans too.
+			switch sq := x.(type) {
+			case *logical.ScalarSubquery:
+				if sq.Plan != nil {
+					walkPlan(sq.Plan)
+				}
+			case *logical.Exists:
+				if sq.Plan != nil {
+					walkPlan(sq.Plan)
+				}
+			case *logical.InSubquery:
+				if sq.Plan != nil {
+					walkPlan(sq.Plan)
+				}
+			}
+			return true
+		})
+	}
+	walkPlan = func(p logical.Plan) {
+		logical.VisitPlan(p, func(n logical.Plan) bool {
+			for _, e := range exprsOf(n) {
+				collect(e)
+			}
+			// SubqueryAlias re-qualifies its child: a reference to
+			// alias.col requires the child's col (any qualifier).
+			if sa, ok := n.(*logical.SubqueryAlias); ok {
+				alias := strings.ToLower(sa.Alias)
+				for _, f := range sa.Schema().Fields() {
+					if refs[ref{alias, strings.ToLower(f.Name)}] || refs[ref{"", strings.ToLower(f.Name)}] {
+						// Mark the underlying field as needed under its own
+						// qualifier.
+						for _, inf := range sa.Input.Schema().Fields() {
+							if strings.EqualFold(inf.Name, f.Name) {
+								refs[ref{strings.ToLower(inf.Qualifier), strings.ToLower(inf.Name)}] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walkPlan(plan)
+
+	// Projections and aliases can rename columns out from under us; only
+	// prune scans whose columns are referenced directly. A scan column is
+	// needed when referenced as (scanName, col) or ("", col).
+	return logical.TransformPlan(plan, func(p logical.Plan) (logical.Plan, error) {
+		scan, ok := p.(*logical.TableScan)
+		if !ok || scan.Projection != nil {
+			return p, nil
+		}
+		full := scan.Source.Schema()
+		var keep []int
+		lname := strings.ToLower(scan.Name)
+		for i := 0; i < full.NumFields(); i++ {
+			col := strings.ToLower(full.Field(i).Name)
+			if refs[ref{lname, col}] || refs[ref{"", col}] {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) == full.NumFields() {
+			return p, nil
+		}
+		if len(keep) == 0 {
+			// Keep one (narrowest) column so the scan still produces row
+			// counts for COUNT(*).
+			best, bestW := 0, 1<<30
+			for i := 0; i < full.NumFields(); i++ {
+				w := full.Field(i).Type.BitWidth()
+				if w == 0 {
+					w = 1 << 20
+				}
+				if w < bestW {
+					best, bestW = i, w
+				}
+			}
+			keep = []int{best}
+		}
+		return scan.WithProjection(keep), nil
+	})
+}

@@ -1,0 +1,248 @@
+// Package parquet implements GPQ, a simplified but real columnar file
+// format standing in for Apache Parquet. A GPQ file contains row groups;
+// each row group contains one column chunk per field; each chunk contains
+// data pages (plain or dictionary encoded, optionally flate-compressed)
+// plus min/max/null-count statistics at page and chunk granularity, and an
+// optional split-block Bloom filter. The reader implements projection,
+// predicate and limit pushdown with page-level late materialization
+// (paper Section 6.8).
+//
+// File layout:
+//
+//	"GPQ1" | page data ... | footer JSON | footer length (4B LE) | "GPQ1"
+package parquet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"gofusion/internal/arrow"
+)
+
+// Magic is the leading and trailing file marker.
+const Magic = "GPQ1"
+
+// Encodings for data pages.
+const (
+	EncodingPlain = "plain"
+	EncodingDict  = "dict"
+)
+
+// Codecs for page compression.
+const (
+	CodecNone  = ""
+	CodecFlate = "flate"
+)
+
+// statsValue is a JSON-friendly variant holding a typed min or max value.
+type statsValue struct {
+	I *int64   `json:"i,omitempty"`
+	F *float64 `json:"f,omitempty"`
+	S *string  `json:"s,omitempty"`
+	B *bool    `json:"b,omitempty"`
+}
+
+func statsValueOf(s arrow.Scalar) *statsValue {
+	if s.Null {
+		return nil
+	}
+	switch s.Type.ID {
+	case arrow.FLOAT32, arrow.FLOAT64:
+		f := s.AsFloat64()
+		if math.IsNaN(f) {
+			return nil
+		}
+		return &statsValue{F: &f}
+	case arrow.STRING, arrow.BINARY:
+		v := s.AsString()
+		// Truncate long stats values; min stays a valid lower bound and max
+		// is widened by bumping the last byte.
+		if len(v) > 64 {
+			v = v[:64]
+		}
+		return &statsValue{S: &v}
+	case arrow.BOOL:
+		b := s.AsBool()
+		return &statsValue{B: &b}
+	default:
+		i := s.AsInt64()
+		return &statsValue{I: &i}
+	}
+}
+
+func (v *statsValue) toScalar(t *arrow.DataType) arrow.Scalar {
+	if v == nil {
+		return arrow.NullScalar(t)
+	}
+	switch {
+	case v.I != nil:
+		switch t.ID {
+		case arrow.INT8:
+			return arrow.NewScalar(t, int8(*v.I))
+		case arrow.INT16:
+			return arrow.NewScalar(t, int16(*v.I))
+		case arrow.INT32, arrow.DATE32:
+			return arrow.NewScalar(t, int32(*v.I))
+		case arrow.UINT8:
+			return arrow.NewScalar(t, uint8(*v.I))
+		case arrow.UINT16:
+			return arrow.NewScalar(t, uint16(*v.I))
+		case arrow.UINT32:
+			return arrow.NewScalar(t, uint32(*v.I))
+		case arrow.UINT64:
+			return arrow.NewScalar(t, uint64(*v.I))
+		default:
+			return arrow.NewScalar(t, *v.I)
+		}
+	case v.F != nil:
+		if t.ID == arrow.FLOAT32 {
+			return arrow.NewScalar(t, float32(*v.F))
+		}
+		return arrow.NewScalar(t, *v.F)
+	case v.S != nil:
+		return arrow.NewScalar(t, *v.S)
+	case v.B != nil:
+		return arrow.NewScalar(t, *v.B)
+	}
+	return arrow.NullScalar(t)
+}
+
+// ColumnStats summarizes the values in a page or column chunk, used for
+// zone-map style pruning. Min/Max are inclusive bounds; a truncated string
+// max is widened so the bound stays valid.
+type ColumnStats struct {
+	Min       arrow.Scalar
+	Max       arrow.Scalar
+	HasMinMax bool
+	NullCount int64
+	NumRows   int64
+}
+
+type statsMeta struct {
+	Min       *statsValue `json:"min,omitempty"`
+	Max       *statsValue `json:"max,omitempty"`
+	NullCount int64       `json:"nulls"`
+	NumRows   int64       `json:"rows"`
+}
+
+func (m statsMeta) toStats(t *arrow.DataType) ColumnStats {
+	cs := ColumnStats{NullCount: m.NullCount, NumRows: m.NumRows}
+	if m.Min != nil && m.Max != nil {
+		cs.Min = m.Min.toScalar(t)
+		cs.Max = m.Max.toScalar(t)
+		cs.HasMinMax = true
+	} else {
+		cs.Min = arrow.NullScalar(t)
+		cs.Max = arrow.NullScalar(t)
+	}
+	return cs
+}
+
+type pageMeta struct {
+	Offset   int64     `json:"off"`
+	Len      int64     `json:"len"`
+	NumRows  int64     `json:"rows"`
+	FirstRow int64     `json:"first"` // row index within the row group
+	Encoding string    `json:"enc"`
+	Codec    string    `json:"codec,omitempty"`
+	RawLen   int64     `json:"raw"`
+	Stats    statsMeta `json:"stats"`
+}
+
+type dictMeta struct {
+	Offset    int64  `json:"off"`
+	Len       int64  `json:"len"`
+	NumValues int64  `json:"n"`
+	Codec     string `json:"codec,omitempty"`
+	RawLen    int64  `json:"raw"`
+}
+
+type bloomMeta struct {
+	Offset    int64 `json:"off"`
+	Len       int64 `json:"len"`
+	NumHashes int   `json:"k"`
+}
+
+type columnChunkMeta struct {
+	Pages []pageMeta `json:"pages"`
+	Dict  *dictMeta  `json:"dict,omitempty"`
+	Bloom *bloomMeta `json:"bloom,omitempty"`
+	Stats statsMeta  `json:"stats"`
+}
+
+type rowGroupMeta struct {
+	NumRows int64             `json:"rows"`
+	Columns []columnChunkMeta `json:"cols"`
+}
+
+type fileFooter struct {
+	Schema    json.RawMessage   `json:"schema"`
+	NumRows   int64             `json:"rows"`
+	RowGroups []rowGroupMeta    `json:"groups"`
+	KV        map[string]string `json:"kv,omitempty"`
+	Version   int               `json:"v"`
+}
+
+// FileMetadata is the decoded footer of a GPQ file, exposed so catalogs can
+// cache it and plan from statistics without re-opening files.
+type FileMetadata struct {
+	Schema  *arrow.Schema
+	NumRows int64
+	KV      map[string]string
+	footer  *fileFooter
+}
+
+// NumRowGroups returns the number of row groups.
+func (m *FileMetadata) NumRowGroups() int { return len(m.footer.RowGroups) }
+
+// RowGroupRows returns the number of rows in row group i.
+func (m *FileMetadata) RowGroupRows(i int) int64 { return m.footer.RowGroups[i].NumRows }
+
+// ColumnChunkStats returns the chunk-level statistics for (rowGroup, col).
+func (m *FileMetadata) ColumnChunkStats(rg, col int) ColumnStats {
+	t := m.Schema.Field(col).Type
+	return m.footer.RowGroups[rg].Columns[col].Stats.toStats(t)
+}
+
+// ColumnStatsForFile aggregates chunk statistics across all row groups.
+func (m *FileMetadata) ColumnStatsForFile(col int) ColumnStats {
+	t := m.Schema.Field(col).Type
+	agg := ColumnStats{Min: arrow.NullScalar(t), Max: arrow.NullScalar(t)}
+	for rg := range m.footer.RowGroups {
+		cs := m.ColumnChunkStats(rg, col)
+		agg.NullCount += cs.NullCount
+		agg.NumRows += cs.NumRows
+		if cs.HasMinMax {
+			if !agg.HasMinMax {
+				agg.Min, agg.Max, agg.HasMinMax = cs.Min, cs.Max, true
+			} else {
+				if scalarLess(cs.Min, agg.Min) {
+					agg.Min = cs.Min
+				}
+				if scalarLess(agg.Max, cs.Max) {
+					agg.Max = cs.Max
+				}
+			}
+		}
+	}
+	return agg
+}
+
+func scalarLess(a, b arrow.Scalar) bool {
+	if a.Null || b.Null {
+		return false
+	}
+	switch a.Type.ID {
+	case arrow.FLOAT32, arrow.FLOAT64:
+		return a.AsFloat64() < b.AsFloat64()
+	case arrow.STRING, arrow.BINARY:
+		return a.AsString() < b.AsString()
+	case arrow.BOOL:
+		return !a.AsBool() && b.AsBool()
+	default:
+		return a.AsInt64() < b.AsInt64()
+	}
+}
+
+var errFormat = fmt.Errorf("parquet: malformed GPQ file")

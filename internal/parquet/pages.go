@@ -1,0 +1,208 @@
+package parquet
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gofusion/internal/arrow"
+)
+
+// Page body layouts (before optional compression):
+//
+//	numeric plain: u32 n | u32 validLen | valid | raw values
+//	string plain:  u32 n | u32 validLen | valid | offsets (n+1)*4 | u32 dataLen | data
+//	bool plain:    u32 n | u32 validLen | valid | value bitmap
+//	dict indexes:  u32 n | u32 validLen | valid | u32 indexes n*4
+//
+// A chunk's dictionary page is encoded as a string-plain page.
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func encodePlainPage(a arrow.Array) ([]byte, error) {
+	n := a.Len()
+	body := appendU32(nil, uint32(n))
+	valid := a.Validity()
+	body = appendU32(body, uint32(len(valid)))
+	body = append(body, valid...)
+	switch arr := a.(type) {
+	case *arrow.Int8Array:
+		return append(body, arrow.NumericBytes(arr.Values())...), nil
+	case *arrow.Int16Array:
+		return append(body, arrow.NumericBytes(arr.Values())...), nil
+	case *arrow.Int32Array:
+		return append(body, arrow.NumericBytes(arr.Values())...), nil
+	case *arrow.Int64Array:
+		return append(body, arrow.NumericBytes(arr.Values())...), nil
+	case *arrow.Uint8Array:
+		return append(body, arrow.NumericBytes(arr.Values())...), nil
+	case *arrow.Uint16Array:
+		return append(body, arrow.NumericBytes(arr.Values())...), nil
+	case *arrow.Uint32Array:
+		return append(body, arrow.NumericBytes(arr.Values())...), nil
+	case *arrow.Uint64Array:
+		return append(body, arrow.NumericBytes(arr.Values())...), nil
+	case *arrow.Float32Array:
+		return append(body, arrow.NumericBytes(arr.Values())...), nil
+	case *arrow.Float64Array:
+		return append(body, arrow.NumericBytes(arr.Values())...), nil
+	case *arrow.BoolArray:
+		vb := arr.ValuesBitmap()
+		full := arrow.NewBitmap(n)
+		copy(full, vb)
+		return append(body, full...), nil
+	case *arrow.StringArray:
+		// Re-base offsets so sliced arrays encode correctly.
+		offs := arr.Offsets()
+		base := offs[0]
+		for i := 0; i <= n; i++ {
+			body = appendU32(body, uint32(offs[i]-base))
+		}
+		data := arr.Data()[base:offs[n]]
+		body = appendU32(body, uint32(len(data)))
+		return append(body, data...), nil
+	default:
+		return nil, fmt.Errorf("parquet: unsupported column type %s", a.DataType())
+	}
+}
+
+func decodePlainPage(body []byte, t *arrow.DataType) (arrow.Array, error) {
+	if len(body) < 8 {
+		return nil, errFormat
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	validLen := int(binary.LittleEndian.Uint32(body[4:]))
+	pos := 8
+	if pos+validLen > len(body) {
+		return nil, errFormat
+	}
+	var valid arrow.Bitmap
+	if validLen > 0 {
+		valid = arrow.Bitmap(body[pos : pos+validLen])
+	}
+	pos += validLen
+	rest := body[pos:]
+	switch t.ID {
+	case arrow.INT8:
+		return arrow.NewNumeric(t, arrow.BytesToNumeric[int8](rest[:n]), valid), nil
+	case arrow.INT16:
+		return arrow.NewNumeric(t, arrow.BytesToNumeric[int16](rest[:n*2]), valid), nil
+	case arrow.INT32, arrow.DATE32:
+		return arrow.NewNumeric(t, arrow.BytesToNumeric[int32](rest[:n*4]), valid), nil
+	case arrow.INT64, arrow.TIMESTAMP, arrow.DECIMAL:
+		return arrow.NewNumeric(t, arrow.BytesToNumeric[int64](rest[:n*8]), valid), nil
+	case arrow.UINT8:
+		return arrow.NewNumeric(t, arrow.BytesToNumeric[uint8](rest[:n]), valid), nil
+	case arrow.UINT16:
+		return arrow.NewNumeric(t, arrow.BytesToNumeric[uint16](rest[:n*2]), valid), nil
+	case arrow.UINT32:
+		return arrow.NewNumeric(t, arrow.BytesToNumeric[uint32](rest[:n*4]), valid), nil
+	case arrow.UINT64:
+		return arrow.NewNumeric(t, arrow.BytesToNumeric[uint64](rest[:n*8]), valid), nil
+	case arrow.FLOAT32:
+		return arrow.NewNumeric(t, arrow.BytesToNumeric[float32](rest[:n*4]), valid), nil
+	case arrow.FLOAT64:
+		return arrow.NewNumeric(t, arrow.BytesToNumeric[float64](rest[:n*8]), valid), nil
+	case arrow.BOOL:
+		nb := (n + 7) / 8
+		if len(rest) < nb {
+			return nil, errFormat
+		}
+		return arrow.NewBool(arrow.Bitmap(rest[:nb]), valid, n), nil
+	case arrow.STRING, arrow.BINARY:
+		offLen := (n + 1) * 4
+		if len(rest) < offLen+4 {
+			return nil, errFormat
+		}
+		offsets := arrow.BytesToNumeric[int32](rest[:offLen])
+		dataLen := int(binary.LittleEndian.Uint32(rest[offLen:]))
+		data := rest[offLen+4 : offLen+4+dataLen]
+		return arrow.NewString(t, offsets, data, valid), nil
+	}
+	return nil, fmt.Errorf("parquet: unsupported page type %s", t)
+}
+
+func encodeDictIndexPage(indexes []uint32, valid arrow.Bitmap) []byte {
+	body := appendU32(nil, uint32(len(indexes)))
+	body = appendU32(body, uint32(len(valid)))
+	body = append(body, valid...)
+	return append(body, arrow.NumericBytes(indexes)...)
+}
+
+func decodeDictIndexPage(body []byte, dict *arrow.StringArray, t *arrow.DataType) (arrow.Array, error) {
+	if len(body) < 8 {
+		return nil, errFormat
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	validLen := int(binary.LittleEndian.Uint32(body[4:]))
+	pos := 8
+	var valid arrow.Bitmap
+	if validLen > 0 {
+		valid = arrow.Bitmap(body[pos : pos+validLen])
+	}
+	pos += validLen
+	if len(body) < pos+n*4 {
+		return nil, errFormat
+	}
+	indexes := arrow.BytesToNumeric[uint32](body[pos : pos+n*4])
+	// Materialize strings from the dictionary.
+	offsets := make([]int32, n+1)
+	total := 0
+	for i, idx := range indexes {
+		if valid == nil || valid.Get(i) {
+			total += len(dict.ValueBytes(int(idx)))
+		}
+		_ = i
+	}
+	data := make([]byte, 0, total)
+	for i, idx := range indexes {
+		if valid == nil || valid.Get(i) {
+			data = append(data, dict.ValueBytes(int(idx))...)
+		}
+		offsets[i+1] = int32(len(data))
+	}
+	return arrow.NewString(t, offsets, data, valid), nil
+}
+
+// compressBody applies the codec, returning the stored bytes and the codec
+// actually used (compression is skipped when it does not help).
+func compressBody(body []byte, codec string) ([]byte, string, error) {
+	if codec != CodecFlate || len(body) < 128 {
+		return body, CodecNone, nil
+	}
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, "", err
+	}
+	if _, err := w.Write(body); err != nil {
+		return nil, "", err
+	}
+	if err := w.Close(); err != nil {
+		return nil, "", err
+	}
+	if buf.Len() >= len(body) {
+		return body, CodecNone, nil
+	}
+	return buf.Bytes(), CodecFlate, nil
+}
+
+func decompressBody(stored []byte, codec string, rawLen int64) ([]byte, error) {
+	switch codec {
+	case CodecNone:
+		return stored, nil
+	case CodecFlate:
+		r := flate.NewReader(bytes.NewReader(stored))
+		out := make([]byte, 0, rawLen)
+		buf := bytes.NewBuffer(out)
+		if _, err := io.Copy(buf, r); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	return nil, fmt.Errorf("parquet: unknown codec %q", codec)
+}

@@ -1,0 +1,513 @@
+package parquet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/arrow/compute"
+)
+
+func testSchema() *arrow.Schema {
+	return arrow.NewSchema(
+		arrow.NewField("id", arrow.Int64, false),
+		arrow.NewField("name", arrow.String, true),
+		arrow.NewField("score", arrow.Float64, true),
+		arrow.NewField("flag", arrow.Boolean, true),
+		arrow.NewField("day", arrow.Date32, true),
+	)
+}
+
+// makeBatch builds rows [start, start+n) with deterministic contents:
+// id = i, name = "name-<i%97>" (every 13th null), score = i/2 (every 7th
+// null), flag = i%2, day = i%1000.
+func makeBatch(start, n int) *arrow.RecordBatch {
+	ib := arrow.NewNumericBuilder[int64](arrow.Int64)
+	sb := arrow.NewStringBuilder(arrow.String)
+	fb := arrow.NewNumericBuilder[float64](arrow.Float64)
+	bb := arrow.NewBoolBuilder()
+	db := arrow.NewNumericBuilder[int32](arrow.Date32)
+	for i := start; i < start+n; i++ {
+		ib.Append(int64(i))
+		if i%13 == 0 {
+			sb.AppendNull()
+		} else {
+			sb.Append(fmt.Sprintf("name-%02d", i%97))
+		}
+		if i%7 == 0 {
+			fb.AppendNull()
+		} else {
+			fb.Append(float64(i) / 2)
+		}
+		bb.Append(i%2 == 0)
+		db.Append(int32(i % 1000))
+	}
+	return arrow.NewRecordBatch(testSchema(), []arrow.Array{
+		ib.Finish(), sb.Finish(), fb.Finish(), bb.Finish(), db.Finish(),
+	})
+}
+
+func writeTestFile(t *testing.T, path string, numRows int, opts WriterOptions) {
+	t.Helper()
+	var batches []*arrow.RecordBatch
+	for start := 0; start < numRows; start += 1000 {
+		n := 1000
+		if start+n > numRows {
+			n = numRows - start
+		}
+		batches = append(batches, makeBatch(start, n))
+	}
+	if err := WriteFile(path, testSchema(), batches, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scanAll(t *testing.T, sc *Scanner) *arrow.RecordBatch {
+	t.Helper()
+	var batches []*arrow.RecordBatch
+	for {
+		b, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, b)
+	}
+	out, err := compute.ConcatBatches(sc.Schema(), batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, compression := range []bool{false, true} {
+		path := filepath.Join(t.TempDir(), "t.gpq")
+		opts := WriterOptions{RowGroupRows: 3000, PageRows: 500, Compression: compression, Dictionary: true, BloomFilters: true}
+		writeTestFile(t, path, 10000, opts)
+
+		fr, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fr.Close()
+		if fr.NumRows() != 10000 {
+			t.Fatalf("rows = %d", fr.NumRows())
+		}
+		if fr.Metadata().NumRowGroups() != 4 {
+			t.Fatalf("row groups = %d", fr.Metadata().NumRowGroups())
+		}
+		if !fr.Schema().Equal(testSchema()) {
+			t.Fatal("schema mismatch")
+		}
+		sc, err := fr.Scan(ScanOptions{Limit: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := scanAll(t, sc)
+		want, err := compute.ConcatBatches(testSchema(), []*arrow.RecordBatch{makeBatch(0, 10000)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Fatalf("rows: got %d want %d", got.NumRows(), want.NumRows())
+		}
+		for c := 0; c < want.NumCols(); c++ {
+			for r := 0; r < want.NumRows(); r += 37 {
+				g, w := got.Column(c).GetScalar(r), want.Column(c).GetScalar(r)
+				if !g.Equal(w) {
+					t.Fatalf("compression=%v col %d row %d: got %v want %v", compression, c, r, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestProjectionPushdown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gpq")
+	writeTestFile(t, path, 2000, DefaultWriterOptions())
+	fr, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	sc, err := fr.Scan(ScanOptions{Projection: []int{2, 0}, Limit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, sc)
+	if got.NumCols() != 2 || got.Schema().Field(0).Name != "score" || got.Schema().Field(1).Name != "id" {
+		t.Fatalf("projection wrong: %s", got.Schema())
+	}
+	if got.Column(1).(*arrow.Int64Array).Value(100) != 100 {
+		t.Fatal("projected values wrong")
+	}
+}
+
+func TestLimitPushdown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gpq")
+	writeTestFile(t, path, 5000, WriterOptions{RowGroupRows: 1000})
+	fr, _ := OpenFile(path)
+	defer fr.Close()
+	sc, err := fr.Scan(ScanOptions{Limit: 1500, Projection: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, sc)
+	if got.NumRows() != 1500 {
+		t.Fatalf("limit: got %d rows", got.NumRows())
+	}
+	// Limit must stop reading row groups early.
+	if sc.RowGroupsMatched > 2 {
+		t.Fatalf("limit read %d row groups", sc.RowGroupsMatched)
+	}
+}
+
+// cmpPredicate implements Predicate for a single `col <op> literal` atom.
+type cmpPredicate struct {
+	col int
+	op  compute.CmpOp
+	lit arrow.Scalar
+}
+
+func (p *cmpPredicate) Columns() []int { return []int{p.col} }
+
+func (p *cmpPredicate) Evaluate(cols map[int]arrow.Array, numRows int) (*arrow.BoolArray, error) {
+	return compute.CompareScalar(p.op, cols[p.col], p.lit)
+}
+
+func (p *cmpPredicate) KeepColumnStats(col int, stats ColumnStats) bool {
+	return StatsKeepCompare(p.op.String(), stats, p.lit)
+}
+
+func (p *cmpPredicate) EqProbes() []EqProbe {
+	if p.op == compute.Eq {
+		return []EqProbe{{Col: p.col, Value: p.lit}}
+	}
+	return nil
+}
+
+func TestPredicatePushdownPrunesRowGroups(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gpq")
+	// ids are monotonically increasing, so row-group stats are disjoint.
+	writeTestFile(t, path, 10000, WriterOptions{RowGroupRows: 1000, PageRows: 100})
+	fr, _ := OpenFile(path)
+	defer fr.Close()
+	pred := &cmpPredicate{col: 0, op: compute.Gt, lit: arrow.Int64Scalar(8999)}
+	sc, err := fr.Scan(ScanOptions{Predicate: pred, Projection: []int{0, 1}, Limit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, sc)
+	if got.NumRows() != 1000 {
+		t.Fatalf("got %d rows", got.NumRows())
+	}
+	if sc.RowGroupsPruned != 9 || sc.RowGroupsMatched != 1 {
+		t.Fatalf("pruned=%d matched=%d", sc.RowGroupsPruned, sc.RowGroupsMatched)
+	}
+	// Verify values actually satisfy the predicate.
+	ids := got.Column(0).(*arrow.Int64Array)
+	for i := 0; i < ids.Len(); i++ {
+		if ids.Value(i) <= 8999 {
+			t.Fatal("predicate violated")
+		}
+	}
+}
+
+func TestPagePruningAndLateMaterialization(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gpq")
+	writeTestFile(t, path, 10000, WriterOptions{RowGroupRows: 10000, PageRows: 100})
+	fr, _ := OpenFile(path)
+	defer fr.Close()
+	pred := &cmpPredicate{col: 0, op: compute.Eq, lit: arrow.Int64Scalar(5555)}
+	sc, err := fr.Scan(ScanOptions{Predicate: pred, Limit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, sc)
+	if got.NumRows() != 1 {
+		t.Fatalf("got %d rows", got.NumRows())
+	}
+	if got.Column(1).(*arrow.StringArray).Value(0) != fmt.Sprintf("name-%02d", 5555%97) {
+		t.Fatal("late materialized value wrong")
+	}
+	// 100 pages exist; all but one should be skipped by page stats.
+	if sc.PagesSkipped < 90 {
+		t.Fatalf("pages skipped = %d", sc.PagesSkipped)
+	}
+}
+
+func TestBloomFilterPrunesImpossibleEquality(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gpq")
+	writeTestFile(t, path, 5000, DefaultWriterOptions())
+	fr, _ := OpenFile(path)
+	defer fr.Close()
+	// "zzz" is not a value of name; min/max alone cannot prove absence
+	// ... actually it can, so probe a value inside the min/max range.
+	pred := &cmpPredicate{col: 1, op: compute.Eq, lit: arrow.StringScalar("name-0x")}
+	sc, err := fr.Scan(ScanOptions{Predicate: pred, Limit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, sc)
+	if got.NumRows() != 0 {
+		t.Fatal("no rows should match")
+	}
+	if sc.RowGroupsPruned == 0 {
+		t.Fatal("bloom filter should have pruned the row group")
+	}
+}
+
+func TestPredicateResultsMatchPostFilter(t *testing.T) {
+	// Property-style check: pushdown scan == full scan + filter, across
+	// several operators and both ablation modes.
+	path := filepath.Join(t.TempDir(), "t.gpq")
+	writeTestFile(t, path, 8000, WriterOptions{RowGroupRows: 1500, PageRows: 200, Dictionary: true, Compression: true, BloomFilters: true})
+	fr, _ := OpenFile(path)
+	defer fr.Close()
+
+	full := func() *arrow.RecordBatch {
+		sc, err := fr.Scan(ScanOptions{Limit: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scanAll(t, sc)
+	}()
+
+	rng := rand.New(rand.NewSource(7))
+	ops := []compute.CmpOp{compute.Eq, compute.Neq, compute.Lt, compute.LtEq, compute.Gt, compute.GtEq}
+	for trial := 0; trial < 20; trial++ {
+		var pred *cmpPredicate
+		switch trial % 3 {
+		case 0:
+			pred = &cmpPredicate{col: 0, op: ops[rng.Intn(len(ops))], lit: arrow.Int64Scalar(rng.Int63n(9000))}
+		case 1:
+			pred = &cmpPredicate{col: 1, op: ops[rng.Intn(len(ops))], lit: arrow.StringScalar(fmt.Sprintf("name-%02d", rng.Intn(99)))}
+		case 2:
+			pred = &cmpPredicate{col: 2, op: ops[rng.Intn(len(ops))], lit: arrow.Float64Scalar(float64(rng.Intn(4000)))}
+		}
+		for _, ablate := range []ScanOptions{
+			{Predicate: pred, Limit: -1},
+			{Predicate: pred, Limit: -1, DisablePruning: true},
+			{Predicate: pred, Limit: -1, DisableLateMaterialization: true},
+		} {
+			sc, err := fr.Scan(ablate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := scanAll(t, sc)
+			// Reference: evaluate on the full batch.
+			mask, err := compute.CompareScalar(pred.op, full.Column(pred.col), pred.lit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := compute.FilterBatch(full, mask)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.NumRows() != want.NumRows() {
+				t.Fatalf("trial %d opts %+v: got %d rows want %d", trial, ablate, got.NumRows(), want.NumRows())
+			}
+			for r := 0; r < got.NumRows(); r += 101 {
+				for c := 0; c < got.NumCols(); c++ {
+					if !got.Column(c).GetScalar(r).Equal(want.Column(c).GetScalar(r)) {
+						t.Fatalf("trial %d row %d col %d mismatch", trial, r, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestChunkAndFileStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gpq")
+	writeTestFile(t, path, 3000, WriterOptions{RowGroupRows: 1000})
+	fr, _ := OpenFile(path)
+	defer fr.Close()
+	cs := fr.Metadata().ColumnChunkStats(1, 0) // second row group, id column
+	if !cs.HasMinMax || cs.Min.AsInt64() != 1000 || cs.Max.AsInt64() != 1999 {
+		t.Fatalf("chunk stats wrong: %+v", cs)
+	}
+	fileStats := fr.Metadata().ColumnStatsForFile(0)
+	if fileStats.Min.AsInt64() != 0 || fileStats.Max.AsInt64() != 2999 || fileStats.NumRows != 3000 {
+		t.Fatalf("file stats wrong: %+v", fileStats)
+	}
+	nameStats := fr.Metadata().ColumnStatsForFile(1)
+	if nameStats.NullCount == 0 {
+		t.Fatal("null count missing")
+	}
+}
+
+func TestDictionaryEncodingActuallyUsed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gpq")
+	writeTestFile(t, path, 5000, WriterOptions{RowGroupRows: 5000, Dictionary: true})
+	fr, _ := OpenFile(path)
+	defer fr.Close()
+	chunk := fr.Metadata().footer.RowGroups[0].Columns[1]
+	if chunk.Dict == nil {
+		t.Fatal("low-cardinality string column should be dictionary encoded")
+	}
+	if chunk.Pages[0].Encoding != EncodingDict {
+		t.Fatal("pages should use dict encoding")
+	}
+	// High-cardinality column must not be dict encoded: id as string.
+	sb := arrow.NewStringBuilder(arrow.String)
+	for i := 0; i < 5000; i++ {
+		sb.Append(fmt.Sprintf("unique-%d", i))
+	}
+	schema := arrow.NewSchema(arrow.NewField("u", arrow.String, false))
+	path2 := filepath.Join(t.TempDir(), "u.gpq")
+	if err := WriteFile(path2, schema, []*arrow.RecordBatch{arrow.NewRecordBatch(schema, []arrow.Array{sb.Finish()})}, WriterOptions{Dictionary: true}); err != nil {
+		t.Fatal(err)
+	}
+	fr2, _ := OpenFile(path2)
+	defer fr2.Close()
+	if fr2.Metadata().footer.RowGroups[0].Columns[0].Dict != nil {
+		t.Fatal("high-cardinality column should not be dict encoded")
+	}
+}
+
+func TestRowSelectionAlgebra(t *testing.T) {
+	a := FromRanges([]RowRange{{0, 10}, {20, 30}})
+	b := FromRanges([]RowRange{{5, 25}})
+	got := a.Intersect(b)
+	want := []RowRange{{5, 10}, {20, 25}}
+	if len(got.Ranges()) != 2 || got.Ranges()[0] != want[0] || got.Ranges()[1] != want[1] {
+		t.Fatalf("intersect = %+v", got.Ranges())
+	}
+	if got.Count() != 10 {
+		t.Fatalf("count = %d", got.Count())
+	}
+	if !a.Overlaps(25, 40) || a.Overlaps(10, 20) {
+		t.Fatal("overlaps wrong")
+	}
+	// FromRanges merges adjacent/overlapping and drops empties.
+	m := FromRanges([]RowRange{{0, 5}, {5, 8}, {9, 9}, {10, 12}})
+	if len(m.Ranges()) != 2 || m.Ranges()[0] != (RowRange{0, 8}) {
+		t.Fatalf("merge = %+v", m.Ranges())
+	}
+	if SelectAll(0).IsEmpty() != true || SelectNone().Count() != 0 {
+		t.Fatal("empty selections wrong")
+	}
+}
+
+func TestCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Truncated file.
+	bad := filepath.Join(dir, "bad.gpq")
+	if err := os.WriteFile(bad, []byte("GP"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); err == nil {
+		t.Fatal("truncated file must fail")
+	}
+	// Wrong magic.
+	bad2 := filepath.Join(dir, "bad2.gpq")
+	if err := os.WriteFile(bad2, bytes.Repeat([]byte("x"), 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad2); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	// Valid header, corrupt footer length.
+	good := filepath.Join(dir, "good.gpq")
+	writeTestFile(t, good, 100, WriterOptions{})
+	data, _ := os.ReadFile(good)
+	data[len(data)-8] = 0xFF
+	data[len(data)-7] = 0xFF
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(good); err == nil {
+		t.Fatal("corrupt footer must fail")
+	}
+}
+
+func TestStatsKeepCompare(t *testing.T) {
+	stats := ColumnStats{
+		Min: arrow.Int64Scalar(10), Max: arrow.Int64Scalar(20),
+		HasMinMax: true, NumRows: 100,
+	}
+	cases := []struct {
+		op   string
+		lit  int64
+		keep bool
+	}{
+		{"=", 15, true}, {"=", 5, false}, {"=", 25, false}, {"=", 10, true}, {"=", 20, true},
+		{"<", 10, false}, {"<", 11, true},
+		{"<=", 9, false}, {"<=", 10, true},
+		{">", 20, false}, {">", 19, true},
+		{">=", 21, false}, {">=", 20, true},
+		{"!=", 15, true},
+	}
+	for _, c := range cases {
+		if got := StatsKeepCompare(c.op, stats, arrow.Int64Scalar(c.lit)); got != c.keep {
+			t.Fatalf("%s %d: got %v want %v", c.op, c.lit, got, c.keep)
+		}
+	}
+	// != prunes only constant chunks.
+	constStats := ColumnStats{Min: arrow.Int64Scalar(5), Max: arrow.Int64Scalar(5), HasMinMax: true}
+	if StatsKeepCompare("!=", constStats, arrow.Int64Scalar(5)) {
+		t.Fatal("!= on constant chunk should prune")
+	}
+	// Missing stats always keep.
+	if !StatsKeepCompare("=", ColumnStats{}, arrow.Int64Scalar(1)) {
+		t.Fatal("missing stats must keep")
+	}
+}
+
+func TestBloomFilterBasics(t *testing.T) {
+	bf := newBloomFilter(1000)
+	vals := arrow.NewStringFromSlice([]string{"a", "b", "c"})
+	bf.insertArray(vals)
+	for _, v := range []string{"a", "b", "c"} {
+		if !bf.MightContain(arrow.StringScalar(v)) {
+			t.Fatalf("false negative for %q", v)
+		}
+	}
+	fp := 0
+	for i := 0; i < 1000; i++ {
+		if bf.MightContain(arrow.StringScalar(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	if fp > 100 {
+		t.Fatalf("false positive rate too high: %d/1000", fp)
+	}
+	// Nulls are never "contained" decisively.
+	if !bf.MightContain(arrow.NullScalar(arrow.String)) {
+		t.Fatal("null probe must fail open")
+	}
+}
+
+func TestWriterRejectsSchemaMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFileWriter(&buf, testSchema(), WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := arrow.NewSchema(arrow.NewField("x", arrow.Int64, false))
+	err = fw.Write(arrow.NewRecordBatch(other, []arrow.Array{arrow.NewInt64([]int64{1})}))
+	if err == nil {
+		t.Fatal("schema mismatch must fail")
+	}
+}
+
+func TestKVMetadata(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gpq")
+	opts := DefaultWriterOptions()
+	opts.KV = map[string]string{"sort_order": "id ASC"}
+	writeTestFile(t, path, 100, opts)
+	fr, _ := OpenFile(path)
+	defer fr.Close()
+	if fr.Metadata().KV["sort_order"] != "id ASC" {
+		t.Fatal("kv metadata lost")
+	}
+}

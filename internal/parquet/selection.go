@@ -1,0 +1,111 @@
+package parquet
+
+// RowRange is a half-open range [Start, End) of row indexes within a row
+// group.
+type RowRange struct {
+	Start int64
+	End   int64
+}
+
+// RowSelection is a sorted, non-overlapping set of row ranges. It is the
+// currency of late materialization: predicate evaluation on early columns
+// narrows the selection, and later columns decode only selected pages.
+type RowSelection struct {
+	ranges []RowRange
+}
+
+// SelectAll returns a selection covering [0, n).
+func SelectAll(n int64) RowSelection {
+	if n == 0 {
+		return RowSelection{}
+	}
+	return RowSelection{ranges: []RowRange{{0, n}}}
+}
+
+// SelectNone returns an empty selection.
+func SelectNone() RowSelection { return RowSelection{} }
+
+// FromRanges builds a selection from sorted non-overlapping ranges.
+func FromRanges(ranges []RowRange) RowSelection {
+	out := make([]RowRange, 0, len(ranges))
+	for _, r := range ranges {
+		if r.End <= r.Start {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].End >= r.Start {
+			if r.End > out[n-1].End {
+				out[n-1].End = r.End
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return RowSelection{ranges: out}
+}
+
+// Ranges returns the underlying ranges; callers must not mutate them.
+func (s RowSelection) Ranges() []RowRange { return s.ranges }
+
+// IsEmpty reports whether no rows are selected.
+func (s RowSelection) IsEmpty() bool { return len(s.ranges) == 0 }
+
+// Count returns the number of selected rows.
+func (s RowSelection) Count() int64 {
+	var n int64
+	for _, r := range s.ranges {
+		n += r.End - r.Start
+	}
+	return n
+}
+
+// Intersect returns rows present in both selections.
+func (s RowSelection) Intersect(o RowSelection) RowSelection {
+	var out []RowRange
+	i, j := 0, 0
+	for i < len(s.ranges) && j < len(o.ranges) {
+		a, b := s.ranges[i], o.ranges[j]
+		start := maxI64(a.Start, b.Start)
+		end := minI64(a.End, b.End)
+		if start < end {
+			out = append(out, RowRange{start, end})
+		}
+		if a.End < b.End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return RowSelection{ranges: out}
+}
+
+// IntersectRange returns the part of the selection inside [start, end).
+func (s RowSelection) IntersectRange(start, end int64) RowSelection {
+	return s.Intersect(RowSelection{ranges: []RowRange{{start, end}}})
+}
+
+// Overlaps reports whether any selected row falls in [start, end).
+func (s RowSelection) Overlaps(start, end int64) bool {
+	for _, r := range s.ranges {
+		if r.Start >= end {
+			return false
+		}
+		if r.End > start {
+			return true
+		}
+	}
+	return false
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,15 @@
+package physical
+
+import (
+	"gofusion/internal/arrow"
+	"gofusion/internal/arrow/compute"
+)
+
+func computeCast(a arrow.Array, to *arrow.DataType) (arrow.Array, error) {
+	return compute.Cast(a, to)
+}
+
+// CastScalarTo converts a scalar to the target type (compute.CastScalar).
+func CastScalarTo(s arrow.Scalar, to *arrow.DataType) (arrow.Scalar, error) {
+	return compute.CastScalar(s, to)
+}

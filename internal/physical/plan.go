@@ -1,0 +1,102 @@
+// Package physical defines the execution-side representation: the
+// ExecutionPlan interface (paper Section 5.5), PhysicalExpr trees with
+// vectorized evaluation, plan properties (partitioning and orderings), and
+// the compiler from logical expressions to physical expressions. Operators
+// live in the exec package.
+package physical
+
+import (
+	"context"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/catalog"
+	"gofusion/internal/memory"
+)
+
+// Stream is the engine-wide incremental batch iterator.
+type Stream = catalog.Stream
+
+// ExecContext carries per-query runtime state into operator execution.
+type ExecContext struct {
+	// Ctx cancels the query.
+	Ctx context.Context
+	// BatchRows is the target output batch size.
+	BatchRows int
+	// Pool arbitrates operator memory.
+	Pool memory.Pool
+	// Disk provides spill files; nil disables spilling.
+	Disk *memory.DiskManager
+}
+
+// NewExecContext returns a context with unbounded memory and no spilling.
+func NewExecContext() *ExecContext {
+	return &ExecContext{Ctx: context.Background(), BatchRows: 8192, Pool: memory.NewUnboundedPool()}
+}
+
+// SortField names one column of a physical ordering.
+type SortField struct {
+	Col        int
+	Descending bool
+	NullsFirst bool
+}
+
+// ExecutionPlan is a physical operator. Each plan has a partitioning: the
+// planner chooses a partition count, and Execute is called once per
+// partition, each returning an independent Stream that runs on its own
+// goroutine (paper Figure 4).
+type ExecutionPlan interface {
+	// Schema returns the output schema.
+	Schema() *arrow.Schema
+	// Children returns input plans.
+	Children() []ExecutionPlan
+	// WithChildren rebuilds the node with new inputs.
+	WithChildren(children []ExecutionPlan) (ExecutionPlan, error)
+	// Partitions returns the output partition count.
+	Partitions() int
+	// Execute opens output partition p.
+	Execute(ctx *ExecContext, partition int) (Stream, error)
+	// OutputOrdering describes the per-partition sort order of the
+	// output, or nil when unordered.
+	OutputOrdering() []SortField
+	// String renders a one-line description for EXPLAIN.
+	String() string
+}
+
+// PhysicalExpr evaluates to a column (or broadcast scalar) against record
+// batches whose layout is fixed at plan time.
+type PhysicalExpr interface {
+	// DataType returns the result type.
+	DataType() *arrow.DataType
+	// Evaluate computes the expression over a batch.
+	Evaluate(batch *arrow.RecordBatch) (arrow.Datum, error)
+	// String renders the expression for EXPLAIN.
+	String() string
+}
+
+// EvalToArray evaluates an expression and materializes the result as an
+// array of the batch's row count.
+func EvalToArray(e PhysicalExpr, batch *arrow.RecordBatch) (arrow.Array, error) {
+	d, err := e.Evaluate(batch)
+	if err != nil {
+		return nil, err
+	}
+	return d.ToArray(batch.NumRows()), nil
+}
+
+// EvalPredicate evaluates a boolean expression into a filter mask,
+// mapping NULL to false per SQL WHERE semantics.
+func EvalPredicate(e PhysicalExpr, batch *arrow.RecordBatch) (*arrow.BoolArray, error) {
+	arr, err := EvalToArray(e, batch)
+	if err != nil {
+		return nil, err
+	}
+	mask, ok := arr.(*arrow.BoolArray)
+	if !ok {
+		if _, isNull := arr.(*arrow.NullArray); isNull {
+			n := batch.NumRows()
+			return arrow.NewBool(arrow.NewBitmap(n), nil, n), nil
+		}
+		return nil, errNotBoolean(arr.DataType())
+	}
+	return mask, nil
+}

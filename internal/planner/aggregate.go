@@ -1,0 +1,386 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/logical"
+	"gofusion/internal/sql"
+)
+
+// planAggregate builds the Aggregate node and rewrites post-aggregation
+// expressions (projection, HAVING) to reference its output columns.
+func (p *Planner) planAggregate(input logical.Plan, groupExprs []logical.Expr,
+	selectExprs []logical.Expr, having logical.Expr) (logical.Plan, []logical.Expr, logical.Expr, error) {
+
+	// Collect distinct aggregate calls from projection and HAVING.
+	var aggExprs []logical.Expr
+	seen := map[string]bool{}
+	collect := func(e logical.Expr) {
+		logical.VisitExpr(e, func(x logical.Expr) bool {
+			if af, ok := x.(*logical.AggFunc); ok {
+				if !seen[af.String()] {
+					seen[af.String()] = true
+					aggExprs = append(aggExprs, af)
+				}
+				return false
+			}
+			if _, ok := x.(*logical.WindowFunc); ok {
+				return false // window args are evaluated later
+			}
+			return true
+		})
+	}
+	for _, e := range selectExprs {
+		collect(e)
+	}
+	if having != nil {
+		collect(having)
+	}
+
+	agg, err := logical.NewAggregate(input, groupExprs, aggExprs, p.Reg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Build the rewrite map: expression text -> aggregate output column.
+	outCol := map[string]*logical.Column{}
+	for i, g := range groupExprs {
+		f := agg.Schema().Field(i)
+		outCol[stripAlias(g).String()] = &logical.Column{Relation: f.Qualifier, Name: f.Name}
+	}
+	for i, a := range aggExprs {
+		f := agg.Schema().Field(len(groupExprs) + i)
+		outCol[a.String()] = &logical.Column{Relation: f.Qualifier, Name: f.Name}
+	}
+
+	// Rewrite top-down: a whole-expression match (group key or aggregate)
+	// must be replaced before its children are touched, otherwise
+	// replacing an inner group-key reference would change the outer
+	// expression's rendered form and break the match.
+	var rewrite func(e logical.Expr) logical.Expr
+	rewrite = func(e logical.Expr) logical.Expr {
+		if a, ok := e.(*logical.Alias); ok {
+			return &logical.Alias{E: rewrite(a.E), Name: a.Name}
+		}
+		if c, ok := outCol[e.String()]; ok {
+			return c
+		}
+		children := logical.ExprChildren(e)
+		if len(children) == 0 {
+			return e
+		}
+		newChildren := make([]logical.Expr, len(children))
+		changed := false
+		for i, ch := range children {
+			newChildren[i] = rewrite(ch)
+			if newChildren[i] != ch {
+				changed = true
+			}
+		}
+		if !changed {
+			return e
+		}
+		return logical.ExprWithChildren(e, newChildren)
+	}
+
+	newSelect := make([]logical.Expr, len(selectExprs))
+	for i, e := range selectExprs {
+		newSelect[i] = rewrite(e)
+	}
+	var newHaving logical.Expr
+	if having != nil {
+		newHaving = rewrite(having)
+	}
+	return agg, newSelect, newHaving, nil
+}
+
+// planWindows extracts window expressions into a Window node and rewrites
+// the projection to reference its output columns.
+func (p *Planner) planWindows(input logical.Plan, selectExprs []logical.Expr) (logical.Plan, []logical.Expr, error) {
+	var winExprs []logical.Expr
+	seen := map[string]bool{}
+	for _, e := range selectExprs {
+		logical.VisitExpr(e, func(x logical.Expr) bool {
+			if wf, ok := x.(*logical.WindowFunc); ok {
+				if !seen[wf.String()] {
+					seen[wf.String()] = true
+					winExprs = append(winExprs, wf)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	win, err := logical.NewWindow(input, winExprs, p.Reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	base := input.Schema().Len()
+	outCol := map[string]*logical.Column{}
+	for i, w := range winExprs {
+		f := win.Schema().Field(base + i)
+		outCol[w.String()] = &logical.Column{Relation: f.Qualifier, Name: f.Name}
+	}
+	newSelect := make([]logical.Expr, len(selectExprs))
+	for i, e := range selectExprs {
+		ne, err := logical.TransformExpr(e, func(x logical.Expr) (logical.Expr, error) {
+			if _, ok := x.(*logical.WindowFunc); ok {
+				if c, ok2 := outCol[x.String()]; ok2 {
+					return c, nil
+				}
+			}
+			return x, nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		newSelect[i] = ne
+	}
+	return win, newSelect, nil
+}
+
+// applyOrderLimit appends Sort and Limit nodes, resolving ORDER BY
+// ordinals, aliases, and hidden (non-projected) sort expressions.
+func (p *Planner) applyOrderLimit(plan logical.Plan, orderBy []sql.OrderItem,
+	limit, offset logical.Expr, selectExprs []logical.Expr) (logical.Plan, error) {
+
+	if len(orderBy) > 0 {
+		outSchema := plan.Schema()
+		var keys []logical.SortExpr
+		var hidden []logical.Expr
+
+		for _, item := range orderBy {
+			nullsFirst := item.NullsFirst
+			if !item.NullsSet {
+				nullsFirst = !item.Asc // SQL default: NULLS LAST for ASC, FIRST for DESC
+			}
+			var key logical.Expr
+			switch {
+			case isIntLiteral(item.E):
+				i := item.E.(*logical.Literal).Value.AsInt64()
+				if i < 1 || int(i) > outSchema.Len() {
+					return nil, fmt.Errorf("planner: ORDER BY ordinal %d out of range", i)
+				}
+				f := outSchema.Field(int(i) - 1)
+				key = &logical.Column{Relation: f.Qualifier, Name: f.Name}
+			default:
+				e, err := p.resolveExprFuncs(item.E)
+				if err != nil {
+					return nil, err
+				}
+				// A bare name matching an output column (alias or passthrough).
+				if col, ok := e.(*logical.Column); ok {
+					if _, err := outSchema.IndexOfColumn(col); err == nil {
+						key = col
+					}
+				}
+				if key == nil && selectExprs != nil {
+					// The full expression matches a projected expression.
+					for i, se := range selectExprs {
+						if stripAlias(se).String() == e.String() || se.String() == e.String() {
+							f := outSchema.Field(i)
+							key = &logical.Column{Relation: f.Qualifier, Name: f.Name}
+							break
+						}
+					}
+				}
+				if key == nil {
+					// Hidden sort expression evaluated below the projection.
+					hidden = append(hidden, e)
+					key = e
+				}
+			}
+			keys = append(keys, logical.SortExpr{E: key, Asc: item.Asc, NullsFirst: nullsFirst})
+		}
+
+		if len(hidden) > 0 {
+			proj, ok := plan.(*logical.Projection)
+			if !ok {
+				return nil, fmt.Errorf("planner: ORDER BY expression not in select list requires a plain projection (no DISTINCT)")
+			}
+			extended := append(append([]logical.Expr{}, proj.Exprs...), hidden...)
+			ext, err := logical.NewProjection(proj.Input, extended, p.Reg)
+			if err != nil {
+				return nil, err
+			}
+			// Re-point hidden keys at the extended projection's columns.
+			for ki := range keys {
+				for hi, h := range hidden {
+					if keys[ki].E == h {
+						f := ext.Schema().Field(len(proj.Exprs) + hi)
+						keys[ki].E = &logical.Column{Relation: f.Qualifier, Name: f.Name}
+					}
+				}
+			}
+			var sorted logical.Plan = &logical.Sort{Input: ext, Keys: keys, Fetch: -1}
+			// Strip hidden columns.
+			finalExprs := make([]logical.Expr, len(proj.Exprs))
+			for i := range proj.Exprs {
+				f := ext.Schema().Field(i)
+				finalExprs[i] = &logical.Column{Relation: f.Qualifier, Name: f.Name}
+			}
+			back, err := logical.NewProjection(sorted, finalExprs, p.Reg)
+			if err != nil {
+				return nil, err
+			}
+			plan = back
+		} else {
+			plan = &logical.Sort{Input: plan, Keys: keys, Fetch: -1}
+		}
+	}
+
+	if limit != nil || offset != nil {
+		fetch := int64(-1)
+		skip := int64(0)
+		if limit != nil {
+			v, err := constInt(limit)
+			if err != nil {
+				return nil, fmt.Errorf("planner: LIMIT must be a constant integer: %w", err)
+			}
+			fetch = v
+		}
+		if offset != nil {
+			v, err := constInt(offset)
+			if err != nil {
+				return nil, fmt.Errorf("planner: OFFSET must be a constant integer: %w", err)
+			}
+			skip = v
+		}
+		plan = &logical.Limit{Input: plan, Skip: skip, Fetch: fetch}
+	}
+	return plan, nil
+}
+
+func isIntLiteral(e logical.Expr) bool {
+	lit, ok := e.(*logical.Literal)
+	return ok && !lit.Value.Null && lit.Value.Type.ID == arrow.INT64
+}
+
+func constInt(e logical.Expr) (int64, error) {
+	if lit, ok := e.(*logical.Literal); ok && !lit.Value.Null && lit.Value.Type.ID == arrow.INT64 {
+		return lit.Value.AsInt64(), nil
+	}
+	return 0, fmt.Errorf("not an integer literal: %s", e)
+}
+
+// planGroupingSets expands GROUPING SETS / ROLLUP / CUBE into a union of
+// per-set aggregations, padding absent keys with typed NULLs.
+func (p *Planner) planGroupingSets(core *sql.SelectCore, orderBy []sql.OrderItem,
+	limit, offset logical.Expr) (logical.Plan, error) {
+
+	var branches []logical.Plan
+	var firstExprs []logical.Expr
+	for _, set := range core.GroupingSets {
+		input, err := p.planFrom(core.From)
+		if err != nil {
+			return nil, err
+		}
+		selectExprs, err := p.expandProjection(core.Projection, input.Schema())
+		if err != nil {
+			return nil, err
+		}
+		if core.Where != nil {
+			pred, err := p.resolveExprFuncs(core.Where)
+			if err != nil {
+				return nil, err
+			}
+			input = &logical.Filter{Input: input, Predicate: pred}
+		}
+		groups, err := p.resolveGroupKeys(set, selectExprs)
+		if err != nil {
+			return nil, err
+		}
+		// All keys (for padding): union across sets in declaration order.
+		allKeys, err := p.allGroupingKeys(core, selectExprs)
+		if err != nil {
+			return nil, err
+		}
+		inSet := map[string]bool{}
+		for _, g := range groups {
+			inSet[g.String()] = true
+		}
+		having := core.Having
+		if having != nil {
+			having, err = p.resolveExprFuncs(having)
+			if err != nil {
+				return nil, err
+			}
+		}
+		aggPlan, newSelect, newHaving, err := p.planAggregate(input, groups, selectExprs, having)
+		if err != nil {
+			return nil, err
+		}
+		if newHaving != nil {
+			aggPlan = &logical.Filter{Input: aggPlan, Predicate: newHaving}
+		}
+		// Replace absent keys with typed NULLs in the projection.
+		padded := make([]logical.Expr, len(newSelect))
+		for i, e := range newSelect {
+			pe, err := p.padAbsentKeys(e, allKeys, inSet, input.Schema())
+			if err != nil {
+				return nil, err
+			}
+			padded[i] = pe
+		}
+		proj, err := logical.NewProjection(aggPlan, padded, p.Reg)
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, proj)
+		if firstExprs == nil {
+			firstExprs = padded
+		}
+	}
+	var plan logical.Plan = &logical.Union{Inputs: branches, All: true}
+	if len(branches) == 1 {
+		plan = branches[0]
+	}
+	if core.Distinct {
+		plan = &logical.Distinct{Input: plan}
+	}
+	return p.applyOrderLimit(plan, orderBy, limit, offset, firstExprs)
+}
+
+func (p *Planner) allGroupingKeys(core *sql.SelectCore, selectExprs []logical.Expr) (map[string]*arrow.DataType, error) {
+	out := map[string]*arrow.DataType{}
+	for _, set := range core.GroupingSets {
+		keys, err := p.resolveGroupKeys(set, selectExprs)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range keys {
+			out[k.String()] = nil
+		}
+	}
+	return out, nil
+}
+
+// padAbsentKeys replaces references to grouping keys outside the current
+// set with typed NULL literals.
+func (p *Planner) padAbsentKeys(e logical.Expr, allKeys map[string]*arrow.DataType,
+	inSet map[string]bool, inputSchema *logical.Schema) (logical.Expr, error) {
+	return logical.TransformExpr(e, func(x logical.Expr) (logical.Expr, error) {
+		key := x.String()
+		if a, ok := x.(*logical.Alias); ok {
+			key = a.E.String()
+		}
+		if _, isKey := allKeys[key]; isKey && !inSet[key] {
+			t, err := logical.TypeOf(stripAlias(x), inputSchema, p.Reg)
+			if err != nil {
+				t = arrow.Null
+			}
+			var padded logical.Expr = &logical.Cast{E: logical.Lit(nil), To: t}
+			if a, ok := x.(*logical.Alias); ok {
+				padded = &logical.Alias{E: padded, Name: a.Name}
+			} else {
+				padded = &logical.Alias{E: padded, Name: logical.OutputName(x)}
+			}
+			return padded, nil
+		}
+		return x, nil
+	})
+}
+
+var _ = strings.ToLower

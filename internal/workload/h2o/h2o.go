@@ -1,0 +1,87 @@
+// Package h2o implements the H2O.ai db-benchmark "groupby" dataset
+// generator and its 10 queries, used to reproduce the paper's Figure 6.
+// The dataset (G1_<n>_1e2_5_0) is a single CSV file with string and
+// integer group keys at two cardinalities (100 groups and n/100 groups)
+// and three value columns; query time is dominated by CSV parsing plus
+// grouped aggregation, exactly as in the paper.
+package h2o
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"gofusion/internal/core"
+	"gofusion/internal/csvio"
+)
+
+// Queries holds the 10 groupby-task queries over table x.
+var Queries = map[int]string{
+	1:  `SELECT id1, sum(v1) AS v1 FROM x GROUP BY id1`,
+	2:  `SELECT id1, id2, sum(v1) AS v1 FROM x GROUP BY id1, id2`,
+	3:  `SELECT id3, sum(v1) AS v1, avg(v3) AS v3 FROM x GROUP BY id3`,
+	4:  `SELECT id4, avg(v1) AS v1, avg(v2) AS v2, avg(v3) AS v3 FROM x GROUP BY id4`,
+	5:  `SELECT id6, sum(v1) AS v1, sum(v2) AS v2, sum(v3) AS v3 FROM x GROUP BY id6`,
+	6:  `SELECT id4, id5, median(v3) AS median_v3, stddev(v3) AS sd_v3 FROM x GROUP BY id4, id5`,
+	7:  `SELECT id3, max(v1) - min(v2) AS range_v1_v2 FROM x GROUP BY id3`,
+	8:  `SELECT id6, largest2_v3 FROM (SELECT id6, v3 AS largest2_v3, row_number() OVER (PARTITION BY id6 ORDER BY v3 DESC) AS order_v3 FROM x WHERE v3 IS NOT NULL) sub_query WHERE order_v3 <= 2`,
+	9:  `SELECT id2, id4, power(corr(v1, v2), 2) AS r2 FROM x GROUP BY id2, id4`,
+	10: `SELECT id1, id2, id3, id4, id5, id6, sum(v1) AS v1, count(*) AS n FROM x GROUP BY id1, id2, id3, id4, id5, id6`,
+}
+
+// WriteCSV generates the groupby dataset with n rows and K=100 group
+// cardinality into a CSV file (header included), mirroring
+// G1_<n>_1e2_5_0.csv: 5% of v3 values are missing and keys are unsorted.
+func WriteCSV(path string, n int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString("id1,id2,id3,id4,id5,id6,v1,v2,v3\n"); err != nil {
+		return err
+	}
+	const k = 100
+	bigK := n / k
+	if bigK < 1 {
+		bigK = 1
+	}
+	rng := rand.New(rand.NewSource(11))
+	buf := make([]byte, 0, 96)
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		buf = append(buf, fmt.Sprintf("id%03d", rng.Intn(k)+1)...)
+		buf = append(buf, ',')
+		buf = append(buf, fmt.Sprintf("id%03d", rng.Intn(k)+1)...)
+		buf = append(buf, ',')
+		buf = append(buf, fmt.Sprintf("id%010d", rng.Intn(bigK)+1)...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(rng.Intn(k)+1), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(rng.Intn(k)+1), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(rng.Intn(bigK)+1), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(rng.Intn(5)+1), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(rng.Intn(15)+1), 10)
+		buf = append(buf, ',')
+		if rng.Intn(20) == 0 { // 5% NA
+		} else {
+			buf = strconv.AppendFloat(buf, rng.Float64()*100, 'f', 6, 64)
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Register registers the CSV file as table x with schema inference.
+func Register(s *core.SessionContext, path string) error {
+	return s.RegisterCSV("x", path, csvio.DefaultOptions())
+}

@@ -1,0 +1,69 @@
+package h2o
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/core"
+)
+
+func TestWriteAndRegister(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g1.csv")
+	if err := WriteCSV(path, 5000); err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSession(core.DefaultConfig())
+	if err := Register(s, path); err != nil {
+		t.Fatal(err)
+	}
+	df, err := s.SQL("SELECT count(*), count(v3) FROM x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := df.CollectBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := b.Column(0).(*arrow.Int64Array).Value(0)
+	nonNull := b.Column(1).(*arrow.Int64Array).Value(0)
+	if total != 5000 {
+		t.Fatalf("rows = %d", total)
+	}
+	// ~5% of v3 is NA.
+	if nonNull == total || float64(nonNull) < 0.9*float64(total) {
+		t.Fatalf("v3 NA rate wrong: %d of %d", total-nonNull, total)
+	}
+	// Key cardinalities: id1 has 100 groups, id3 has ~n/100.
+	df2, _ := s.SQL("SELECT count(DISTINCT id1), count(DISTINCT id3) FROM x")
+	b2, err := df2.CollectBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := b2.Column(0).(*arrow.Int64Array).Value(0); k != 100 {
+		t.Fatalf("id1 cardinality = %d", k)
+	}
+	if k := b2.Column(1).(*arrow.Int64Array).Value(0); k < 30 || k > 60 {
+		t.Fatalf("id3 cardinality = %d (want ~50)", k)
+	}
+}
+
+func TestAllQueriesRunSmall(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g1.csv")
+	if err := WriteCSV(path, 3000); err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSession(core.DefaultConfig())
+	if err := Register(s, path); err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 10; n++ {
+		df, err := s.SQL(Queries[n])
+		if err != nil {
+			t.Fatalf("q%d plan: %v", n, err)
+		}
+		if _, err := df.CollectBatch(); err != nil {
+			t.Fatalf("q%d exec: %v", n, err)
+		}
+	}
+}

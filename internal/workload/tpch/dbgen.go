@@ -1,0 +1,429 @@
+// Package tpch implements a from-scratch, deterministic TPC-H data
+// generator (dbgen) and the 22 benchmark queries, used to reproduce the
+// paper's Figure 5. The generator preserves the official schema, key
+// relationships, value domains, and the distributions the queries'
+// selectivities depend on, at laptop-friendly scale factors.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofusion/internal/arrow"
+)
+
+// Scale-factor base cardinalities (SF = 1).
+const (
+	baseSupplier = 10_000
+	basePart     = 200_000
+	baseCustomer = 150_000
+	baseOrders   = 1_500_000
+)
+
+var regions = []struct {
+	name string
+}{
+	{"AFRICA"}, {"AMERICA"}, {"ASIA"}, {"EUROPE"}, {"MIDDLE EAST"},
+}
+
+// nations maps each nation to its region per the TPC-H spec.
+var nations = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+var (
+	segments    = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities  = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes   = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructs   = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	typeSyl1    = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2    = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3    = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	containers1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containers2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	partNames   = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+		"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+		"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+		"dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+		"gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot", "hy"}
+	commentWords = []string{"furiously", "quickly", "carefully", "regular", "express", "ironic",
+		"pending", "final", "bold", "blithely", "even", "silent", "slyly", "daring",
+		"accounts", "deposits", "packages", "requests", "instructions", "theodolites",
+		"pinto", "beans", "foxes", "dependencies", "platelets", "ideas", "special",
+		"unusual", "excuses", "asymptotes", "courts", "dolphins", "multipliers"}
+)
+
+// epochDays converts a (year, month, day) to days since the Unix epoch
+// without time-zone overhead.
+func dateOf(y, m, d int) int32 {
+	days := int32(0)
+	isLeap := func(y int) bool { return y%4 == 0 && (y%100 != 0 || y%400 == 0) }
+	for yy := 1970; yy < y; yy++ {
+		if isLeap(yy) {
+			days += 366
+		} else {
+			days += 365
+		}
+	}
+	mdays := [12]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+	for mm := 1; mm < m; mm++ {
+		days += int32(mdays[mm-1])
+		if mm == 2 && isLeap(y) {
+			days++
+		}
+	}
+	return days + int32(d) - 1
+}
+
+var (
+	startDate = dateOf(1992, 1, 1)
+	endDate   = dateOf(1998, 8, 2)
+	cutoff    = dateOf(1995, 6, 17)
+)
+
+// Generator produces deterministic TPC-H tables at a scale factor.
+type Generator struct {
+	SF   float64
+	Seed int64
+	// BatchRows bounds generated batch sizes (default 8192).
+	BatchRows int
+}
+
+// NewGenerator returns a generator for the scale factor with a fixed seed.
+func NewGenerator(sf float64) *Generator {
+	return &Generator{SF: sf, Seed: 42, BatchRows: 8192}
+}
+
+func (g *Generator) counts() (suppliers, parts, customers, orders int) {
+	scale := func(base int) int {
+		n := int(float64(base) * g.SF)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return scale(baseSupplier), scale(basePart), scale(baseCustomer), scale(baseOrders)
+}
+
+func (g *Generator) rng(table string) *rand.Rand {
+	h := int64(0)
+	for _, c := range table {
+		h = h*31 + int64(c)
+	}
+	return rand.New(rand.NewSource(g.Seed ^ h))
+}
+
+func comment(rng *rand.Rand, minWords, maxWords int) string {
+	n := minWords + rng.Intn(maxWords-minWords+1)
+	out := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, commentWords[rng.Intn(len(commentWords))]...)
+	}
+	return string(out)
+}
+
+func phone(rng *rand.Rand, nation int) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", nation+10, rng.Intn(900)+100, rng.Intn(900)+100, rng.Intn(9000)+1000)
+}
+
+// money builds a Decimal(12,2) value in [lo, hi) dollars.
+func money(rng *rand.Rand, lo, hi int) int64 {
+	return int64(lo*100) + int64(rng.Intn((hi-lo)*100))
+}
+
+// Table names in generation (and foreign-key) order.
+var TableNames = []string{"region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"}
+
+// Schema returns the arrow schema of a TPC-H table.
+func Schema(table string) (*arrow.Schema, error) {
+	dec := arrow.Decimal(12, 2)
+	switch table {
+	case "region":
+		return arrow.NewSchema(
+			arrow.NewField("r_regionkey", arrow.Int64, false),
+			arrow.NewField("r_name", arrow.String, false),
+			arrow.NewField("r_comment", arrow.String, false),
+		), nil
+	case "nation":
+		return arrow.NewSchema(
+			arrow.NewField("n_nationkey", arrow.Int64, false),
+			arrow.NewField("n_name", arrow.String, false),
+			arrow.NewField("n_regionkey", arrow.Int64, false),
+			arrow.NewField("n_comment", arrow.String, false),
+		), nil
+	case "supplier":
+		return arrow.NewSchema(
+			arrow.NewField("s_suppkey", arrow.Int64, false),
+			arrow.NewField("s_name", arrow.String, false),
+			arrow.NewField("s_address", arrow.String, false),
+			arrow.NewField("s_nationkey", arrow.Int64, false),
+			arrow.NewField("s_phone", arrow.String, false),
+			arrow.NewField("s_acctbal", dec, false),
+			arrow.NewField("s_comment", arrow.String, false),
+		), nil
+	case "part":
+		return arrow.NewSchema(
+			arrow.NewField("p_partkey", arrow.Int64, false),
+			arrow.NewField("p_name", arrow.String, false),
+			arrow.NewField("p_mfgr", arrow.String, false),
+			arrow.NewField("p_brand", arrow.String, false),
+			arrow.NewField("p_type", arrow.String, false),
+			arrow.NewField("p_size", arrow.Int64, false),
+			arrow.NewField("p_container", arrow.String, false),
+			arrow.NewField("p_retailprice", dec, false),
+			arrow.NewField("p_comment", arrow.String, false),
+		), nil
+	case "partsupp":
+		return arrow.NewSchema(
+			arrow.NewField("ps_partkey", arrow.Int64, false),
+			arrow.NewField("ps_suppkey", arrow.Int64, false),
+			arrow.NewField("ps_availqty", arrow.Int64, false),
+			arrow.NewField("ps_supplycost", dec, false),
+			arrow.NewField("ps_comment", arrow.String, false),
+		), nil
+	case "customer":
+		return arrow.NewSchema(
+			arrow.NewField("c_custkey", arrow.Int64, false),
+			arrow.NewField("c_name", arrow.String, false),
+			arrow.NewField("c_address", arrow.String, false),
+			arrow.NewField("c_nationkey", arrow.Int64, false),
+			arrow.NewField("c_phone", arrow.String, false),
+			arrow.NewField("c_acctbal", dec, false),
+			arrow.NewField("c_mktsegment", arrow.String, false),
+			arrow.NewField("c_comment", arrow.String, false),
+		), nil
+	case "orders":
+		return arrow.NewSchema(
+			arrow.NewField("o_orderkey", arrow.Int64, false),
+			arrow.NewField("o_custkey", arrow.Int64, false),
+			arrow.NewField("o_orderstatus", arrow.String, false),
+			arrow.NewField("o_totalprice", dec, false),
+			arrow.NewField("o_orderdate", arrow.Date32, false),
+			arrow.NewField("o_orderpriority", arrow.String, false),
+			arrow.NewField("o_clerk", arrow.String, false),
+			arrow.NewField("o_shippriority", arrow.Int64, false),
+			arrow.NewField("o_comment", arrow.String, false),
+		), nil
+	case "lineitem":
+		return arrow.NewSchema(
+			arrow.NewField("l_orderkey", arrow.Int64, false),
+			arrow.NewField("l_partkey", arrow.Int64, false),
+			arrow.NewField("l_suppkey", arrow.Int64, false),
+			arrow.NewField("l_linenumber", arrow.Int64, false),
+			arrow.NewField("l_quantity", dec, false),
+			arrow.NewField("l_extendedprice", dec, false),
+			arrow.NewField("l_discount", dec, false),
+			arrow.NewField("l_tax", dec, false),
+			arrow.NewField("l_returnflag", arrow.String, false),
+			arrow.NewField("l_linestatus", arrow.String, false),
+			arrow.NewField("l_shipdate", arrow.Date32, false),
+			arrow.NewField("l_commitdate", arrow.Date32, false),
+			arrow.NewField("l_receiptdate", arrow.Date32, false),
+			arrow.NewField("l_shipinstruct", arrow.String, false),
+			arrow.NewField("l_shipmode", arrow.String, false),
+			arrow.NewField("l_comment", arrow.String, false),
+		), nil
+	}
+	return nil, fmt.Errorf("tpch: unknown table %q", table)
+}
+
+// Generate produces all batches of one table.
+func (g *Generator) Generate(table string) (*arrow.Schema, []*arrow.RecordBatch, error) {
+	schema, err := Schema(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	batchRows := g.BatchRows
+	if batchRows <= 0 {
+		batchRows = 8192
+	}
+	var batches []*arrow.RecordBatch
+	builders := make([]arrow.Builder, schema.NumFields())
+	for i, f := range schema.Fields() {
+		builders[i] = arrow.NewBuilder(f.Type)
+	}
+	rows := 0
+	flush := func(force bool) {
+		if rows == 0 || (!force && rows < batchRows) {
+			return
+		}
+		cols := make([]arrow.Array, len(builders))
+		for i, b := range builders {
+			cols[i] = b.Finish()
+		}
+		batches = append(batches, arrow.NewRecordBatchWithRows(schema, cols, rows))
+		rows = 0
+	}
+	emit := func(vals ...any) {
+		for i, v := range vals {
+			switch x := v.(type) {
+			case int64:
+				builders[i].(*arrow.NumericBuilder[int64]).Append(x)
+			case string:
+				builders[i].(*arrow.StringBuilder).Append(x)
+			case int32:
+				builders[i].(*arrow.NumericBuilder[int32]).Append(x)
+			default:
+				panic(fmt.Sprintf("tpch: bad value %T", v))
+			}
+		}
+		rows++
+		flush(false)
+	}
+
+	suppliers, parts, customers, orders := g.counts()
+	rng := g.rng(table)
+	switch table {
+	case "region":
+		for i, r := range regions {
+			emit(int64(i), r.name, comment(rng, 5, 10))
+		}
+	case "nation":
+		for i, n := range nations {
+			emit(int64(i), n.name, int64(n.region), comment(rng, 5, 10))
+		}
+	case "supplier":
+		for i := 1; i <= suppliers; i++ {
+			nation := rng.Intn(len(nations))
+			c := comment(rng, 8, 14)
+			// A small fraction of suppliers complain, for Q16's NOT IN.
+			if rng.Intn(100) < 2 {
+				c += " Customer stated Complaints about quality"
+			}
+			emit(int64(i), fmt.Sprintf("Supplier#%09d", i),
+				fmt.Sprintf("addr-%d %s", rng.Intn(1000), commentWords[rng.Intn(len(commentWords))]),
+				int64(nation), phone(rng, nation), money(rng, -999, 9999), c)
+		}
+	case "part":
+		for i := 1; i <= parts; i++ {
+			m := rng.Intn(5) + 1
+			b := rng.Intn(5) + 1
+			name := partNames[rng.Intn(len(partNames))] + " " + partNames[rng.Intn(len(partNames))] + " " +
+				partNames[rng.Intn(len(partNames))] + " " + partNames[rng.Intn(len(partNames))]
+			ptype := typeSyl1[rng.Intn(6)] + " " + typeSyl2[rng.Intn(5)] + " " + typeSyl3[rng.Intn(5)]
+			container := containers1[rng.Intn(5)] + " " + containers2[rng.Intn(8)]
+			// Retail price formula from the spec (deterministic in key).
+			price := int64(90000) + int64((i/10)%20001) + int64(100*(i%1000))
+			emit(int64(i), name, fmt.Sprintf("Manufacturer#%d", m),
+				fmt.Sprintf("Brand#%d%d", m, b), ptype, int64(rng.Intn(50)+1),
+				container, price, comment(rng, 3, 8))
+		}
+	case "partsupp":
+		for i := 1; i <= parts; i++ {
+			for j := 0; j < 4; j++ {
+				// The official supplier assignment formula keeps part/supplier
+				// joins uniform.
+				s := (i+(j*((suppliers/4)+(i-1)/suppliers)))%suppliers + 1
+				emit(int64(i), int64(s), int64(rng.Intn(9999)+1),
+					money(rng, 1, 1000), comment(rng, 10, 20))
+			}
+		}
+	case "customer":
+		for i := 1; i <= customers; i++ {
+			nation := rng.Intn(len(nations))
+			emit(int64(i), fmt.Sprintf("Customer#%09d", i),
+				fmt.Sprintf("addr-%d %s", rng.Intn(1000), commentWords[rng.Intn(len(commentWords))]),
+				int64(nation), phone(rng, nation), money(rng, -999, 9999),
+				segments[rng.Intn(len(segments))], comment(rng, 8, 16))
+		}
+	case "orders":
+		for i := 1; i <= orders; i++ {
+			key := orderKey(i)
+			cust := rng.Intn(customers) + 1
+			date := orderDate(i)
+			c := comment(rng, 6, 12)
+			if rng.Intn(100) < 1 {
+				c += " special deposits requests"
+			}
+			status := "O"
+			if date+100 < cutoff {
+				status = "F"
+			} else if rng.Intn(2) == 0 {
+				status = "P"
+			}
+			emit(key, int64(cust), status, money(rng, 1000, 400000), date,
+				priorities[rng.Intn(5)], fmt.Sprintf("Clerk#%09d", rng.Intn(1000)+1),
+				int64(0), c)
+		}
+	case "lineitem":
+		// Order dates are a deterministic function of the order index, so
+		// the shipdate/orderdate correlation holds without materializing
+		// the orders table.
+		for i := 1; i <= orders; i++ {
+			key := orderKey(i)
+			odate := orderDate(i)
+			lines := rng.Intn(7) + 1
+			for ln := 1; ln <= lines; ln++ {
+				part := rng.Intn(parts) + 1
+				// Same formula as partsupp so every lineitem matches one.
+				supp := (part+((ln%4)*((suppliers/4)+(part-1)/suppliers)))%suppliers + 1
+				qty := int64(rng.Intn(50)+1) * 100 // Decimal(12,2)
+				// extendedprice = qty * price-ish
+				price := int64(90000) + int64((part/10)%20001) + int64(100*(part%1000))
+				extended := (qty / 100) * price
+				discount := int64(rng.Intn(11)) // 0.00 .. 0.10
+				tax := int64(rng.Intn(9))       // 0.00 .. 0.08
+				ship := odate + int32(rng.Intn(121)+1)
+				commit := odate + int32(rng.Intn(61)+30)
+				receipt := ship + int32(rng.Intn(30)+1)
+				returnflag := "N"
+				if receipt <= cutoff {
+					if rng.Intn(2) == 0 {
+						returnflag = "R"
+					} else {
+						returnflag = "A"
+					}
+				}
+				status := "O"
+				if ship <= cutoff {
+					status = "F"
+				}
+				emit(key, int64(part), int64(supp), int64(ln), qty, extended,
+					discount, tax, returnflag, status, ship, commit, receipt,
+					instructs[rng.Intn(4)], shipModes[rng.Intn(7)], comment(rng, 4, 10))
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("tpch: unknown table %q", table)
+	}
+	flush(true)
+	if len(batches) == 0 {
+		cols := make([]arrow.Array, len(builders))
+		for i, b := range builders {
+			cols[i] = b.Finish()
+		}
+		batches = append(batches, arrow.NewRecordBatchWithRows(schema, cols, rows))
+	}
+	return schema, batches, nil
+}
+
+// orderKey spreads order keys per the spec (sparse keyspace).
+func orderKey(i int) int64 {
+	// 8 contiguous keys per 32-key block.
+	block := (i - 1) / 8
+	offset := (i - 1) % 8
+	return int64(block*32 + offset + 1)
+}
+
+// orderDate derives a deterministic, well-mixed order date from the order
+// index (shared by the orders and lineitem generators).
+func orderDate(i int) int32 {
+	x := uint64(i) * 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	span := uint64(endDate - startDate - 151)
+	return startDate + int32(x%span)
+}

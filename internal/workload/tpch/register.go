@@ -1,0 +1,79 @@
+package tpch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/core"
+	"gofusion/internal/parquet"
+)
+
+// RegisterInMemory generates all tables at the scale factor and registers
+// them as in-memory tables on the session.
+func RegisterInMemory(s *core.SessionContext, sf float64) error {
+	g := NewGenerator(sf)
+	for _, name := range TableNames {
+		schema, batches, err := g.Generate(name)
+		if err != nil {
+			return err
+		}
+		if err := s.RegisterBatches(name, schema, batches); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGPQ generates the dataset and writes one GPQ file per table under
+// dir (the paper's "one parquet file per table" TPC-H layout). Row groups
+// are capped at rowGroupRows (the paper used 1M records).
+func WriteGPQ(dir string, sf float64, rowGroupRows int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	g := NewGenerator(sf)
+	opts := parquet.DefaultWriterOptions()
+	if rowGroupRows > 0 {
+		opts.RowGroupRows = rowGroupRows
+	}
+	for _, name := range TableNames {
+		schema, batches, err := g.Generate(name)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, name+".gpq")
+		if err := parquet.WriteFile(path, schema, batches, opts); err != nil {
+			return fmt.Errorf("tpch: writing %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// RegisterGPQ registers the per-table GPQ files written by WriteGPQ.
+func RegisterGPQ(s *core.SessionContext, dir string) error {
+	for _, name := range TableNames {
+		if err := s.RegisterGPQ(name, filepath.Join(dir, name+".gpq")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RowCounts returns the generated row count per table (for tests).
+func RowCounts(sf float64) map[string]int64 {
+	g := NewGenerator(sf)
+	suppliers, parts, customers, orders := g.counts()
+	return map[string]int64{
+		"region":   int64(len(regions)),
+		"nation":   int64(len(nations)),
+		"supplier": int64(suppliers),
+		"part":     int64(parts),
+		"partsupp": int64(parts * 4),
+		"customer": int64(customers),
+		"orders":   int64(orders),
+	}
+}
+
+var _ = arrow.Int64

@@ -1,0 +1,253 @@
+package tpch
+
+import (
+	"testing"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/core"
+)
+
+const testSF = 0.01
+
+func testSession(t *testing.T, partitions int) *core.SessionContext {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.TargetPartitions = partitions
+	s := core.NewSession(cfg)
+	if err := RegisterInMemory(s, testSF); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	want := RowCounts(testSF)
+	g := NewGenerator(testSF)
+	for _, name := range TableNames {
+		schema, batches, err := g.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows int64
+		for _, b := range batches {
+			rows += int64(b.NumRows())
+		}
+		if w, ok := want[name]; ok && rows != w {
+			t.Fatalf("%s: %d rows, want %d", name, rows, w)
+		}
+		if name == "lineitem" {
+			// 1..7 lines per order; just sanity-bound it.
+			orders := want["orders"]
+			if rows < orders || rows > orders*7 {
+				t.Fatalf("lineitem rows %d implausible for %d orders", rows, orders)
+			}
+		}
+		if schema.NumFields() == 0 {
+			t.Fatalf("%s: empty schema", name)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1, g2 := NewGenerator(testSF), NewGenerator(testSF)
+	_, b1, err := g1.Generate("supplier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b2, err := g2.Generate("supplier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) != len(b2) {
+		t.Fatal("batch counts differ")
+	}
+	for i := range b1 {
+		for c := 0; c < b1[i].NumCols(); c++ {
+			for r := 0; r < b1[i].NumRows(); r++ {
+				if !b1[i].Column(c).GetScalar(r).Equal(b2[i].Column(c).GetScalar(r)) {
+					t.Fatalf("nondeterministic at batch %d col %d row %d", i, c, r)
+				}
+			}
+		}
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	s := testSession(t, 1)
+	// Every lineitem matches an order and a (part, supplier) pair in
+	// partsupp.
+	df, err := s.SQL(`SELECT count(*) FROM lineitem l LEFT JOIN orders o ON l.l_orderkey = o.o_orderkey WHERE o.o_orderkey IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := df.CollectBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Column(0).(*arrow.Int64Array).Value(0) != 0 {
+		t.Fatal("lineitem has dangling order keys")
+	}
+	df, err = s.SQL(`SELECT count(*) FROM lineitem l LEFT JOIN partsupp ps
+		ON l.l_partkey = ps.ps_partkey AND l.l_suppkey = ps.ps_suppkey
+		WHERE ps.ps_partkey IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = df.CollectBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Column(0).(*arrow.Int64Array).Value(0) != 0 {
+		t.Fatal("lineitem has dangling partsupp keys")
+	}
+}
+
+func TestDateCorrelations(t *testing.T) {
+	s := testSession(t, 1)
+	df, err := s.SQL(`SELECT count(*) FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey
+		WHERE l.l_shipdate <= o.o_orderdate OR l.l_receiptdate < l.l_shipdate`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := df.CollectBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Column(0).(*arrow.Int64Array).Value(0) != 0 {
+		t.Fatal("date correlations violated")
+	}
+}
+
+// TestAllQueriesRun plans and executes every TPC-H query at tiny scale,
+// both single-threaded and partitioned, and cross-checks the results.
+func TestAllQueriesRun(t *testing.T) {
+	s1 := testSession(t, 1)
+	s4 := testSession(t, 4)
+	for n := 1; n <= 22; n++ {
+		q, err := Query(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		df1, err := s1.SQL(q)
+		if err != nil {
+			t.Fatalf("Q%d planning: %v", n, err)
+		}
+		b1, err := df1.CollectBatch()
+		if err != nil {
+			t.Fatalf("Q%d executing: %v", n, err)
+		}
+		df4, err := s4.SQL(q)
+		if err != nil {
+			t.Fatalf("Q%d planning (partitioned): %v", n, err)
+		}
+		b4, err := df4.CollectBatch()
+		if err != nil {
+			t.Fatalf("Q%d executing (partitioned): %v", n, err)
+		}
+		if b1.NumRows() != b4.NumRows() {
+			t.Fatalf("Q%d: %d rows single vs %d partitioned", n, b1.NumRows(), b4.NumRows())
+		}
+	}
+}
+
+func TestQ1Invariants(t *testing.T) {
+	s := testSession(t, 1)
+	df, err := s.SQL(Queries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := df.CollectBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q1 returns the 4 (returnflag, linestatus) combinations with strictly
+	// positive sums, sorted by flag then status.
+	if b.NumRows() < 3 || b.NumRows() > 4 {
+		t.Fatalf("Q1 rows = %d", b.NumRows())
+	}
+	var lastKey string
+	for i := 0; i < b.NumRows(); i++ {
+		key := b.Column(0).GetScalar(i).AsString() + b.Column(1).GetScalar(i).AsString()
+		if key <= lastKey {
+			t.Fatal("Q1 not sorted")
+		}
+		lastKey = key
+		if b.ColumnByName("sum_qty").GetScalar(i).AsFloat64() <= 0 {
+			t.Fatal("Q1 sum_qty must be positive")
+		}
+		// avg_qty = sum_qty / count_order
+		sumQty := b.ColumnByName("sum_qty").GetScalar(i).AsFloat64()
+		count := float64(b.ColumnByName("count_order").GetScalar(i).AsInt64())
+		avgQty := b.ColumnByName("avg_qty").GetScalar(i).AsFloat64()
+		if diff := sumQty/count - avgQty; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("Q1 avg inconsistency: %v vs %v", sumQty/count, avgQty)
+		}
+	}
+}
+
+func TestQ6MatchesManualComputation(t *testing.T) {
+	s := testSession(t, 1)
+	df, err := s.SQL(Queries[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := df.CollectBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: manual scan of the generated data.
+	g := NewGenerator(testSF)
+	_, batches, err := g.Generate("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := dateOf(1994, 1, 1)
+	hi := dateOf(1995, 1, 1)
+	var want float64
+	for _, b := range batches {
+		ship := b.ColumnByName("l_shipdate").(*arrow.Int32Array)
+		qty := b.ColumnByName("l_quantity").(*arrow.Int64Array)
+		price := b.ColumnByName("l_extendedprice").(*arrow.Int64Array)
+		disc := b.ColumnByName("l_discount").(*arrow.Int64Array)
+		for i := 0; i < b.NumRows(); i++ {
+			if ship.Value(i) >= lo && ship.Value(i) < hi &&
+				disc.Value(i) >= 5 && disc.Value(i) <= 7 && qty.Value(i) < 2400 {
+				want += float64(price.Value(i)) / 100 * float64(disc.Value(i)) / 100
+			}
+		}
+	}
+	gotV := got.Column(0).GetScalar(0).AsFloat64()
+	if diff := gotV - want; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("Q6: got %v want %v", gotV, want)
+	}
+}
+
+func TestGPQRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteGPQ(dir, 0.001, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSession(core.DefaultConfig())
+	if err := RegisterGPQ(s, dir); err != nil {
+		t.Fatal(err)
+	}
+	df, err := s.SQL("SELECT count(*) FROM lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := df.CollectBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Column(0).(*arrow.Int64Array).Value(0) == 0 {
+		t.Fatal("no lineitem rows via GPQ")
+	}
+	// A query over files must match the same query in memory.
+	df2, err := s.SQL(Queries[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df2.CollectBatch(); err != nil {
+		t.Fatalf("Q6 over GPQ: %v", err)
+	}
+}
