@@ -57,6 +57,9 @@ type ScanRequest struct {
 	Partitions int
 	// BatchRows is the preferred output batch size.
 	BatchRows int
+	// Readahead asks file-backed providers to decode this many units (row
+	// groups) ahead of the consumer per partition; 0 disables pipelining.
+	Readahead int
 }
 
 // ScanResult describes a prepared scan: a projected schema and a factory
@@ -73,6 +76,9 @@ type ScanResult struct {
 	// SortOrder describes a known output ordering (within every
 	// partition), or nil.
 	SortOrder []OrderedCol
+	// Detail is an optional provider-specific description of how the scan
+	// was partitioned (e.g. row-group ranges), surfaced in EXPLAIN.
+	Detail string
 }
 
 // TableProvider is the data source extension point.

@@ -103,8 +103,136 @@ func (t *GPQTable) Schema() *arrow.Schema { return t.schema }
 // Statistics returns exact row counts from file footers.
 func (t *GPQTable) Statistics() Statistics { return t.stats }
 
-// Scan prepares a pushed-down partitioned scan. Files whose footer
-// statistics refute the predicate are eliminated at plan time.
+// scanUnit is the work unit of a partitioned GPQ scan: a set of row
+// groups (ascending) within one file.
+type scanUnit struct {
+	file   string
+	groups []int
+	rows   int64
+}
+
+// planUnits builds one scan unit per surviving row group, pruning at file
+// granularity (aggregated footer stats) and then at row-group granularity
+// (per-chunk stats). Bloom-filter and page-level pruning stay in the
+// scanner, which reads data pages anyway.
+func (t *GPQTable) planUnits(pred parquet.Predicate) (units []scanUnit, pruned int, err error) {
+	for _, f := range t.files {
+		meta, err := t.metadata(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		if pred != nil {
+			keep := true
+			for _, col := range pred.Columns() {
+				if !pred.KeepColumnStats(col, fileColumnStats(meta, col)) {
+					keep = false
+					break
+				}
+			}
+			if !keep {
+				pruned += meta.NumRowGroups()
+				continue
+			}
+		}
+		for rg := 0; rg < meta.NumRowGroups(); rg++ {
+			if pred != nil {
+				keep := true
+				for _, col := range pred.Columns() {
+					if !pred.KeepColumnStats(col, meta.ColumnChunkStats(rg, col)) {
+						keep = false
+						break
+					}
+				}
+				if !keep {
+					pruned++
+					continue
+				}
+			}
+			units = append(units, scanUnit{file: f, groups: []int{rg}, rows: meta.RowGroupRows(rg)})
+		}
+	}
+	return units, pruned, nil
+}
+
+// dealUnits distributes row-group units across numParts partitions,
+// balancing by footer row counts: each unit goes to the least-loaded
+// partition (ties to the lowest index), then units sharing a file within
+// a partition merge into one multi-row-group unit so the file is opened
+// once.
+func dealUnits(units []scanUnit, numParts int) [][]scanUnit {
+	parts := make([][]scanUnit, numParts)
+	loads := make([]int64, numParts)
+	for _, u := range units {
+		best := 0
+		for p := 1; p < numParts; p++ {
+			if loads[p] < loads[best] {
+				best = p
+			}
+		}
+		if n := len(parts[best]); n > 0 && parts[best][n-1].file == u.file {
+			prev := &parts[best][n-1]
+			prev.groups = append(prev.groups, u.groups...)
+			prev.rows += u.rows
+		} else {
+			parts[best] = append(parts[best], u)
+		}
+		loads[best] += u.rows
+	}
+	return parts
+}
+
+// unitsDetail renders per-partition row-group assignments for EXPLAIN,
+// e.g. "p0=data.gpq[rg0-3] p1=data.gpq[rg4-7]". Long listings truncate.
+func unitsDetail(parts [][]scanUnit) string {
+	var sb strings.Builder
+	for p, us := range parts {
+		if p > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "p%d=", p)
+		for i, u := range us {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(filepath.Base(u.file))
+			sb.WriteString(rangesString(u.groups))
+		}
+		if sb.Len() > 160 && p < len(parts)-1 {
+			fmt.Fprintf(&sb, " …(+%d partitions)", len(parts)-1-p)
+			break
+		}
+	}
+	return sb.String()
+}
+
+// rangesString compacts a sorted row-group index list into "[rg0-3,rg7]".
+func rangesString(groups []int) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < len(groups); {
+		j := i
+		for j+1 < len(groups) && groups[j+1] == groups[j]+1 {
+			j++
+		}
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if i == j {
+			fmt.Fprintf(&sb, "rg%d", groups[i])
+		} else {
+			fmt.Fprintf(&sb, "rg%d-%d", groups[i], groups[j])
+		}
+		i = j + 1
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Scan prepares a pushed-down partitioned scan. Partitioning is
+// row-group-granular: row groups refuted by footer statistics are pruned
+// at plan time (file level, then chunk level), and the survivors are
+// dealt across up to req.Partitions partitions balanced by row count —
+// so a single large file still scans in parallel.
 func (t *GPQTable) Scan(req ScanRequest) (*ScanResult, error) {
 	pred, exact := CompileFilters(req.Filters, t.schema)
 	allExact := true
@@ -118,67 +246,54 @@ func (t *GPQTable) Scan(req ScanRequest) (*ScanResult, error) {
 		limit = -1
 	}
 
-	// Plan-time file pruning using footer-aggregated statistics.
-	files := t.files
-	if pred != nil {
-		kept := make([]string, 0, len(files))
-		for _, f := range files {
-			meta, err := t.metadata(f)
-			if err != nil {
-				return nil, err
-			}
-			keep := true
-			for _, col := range pred.Columns() {
-				if !pred.KeepColumnStats(col, fileColumnStats(meta, col)) {
-					keep = false
-					break
-				}
-			}
-			if keep {
-				kept = append(kept, f)
-			}
-		}
-		files = kept
+	units, pruned, err := t.planUnits(pred)
+	if err != nil {
+		return nil, err
 	}
 
 	numParts := req.Partitions
 	if numParts <= 0 {
 		numParts = 1
 	}
-	if numParts > len(files) {
-		numParts = len(files)
+	if numParts > len(units) {
+		numParts = len(units)
 	}
 	if numParts == 0 {
 		numParts = 1
 	}
+	parts := dealUnits(units, numParts)
+
 	outSchema := t.schema
 	if req.Projection != nil {
 		outSchema = t.schema.Select(req.Projection)
 	}
 	order := t.order
-	if len(files) > 1 {
-		// Multiple files per partition interleave; order only survives a
-		// single file per partition.
+	if len(t.files) > 1 || numParts > 1 {
+		// Order survives only when one partition reads one file's row
+		// groups in file order; splitting a file across partitions or
+		// interleaving files within a partition destroys it.
 		order = nil
+	}
+	detail := fmt.Sprintf("rowgroups=%d pruned=%d", len(units), pruned)
+	if len(units) > 0 {
+		detail += " " + unitsDetail(parts)
 	}
 	return &ScanResult{
 		Schema:       outSchema,
 		Partitions:   numParts,
 		ExactFilters: exact,
 		SortOrder:    order,
+		Detail:       detail,
 		Open: func(p int) (Stream, error) {
-			var mine []string
-			for i := p; i < len(files); i += numParts {
-				mine = append(mine, files[i])
-			}
 			return &gpqStream{
-				files:  mine,
+				units:  parts[p],
 				schema: outSchema,
 				opts: parquet.ScanOptions{
 					Projection: req.Projection,
 					Predicate:  pred,
 					Limit:      limit,
 					BatchRows:  req.BatchRows,
+					Readahead:  req.Readahead,
 				},
 			}, nil
 		},
@@ -189,9 +304,10 @@ func fileColumnStats(meta *parquet.FileMetadata, col int) parquet.ColumnStats {
 	return meta.ColumnStatsForFile(col)
 }
 
-// gpqStream reads a list of GPQ files sequentially.
+// gpqStream reads a list of scan units sequentially, one scanner per
+// unit, with optional readahead inside each scanner.
 type gpqStream struct {
-	files   []string
+	units   []scanUnit
 	schema  *arrow.Schema
 	opts    parquet.ScanOptions
 	reader  *parquet.FileReader
@@ -204,18 +320,20 @@ func (s *gpqStream) Schema() *arrow.Schema { return s.schema }
 func (s *gpqStream) Next() (*arrow.RecordBatch, error) {
 	for {
 		if s.scanner == nil {
-			if len(s.files) == 0 {
+			if len(s.units) == 0 {
 				return nil, io.EOF
 			}
 			if s.opts.Limit >= 0 && s.taken >= s.opts.Limit {
 				return nil, io.EOF
 			}
-			fr, err := parquet.OpenFile(s.files[0])
+			unit := s.units[0]
+			fr, err := parquet.OpenFile(unit.file)
 			if err != nil {
 				return nil, err
 			}
-			s.files = s.files[1:]
+			s.units = s.units[1:]
 			opts := s.opts
+			opts.RowGroups = unit.groups
 			if opts.Limit >= 0 {
 				opts.Limit -= s.taken
 			}
@@ -228,8 +346,7 @@ func (s *gpqStream) Next() (*arrow.RecordBatch, error) {
 		}
 		b, err := s.scanner.Next()
 		if err == io.EOF {
-			s.reader.Close()
-			s.reader, s.scanner = nil, nil
+			s.closeCurrent()
 			continue
 		}
 		if err != nil {
@@ -240,12 +357,17 @@ func (s *gpqStream) Next() (*arrow.RecordBatch, error) {
 	}
 }
 
-func (s *gpqStream) Close() {
+func (s *gpqStream) closeCurrent() {
+	if s.scanner != nil {
+		s.scanner.Close()
+	}
 	if s.reader != nil {
 		s.reader.Close()
-		s.reader, s.scanner = nil, nil
 	}
+	s.reader, s.scanner = nil, nil
 }
+
+func (s *gpqStream) Close() { s.closeCurrent() }
 
 // CSVTable is a TableProvider over a CSV file with projection pushdown.
 type CSVTable struct {

@@ -1,0 +1,213 @@
+package catalog
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/logical"
+	"gofusion/internal/parquet"
+)
+
+// writePartitionedFile writes one GPQ file of n (id, name, score) rows
+// with rowGroupRows-row row groups and optional footer KV metadata.
+func writePartitionedFile(t *testing.T, n, rowGroupRows int, kv map[string]string) string {
+	t.Helper()
+	schema := arrow.NewSchema(
+		arrow.NewField("id", arrow.Int64, false),
+		arrow.NewField("name", arrow.String, false),
+		arrow.NewField("score", arrow.Float64, false),
+	)
+	ib := arrow.NewNumericBuilder[int64](arrow.Int64)
+	sb := arrow.NewStringBuilder(arrow.String)
+	fb := arrow.NewNumericBuilder[float64](arrow.Float64)
+	for i := 0; i < n; i++ {
+		ib.Append(int64(i))
+		sb.Append(fmt.Sprintf("name-%d", i%31))
+		fb.Append(float64(i) / 7)
+	}
+	path := filepath.Join(t.TempDir(), "part.gpq")
+	err := parquet.WriteFile(path, schema,
+		[]*arrow.RecordBatch{arrow.NewRecordBatch(schema, []arrow.Array{ib.Finish(), sb.Finish(), fb.Finish()})},
+		parquet.WriterOptions{RowGroupRows: rowGroupRows, PageRows: 128, KV: kv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// collectRows renders every row of every partition as one canonical
+// string, so "byte-identical after sort" reduces to sorted-slice
+// equality regardless of partition interleaving.
+func collectRows(t *testing.T, res *ScanResult) []string {
+	t.Helper()
+	var rows []string
+	for p := 0; p < res.Partitions; p++ {
+		s, err := res.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range drain(t, s) {
+			for i := 0; i < b.NumRows(); i++ {
+				var sb strings.Builder
+				for c := 0; c < b.NumCols(); c++ {
+					fmt.Fprintf(&sb, "|%s", b.Column(c).GetScalar(i))
+				}
+				rows = append(rows, sb.String())
+			}
+		}
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+func equalRows(t *testing.T, got, want []string, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: row count %d != %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d differs: %q vs %q", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestRowGroupPartitionedScanMatchesSingle(t *testing.T) {
+	path := writePartitionedFile(t, 2000, 250, nil) // 8 row groups
+	tbl, err := NewGPQTable([]string{path}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		req  ScanRequest
+	}{
+		{"full", ScanRequest{Limit: -1}},
+		{"projection", ScanRequest{Projection: []int{2, 0}, Limit: -1}},
+		{"predicate", ScanRequest{
+			Filters: []logical.Expr{&logical.BinaryExpr{Op: logical.OpGt, L: logical.Col("id"), R: logical.Lit(int64(137))}},
+			Limit:   -1,
+		}},
+		{"predicate+projection+limit", ScanRequest{
+			Projection: []int{0, 1},
+			// name-7 occurs in every row group, so no plan-time pruning:
+			// the scan stays split across partitions.
+			Filters: []logical.Expr{&logical.BinaryExpr{Op: logical.OpEq, L: logical.Col("name"), R: logical.Lit("name-7")}},
+			// Limit larger than the ~65 matching rows: exercised but
+			// deterministic under any partitioning.
+			Limit: 500,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			single := tc.req
+			single.Partitions = 1
+			resS, err := tbl.Scan(single)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resS.Partitions != 1 {
+				t.Fatalf("single-partition scan got %d partitions", resS.Partitions)
+			}
+			want := collectRows(t, resS)
+
+			multi := tc.req
+			multi.Partitions = 4
+			multi.Readahead = 2
+			resM, err := tbl.Scan(multi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resM.Partitions < 2 {
+				t.Fatalf("multi-partition scan got %d partitions, want >1", resM.Partitions)
+			}
+			equalRows(t, collectRows(t, resM), want, tc.name)
+		})
+	}
+}
+
+func TestRowGroupPartitionCountAndDetail(t *testing.T) {
+	path := writePartitionedFile(t, 2000, 250, nil) // 8 row groups
+	tbl, err := NewGPQTable([]string{path}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Scan(ScanRequest{Limit: -1, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single 8-row-group file must split into all 4 requested partitions.
+	if res.Partitions != 4 {
+		t.Fatalf("partitions = %d, want 4", res.Partitions)
+	}
+	if !strings.Contains(res.Detail, "rowgroups=8") || !strings.Contains(res.Detail, "rg") {
+		t.Fatalf("detail missing row-group ranges: %q", res.Detail)
+	}
+	// Requesting more partitions than row groups clamps to the group count.
+	res2, err := tbl.Scan(ScanRequest{Limit: -1, Partitions: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Partitions != 8 {
+		t.Fatalf("partitions = %d, want 8 (row-group clamp)", res2.Partitions)
+	}
+}
+
+func TestRowGroupLevelPlanPruning(t *testing.T) {
+	// Ascending ids: a range predicate must prune most row groups at plan
+	// time using chunk statistics, shrinking the partition count.
+	path := writePartitionedFile(t, 2000, 250, nil)
+	tbl, err := NewGPQTable([]string{path}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Scan(ScanRequest{
+		Filters:    []logical.Expr{&logical.BinaryExpr{Op: logical.OpGtEq, L: logical.Col("id"), R: logical.Lit(int64(1750))}},
+		Limit:      -1,
+		Partitions: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions != 1 {
+		t.Fatalf("partitions = %d, want 1 (7 of 8 groups pruned)", res.Partitions)
+	}
+	if !strings.Contains(res.Detail, "pruned=7") {
+		t.Fatalf("detail should report 7 pruned groups: %q", res.Detail)
+	}
+	rows := collectRows(t, res)
+	if len(rows) != 250 {
+		t.Fatalf("rows = %d, want 250", len(rows))
+	}
+}
+
+func TestSortOrderDroppedWhenFileSplit(t *testing.T) {
+	path := writePartitionedFile(t, 2000, 250, map[string]string{"sort_order": "id"})
+	tbl, err := NewGPQTable([]string{path}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsplit: the declared order survives.
+	res1, err := tbl.Scan(ScanRequest{Limit: -1, Partitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.SortOrder) != 1 || res1.SortOrder[0].Name != "id" {
+		t.Fatalf("single-partition scan lost sort order: %+v", res1.SortOrder)
+	}
+	// Split across partitions: the order must be dropped.
+	res4, err := tbl.Scan(ScanRequest{Limit: -1, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Partitions != 4 {
+		t.Fatalf("partitions = %d, want 4", res4.Partitions)
+	}
+	if res4.SortOrder != nil {
+		t.Fatalf("sort order must be dropped when a file splits: %+v", res4.SortOrder)
+	}
+}

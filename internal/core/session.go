@@ -32,6 +32,13 @@ type SessionConfig struct {
 	TargetPartitions int
 	// BatchRows is the engine batch size (default 8192, Section 5.5.1).
 	BatchRows int
+	// ScanReadahead is how many row groups each scan partition decodes
+	// ahead of its consumer (I/O/decode pipelining); 0 means the default
+	// (2), negative disables readahead.
+	ScanReadahead int
+	// ExchangeBufferDepth is the per-channel batch buffer of exchange
+	// operators; 0 means the default (4).
+	ExchangeBufferDepth int
 	// MemoryLimit bounds tracked operator memory in bytes; 0 = unlimited.
 	MemoryLimit int64
 	// FairPool divides MemoryLimit evenly among pipeline-breaking
@@ -290,6 +297,7 @@ func (s *SessionContext) CreatePhysicalPlan(plan logical.Plan) (physical.Executi
 	cfg := &exec.PlannerConfig{
 		TargetPartitions:  s.cfg.TargetPartitions,
 		BatchRows:         s.cfg.BatchRows,
+		ScanReadahead:     s.cfg.ScanReadahead,
 		Reg:               s.reg,
 		PreferHashJoin:    s.cfg.PreferHashJoin,
 		ExtensionPlanners: s.extPlanners,
@@ -302,6 +310,9 @@ func (s *SessionContext) newExecContext() (*physical.ExecContext, func()) {
 	ctx := physical.NewExecContext()
 	ctx.Ctx = context.Background()
 	ctx.BatchRows = s.cfg.BatchRows
+	if s.cfg.ExchangeBufferDepth > 0 {
+		ctx.ExchangeBuffer = s.cfg.ExchangeBufferDepth
+	}
 	if s.cfg.MemoryLimit > 0 {
 		if s.cfg.FairPool {
 			ctx.Pool = memory.NewFairPool(s.cfg.MemoryLimit)

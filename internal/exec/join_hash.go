@@ -110,12 +110,58 @@ func (e *HashJoinExec) WithChildren(ch []physical.ExecutionPlan) (physical.Execu
 	return NewHashJoinExec(ch[0], ch[1], e.On, e.Filter, e.Type, e.Mode), nil
 }
 
-// builtTable is the hashed build side.
+// builtTable is the hashed build side. The index maps encoded key ->
+// build row list; the pointer indirection lets the append path grow a
+// list in place without re-writing (and re-allocating) the string key.
 type builtTable struct {
 	batch   *arrow.RecordBatch
-	index   map[string][]int32
+	index   map[string]*[]int32
 	visited []bool // build rows matched (outer/semi/anti tracking)
 	vmu     sync.Mutex
+}
+
+// lookup returns the build rows for an encoded key, or nil. The
+// string(k) conversion in a map index expression does not allocate.
+func (bt *builtTable) lookup(k []byte) []int32 {
+	if p, ok := bt.index[string(k)]; ok {
+		return *p
+	}
+	return nil
+}
+
+// estimateKeyCardinality samples up to 1024 keys and extrapolates the
+// distinct-key count, used to pre-size the build map: high-cardinality
+// builds avoid rehash cascades, low-cardinality builds avoid allocating
+// a row-count-sized table that stays mostly empty.
+func estimateKeyCardinality(keys [][]byte) int {
+	n := len(keys)
+	sample := n
+	if sample > 1024 {
+		sample = 1024
+	}
+	seen := make(map[string]struct{}, sample)
+	step := n / sample
+	if step < 1 {
+		step = 1
+	}
+	taken := 0
+	for i := 0; i < n && taken < sample; i += step {
+		if keys[i] != nil {
+			seen[string(keys[i])] = struct{}{}
+		}
+		taken++
+	}
+	if taken == 0 {
+		return 0
+	}
+	est := len(seen) * n / taken
+	if est > n {
+		est = n
+	}
+	if est < 16 {
+		est = 16
+	}
+	return est
 }
 
 func joinKeyEncoder(on []JoinOn, left bool) (*rowformat.Encoder, error) {
@@ -166,18 +212,28 @@ func (e *HashJoinExec) buildFrom(ctx *physical.ExecContext, batches []*arrow.Rec
 	for i, p := range e.On {
 		exprs[i] = p.L
 	}
-	bt := &builtTable{batch: batch, index: make(map[string][]int32, batch.NumRows())}
+	bt := &builtTable{batch: batch}
 	if batch.NumRows() > 0 {
 		keys, err := encodeJoinKeys(enc, exprs, batch)
 		if err != nil {
 			return nil, err
 		}
+		bt.index = make(map[string]*[]int32, estimateKeyCardinality(keys))
 		for i, k := range keys {
 			if k == nil {
 				continue
 			}
-			bt.index[string(k)] = append(bt.index[string(k)], int32(i))
+			if p, ok := bt.index[string(k)]; ok {
+				// In-place append: no key re-allocation, no map write.
+				*p = append(*p, int32(i))
+				continue
+			}
+			rows := make([]int32, 1, 4)
+			rows[0] = int32(i)
+			bt.index[string(k)] = &rows
 		}
+	} else {
+		bt.index = map[string]*[]int32{}
 	}
 	if e.needsBuildTracking() {
 		bt.visited = make([]bool, batch.NumRows())
@@ -339,7 +395,7 @@ func (p *joinProber) probeBatch(rb *arrow.RecordBatch) (*arrow.RecordBatch, erro
 		if k == nil {
 			continue
 		}
-		for _, l := range p.bt.index[string(k)] {
+		for _, l := range p.bt.lookup(k) {
 			li = append(li, l)
 			ri = append(ri, int32(i))
 		}

@@ -17,6 +17,9 @@ type PlannerConfig struct {
 	TargetPartitions int
 	// BatchRows is the preferred batch size (default 8192).
 	BatchRows int
+	// ScanReadahead is the per-partition scan decode pipeline depth in row
+	// groups; 0 means the default (2), negative disables readahead.
+	ScanReadahead int
 	// Reg resolves functions.
 	Reg *functions.Registry
 	// PreferHashJoin disables sort-merge join selection when true.
@@ -36,6 +39,11 @@ func (cfg *PlannerConfig) withDefaults() *PlannerConfig {
 	}
 	if out.BatchRows <= 0 {
 		out.BatchRows = 8192
+	}
+	if out.ScanReadahead == 0 {
+		out.ScanReadahead = 2
+	} else if out.ScanReadahead < 0 {
+		out.ScanReadahead = 0
 	}
 	if out.Reg == nil {
 		out.Reg = functions.NewRegistry()
@@ -194,6 +202,7 @@ func (cfg *PlannerConfig) planScan(node *logical.TableScan) (physical.ExecutionP
 		Limit:      node.Fetch,
 		Partitions: cfg.TargetPartitions,
 		BatchRows:  cfg.BatchRows,
+		Readahead:  cfg.ScanReadahead,
 	}
 	result, err := provider.Scan(req)
 	if err != nil {

@@ -61,9 +61,10 @@ func (e *RepartitionExec) WithChildren(ch []physical.ExecutionPlan) (physical.Ex
 // start launches one producer goroutine per input partition; each routes
 // its rows into the output channels.
 func (e *RepartitionExec) start(ctx *physical.ExecContext) {
+	depth := ctx.ExchangeBufferDepth()
 	e.outputs = make([]chan batchOrErr, e.NumParts)
 	for i := range e.outputs {
-		e.outputs[i] = make(chan batchOrErr, 2)
+		e.outputs[i] = make(chan batchOrErr, depth)
 	}
 	n := e.Input.Partitions()
 	var wg sync.WaitGroup

@@ -53,5 +53,9 @@ func (e *TableScanExec) String() string {
 	for i, f := range e.Result.Schema.Fields() {
 		cols[i] = f.Name
 	}
-	return fmt.Sprintf("TableScanExec: %s partitions=%d cols=[%s]", e.Name, e.Result.Partitions, strings.Join(cols, ","))
+	s := fmt.Sprintf("TableScanExec: %s partitions=%d cols=[%s]", e.Name, e.Result.Partitions, strings.Join(cols, ","))
+	if e.Result.Detail != "" {
+		s += " " + e.Result.Detail
+	}
+	return s
 }

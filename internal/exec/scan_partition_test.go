@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/catalog"
+	"gofusion/internal/parquet"
+	"gofusion/internal/physical"
+)
+
+func TestTableScanExplainShowsRowGroupPartitions(t *testing.T) {
+	schema := arrow.NewSchema(arrow.NewField("id", arrow.Int64, false))
+	b := arrow.NewNumericBuilder[int64](arrow.Int64)
+	for i := 0; i < 800; i++ {
+		b.Append(int64(i))
+	}
+	path := filepath.Join(t.TempDir(), "one.gpq")
+	if err := parquet.WriteFile(path, schema,
+		[]*arrow.RecordBatch{arrow.NewRecordBatch(schema, []arrow.Array{b.Finish()})},
+		parquet.WriterOptions{RowGroupRows: 100, PageRows: 50}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := catalog.NewGPQTable([]string{path}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Scan(catalog.ScanRequest{Limit: -1, Partitions: 4, Readahead: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := NewTableScanExec("one", res)
+	line := scan.String()
+	if !strings.Contains(line, "partitions=4") {
+		t.Fatalf("EXPLAIN missing partitions=4: %q", line)
+	}
+	if !strings.Contains(line, "rg") {
+		t.Fatalf("EXPLAIN missing row-group ranges: %q", line)
+	}
+	// The split scan still returns every row.
+	batches, err := CollectPlan(physical.NewExecContext(), scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, batch := range batches {
+		total += batch.NumRows()
+	}
+	if total != 800 {
+		t.Fatalf("rows = %d, want 800", total)
+	}
+}
+
+func TestExchangeBufferDepth(t *testing.T) {
+	ctx := physical.NewExecContext()
+	if ctx.ExchangeBufferDepth() != physical.DefaultExchangeBuffer {
+		t.Fatalf("default depth = %d", ctx.ExchangeBufferDepth())
+	}
+	ctx.ExchangeBuffer = 16
+	if ctx.ExchangeBufferDepth() != 16 {
+		t.Fatalf("override depth = %d", ctx.ExchangeBufferDepth())
+	}
+	ctx.ExchangeBuffer = 0
+	if ctx.ExchangeBufferDepth() != physical.DefaultExchangeBuffer {
+		t.Fatalf("zero depth should fall back: %d", ctx.ExchangeBufferDepth())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"gofusion/internal/arrow"
 	"gofusion/internal/arrow/compute"
@@ -211,6 +212,15 @@ type ScanOptions struct {
 	Limit int64
 	// BatchRows sets the output batch size (default 8192).
 	BatchRows int
+	// RowGroups restricts the scan to these row-group indexes, scanned in
+	// the order given; nil means every row group. This is the unit of
+	// intra-file scan parallelism: a table provider can split one file
+	// across partitions by handing each scanner a disjoint subset.
+	RowGroups []int
+	// Readahead is the number of row groups a background goroutine decodes
+	// ahead of the consumer (I/O + decode overlap); 0 keeps the scan fully
+	// synchronous.
+	Readahead int
 	// DisablePruning turns off row-group and page statistics pruning
 	// (predicate still evaluated row-level); used by ablation benchmarks.
 	DisablePruning bool
@@ -219,16 +229,34 @@ type ScanOptions struct {
 	DisableLateMaterialization bool
 }
 
+// groupResult carries one decoded row group through the readahead pipeline.
+type groupResult struct {
+	batches []*arrow.RecordBatch
+	err     error
+}
+
 // Scanner incrementally produces filtered, projected batches.
 type Scanner struct {
 	fr        *FileReader
 	opts      ScanOptions
 	schema    *arrow.Schema
 	remaining int64
-	rg        int
+	groups    []int
+	gi        int
 	queue     []*arrow.RecordBatch
 
-	// Pruning counters for EXPLAIN-style introspection and tests.
+	// Readahead pipeline state (nil/unused when opts.Readahead == 0).
+	// The producer goroutine owns queue/remaining/counters; the consumer
+	// side only touches pending and the channel.
+	startOnce sync.Once
+	closeOnce sync.Once
+	out       chan groupResult
+	quit      chan struct{}
+	pending   []*arrow.RecordBatch
+
+	// Pruning counters for EXPLAIN-style introspection and tests. With
+	// readahead enabled they are only safe to read after Next returned
+	// io.EOF (the pipeline channel close publishes them).
 	RowGroupsPruned  int
 	RowGroupsMatched int
 	PagesSkipped     int
@@ -250,6 +278,19 @@ func (fr *FileReader) Scan(opts ScanOptions) (*Scanner, error) {
 			return nil, fmt.Errorf("parquet: projection column %d out of range", c)
 		}
 	}
+	groups := opts.RowGroups
+	if groups == nil {
+		groups = make([]int, fr.meta.NumRowGroups())
+		for i := range groups {
+			groups[i] = i
+		}
+	} else {
+		for _, rg := range groups {
+			if rg < 0 || rg >= fr.meta.NumRowGroups() {
+				return nil, fmt.Errorf("parquet: row group %d out of range", rg)
+			}
+		}
+	}
 	limit := opts.Limit
 	if limit < 0 {
 		limit = -1
@@ -259,6 +300,7 @@ func (fr *FileReader) Scan(opts ScanOptions) (*Scanner, error) {
 		opts:      opts,
 		schema:    fr.meta.Schema.Select(opts.Projection),
 		remaining: limit,
+		groups:    groups,
 	}, nil
 }
 
@@ -267,21 +309,100 @@ func (s *Scanner) Schema() *arrow.Schema { return s.schema }
 
 // Next returns the next batch, or (nil, io.EOF) at end of scan.
 func (s *Scanner) Next() (*arrow.RecordBatch, error) {
+	if s.opts.Readahead > 0 {
+		return s.nextPipelined()
+	}
 	for {
 		if len(s.queue) > 0 {
 			b := s.queue[0]
 			s.queue = s.queue[1:]
 			return b, nil
 		}
-		if s.remaining == 0 || s.rg >= s.fr.meta.NumRowGroups() {
+		if s.remaining == 0 || s.gi >= len(s.groups) {
 			return nil, io.EOF
 		}
-		rg := s.rg
-		s.rg++
+		rg := s.groups[s.gi]
+		s.gi++
 		if err := s.scanRowGroup(rg); err != nil {
 			return nil, err
 		}
 	}
+}
+
+// Close stops the readahead goroutine (if any). Abandoning a pipelined
+// scan without Close leaks the producer; Close is safe to call multiple
+// times and on synchronous scanners.
+func (s *Scanner) Close() {
+	s.closeOnce.Do(func() {
+		if s.quit != nil {
+			close(s.quit)
+		}
+	})
+	if s.out != nil {
+		// Drain so a producer blocked on send observes quit promptly.
+		for range s.out {
+		}
+	}
+}
+
+// nextPipelined serves batches from the background decode pipeline.
+func (s *Scanner) nextPipelined() (*arrow.RecordBatch, error) {
+	s.startOnce.Do(s.startPrefetch)
+	for {
+		if len(s.pending) > 0 {
+			b := s.pending[0]
+			s.pending = s.pending[1:]
+			return b, nil
+		}
+		res, ok := <-s.out
+		if !ok {
+			return nil, io.EOF
+		}
+		if res.err != nil {
+			return nil, res.err
+		}
+		s.pending = res.batches
+	}
+}
+
+// startPrefetch launches the readahead producer: it decodes row groups
+// sequentially (preserving limit accounting and pruning order) and parks
+// up to opts.Readahead decoded groups in a bounded channel while the
+// consumer drains the current one.
+func (s *Scanner) startPrefetch() {
+	depth := s.opts.Readahead
+	if depth > 2 {
+		depth = 2 // double-buffering captures nearly all of the overlap
+	}
+	s.quit = make(chan struct{})
+	s.out = make(chan groupResult, depth)
+	go func() {
+		defer close(s.out)
+		for _, rg := range s.groups {
+			if s.remaining == 0 {
+				return
+			}
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+			err := s.scanRowGroup(rg)
+			res := groupResult{batches: s.queue, err: err}
+			s.queue = nil
+			if err == nil && len(res.batches) == 0 {
+				continue // pruned or fully filtered: nothing to publish
+			}
+			select {
+			case s.out <- res:
+			case <-s.quit:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
 }
 
 // keepRowGroup applies chunk statistics and Bloom filter pruning.

@@ -1,0 +1,152 @@
+package parquet
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"gofusion/internal/arrow"
+)
+
+// writeMultiGroupFile writes n rows of (id, name) into one file with
+// rowGroupRows-row row groups.
+func writeMultiGroupFile(t *testing.T, n, rowGroupRows int) string {
+	t.Helper()
+	schema := arrow.NewSchema(
+		arrow.NewField("id", arrow.Int64, false),
+		arrow.NewField("name", arrow.String, false),
+	)
+	ib := arrow.NewNumericBuilder[int64](arrow.Int64)
+	sb := arrow.NewStringBuilder(arrow.String)
+	for i := 0; i < n; i++ {
+		ib.Append(int64(i))
+		sb.Append("n" + arrow.Int64Scalar(int64(i%13)).String())
+	}
+	path := filepath.Join(t.TempDir(), "multi.gpq")
+	err := WriteFile(path, schema,
+		[]*arrow.RecordBatch{arrow.NewRecordBatch(schema, []arrow.Array{ib.Finish(), sb.Finish()})},
+		WriterOptions{RowGroupRows: rowGroupRows, PageRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func collectIDs(t *testing.T, sc *Scanner) []int64 {
+	t.Helper()
+	var out []int64
+	for {
+		b, err := sc.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := b.Column(0).(*arrow.Int64Array)
+		for i := 0; i < b.NumRows(); i++ {
+			out = append(out, col.Value(i))
+		}
+	}
+}
+
+func TestScanRowGroupSubset(t *testing.T) {
+	path := writeMultiGroupFile(t, 1000, 100)
+	fr, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	if fr.Metadata().NumRowGroups() != 10 {
+		t.Fatalf("row groups = %d, want 10", fr.Metadata().NumRowGroups())
+	}
+	// Two disjoint subsets cover the file exactly.
+	scA, err := fr.Scan(ScanOptions{RowGroups: []int{0, 2, 4, 6, 8}, Limit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scB, err := fr.Scan(ScanOptions{RowGroups: []int{1, 3, 5, 7, 9}, Limit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := append(collectIDs(t, scA), collectIDs(t, scB)...)
+	if len(ids) != 1000 {
+		t.Fatalf("rows = %d, want 1000", len(ids))
+	}
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	// Subset scans honor the limit.
+	scL, err := fr.Scan(ScanOptions{RowGroups: []int{3, 4}, Limit: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectIDs(t, scL); len(got) != 150 || got[0] != 300 {
+		t.Fatalf("limited subset scan wrong: len=%d first=%v", len(got), got[0])
+	}
+	// Out-of-range indexes are rejected.
+	if _, err := fr.Scan(ScanOptions{RowGroups: []int{10}, Limit: -1}); err == nil {
+		t.Fatal("row group 10 should be out of range")
+	}
+}
+
+func TestScanReadaheadMatchesSynchronous(t *testing.T) {
+	path := writeMultiGroupFile(t, 1000, 100)
+	fr, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	pred := &cmpPredicateBench{col: 0, lit: arrow.Int64Scalar(250)}
+	run := func(readahead int) []int64 {
+		sc, err := fr.Scan(ScanOptions{Predicate: pred, Limit: 400, Readahead: readahead})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc.Close()
+		return collectIDs(t, sc)
+	}
+	sync := run(0)
+	pipe := run(2)
+	if len(sync) != len(pipe) {
+		t.Fatalf("row counts differ: sync=%d pipelined=%d", len(sync), len(pipe))
+	}
+	for i := range sync {
+		if sync[i] != pipe[i] {
+			t.Fatalf("row %d differs: %d vs %d", i, sync[i], pipe[i])
+		}
+	}
+	if len(sync) != 400 {
+		t.Fatalf("limit not applied: %d", len(sync))
+	}
+}
+
+func TestScanReadaheadEarlyClose(t *testing.T) {
+	path := writeMultiGroupFile(t, 1000, 100)
+	fr, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	sc, err := fr.Scan(ScanOptions{Readahead: 2, BatchRows: 50, Limit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon mid-scan: Close must stop the producer without deadlock,
+	// and stay idempotent.
+	sc.Close()
+	sc.Close()
+	// Close before first Next is also safe.
+	sc2, err := fr.Scan(ScanOptions{Readahead: 1, Limit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2.Close()
+}

@@ -22,15 +22,33 @@ type ExecContext struct {
 	Ctx context.Context
 	// BatchRows is the target output batch size.
 	BatchRows int
+	// ExchangeBuffer is the per-output-channel batch buffer depth of
+	// exchange operators (RepartitionExec); 0 falls back to the default
+	// of 4. Deeper buffers keep fast producers from stalling on slow
+	// consumers at the cost of more in-flight batches.
+	ExchangeBuffer int
 	// Pool arbitrates operator memory.
 	Pool memory.Pool
 	// Disk provides spill files; nil disables spilling.
 	Disk *memory.DiskManager
 }
 
+// DefaultExchangeBuffer is the exchange channel depth used when
+// ExecContext.ExchangeBuffer is unset.
+const DefaultExchangeBuffer = 4
+
+// ExchangeBufferDepth returns the effective exchange channel depth.
+func (c *ExecContext) ExchangeBufferDepth() int {
+	if c.ExchangeBuffer > 0 {
+		return c.ExchangeBuffer
+	}
+	return DefaultExchangeBuffer
+}
+
 // NewExecContext returns a context with unbounded memory and no spilling.
 func NewExecContext() *ExecContext {
-	return &ExecContext{Ctx: context.Background(), BatchRows: 8192, Pool: memory.NewUnboundedPool()}
+	return &ExecContext{Ctx: context.Background(), BatchRows: 8192,
+		ExchangeBuffer: DefaultExchangeBuffer, Pool: memory.NewUnboundedPool()}
 }
 
 // SortField names one column of a physical ordering.
