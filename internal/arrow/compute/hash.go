@@ -1,6 +1,7 @@
 package compute
 
 import (
+	"encoding/binary"
 	"math"
 	"math/bits"
 
@@ -34,12 +35,21 @@ func combine(acc, h uint64) uint64 {
 	return bits.RotateLeft64(acc, 31) ^ mix64(h)
 }
 
-// HashBytes hashes a byte string (FNV-1a body with a strong finalizer).
+// HashBytes hashes a byte string eight bytes at a time, folding each word
+// through the full-avalanche mixer. The length is seeded up front so
+// prefixes sharing trailing zero bytes still hash apart.
 func HashBytes(b []byte) uint64 {
-	h := uint64(14695981039346656037)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= 1099511628211
+	h := hashSeed ^ uint64(len(b))
+	for len(b) >= 8 {
+		h = mix64(h ^ binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail uint64
+		for i, c := range b {
+			tail |= uint64(c) << (8 * i)
+		}
+		h = mix64(h ^ tail)
 	}
 	return mix64(h)
 }
@@ -184,11 +194,29 @@ func HashArrayInto(a arrow.Array, hashes []uint64, first bool) {
 	}
 }
 
+// HashBatch computes one 64-bit hash per row across the given columns,
+// reusing buf's storage when it has capacity. This is the shared hashing
+// discipline for hash aggregation, hash joins and hash repartitioning:
+// one call per input batch, zero steady-state allocations.
+func HashBatch(cols []arrow.Array, numRows int, buf []uint64) []uint64 {
+	if cap(buf) < numRows {
+		buf = make([]uint64, numRows)
+	} else {
+		buf = buf[:numRows]
+	}
+	if len(cols) == 0 {
+		for i := range buf {
+			buf[i] = hashSeed
+		}
+		return buf
+	}
+	for ci, c := range cols {
+		HashArrayInto(c, buf, ci == 0)
+	}
+	return buf
+}
+
 // HashColumns computes one 64-bit hash per row across the given columns.
 func HashColumns(cols []arrow.Array, numRows int) []uint64 {
-	hashes := make([]uint64, numRows)
-	for ci, c := range cols {
-		HashArrayInto(c, hashes, ci == 0)
-	}
-	return hashes
+	return HashBatch(cols, numRows, nil)
 }

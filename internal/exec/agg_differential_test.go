@@ -1,0 +1,244 @@
+// Differential aggregation test: randomized inputs are grouped through the
+// hash-first group table (every HashAggregateExec configuration, including
+// forced spill and forced partial early-flush) and must match gofusion's
+// independent baseline engine (internal/baseline) exactly. External test
+// package because baseline itself links against exec's sibling packages.
+package exec_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/baseline"
+	"gofusion/internal/catalog"
+	"gofusion/internal/exec"
+	"gofusion/internal/functions"
+	"gofusion/internal/logical"
+	"gofusion/internal/memory"
+	"gofusion/internal/physical"
+)
+
+var diffReg = functions.NewRegistry()
+
+// renderRows renders a batch order-insensitively, rounding floats to absorb
+// summation-order differences between the engines.
+func renderRows(b *arrow.RecordBatch) []string {
+	out := make([]string, b.NumRows())
+	for i := range out {
+		s := ""
+		for c := 0; c < b.NumCols(); c++ {
+			v := b.Column(c).GetScalar(i)
+			if !v.Null && (v.Type.ID == arrow.FLOAT64 || v.Type.ID == arrow.FLOAT32) {
+				f := v.AsFloat64()
+				s += arrow.Float64Scalar(float64(int64(f*1e6+0.5))/1e6).String() + "|"
+			} else {
+				s += v.String() + "|"
+			}
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffBatches builds randomized key/value batches: nullable int64 and string
+// keys with nulls, empty strings, embedded NULs, and heavy duplication, plus
+// a nullable int64 payload.
+func diffBatches(rng *rand.Rand, schema *arrow.Schema, nBatches, maxRows, card int) []*arrow.RecordBatch {
+	keyPool := make([]string, card)
+	for i := range keyPool {
+		switch i % 11 {
+		case 0:
+			keyPool[i] = ""
+		case 1:
+			keyPool[i] = fmt.Sprintf("k\x00%d", i)
+		default:
+			keyPool[i] = fmt.Sprintf("key-%d", i)
+		}
+	}
+	var out []*arrow.RecordBatch
+	for b := 0; b < nBatches; b++ {
+		n := 1 + rng.Intn(maxRows)
+		var cols []arrow.Array
+		for _, f := range schema.Fields() {
+			switch f.Name {
+			case "k_int":
+				ib := arrow.NewNumericBuilder[int64](arrow.Int64)
+				for i := 0; i < n; i++ {
+					if rng.Intn(8) == 0 {
+						ib.AppendNull()
+					} else {
+						ib.Append(int64(rng.Intn(card)) - int64(card/2))
+					}
+				}
+				cols = append(cols, ib.Finish())
+			case "k_str":
+				sb := arrow.NewStringBuilder(arrow.String)
+				for i := 0; i < n; i++ {
+					if rng.Intn(8) == 0 {
+						sb.AppendNull()
+					} else {
+						sb.Append(keyPool[rng.Intn(card)])
+					}
+				}
+				cols = append(cols, sb.Finish())
+			case "v":
+				vb := arrow.NewNumericBuilder[int64](arrow.Int64)
+				for i := 0; i < n; i++ {
+					if rng.Intn(10) == 0 {
+						vb.AppendNull()
+					} else {
+						vb.Append(int64(rng.Intn(2000)) - 1000)
+					}
+				}
+				cols = append(cols, vb.Finish())
+			}
+		}
+		out = append(out, arrow.NewRecordBatch(schema, cols))
+	}
+	return out
+}
+
+func TestAggDifferentialAgainstBaseline(t *testing.T) {
+	shapes := []struct {
+		name   string
+		fields []arrow.Field
+		groups []string
+	}{
+		{"int", []arrow.Field{ // single int64 key: primitive fast path
+			arrow.NewField("k_int", arrow.Int64, true),
+			arrow.NewField("v", arrow.Int64, true),
+		}, []string{"k_int"}},
+		{"str", []arrow.Field{ // single string key: generic arena path
+			arrow.NewField("k_str", arrow.String, true),
+			arrow.NewField("v", arrow.Int64, true),
+		}, []string{"k_str"}},
+		{"mixed", []arrow.Field{ // multi-column keys: generic arena path
+			arrow.NewField("k_int", arrow.Int64, true),
+			arrow.NewField("k_str", arrow.String, true),
+			arrow.NewField("v", arrow.Int64, true),
+		}, []string{"k_int", "k_str"}},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(shape.name)) * 997))
+			schema := arrow.NewSchema(shape.fields...)
+			batches := diffBatches(rng, schema, 12, 600, 40)
+			mt, err := catalog.NewMemTable(schema, [][]*arrow.RecordBatch{batches})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Reference: the independent baseline engine over the same rows.
+			be := baseline.New(2)
+			be.RegisterBatches("t", schema, batches)
+			sql := "SELECT "
+			for _, g := range shape.groups {
+				sql += g + ", "
+			}
+			sql += "sum(v), count(*), min(v), max(v), avg(v) FROM t GROUP BY "
+			for i, g := range shape.groups {
+				if i > 0 {
+					sql += ", "
+				}
+				sql += g
+			}
+			ref, err := be.Query(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := renderRows(ref)
+
+			groupExprs := make([]logical.Expr, len(shape.groups))
+			for i, g := range shape.groups {
+				groupExprs[i] = logical.Col(g)
+			}
+			plan, err := logical.NewBuilder(diffReg).
+				Scan("t", mt).
+				Aggregate(groupExprs, []logical.Expr{
+					&logical.AggFunc{Name: "sum", Args: []logical.Expr{logical.Col("v")}},
+					&logical.AggFunc{Name: "count"},
+					&logical.AggFunc{Name: "min", Args: []logical.Expr{logical.Col("v")}},
+					&logical.AggFunc{Name: "max", Args: []logical.Expr{logical.Col("v")}},
+					&logical.AggFunc{Name: "avg", Args: []logical.Expr{logical.Col("v")}},
+				}).
+				Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			check := func(name string, parts int, setup func(pp physical.ExecutionPlan, ctx *physical.ExecContext)) {
+				t.Helper()
+				pp, err := exec.CreatePhysicalPlan(plan, &exec.PlannerConfig{TargetPartitions: parts, Reg: diffReg})
+				if err != nil {
+					t.Fatalf("%s: plan: %v", name, err)
+				}
+				ctx := physical.NewExecContext()
+				if setup != nil {
+					setup(pp, ctx)
+				}
+				got, err := exec.CollectBatch(ctx, pp)
+				if err != nil {
+					t.Fatalf("%s: exec: %v", name, err)
+				}
+				gr := renderRows(got)
+				if !equalRows(gr, want) {
+					max := len(gr)
+					if max > 6 {
+						max = 6
+					}
+					t.Fatalf("%s: engines disagree (%d vs %d rows)\ngofusion: %v\nbaseline: %v",
+						name, len(gr), len(want), gr[:max], want[:min(6, len(want))])
+				}
+			}
+
+			check("single-partition", 1, nil)
+			check("multi-partition", 4, nil)
+			check("forced-spill", 2, func(pp physical.ExecutionPlan, ctx *physical.ExecContext) {
+				dm := memory.NewDiskManager(t.TempDir(), true)
+				t.Cleanup(func() { dm.Close() })
+				ctx.Pool = memory.NewGreedyPool(2 * 1024)
+				ctx.Disk = dm
+			})
+			check("partial-early-flush", 3, func(pp physical.ExecutionPlan, ctx *physical.ExecContext) {
+				forced := false
+				var force func(p physical.ExecutionPlan)
+				force = func(p physical.ExecutionPlan) {
+					if agg, ok := p.(*exec.HashAggregateExec); ok && agg.Mode == exec.PartialAgg {
+						agg.FlushThreshold = 7
+						forced = true
+					}
+					for _, c := range p.Children() {
+						force(c)
+					}
+				}
+				force(pp)
+				if !forced {
+					t.Fatalf("no partial aggregate in plan:\n%s", exec.ExplainPhysical(pp))
+				}
+			})
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

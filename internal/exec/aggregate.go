@@ -138,55 +138,6 @@ func (e *HashAggregateExec) WithChildren(ch []physical.ExecutionPlan) (physical.
 	return &out, nil
 }
 
-// groupTable maps normalized group keys to dense group indexes.
-type groupTable struct {
-	enc    *rowformat.Encoder
-	index  map[string]uint32
-	keys   [][]byte
-	keyMem int64
-}
-
-func newGroupTable(types []*arrow.DataType) (*groupTable, error) {
-	enc, err := rowformat.NewEncoder(types, nil)
-	if err != nil {
-		return nil, err
-	}
-	return &groupTable{enc: enc, index: make(map[string]uint32, 1024)}, nil
-}
-
-// assign maps each row of the group columns to a group index, creating
-// groups as needed.
-func (t *groupTable) assign(cols []arrow.Array, numRows int, out []uint32) []uint32 {
-	out = out[:0]
-	var buf []byte
-	for i := 0; i < numRows; i++ {
-		buf = t.enc.AppendRowKey(buf[:0], cols, i)
-		idx, ok := t.index[string(buf)]
-		if !ok {
-			idx = uint32(len(t.keys))
-			key := append([]byte(nil), buf...)
-			t.index[string(key)] = idx
-			t.keys = append(t.keys, key)
-			t.keyMem += int64(len(key)) + 48
-		}
-		out = append(out, idx)
-	}
-	return out
-}
-
-func (t *groupTable) numGroups() int { return len(t.keys) }
-
-// groupColumns decodes the group keys back into arrays.
-func (t *groupTable) groupColumns() ([]arrow.Array, error) {
-	return t.enc.DecodeRows(t.keys)
-}
-
-func (t *groupTable) reset() {
-	t.index = make(map[string]uint32, 1024)
-	t.keys = nil
-	t.keyMem = 0
-}
-
 // aggState is one in-flight aggregation hash table plus accumulators.
 type aggState struct {
 	table *groupTable
@@ -483,7 +434,7 @@ func (e *HashAggregateExec) executeHashed(ctx *physical.ExecContext, in physical
 			}
 			// Track the dominant memory consumer: the group table.
 			if st.table != nil {
-				if err := res.Resize(st.table.keyMem); err != nil {
+				if err := res.Resize(st.table.memUsage()); err != nil {
 					if e.Mode == PartialAgg {
 						// Early flush: emit partial results downstream.
 						batches, eerr := e.emit(st, ctx.BatchRows)

@@ -110,45 +110,38 @@ func (e *HashJoinExec) WithChildren(ch []physical.ExecutionPlan) (physical.Execu
 	return NewHashJoinExec(ch[0], ch[1], e.On, e.Filter, e.Type, e.Mode), nil
 }
 
-// builtTable is the hashed build side. The index maps encoded key ->
-// build row list; the pointer indirection lets the append path grow a
-// list in place without re-writing (and re-allocating) the string key.
+// builtTable is the hashed build side: a shared hash-first groupTable
+// assigns each distinct key a dense group id, and head/next singly-linked
+// row lists chain the build rows of each group. Probing never converts
+// keys to strings — it hashes the probe batch once and compares encoded
+// keys only on a 64-bit hash match.
 type builtTable struct {
 	batch   *arrow.RecordBatch
-	index   map[string]*[]int32
-	visited []bool // build rows matched (outer/semi/anti tracking)
+	gt      *groupTable
+	head    []int32 // per group id: first build row, -1 = none
+	next    []int32 // per build row: next row with the same key, -1 = end
+	visited []bool  // build rows matched (outer/semi/anti tracking)
 	vmu     sync.Mutex
 }
 
-// lookup returns the build rows for an encoded key, or nil. The
-// string(k) conversion in a map index expression does not allocate.
-func (bt *builtTable) lookup(k []byte) []int32 {
-	if p, ok := bt.index[string(k)]; ok {
-		return *p
-	}
-	return nil
-}
-
-// estimateKeyCardinality samples up to 1024 keys and extrapolates the
-// distinct-key count, used to pre-size the build map: high-cardinality
-// builds avoid rehash cascades, low-cardinality builds avoid allocating
-// a row-count-sized table that stays mostly empty.
-func estimateKeyCardinality(keys [][]byte) int {
-	n := len(keys)
+// estimateKeyCardinality samples up to 1024 row hashes and extrapolates
+// the distinct-key count, used to pre-size the build table: high-
+// cardinality builds avoid rehash cascades, low-cardinality builds avoid
+// allocating a row-count-sized table that stays mostly empty.
+func estimateKeyCardinality(hashes []uint64) int {
+	n := len(hashes)
 	sample := n
 	if sample > 1024 {
 		sample = 1024
 	}
-	seen := make(map[string]struct{}, sample)
+	seen := make(map[uint64]struct{}, sample)
 	step := n / sample
 	if step < 1 {
 		step = 1
 	}
 	taken := 0
 	for i := 0; i < n && taken < sample; i += step {
-		if keys[i] != nil {
-			seen[string(keys[i])] = struct{}{}
-		}
+		seen[hashes[i]] = struct{}{}
 		taken++
 	}
 	if taken == 0 {
@@ -162,18 +155,6 @@ func estimateKeyCardinality(keys [][]byte) int {
 		est = 16
 	}
 	return est
-}
-
-func joinKeyEncoder(on []JoinOn, left bool) (*rowformat.Encoder, error) {
-	types := make([]*arrow.DataType, len(on))
-	for i, p := range on {
-		if left {
-			types[i] = p.L.DataType()
-		} else {
-			types[i] = p.R.DataType()
-		}
-	}
-	return rowformat.NewEncoder(types, nil)
 }
 
 // encodeJoinKeys encodes each row's key; rows with NULL in any key column
@@ -204,36 +185,51 @@ func (e *HashJoinExec) buildFrom(ctx *physical.ExecContext, batches []*arrow.Rec
 	if err != nil {
 		return nil, err
 	}
-	enc, err := joinKeyEncoder(e.On, true)
-	if err != nil {
-		return nil, err
-	}
-	exprs := make([]physical.PhysicalExpr, len(e.On))
+	types := make([]*arrow.DataType, len(e.On))
 	for i, p := range e.On {
-		exprs[i] = p.L
+		types[i] = p.L.DataType()
 	}
 	bt := &builtTable{batch: batch}
-	if batch.NumRows() > 0 {
-		keys, err := encodeJoinKeys(enc, exprs, batch)
+	n := batch.NumRows()
+	if n > 0 {
+		cols := make([]arrow.Array, len(e.On))
+		for i, p := range e.On {
+			a, err := physical.EvalToArray(p.L, batch)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = a
+		}
+		// One vectorized hash pass feeds both the cardinality estimate
+		// (pre-sizing keeps rehashes off large builds) and the inserts.
+		hashes := compute.HashBatch(cols, n, nil)
+		gt, err := newGroupTableSized(types, estimateKeyCardinality(hashes))
 		if err != nil {
 			return nil, err
 		}
-		bt.index = make(map[string]*[]int32, estimateKeyCardinality(keys))
-		for i, k := range keys {
-			if k == nil {
-				continue
-			}
-			if p, ok := bt.index[string(k)]; ok {
-				// In-place append: no key re-allocation, no map write.
-				*p = append(*p, int32(i))
-				continue
-			}
-			rows := make([]int32, 1, 4)
-			rows[0] = int32(i)
-			bt.index[string(k)] = &rows
+		// Build rows with NULL keys still get group ids (probes can never
+		// reach them: non-null probe keys hash and compare differently,
+		// and null probe keys are rejected before lookup).
+		gids := gt.assignHashed(cols, n, hashes, nil)
+		head := make([]int32, gt.numGroups())
+		for i := range head {
+			head[i] = -1
 		}
+		next := make([]int32, n)
+		// Prepend in reverse so each group's row list stays in ascending
+		// build-row order, matching the pre-table output order.
+		for i := n - 1; i >= 0; i-- {
+			g := gids[i]
+			next[i] = head[g]
+			head[g] = int32(i)
+		}
+		bt.gt, bt.head, bt.next = gt, head, next
 	} else {
-		bt.index = map[string]*[]int32{}
+		gt, err := newGroupTable(types)
+		if err != nil {
+			return nil, err
+		}
+		bt.gt = gt
 	}
 	if e.needsBuildTracking() {
 		bt.visited = make([]bool, batch.NumRows())
@@ -306,29 +302,29 @@ func (e *HashJoinExec) Execute(ctx *physical.ExecContext, partition int) (physic
 
 func (e *HashJoinExec) lastProbePartition() int { return e.Right.Partitions() - 1 }
 
-// joinProber streams probe batches and produces join output.
+// joinProber streams probe batches and produces join output. Each prober
+// owns its lookup scratch buffers, so concurrent partitions can probe one
+// shared read-only build table.
 type joinProber struct {
 	exec          *HashJoinExec
 	bt            *builtTable
 	right         physical.Stream
 	ctx           *physical.ExecContext
-	enc           *rowformat.Encoder
 	rexprs        []physical.PhysicalExpr
+	keyCols       []arrow.Array
+	ls            lookupScratch
+	gids          []int32
 	probeDone     bool
 	buildEmitted  bool
 	emitBuildSide bool
 }
 
 func (p *joinProber) init() error {
-	enc, err := joinKeyEncoder(p.exec.On, false)
-	if err != nil {
-		return err
-	}
-	p.enc = enc
 	p.rexprs = make([]physical.PhysicalExpr, len(p.exec.On))
 	for i, pair := range p.exec.On {
 		p.rexprs[i] = pair.R
 	}
+	p.keyCols = make([]arrow.Array, len(p.rexprs))
 	return nil
 }
 
@@ -386,16 +382,23 @@ func (p *joinProber) next() (*arrow.RecordBatch, error) {
 }
 
 func (p *joinProber) probeBatch(rb *arrow.RecordBatch) (*arrow.RecordBatch, error) {
-	keys, err := encodeJoinKeys(p.enc, p.rexprs, rb)
-	if err != nil {
-		return nil, err
+	for i, x := range p.rexprs {
+		a, err := physical.EvalToArray(x, rb)
+		if err != nil {
+			return nil, err
+		}
+		p.keyCols[i] = a
 	}
+	// Hash-first lookup: one HashBatch call, full-key compare only on
+	// hash match, -1 for absent or NULL keys. No per-row string
+	// conversions or map probes.
+	p.gids = p.bt.gt.lookupInto(p.keyCols, rb.NumRows(), &p.ls, p.gids)
 	var li, ri []int32
-	for i, k := range keys {
-		if k == nil {
+	for i, g := range p.gids {
+		if g < 0 {
 			continue
 		}
-		for _, l := range p.bt.lookup(k) {
+		for l := p.bt.head[g]; l >= 0; l = p.bt.next[l] {
 			li = append(li, l)
 			ri = append(ri, int32(i))
 		}

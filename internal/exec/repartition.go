@@ -97,6 +97,10 @@ func (e *RepartitionExec) produce(ctx *physical.ExecContext, p int) {
 	}
 	defer s.Close()
 	rr := p % e.NumParts
+	// Hash buffer reused across batches: the same compute.HashBatch
+	// kernels drive aggregation group tables and join build/probe, so all
+	// three hash consumers agree on row hashes.
+	var hashBuf []uint64
 	for {
 		if err := checkCancel(ctx); err != nil {
 			e.fanError(err)
@@ -118,7 +122,8 @@ func (e *RepartitionExec) produce(ctx *physical.ExecContext, p int) {
 			e.outputs[rr] <- batchOrErr{batch: b}
 			rr = (rr + 1) % e.NumParts
 		case HashPartitioning:
-			parts, err := e.splitByHash(b)
+			parts, buf, err := e.splitByHash(b, hashBuf)
+			hashBuf = buf
 			if err != nil {
 				e.fanError(err)
 				return
@@ -132,17 +137,17 @@ func (e *RepartitionExec) produce(ctx *physical.ExecContext, p int) {
 	}
 }
 
-func (e *RepartitionExec) splitByHash(b *arrow.RecordBatch) ([]*arrow.RecordBatch, error) {
+func (e *RepartitionExec) splitByHash(b *arrow.RecordBatch, hashBuf []uint64) ([]*arrow.RecordBatch, []uint64, error) {
 	n := b.NumRows()
 	keys := make([]arrow.Array, len(e.HashExprs))
 	for i, x := range e.HashExprs {
 		a, err := physical.EvalToArray(x, b)
 		if err != nil {
-			return nil, err
+			return nil, hashBuf, err
 		}
 		keys[i] = a
 	}
-	hashes := compute.HashColumns(keys, n)
+	hashes := compute.HashBatch(keys, n, hashBuf)
 	masks := make([]arrow.Bitmap, e.NumParts)
 	counts := make([]int, e.NumParts)
 	for i := range masks {
@@ -165,11 +170,11 @@ func (e *RepartitionExec) splitByHash(b *arrow.RecordBatch) ([]*arrow.RecordBatc
 		mask := arrow.NewBool(masks[p], nil, n)
 		fb, err := compute.FilterBatch(b, mask)
 		if err != nil {
-			return nil, err
+			return nil, hashes, err
 		}
 		out[p] = fb
 	}
-	return out, nil
+	return out, hashes, nil
 }
 
 func (e *RepartitionExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {

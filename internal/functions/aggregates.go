@@ -298,15 +298,24 @@ func asInt64Values(a arrow.Array) ([]int64, arrow.Bitmap, error) {
 	return nil, nil, fmt.Errorf("functions: non-integer aggregate input %s", a.DataType())
 }
 
+// growTo extends s with zero values up to length n. Group counts jump by
+// whole batches (the group table assigns dense ids batch-at-a-time), so
+// one bulk extension replaces per-element appends; the compiler lowers
+// the append(make) pattern to a grow plus memclr with no temporary.
+func growTo[T any](s []T, n int) []T {
+	if n <= len(s) {
+		return s
+	}
+	return append(s, make([]T, n-len(s))...)
+}
+
 // countAcc implements COUNT(*) and COUNT(expr).
 type countAcc struct {
 	counts []int64
 }
 
 func (c *countAcc) ensure(n int) {
-	for len(c.counts) < n {
-		c.counts = append(c.counts, 0)
-	}
+	c.counts = growTo(c.counts, n)
 }
 
 func (c *countAcc) Update(args []arrow.Array, groupIdx []uint32, numGroups int) error {
@@ -357,10 +366,8 @@ type sumIntAcc struct {
 }
 
 func (s *sumIntAcc) ensure(n int) {
-	for len(s.sums) < n {
-		s.sums = append(s.sums, 0)
-		s.seen = append(s.seen, false)
-	}
+	s.sums = growTo(s.sums, n)
+	s.seen = growTo(s.seen, n)
 }
 
 func (s *sumIntAcc) Update(args []arrow.Array, groupIdx []uint32, numGroups int) error {
@@ -421,10 +428,8 @@ type sumFloatAcc struct {
 }
 
 func (s *sumFloatAcc) ensure(n int) {
-	for len(s.sums) < n {
-		s.sums = append(s.sums, 0)
-		s.seen = append(s.seen, false)
-	}
+	s.sums = growTo(s.sums, n)
+	s.seen = growTo(s.seen, n)
 }
 
 func (s *sumFloatAcc) Update(args []arrow.Array, groupIdx []uint32, numGroups int) error {
@@ -485,10 +490,8 @@ type avgAcc struct {
 }
 
 func (a *avgAcc) ensure(n int) {
-	for len(a.sums) < n {
-		a.sums = append(a.sums, 0)
-		a.counts = append(a.counts, 0)
-	}
+	a.sums = growTo(a.sums, n)
+	a.counts = growTo(a.counts, n)
 }
 
 func (a *avgAcc) Update(args []arrow.Array, groupIdx []uint32, numGroups int) error {

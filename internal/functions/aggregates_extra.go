@@ -36,16 +36,14 @@ func newMinMaxAcc(t *arrow.DataType, isMax bool) (GroupsAccumulator, error) {
 }
 
 func (m *minMaxAcc) ensure(n int) {
-	for len(m.seen) < n {
-		m.seen = append(m.seen, false)
-		switch {
-		case m.useFloat:
-			m.f64 = append(m.f64, 0)
-		case m.useString:
-			m.strs = append(m.strs, "")
-		default:
-			m.i64 = append(m.i64, 0)
-		}
+	m.seen = growTo(m.seen, n)
+	switch {
+	case m.useFloat:
+		m.f64 = growTo(m.f64, n)
+	case m.useString:
+		m.strs = growTo(m.strs, n)
+	default:
+		m.i64 = growTo(m.i64, n)
 	}
 }
 
@@ -232,11 +230,9 @@ type varianceAcc struct {
 }
 
 func (v *varianceAcc) ensure(n int) {
-	for len(v.ns) < n {
-		v.ns = append(v.ns, 0)
-		v.means = append(v.means, 0)
-		v.m2s = append(v.m2s, 0)
-	}
+	v.ns = growTo(v.ns, n)
+	v.means = growTo(v.means, n)
+	v.m2s = growTo(v.m2s, n)
 }
 
 func (v *varianceAcc) Update(args []arrow.Array, groupIdx []uint32, numGroups int) error {
@@ -323,14 +319,12 @@ type corrAcc struct {
 }
 
 func (c *corrAcc) ensure(n int) {
-	for len(c.ns) < n {
-		c.ns = append(c.ns, 0)
-		c.meanX = append(c.meanX, 0)
-		c.meanY = append(c.meanY, 0)
-		c.cXY = append(c.cXY, 0)
-		c.m2X = append(c.m2X, 0)
-		c.m2Y = append(c.m2Y, 0)
-	}
+	c.ns = growTo(c.ns, n)
+	c.meanX = growTo(c.meanX, n)
+	c.meanY = growTo(c.meanY, n)
+	c.cXY = growTo(c.cXY, n)
+	c.m2X = growTo(c.m2X, n)
+	c.m2Y = growTo(c.m2Y, n)
 }
 
 func (c *corrAcc) Update(args []arrow.Array, groupIdx []uint32, numGroups int) error {
@@ -427,9 +421,7 @@ type medianAcc struct {
 }
 
 func (m *medianAcc) ensure(n int) {
-	for len(m.groups) < n {
-		m.groups = append(m.groups, nil)
-	}
+	m.groups = growTo(m.groups, n)
 }
 
 func (m *medianAcc) Update(args []arrow.Array, groupIdx []uint32, numGroups int) error {
@@ -505,9 +497,7 @@ type distinctAcc struct {
 }
 
 func (d *distinctAcc) ensure(n int) {
-	for len(d.sets) < n {
-		d.sets = append(d.sets, nil)
-	}
+	d.sets = growTo(d.sets, n)
 }
 
 func (d *distinctAcc) add(g uint32, key string, val arrow.Scalar) {
@@ -588,9 +578,11 @@ type firstLastAcc struct {
 }
 
 func (f *firstLastAcc) ensure(n int) {
-	for len(f.seen) < n {
-		f.seen = append(f.seen, false)
-		f.vals = append(f.vals, arrow.NullScalar(f.argType))
+	old := len(f.seen)
+	f.seen = growTo(f.seen, n)
+	f.vals = growTo(f.vals, n)
+	for i := old; i < len(f.vals); i++ {
+		f.vals[i] = arrow.NullScalar(f.argType)
 	}
 }
 

@@ -16,6 +16,7 @@
 package rowformat
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -166,14 +167,18 @@ func orderFloat32(f float32) uint32 {
 // Because 0x00 0x00 < 0x00 0xFF < any (b, ...) with b > 0, prefixes sort
 // before their extensions and embedded zeros order correctly.
 func appendEscapedBytes(dst, v []byte) []byte {
-	for _, b := range v {
-		if b == 0x00 {
-			dst = append(dst, 0x00, 0xFF)
-		} else {
-			dst = append(dst, b)
+	// Bulk-copy runs between NULs; NUL-free strings (the common case) cost
+	// one IndexByte scan plus one append.
+	for {
+		i := bytes.IndexByte(v, 0x00)
+		if i < 0 {
+			dst = append(dst, v...)
+			return append(dst, 0x00, 0x00)
 		}
+		dst = append(dst, v[:i]...)
+		dst = append(dst, 0x00, 0xFF)
+		v = v[i+1:]
 	}
-	return append(dst, 0x00, 0x00)
 }
 
 // DecodeRows reconstructs column arrays from encoded keys. This is used to
@@ -185,22 +190,8 @@ func (e *Encoder) DecodeRows(keys [][]byte) ([]arrow.Array, error) {
 		builders[i] = arrow.NewBuilder(t)
 	}
 	for _, key := range keys {
-		pos := 0
-		for c, t := range e.types {
-			if pos >= len(key) {
-				return nil, fmt.Errorf("rowformat: truncated key")
-			}
-			marker := key[pos]
-			pos++
-			if marker != 0x01 {
-				builders[c].AppendNull()
-				continue
-			}
-			var err error
-			pos, err = decodeValue(builders[c], t, e.opts[c].Descending, key, pos)
-			if err != nil {
-				return nil, err
-			}
+		if err := e.decodeKey(builders, key); err != nil {
+			return nil, err
 		}
 	}
 	out := make([]arrow.Array, len(builders))
@@ -208,6 +199,52 @@ func (e *Encoder) DecodeRows(keys [][]byte) ([]arrow.Array, error) {
 		out[i] = b.Finish()
 	}
 	return out, nil
+}
+
+// DecodeArena reconstructs column arrays from keys packed back-to-back in
+// one arena; offsets has one entry per key plus a trailing end offset.
+// This is the zero-copy dual of an append-only key arena: no per-key slice
+// headers are materialized.
+func (e *Encoder) DecodeArena(arena []byte, offsets []uint32) ([]arrow.Array, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("rowformat: arena offsets must include the end offset")
+	}
+	builders := make([]arrow.Builder, len(e.types))
+	for i, t := range e.types {
+		builders[i] = arrow.NewBuilder(t)
+	}
+	for k := 0; k+1 < len(offsets); k++ {
+		if err := e.decodeKey(builders, arena[offsets[k]:offsets[k+1]]); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]arrow.Array, len(builders))
+	for i, b := range builders {
+		out[i] = b.Finish()
+	}
+	return out, nil
+}
+
+// decodeKey appends one encoded key's column values to the builders.
+func (e *Encoder) decodeKey(builders []arrow.Builder, key []byte) error {
+	pos := 0
+	for c, t := range e.types {
+		if pos >= len(key) {
+			return fmt.Errorf("rowformat: truncated key")
+		}
+		marker := key[pos]
+		pos++
+		if marker != 0x01 {
+			builders[c].AppendNull()
+			continue
+		}
+		var err error
+		pos, err = decodeValue(builders[c], t, e.opts[c].Descending, key, pos)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func decodeValue(b arrow.Builder, t *arrow.DataType, desc bool, key []byte, pos int) (int, error) {
