@@ -1,0 +1,81 @@
+// Command fuzzsql runs the differential SQL fuzzing harness from the
+// command line: randomized queries over randomized tables, executed on
+// the vectorized engine across a configuration matrix and cross-checked
+// against the TightDB baseline. Any mismatch or panic is shrunk to a
+// minimal repro and printed as a ready-to-paste Go test.
+//
+// Usage:
+//
+//	fuzzsql -seed 1 -n 300                 # fixed budget
+//	fuzzsql -seed 1 -duration 30s          # time budget
+//	fuzzsql -config p4,p4-spill -format gpq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gofusion/internal/fuzzsql"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "dataset and query stream seed")
+		n        = flag.Int("n", 300, "number of queries (0 = unbounded, needs -duration)")
+		duration = flag.Duration("duration", 0, "stop after this long (0 = no time bound)")
+		config   = flag.String("config", "", "comma-separated engine config names (default: all)")
+		format   = flag.String("format", "", "comma-separated formats: mem,csv,gpq (default: all)")
+		maxFail  = flag.Int("max-failures", 3, "stop after this many failures")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := fuzzsql.Options{
+		Seed:        *seed,
+		N:           *n,
+		Duration:    *duration,
+		MaxFailures: *maxFail,
+	}
+	if !*quiet {
+		opts.Log = func(f string, args ...any) { fmt.Fprintf(os.Stderr, f+"\n", args...) }
+	}
+	if *config != "" {
+		cfgs, err := fuzzsql.ConfigByName(strings.Split(*config, ","))
+		if err != nil {
+			fatal(err)
+		}
+		opts.Configs = cfgs
+	}
+	if *format != "" {
+		for _, f := range strings.Split(*format, ",") {
+			switch fuzzsql.Format(f) {
+			case fuzzsql.Mem, fuzzsql.CSV, fuzzsql.GPQ:
+				opts.Formats = append(opts.Formats, fuzzsql.Format(f))
+			default:
+				fatal(fmt.Errorf("unknown format %q (want mem, csv, or gpq)", f))
+			}
+		}
+	}
+
+	start := time.Now()
+	rep, err := fuzzsql.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Summary())
+	if len(rep.Failures) > 0 {
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "ok: %d queries agreed across the matrix in %s\n",
+			rep.Queries, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fuzzsql:", err)
+	os.Exit(1)
+}

@@ -350,6 +350,16 @@ func (e *Engine) globalAggregate(specs []aggSpec, in []*arrow.RecordBatch, outSc
 		if err != nil {
 			return nil, err
 		}
+		// Size to one group immediately: aggregates with a non-null
+		// identity must evaluate it over empty input (count() of zero
+		// rows is 0, not NULL).
+		empty := make([]arrow.Array, len(s.argTypes))
+		for j, t := range s.argTypes {
+			empty[j] = arrow.NewBuilder(t).Finish()
+		}
+		if err := acc.Update(empty, nil, 1); err != nil {
+			return nil, err
+		}
 		finals[i] = acc
 	}
 	for w := 0; w < workers; w++ {

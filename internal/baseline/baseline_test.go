@@ -1,52 +1,15 @@
 package baseline
 
 import (
-	"sort"
 	"testing"
 
 	"gofusion/internal/arrow"
 	"gofusion/internal/core"
+	"gofusion/internal/testutil"
 	"gofusion/internal/workload/clickbench"
 	"gofusion/internal/workload/h2o"
 	"gofusion/internal/workload/tpch"
 )
-
-// rows renders a batch for order-insensitive comparison, rounding floats.
-func rows(b *arrow.RecordBatch) []string {
-	out := make([]string, b.NumRows())
-	for i := range out {
-		s := ""
-		for c := 0; c < b.NumCols(); c++ {
-			v := b.Column(c).GetScalar(i)
-			if !v.Null && (v.Type.ID == arrow.FLOAT64 || v.Type.ID == arrow.FLOAT32) {
-				s += trim(v.AsFloat64()) + "|"
-			} else {
-				s += v.String() + "|"
-			}
-		}
-		out[i] = s
-	}
-	sort.Strings(out)
-	return out
-}
-
-func trim(f float64) string {
-	// Round to 6 significant decimals to absorb float summation-order
-	// differences between the engines.
-	return arrow.Float64Scalar(float64(int64(f*1e6+0.5)) / 1e6).String()
-}
-
-func sameRows(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
 
 func TestBaselineBasics(t *testing.T) {
 	e := New(2)
@@ -111,23 +74,10 @@ func TestTPCHEnginesAgree(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Q%d baseline: %v", n, err)
 		}
-		if !sameRows(rows(got), rows(want)) {
-			gr, wr := rows(got), rows(want)
-			max := 5
-			if len(gr) < max {
-				max = len(gr)
-			}
-			t.Fatalf("Q%d: engines disagree (%d vs %d rows)\nbaseline: %v\ngofusion: %v",
-				n, len(gr), len(wr), gr[:min(max, len(gr))], wr[:min(max, len(wr))])
+		if diff := testutil.DiffBatches(got, want); diff != "" {
+			t.Fatalf("Q%d: engines disagree:\n%s", n, diff)
 		}
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // TestClickBenchEnginesAgree compares both engines on the paper's
@@ -163,8 +113,10 @@ func TestClickBenchEnginesAgree(t *testing.T) {
 		if got.NumRows() != want.NumRows() {
 			t.Fatalf("Q%d: %d vs %d rows", n, got.NumRows(), want.NumRows())
 		}
-		if !hasLimit(q) && !sameRows(rows(got), rows(want)) {
-			t.Fatalf("Q%d: engines disagree", n)
+		if !hasLimit(q) {
+			if diff := testutil.DiffBatches(got, want); diff != "" {
+				t.Fatalf("Q%d: engines disagree:\n%s", n, diff)
+			}
 		}
 	}
 }
@@ -207,8 +159,8 @@ func TestH2OEnginesAgree(t *testing.T) {
 		if err != nil {
 			t.Fatalf("q%d baseline: %v", n, err)
 		}
-		if !sameRows(rows(got), rows(want)) {
-			t.Fatalf("q%d: engines disagree (%d vs %d rows)", n, got.NumRows(), want.NumRows())
+		if diff := testutil.DiffBatches(got, want); diff != "" {
+			t.Fatalf("q%d: engines disagree (%d vs %d rows):\n%s", n, got.NumRows(), want.NumRows(), diff)
 		}
 	}
 }

@@ -8,7 +8,6 @@ package exec_test
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"testing"
 
 	"gofusion/internal/arrow"
@@ -19,42 +18,10 @@ import (
 	"gofusion/internal/logical"
 	"gofusion/internal/memory"
 	"gofusion/internal/physical"
+	"gofusion/internal/testutil"
 )
 
 var diffReg = functions.NewRegistry()
-
-// renderRows renders a batch order-insensitively, rounding floats to absorb
-// summation-order differences between the engines.
-func renderRows(b *arrow.RecordBatch) []string {
-	out := make([]string, b.NumRows())
-	for i := range out {
-		s := ""
-		for c := 0; c < b.NumCols(); c++ {
-			v := b.Column(c).GetScalar(i)
-			if !v.Null && (v.Type.ID == arrow.FLOAT64 || v.Type.ID == arrow.FLOAT32) {
-				f := v.AsFloat64()
-				s += arrow.Float64Scalar(float64(int64(f*1e6+0.5))/1e6).String() + "|"
-			} else {
-				s += v.String() + "|"
-			}
-		}
-		out[i] = s
-	}
-	sort.Strings(out)
-	return out
-}
-
-func equalRows(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
 
 // diffBatches builds randomized key/value batches: nullable int64 and string
 // keys with nulls, empty strings, embedded NULs, and heavy duplication, plus
@@ -162,7 +129,7 @@ func TestAggDifferentialAgainstBaseline(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want := renderRows(ref)
+			want := testutil.NormalizeBatch(ref)
 
 			groupExprs := make([]logical.Expr, len(shape.groups))
 			for i, g := range shape.groups {
@@ -196,14 +163,8 @@ func TestAggDifferentialAgainstBaseline(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: exec: %v", name, err)
 				}
-				gr := renderRows(got)
-				if !equalRows(gr, want) {
-					max := len(gr)
-					if max > 6 {
-						max = 6
-					}
-					t.Fatalf("%s: engines disagree (%d vs %d rows)\ngofusion: %v\nbaseline: %v",
-						name, len(gr), len(want), gr[:max], want[:min(6, len(want))])
+				if diff := testutil.Diff(testutil.NormalizeBatch(got), want); diff != "" {
+					t.Fatalf("%s: engines disagree with baseline:\n%s", name, diff)
 				}
 			}
 
@@ -234,11 +195,4 @@ func TestAggDifferentialAgainstBaseline(t *testing.T) {
 			})
 		})
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -253,7 +253,22 @@ func (e *HashAggregateExec) update(st *aggState, b *arrow.RecordBatch, groupIdx 
 func (e *HashAggregateExec) emit(st *aggState, batchRows int) ([]*arrow.RecordBatch, error) {
 	numGroups := st.numGroups()
 	if st.table == nil && e.Mode != PartialAgg {
-		// Ungrouped aggregates emit one row even over empty input.
+		// Ungrouped aggregates emit one row even over empty input. Size
+		// every accumulator to one group (a no-op when input was seen) so
+		// aggregates with a non-null identity evaluate it — count() over
+		// zero rows is 0, not NULL — instead of being padded with nulls.
+		for ai := range e.Aggs {
+			a := &e.Aggs[ai]
+			var err error
+			if e.Mode == FinalAgg {
+				err = st.accs[ai].MergeStates(emptyArrays(a.StateTypes), nil, 1)
+			} else {
+				err = st.accs[ai].Update(emptyArrays(a.ArgTypes), nil, 1)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
 	} else if st.table != nil && numGroups == 0 {
 		return nil, nil
 	}
@@ -300,6 +315,16 @@ func (e *HashAggregateExec) emit(st *aggState, batchRows int) ([]*arrow.RecordBa
 		out = append(out, full)
 	}
 	return out, nil
+}
+
+// emptyArrays builds zero-length arrays of the given types (used to size
+// accumulators without feeding rows).
+func emptyArrays(types []*arrow.DataType) []arrow.Array {
+	out := make([]arrow.Array, len(types))
+	for i, t := range types {
+		out[i] = arrow.NewBuilder(t).Finish()
+	}
+	return out
 }
 
 // padArray extends an array with nulls up to n rows (groups an

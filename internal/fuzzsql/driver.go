@@ -1,0 +1,253 @@
+package fuzzsql
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/baseline"
+	"gofusion/internal/core"
+	"gofusion/internal/csvio"
+	"gofusion/internal/parquet"
+	"gofusion/internal/testutil"
+)
+
+// Format is a storage backend for the generated tables. The same rows are
+// materialized to all formats; comparisons are always within one format
+// (engine config vs baseline), so format-specific schema inference (CSV)
+// can never cause false positives.
+type Format string
+
+const (
+	Mem Format = "mem"
+	CSV Format = "csv"
+	GPQ Format = "gpq"
+)
+
+// AllFormats lists every backend.
+var AllFormats = []Format{Mem, CSV, GPQ}
+
+// EngineConfig is one point in the engine's configuration matrix.
+type EngineConfig struct {
+	Name string
+	Cfg  core.SessionConfig
+}
+
+// DefaultConfigs returns the matrix exercised by the harness: serial vs
+// partitioned, forced spill, no readahead, tiny exchange buffers, and
+// tiny batches. All of these must agree with each other and with the
+// baseline.
+func DefaultConfigs() []EngineConfig {
+	return []EngineConfig{
+		{"p1", core.SessionConfig{TargetPartitions: 1}},
+		{"p4", core.SessionConfig{TargetPartitions: 4}},
+		{"p4-spill", core.SessionConfig{TargetPartitions: 4, MemoryLimit: 8 << 10}},
+		{"p4-noreadahead", core.SessionConfig{TargetPartitions: 4, ScanReadahead: -1}},
+		{"p4-smallbuf", core.SessionConfig{TargetPartitions: 4, ExchangeBufferDepth: 1}},
+		{"p1-smallbatch", core.SessionConfig{TargetPartitions: 1, BatchRows: 64}},
+	}
+}
+
+// ConfigByName resolves matrix entries by name.
+func ConfigByName(names []string) ([]EngineConfig, error) {
+	all := DefaultConfigs()
+	var out []EngineConfig
+	for _, n := range names {
+		found := false
+		for _, c := range all {
+			if c.Name == n {
+				out = append(out, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("fuzzsql: unknown config %q", n)
+		}
+	}
+	return out, nil
+}
+
+// Failure describes one disagreement (or panic) found by the harness.
+type Failure struct {
+	SQL    string
+	Format Format
+	Config string // engine config name, or "baseline" for baseline panics
+	Detail string
+}
+
+func (f *Failure) String() string {
+	return fmt.Sprintf("[%s/%s] %s\n  query: %s", f.Format, f.Config, f.Detail, f.SQL)
+}
+
+// Harness holds one dataset registered under every (format, config)
+// combination: a baseline engine per format and an engine session per
+// format x config.
+type Harness struct {
+	DS       *Dataset
+	Configs  []EngineConfig
+	Formats  []Format
+	baseline map[Format]*baseline.Engine
+	engines  map[string]*core.SessionContext // key: config name + "/" + format
+}
+
+// NewHarness materializes the dataset under dir (for csv/gpq) and
+// registers it everywhere. GPQ files are written with tiny row groups
+// split across two files per table, forcing row-group pruning, partition
+// splits, and multi-file scans.
+func NewHarness(ds *Dataset, dir string, configs []EngineConfig, formats []Format) (*Harness, error) {
+	h := &Harness{
+		DS:       ds,
+		Configs:  configs,
+		Formats:  formats,
+		baseline: map[Format]*baseline.Engine{},
+		engines:  map[string]*core.SessionContext{},
+	}
+	files := map[Format]map[string][]string{CSV: {}, GPQ: {}}
+	for _, f := range formats {
+		if f == Mem {
+			continue
+		}
+		for _, t := range ds.Tables {
+			fs, err := writeTable(dir, f, t)
+			if err != nil {
+				return nil, err
+			}
+			files[f][t.Name] = fs
+		}
+	}
+	for _, f := range formats {
+		be := baseline.New(2)
+		for _, t := range ds.Tables {
+			if err := registerBaseline(be, f, t, files[f][t.Name]); err != nil {
+				return nil, err
+			}
+		}
+		h.baseline[f] = be
+		for _, c := range configs {
+			s := core.NewSession(c.Cfg)
+			for _, t := range ds.Tables {
+				if err := registerEngine(s, f, t, files[f][t.Name]); err != nil {
+					return nil, err
+				}
+			}
+			h.engines[c.Name+"/"+string(f)] = s
+		}
+	}
+	return h, nil
+}
+
+// writeTable encodes a table to its on-disk format, returning the files.
+func writeTable(dir string, f Format, t *Table) ([]string, error) {
+	switch f {
+	case CSV:
+		path := filepath.Join(dir, t.Name+".csv")
+		return []string{path}, csvio.WriteFile(path, t.Schema, t.Batches, ',')
+	case GPQ:
+		// Two files, 64-row row groups: a ~240-row table becomes ~4 row
+		// groups over 2 files, so partitioned scans split work and range
+		// predicates prune groups.
+		opts := parquet.WriterOptions{RowGroupRows: 64, PageRows: 32}
+		half := (len(t.Batches) + 1) / 2
+		p0 := filepath.Join(dir, t.Name+"-0.gpq")
+		p1 := filepath.Join(dir, t.Name+"-1.gpq")
+		if err := parquet.WriteFile(p0, t.Schema, t.Batches[:half], opts); err != nil {
+			return nil, err
+		}
+		if err := parquet.WriteFile(p1, t.Schema, t.Batches[half:], opts); err != nil {
+			return nil, err
+		}
+		return []string{p0, p1}, nil
+	}
+	return nil, nil
+}
+
+func registerBaseline(be *baseline.Engine, f Format, t *Table, files []string) error {
+	switch f {
+	case Mem:
+		be.RegisterBatches(t.Name, t.Schema, t.Batches)
+		return nil
+	case CSV:
+		return be.RegisterCSV(t.Name, files[0])
+	default:
+		return be.RegisterGPQ(t.Name, files...)
+	}
+}
+
+func registerEngine(s *core.SessionContext, f Format, t *Table, files []string) error {
+	switch f {
+	case Mem:
+		return s.RegisterBatches(t.Name, t.Schema, t.Batches)
+	case CSV:
+		return s.RegisterCSV(t.Name, files[0], csvio.DefaultOptions())
+	default:
+		return s.RegisterGPQ(t.Name, files...)
+	}
+}
+
+// outcome is one engine's verdict on one query.
+type outcome struct {
+	batch    *arrow.RecordBatch
+	err      error
+	panicked bool
+}
+
+func runEngine(s *core.SessionContext, query string) (out outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = outcome{err: fmt.Errorf("panic: %v", r), panicked: true}
+		}
+	}()
+	df, err := s.SQL(query)
+	if err != nil {
+		return outcome{err: err}
+	}
+	b, err := df.CollectBatch()
+	return outcome{batch: b, err: err}
+}
+
+func runBaseline(e *baseline.Engine, query string) (out outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = outcome{err: fmt.Errorf("panic: %v", r), panicked: true}
+		}
+	}()
+	b, err := e.Query(query)
+	return outcome{batch: b, err: err}
+}
+
+// Check runs one SQL string across the whole matrix and returns the first
+// failure, or nil when every configuration agrees with the baseline.
+// Error parity counts as agreement (both sides rejecting a query is
+// consistent behavior); panics never do.
+func (h *Harness) Check(query string) *Failure {
+	for _, f := range h.Formats {
+		ref := runBaseline(h.baseline[f], query)
+		if ref.panicked {
+			return &Failure{SQL: query, Format: f, Config: "baseline", Detail: ref.err.Error()}
+		}
+		var refRows []testutil.Row
+		if ref.err == nil {
+			refRows = testutil.NormalizeBatch(ref.batch)
+		}
+		for _, c := range h.Configs {
+			got := runEngine(h.engines[c.Name+"/"+string(f)], query)
+			switch {
+			case got.panicked:
+				return &Failure{SQL: query, Format: f, Config: c.Name, Detail: got.err.Error()}
+			case (got.err == nil) != (ref.err == nil):
+				return &Failure{SQL: query, Format: f, Config: c.Name,
+					Detail: fmt.Sprintf("error divergence: engine=%v baseline=%v", got.err, ref.err)}
+			case got.err == nil:
+				if diff := testutil.Diff(testutil.NormalizeBatch(got.batch), refRows); diff != "" {
+					return &Failure{SQL: query, Format: f, Config: c.Name,
+						Detail: "result mismatch vs baseline:\n" + diff}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckQuery is Check over a structured query.
+func (h *Harness) CheckQuery(q *Query) *Failure { return h.Check(q.SQL()) }

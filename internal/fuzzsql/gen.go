@@ -1,0 +1,255 @@
+package fuzzsql
+
+import (
+	"math/rand"
+)
+
+// Gen is the seeded random query generator. Queries are biased toward the
+// engine features most recently rewritten (multi-column group keys, join
+// probes, range predicates that exercise row-group pruning) and obey the
+// determinism rules that make differential comparison sound:
+//
+//   - division only by non-zero literals (no data-dependent errors);
+//   - LIMIT only together with an ORDER BY over every output ordinal, so
+//     the kept prefix is unique up to full-row duplicates;
+//   - no volatile or session-dependent functions.
+type Gen struct {
+	rng *rand.Rand
+	ds  *Dataset
+}
+
+// NewGen creates a generator over the dataset's schema.
+func NewGen(seed int64, ds *Dataset) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed)), ds: ds}
+}
+
+// pct rolls an n% chance.
+func (g *Gen) pct(n int) bool { return g.rng.Intn(100) < n }
+
+// scope returns the columns visible to the query being generated.
+func (g *Gen) scope(join bool) []Column {
+	cols := append([]Column(nil), g.ds.Tables[0].Cols...)
+	if join {
+		cols = append(cols, g.ds.Tables[1].Cols...)
+	}
+	return cols
+}
+
+// colsOf filters a scope by type.
+func colsOf(scope []Column, t ValType) []Column {
+	var out []Column
+	for _, c := range scope {
+		if c.T == t {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Query generates one random query.
+func (g *Gen) Query() *Query {
+	q := &Query{From: g.ds.Tables[0].Name, Limit: -1}
+	join := g.pct(40)
+	if join {
+		q.Join = g.genJoin()
+	}
+	scope := g.scope(join)
+	if g.pct(55) {
+		g.genGrouped(q, scope)
+	} else {
+		g.genScalar(q, scope)
+	}
+	if g.pct(65) {
+		q.Where = g.genExpr(scope, TBool, 2)
+	}
+	if g.pct(70) {
+		q.Order = true
+		q.OrderDesc = make([]bool, len(q.Items))
+		for i := range q.OrderDesc {
+			q.OrderDesc[i] = g.pct(50)
+		}
+		if g.pct(45) {
+			q.Limit = int64(1 + g.rng.Intn(20))
+		}
+	}
+	return q
+}
+
+// genJoin builds the join clause: an equi-join on the int key columns,
+// sometimes with an extra pushed-down conjunct.
+func (g *Gen) genJoin() *Join {
+	on := Expr(&Bin{Op: "=", L: &Col{Name: "a", T: TInt}, R: &Col{Name: "x", T: TInt}, T: TBool})
+	if g.pct(30) {
+		extra := g.genExpr(g.scope(true), TBool, 1)
+		on = &Bin{Op: "AND", L: on, R: extra, T: TBool}
+	}
+	return &Join{Left: g.pct(40), Table: g.ds.Tables[1].Name, On: on}
+}
+
+// genScalar fills a plain (non-aggregating) select list.
+func (g *Gen) genScalar(q *Query, scope []Column) {
+	n := 1 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		t := []ValType{TInt, TInt, TFloat, TStr, TDate, TBool}[g.rng.Intn(6)]
+		q.Items = append(q.Items, g.genExpr(scope, t, 2))
+	}
+	q.Distinct = g.pct(15)
+}
+
+// genGrouped fills GROUP BY keys, aggregate items, and HAVING.
+func (g *Gen) genGrouped(q *Query, scope []Column) {
+	nKeys := g.rng.Intn(3) // 0 = global aggregate
+	for i := 0; i < nKeys; i++ {
+		q.GroupBy = append(q.GroupBy, g.genGroupKey(scope))
+	}
+	q.Items = append([]Expr(nil), q.GroupBy...)
+	nAggs := 1 + g.rng.Intn(3)
+	for i := 0; i < nAggs; i++ {
+		q.Items = append(q.Items, g.genAgg(scope))
+	}
+	if g.pct(40) {
+		agg := g.genAgg(scope)
+		lit := DefaultLit(agg.VType())
+		if agg.VType() == TInt {
+			lit = &Lit{T: TInt, Int: int64(g.rng.Intn(40) - 10)}
+		}
+		op := []string{"<", "<=", ">", ">=", "<>"}[g.rng.Intn(5)]
+		q.Having = &Bin{Op: op, L: agg, R: lit, T: TBool}
+	}
+}
+
+// genGroupKey picks a column or a small derived expression (CASE buckets,
+// arithmetic bucketing) so multi-column and expression group keys both
+// appear.
+func (g *Gen) genGroupKey(scope []Column) Expr {
+	c := scope[g.rng.Intn(len(scope))]
+	col := &Col{Name: c.Name, T: c.T}
+	switch {
+	case g.pct(55):
+		return col
+	case c.T == TInt:
+		return &Bin{Op: "/", L: col, R: &Lit{T: TInt, Int: int64(2 + g.rng.Intn(6))}, T: TInt}
+	default:
+		return &Case{
+			Cond: g.genExpr(scope, TBool, 1),
+			Then: DefaultLit(c.T),
+			Else: col,
+		}
+	}
+}
+
+// genAgg builds one aggregate expression.
+func (g *Gen) genAgg(scope []Column) Expr {
+	switch g.rng.Intn(6) {
+	case 0:
+		return &Agg{Fn: "count", Star: true}
+	case 1:
+		c := scope[g.rng.Intn(len(scope))]
+		return &Agg{Fn: "count", Arg: &Col{Name: c.Name, T: c.T}}
+	case 2:
+		t := []ValType{TInt, TFloat}[g.rng.Intn(2)]
+		return &Agg{Fn: "avg", Arg: g.genExpr(scope, t, 1)}
+	case 3:
+		t := []ValType{TInt, TFloat}[g.rng.Intn(2)]
+		return &Agg{Fn: "sum", Arg: g.genExpr(scope, t, 1)}
+	default:
+		fn := []string{"min", "max"}[g.rng.Intn(2)]
+		t := []ValType{TInt, TFloat, TStr, TDate}[g.rng.Intn(4)]
+		return &Agg{Fn: fn, Arg: g.genExpr(scope, t, 1)}
+	}
+}
+
+// genExpr builds a random expression of the requested type with bounded
+// depth.
+func (g *Gen) genExpr(scope []Column, t ValType, depth int) Expr {
+	if depth <= 0 {
+		return g.genLeaf(scope, t)
+	}
+	switch t {
+	case TInt, TFloat:
+		switch g.rng.Intn(5) {
+		case 0:
+			return g.genLeaf(scope, t)
+		case 1:
+			op := []string{"+", "-", "*"}[g.rng.Intn(3)]
+			return &Bin{Op: op, L: g.genExpr(scope, t, depth-1), R: g.genExpr(scope, t, depth-1), T: t}
+		case 2:
+			// Division by a non-zero literal only: data-dependent division
+			// errors would make both-sides-agree comparisons vacuous.
+			return &Bin{Op: "/", L: g.genExpr(scope, t, depth-1), R: g.nonZeroLit(t), T: t}
+		case 3:
+			return &Neg{E: g.genExpr(scope, t, depth-1)}
+		default:
+			return &Case{
+				Cond: g.genExpr(scope, TBool, depth-1),
+				Then: g.genExpr(scope, t, depth-1),
+				Else: g.genExpr(scope, t, depth-1),
+			}
+		}
+	case TStr, TDate:
+		if g.pct(30) {
+			return &Case{
+				Cond: g.genExpr(scope, TBool, depth-1),
+				Then: g.genLeaf(scope, t),
+				Else: g.genLeaf(scope, t),
+			}
+		}
+		return g.genLeaf(scope, t)
+	default: // TBool
+		switch g.rng.Intn(6) {
+		case 0:
+			op := []string{"AND", "OR"}[g.rng.Intn(2)]
+			return &Bin{Op: op, L: g.genExpr(scope, TBool, depth-1), R: g.genExpr(scope, TBool, depth-1), T: TBool}
+		case 1:
+			return &Not{E: g.genExpr(scope, TBool, depth-1)}
+		case 2:
+			c := scope[g.rng.Intn(len(scope))]
+			return &IsNull{E: &Col{Name: c.Name, T: c.T}, Negate: g.pct(50)}
+		default:
+			ct := []ValType{TInt, TInt, TFloat, TStr, TDate}[g.rng.Intn(5)]
+			op := []string{"=", "<>", "<", "<=", ">", ">="}[g.rng.Intn(6)]
+			return &Bin{Op: op, L: g.genExpr(scope, ct, depth-1), R: g.genLeaf(scope, ct), T: TBool}
+		}
+	}
+}
+
+// genLeaf returns a column of the type when one exists (70%), else a
+// literal.
+func (g *Gen) genLeaf(scope []Column, t ValType) Expr {
+	cols := colsOf(scope, t)
+	if len(cols) > 0 && g.pct(70) {
+		c := cols[g.rng.Intn(len(cols))]
+		return &Col{Name: c.Name, T: c.T}
+	}
+	return g.genLit(t)
+}
+
+func (g *Gen) genLit(t ValType) Expr {
+	switch t {
+	case TInt:
+		return &Lit{T: TInt, Int: int64(g.rng.Intn(2*keyDomain+1) - keyDomain)}
+	case TFloat:
+		return &Lit{T: TFloat, Float: float64(g.rng.Intn(200)-100) + 0.5}
+	case TStr:
+		return &Lit{T: TStr, Str: "s_" + string(rune('0'+g.rng.Intn(10)))}
+	case TDate:
+		return &Lit{T: TDate, Str: dateString(epochDay + g.rng.Intn(dateRange))}
+	default:
+		return &Lit{T: TBool, Bool: g.pct(50)}
+	}
+}
+
+func (g *Gen) nonZeroLit(t ValType) Expr {
+	if t == TInt {
+		v := int64(1 + g.rng.Intn(9))
+		if g.pct(30) {
+			v = -v
+		}
+		return &Lit{T: TInt, Int: v}
+	}
+	v := float64(1+g.rng.Intn(9)) + 0.5
+	if g.pct(30) {
+		v = -v
+	}
+	return &Lit{T: TFloat, Float: v}
+}

@@ -1,0 +1,138 @@
+package fuzzsql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Join describes an optional second table in the FROM clause.
+type Join struct {
+	Left  bool // LEFT OUTER vs INNER
+	Table string
+	On    Expr
+}
+
+// Query is a structured SQL query: the generator produces these and the
+// shrinker edits them, so every transformation stays syntactically valid.
+// Rendering is deterministic (SQL() is a pure function of the fields).
+type Query struct {
+	Distinct bool
+	// Items are the select-list expressions, rendered as `expr AS cN`.
+	Items []Expr
+	From  string
+	Join  *Join
+	Where Expr
+	// GroupBy keys; when set, Items must be group keys or aggregates.
+	GroupBy []Expr
+	Having  Expr
+	// Order sorts by every output ordinal (a total order over output rows
+	// up to full-row duplicates, making LIMIT deterministic under the
+	// normalized comparison). OrderDesc gives each ordinal's direction.
+	Order     bool
+	OrderDesc []bool
+	Limit     int64 // <0 means no LIMIT
+}
+
+// SQL renders the query.
+func (q *Query) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if q.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, e := range q.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(e.SQL())
+		sb.WriteString(" AS c")
+		sb.WriteString(strconv.Itoa(i))
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(q.From)
+	if q.Join != nil {
+		if q.Join.Left {
+			sb.WriteString(" LEFT JOIN ")
+		} else {
+			sb.WriteString(" JOIN ")
+		}
+		sb.WriteString(q.Join.Table)
+		sb.WriteString(" ON ")
+		sb.WriteString(q.Join.On.SQL())
+	}
+	if q.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(q.Where.SQL())
+	}
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.SQL())
+		}
+	}
+	if q.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(q.Having.SQL())
+	}
+	if q.Order {
+		sb.WriteString(" ORDER BY ")
+		for i := range q.Items {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(strconv.Itoa(i + 1))
+			if i < len(q.OrderDesc) && q.OrderDesc[i] {
+				sb.WriteString(" DESC")
+			} else {
+				sb.WriteString(" ASC")
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.FormatInt(q.Limit, 10))
+	}
+	return sb.String()
+}
+
+// NumClauses counts top-level clauses (SELECT and FROM plus each optional
+// clause); the shrinker's quality target is expressed in these units.
+func (q *Query) NumClauses() int {
+	n := 2 // SELECT + FROM
+	if q.Join != nil {
+		n++
+	}
+	if q.Where != nil {
+		n++
+	}
+	if len(q.GroupBy) > 0 {
+		n++
+	}
+	if q.Having != nil {
+		n++
+	}
+	if q.Order {
+		n++
+	}
+	if q.Limit >= 0 {
+		n++
+	}
+	return n
+}
+
+// Clone returns a copy whose clause slices can be edited independently.
+// Expr trees are immutable, so sharing them is safe.
+func (q *Query) Clone() *Query {
+	out := *q
+	out.Items = append([]Expr(nil), q.Items...)
+	out.GroupBy = append([]Expr(nil), q.GroupBy...)
+	out.OrderDesc = append([]bool(nil), q.OrderDesc...)
+	if q.Join != nil {
+		j := *q.Join
+		out.Join = &j
+	}
+	return &out
+}

@@ -1,0 +1,172 @@
+package fuzzsql
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gofusion/internal/arrow"
+)
+
+// Column describes one generated column for the query generator.
+type Column struct {
+	Name string
+	T    ValType
+}
+
+// Table is one generated table, materialized as in-memory batches (the
+// harness re-encodes the same batches to CSV and GPQ).
+type Table struct {
+	Name    string
+	Schema  *arrow.Schema
+	Batches []*arrow.RecordBatch
+	Cols    []Column
+}
+
+// Dataset is the fuzzer's fixed two-table world: t1 (the larger fact
+// side) and t2 (a smaller dimension side whose x column overlaps t1.a's
+// domain so joins produce both matches and misses). Column names are
+// globally unique so queries never need qualification.
+type Dataset struct {
+	Seed   int64
+	Tables []*Table
+}
+
+// Value domains. Join keys share domain [-keyDomain, keyDomain]; nulls
+// appear at ~22% on every nullable column; strings come from a small
+// letter-prefixed pool (never numeric-looking, never empty, so CSV
+// round-trips keep the Utf8 type); floats get fractional offsets so CSV
+// schema inference keeps Float64.
+const (
+	keyDomain = 25
+	nullPct   = 22
+	strPool   = 12
+	epochDay  = 9131 // 1995-01-01 in days since Unix epoch
+	dateRange = 400
+)
+
+// NewDataset builds the two tables deterministically from seed.
+func NewDataset(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	t1 := genTable(rng, "t1", []Column{
+		{"a", TInt}, {"b", TInt}, {"c", TFloat}, {"s", TStr}, {"d", TDate}, {"e", TInt},
+	}, 4, 60)
+	t2 := genTable(rng, "t2", []Column{
+		{"x", TInt}, {"y", TFloat}, {"z", TStr}, {"w", TDate},
+	}, 2, 55)
+	return &Dataset{Seed: seed, Tables: []*Table{t1, t2}}
+}
+
+// Table returns a table by name, or nil.
+func (d *Dataset) Table(name string) *Table {
+	for _, t := range d.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// genTable builds nBatches batches of up to maxRows rows each.
+func genTable(rng *rand.Rand, name string, cols []Column, nBatches, maxRows int) *Table {
+	fields := make([]arrow.Field, len(cols))
+	for i, c := range cols {
+		fields[i] = arrow.NewField(c.Name, arrowType(c.T), true)
+	}
+	schema := arrow.NewSchema(fields...)
+	var batches []*arrow.RecordBatch
+	rowBase := 0
+	for b := 0; b < nBatches; b++ {
+		n := maxRows/2 + rng.Intn(maxRows/2+1)
+		arrs := make([]arrow.Array, len(cols))
+		for i, c := range cols {
+			arrs[i] = genColumn(rng, c, n, rowBase)
+		}
+		batches = append(batches, arrow.NewRecordBatch(schema, arrs))
+		rowBase += n
+	}
+	return &Table{Name: name, Schema: schema, Batches: batches, Cols: cols}
+}
+
+func arrowType(t ValType) *arrow.DataType {
+	switch t {
+	case TInt:
+		return arrow.Int64
+	case TFloat:
+		return arrow.Float64
+	case TStr:
+		return arrow.String
+	case TDate:
+		return arrow.Date32
+	default:
+		return arrow.Boolean
+	}
+}
+
+// genColumn generates one column. The "e" column is roughly increasing
+// with the global row index so GPQ row-group min/max statistics actually
+// prune under range predicates; all other columns are i.i.d.
+func genColumn(rng *rand.Rand, c Column, n, rowBase int) arrow.Array {
+	switch c.T {
+	case TInt:
+		b := arrow.NewNumericBuilder[int64](arrow.Int64)
+		for i := 0; i < n; i++ {
+			switch {
+			case c.Name != "e" && rng.Intn(100) < nullPct:
+				b.AppendNull()
+			case c.Name == "e":
+				b.Append(int64(rowBase+i) + int64(rng.Intn(15)))
+			case c.Name == "b":
+				b.Append(int64(rng.Intn(10))) // small-domain group key
+			default:
+				b.Append(int64(rng.Intn(2*keyDomain+1)) - keyDomain)
+			}
+		}
+		return b.Finish()
+	case TFloat:
+		b := arrow.NewNumericBuilder[float64](arrow.Float64)
+		for i := 0; i < n; i++ {
+			if rng.Intn(100) < nullPct {
+				b.AppendNull()
+			} else {
+				b.Append(float64(rng.Intn(2000)-1000) + 0.25*float64(rng.Intn(4)) + 0.125)
+			}
+		}
+		return b.Finish()
+	case TStr:
+		b := arrow.NewStringBuilder(arrow.String)
+		for i := 0; i < n; i++ {
+			if rng.Intn(100) < nullPct {
+				b.AppendNull()
+			} else {
+				b.Append(fmt.Sprintf("s_%d", rng.Intn(strPool)))
+			}
+		}
+		return b.Finish()
+	case TDate:
+		b := arrow.NewNumericBuilder[int32](arrow.Date32)
+		for i := 0; i < n; i++ {
+			if rng.Intn(100) < nullPct {
+				b.AppendNull()
+			} else {
+				b.Append(int32(epochDay + rng.Intn(dateRange)))
+			}
+		}
+		return b.Finish()
+	default:
+		b := arrow.NewBoolBuilder()
+		for i := 0; i < n; i++ {
+			if rng.Intn(100) < nullPct {
+				b.AppendNull()
+			} else {
+				b.Append(rng.Intn(2) == 0)
+			}
+		}
+		return b.Finish()
+	}
+}
+
+// dateString renders a Date32 day count as a DATE literal body.
+func dateString(days int) string {
+	return time.Unix(int64(days)*86400, 0).UTC().Format("2006-01-02")
+}

@@ -664,6 +664,9 @@ func (p *Parser) parseIntervalLiteral() (logical.Expr, error) {
 		}
 	}
 	var total arrow.MonthDayMicro
+	if len(strings.Fields(body)) == 0 {
+		return nil, p.errf("empty interval literal")
+	}
 	if unit != "" {
 		n, err := strconv.ParseInt(strings.Fields(body)[0], 10, 64)
 		if err != nil {

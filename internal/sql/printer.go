@@ -1,0 +1,679 @@
+// SQL printer: renders parsed statement ASTs back to SQL text the parser
+// accepts. The printer fully parenthesizes compound expressions so operator
+// precedence never has to be reconstructed, and it is *print-stable*: for
+// any statement s produced by Parse, Parse(FormatStatement(s)) succeeds and
+// formats to the same string. The fuzz targets in fuzz_test.go enforce this
+// property over arbitrary inputs; the fuzzsql harness relies on it to emit
+// reproducible minimal test cases.
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/logical"
+)
+
+// FormatStatement renders a statement as parseable SQL text.
+func FormatStatement(s Statement) string {
+	var sb strings.Builder
+	writeStatement(&sb, s)
+	return sb.String()
+}
+
+// FormatExpr renders an expression as parseable SQL text (compound nodes
+// are parenthesized).
+func FormatExpr(e logical.Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e)
+	return sb.String()
+}
+
+func writeStatement(sb *strings.Builder, s Statement) {
+	switch st := s.(type) {
+	case *ExplainStmt:
+		sb.WriteString("EXPLAIN ")
+		if st.Analyze {
+			sb.WriteString("ANALYZE ")
+		}
+		writeStatement(sb, st.Stmt)
+	case *SelectStmt:
+		writeSelectStmt(sb, st)
+	default:
+		fmt.Fprintf(sb, "<unknown statement %T>", s)
+	}
+}
+
+func writeSelectStmt(sb *strings.Builder, st *SelectStmt) {
+	if len(st.With) > 0 {
+		sb.WriteString("WITH ")
+		if st.With[0].Recursive {
+			sb.WriteString("RECURSIVE ")
+		}
+		for i, cte := range st.With {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeIdent(sb, cte.Name)
+			sb.WriteString(" AS (")
+			writeSelectStmt(sb, cte.Query)
+			sb.WriteString(")")
+		}
+		sb.WriteString(" ")
+	}
+	writeSetExpr(sb, st.Body)
+	if len(st.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, item := range st.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeOrderItem(sb, item)
+		}
+	}
+	if st.Limit != nil {
+		sb.WriteString(" LIMIT ")
+		writeExpr(sb, st.Limit)
+	}
+	if st.Offset != nil {
+		sb.WriteString(" OFFSET ")
+		writeExpr(sb, st.Offset)
+	}
+}
+
+func writeOrderItem(sb *strings.Builder, item OrderItem) {
+	writeExpr(sb, item.E)
+	if item.Asc {
+		sb.WriteString(" ASC")
+	} else {
+		sb.WriteString(" DESC")
+	}
+	if item.NullsSet {
+		if item.NullsFirst {
+			sb.WriteString(" NULLS FIRST")
+		} else {
+			sb.WriteString(" NULLS LAST")
+		}
+	}
+}
+
+func writeSetExpr(sb *strings.Builder, e SetExpr) {
+	switch n := e.(type) {
+	case *SelectCore:
+		writeSelectCore(sb, n)
+	case *ValuesClause:
+		sb.WriteString("VALUES ")
+		for i, row := range n.Rows {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("(")
+			for j, cell := range row {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				writeExpr(sb, cell)
+			}
+			sb.WriteString(")")
+		}
+	case *SetOp:
+		// Set operations are left-associative at equal precedence: a left
+		// SetOp operand prints bare, a right one needs parentheses.
+		writeSetExpr(sb, n.L)
+		switch n.Kind {
+		case SetUnion:
+			sb.WriteString(" UNION ")
+		case SetIntersect:
+			sb.WriteString(" INTERSECT ")
+		case SetExcept:
+			sb.WriteString(" EXCEPT ")
+		}
+		if n.All {
+			sb.WriteString("ALL ")
+		}
+		if _, nested := n.R.(*SetOp); nested {
+			sb.WriteString("(")
+			writeSetExpr(sb, n.R)
+			sb.WriteString(")")
+		} else {
+			writeSetExpr(sb, n.R)
+		}
+	default:
+		fmt.Fprintf(sb, "<unknown set expr %T>", e)
+	}
+}
+
+func writeSelectCore(sb *strings.Builder, c *SelectCore) {
+	sb.WriteString("SELECT ")
+	if c.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, item := range c.Projection {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case item.Star && item.StarQualifier != "":
+			sb.WriteString(item.StarQualifier)
+			sb.WriteString(".*")
+		case item.Star:
+			sb.WriteString("*")
+		default:
+			writeExpr(sb, item.E)
+			if item.Alias != "" {
+				sb.WriteString(" AS ")
+				writeIdent(sb, item.Alias)
+			}
+		}
+	}
+	if len(c.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, tr := range c.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeTableRef(sb, tr)
+		}
+	}
+	if c.Where != nil {
+		sb.WriteString(" WHERE ")
+		writeExpr(sb, c.Where)
+	}
+	if c.GroupingSets != nil {
+		sb.WriteString(" GROUP BY GROUPING SETS (")
+		for i, set := range c.GroupingSets {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("(")
+			for j, e := range set {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				writeExpr(sb, e)
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString(")")
+	} else if len(c.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range c.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, e)
+		}
+	}
+	if c.Having != nil {
+		sb.WriteString(" HAVING ")
+		writeExpr(sb, c.Having)
+	}
+}
+
+func writeTableRef(sb *strings.Builder, tr TableRef) {
+	switch t := tr.(type) {
+	case *TableName:
+		writeTableName(sb, t.Name)
+		if t.Alias != "" {
+			sb.WriteString(" AS ")
+			writeIdent(sb, t.Alias)
+		}
+	case *SubqueryRef:
+		sb.WriteString("(")
+		writeSelectStmt(sb, t.Query)
+		sb.WriteString(") AS ")
+		writeIdent(sb, t.Alias)
+		if len(t.ColumnAliases) > 0 {
+			sb.WriteString(" (")
+			for i, a := range t.ColumnAliases {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				writeIdent(sb, a)
+			}
+			sb.WriteString(")")
+		}
+	case *JoinRef:
+		// Joins are left-associative: a left JoinRef prints bare, a right
+		// one needs parentheses.
+		writeTableRef(sb, t.L)
+		if t.Natural {
+			sb.WriteString(" NATURAL")
+		}
+		switch t.Type {
+		case logical.InnerJoin:
+			sb.WriteString(" JOIN ")
+		case logical.LeftJoin:
+			sb.WriteString(" LEFT JOIN ")
+		case logical.LeftSemiJoin:
+			sb.WriteString(" LEFT SEMI JOIN ")
+		case logical.LeftAntiJoin:
+			sb.WriteString(" LEFT ANTI JOIN ")
+		case logical.RightJoin:
+			sb.WriteString(" RIGHT JOIN ")
+		case logical.RightSemiJoin:
+			sb.WriteString(" RIGHT SEMI JOIN ")
+		case logical.RightAntiJoin:
+			sb.WriteString(" RIGHT ANTI JOIN ")
+		case logical.FullJoin:
+			sb.WriteString(" FULL JOIN ")
+		case logical.CrossJoin:
+			sb.WriteString(" CROSS JOIN ")
+		}
+		if _, nested := t.R.(*JoinRef); nested {
+			sb.WriteString("(")
+			writeTableRef(sb, t.R)
+			sb.WriteString(")")
+		} else {
+			writeTableRef(sb, t.R)
+		}
+		switch {
+		case t.On != nil:
+			sb.WriteString(" ON ")
+			writeExpr(sb, t.On)
+		case len(t.Using) > 0:
+			sb.WriteString(" USING (")
+			for i, u := range t.Using {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				writeIdent(sb, u)
+			}
+			sb.WriteString(")")
+		}
+	default:
+		fmt.Fprintf(sb, "<unknown table ref %T>", tr)
+	}
+}
+
+// writeTableName splits "schema.table" (as assembled by the parser) back
+// into dotted identifiers; names without a splittable dot print as one
+// identifier.
+func writeTableName(sb *strings.Builder, name string) {
+	if i := strings.IndexByte(name, '.'); i > 0 && i < len(name)-1 {
+		writeIdent(sb, name[:i])
+		sb.WriteString(".")
+		writeIdent(sb, name[i+1:])
+		return
+	}
+	writeIdent(sb, name)
+}
+
+func writeExpr(sb *strings.Builder, e logical.Expr) {
+	switch x := e.(type) {
+	case *logical.Column:
+		if x.Relation != "" {
+			writeIdent(sb, x.Relation)
+			sb.WriteString(".")
+		}
+		writeIdent(sb, x.Name)
+	case *logical.Literal:
+		writeLiteral(sb, x.Value)
+	case *logical.BinaryExpr:
+		sb.WriteString("(")
+		writeExpr(sb, x.L)
+		sb.WriteString(" ")
+		sb.WriteString(x.Op.String())
+		sb.WriteString(" ")
+		writeExpr(sb, x.R)
+		sb.WriteString(")")
+	case *logical.Not:
+		sb.WriteString("(NOT ")
+		writeExpr(sb, x.E)
+		sb.WriteString(")")
+	case *logical.Negative:
+		// The parser folds unary minus into numeric literals; mirror that
+		// so the printed text reparses to the same AST.
+		if l, ok := x.E.(*logical.Literal); ok && !l.Value.Null {
+			switch v := l.Value.Val.(type) {
+			case int64:
+				sb.WriteString(strconv.FormatInt(-v, 10))
+				return
+			case float64:
+				writeFloat(sb, -v)
+				return
+			}
+		}
+		sb.WriteString("(- ")
+		writeExpr(sb, x.E)
+		sb.WriteString(")")
+	case *logical.IsNull:
+		sb.WriteString("(")
+		writeExpr(sb, x.E)
+		if x.Negated {
+			sb.WriteString(" IS NOT NULL)")
+		} else {
+			sb.WriteString(" IS NULL)")
+		}
+	case *logical.Like:
+		sb.WriteString("(")
+		writeExpr(sb, x.E)
+		if x.Negated {
+			sb.WriteString(" NOT")
+		}
+		if x.CaseInsensitive {
+			sb.WriteString(" ILIKE ")
+		} else {
+			sb.WriteString(" LIKE ")
+		}
+		writeExpr(sb, x.Pattern)
+		sb.WriteString(")")
+	case *logical.InList:
+		sb.WriteString("(")
+		writeExpr(sb, x.E)
+		if x.Negated {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" IN (")
+		for i, item := range x.List {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, item)
+		}
+		sb.WriteString("))")
+	case *logical.Between:
+		sb.WriteString("(")
+		writeExpr(sb, x.E)
+		if x.Negated {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" BETWEEN ")
+		writeExpr(sb, x.Low)
+		sb.WriteString(" AND ")
+		writeExpr(sb, x.High)
+		sb.WriteString(")")
+	case *logical.Case:
+		sb.WriteString("CASE")
+		if x.Operand != nil {
+			sb.WriteString(" ")
+			writeExpr(sb, x.Operand)
+		}
+		for _, w := range x.Whens {
+			sb.WriteString(" WHEN ")
+			writeExpr(sb, w.When)
+			sb.WriteString(" THEN ")
+			writeExpr(sb, w.Then)
+		}
+		if x.Else != nil {
+			sb.WriteString(" ELSE ")
+			writeExpr(sb, x.Else)
+		}
+		sb.WriteString(" END")
+	case *logical.Cast:
+		sb.WriteString("CAST(")
+		writeExpr(sb, x.E)
+		sb.WriteString(" AS ")
+		sb.WriteString(sqlTypeName(x.To))
+		sb.WriteString(")")
+	case *logical.ScalarFunc:
+		writeCall(sb, x.Name, x.Args, false, false, nil, nil)
+	case *logical.AggFunc:
+		writeCall(sb, x.Name, x.Args, x.Distinct, len(x.Args) == 0, x.Filter, nil)
+	case *logical.WindowFunc:
+		over := &logical.OverClause{PartitionBy: x.PartitionBy, OrderBy: x.OrderBy, Frame: &x.Frame}
+		writeCall(sb, x.Name, x.Args, false, false, nil, over)
+	case *logical.UnresolvedFunc:
+		writeCall(sb, x.Name, x.Args, x.Distinct, x.Star, x.Filter, x.Over)
+	case *logical.Alias:
+		// Aliases outside projection lists have no SQL syntax; print the
+		// underlying expression (select items handle AS themselves).
+		writeExpr(sb, x.E)
+	case *logical.Wildcard:
+		if x.Qualifier != "" {
+			writeIdent(sb, x.Qualifier)
+			sb.WriteString(".*")
+		} else {
+			sb.WriteString("*")
+		}
+	case *logical.ScalarSubquery:
+		if q, ok := x.Raw.(*SelectStmt); ok {
+			sb.WriteString("(")
+			writeSelectStmt(sb, q)
+			sb.WriteString(")")
+		} else {
+			sb.WriteString("(<scalar subquery>)")
+		}
+	case *logical.Exists:
+		if x.Negated {
+			sb.WriteString("(NOT ")
+		}
+		sb.WriteString("EXISTS (")
+		if q, ok := x.Raw.(*SelectStmt); ok {
+			writeSelectStmt(sb, q)
+		} else {
+			sb.WriteString("<subquery>")
+		}
+		sb.WriteString(")")
+		if x.Negated {
+			sb.WriteString(")")
+		}
+	case *logical.InSubquery:
+		sb.WriteString("(")
+		writeExpr(sb, x.E)
+		if x.Negated {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" IN (")
+		if q, ok := x.Raw.(*SelectStmt); ok {
+			writeSelectStmt(sb, q)
+		} else {
+			sb.WriteString("<subquery>")
+		}
+		sb.WriteString("))")
+	default:
+		fmt.Fprintf(sb, "<unknown expr %T>", e)
+	}
+}
+
+func writeCall(sb *strings.Builder, name string, args []logical.Expr, distinct, star bool, filter logical.Expr, over *logical.OverClause) {
+	writeIdent(sb, name)
+	sb.WriteString("(")
+	if star {
+		sb.WriteString("*")
+	} else {
+		if distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		for i, a := range args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a)
+		}
+	}
+	sb.WriteString(")")
+	if filter != nil {
+		sb.WriteString(" FILTER (WHERE ")
+		writeExpr(sb, filter)
+		sb.WriteString(")")
+	}
+	if over != nil {
+		sb.WriteString(" OVER (")
+		if len(over.PartitionBy) > 0 {
+			sb.WriteString("PARTITION BY ")
+			for i, p := range over.PartitionBy {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				writeExpr(sb, p)
+			}
+		}
+		if len(over.OrderBy) > 0 {
+			if len(over.PartitionBy) > 0 {
+				sb.WriteString(" ")
+			}
+			sb.WriteString("ORDER BY ")
+			for i, o := range over.OrderBy {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				writeExpr(sb, o.E)
+				if o.Asc {
+					sb.WriteString(" ASC")
+				} else {
+					sb.WriteString(" DESC")
+				}
+				// The OVER-clause parser normalizes an absent NULLS spec to
+				// the direction default, so always printing it is stable.
+				if o.NullsFirst {
+					sb.WriteString(" NULLS FIRST")
+				} else {
+					sb.WriteString(" NULLS LAST")
+				}
+			}
+		}
+		if over.Frame != nil {
+			if len(over.PartitionBy) > 0 || len(over.OrderBy) > 0 {
+				sb.WriteString(" ")
+			}
+			writeFrame(sb, over.Frame)
+		}
+		sb.WriteString(")")
+	}
+}
+
+func writeFrame(sb *strings.Builder, f *logical.WindowFrame) {
+	if f.Rows {
+		sb.WriteString("ROWS BETWEEN ")
+	} else {
+		sb.WriteString("RANGE BETWEEN ")
+	}
+	writeBound(sb, f.Start)
+	sb.WriteString(" AND ")
+	writeBound(sb, f.End)
+}
+
+func writeBound(sb *strings.Builder, b logical.FrameBound) {
+	switch b.Kind {
+	case logical.UnboundedPreceding:
+		sb.WriteString("UNBOUNDED PRECEDING")
+	case logical.OffsetPreceding:
+		fmt.Fprintf(sb, "%d PRECEDING", b.Offset)
+	case logical.CurrentRow:
+		sb.WriteString("CURRENT ROW")
+	case logical.OffsetFollowing:
+		fmt.Fprintf(sb, "%d FOLLOWING", b.Offset)
+	case logical.UnboundedFollowing:
+		sb.WriteString("UNBOUNDED FOLLOWING")
+	}
+}
+
+func writeLiteral(sb *strings.Builder, s arrow.Scalar) {
+	if s.Null {
+		sb.WriteString("NULL")
+		return
+	}
+	switch s.Type.ID {
+	case arrow.INT8, arrow.INT16, arrow.INT32, arrow.INT64, arrow.UINT8, arrow.UINT16, arrow.UINT32, arrow.UINT64:
+		sb.WriteString(strconv.FormatInt(s.AsInt64(), 10))
+	case arrow.FLOAT32, arrow.FLOAT64:
+		writeFloat(sb, s.AsFloat64())
+	case arrow.STRING:
+		writeString(sb, s.AsString())
+	case arrow.BOOL:
+		if s.AsBool() {
+			sb.WriteString("TRUE")
+		} else {
+			sb.WriteString("FALSE")
+		}
+	case arrow.DATE32:
+		sb.WriteString("DATE ")
+		writeString(sb, arrow.FormatDate32(int32(s.AsInt64())))
+	case arrow.TIMESTAMP:
+		sb.WriteString("TIMESTAMP ")
+		writeString(sb, arrow.FormatTimestamp(s.AsInt64()))
+	case arrow.INTERVAL:
+		if m, ok := s.Val.(arrow.MonthDayMicro); ok {
+			fmt.Fprintf(sb, "INTERVAL '%d months %d days %d microseconds'", m.Months, m.Days, m.Micros)
+		} else {
+			sb.WriteString("INTERVAL '0 days'")
+		}
+	case arrow.DECIMAL:
+		sb.WriteString(arrow.FormatDecimal(s.AsInt64(), s.Type.Scale))
+	default:
+		fmt.Fprintf(sb, "<unknown literal %s>", s.Type)
+	}
+}
+
+// writeFloat renders a float literal that re-lexes as a float (never as an
+// integer), keeping the literal's type across parse/print cycles.
+func writeFloat(sb *strings.Builder, f float64) {
+	out := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(out, ".eE") {
+		out += ".0"
+	}
+	sb.WriteString(out)
+}
+
+func writeString(sb *strings.Builder, s string) {
+	sb.WriteString("'")
+	sb.WriteString(strings.ReplaceAll(s, "'", "''"))
+	sb.WriteString("'")
+}
+
+// writeIdent prints an identifier, double-quoting it when it would not lex
+// back as a plain identifier (or would lex as a keyword).
+func writeIdent(sb *strings.Builder, s string) {
+	if identNeedsQuote(s) {
+		sb.WriteString(`"`)
+		sb.WriteString(strings.ReplaceAll(s, `"`, `""`))
+		sb.WriteString(`"`)
+		return
+	}
+	sb.WriteString(s)
+}
+
+func identNeedsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i, r := range s {
+		if i == 0 {
+			if r != '_' && !unicode.IsLetter(r) {
+				return true
+			}
+			continue
+		}
+		if r != '_' && r != '$' && !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return keywords[strings.ToUpper(s)]
+}
+
+// sqlTypeName maps an arrow type to a SQL type name accepted by the
+// parser's type grammar.
+func sqlTypeName(t *arrow.DataType) string {
+	switch t.ID {
+	case arrow.INT8:
+		return "TINYINT"
+	case arrow.INT16:
+		return "SMALLINT"
+	case arrow.INT32:
+		return "INT"
+	case arrow.INT64:
+		return "BIGINT"
+	case arrow.FLOAT32:
+		return "REAL"
+	case arrow.FLOAT64:
+		return "DOUBLE"
+	case arrow.STRING:
+		return "VARCHAR"
+	case arrow.DATE32:
+		return "DATE"
+	case arrow.TIMESTAMP:
+		return "TIMESTAMP"
+	case arrow.BOOL:
+		return "BOOLEAN"
+	case arrow.DECIMAL:
+		return fmt.Sprintf("DECIMAL(%d, %d)", t.Precision, t.Scale)
+	case arrow.INTERVAL:
+		return "INTERVAL"
+	default:
+		return t.String()
+	}
+}

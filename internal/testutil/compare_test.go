@@ -1,0 +1,80 @@
+package testutil
+
+import (
+	"math"
+	"testing"
+
+	"gofusion/internal/arrow"
+)
+
+func TestFloatsEqual(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		eq   bool
+	}{
+		{1.0, 1.0, true},
+		{math.NaN(), math.NaN(), true},
+		{0, 1e-9, true},                      // absolute tolerance
+		{1e12, 1e12 * (1 + 1e-10), true},     // relative tolerance
+		{1.0, math.Nextafter(1.0, 2), true},  // 1 ULP
+		{1.0, 1.001, false},
+		{1e12, 1.001e12, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.NaN(), 1.0, false},
+	}
+	for _, c := range cases {
+		if got := FloatsEqual(c.a, c.b); got != c.eq {
+			t.Errorf("FloatsEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.eq)
+		}
+	}
+}
+
+func batchOf(t *testing.T, ints []any, floats []any) *arrow.RecordBatch {
+	t.Helper()
+	schema := arrow.NewSchema(
+		arrow.NewField("i", arrow.Int64, true),
+		arrow.NewField("f", arrow.Float64, true),
+	)
+	ib := arrow.NewNumericBuilder[int64](arrow.Int64)
+	for _, v := range ints {
+		if v == nil {
+			ib.AppendNull()
+		} else {
+			ib.Append(v.(int64))
+		}
+	}
+	fb := arrow.NewNumericBuilder[float64](arrow.Float64)
+	for _, v := range floats {
+		if v == nil {
+			fb.AppendNull()
+		} else {
+			fb.Append(v.(float64))
+		}
+	}
+	return arrow.NewRecordBatch(schema, []arrow.Array{ib.Finish(), fb.Finish()})
+}
+
+func TestDiffBatches(t *testing.T) {
+	a := batchOf(t, []any{int64(1), nil, int64(3)}, []any{1.5, nil, 3.5})
+	// Same rows in a different order, floats perturbed within tolerance.
+	b := batchOf(t, []any{int64(3), int64(1), nil}, []any{3.5 + 1e-12, 1.5, nil})
+	if diff := DiffBatches(a, b); diff != "" {
+		t.Fatalf("expected equal, got diff:\n%s", diff)
+	}
+	// NULL vs value must differ.
+	c := batchOf(t, []any{int64(1), int64(2), int64(3)}, []any{1.5, nil, 3.5})
+	if diff := DiffBatches(a, c); diff == "" {
+		t.Fatal("expected NULL/value mismatch to be reported")
+	}
+	// Row-count mismatch.
+	d := batchOf(t, []any{int64(1)}, []any{1.5})
+	if diff := DiffBatches(a, d); diff == "" {
+		t.Fatal("expected row-count mismatch to be reported")
+	}
+	// Value mismatch beyond tolerance.
+	e := batchOf(t, []any{int64(1), nil, int64(3)}, []any{1.5, nil, 3.6})
+	if diff := DiffBatches(a, e); diff == "" {
+		t.Fatal("expected float mismatch to be reported")
+	}
+}

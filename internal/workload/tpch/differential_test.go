@@ -1,0 +1,62 @@
+package tpch_test
+
+import (
+	"testing"
+
+	"gofusion/internal/baseline"
+	"gofusion/internal/core"
+	"gofusion/internal/testutil"
+	"gofusion/internal/workload/tpch"
+)
+
+// TestTPCHDifferentialGPQ is the file-backed differential golden test:
+// all 22 TPC-H queries at tiny scale over GPQ files with small row groups
+// (forcing row-group pruning and partition splits on the engine side,
+// while TightDB decodes the same files eagerly), executed on a
+// partitioned engine session and compared to the baseline under the
+// canonical normalization.
+func TestTPCHDifferentialGPQ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("file-backed TPC-H differential is not a -short test")
+	}
+	const sf = 0.01
+	dir := t.TempDir()
+	// 2048-row groups: lineitem (~60k rows at sf 0.01) becomes ~30 row
+	// groups, so partitioned scans split at row-group granularity.
+	if err := tpch.WriteGPQ(dir, sf, 2048); err != nil {
+		t.Fatal(err)
+	}
+
+	s := core.NewSession(core.SessionConfig{TargetPartitions: 4})
+	if err := tpch.RegisterGPQ(s, dir); err != nil {
+		t.Fatal(err)
+	}
+	be := baseline.New(2)
+	for _, name := range tpch.TableNames {
+		if err := be.RegisterGPQ(name, dir+"/"+name+".gpq"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for n := 1; n <= 22; n++ {
+		q, err := tpch.Query(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		df, err := s.SQL(q)
+		if err != nil {
+			t.Fatalf("Q%d gofusion plan: %v", n, err)
+		}
+		got, err := df.CollectBatch()
+		if err != nil {
+			t.Fatalf("Q%d gofusion exec: %v", n, err)
+		}
+		want, err := be.Query(q)
+		if err != nil {
+			t.Fatalf("Q%d baseline: %v", n, err)
+		}
+		if diff := testutil.DiffBatches(got, want); diff != "" {
+			t.Fatalf("Q%d: engines disagree on GPQ-backed tables:\n%s", n, diff)
+		}
+	}
+}
