@@ -126,7 +126,17 @@ func runStatement(session *core.SessionContext, stmt string) error {
 	if err != nil {
 		return err
 	}
-	if err := df.Show(os.Stdout, 50); err != nil {
+	// EXPLAIN / EXPLAIN ANALYZE results are plan text: print the lines
+	// verbatim (and untruncated) instead of as a formatted row table.
+	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(stmt)), "EXPLAIN") {
+		batch, err := df.CollectBatch()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < batch.NumRows(); i++ {
+			fmt.Println(batch.Column(0).GetScalar(i).AsString())
+		}
+	} else if err := df.Show(os.Stdout, 50); err != nil {
 		return err
 	}
 	fmt.Printf("(%s)\n", time.Since(start).Round(time.Millisecond))

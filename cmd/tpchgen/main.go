@@ -1,0 +1,29 @@
+// Command tpchgen writes the deterministic TPC-H dataset as GPQ files,
+// one per table, for use with gofusion-cli and the benchmarks.
+//
+// Usage:
+//
+//	tpchgen -dir data/tpch -sf 0.01 -rowgroup 2048
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gofusion/internal/workload/tpch"
+)
+
+func main() {
+	dir := flag.String("dir", "tpch-data", "output directory")
+	sf := flag.Float64("sf", 0.01, "scale factor (1.0 = ~6M lineitem rows)")
+	rowGroup := flag.Int("rowgroup", 8192, "rows per GPQ row group")
+	flag.Parse()
+	if err := tpch.WriteGPQ(*dir, *sf, *rowGroup); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, name := range tpch.TableNames {
+		fmt.Printf("%s/%s.gpq\n", *dir, name)
+	}
+}

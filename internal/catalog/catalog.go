@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gofusion/internal/arrow"
 	"gofusion/internal/logical"
@@ -79,6 +80,28 @@ type ScanResult struct {
 	// Detail is an optional provider-specific description of how the scan
 	// was partitioned (e.g. row-group ranges), surfaced in EXPLAIN.
 	Detail string
+	// Runtime, when non-nil, aggregates runtime pruning counters across
+	// the scan's partition streams for EXPLAIN ANALYZE. Providers without
+	// statistics leave it nil.
+	Runtime *ScanRuntime
+}
+
+// ScanRuntime accumulates runtime scan counters across all partitions of
+// one prepared scan. Plan-time pruning (whole files / row groups
+// refuted before any stream opens) is pre-added by the provider; stream
+// close flushes per-reader counters. All fields are atomics so partition
+// streams update them concurrently.
+type ScanRuntime struct {
+	// RowGroupsPruned counts row groups skipped by min/max statistics or
+	// Bloom filters (plan-time plus runtime).
+	RowGroupsPruned atomic.Int64
+	// RowGroupsScanned counts row groups actually decoded.
+	RowGroupsScanned atomic.Int64
+	// PagesPruned counts data pages skipped by page-level statistics.
+	PagesPruned atomic.Int64
+	// BloomSkipped counts row groups rejected specifically by a Bloom
+	// filter probe (a subset of RowGroupsPruned).
+	BloomSkipped atomic.Int64
 }
 
 // TableProvider is the data source extension point.

@@ -278,16 +278,20 @@ func (t *GPQTable) Scan(req ScanRequest) (*ScanResult, error) {
 	if len(units) > 0 {
 		detail += " " + unitsDetail(parts)
 	}
+	rt := &ScanRuntime{}
+	rt.RowGroupsPruned.Add(int64(pruned)) // plan-time file/row-group pruning
 	return &ScanResult{
 		Schema:       outSchema,
 		Partitions:   numParts,
 		ExactFilters: exact,
 		SortOrder:    order,
 		Detail:       detail,
+		Runtime:      rt,
 		Open: func(p int) (Stream, error) {
 			return &gpqStream{
 				units:  parts[p],
 				schema: outSchema,
+				rt:     rt,
 				opts: parquet.ScanOptions{
 					Projection: req.Projection,
 					Predicate:  pred,
@@ -310,6 +314,7 @@ type gpqStream struct {
 	units   []scanUnit
 	schema  *arrow.Schema
 	opts    parquet.ScanOptions
+	rt      *ScanRuntime
 	reader  *parquet.FileReader
 	scanner *parquet.Scanner
 	taken   int64
@@ -359,7 +364,15 @@ func (s *gpqStream) Next() (*arrow.RecordBatch, error) {
 
 func (s *gpqStream) closeCurrent() {
 	if s.scanner != nil {
+		// Close first: it stops and joins the readahead producer, making
+		// the scanner's pruning counters safe to read.
 		s.scanner.Close()
+		if s.rt != nil {
+			s.rt.RowGroupsPruned.Add(int64(s.scanner.RowGroupsPruned))
+			s.rt.RowGroupsScanned.Add(int64(s.scanner.RowGroupsMatched))
+			s.rt.PagesPruned.Add(int64(s.scanner.PagesSkipped))
+			s.rt.BloomSkipped.Add(int64(s.scanner.BloomSkipped))
+		}
 	}
 	if s.reader != nil {
 		s.reader.Close()

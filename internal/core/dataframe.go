@@ -9,6 +9,7 @@ import (
 	"gofusion/internal/arrow/compute"
 	"gofusion/internal/exec"
 	"gofusion/internal/logical"
+	"gofusion/internal/physical"
 )
 
 // DataFrame is a lazy query: a logical plan plus the session that will
@@ -153,6 +154,81 @@ func (df *DataFrame) Collect() ([]*arrow.RecordBatch, error) {
 		return nil, err
 	}
 	return df.session.ExecutePlan(pp)
+}
+
+// QueryMetrics summarizes one executed query: the executed physical plan
+// (whose operators carry per-operator MetricsSets, renderable with
+// exec.ExplainAnalyze), the memory-pool high-water mark, and the
+// metadata-cache activity attributable to this query (paper Sections 5.5
+// and 7.4).
+type QueryMetrics struct {
+	// Plan is the executed physical plan; its operators retain their
+	// runtime metrics after execution.
+	Plan physical.ExecutionPlan
+	// RowsReturned is the total row count handed back to the caller.
+	RowsReturned int64
+	// PoolReservedPeak is the query memory pool's high-water mark in
+	// bytes (tracked reservations only).
+	PoolReservedPeak int64
+	// Cache hit/miss deltas recorded between planning start and
+	// execution end (listings = directory LIST cache, meta = per-file
+	// metadata cache).
+	ListingHits, ListingMisses int64
+	MetaHits, MetaMisses       int64
+}
+
+// CollectWithMetrics executes the frame and returns the batches together
+// with the query's runtime metrics.
+func (df *DataFrame) CollectWithMetrics() ([]*arrow.RecordBatch, *QueryMetrics, error) {
+	if df.err != nil {
+		return nil, nil, df.err
+	}
+	cm := df.session.cache
+	lh0, lm0 := cm.Listings().Stats()
+	mh0, mm0 := cm.FileMeta().Stats()
+	pp, err := df.session.CreatePhysicalPlan(df.plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cleanup := df.session.newExecContext()
+	defer cleanup()
+	batches, err := exec.CollectPlan(ctx, pp)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows int64
+	for _, b := range batches {
+		rows += int64(b.NumRows())
+	}
+	lh1, lm1 := cm.Listings().Stats()
+	mh1, mm1 := cm.FileMeta().Stats()
+	return batches, &QueryMetrics{
+		Plan:             pp,
+		RowsReturned:     rows,
+		PoolReservedPeak: ctx.Pool.ReservedPeak(),
+		ListingHits:      lh1 - lh0,
+		ListingMisses:    lm1 - lm0,
+		MetaHits:         mh1 - mh0,
+		MetaMisses:       mm1 - mm0,
+	}, nil
+}
+
+// ExplainAnalyze executes the query to completion and renders the
+// physical plan annotated with each operator's runtime metrics, followed
+// by a query-level summary (memory-pool peak and metadata-cache hits).
+func (df *DataFrame) ExplainAnalyze() (string, error) {
+	_, qm, err := df.CollectWithMetrics()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("== Physical Plan (EXPLAIN ANALYZE) ==\n")
+	sb.WriteString(exec.ExplainAnalyze(qm.Plan))
+	sb.WriteString("== Query Summary ==\n")
+	fmt.Fprintf(&sb, "rows_returned=%d, pool_reserved_peak=%d\n", qm.RowsReturned, qm.PoolReservedPeak)
+	fmt.Fprintf(&sb, "cache: listings hits=%d misses=%d, file_meta hits=%d misses=%d\n",
+		qm.ListingHits, qm.ListingMisses, qm.MetaHits, qm.MetaMisses)
+	return sb.String(), nil
 }
 
 // CollectBatch executes and concatenates the result into a single batch.

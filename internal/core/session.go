@@ -244,7 +244,14 @@ func (s *SessionContext) SQL(query string) (*DataFrame, error) {
 			return nil, err
 		}
 		df := &DataFrame{session: s, plan: plan}
-		text, err := df.Explain()
+		var text string
+		if st.Analyze {
+			// EXPLAIN ANALYZE runs the query to completion and annotates
+			// the plan with the recorded runtime metrics.
+			text, err = df.ExplainAnalyze()
+		} else {
+			text, err = df.Explain()
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -62,6 +62,7 @@ func NewAggSpec(fn *functions.AggFunc, name string, args []physical.PhysicalExpr
 // group keys, a single-group fast path, a sorted-input streaming fast
 // path, early partial flushing, and state spilling.
 type HashAggregateExec struct {
+	physical.OpMetrics
 	Input      physical.ExecutionPlan
 	Mode       AggMode
 	GroupExprs []physical.PhysicalExpr
@@ -348,10 +349,16 @@ func (e *HashAggregateExec) Execute(ctx *physical.ExecContext, partition int) (p
 	if err != nil {
 		return nil, err
 	}
+	var s physical.Stream
 	if e.InputOrdered && len(e.GroupExprs) > 0 && e.Mode != FinalAgg {
-		return e.executeOrdered(ctx, in)
+		s, err = e.executeOrdered(ctx, in)
+	} else {
+		s, err = e.executeHashed(ctx, in)
 	}
-	return e.executeHashed(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	return physical.InstrumentStream(s, e.Metrics()), nil
 }
 
 func (e *HashAggregateExec) executeHashed(ctx *physical.ExecContext, in physical.Stream) (physical.Stream, error) {
@@ -383,6 +390,7 @@ func (e *HashAggregateExec) executeHashed(ctx *physical.ExecContext, in physical
 		spills = nil
 	}
 
+	m := e.Metrics()
 	// spillState writes the current state (as partial batches) to disk and
 	// resets the table.
 	spillState := func() error {
@@ -400,11 +408,14 @@ func (e *HashAggregateExec) executeHashed(ctx *physical.ExecContext, in physical
 		if err != nil {
 			return err
 		}
+		var spilled int64
 		for _, b := range batches {
 			if err := arrow.WriteBatch(sf.File(), b); err != nil {
 				return err
 			}
+			spilled += batchBytes(b)
 		}
+		m.AddSpill(spilled)
 		spills = append(spills, sf)
 		if st.table != nil {
 			st.table.reset()
@@ -459,7 +470,9 @@ func (e *HashAggregateExec) executeHashed(ctx *physical.ExecContext, in physical
 			}
 			// Track the dominant memory consumer: the group table.
 			if st.table != nil {
-				if err := res.Resize(st.table.memUsage()); err != nil {
+				if err := res.Resize(st.table.memUsage()); err == nil {
+					m.UpdateMemPeak(res.Size())
+				} else {
 					if e.Mode == PartialAgg {
 						// Early flush: emit partial results downstream.
 						batches, eerr := e.emit(st, ctx.BatchRows)

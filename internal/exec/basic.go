@@ -13,6 +13,7 @@ import (
 
 // FilterExec keeps rows satisfying the predicate.
 type FilterExec struct {
+	physical.OpMetrics
 	Input     physical.ExecutionPlan
 	Predicate physical.PhysicalExpr
 }
@@ -35,7 +36,7 @@ func (e *FilterExec) Execute(ctx *physical.ExecContext, partition int) (physical
 	if err != nil {
 		return nil, err
 	}
-	return NewFuncStream(e.Schema(), func() (*arrow.RecordBatch, error) {
+	return physical.InstrumentStream(NewFuncStream(e.Schema(), func() (*arrow.RecordBatch, error) {
 		for {
 			if err := checkCancel(ctx); err != nil {
 				return nil, err
@@ -56,11 +57,12 @@ func (e *FilterExec) Execute(ctx *physical.ExecContext, partition int) (physical
 				return out, nil
 			}
 		}
-	}, in.Close), nil
+	}, in.Close), e.Metrics()), nil
 }
 
 // ProjectionExec computes output expressions.
 type ProjectionExec struct {
+	physical.OpMetrics
 	Input  physical.ExecutionPlan
 	Exprs  []physical.PhysicalExpr
 	schema *arrow.Schema
@@ -131,7 +133,7 @@ func (e *ProjectionExec) Execute(ctx *physical.ExecContext, partition int) (phys
 	if err != nil {
 		return nil, err
 	}
-	return NewFuncStream(e.schema, func() (*arrow.RecordBatch, error) {
+	return physical.InstrumentStream(NewFuncStream(e.schema, func() (*arrow.RecordBatch, error) {
 		b, err := in.Next()
 		if err != nil {
 			return nil, err
@@ -145,11 +147,12 @@ func (e *ProjectionExec) Execute(ctx *physical.ExecContext, partition int) (phys
 			cols[i] = a
 		}
 		return arrow.NewRecordBatchWithRows(e.schema, cols, b.NumRows()), nil
-	}, in.Close), nil
+	}, in.Close), e.Metrics()), nil
 }
 
 // GlobalLimitExec applies skip/fetch over a single partition.
 type GlobalLimitExec struct {
+	physical.OpMetrics
 	Input physical.ExecutionPlan
 	Skip  int64
 	Fetch int64 // -1 = unlimited
@@ -187,7 +190,7 @@ func (e *GlobalLimitExec) Execute(ctx *physical.ExecContext, partition int) (phy
 	}
 	skip := e.Skip
 	remaining := e.Fetch
-	return NewFuncStream(e.Schema(), func() (*arrow.RecordBatch, error) {
+	return physical.InstrumentStream(NewFuncStream(e.Schema(), func() (*arrow.RecordBatch, error) {
 		for {
 			if remaining == 0 {
 				return nil, io.EOF
@@ -214,12 +217,13 @@ func (e *GlobalLimitExec) Execute(ctx *physical.ExecContext, partition int) (phy
 				return b, nil
 			}
 		}
-	}, in.Close), nil
+	}, in.Close), e.Metrics()), nil
 }
 
 // LocalLimitExec truncates each partition independently (a planner aid
 // under a global limit).
 type LocalLimitExec struct {
+	physical.OpMetrics
 	Input physical.ExecutionPlan
 	Fetch int64
 }
@@ -247,7 +251,7 @@ func (e *LocalLimitExec) Execute(ctx *physical.ExecContext, partition int) (phys
 		return nil, err
 	}
 	remaining := e.Fetch
-	return NewFuncStream(e.Schema(), func() (*arrow.RecordBatch, error) {
+	return physical.InstrumentStream(NewFuncStream(e.Schema(), func() (*arrow.RecordBatch, error) {
 		if remaining <= 0 {
 			return nil, io.EOF
 		}
@@ -260,12 +264,13 @@ func (e *LocalLimitExec) Execute(ctx *physical.ExecContext, partition int) (phys
 		}
 		remaining -= int64(b.NumRows())
 		return b, nil
-	}, in.Close), nil
+	}, in.Close), e.Metrics()), nil
 }
 
 // CoalescePartitionsExec merges all input partitions into one stream,
 // reading them concurrently.
 type CoalescePartitionsExec struct {
+	physical.OpMetrics
 	Input physical.ExecutionPlan
 }
 
@@ -292,7 +297,11 @@ func (e *CoalescePartitionsExec) Execute(ctx *physical.ExecContext, partition in
 	}
 	n := e.Input.Partitions()
 	if n == 1 {
-		return e.Input.Execute(ctx, 0)
+		in, err := e.Input.Execute(ctx, 0)
+		if err != nil {
+			return nil, err
+		}
+		return physical.InstrumentStream(in, e.Metrics()), nil
 	}
 	ch := make(chan batchOrErr, n)
 	var wg sync.WaitGroup
@@ -323,11 +332,12 @@ func (e *CoalescePartitionsExec) Execute(ctx *physical.ExecContext, partition in
 		wg.Wait()
 		close(ch)
 	}()
-	return &chanStream{schema: e.Schema(), ch: ch}, nil
+	return physical.InstrumentStream(&chanStream{schema: e.Schema(), ch: ch}, e.Metrics()), nil
 }
 
 // UnionExec concatenates the partitions of several same-schema inputs.
 type UnionExec struct {
+	physical.OpMetrics
 	Inputs []physical.ExecutionPlan
 	parts  []int // prefix-sum partition mapping
 }
@@ -360,7 +370,11 @@ func (e *UnionExec) WithChildren(ch []physical.ExecutionPlan) (physical.Executio
 func (e *UnionExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
 	for i, p := range e.parts {
 		if partition < p {
-			return e.Inputs[i].Execute(ctx, partition)
+			in, err := e.Inputs[i].Execute(ctx, partition)
+			if err != nil {
+				return nil, err
+			}
+			return physical.InstrumentStream(in, e.Metrics()), nil
 		}
 		partition -= p
 	}
@@ -369,6 +383,7 @@ func (e *UnionExec) Execute(ctx *physical.ExecContext, partition int) (physical.
 
 // ValuesExec produces a fixed set of batches in one partition.
 type ValuesExec struct {
+	physical.OpMetrics
 	schema  *arrow.Schema
 	Batches []*arrow.RecordBatch
 }
@@ -388,19 +403,20 @@ func (e *ValuesExec) WithChildren(ch []physical.ExecutionPlan) (physical.Executi
 }
 func (e *ValuesExec) Execute(_ *physical.ExecContext, partition int) (physical.Stream, error) {
 	pos := 0
-	return NewFuncStream(e.schema, func() (*arrow.RecordBatch, error) {
+	return physical.InstrumentStream(NewFuncStream(e.schema, func() (*arrow.RecordBatch, error) {
 		if pos >= len(e.Batches) {
 			return nil, io.EOF
 		}
 		b := e.Batches[pos]
 		pos++
 		return b, nil
-	}, nil), nil
+	}, nil), e.Metrics()), nil
 }
 
 // CoalesceBatchesExec re-buffers small batches (e.g. post-filter) back up
 // to the target size so downstream vectorization stays effective.
 type CoalesceBatchesExec struct {
+	physical.OpMetrics
 	Input  physical.ExecutionPlan
 	Target int
 }
@@ -432,7 +448,7 @@ func (e *CoalesceBatchesExec) Execute(ctx *physical.ExecContext, partition int) 
 	var pending []*arrow.RecordBatch
 	pendingRows := 0
 	eof := false
-	return NewFuncStream(e.Schema(), func() (*arrow.RecordBatch, error) {
+	return physical.InstrumentStream(NewFuncStream(e.Schema(), func() (*arrow.RecordBatch, error) {
 		for !eof && pendingRows < e.Target {
 			b, err := in.Next()
 			if err == io.EOF {
@@ -454,5 +470,5 @@ func (e *CoalesceBatchesExec) Execute(ctx *physical.ExecContext, partition int) 
 		out, err := compute.ConcatBatches(e.Schema(), pending)
 		pending, pendingRows = nil, 0
 		return out, err
-	}, in.Close), nil
+	}, in.Close), e.Metrics()), nil
 }

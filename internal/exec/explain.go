@@ -21,3 +21,27 @@ func ExplainPhysical(p physical.ExecutionPlan) string {
 	walk(p, 0)
 	return sb.String()
 }
+
+// ExplainAnalyze renders the physical plan tree with per-operator runtime
+// metrics appended to each node (paper Section 4, EXPLAIN ANALYZE). It
+// should be called after the plan has been executed to completion;
+// operators that were never executed report zero metrics.
+func ExplainAnalyze(p physical.ExecutionPlan) string {
+	var sb strings.Builder
+	var walk func(physical.ExecutionPlan, int)
+	walk = func(n physical.ExecutionPlan, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.String())
+		if mp, ok := n.(physical.MetricsProvider); ok {
+			sb.WriteString(", metrics=[")
+			sb.WriteString(mp.Metrics().Snapshot().String())
+			sb.WriteString("]")
+		}
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(p, 0)
+	return sb.String()
+}

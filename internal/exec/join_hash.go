@@ -37,6 +37,7 @@ const (
 // are normalized with the row format, so equality is a single byte
 // comparison and NULL keys never match.
 type HashJoinExec struct {
+	physical.OpMetrics
 	Left   physical.ExecutionPlan
 	Right  physical.ExecutionPlan
 	On     []JoinOn
@@ -280,11 +281,18 @@ func (e *HashJoinExec) Execute(ctx *physical.ExecContext, partition int) (physic
 	if err != nil {
 		return nil, err
 	}
+	m := e.Metrics()
+	if e.Mode == CollectLeft {
+		// The shared build is counted once, not once per probe partition.
+		m.Counter("build_rows").Store(int64(bt.batch.NumRows()))
+	} else {
+		m.Counter("build_rows").Add(int64(bt.batch.NumRows()))
+	}
 	right, err := e.Right.Execute(ctx, partition)
 	if err != nil {
 		return nil, err
 	}
-	probe := &joinProber{exec: e, bt: bt, right: right, ctx: ctx}
+	probe := &joinProber{exec: e, bt: bt, right: right, ctx: ctx, probeRows: m.Counter("probe_rows")}
 	if err := probe.init(); err != nil {
 		right.Close()
 		return nil, err
@@ -297,7 +305,7 @@ func (e *HashJoinExec) Execute(ctx *physical.ExecContext, partition int) (physic
 		return nil, fmt.Errorf("exec: CollectLeft %s join requires single probe partition", e.Type)
 	}
 	probe.emitBuildSide = emitBuild
-	return NewFuncStream(e.schema, probe.next, right.Close), nil
+	return physical.InstrumentStream(NewFuncStream(e.schema, probe.next, right.Close), m), nil
 }
 
 func (e *HashJoinExec) lastProbePartition() int { return e.Right.Partitions() - 1 }
@@ -317,6 +325,7 @@ type joinProber struct {
 	probeDone     bool
 	buildEmitted  bool
 	emitBuildSide bool
+	probeRows     *physical.Counter
 }
 
 func (p *joinProber) init() error {
@@ -382,6 +391,9 @@ func (p *joinProber) next() (*arrow.RecordBatch, error) {
 }
 
 func (p *joinProber) probeBatch(rb *arrow.RecordBatch) (*arrow.RecordBatch, error) {
+	if p.probeRows != nil {
+		p.probeRows.Add(int64(rb.NumRows()))
+	}
 	for i, x := range p.rexprs {
 		a, err := physical.EvalToArray(x, rb)
 		if err != nil {

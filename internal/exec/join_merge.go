@@ -16,6 +16,7 @@ import (
 // join keys (paper Section 6.4/6.7). It avoids hash table construction and
 // preserves the key ordering of its output.
 type SortMergeJoinExec struct {
+	physical.OpMetrics
 	Left   physical.ExecutionPlan
 	Right  physical.ExecutionPlan
 	On     []JoinOn
@@ -116,6 +117,9 @@ func (e *SortMergeJoinExec) Execute(ctx *physical.ExecContext, partition int) (p
 	if err != nil {
 		return nil, err
 	}
+	m := e.Metrics()
+	m.Counter("build_rows").Store(int64(left.batch.NumRows()))
+	m.Counter("probe_rows").Store(int64(right.batch.NumRows()))
 
 	var li, ri []int32
 	nl, nr := left.batch.NumRows(), right.batch.NumRows()
@@ -193,7 +197,7 @@ func (e *SortMergeJoinExec) Execute(ctx *physical.ExecContext, partition int) (p
 	}
 
 	pos := 0
-	return NewFuncStream(e.schema, func() (*arrow.RecordBatch, error) {
+	return physical.InstrumentStream(NewFuncStream(e.schema, func() (*arrow.RecordBatch, error) {
 		if pos >= out.NumRows() {
 			return nil, io.EOF
 		}
@@ -207,5 +211,5 @@ func (e *SortMergeJoinExec) Execute(ctx *physical.ExecContext, partition int) (p
 		b := out.Slice(pos, n)
 		pos += n
 		return b, nil
-	}, nil), nil
+	}, nil), m), nil
 }

@@ -14,6 +14,7 @@ import (
 // every left row with every probe batch (paper Section 6.4). It handles
 // the non-equi joins the hash join cannot. The left input is materialized.
 type NestedLoopJoinExec struct {
+	physical.OpMetrics
 	Left   physical.ExecutionPlan
 	Right  physical.ExecutionPlan
 	Filter physical.PhysicalExpr // nil = cross join
@@ -69,6 +70,9 @@ func (e *NestedLoopJoinExec) Execute(ctx *physical.ExecContext, partition int) (
 	innerSchema := joinOutputSchema(e.Left.Schema(), e.Right.Schema(), logical.InnerJoin)
 	probeDone := false
 	tailEmitted := false
+	m := e.Metrics()
+	m.Counter("build_rows").Store(int64(left.NumRows()))
+	probeRows := m.Counter("probe_rows")
 
 	next := func() (*arrow.RecordBatch, error) {
 		for {
@@ -97,6 +101,7 @@ func (e *NestedLoopJoinExec) Execute(ctx *physical.ExecContext, partition int) (
 			if rb.NumRows() == 0 {
 				continue
 			}
+			probeRows.Add(int64(rb.NumRows()))
 			out, err := e.probe(left, rb, leftVisited, innerSchema)
 			if err != nil {
 				return nil, err
@@ -106,7 +111,7 @@ func (e *NestedLoopJoinExec) Execute(ctx *physical.ExecContext, partition int) (
 			}
 		}
 	}
-	return NewFuncStream(e.schema, next, rs.Close), nil
+	return physical.InstrumentStream(NewFuncStream(e.schema, next, rs.Close), m), nil
 }
 
 func (e *NestedLoopJoinExec) probe(left, rb *arrow.RecordBatch, leftVisited []bool, innerSchema *arrow.Schema) (*arrow.RecordBatch, error) {

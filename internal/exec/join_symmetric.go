@@ -17,6 +17,7 @@ import (
 // to finish (paper Section 6.4, used by streaming SQL systems built on
 // the engine).
 type SymmetricHashJoinExec struct {
+	physical.OpMetrics
 	Left   physical.ExecutionPlan
 	Right  physical.ExecutionPlan
 	On     []JoinOn
@@ -109,6 +110,9 @@ func (e *SymmetricHashJoinExec) Execute(ctx *physical.ExecContext, partition int
 		return nil, err
 	}
 
+	m := e.Metrics()
+	buildRows := m.Counter("build_rows") // rows ingested on the left side
+	probeRows := m.Counter("probe_rows") // rows ingested on the right side
 	turn := 0
 	next := func() (*arrow.RecordBatch, error) {
 		for {
@@ -148,6 +152,11 @@ func (e *SymmetricHashJoinExec) Execute(ctx *physical.ExecContext, partition int
 			if err != nil {
 				return nil, err
 			}
+			if fromLeft {
+				buildRows.Add(int64(b.NumRows()))
+			} else {
+				probeRows.Add(int64(b.NumRows()))
+			}
 			// Probe the other side's accumulated rows.
 			var srcIdx []int32
 			var otherRefs [][2]int32
@@ -176,7 +185,7 @@ func (e *SymmetricHashJoinExec) Execute(ctx *physical.ExecContext, partition int
 		ls.Close()
 		rs.Close()
 	}
-	return NewFuncStream(e.schema, next, closeAll), nil
+	return physical.InstrumentStream(NewFuncStream(e.schema, next, closeAll), m), nil
 }
 
 func (e *SymmetricHashJoinExec) materialize(srcIsLeft bool, src *arrow.RecordBatch, srcIdx []int32,

@@ -24,6 +24,7 @@ const (
 // decoupling producer and consumer parallelism. Hash partitioning routes
 // rows by key hash so equal keys meet in the same partition.
 type RepartitionExec struct {
+	physical.OpMetrics
 	Input  physical.ExecutionPlan
 	Scheme PartitionScheme
 	// HashExprs are the partitioning keys for HashPartitioning.
@@ -96,6 +97,7 @@ func (e *RepartitionExec) produce(ctx *physical.ExecContext, p int) {
 		return
 	}
 	defer s.Close()
+	sent := e.Metrics().Counter("batches_sent")
 	rr := p % e.NumParts
 	// Hash buffer reused across batches: the same compute.HashBatch
 	// kernels drive aggregation group tables and join build/probe, so all
@@ -120,6 +122,7 @@ func (e *RepartitionExec) produce(ctx *physical.ExecContext, p int) {
 		switch e.Scheme {
 		case RoundRobinPartitioning:
 			e.outputs[rr] <- batchOrErr{batch: b}
+			sent.Add(1)
 			rr = (rr + 1) % e.NumParts
 		case HashPartitioning:
 			parts, buf, err := e.splitByHash(b, hashBuf)
@@ -131,6 +134,7 @@ func (e *RepartitionExec) produce(ctx *physical.ExecContext, p int) {
 			for i, pb := range parts {
 				if pb != nil && pb.NumRows() > 0 {
 					e.outputs[i] <- batchOrErr{batch: pb}
+					sent.Add(1)
 				}
 			}
 		}
@@ -185,5 +189,5 @@ func (e *RepartitionExec) Execute(ctx *physical.ExecContext, partition int) (phy
 	}
 	ch := e.outputs[partition]
 	e.mu.Unlock()
-	return &chanStream{schema: e.Schema(), ch: ch}, nil
+	return physical.InstrumentStream(&chanStream{schema: e.Schema(), ch: ch}, e.Metrics()), nil
 }

@@ -12,6 +12,7 @@ import (
 // TableScanExec reads from a TableProvider with pushed-down projection,
 // filters, and limit (paper Section 6.8).
 type TableScanExec struct {
+	physical.OpMetrics
 	Name   string
 	Result *catalog.ScanResult
 	order  []physical.SortField
@@ -46,7 +47,34 @@ func (e *TableScanExec) OutputOrdering() []physical.SortField {
 	return e.order
 }
 func (e *TableScanExec) Execute(_ *physical.ExecContext, partition int) (physical.Stream, error) {
-	return e.Result.Open(partition)
+	s, err := e.Result.Open(partition)
+	if err != nil {
+		return nil, err
+	}
+	m := e.Metrics()
+	is := physical.InstrumentStream(s, m)
+	rt := e.Result.Runtime
+	if rt == nil {
+		return is, nil
+	}
+	// Re-publish the scan-wide pruning totals on every stream close (the
+	// counters are monotone, so Store of the latest totals is exact once
+	// all partitions have closed).
+	rgPruned := m.Counter("row_groups_pruned")
+	rgScanned := m.Counter("row_groups_scanned")
+	pagesPruned := m.Counter("pages_pruned")
+	bloomSkipped := m.Counter("bloom_skipped")
+	flush := func() {
+		is.Close()
+		rgPruned.Store(rt.RowGroupsPruned.Load())
+		rgScanned.Store(rt.RowGroupsScanned.Load())
+		pagesPruned.Store(rt.PagesPruned.Load())
+		bloomSkipped.Store(rt.BloomSkipped.Load())
+	}
+	// Publish plan-time pruning immediately so it shows even when the
+	// stream is abandoned before any batch is drained.
+	rgPruned.Store(rt.RowGroupsPruned.Load())
+	return NewFuncStream(e.Schema(), is.Next, flush), nil
 }
 func (e *TableScanExec) String() string {
 	cols := make([]string, e.Result.Schema.NumFields())

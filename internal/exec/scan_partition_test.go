@@ -7,6 +7,7 @@ import (
 
 	"gofusion/internal/arrow"
 	"gofusion/internal/catalog"
+	"gofusion/internal/logical"
 	"gofusion/internal/parquet"
 	"gofusion/internal/physical"
 )
@@ -65,5 +66,66 @@ func TestExchangeBufferDepth(t *testing.T) {
 	ctx.ExchangeBuffer = 0
 	if ctx.ExchangeBufferDepth() != physical.DefaultExchangeBuffer {
 		t.Fatalf("zero depth should fall back: %d", ctx.ExchangeBufferDepth())
+	}
+}
+
+// TestScanPruningMetrics checks the scan's pruning counters against a
+// hand-computed layout: 800 sequential int64 rows in 100-row row groups
+// (8 groups) with 50-row pages (2 per group). The predicate id > 649
+// must prune groups 0-5 by min/max stats (max 99..599 < 650), decode
+// groups 6 and 7, and skip group 6's first page (rows 600-649).
+func TestScanPruningMetrics(t *testing.T) {
+	schema := arrow.NewSchema(arrow.NewField("id", arrow.Int64, false))
+	b := arrow.NewNumericBuilder[int64](arrow.Int64)
+	for i := 0; i < 800; i++ {
+		b.Append(int64(i))
+	}
+	path := filepath.Join(t.TempDir(), "pruned.gpq")
+	if err := parquet.WriteFile(path, schema,
+		[]*arrow.RecordBatch{arrow.NewRecordBatch(schema, []arrow.Array{b.Finish()})},
+		parquet.WriterOptions{RowGroupRows: 100, PageRows: 50}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := catalog.NewGPQTable([]string{path}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Scan(catalog.ScanRequest{
+		Filters:    []logical.Expr{&logical.BinaryExpr{Op: logical.OpGt, L: logical.Col("id"), R: logical.Lit(int64(649))}},
+		Limit:      -1,
+		Partitions: 2,
+		Readahead:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := NewTableScanExec("pruned", res)
+	batches, err := CollectPlan(physical.NewExecContext(), scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, batch := range batches {
+		total += batch.NumRows()
+	}
+	if total != 150 {
+		t.Fatalf("rows = %d, want 150", total)
+	}
+	s := scan.Metrics().Snapshot()
+	if got := s.OutputRows; got != 150 {
+		t.Fatalf("output_rows = %d, want 150", got)
+	}
+	for _, tc := range []struct {
+		name string
+		want int64
+	}{
+		{"row_groups_pruned", 6},
+		{"row_groups_scanned", 2},
+		{"pages_pruned", 1},
+		{"bloom_skipped", 0},
+	} {
+		if got := s.ExtraValue(tc.name); got != tc.want {
+			t.Errorf("%s = %d, want %d (metrics: %s)", tc.name, got, tc.want, s.String())
+		}
 	}
 }

@@ -77,6 +77,7 @@ func batchBytes(b *arrow.RecordBatch) int64 {
 // runs to disk and merging them with a loser-tree-style heap when memory
 // is exhausted (paper Section 6.2).
 type ExternalSortExec struct {
+	physical.OpMetrics
 	Input physical.ExecutionPlan
 	Keys  []SortSpec
 }
@@ -163,6 +164,7 @@ func (e *ExternalSortExec) Execute(ctx *physical.ExecContext, partition int) (ph
 		}
 	}
 
+	m := e.Metrics()
 	spillRun := func() error {
 		if ctx.Disk == nil || !ctx.Disk.Enabled() {
 			return fmt.Errorf("exec: sort exceeded memory budget and spilling is disabled")
@@ -175,6 +177,7 @@ func (e *ExternalSortExec) Execute(ctx *physical.ExecContext, partition int) (ph
 		if err != nil {
 			return err
 		}
+		m.AddSpill(batchBytes(sorted))
 		const chunk = 8192
 		for off := 0; off < sorted.NumRows(); off += chunk {
 			n := chunk
@@ -221,6 +224,8 @@ func (e *ExternalSortExec) Execute(ctx *physical.ExecContext, partition int) (ph
 					if serr := spillRun(); serr != nil {
 						return nil, serr
 					}
+				} else {
+					m.UpdateMemPeak(res.Size())
 				}
 			}
 			if len(spills) == 0 {
@@ -266,7 +271,7 @@ func (e *ExternalSortExec) Execute(ctx *physical.ExecContext, partition int) (ph
 		}
 		return out.Next()
 	}
-	return NewFuncStream(e.Schema(), next, cleanup), nil
+	return physical.InstrumentStream(NewFuncStream(e.Schema(), next, cleanup), m), nil
 }
 
 // runCursor iterates one sorted spilled run.
@@ -384,6 +389,7 @@ func (e *ExternalSortExec) mergeSpills(ctx *physical.ExecContext, enc *rowformat
 // SortPreservingMergeExec merges already-sorted partitions into one sorted
 // stream without re-sorting.
 type SortPreservingMergeExec struct {
+	physical.OpMetrics
 	Input physical.ExecutionPlan
 	Keys  []SortSpec
 }
@@ -463,7 +469,11 @@ func (e *SortPreservingMergeExec) Execute(ctx *physical.ExecContext, partition i
 	}
 	n := e.Input.Partitions()
 	if n == 1 {
-		return e.Input.Execute(ctx, 0)
+		in, err := e.Input.Execute(ctx, 0)
+		if err != nil {
+			return nil, err
+		}
+		return physical.InstrumentStream(in, e.Metrics()), nil
 	}
 	enc, err := sortEncoder(e.Keys)
 	if err != nil {
@@ -546,5 +556,5 @@ func (e *SortPreservingMergeExec) Execute(ctx *physical.ExecContext, partition i
 			s.Close()
 		}
 	}
-	return NewFuncStream(e.Schema(), next, closeAll), nil
+	return physical.InstrumentStream(NewFuncStream(e.Schema(), next, closeAll), e.Metrics()), nil
 }

@@ -15,6 +15,7 @@ import (
 // "Top K"): it keeps only the best K rows in a bounded heap instead of
 // sorting the whole input.
 type TopKExec struct {
+	physical.OpMetrics
 	Input physical.ExecutionPlan
 	Keys  []SortSpec
 	K     int64
@@ -147,5 +148,5 @@ func (e *TopKExec) Execute(ctx *physical.ExecContext, partition int) (physical.S
 		emitted = true
 		return result, nil
 	}
-	return NewFuncStream(e.Schema(), next, in.Close), nil
+	return physical.InstrumentStream(NewFuncStream(e.Schema(), next, in.Close), e.Metrics()), nil
 }

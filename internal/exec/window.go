@@ -31,6 +31,7 @@ type WindowSpec struct {
 // (paper Section 6.5), appending one output column per spec while
 // preserving the input row order.
 type WindowExec struct {
+	physical.OpMetrics
 	Input  physical.ExecutionPlan
 	Specs  []WindowSpec
 	Reg    *functions.Registry
@@ -109,7 +110,7 @@ func (e *WindowExec) Execute(ctx *physical.ExecContext, partition int) (physical
 		pos += n
 		return b, nil
 	}
-	return NewFuncStream(e.schema, next, in.Close), nil
+	return physical.InstrumentStream(NewFuncStream(e.schema, next, in.Close), e.Metrics()), nil
 }
 
 // evalSpec computes one window column over the whole input, in input row

@@ -5,9 +5,11 @@ import (
 	"path/filepath"
 
 	"gofusion/internal/arrow"
+	"gofusion/internal/arrow/compute"
 	"gofusion/internal/baseline"
 	"gofusion/internal/core"
 	"gofusion/internal/csvio"
+	"gofusion/internal/exec"
 	"gofusion/internal/parquet"
 	"gofusion/internal/testutil"
 )
@@ -41,7 +43,10 @@ func DefaultConfigs() []EngineConfig {
 	return []EngineConfig{
 		{"p1", core.SessionConfig{TargetPartitions: 1}},
 		{"p4", core.SessionConfig{TargetPartitions: 4}},
-		{"p4-spill", core.SessionConfig{TargetPartitions: 4, MemoryLimit: 8 << 10}},
+		// 4KiB genuinely forces sort/aggregate spills on the generated
+		// dataset (the previous 8KiB sat just above the pool peak, so the
+		// "forced spill" config never actually spilled).
+		{"p4-spill", core.SessionConfig{TargetPartitions: 4, MemoryLimit: 4 << 10}},
 		{"p4-noreadahead", core.SessionConfig{TargetPartitions: 4, ScanReadahead: -1}},
 		{"p4-smallbuf", core.SessionConfig{TargetPartitions: 4, ExchangeBufferDepth: 1}},
 		{"p1-smallbatch", core.SessionConfig{TargetPartitions: 1, BatchRows: 64}},
@@ -89,6 +94,11 @@ type Harness struct {
 	Formats  []Format
 	baseline map[Format]*baseline.Engine
 	engines  map[string]*core.SessionContext // key: config name + "/" + format
+	// SpillCounts / SpillBytes accumulate per-config spill totals across
+	// every query checked, so callers can assert that memory-limited
+	// configs actually spilled. Not safe for concurrent Check calls.
+	SpillCounts map[string]int64
+	SpillBytes  map[string]int64
 }
 
 // NewHarness materializes the dataset under dir (for csv/gpq) and
@@ -97,11 +107,13 @@ type Harness struct {
 // splits, and multi-file scans.
 func NewHarness(ds *Dataset, dir string, configs []EngineConfig, formats []Format) (*Harness, error) {
 	h := &Harness{
-		DS:       ds,
-		Configs:  configs,
-		Formats:  formats,
-		baseline: map[Format]*baseline.Engine{},
-		engines:  map[string]*core.SessionContext{},
+		DS:          ds,
+		Configs:     configs,
+		Formats:     formats,
+		baseline:    map[Format]*baseline.Engine{},
+		engines:     map[string]*core.SessionContext{},
+		SpillCounts: map[string]int64{},
+		SpillBytes:  map[string]int64{},
 	}
 	files := map[Format]map[string][]string{CSV: {}, GPQ: {}}
 	for _, f := range formats {
@@ -190,6 +202,12 @@ type outcome struct {
 	batch    *arrow.RecordBatch
 	err      error
 	panicked bool
+	// metricsErr reports a metric-invariant violation on an otherwise
+	// successful run (correct rows, broken accounting).
+	metricsErr error
+	// spillCount/spillBytes are summed over the executed plan's operators.
+	spillCount int64
+	spillBytes int64
 }
 
 func runEngine(s *core.SessionContext, query string) (out outcome) {
@@ -202,8 +220,21 @@ func runEngine(s *core.SessionContext, query string) (out outcome) {
 	if err != nil {
 		return outcome{err: err}
 	}
-	b, err := df.CollectBatch()
-	return outcome{batch: b, err: err}
+	batches, qm, err := df.CollectWithMetrics()
+	if err != nil {
+		return outcome{err: err}
+	}
+	b, err := compute.ConcatBatches(df.Schema().ToArrow(), batches)
+	if err != nil {
+		return outcome{err: err}
+	}
+	out = outcome{batch: b}
+	out.metricsErr = exec.CheckPlanMetrics(qm.Plan, qm.RowsReturned)
+	out.spillCount, out.spillBytes = exec.PlanSpillStats(qm.Plan)
+	if out.metricsErr == nil && out.spillCount > 0 && out.spillBytes == 0 {
+		out.metricsErr = fmt.Errorf("spill_count=%d but spilled_bytes=0", out.spillCount)
+	}
+	return out
 }
 
 func runBaseline(e *baseline.Engine, query string) (out outcome) {
@@ -243,6 +274,12 @@ func (h *Harness) Check(query string) *Failure {
 					return &Failure{SQL: query, Format: f, Config: c.Name,
 						Detail: "result mismatch vs baseline:\n" + diff}
 				}
+				if got.metricsErr != nil {
+					return &Failure{SQL: query, Format: f, Config: c.Name,
+						Detail: "metrics invariant violation: " + got.metricsErr.Error()}
+				}
+				h.SpillCounts[c.Name] += got.spillCount
+				h.SpillBytes[c.Name] += got.spillBytes
 			}
 		}
 	}

@@ -43,6 +43,13 @@ func TestFixedSeedMatrix(t *testing.T) {
 	if rep.Queries < n {
 		t.Fatalf("ran %d queries, want >= %d", rep.Queries, n)
 	}
+	// Every successful query also passed exec.CheckPlanMetrics (wired into
+	// Harness.Check). The memory-limited config must additionally have
+	// exercised the spill paths somewhere in the run; a zero here means
+	// spill instrumentation (or spilling itself) silently broke.
+	if rep.SpillCounts["p4-spill"] == 0 {
+		t.Fatalf("p4-spill config recorded no operator spills across %d queries", rep.Queries)
+	}
 }
 
 // TestShrinkerReducesInjectedMismatch injects a synthetic failure

@@ -43,6 +43,9 @@ type Report struct {
 	Queries  int
 	Elapsed  time.Duration
 	Failures []ShrunkFailure
+	// SpillCounts totals each config's operator spill events across every
+	// successful query (copied from the harness at the end of the run).
+	SpillCounts map[string]int64
 }
 
 // Run generates queries and checks each across the matrix, shrinking any
@@ -124,6 +127,7 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 	rep.Elapsed = time.Since(start)
+	rep.SpillCounts = h.SpillCounts
 	return rep, nil
 }
 

@@ -37,6 +37,9 @@ type Pool interface {
 	registerConsumer() func()
 	// Reserved returns the total bytes currently reserved.
 	Reserved() int64
+	// ReservedPeak returns the high-water mark of Reserved over the
+	// pool's lifetime (surfaced by EXPLAIN ANALYZE / CollectWithMetrics).
+	ReservedPeak() int64
 }
 
 // Reservation tracks one operator's share of a pool.
@@ -89,6 +92,7 @@ func (r *Reservation) Size() int64 { return r.size }
 type UnboundedPool struct {
 	mu   sync.Mutex
 	used int64
+	peak int64
 }
 
 // NewUnboundedPool returns a pool that never rejects.
@@ -97,6 +101,9 @@ func NewUnboundedPool() *UnboundedPool { return &UnboundedPool{} }
 func (p *UnboundedPool) grow(_ *Reservation, n int64) error {
 	p.mu.Lock()
 	p.used += n
+	if p.used > p.peak {
+		p.peak = p.used
+	}
 	p.mu.Unlock()
 	return nil
 }
@@ -116,12 +123,20 @@ func (p *UnboundedPool) Reserved() int64 {
 	return p.used
 }
 
+// ReservedPeak returns the high-water mark of tracked bytes.
+func (p *UnboundedPool) ReservedPeak() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
+
 // GreedyPool enforces a process-wide limit on a first-come first-served
 // basis without attempting fairness between operators.
 type GreedyPool struct {
 	mu    sync.Mutex
 	limit int64
 	used  int64
+	peak  int64
 }
 
 // NewGreedyPool returns a pool with the given byte limit.
@@ -134,6 +149,9 @@ func (p *GreedyPool) grow(r *Reservation, n int64) error {
 		return fmt.Errorf("%w", &ErrResourcesExhausted{Consumer: r.name, Requested: n, Limit: p.limit, Used: p.used})
 	}
 	p.used += n
+	if p.used > p.peak {
+		p.peak = p.used
+	}
 	return nil
 }
 
@@ -152,6 +170,13 @@ func (p *GreedyPool) Reserved() int64 {
 	return p.used
 }
 
+// ReservedPeak returns the high-water mark of reserved bytes.
+func (p *GreedyPool) ReservedPeak() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
+
 // Limit returns the pool limit.
 func (p *GreedyPool) Limit() int64 { return p.limit }
 
@@ -162,6 +187,7 @@ type FairPool struct {
 	mu        sync.Mutex
 	limit     int64
 	used      int64
+	peak      int64
 	consumers int
 }
 
@@ -179,6 +205,9 @@ func (p *FairPool) grow(r *Reservation, n int64) error {
 		return fmt.Errorf("%w", &ErrResourcesExhausted{Consumer: r.name, Requested: n, Limit: perConsumer, Used: r.size})
 	}
 	p.used += n
+	if p.used > p.peak {
+		p.peak = p.used
+	}
 	return nil
 }
 
@@ -207,6 +236,13 @@ func (p *FairPool) Reserved() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.used
+}
+
+// ReservedPeak returns the high-water mark of reserved bytes.
+func (p *FairPool) ReservedPeak() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
 }
 
 // RegisterConsumer marks a pipeline-breaking consumer on any pool,

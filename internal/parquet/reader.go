@@ -260,6 +260,9 @@ type Scanner struct {
 	RowGroupsPruned  int
 	RowGroupsMatched int
 	PagesSkipped     int
+	// BloomSkipped counts row groups rejected by a Bloom filter probe (a
+	// subset of RowGroupsPruned).
+	BloomSkipped int
 }
 
 // Scan starts a pushed-down scan over the file.
@@ -424,6 +427,7 @@ func (s *Scanner) keepRowGroup(rg int) bool {
 		}
 		bf := &bloomFilter{bits: bits, k: chunk.Bloom.NumHashes}
 		if !bf.MightContain(probe.Value) {
+			s.BloomSkipped++
 			return false
 		}
 	}

@@ -1,0 +1,231 @@
+package physical
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gofusion/internal/arrow"
+)
+
+// MetricsSet holds the runtime counters of one physical operator,
+// aggregated across all of its partitions (paper Section 5.5: every
+// ExecutionPlan carries a MetricsSet surfaced by EXPLAIN ANALYZE). The
+// core counters are plain atomics so the batch hot path never takes a
+// lock; operator-specific counters are created once per name under a
+// mutex and then updated atomically through the returned *Counter.
+type MetricsSet struct {
+	outputRows    atomic.Int64
+	outputBatches atomic.Int64
+	elapsedNanos  atomic.Int64
+	spillCount    atomic.Int64
+	spilledBytes  atomic.Int64
+	memPeak       atomic.Int64
+
+	mu    sync.Mutex
+	extra []*Counter
+}
+
+// NewMetricsSet returns an empty metrics set.
+func NewMetricsSet() *MetricsSet { return &MetricsSet{} }
+
+// AddOutput records rows/batches emitted by one Next call.
+func (m *MetricsSet) AddOutput(rows int64) {
+	m.outputRows.Add(rows)
+	m.outputBatches.Add(1)
+}
+
+// AddElapsed accrues compute time (wall clock spent inside Next,
+// inclusive of time spent pulling from children).
+func (m *MetricsSet) AddElapsed(d time.Duration) { m.elapsedNanos.Add(int64(d)) }
+
+// AddSpill records one spill event of the given byte size.
+func (m *MetricsSet) AddSpill(bytes int64) {
+	m.spillCount.Add(1)
+	m.spilledBytes.Add(bytes)
+}
+
+// UpdateMemPeak raises the recorded peak memory reservation to at least
+// sz (monotone max across partitions).
+func (m *MetricsSet) UpdateMemPeak(sz int64) { atomicMax(&m.memPeak, sz) }
+
+// OutputRows returns the rows emitted so far.
+func (m *MetricsSet) OutputRows() int64 { return m.outputRows.Load() }
+
+// SpillCount returns the spill events recorded so far.
+func (m *MetricsSet) SpillCount() int64 { return m.spillCount.Load() }
+
+// SpilledBytes returns the bytes spilled so far.
+func (m *MetricsSet) SpilledBytes() int64 { return m.spilledBytes.Load() }
+
+// Counter returns the operator-specific counter with the given name,
+// creating it on first use. Callers should cache the pointer at stream
+// open so per-batch updates are a single atomic add.
+func (m *MetricsSet) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.extra {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &Counter{name: name}
+	m.extra = append(m.extra, c)
+	return c
+}
+
+// Counter is one named operator-specific metric.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Store sets the counter to an absolute value (for monotone totals
+// re-published by each partition).
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
+// Max raises the counter to at least n.
+func (c *Counter) Max(n int64) { atomicMax(&c.v, n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+func atomicMax(v *atomic.Int64, n int64) {
+	for {
+		cur := v.Load()
+		if n <= cur || v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// MetricValue is one named metric in a snapshot.
+type MetricValue struct {
+	Name  string
+	Value int64
+}
+
+// MetricsSnapshot is a point-in-time copy of a MetricsSet.
+type MetricsSnapshot struct {
+	OutputRows      int64
+	OutputBatches   int64
+	Elapsed         time.Duration
+	SpillCount      int64
+	SpilledBytes    int64
+	MemReservedPeak int64
+	// Extra holds operator-specific counters in creation order.
+	Extra []MetricValue
+}
+
+// Snapshot copies the current counter values.
+func (m *MetricsSet) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		OutputRows:      m.outputRows.Load(),
+		OutputBatches:   m.outputBatches.Load(),
+		Elapsed:         time.Duration(m.elapsedNanos.Load()),
+		SpillCount:      m.spillCount.Load(),
+		SpilledBytes:    m.spilledBytes.Load(),
+		MemReservedPeak: m.memPeak.Load(),
+	}
+	m.mu.Lock()
+	extra := make([]*Counter, len(m.extra))
+	copy(extra, m.extra)
+	m.mu.Unlock()
+	for _, c := range extra {
+		s.Extra = append(s.Extra, MetricValue{Name: c.name, Value: c.v.Load()})
+	}
+	return s
+}
+
+// Extra returns the named counter from the snapshot, or 0.
+func (s MetricsSnapshot) ExtraValue(name string) int64 {
+	for _, mv := range s.Extra {
+		if mv.Name == name {
+			return mv.Value
+		}
+	}
+	return 0
+}
+
+// String renders the snapshot the way EXPLAIN ANALYZE annotates plan
+// lines: the core counters always, spill/memory/extras only when set.
+func (s MetricsSnapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "output_rows=%d, output_batches=%d, elapsed_compute=%s",
+		s.OutputRows, s.OutputBatches, s.Elapsed.Round(time.Microsecond))
+	if s.SpillCount > 0 || s.SpilledBytes > 0 {
+		fmt.Fprintf(&sb, ", spill_count=%d, spilled_bytes=%d", s.SpillCount, s.SpilledBytes)
+	}
+	if s.MemReservedPeak > 0 {
+		fmt.Fprintf(&sb, ", mem_reserved_peak=%d", s.MemReservedPeak)
+	}
+	for _, mv := range s.Extra {
+		fmt.Fprintf(&sb, ", %s=%d", mv.Name, mv.Value)
+	}
+	return sb.String()
+}
+
+// MetricsProvider is implemented by operators that record runtime
+// metrics. It is an optional extension of ExecutionPlan so user-defined
+// plans (examples/extension) remain source compatible.
+type MetricsProvider interface {
+	Metrics() *MetricsSet
+}
+
+// OpMetrics is the embeddable MetricsProvider implementation for
+// operators. The zero value is ready; Metrics lazily allocates the
+// shared set under a package-level lock so that operator structs stay
+// copyable (several operators copy themselves in WithChildren, and a
+// struct-embedded mutex would trip go vet's copylocks check). All
+// copies made after the first Metrics call share the same set.
+type OpMetrics struct {
+	m *MetricsSet
+}
+
+var opMetricsMu sync.Mutex
+
+// Metrics returns the operator's metrics set, creating it on first use.
+func (o *OpMetrics) Metrics() *MetricsSet {
+	opMetricsMu.Lock()
+	defer opMetricsMu.Unlock()
+	if o.m == nil {
+		o.m = NewMetricsSet()
+	}
+	return o.m
+}
+
+// instrumentedStream wraps a Stream, timing Next and counting output.
+type instrumentedStream struct {
+	inner Stream
+	m     *MetricsSet
+}
+
+// InstrumentStream wraps s so every Next call accrues elapsed_compute,
+// output_rows and output_batches into m. The elapsed time is inclusive
+// of time spent inside children's Next (wall clock per operator frame),
+// matching how EXPLAIN ANALYZE tools conventionally report it.
+func InstrumentStream(s Stream, m *MetricsSet) Stream {
+	return &instrumentedStream{inner: s, m: m}
+}
+
+func (s *instrumentedStream) Schema() *arrow.Schema { return s.inner.Schema() }
+
+func (s *instrumentedStream) Next() (b *arrow.RecordBatch, err error) {
+	start := time.Now()
+	b, err = s.inner.Next()
+	s.m.AddElapsed(time.Since(start))
+	if err == nil && b != nil {
+		s.m.AddOutput(int64(b.NumRows()))
+	}
+	return b, err
+}
+
+func (s *instrumentedStream) Close() { s.inner.Close() }

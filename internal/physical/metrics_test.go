@@ -1,0 +1,124 @@
+package physical
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMetricsSetConcurrent hammers one MetricsSet from many writers while
+// a reader snapshots concurrently; run under -race this proves the
+// lock-cheap counters are safe to share across partition streams. Totals
+// are verified after the writers join.
+func TestMetricsSetConcurrent(t *testing.T) {
+	m := NewMetricsSet()
+	const writers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := m.Snapshot()
+			if s.OutputRows < 0 || s.SpilledBytes < 0 {
+				panic("negative snapshot value")
+			}
+			_ = s.String()
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := m.Counter("build_rows")
+			own := m.Counter(fmt.Sprintf("writer_%d", w))
+			for i := 0; i < iters; i++ {
+				m.AddOutput(3)
+				m.AddElapsed(time.Microsecond)
+				m.AddSpill(10)
+				m.UpdateMemPeak(int64(w*iters + i))
+				c.Add(2)
+				own.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	s := m.Snapshot()
+	if want := int64(writers * iters * 3); s.OutputRows != want {
+		t.Fatalf("output_rows = %d, want %d", s.OutputRows, want)
+	}
+	if want := int64(writers * iters); s.OutputBatches != want {
+		t.Fatalf("output_batches = %d, want %d", s.OutputBatches, want)
+	}
+	if want := int64(writers * iters); s.SpillCount != want {
+		t.Fatalf("spill_count = %d, want %d", s.SpillCount, want)
+	}
+	if want := int64(writers * iters * 10); s.SpilledBytes != want {
+		t.Fatalf("spilled_bytes = %d, want %d", s.SpilledBytes, want)
+	}
+	if want := int64((writers-1)*iters + iters - 1); s.MemReservedPeak != want {
+		t.Fatalf("mem_reserved_peak = %d, want %d", s.MemReservedPeak, want)
+	}
+	if want := int64(writers * iters * 2); s.ExtraValue("build_rows") != want {
+		t.Fatalf("build_rows = %d, want %d", s.ExtraValue("build_rows"), want)
+	}
+	for w := 0; w < writers; w++ {
+		if got := s.ExtraValue(fmt.Sprintf("writer_%d", w)); got != iters {
+			t.Fatalf("writer_%d = %d, want %d", w, got, iters)
+		}
+	}
+}
+
+// TestMetricsSnapshotString pins the EXPLAIN ANALYZE annotation format.
+func TestMetricsSnapshotString(t *testing.T) {
+	m := NewMetricsSet()
+	m.AddOutput(100)
+	m.AddOutput(50)
+	m.AddElapsed(1500 * time.Microsecond)
+	s := m.Snapshot().String()
+	if !strings.Contains(s, "output_rows=150") ||
+		!strings.Contains(s, "output_batches=2") ||
+		!strings.Contains(s, "elapsed_compute=1.5ms") {
+		t.Fatalf("core counters missing: %q", s)
+	}
+	if strings.Contains(s, "spill_count") || strings.Contains(s, "mem_reserved_peak") {
+		t.Fatalf("zero-valued optional counters must be omitted: %q", s)
+	}
+	m.AddSpill(4096)
+	m.UpdateMemPeak(1 << 20)
+	m.Counter("probe_rows").Add(7)
+	s = m.Snapshot().String()
+	for _, want := range []string{"spill_count=1", "spilled_bytes=4096", "mem_reserved_peak=1048576", "probe_rows=7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in %q", want, s)
+		}
+	}
+}
+
+// TestOpMetricsSharedAcrossCopies: operators copy themselves in
+// WithChildren; all copies made after the first Metrics call must share
+// one MetricsSet.
+func TestOpMetricsSharedAcrossCopies(t *testing.T) {
+	var o OpMetrics
+	m := o.Metrics()
+	cp := o
+	if cp.Metrics() != m {
+		t.Fatal("copy after first Metrics call must share the set")
+	}
+	m.AddOutput(1)
+	if cp.Metrics().OutputRows() != 1 {
+		t.Fatal("copies must observe each other's updates")
+	}
+}

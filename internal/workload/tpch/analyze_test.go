@@ -1,0 +1,89 @@
+package tpch_test
+
+import (
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"gofusion/internal/core"
+	"gofusion/internal/exec"
+	"gofusion/internal/workload/tpch"
+)
+
+var metricsAnnotation = regexp.MustCompile(`, metrics=\[[^\]]*\]`)
+
+// TestExplainAnalyzeShape runs representative TPC-H queries (scan-heavy
+// Q1/Q6 and join+agg Q3/Q5/Q10) at 1 and 4 partitions and checks the
+// EXPLAIN ANALYZE contract: the annotated tree is exactly the physical
+// plan tree plus per-operator metrics, every operator reports at least
+// output_rows and elapsed_compute, the cross-operator metric invariants
+// hold, and executing with metrics leaks no goroutines.
+func TestExplainAnalyzeShape(t *testing.T) {
+	queries := []int{1, 3, 5, 6, 10}
+	for _, parts := range []int{1, 4} {
+		s := core.NewSession(core.SessionConfig{TargetPartitions: parts})
+		if err := tpch.RegisterInMemory(s, 0.01); err != nil {
+			t.Fatal(err)
+		}
+		baseline := settledGoroutines()
+		for _, n := range queries {
+			q, err := tpch.Query(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			df, err := s.SQL(q)
+			if err != nil {
+				t.Fatalf("Q%d p%d plan: %v", n, parts, err)
+			}
+			batches, qm, err := df.CollectWithMetrics()
+			if err != nil {
+				t.Fatalf("Q%d p%d exec: %v", n, parts, err)
+			}
+			var rows int64
+			for _, b := range batches {
+				rows += int64(b.NumRows())
+			}
+			if err := exec.CheckPlanMetrics(qm.Plan, rows); err != nil {
+				t.Errorf("Q%d p%d: %v", n, parts, err)
+			}
+
+			analyzed := exec.ExplainAnalyze(qm.Plan)
+			// Stripping the metric annotations must yield exactly the
+			// plain physical plan rendering: ANALYZE may not alter the
+			// operator tree.
+			if stripped := metricsAnnotation.ReplaceAllString(analyzed, ""); stripped != exec.ExplainPhysical(qm.Plan) {
+				t.Errorf("Q%d p%d: ANALYZE tree differs from physical plan:\n%s", n, parts, analyzed)
+			}
+			for _, line := range strings.Split(strings.TrimRight(analyzed, "\n"), "\n") {
+				if !strings.Contains(line, "metrics=[") ||
+					!strings.Contains(line, "output_rows=") ||
+					!strings.Contains(line, "elapsed_compute=") {
+					t.Errorf("Q%d p%d: operator lacks core metrics: %q", n, parts, line)
+				}
+			}
+
+			// All partition producers (repartition, coalesce) must have
+			// exited once the query is fully drained and closed.
+			if after := settledGoroutines(); after > baseline {
+				t.Errorf("Q%d p%d: goroutine leak: %d before, %d after", n, parts, baseline, after)
+			}
+		}
+	}
+}
+
+// settledGoroutines samples runtime.NumGoroutine after letting transient
+// goroutines (exchange producers draining on close) wind down.
+func settledGoroutines() int {
+	prev := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		time.Sleep(2 * time.Millisecond)
+		cur := runtime.NumGoroutine()
+		if cur >= prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}
