@@ -1,0 +1,190 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package at a time and reports Diagnostics. It exists so the
+// engine can ship custom invariant checkers (cmd/gofusionlint) without
+// pulling external modules: the standard library provides parsing
+// (go/parser), type checking (go/types), and export-data import
+// (go/importer); this package provides the tiny driver contract on top.
+//
+// Analyzers in this suite are purely local (no cross-package facts), which
+// keeps the vet-protocol shim trivial: each package is analyzed against
+// its compiled dependencies' export data only.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the check's identifier, used in -<name>=false flags and in
+	// //nolint:<name> suppression comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description (first line is the summary).
+	Doc string
+	// Run inspects a package and reports diagnostics through the Pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked representation into
+// an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver filters suppressed lines
+	// (//nolint comments) before rendering.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name; filled by the driver when empty
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewTypesInfo returns a types.Info with every map analyzers rely on
+// populated, so drivers cannot forget one.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// RunAnalyzers executes each analyzer over the package and returns the
+// surviving diagnostics (suppressed lines removed) sorted by position.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	suppressed := suppressedLines(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			if d.Category == "" {
+				d.Category = a.Name
+			}
+			p := fset.Position(d.Pos)
+			if names, ok := suppressed[lineKey{p.Filename, p.Line}]; ok {
+				if names[d.Category] || names["all"] {
+					return
+				}
+			}
+			out = append(out, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sortDiagnostics(fset, out)
+	return out, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// suppressedLines maps file:line to the set of analyzer names suppressed
+// there by a trailing or preceding "//nolint:name1,name2" comment
+// ("//nolint:all" silences every analyzer on the line).
+func suppressedLines(fset *token.FileSet, files []*ast.File) map[lineKey]map[string]bool {
+	sup := map[lineKey]map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "nolint:") {
+					continue
+				}
+				names := map[string]bool{}
+				for _, n := range strings.Split(strings.TrimPrefix(text, "nolint:"), ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names[n] = true
+					}
+				}
+				p := fset.Position(c.Pos())
+				merge(sup, lineKey{p.Filename, p.Line}, names)
+				// A nolint comment on its own line also covers the next line.
+				if onOwnLine(fset, f, c) {
+					merge(sup, lineKey{p.Filename, p.Line + 1}, names)
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func merge(sup map[lineKey]map[string]bool, k lineKey, names map[string]bool) {
+	dst, ok := sup[k]
+	if !ok {
+		dst = map[string]bool{}
+		sup[k] = dst
+	}
+	for n := range names {
+		dst[n] = true
+	}
+}
+
+// onOwnLine reports whether comment c has no code before it on its line.
+func onOwnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cp := fset.Position(c.Pos())
+	own := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !own {
+			return false
+		}
+		if _, isFile := n.(*ast.File); !isFile {
+			np := fset.Position(n.Pos())
+			if np.Filename == cp.Filename && np.Line == cp.Line && n.Pos() < c.Pos() {
+				own = false
+			}
+		}
+		return own
+	})
+	return own
+}
+
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	// Insertion sort: diagnostic counts are tiny.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && less(fset, ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func less(fset *token.FileSet, a, b Diagnostic) bool {
+	pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}

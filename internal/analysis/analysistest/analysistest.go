@@ -1,0 +1,165 @@
+// Package analysistest runs an Analyzer over a golden testdata package
+// and compares its diagnostics against expectations written in the
+// source as "// want" comments, mirroring the x/tools harness of the
+// same name:
+//
+//	s, _ := plan.Execute(ctx, 0) // want `never closed`
+//	x.count++                    // want "races" "second finding"
+//
+// Each string after want is a regexp that must match the message of one
+// diagnostic reported on that line; unmatched diagnostics and unmatched
+// expectations both fail the test. Testdata lives under
+// <analyzer>/testdata/src/<pkg>; the go tool ignores testdata trees, so
+// these packages may contain deliberate defects without breaking the
+// build. They may import real engine packages — imports resolve against
+// the enclosing module's compiled dependency closure.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gofusion/internal/analysis"
+	"gofusion/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	d, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Run loads testdata/src/<pkg>, runs the analyzer, and checks the
+// resulting diagnostics against the package's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	moduleDir, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := load.LoadDir(moduleDir, filepath.Join(testdata, "src", pkg), pkg)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkg, err)
+	}
+	for _, terr := range p.TypeErrors {
+		t.Errorf("testdata type error: %v", terr)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, p.Fset, p.Files, p.Types, p.Info)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, p.Fset, p.Files)
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			pos := p.Fset.Position(d.Pos)
+			if filepath.Base(pos.Filename) == w.file && pos.Line == w.line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			pos := p.Fset.Position(d.Pos)
+			t.Errorf("%s:%d:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, pos.Column, d.Message)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var out []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				pats, err := parseWant(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					out = append(out, want{filepath.Base(pos.Filename), pos.Line, re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWant splits `"re1" "re2"` / backquoted forms into the regexp
+// source strings.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated string in %q", s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, unq)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+	}
+}

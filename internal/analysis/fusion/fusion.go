@@ -1,0 +1,153 @@
+// Package fusion holds the type-recognition helpers shared by the
+// gofusionlint analyzers: resolving the engine's Stream interface,
+// identifying sync/atomic fields, and locating packages in a
+// type-checked import graph.
+package fusion
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StreamPkg is the package that declares the engine-wide Stream
+// interface (physical.Stream is an alias of it).
+const StreamPkg = "gofusion/internal/catalog"
+
+// IsStreamNamed reports whether t (after unaliasing) is the named
+// interface gofusion/internal/catalog.Stream.
+func IsStreamNamed(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == "Stream" && obj.Pkg() != nil && obj.Pkg().Path() == StreamPkg
+}
+
+// StreamInterface returns the catalog.Stream interface type reachable
+// from pkg's import graph, or nil when the package (transitively)
+// never imports it.
+func StreamInterface(pkg *types.Package) *types.Interface {
+	cat := FindImport(pkg, StreamPkg)
+	if cat == nil {
+		return nil
+	}
+	obj := cat.Scope().Lookup("Stream")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// ImplementsStream reports whether t implements the engine Stream
+// interface (resolved through pkg's imports).
+func ImplementsStream(pkg *types.Package, t types.Type) bool {
+	iface := StreamInterface(pkg)
+	if iface == nil {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// FindImport walks pkg's transitive imports for the given path,
+// returning nil when absent. The receiver package itself matches too,
+// so analyzers behave identically inside and outside the target
+// package.
+func FindImport(pkg *types.Package, path string) *types.Package {
+	if pkg == nil {
+		return nil
+	}
+	seen := map[*types.Package]bool{}
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == path {
+			return p
+		}
+		for _, imp := range p.Imports() {
+			if found := walk(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}
+
+// IsAtomicType reports whether t (after unaliasing) is one of the
+// sync/atomic wrapper types (atomic.Int64, atomic.Bool, ...).
+func IsAtomicType(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// IsAtomicFunc reports whether the called function object belongs to
+// sync/atomic (AddInt64, LoadInt64, ...).
+func IsAtomicFunc(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// FieldOf resolves a selector expression to the struct field it reads
+// or writes, or nil when sel is not a field selection.
+func FieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	// Package-qualified or unqualified references resolve through Uses.
+	if obj, ok := info.Uses[sel.Sel]; ok {
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// CalleeObj returns the object called by e's function expression
+// (method or function), or nil.
+func CalleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fn]; ok {
+			return s.Obj()
+		}
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// ResultTypes returns the result types of the call expression (empty
+// when the call's type is unknown).
+func ResultTypes(info *types.Info, call *ast.CallExpr) []types.Type {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		out := make([]types.Type, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			out[i] = t.At(i).Type()
+		}
+		return out
+	default:
+		return []types.Type{t}
+	}
+}

@@ -1,0 +1,232 @@
+// Package load type-checks packages for the gofusionlint analyzers
+// without any dependency beyond the standard library and the go tool.
+//
+// It shells out to `go list -export -deps -json`, which compiles (or
+// reuses from the build cache) every package matched plus its transitive
+// dependencies and reports the export-data file of each. Target packages
+// are then parsed from source and type-checked with go/types against that
+// export data via the standard gc importer — the same import mechanism
+// the real `go vet` uses, so standalone runs and `go vet -vettool` runs
+// agree on types.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"gofusion/internal/analysis"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds type-checking problems; analyzers still run on
+	// packages with errors, but drivers should surface them.
+	TypeErrors []error
+}
+
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList invokes `go list -export -deps -json` for the patterns and
+// decodes the JSON stream.
+func goList(moduleDir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a types.Importer reading export data files named
+// by exports (import path -> file). importMap remaps source import paths
+// to canonical package paths (vet test variants); nil means identity.
+func ExportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Check parses goFiles and type-checks them as one package.
+func Check(fset *token.FileSet, importPath string, goFiles []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{ImportPath: importPath, Fset: fset, Files: files, Info: analysis.NewTypesInfo()}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// The bracketed " [foo.test]" suffix of test variants is not part of
+	// the package path proper.
+	path := importPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	tpkg, _ := conf.Check(path, fset, files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// Load type-checks the packages matching the go patterns (e.g. "./...")
+// relative to moduleDir. Dependency-only packages are imported from
+// export data, not re-parsed.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports, nil)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		var goFiles []string
+		for _, gf := range p.GoFiles {
+			goFiles = append(goFiles, filepath.Join(p.Dir, gf))
+		}
+		pkg, err := Check(fset, p.ImportPath, goFiles, imp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+var (
+	moduleExportsOnce sync.Once
+	moduleExports     map[string]string
+	moduleExportsErr  error
+)
+
+// moduleDepExports returns the export-data map of every package in the
+// module's ./... closure, computed once per process. Used to resolve the
+// imports of out-of-module sources (analysistest testdata).
+func moduleDepExports(moduleDir string) (map[string]string, error) {
+	moduleExportsOnce.Do(func() {
+		listed, err := goList(moduleDir, []string{"./..."})
+		if err != nil {
+			moduleExportsErr = err
+			return
+		}
+		moduleExports = map[string]string{}
+		for _, p := range listed {
+			if p.Export != "" {
+				moduleExports[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return moduleExports, moduleExportsErr
+}
+
+// LoadDir parses and type-checks the .go files directly inside dir as one
+// package (named importPath), resolving imports against the enclosing
+// module's dependency closure. This is how analysistest loads testdata
+// packages, which live outside the module's package tree but import real
+// engine packages.
+func LoadDir(moduleDir, dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	exports, err := moduleDepExports(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return Check(fset, importPath, goFiles, ExportImporter(fset, exports, nil))
+}
+
+// ModuleRoot walks upward from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
