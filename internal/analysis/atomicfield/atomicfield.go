@@ -1,0 +1,145 @@
+// Package atomicfield enforces the engine's metrics concurrency
+// discipline (physical.MetricsSet / OpMetrics / catalog.ScanRuntime are
+// updated lock-free from every partition stream):
+//
+//  1. A struct field whose type is a sync/atomic wrapper (atomic.Int64,
+//     atomic.Bool, ...) may only be used as a method-call receiver
+//     (f.Load(), f.Add(n)) or have its address taken (&f, for helpers
+//     like atomicMax). Copying the wrapper value reads the counter
+//     non-atomically and detaches it from the shared instance.
+//
+//  2. A plain integer field that is anywhere accessed through a
+//     sync/atomic function (atomic.AddInt64(&x.f, ...)) is an "atomic
+//     field" for the whole package: every other access must also go
+//     through sync/atomic. Mixed plain/atomic access is a data race the
+//     race detector only observes under contention.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gofusion/internal/analysis"
+	"gofusion/internal/analysis/fusion"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "check that atomic metrics fields are only accessed atomically\n\n" +
+		"sync/atomic-typed fields may only be method receivers or have their\n" +
+		"address taken; plain fields touched via sync/atomic functions must be\n" +
+		"accessed that way everywhere in the package.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find plain fields that are the target of a sync/atomic
+	// call anywhere in this package: atomic.AddInt64(&x.f, ...).
+	atomicallyUsed := map[*types.Var]bool{}
+	// Selector expressions that appear as &x.f arguments of sync/atomic
+	// calls (legal contexts for rule 2).
+	legalAtomicArg := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !fusion.IsAtomicFunc(fusion.CalleeObj(pass.TypesInfo, call)) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fusion.FieldOf(pass.TypesInfo, sel); fld != nil {
+					atomicallyUsed[fld] = true
+					legalAtomicArg[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag illegal accesses. Walk with an explicit parent chain
+	// so each selector knows its immediate context.
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := fusion.FieldOf(pass.TypesInfo, sel)
+			if fld == nil {
+				return true
+			}
+			if fusion.IsAtomicType(fld.Type()) {
+				if !atomicWrapperContextOK(stack) {
+					pass.Reportf(sel.Pos(),
+						"field %s has atomic type %s and must be used only as a method receiver or via &%s; copying it is a race",
+						fld.Name(), fld.Type(), fld.Name())
+				}
+				return true
+			}
+			if atomicallyUsed[fld] && !legalAtomicArg[sel] {
+				pass.Reportf(sel.Pos(),
+					"field %s is updated with sync/atomic elsewhere in this package; this plain access races with those updates",
+					fld.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// atomicWrapperContextOK reports whether the selector at the top of the
+// stack is in a legal context for an atomic-wrapper field: the receiver
+// part of a method call (x.f.Load()), or an address-of operand (&x.f).
+// The stack is [... parent2 parent1 selector].
+func atomicWrapperContextOK(stack []ast.Node) bool {
+	sel := stack[len(stack)-1].(*ast.SelectorExpr)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			return p.Op == token.AND
+		case *ast.SelectorExpr:
+			// x.f.Load — the atomic selector is the X of a method
+			// selector; require the enclosing node to call it.
+			if p.X != sel && !isParenOf(p.X, sel) {
+				return false
+			}
+			// Continue upward: the next parent must be a CallExpr using
+			// p as its Fun.
+			if i-1 >= 0 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == p {
+					return true
+				}
+			}
+			// Method value (x.f.Load passed around) still binds the
+			// receiver by pointer only if addressable; allow it.
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func isParenOf(outer, inner ast.Expr) bool {
+	return ast.Unparen(outer) == inner
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"gofusion/internal/analysis/analysistest"
+	"gofusion/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicfield.Analyzer, "a")
+}

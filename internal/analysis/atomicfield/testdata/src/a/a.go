@@ -1,0 +1,44 @@
+package a
+
+import "sync/atomic"
+
+type metrics struct {
+	rows  atomic.Int64
+	plain int64
+	mixed int64
+}
+
+func atomicMax(v *atomic.Int64, n int64) {
+	for {
+		cur := v.Load()
+		if n <= cur || v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+func good(m *metrics) int64 {
+	m.rows.Add(1)
+	v := m.rows.Load()
+	atomicMax(&m.rows, 7)
+	return v
+}
+
+func badCopy(m *metrics) {
+	c := m.rows // want `copying it is a race`
+	_ = c
+}
+
+func touchAtomically(m *metrics) {
+	atomic.AddInt64(&m.mixed, 1)
+}
+
+func badPlainAccess(m *metrics) int64 {
+	m.mixed++      // want `this plain access races with those updates`
+	return m.mixed // want `this plain access races with those updates`
+}
+
+func plainOnlyOK(m *metrics) int64 {
+	m.plain++
+	return m.plain
+}

@@ -1,0 +1,224 @@
+// Package eofconvention checks that callers of Stream.Next treat io.EOF
+// as end-of-stream rather than as a failure. The engine-wide contract
+// (catalog.Stream) is that Next returns io.EOF when exhausted; a caller
+// that only tests `err != nil` and propagates will turn normal
+// exhaustion into a query error (or, wrapped with %w into a new message,
+// silently truncate results downstream). Functions whose own shape is a
+// Next implementation — returning (*arrow.RecordBatch, error) — are
+// exempt: propagating io.EOF unchanged is exactly how stream adapters
+// forward end-of-stream.
+package eofconvention
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gofusion/internal/analysis"
+	"gofusion/internal/analysis/fusion"
+)
+
+// Analyzer is the eofconvention check.
+var Analyzer = &analysis.Analyzer{
+	Name: "eofconvention",
+	Doc: "check that Stream.Next errors are compared against io.EOF\n\n" +
+		"a function that consumes Stream.Next must contain an io.EOF test for\n" +
+		"the returned error (err == io.EOF, errors.Is(err, io.EOF), or a\n" +
+		"switch case), unless the function itself has a Next-shaped signature\n" +
+		"and forwards the error as its own stream result.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	iface := fusion.StreamInterface(pass.Pkg)
+	if iface == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && !nextShaped(pass.TypesInfo.Defs[fn.Name]) {
+					checkFunc(pass, iface, fn.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				if t, ok := pass.TypesInfo.Types[fn]; ok && nextShapedSig(t.Type) {
+					return true
+				}
+				checkFunc(pass, iface, fn.Body)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nextShaped reports whether obj is a function returning
+// (*arrow.RecordBatch, error) — a stream adapter that may forward io.EOF.
+func nextShaped(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	return nextShapedSig(obj.Type())
+}
+
+func nextShapedSig(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() != 2 || !fusion.IsErrorType(res.At(1).Type()) {
+		return false
+	}
+	ptr, ok := types.Unalias(res.At(0).Type()).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "RecordBatch" && named.Obj().Pkg().Path() == "gofusion/internal/arrow"
+}
+
+// checkFunc flags Stream.Next error results that the function never
+// compares against io.EOF. Nested function literals are checked
+// independently (a literal with a Next shape may forward EOF; run
+// handles the split).
+func checkFunc(pass *analysis.Pass, iface *types.Interface, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Error variables assigned from a Stream.Next call, with the call
+	// position for reporting.
+	nextErrs := map[*types.Var]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isStreamNext(info, iface, call) {
+			return true
+		}
+		if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+			if v := varOf(info, id); v != nil {
+				if _, seen := nextErrs[v]; !seen {
+					nextErrs[v] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(nextErrs) == 0 {
+		return
+	}
+
+	// Does the function ever test one of those vars against io.EOF?
+	compared := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if v := eofComparedVar(info, n.X, n.Y); v != nil {
+				compared[v] = true
+			}
+		case *ast.CallExpr:
+			// errors.Is(err, io.EOF)
+			if obj := fusion.CalleeObj(info, n); obj != nil && obj.Name() == "Is" &&
+				obj.Pkg() != nil && obj.Pkg().Path() == "errors" && len(n.Args) == 2 {
+				if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok && isEOF(info, n.Args[1]) {
+					if v := varOf(info, id); v != nil {
+						compared[v] = true
+					}
+				}
+			}
+		case *ast.SwitchStmt:
+			// switch err { case io.EOF: ... } / switch { case err == io.EOF: }
+			if tag, ok := n.Tag.(*ast.Ident); ok {
+				v := varOf(info, tag)
+				if v == nil {
+					return true
+				}
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						for _, e := range cc.List {
+							if isEOF(info, e) {
+								compared[v] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for v, pos := range nextErrs {
+		if !compared[v] {
+			pass.Reportf(pos,
+				"error from Stream.Next is never compared against io.EOF in this function; io.EOF means end-of-stream, not failure")
+		}
+	}
+}
+
+// isStreamNext matches calls of the form s.Next() where s implements the
+// engine Stream interface.
+func isStreamNext(info *types.Info, iface *types.Interface, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Next" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	return types.Implements(t, iface) ||
+		types.Implements(types.NewPointer(t), iface) ||
+		fusion.IsStreamNamed(t)
+}
+
+func eofComparedVar(info *types.Info, x, y ast.Expr) *types.Var {
+	if isEOF(info, y) {
+		if id, ok := ast.Unparen(x).(*ast.Ident); ok {
+			return varOf(info, id)
+		}
+	}
+	if isEOF(info, x) {
+		if id, ok := ast.Unparen(y).(*ast.Ident); ok {
+			return varOf(info, id)
+		}
+	}
+	return nil
+}
+
+func isEOF(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "EOF" {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "io"
+}
+
+func varOf(info *types.Info, id *ast.Ident) *types.Var {
+	var obj types.Object
+	if d, ok := info.Defs[id]; ok {
+		obj = d
+	} else if u, ok := info.Uses[id]; ok {
+		obj = u
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}

@@ -1,0 +1,12 @@
+package eofconvention_test
+
+import (
+	"testing"
+
+	"gofusion/internal/analysis/analysistest"
+	"gofusion/internal/analysis/eofconvention"
+)
+
+func TestEOFConvention(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), eofconvention.Analyzer, "a")
+}

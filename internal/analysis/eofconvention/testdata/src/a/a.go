@@ -1,0 +1,81 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/catalog"
+)
+
+func countOK(s catalog.Stream) (int, error) {
+	n := 0
+	for {
+		b, err := s.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		n += b.NumRows()
+	}
+}
+
+func errorsIsOK(s catalog.Stream) error {
+	for {
+		_, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func switchOK(s catalog.Stream) error {
+	for {
+		_, err := s.Next()
+		switch err {
+		case io.EOF:
+			return nil
+		case nil:
+		default:
+			return err
+		}
+	}
+}
+
+// Treats exhaustion as failure: io.EOF is wrapped into a query error.
+func bad(s catalog.Stream) error {
+	for {
+		b, err := s.Next() // want `never compared against io.EOF`
+		if err != nil {
+			return fmt.Errorf("scan: %w", err)
+		}
+		_ = b
+	}
+}
+
+// Next-shaped wrappers legitimately forward io.EOF as their own result.
+func adapterOK(s catalog.Stream) func() (*arrow.RecordBatch, error) {
+	return func() (*arrow.RecordBatch, error) {
+		b, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+}
+
+type wrap struct{ inner catalog.Stream }
+
+func (w *wrap) Next() (*arrow.RecordBatch, error) {
+	b, err := w.inner.Next()
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,181 @@
+// Package goroutinedrain checks that goroutines spawned inside exec
+// operators cannot wedge on a channel send. Exchange operators
+// (RepartitionExec, CoalescePartitionsExec) launch producers that push
+// batches into bounded channels; if a consumer stops pulling (early
+// LIMIT, query cancellation, a partition that is never executed), a bare
+// `ch <- v` blocks forever and the producer goroutine — plus every
+// stream and spill file it owns — leaks. Every send in such a goroutine
+// must therefore sit in a select that also receives from a stop/cancel
+// channel (ctx.Done(), an operator stop channel) so Close can always
+// drain the producer. The check follows calls from goroutine bodies into
+// named functions and methods of the same package, so producers
+// factored into helpers (produce, fanError) are covered too.
+package goroutinedrain
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"gofusion/internal/analysis"
+	"gofusion/internal/analysis/fusion"
+)
+
+// Analyzer is the goroutinedrain check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinedrain",
+	Doc: "check that operator goroutines select on a stop channel when sending\n\n" +
+		"a bare channel send reachable from a goroutine launched by an exec\n" +
+		"operator can block forever once the consumer goes away; pair every\n" +
+		"send with a stop/cancel receive in a select.",
+	Run: run,
+}
+
+// Packages lists the package paths the check applies to (operator
+// goroutines elsewhere are out of scope). Exposed so tests and the
+// driver can widen it.
+var Packages = map[string]bool{
+	"gofusion/internal/exec": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !Packages[strings.TrimSuffix(pass.Pkg.Path(), "_test")] {
+		return nil
+	}
+
+	// Bodies of named functions/methods in this package, keyed by their
+	// types object so call sites resolve to them.
+	decls := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd.Body
+			}
+		}
+	}
+
+	// Seed the worklist with goroutine bodies, then chase same-package
+	// callees transitively: their sends run on the spawned goroutine.
+	reachable := map[*types.Func]bool{}
+	var work []*ast.BlockStmt
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				checkBody(pass, lit.Body)
+				work = append(work, lit.Body)
+			}
+			if fn := calleeFunc(pass.TypesInfo, gs.Call); fn != nil {
+				if body, ok := decls[fn]; ok && !reachable[fn] {
+					reachable[fn] = true
+					checkBody(pass, body)
+					work = append(work, body)
+				}
+			}
+			return true
+		})
+	}
+	for len(work) > 0 {
+		body := work[0]
+		work = work[1:]
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || reachable[fn] {
+				return true
+			}
+			if b, ok := decls[fn]; ok {
+				reachable[fn] = true
+				checkBody(pass, b)
+				work = append(work, b)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn, _ := fusion.CalleeObj(info, call).(*types.Func)
+	return fn
+}
+
+// checkBody flags sends in a goroutine-reachable body that are not
+// select-guarded. Nested function literals run on the same goroutine
+// unless themselves spawned; GoStmt subtrees are skipped because run
+// seeds them (and their callees) separately.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Collect the send statements that are immediate select cases, and
+	// whether their select also has a receive or default case to bail to.
+	guarded := map[*ast.SendStmt]bool{}
+	inspectSameGoroutine(body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return
+		}
+		var sends []*ast.SendStmt
+		hasEscape := false
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				hasEscape = true // default case
+				continue
+			}
+			switch comm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				sends = append(sends, comm)
+			default:
+				// Receive cases (ExprStmt <-ch or AssignStmt x := <-ch)
+				// give the producer a way out when stopped.
+				hasEscape = true
+			}
+		}
+		for _, s := range sends {
+			guarded[s] = hasEscape
+		}
+	})
+
+	inspectSameGoroutine(body, func(n ast.Node) {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return
+		}
+		if g, inSelect := guarded[send]; inSelect {
+			if !g {
+				pass.Reportf(send.Pos(),
+					"select around this send has no stop/cancel receive or default case; the goroutine can still wedge")
+			}
+			return
+		}
+		pass.Reportf(send.Pos(),
+			"bare channel send in operator goroutine can block forever if the consumer stops; use select with a stop/cancel case")
+	})
+}
+
+// inspectSameGoroutine visits the nodes of body that execute on the same
+// goroutine: it descends into plain function literals but not into
+// `go ...` statements.
+func inspectSameGoroutine(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,14 @@
+package goroutinedrain_test
+
+import (
+	"testing"
+
+	"gofusion/internal/analysis/analysistest"
+	"gofusion/internal/analysis/goroutinedrain"
+)
+
+func TestGoroutineDrain(t *testing.T) {
+	goroutinedrain.Packages["a"] = true
+	defer delete(goroutinedrain.Packages, "a")
+	analysistest.Run(t, analysistest.TestData(), goroutinedrain.Analyzer, "a")
+}

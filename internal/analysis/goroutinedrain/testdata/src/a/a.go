@@ -1,0 +1,67 @@
+package a
+
+type payload struct{ n int }
+
+func bareSend(ch chan payload) {
+	go func() {
+		ch <- payload{1} // want `bare channel send in operator goroutine`
+	}()
+}
+
+func guardedSendOK(ch chan payload, stop chan struct{}) {
+	go func() {
+		select {
+		case ch <- payload{1}:
+		case <-stop:
+			return
+		}
+	}()
+}
+
+func defaultSendOK(ch chan payload) {
+	go func() {
+		select {
+		case ch <- payload{1}:
+		default:
+		}
+	}()
+}
+
+func sendOnlySelect(ch chan payload, other chan int) {
+	go func() {
+		select {
+		case ch <- payload{1}: // want `select around this send has no stop/cancel receive`
+		case other <- 2: // want `select around this send has no stop/cancel receive`
+		}
+	}()
+}
+
+// Producers factored into named functions and methods are still on the
+// spawned goroutine.
+
+func produce(ch chan payload) {
+	ch <- payload{1} // want `bare channel send in operator goroutine`
+}
+
+func spawnProducer(ch chan payload) {
+	go produce(ch)
+}
+
+type op struct{ out chan payload }
+
+func (o *op) fanError() {
+	o.out <- payload{} // want `bare channel send in operator goroutine`
+}
+
+func (o *op) run() {
+	o.fanError()
+}
+
+func (o *op) start() {
+	go func() { o.run() }()
+}
+
+// Sends on the caller's goroutine are out of scope.
+func syncSend(ch chan payload) {
+	ch <- payload{}
+}

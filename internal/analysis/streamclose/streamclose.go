@@ -1,0 +1,530 @@
+// Package streamclose checks that every physical.Stream acquired from a
+// call (Execute, ScanResult.Open, NewFuncStream, InstrumentStream, ...)
+// is closed on every path out of the acquiring function, or has its
+// ownership transferred: returned to the caller, passed to another
+// function or goroutine, stored in a struct/slice/map, or captured by a
+// closure. The pull-based partitioned Volcano model leaks producer
+// goroutines and spill references when a stream is dropped un-Closed on
+// an error path, which the race detector and unit tests only catch when
+// the error actually fires.
+package streamclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gofusion/internal/analysis"
+	"gofusion/internal/analysis/fusion"
+)
+
+// Analyzer is the streamclose check.
+var Analyzer = &analysis.Analyzer{
+	Name: "streamclose",
+	Doc: "check that acquired physical.Streams are closed on all paths\n\n" +
+		"Any call whose first result is the engine Stream interface transfers\n" +
+		"ownership to the caller: it must Close the stream on every path\n" +
+		"(including early error returns) or hand it off (return it, pass it\n" +
+		"to a call, store it, or capture it in a closure).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if fusion.StreamInterface(pass.Pkg) == nil {
+		return nil // package does not use streams
+	}
+	for _, f := range pass.Files {
+		closes := closePositions(pass.TypesInfo, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					analyzeFunc(pass, fn.Body, closes)
+				}
+			case *ast.FuncLit:
+				analyzeFunc(pass, fn.Body, closes)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// closePositions records, for every variable in the file, the positions
+// of v.Close() calls on it. A closure that acquires into a captured
+// variable closed elsewhere in the enclosing function (a cleanup hook,
+// a sibling closure) is not that stream's owner.
+func closePositions(info *types.Info, f *ast.File) map[*types.Var][]token.Pos {
+	out := map[*types.Var][]token.Pos{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if v := closedVar(info, call); v != nil {
+			out[v] = append(out[v], call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// state is the per-path tracking state.
+type state struct {
+	// open maps a stream variable to its acquisition position.
+	open map[*types.Var]token.Pos
+	// errFor maps an error variable to the stream acquired in the same
+	// assignment, so `if err != nil` branches know the stream is nil.
+	errFor map[*types.Var]*types.Var
+}
+
+func newState() *state {
+	return &state{open: map[*types.Var]token.Pos{}, errFor: map[*types.Var]*types.Var{}}
+}
+
+func (s *state) clone() *state {
+	c := newState()
+	for k, v := range s.open {
+		c.open[k] = v
+	}
+	for k, v := range s.errFor {
+		c.errFor[k] = v
+	}
+	return c
+}
+
+type tracker struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	body   *ast.BlockStmt
+	closes map[*types.Var][]token.Pos
+}
+
+// closedOutside reports whether v has a Close call outside the function
+// body under analysis — i.e. some enclosing or sibling scope owns it.
+func (t *tracker) closedOutside(v *types.Var) bool {
+	for _, pos := range t.closes[v] {
+		if pos < t.body.Pos() || pos > t.body.End() {
+			return true
+		}
+	}
+	return false
+}
+
+func analyzeFunc(pass *analysis.Pass, body *ast.BlockStmt, closes map[*types.Var][]token.Pos) {
+	t := &tracker{pass: pass, info: pass.TypesInfo, body: body, closes: closes}
+	st := newState()
+	terminated := t.walkStmts(body.List, st)
+	if !terminated {
+		for v, pos := range st.open {
+			pass.Reportf(pos, "stream %q is never closed in this function", v.Name())
+		}
+	}
+}
+
+// walkStmts runs the statements in order, returning true when the path
+// terminates (return / panic / branch) before the end of the list.
+func (t *tracker) walkStmts(stmts []ast.Stmt, st *state) bool {
+	for _, s := range stmts {
+		if t.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tracker) walkStmt(s ast.Stmt, st *state) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		t.assign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					t.declare(vs, st)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			t.transfers(s.X, st)
+			return false
+		}
+		if v := closedVar(t.info, call); v != nil {
+			delete(st.open, v)
+			return false
+		}
+		if isTerminalCall(t.info, call) {
+			return true
+		}
+		// A discarded call result that is a stream is an immediate leak.
+		if rs := fusion.ResultTypes(t.info, call); len(rs) > 0 && fusion.IsStreamNamed(rs[0]) {
+			t.pass.Reportf(call.Pos(), "stream result of %s is discarded without Close", exprString(call.Fun))
+		}
+		t.transfers(s.X, st)
+	case *ast.DeferStmt:
+		if v := closedVar(t.info, s.Call); v != nil {
+			delete(st.open, v) // closed on every exit from here on
+			return false
+		}
+		t.transfers(s.Call, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			t.transfers(r, st)
+		}
+		for v, pos := range st.open {
+			t.pass.Reportf(s.Pos(), "stream %q may not be closed on this return path (acquired at %s)",
+				v.Name(), t.pass.Fset.Position(pos))
+		}
+		return true
+	case *ast.IfStmt:
+		return t.walkIf(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			t.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			t.transfers(s.Cond, st)
+		}
+		body := st.clone()
+		t.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			t.walkStmt(s.Post, body)
+		}
+		mergeInto(st, body)
+	case *ast.RangeStmt:
+		t.transfers(s.X, st)
+		body := st.clone()
+		t.walkStmts(s.Body.List, body)
+		mergeInto(st, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			t.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			t.transfers(s.Tag, st)
+		}
+		t.walkCases(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			t.walkStmt(s.Init, st)
+		}
+		t.walkCases(s.Body, st)
+	case *ast.SelectStmt:
+		t.walkCases(s.Body, st)
+	case *ast.BlockStmt:
+		return t.walkStmts(s.List, st)
+	case *ast.GoStmt:
+		t.transfers(s.Call, st)
+	case *ast.SendStmt:
+		t.transfers(s.Chan, st)
+		t.transfers(s.Value, st)
+	case *ast.LabeledStmt:
+		return t.walkStmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leave the structured path; states at these
+		// exits are conservatively dropped.
+		return true
+	}
+	return false
+}
+
+// walkIf handles branch cloning plus the `if err != nil` convention: when
+// the condition tests the error paired with a stream acquisition, the
+// stream is nil (hence needs no Close) in the branch where the error is
+// non-nil.
+func (t *tracker) walkIf(s *ast.IfStmt, st *state) bool {
+	if s.Init != nil {
+		t.walkStmt(s.Init, st)
+	}
+	t.transfers(s.Cond, st)
+	thenSt, elseSt := st.clone(), st.clone()
+	if v, eq := nilCheckedVar(t.info, s.Cond); v != nil {
+		if stream, ok := st.errFor[v]; ok {
+			if eq { // err == nil: the skip/else path has a nil stream
+				delete(elseSt.open, stream)
+			} else { // err != nil: the then path has a nil stream
+				delete(thenSt.open, stream)
+			}
+		} else if _, tracked := st.open[v]; tracked {
+			// Nil test of the stream itself: it is nil (needs no Close)
+			// in the branch where the test says so.
+			if eq {
+				delete(thenSt.open, v)
+			} else {
+				delete(elseSt.open, v)
+			}
+		}
+	}
+	thenTerm := t.walkStmts(s.Body.List, thenSt)
+	elseTerm := false
+	if s.Else != nil {
+		elseTerm = t.walkStmt(s.Else, elseSt)
+	}
+	st.open = map[*types.Var]token.Pos{}
+	if !thenTerm {
+		mergeInto(st, thenSt)
+	}
+	if !elseTerm {
+		mergeInto(st, elseSt)
+	}
+	return thenTerm && elseTerm && s.Else != nil
+}
+
+func (t *tracker) walkCases(body *ast.BlockStmt, st *state) {
+	base := st.clone()
+	st.open = map[*types.Var]token.Pos{}
+	mergeInto(st, base) // fall-through path when no case matches
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range cs.List {
+				t.transfers(e, base)
+			}
+			stmts = cs.Body
+		case *ast.CommClause:
+			if cs.Comm != nil {
+				t.walkStmt(cs.Comm, base)
+			}
+			stmts = cs.Body
+		}
+		caseSt := base.clone()
+		if !t.walkStmts(stmts, caseSt) {
+			mergeInto(st, caseSt)
+		}
+	}
+}
+
+func mergeInto(dst, src *state) {
+	for v, pos := range src.open {
+		dst.open[v] = pos
+	}
+	for k, v := range src.errFor {
+		dst.errFor[k] = v
+	}
+}
+
+// declare handles `var s, err = acquire()` declarations.
+func (t *tracker) declare(vs *ast.ValueSpec, st *state) {
+	if len(vs.Values) != 1 {
+		for _, v := range vs.Values {
+			t.transfers(v, st)
+		}
+		return
+	}
+	call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr)
+	if ok && t.acquire(call, identVars(t.info, vs.Names), st) {
+		return
+	}
+	t.transfers(vs.Values[0], st)
+}
+
+func (t *tracker) assign(s *ast.AssignStmt, st *state) {
+	// Single-call RHS may be an acquisition; its arguments still transfer
+	// any tracked streams into the call (wrap patterns).
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			var lhs []*types.Var
+			for _, l := range s.Lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					lhs = append(lhs, objOf(t.info, id))
+				} else {
+					t.transfers(l, st) // index/selector targets
+					lhs = append(lhs, nil)
+				}
+			}
+			if t.acquire(call, lhs, st) {
+				return
+			}
+		}
+	}
+	for _, r := range s.Rhs {
+		t.transfers(r, st)
+	}
+	for _, l := range s.Lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			if v := objOf(t.info, id); v != nil {
+				// Overwriting a tracked stream with something else loses it.
+				delete(st.open, v)
+				invalidateErr(st, v)
+			}
+			continue
+		}
+		t.transfers(l, st)
+	}
+}
+
+// acquire records a stream acquisition when call's first result is the
+// Stream interface and the first assignee is a plain variable. Returns
+// true when handled. Call arguments are scanned for transfers first.
+func (t *tracker) acquire(call *ast.CallExpr, lhs []*types.Var, st *state) bool {
+	rs := fusion.ResultTypes(t.info, call)
+	if len(rs) == 0 || !fusion.IsStreamNamed(rs[0]) || len(lhs) == 0 {
+		return false
+	}
+	t.transfers(call, st) // wrapped/forwarded streams escape into the call
+	v := lhs[0]
+	if v == nil {
+		return true // assigned to blank or non-ident target: not tracked
+	}
+	if t.closedOutside(v) {
+		return true // an enclosing scope closes this variable; it owns it
+	}
+	if pos, wasOpen := st.open[v]; wasOpen {
+		t.pass.Reportf(call.Pos(), "stream %q (acquired at %s) is reassigned before Close",
+			v.Name(), t.pass.Fset.Position(pos))
+	}
+	st.open[v] = call.Pos()
+	invalidateErr(st, v)
+	if len(rs) >= 2 && fusion.IsErrorType(rs[len(rs)-1]) && len(lhs) == len(rs) {
+		if errV := lhs[len(lhs)-1]; errV != nil {
+			st.errFor[errV] = v
+		}
+	}
+	return true
+}
+
+// transfers removes from the open set every tracked variable that escapes
+// through expr: call arguments, composite literals, closures, method
+// values, type assertions — everything except plain method-call receivers
+// and nil comparisons.
+func (t *tracker) transfers(expr ast.Expr, st *state) {
+	if expr == nil || len(st.open) == 0 {
+		return
+	}
+	protected := map[*ast.Ident]bool{}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Capture by a closure is an escape even when the closure only
+			// uses the stream as a method receiver (it may run later).
+			return false
+		case *ast.CallExpr:
+			// v.Method(...) uses v as a receiver, which borrows rather
+			// than transfers.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					protected[id] = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && isNilIdent(n.Y) {
+					protected[id] = true
+				}
+				if id, ok := ast.Unparen(n.Y).(*ast.Ident); ok && isNilIdent(n.X) {
+					protected[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || protected[id] {
+			return true
+		}
+		if v := objOf(t.info, id); v != nil {
+			if _, tracked := st.open[v]; tracked {
+				delete(st.open, v)
+				invalidateErr(st, v)
+			}
+		}
+		return true
+	})
+}
+
+func invalidateErr(st *state, stream *types.Var) {
+	for e, s := range st.errFor {
+		if s == stream {
+			delete(st.errFor, e)
+		}
+	}
+}
+
+// closedVar returns the tracked receiver of a v.Close() call, else nil.
+func closedVar(info *types.Info, call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objOf(info, id)
+}
+
+// isTerminalCall reports whether the call never returns (panic, os.Exit,
+// testing Fatal helpers, log.Fatal*).
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fn.Sel.Name
+		if name == "Exit" || name == "Fatal" || name == "Fatalf" || name == "Goexit" {
+			return true
+		}
+	}
+	return false
+}
+
+// nilCheckedVar matches conditions of the form `v == nil` / `v != nil`,
+// returning the variable and whether the comparison is equality.
+func nilCheckedVar(info *types.Info, cond ast.Expr) (v *types.Var, isEq bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false
+	}
+	var id *ast.Ident
+	if isNilIdent(be.Y) {
+		id, _ = ast.Unparen(be.X).(*ast.Ident)
+	} else if isNilIdent(be.X) {
+		id, _ = ast.Unparen(be.Y).(*ast.Ident)
+	}
+	if id == nil {
+		return nil, false
+	}
+	return objOf(info, id), be.Op == token.EQL
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func identVars(info *types.Info, ids []*ast.Ident) []*types.Var {
+	vars := make([]*types.Var, len(ids))
+	for i, id := range ids {
+		vars[i] = objOf(info, id)
+	}
+	return vars
+}
+
+func objOf(info *types.Info, id *ast.Ident) *types.Var {
+	var obj types.Object
+	if d, ok := info.Defs[id]; ok {
+		obj = d
+	} else if u, ok := info.Uses[id]; ok {
+		obj = u
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return "call"
+}

@@ -1,0 +1,12 @@
+package streamclose_test
+
+import (
+	"testing"
+
+	"gofusion/internal/analysis/analysistest"
+	"gofusion/internal/analysis/streamclose"
+)
+
+func TestStreamClose(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), streamclose.Analyzer, "a")
+}

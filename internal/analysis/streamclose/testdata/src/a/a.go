@@ -1,0 +1,145 @@
+package a
+
+import (
+	"errors"
+
+	"gofusion/internal/catalog"
+)
+
+func open() (catalog.Stream, error) { return nil, nil }
+
+func work() error { return nil }
+
+// The `if err != nil { return err }` idiom after an acquisition is not a
+// leak: the stream is nil on the error path.
+func errIdiomOK() error {
+	s, err := open()
+	if err != nil {
+		return err
+	}
+	s.Close()
+	return nil
+}
+
+func leakOnEarlyReturn(flag bool) error {
+	s, err := open()
+	if err != nil {
+		return err
+	}
+	if flag {
+		return errors.New("boom") // want `stream "s" may not be closed on this return path`
+	}
+	s.Close()
+	return nil
+}
+
+func leakFallOff() {
+	s, _ := open() // want `stream "s" is never closed in this function`
+	_ = s.Schema()
+}
+
+func discarded() {
+	open() // want `stream result of open is discarded without Close`
+}
+
+func reassigned() {
+	s, _ := open()
+	s, _ = open() // want `stream "s" \(acquired at .*\) is reassigned before Close`
+	s.Close()
+}
+
+func deferOK() error {
+	s, err := open()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return work()
+}
+
+func nilGuardOK() {
+	s, _ := open()
+	if s != nil {
+		s.Close()
+	}
+}
+
+func loopOK(n int) {
+	for i := 0; i < n; i++ {
+		s, err := open()
+		if err != nil {
+			continue
+		}
+		s.Close()
+	}
+}
+
+// Ownership transfers: no diagnostics below this line.
+
+func transferReturn() (catalog.Stream, error) {
+	s, err := open()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func drain(s catalog.Stream) { s.Close() }
+
+func transferCall() {
+	s, _ := open()
+	drain(s)
+}
+
+type wrapper struct{ inner catalog.Stream }
+
+func (w *wrapper) Close() { w.inner.Close() }
+
+// False-positive regression: the stream is handed to another owner that
+// closes it (the NewFuncStream(..., s.Close) idiom and struct handoff).
+func handoffStruct() *wrapper {
+	s, _ := open()
+	return &wrapper{inner: s}
+}
+
+func handoffMethodValue() func() {
+	s, _ := open()
+	return s.Close
+}
+
+func handoffClosure() func() {
+	s, _ := open()
+	cleanup := func() { s.Close() }
+	return cleanup
+}
+
+// A closure acquiring into a captured variable that a sibling scope
+// closes is not the owner.
+func capturedOwnerOK() (func(), func()) {
+	var s catalog.Stream
+	start := func() {
+		s, _ = open()
+	}
+	stop := func() {
+		if s != nil {
+			s.Close()
+		}
+	}
+	return start, stop
+}
+
+// ...but when nothing ever closes the captured variable, the closure's
+// acquisition is a leak.
+func capturedLeak() func() {
+	var s catalog.Stream
+	start := func() {
+		s, _ = open() // want `stream "s" is never closed in this function`
+	}
+	_ = s
+	return start
+}
+
+func suppressed() {
+	s, _ := open() //nolint:streamclose
+	_ = s.Schema()
+}

@@ -1,0 +1,61 @@
+package a
+
+import "unsafe"
+
+type row struct{ name string }
+
+var global string
+
+// Returning the view is the provider idiom (StringArray.Value does this);
+// the caller decides whether to copy.
+func view(b []byte) string {
+	return unsafe.String(&b[0], len(b))
+}
+
+func localUseOK(b []byte) int {
+	v := unsafe.String(&b[0], len(b))
+	return len(v)
+}
+
+func storeField(r *row, b []byte) {
+	v := unsafe.String(&b[0], len(b))
+	r.name = v // want `stored in a struct field`
+}
+
+func storeMapKey(m map[string]int, b []byte) {
+	v := unsafe.String(&b[0], len(b))
+	m["k"] = len(v) // derived value, not the view itself
+	m[v] = 1        // want `used as a map key`
+}
+
+func storeSliceElem(dst []string, b []byte) {
+	v := unsafe.String(&b[0], len(b))
+	dst[0] = v // want `stored in a map or slice element`
+}
+
+func appendCases(ss []string, bs []byte, b []byte) ([]string, []byte) {
+	v := unsafe.String(&b[0], len(b))
+	bs = append(bs, v...) // spread into a byte arena copies: allowed
+	ss = append(ss, v)    // want `appended to a slice`
+	return ss, bs
+}
+
+func storeGlobal(b []byte) {
+	global = unsafe.String(&b[0], len(b)) // want `stored in a package variable`
+}
+
+func compositeLit(b []byte) row {
+	v := unsafe.String(&b[0], len(b))
+	return row{name: v} // want `stored in a composite literal`
+}
+
+func sendChan(ch chan string, b []byte) {
+	v := unsafe.String(&b[0], len(b))
+	ch <- v // want `sent on a channel`
+}
+
+func copiedOK(m map[string]int, b []byte) {
+	v := unsafe.String(&b[0], len(b))
+	v = string(append([]byte(nil), v...))
+	m[v] = 1
+}

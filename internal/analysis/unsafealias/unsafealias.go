@@ -1,0 +1,215 @@
+// Package unsafealias enforces the aliasing contract of the engine's
+// zero-copy string views. arrow's unsafeString (and unsafe.String /
+// unsafe.Slice generally) returns a string aliasing an Arrow buffer: it
+// is valid only while the owning batch is. Such a view must stay a
+// transient local — storing it in a struct field, map, slice, channel, or
+// package variable lets it outlive the batch, resurfacing as corrupted
+// keys when buffers are recycled (the failure mode Zerrow documents for
+// zero-copy Arrow pipelines). Key arenas must copy: `append(bs, v...)`
+// into a []byte copies the bytes and is therefore allowed.
+package unsafealias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gofusion/internal/analysis"
+)
+
+// Analyzer is the unsafealias check.
+var Analyzer = &analysis.Analyzer{
+	Name: "unsafealias",
+	Doc: "check that unsafe zero-copy string views do not outlive their batch\n\n" +
+		"results of arrow.unsafeString / unsafe.String / unsafe.Slice must not\n" +
+		"be stored in struct fields, maps, slices, channels, or globals; copy\n" +
+		"first (e.g. append into a byte arena, or string([]byte(v))).",
+	Run: run,
+}
+
+// sourceFuncs are the functions whose results alias another buffer.
+var sourceFuncs = map[string]map[string]bool{
+	"unsafe":                  {"String": true, "Slice": true, "StringData": true, "SliceData": true},
+	"gofusion/internal/arrow": {"unsafeString": true},
+}
+
+func isSourceCall(info *types.Info, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	default:
+		return false
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	names, ok := sourceFuncs[obj.Pkg().Path()]
+	return ok && names[obj.Name()]
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc tracks, per function, locals assigned directly from a source
+// call, and flags escaping uses of tainted values (the direct call result
+// or a tainted local).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	tainted := map[*types.Var]bool{}
+
+	// First pass: collect tainted locals (v := unsafeString(...)), and
+	// untaint on any other reassignment.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals are checked independently
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := localOf(info, id)
+		if v == nil {
+			return true
+		}
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isSourceCall(info, call) {
+			tainted[v] = true
+		} else {
+			delete(tainted, v)
+		}
+		return true
+	})
+
+	isTainted := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return isSourceCall(info, e)
+		case *ast.Ident:
+			if v := localOf(info, e); v != nil {
+				return tainted[v]
+			}
+		}
+		return false
+	}
+
+	report := func(e ast.Expr, how string) {
+		pass.Reportf(e.Pos(), "unsafe zero-copy view %s; it may outlive the batch that owns its bytes — copy it first", how)
+	}
+
+	// Second pass: flag escaping uses.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				rhs := n.Rhs[i]
+				if !isTainted(rhs) {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					report(rhs, "stored in a struct field")
+				case *ast.IndexExpr:
+					report(rhs, "stored in a map or slice element")
+				case *ast.Ident:
+					if v := localOf(info, l); v == nil {
+						// Package-level variable.
+						if obj, ok := info.Uses[l].(*types.Var); ok && obj.Parent() == obj.Pkg().Scope() {
+							report(rhs, "stored in a package variable")
+						}
+					}
+				}
+			}
+			// Tainted value used as a map key in an index *target*.
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isTainted(ix.Index) {
+					report(ix.Index, "used as a map key")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && isBuiltinAppend(info, id) {
+				// Builtin append. append(bs, v...) over a string->[]byte
+				// spread copies the bytes: allowed. Appending the string
+				// itself to a []string retains the alias: flagged.
+				if n.Ellipsis == token.NoPos {
+					for _, arg := range n.Args[1:] {
+						if isTainted(arg) {
+							report(arg, "appended to a slice")
+						}
+					}
+				}
+				return true
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if isTainted(kv.Value) {
+						report(kv.Value, "stored in a composite literal")
+					}
+					if isTainted(kv.Key) {
+						report(kv.Key, "used as a map key in a composite literal")
+					}
+				} else if isTainted(el) {
+					report(el, "stored in a composite literal")
+				}
+			}
+		case *ast.SendStmt:
+			if isTainted(n.Value) {
+				report(n.Value, "sent on a channel")
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(info *types.Info, id *ast.Ident) bool {
+	if id.Name != "append" {
+		return false
+	}
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// localOf returns the local/parameter variable an identifier denotes, or
+// nil for fields, package-level vars, and non-variables.
+func localOf(info *types.Info, id *ast.Ident) *types.Var {
+	var obj types.Object
+	if d, ok := info.Defs[id]; ok {
+		obj = d
+	} else if u, ok := info.Uses[id]; ok {
+		obj = u
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return nil // package-level
+	}
+	return v
+}

@@ -1,0 +1,12 @@
+package unsafealias_test
+
+import (
+	"testing"
+
+	"gofusion/internal/analysis/analysistest"
+	"gofusion/internal/analysis/unsafealias"
+)
+
+func TestUnsafeAlias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), unsafealias.Analyzer, "a")
+}
