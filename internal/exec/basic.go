@@ -304,6 +304,21 @@ func (e *CoalescePartitionsExec) Execute(ctx *physical.ExecContext, partition in
 		return physical.InstrumentStream(in, e.Metrics()), nil
 	}
 	ch := make(chan batchOrErr, n)
+	// done is closed when the consumer closes its stream; producers give up
+	// instead of blocking forever on a channel nobody drains.
+	done := make(chan struct{})
+	var stopOnce sync.Once
+	ctxDone := ctxDoneChan(ctx)
+	send := func(v batchOrErr) bool {
+		select {
+		case ch <- v:
+			return true
+		case <-done:
+			return false
+		case <-ctxDone:
+			return false
+		}
+	}
 	var wg sync.WaitGroup
 	for p := 0; p < n; p++ {
 		wg.Add(1)
@@ -311,7 +326,7 @@ func (e *CoalescePartitionsExec) Execute(ctx *physical.ExecContext, partition in
 			defer wg.Done()
 			s, err := e.Input.Execute(ctx, p)
 			if err != nil {
-				ch <- batchOrErr{err: err}
+				send(batchOrErr{err: err})
 				return
 			}
 			defer s.Close()
@@ -321,10 +336,12 @@ func (e *CoalescePartitionsExec) Execute(ctx *physical.ExecContext, partition in
 					return
 				}
 				if err != nil {
-					ch <- batchOrErr{err: err}
+					send(batchOrErr{err: err})
 					return
 				}
-				ch <- batchOrErr{batch: b}
+				if !send(batchOrErr{batch: b}) {
+					return
+				}
 			}
 		}(p)
 	}
@@ -332,7 +349,8 @@ func (e *CoalescePartitionsExec) Execute(ctx *physical.ExecContext, partition in
 		wg.Wait()
 		close(ch)
 	}()
-	return physical.InstrumentStream(&chanStream{schema: e.Schema(), ch: ch}, e.Metrics()), nil
+	stop := func() { stopOnce.Do(func() { close(done) }) }
+	return physical.InstrumentStream(&chanStream{schema: e.Schema(), ch: ch, stop: stop}, e.Metrics()), nil
 }
 
 // UnionExec concatenates the partitions of several same-schema inputs.

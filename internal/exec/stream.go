@@ -149,6 +149,15 @@ func CollectBatch(ctx *physical.ExecContext, plan physical.ExecutionPlan) (*arro
 	return compute.ConcatBatches(plan.Schema(), batches)
 }
 
+// ctxDoneChan returns the context's cancellation channel, or nil (which
+// blocks forever in a select) when the query has no context.
+func ctxDoneChan(ctx *physical.ExecContext) <-chan struct{} {
+	if ctx.Ctx == nil {
+		return nil
+	}
+	return ctx.Ctx.Done()
+}
+
 func checkCancel(ctx *physical.ExecContext) error {
 	if ctx.Ctx == nil {
 		return nil
