@@ -35,6 +35,12 @@ type RepartitionExec struct {
 	mu      sync.Mutex
 	started bool
 	outputs []chan batchOrErr
+	// abandoned[p] is closed when output partition p's consumer closes its
+	// stream; producers stop delivering to that partition instead of
+	// blocking forever on a channel nobody drains.
+	abandoned []chan struct{}
+	stopOnce  []sync.Once
+	ctxDone   <-chan struct{}
 }
 
 func (e *RepartitionExec) Schema() *arrow.Schema { return e.Input.Schema() }
@@ -64,8 +70,12 @@ func (e *RepartitionExec) WithChildren(ch []physical.ExecutionPlan) (physical.Ex
 func (e *RepartitionExec) start(ctx *physical.ExecContext) {
 	depth := ctx.ExchangeBufferDepth()
 	e.outputs = make([]chan batchOrErr, e.NumParts)
+	e.abandoned = make([]chan struct{}, e.NumParts)
+	e.stopOnce = make([]sync.Once, e.NumParts)
+	e.ctxDone = ctxDoneChan(ctx)
 	for i := range e.outputs {
 		e.outputs[i] = make(chan batchOrErr, depth)
+		e.abandoned[i] = make(chan struct{})
 	}
 	n := e.Input.Partitions()
 	var wg sync.WaitGroup
@@ -84,9 +94,23 @@ func (e *RepartitionExec) start(ctx *physical.ExecContext) {
 	}()
 }
 
+// send delivers v to output partition p, giving up when that partition's
+// consumer has closed its stream or the query is cancelled. Reports
+// whether the value was delivered.
+func (e *RepartitionExec) send(p int, v batchOrErr) bool {
+	select {
+	case e.outputs[p] <- v:
+		return true
+	case <-e.abandoned[p]:
+		return false
+	case <-e.ctxDone:
+		return false
+	}
+}
+
 func (e *RepartitionExec) fanError(err error) {
-	for _, ch := range e.outputs {
-		ch <- batchOrErr{err: err}
+	for p := range e.outputs {
+		e.send(p, batchOrErr{err: err})
 	}
 }
 
@@ -121,8 +145,9 @@ func (e *RepartitionExec) produce(ctx *physical.ExecContext, p int) {
 		}
 		switch e.Scheme {
 		case RoundRobinPartitioning:
-			e.outputs[rr] <- batchOrErr{batch: b}
-			sent.Add(1)
+			if e.send(rr, batchOrErr{batch: b}) {
+				sent.Add(1)
+			}
 			rr = (rr + 1) % e.NumParts
 		case HashPartitioning:
 			parts, buf, err := e.splitByHash(b, hashBuf)
@@ -133,8 +158,9 @@ func (e *RepartitionExec) produce(ctx *physical.ExecContext, p int) {
 			}
 			for i, pb := range parts {
 				if pb != nil && pb.NumRows() > 0 {
-					e.outputs[i] <- batchOrErr{batch: pb}
-					sent.Add(1)
+					if e.send(i, batchOrErr{batch: pb}) {
+						sent.Add(1)
+					}
 				}
 			}
 		}
@@ -189,5 +215,8 @@ func (e *RepartitionExec) Execute(ctx *physical.ExecContext, partition int) (phy
 	}
 	ch := e.outputs[partition]
 	e.mu.Unlock()
-	return physical.InstrumentStream(&chanStream{schema: e.Schema(), ch: ch}, e.Metrics()), nil
+	stop := func() {
+		e.stopOnce[partition].Do(func() { close(e.abandoned[partition]) })
+	}
+	return physical.InstrumentStream(&chanStream{schema: e.Schema(), ch: ch, stop: stop}, e.Metrics()), nil
 }
