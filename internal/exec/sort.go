@@ -155,7 +155,13 @@ func (e *ExternalSortExec) Execute(ctx *physical.ExecContext, partition int) (ph
 	var pendingKeys [][][]byte
 	var pendingBytes int64
 
+	// out is the sorted output stream built on first Next (in-memory slice
+	// or spill merge); cleanup owns closing it.
+	var out physical.Stream
 	cleanup := func() {
+		if out != nil {
+			out.Close()
+		}
 		in.Close()
 		res.Free()
 		unregister()
@@ -194,7 +200,6 @@ func (e *ExternalSortExec) Execute(ctx *physical.ExecContext, partition int) (ph
 		return nil
 	}
 
-	var out physical.Stream
 	started := false
 	next := func() (*arrow.RecordBatch, error) {
 		if !started {
