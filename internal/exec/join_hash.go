@@ -288,6 +288,12 @@ func (e *HashJoinExec) Execute(ctx *physical.ExecContext, partition int) (physic
 	} else {
 		m.Counter("build_rows").Add(int64(bt.batch.NumRows()))
 	}
+	if e.Mode == CollectLeft && e.needsBuildTracking() && e.Right.Partitions() > 1 {
+		// CollectLeft with shared tracking across concurrent probers is
+		// planner-prevented; guard anyway (before the probe stream opens,
+		// so nothing is left to close on this path).
+		return nil, fmt.Errorf("exec: CollectLeft %s join requires single probe partition", e.Type)
+	}
 	right, err := e.Right.Execute(ctx, partition)
 	if err != nil {
 		return nil, err
@@ -298,13 +304,7 @@ func (e *HashJoinExec) Execute(ctx *physical.ExecContext, partition int) (physic
 		return nil, err
 	}
 	// Only one probe partition may emit the unmatched build rows.
-	emitBuild := e.needsBuildTracking() && (e.Mode == PartitionedJoin || partition == e.lastProbePartition())
-	if e.Mode == CollectLeft && e.needsBuildTracking() && e.Right.Partitions() > 1 {
-		// CollectLeft with shared tracking across concurrent probers is
-		// planner-prevented; guard anyway.
-		return nil, fmt.Errorf("exec: CollectLeft %s join requires single probe partition", e.Type)
-	}
-	probe.emitBuildSide = emitBuild
+	probe.emitBuildSide = e.needsBuildTracking() && (e.Mode == PartitionedJoin || partition == e.lastProbePartition())
 	return physical.InstrumentStream(NewFuncStream(e.schema, probe.next, right.Close), m), nil
 }
 
