@@ -103,10 +103,14 @@ func (e *SymmetricHashJoinExec) Execute(ctx *physical.ExecContext, partition int
 	}
 	left, err := newSideState(ls, lex)
 	if err != nil {
+		ls.Close()
+		rs.Close()
 		return nil, err
 	}
 	right, err := newSideState(rs, rex)
 	if err != nil {
+		ls.Close()
+		rs.Close()
 		return nil, err
 	}
 
