@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"gofusion/internal/fuzzsql"
+	"gofusion/internal/memory"
 )
 
 func main() {
@@ -67,6 +68,15 @@ func main() {
 	}
 	fmt.Print(rep.Summary())
 	if len(rep.Failures) > 0 {
+		os.Exit(1)
+	}
+	// Under -tags sanitize, fail on anything the checked allocator
+	// recorded: double releases, canary overwrites, leaked reservations
+	// or spill files.
+	if fs := memory.SanitizerFindings(); len(fs) > 0 {
+		for _, f := range fs {
+			fmt.Fprintln(os.Stderr, "sanitizer:", f)
+		}
 		os.Exit(1)
 	}
 	if !*quiet {

@@ -61,6 +61,7 @@ func (d *DiskManager) CreateTemp(prefix string) (*SpillFile, error) {
 	}
 	sf := &SpillFile{path: path, file: f, mgr: d}
 	sf.refs.Store(1)
+	sanitizeTrackSpill(sf)
 	d.mu.Lock()
 	d.open[path] = sf
 	d.mu.Unlock()
@@ -112,12 +113,15 @@ func (s *SpillFile) AddRef() { s.refs.Add(1) }
 
 // Release drops one reference, deleting the file when none remain.
 func (s *SpillFile) Release() {
-	if s.refs.Add(-1) == 0 {
+	n := s.refs.Add(-1)
+	sanitizeSpillReleased(s, n)
+	if n == 0 {
 		s.forceRemove()
 	}
 }
 
 func (s *SpillFile) forceRemove() {
+	sanitizeSpillRemoved(s)
 	s.mgr.forget(s.path)
 	s.file.Close()
 	os.Remove(s.path)

@@ -51,7 +51,9 @@ type Reservation struct {
 
 // NewReservation creates an empty reservation against the pool.
 func NewReservation(pool Pool, name string) *Reservation {
-	return &Reservation{name: name, pool: pool}
+	r := &Reservation{name: name, pool: pool}
+	sanitizeTrackReservation(r)
+	return r
 }
 
 // Grow requests n more bytes, returning ErrResourcesExhausted (wrapped)
@@ -67,6 +69,7 @@ func (r *Reservation) Grow(n int64) error {
 // Shrink returns n bytes to the pool.
 func (r *Reservation) Shrink(n int64) {
 	if n > r.size {
+		sanitizeOverShrink(r, n)
 		n = r.size
 	}
 	r.pool.shrink(r, n)
@@ -83,7 +86,10 @@ func (r *Reservation) Resize(n int64) error {
 }
 
 // Free releases the whole reservation.
-func (r *Reservation) Free() { r.Shrink(r.size) }
+func (r *Reservation) Free() {
+	r.Shrink(r.size)
+	sanitizeReservationFreed(r)
+}
 
 // Size returns the currently reserved bytes.
 func (r *Reservation) Size() int64 { return r.size }

@@ -1,0 +1,31 @@
+//go:build !sanitize
+
+package memory
+
+// SanitizeEnabled reports whether this binary was built with the
+// `sanitize` build tag. Without it every hook below compiles to a no-op
+// and the checked allocator adds zero overhead.
+const SanitizeEnabled = false
+
+func sanitizeTrackReservation(*Reservation)   {}
+func sanitizeOverShrink(*Reservation, int64)  {}
+func sanitizeReservationFreed(*Reservation)   {}
+func sanitizeTrackSpill(*SpillFile)           {}
+func sanitizeSpillReleased(*SpillFile, int64) {}
+func sanitizeSpillRemoved(*SpillFile)         {}
+
+// AllocBuffer returns an n-byte scratch buffer. Under the sanitize build
+// tag the buffer carries guard canaries and must be returned through
+// ReleaseBuffer exactly once; here it is a plain allocation.
+func AllocBuffer(n int) []byte { return make([]byte, n) }
+
+// ReleaseBuffer returns a buffer obtained from AllocBuffer.
+func ReleaseBuffer([]byte) {}
+
+// SanitizerFindings reports the defects recorded by the checked
+// allocator (double releases, canary overwrites, leaked reservations,
+// spill files, and buffers). Always empty without the sanitize tag.
+func SanitizerFindings() []string { return nil }
+
+// SanitizerReset clears recorded findings and live-object tracking.
+func SanitizerReset() {}

@@ -1,0 +1,175 @@
+//go:build sanitize
+
+package memory
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SanitizeEnabled reports whether this binary was built with the
+// `sanitize` build tag.
+const SanitizeEnabled = true
+
+// The sanitizer is a process-wide registry of live resources handed out
+// by this package. Hooks in the pool, disk-manager, and buffer paths
+// record misuse (double release, over-shrink, canary overwrite) as it
+// happens; SanitizerFindings additionally reports whatever is still live
+// so test teardown can fail on leaks.
+var san = struct {
+	mu        sync.Mutex
+	findings  []string
+	liveRes   map[*Reservation]bool
+	liveSpill map[*SpillFile]bool
+	buffers   map[*byte]*bufferState
+}{
+	liveRes:   map[*Reservation]bool{},
+	liveSpill: map[*SpillFile]bool{},
+	buffers:   map[*byte]*bufferState{},
+}
+
+type bufferState struct {
+	raw      []byte // payload plus leading/trailing guard bytes
+	n        int
+	released bool
+}
+
+func record(format string, args ...any) {
+	san.findings = append(san.findings, fmt.Sprintf(format, args...))
+}
+
+func sanitizeTrackReservation(r *Reservation) {
+	san.mu.Lock()
+	san.liveRes[r] = true
+	san.mu.Unlock()
+}
+
+func sanitizeOverShrink(r *Reservation, n int64) {
+	san.mu.Lock()
+	record("reservation %q over-released: shrink of %d bytes exceeds the %d reserved", r.name, n, r.size)
+	san.mu.Unlock()
+}
+
+func sanitizeReservationFreed(r *Reservation) {
+	san.mu.Lock()
+	delete(san.liveRes, r)
+	san.mu.Unlock()
+}
+
+func sanitizeTrackSpill(s *SpillFile) {
+	san.mu.Lock()
+	san.liveSpill[s] = true
+	san.mu.Unlock()
+}
+
+func sanitizeSpillReleased(s *SpillFile, refsAfter int64) {
+	if refsAfter < 0 {
+		san.mu.Lock()
+		record("spill file %s double-released (refs=%d)", s.path, refsAfter)
+		san.mu.Unlock()
+	}
+}
+
+func sanitizeSpillRemoved(s *SpillFile) {
+	san.mu.Lock()
+	if san.liveSpill[s] {
+		delete(san.liveSpill, s)
+		if refs := s.refs.Load(); refs > 0 {
+			record("spill file %s removed while still referenced (refs=%d)", s.path, refs)
+		}
+	}
+	san.mu.Unlock()
+}
+
+const (
+	guardBytes = 8
+	canaryByte = 0xA5
+)
+
+// AllocBuffer returns an n-byte scratch buffer bracketed by guard
+// canaries. The buffer must go back through ReleaseBuffer exactly once;
+// writes past either end are reported at release time.
+func AllocBuffer(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	raw := make([]byte, n+2*guardBytes)
+	for i := 0; i < guardBytes; i++ {
+		raw[i] = canaryByte
+		raw[guardBytes+n+i] = canaryByte
+	}
+	buf := raw[guardBytes : guardBytes+n : guardBytes+n]
+	san.mu.Lock()
+	san.buffers[&buf[0]] = &bufferState{raw: raw, n: n}
+	san.mu.Unlock()
+	return buf
+}
+
+// ReleaseBuffer checks the canaries of a buffer from AllocBuffer and
+// records double releases and foreign buffers.
+func ReleaseBuffer(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	san.mu.Lock()
+	defer san.mu.Unlock()
+	st, ok := san.buffers[&b[0]]
+	if !ok {
+		record("buffer of %d bytes released that AllocBuffer did not hand out", len(b))
+		return
+	}
+	if st.released {
+		record("buffer of %d bytes double-released", st.n)
+		return
+	}
+	st.released = true
+	for i := 0; i < guardBytes; i++ {
+		if st.raw[i] != canaryByte {
+			record("buffer of %d bytes: leading guard canary overwritten", st.n)
+			break
+		}
+	}
+	for i := 0; i < guardBytes; i++ {
+		if st.raw[guardBytes+st.n+i] != canaryByte {
+			record("buffer of %d bytes: trailing guard canary overwritten", st.n)
+			break
+		}
+	}
+}
+
+// SanitizerFindings returns every recorded misuse plus anything still
+// live (leaks) at the time of the call. Call it at test teardown, after
+// all streams, spill files, and reservations should have been released.
+func SanitizerFindings() []string {
+	san.mu.Lock()
+	defer san.mu.Unlock()
+	out := append([]string(nil), san.findings...)
+	for r := range san.liveRes {
+		if r.size > 0 {
+			out = append(out, fmt.Sprintf("reservation %q leaked %d bytes (never freed)", r.name, r.size))
+		}
+	}
+	for s := range san.liveSpill {
+		out = append(out, fmt.Sprintf("spill file %s leaked (refs=%d, never removed)", s.path, s.refs.Load()))
+	}
+	unreleased := 0
+	for _, st := range san.buffers {
+		if !st.released {
+			unreleased++
+		}
+	}
+	if unreleased > 0 {
+		out = append(out, fmt.Sprintf("%d buffers from AllocBuffer never released", unreleased))
+	}
+	return out
+}
+
+// SanitizerReset clears recorded findings and live-object tracking.
+func SanitizerReset() {
+	san.mu.Lock()
+	san.findings = nil
+	san.liveRes = map[*Reservation]bool{}
+	san.liveSpill = map[*SpillFile]bool{}
+	san.buffers = map[*byte]*bufferState{}
+	san.mu.Unlock()
+}
