@@ -8,6 +8,7 @@ import (
 	"gofusion/internal/catalog"
 	"gofusion/internal/logical"
 	"gofusion/internal/physical"
+	"gofusion/internal/testutil"
 )
 
 func TestWindowRowsFrames(t *testing.T) {
@@ -130,6 +131,7 @@ func TestPartialAggEarlyFlush(t *testing.T) {
 }
 
 func TestQueryCancellation(t *testing.T) {
+	defer testutil.CheckNoGoroutineLeak(t)()
 	table := bigTable(t, 100000)
 	plan, err := logical.NewBuilder(testReg).
 		Scan("big", table).
@@ -153,6 +155,7 @@ func TestQueryCancellation(t *testing.T) {
 }
 
 func TestUnionPreservesPartitions(t *testing.T) {
+	defer testutil.CheckNoGoroutineLeak(t)()
 	a := bigTable(t, 100)
 	planA, _ := logical.NewBuilder(testReg).Scan("a", a).Build()
 	planB, _ := logical.NewBuilder(testReg).Scan("b", a).Build()

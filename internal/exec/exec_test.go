@@ -11,6 +11,7 @@ import (
 	"gofusion/internal/logical"
 	"gofusion/internal/memory"
 	"gofusion/internal/physical"
+	"gofusion/internal/testutil"
 )
 
 var testReg = functions.NewRegistry()
@@ -454,6 +455,7 @@ func bigTable(t *testing.T, n int) *catalog.MemTable {
 }
 
 func TestSortSpillEqualsInMemory(t *testing.T) {
+	defer testutil.CheckNoGoroutineLeak(t)()
 	table := bigTable(t, 5000)
 	plan, err := logical.NewBuilder(testReg).
 		Scan("big", table).
@@ -497,6 +499,7 @@ func TestSortSpillEqualsInMemory(t *testing.T) {
 }
 
 func TestAggregateSpillEqualsInMemory(t *testing.T) {
+	defer testutil.CheckNoGoroutineLeak(t)()
 	table := bigTable(t, 5000)
 	plan, err := logical.NewBuilder(testReg).
 		Scan("big", table).
@@ -532,6 +535,7 @@ func TestAggregateSpillEqualsInMemory(t *testing.T) {
 }
 
 func TestPartitionedEqualsSinglePartition(t *testing.T) {
+	defer testutil.CheckNoGoroutineLeak(t)()
 	// Property-style: every plan shape must produce identical results at
 	// parallelism 1 and 4.
 	table := bigTable(t, 2000)
@@ -616,6 +620,7 @@ func TestMergeJoinDirect(t *testing.T) {
 }
 
 func TestSymmetricHashJoinDirect(t *testing.T) {
+	defer testutil.CheckNoGoroutineLeak(t)()
 	users, orders := usersAndOrders(t)
 	uScan, _ := users.Scan(catalog.ScanRequest{Partitions: 1, Limit: -1})
 	oScan, _ := orders.Scan(catalog.ScanRequest{Partitions: 1, Limit: -1})

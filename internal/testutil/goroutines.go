@@ -1,0 +1,39 @@
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// SettledGoroutines samples runtime.NumGoroutine after letting transient
+// goroutines (exchange producers draining on close) wind down.
+func SettledGoroutines() int {
+	prev := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		time.Sleep(2 * time.Millisecond)
+		cur := runtime.NumGoroutine()
+		if cur >= prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}
+
+// CheckNoGoroutineLeak snapshots the settled goroutine count and returns
+// the check to defer. It fails the test when the count grew, which in
+// this engine means an exchange producer or spill-merge goroutine
+// outlived its stream's Close.
+//
+//	defer testutil.CheckNoGoroutineLeak(t)()
+func CheckNoGoroutineLeak(t testing.TB) func() {
+	t.Helper()
+	baseline := SettledGoroutines()
+	return func() {
+		t.Helper()
+		if after := SettledGoroutines(); after > baseline {
+			t.Errorf("goroutine leak: %d settled before, %d after", baseline, after)
+		}
+	}
+}

@@ -2,13 +2,12 @@ package tpch_test
 
 import (
 	"regexp"
-	"runtime"
 	"strings"
 	"testing"
-	"time"
 
 	"gofusion/internal/core"
 	"gofusion/internal/exec"
+	"gofusion/internal/testutil"
 	"gofusion/internal/workload/tpch"
 )
 
@@ -27,7 +26,7 @@ func TestExplainAnalyzeShape(t *testing.T) {
 		if err := tpch.RegisterInMemory(s, 0.01); err != nil {
 			t.Fatal(err)
 		}
-		baseline := settledGoroutines()
+		baseline := testutil.SettledGoroutines()
 		for _, n := range queries {
 			q, err := tpch.Query(n)
 			if err != nil {
@@ -66,24 +65,9 @@ func TestExplainAnalyzeShape(t *testing.T) {
 
 			// All partition producers (repartition, coalesce) must have
 			// exited once the query is fully drained and closed.
-			if after := settledGoroutines(); after > baseline {
+			if after := testutil.SettledGoroutines(); after > baseline {
 				t.Errorf("Q%d p%d: goroutine leak: %d before, %d after", n, parts, baseline, after)
 			}
 		}
 	}
-}
-
-// settledGoroutines samples runtime.NumGoroutine after letting transient
-// goroutines (exchange producers draining on close) wind down.
-func settledGoroutines() int {
-	prev := runtime.NumGoroutine()
-	for i := 0; i < 100; i++ {
-		time.Sleep(2 * time.Millisecond)
-		cur := runtime.NumGoroutine()
-		if cur >= prev {
-			return cur
-		}
-		prev = cur
-	}
-	return prev
 }
