@@ -60,10 +60,10 @@ type Col struct {
 	T    ValType
 }
 
-func (c *Col) SQL() string          { return c.Name }
-func (c *Col) VType() ValType       { return c.T }
-func (c *Col) Kids() []Expr         { return nil }
-func (c *Col) With(_ []Expr) Expr   { return c }
+func (c *Col) SQL() string        { return c.Name }
+func (c *Col) VType() ValType     { return c.T }
+func (c *Col) Kids() []Expr       { return nil }
+func (c *Col) With(_ []Expr) Expr { return c }
 
 // Lit is a literal of any ValType. For TDate, Str holds "YYYY-MM-DD".
 type Lit struct {

@@ -14,9 +14,9 @@ func TestFloatsEqual(t *testing.T) {
 	}{
 		{1.0, 1.0, true},
 		{math.NaN(), math.NaN(), true},
-		{0, 1e-9, true},                      // absolute tolerance
-		{1e12, 1e12 * (1 + 1e-10), true},     // relative tolerance
-		{1.0, math.Nextafter(1.0, 2), true},  // 1 ULP
+		{0, 1e-9, true},                     // absolute tolerance
+		{1e12, 1e12 * (1 + 1e-10), true},    // relative tolerance
+		{1.0, math.Nextafter(1.0, 2), true}, // 1 ULP
 		{1.0, 1.001, false},
 		{1e12, 1.001e12, false},
 		{math.Inf(1), math.Inf(1), true},
