@@ -1,0 +1,34 @@
+GO ?= go
+BIN := $(CURDIR)/bin
+
+.PHONY: build test lint fuzz-smoke sanitize bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint builds the engine-invariant analyzer suite (internal/analysis) and
+# runs it over the whole module through the standard vet driver, then
+# checks formatting. The analyzers: streamclose, atomicfield,
+# unsafealias, goroutinedrain, eofconvention.
+lint:
+	$(GO) build -o $(BIN)/gofusionlint ./cmd/gofusionlint
+	$(GO) vet -vettool=$(BIN)/gofusionlint ./...
+	@out="$$(gofmt -l ./cmd ./internal)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# sanitize reruns the memory-layer unit tests and the differential SQL
+# fuzzer with the checked allocator (canaries, double-release and leak
+# detection) swapped in via the `sanitize` build tag.
+sanitize:
+	$(GO) test -tags sanitize ./internal/memory/ ./internal/fuzzsql/
+
+fuzz-smoke:
+	$(GO) run ./cmd/fuzzsql -seed 7 -n 120 -q
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+clean:
+	rm -rf $(BIN)
