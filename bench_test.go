@@ -8,12 +8,17 @@ package gofusion
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
+	"gofusion/internal/arrow"
 	"gofusion/internal/baseline"
 	"gofusion/internal/bench"
 	"gofusion/internal/core"
+	"gofusion/internal/parquet"
+	"gofusion/internal/workload/tpch"
 )
 
 var (
@@ -105,6 +110,111 @@ func BenchmarkFigure7Scalability(b *testing.B) {
 		for _, q := range queries {
 			runBoth(b, s, e, fmt.Sprintf("Q%02d/cores=%d", q, cores), all[q])
 		}
+	}
+}
+
+// writeSkewData materializes a deliberately imbalanced multi-file table:
+// 60 small single-row-group files followed by one fat file holding two
+// 100k-row groups. Static dealing is greedy in file order, so the two
+// fat row groups land on two already-loaded partitions (130k rows each
+// vs 30k for the rest); the morsel scheduler's largest-first shared
+// queue lets the other workers absorb the small files instead.
+func writeSkewData(b *testing.B, dir string) []string {
+	b.Helper()
+	schema := arrow.NewSchema(
+		arrow.NewField("k", arrow.Int64, false),
+		arrow.NewField("v", arrow.Float64, false),
+	)
+	mkBatch := func(rows, seed int) *arrow.RecordBatch {
+		kb := arrow.NewNumericBuilder[int64](arrow.Int64)
+		vb := arrow.NewNumericBuilder[float64](arrow.Float64)
+		for i := 0; i < rows; i++ {
+			kb.Append(int64((seed+i)%97 - 8))
+			vb.Append(float64(i%1000) * 0.5)
+		}
+		return arrow.NewRecordBatch(schema, []arrow.Array{kb.Finish(), vb.Finish()})
+	}
+	var files []string
+	for f := 0; f < 60; f++ {
+		path := filepath.Join(dir, fmt.Sprintf("small-%02d.gpq", f))
+		if err := parquet.WriteFile(path, schema, []*arrow.RecordBatch{mkBatch(2000, f)},
+			parquet.WriterOptions{RowGroupRows: 2000}); err != nil {
+			b.Fatal(err)
+		}
+		files = append(files, path)
+	}
+	fat := filepath.Join(dir, "zfat.gpq")
+	if err := parquet.WriteFile(fat, schema, []*arrow.RecordBatch{mkBatch(200_000, 7)},
+		parquet.WriterOptions{RowGroupRows: 100_000}); err != nil {
+		b.Fatal(err)
+	}
+	return append(files, fat)
+}
+
+// BenchmarkPipelineFusion measures pipeline fusion + morsel scheduling
+// (DESIGN.md section 10): scan-heavy TPC-H Q1/Q6 with fusion on (the
+// default) vs DisableFusion at 4 partitions, plus a skewed multi-file
+// scan where dynamic morsel stealing beats static partition dealing.
+func BenchmarkPipelineFusion(b *testing.B) {
+	cfg := setup(b)
+	const cores = 4
+	modes := []struct {
+		name    string
+		disable bool
+	}{{"fused", false}, {"unfused", true}}
+
+	// Dedicated TPC-H copy with 25k-row groups: the shared bench dataset
+	// uses the paper's 1M-row groups, which at laptop scale leaves a
+	// single row group per table and nothing for the morsel scheduler to
+	// schedule.
+	fusionDir := filepath.Join(cfg.DataDir, fmt.Sprintf("tpch-fusion-sf%g", cfg.TPCHSF))
+	if _, err := os.Stat(filepath.Join(fusionDir, "lineitem.gpq")); err != nil {
+		if err := tpch.WriteGPQ(fusionDir, cfg.TPCHSF, 25_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sessions := map[string]*core.SessionContext{}
+	for _, m := range modes {
+		scfg := core.DefaultConfig()
+		scfg.TargetPartitions = cores
+		scfg.DisableFusion = m.disable
+		s := core.NewSession(scfg)
+		if err := tpch.RegisterGPQ(s, fusionDir); err != nil {
+			b.Fatal(err)
+		}
+		sessions[m.name] = s
+	}
+	_, queries := bench.WorkloadQueries(bench.TPCH)
+	for _, n := range []int{1, 6} {
+		for _, m := range modes {
+			s := sessions[m.name]
+			b.Run(fmt.Sprintf("Q%02d/%s", n, m.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := bench.RunGoFusion(s, queries[n]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	skewFiles := writeSkewData(b, b.TempDir())
+	const skewQuery = "SELECT sum(v), count(*) FROM skew WHERE k > 0"
+	for _, m := range modes {
+		scfg := core.DefaultConfig()
+		scfg.TargetPartitions = cores
+		scfg.DisableFusion = m.disable
+		s := core.NewSession(scfg)
+		if err := s.RegisterGPQ("skew", skewFiles...); err != nil {
+			b.Fatal(err)
+		}
+		b.Run("Skew/"+m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bench.RunGoFusion(s, skewQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

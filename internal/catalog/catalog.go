@@ -84,7 +84,29 @@ type ScanResult struct {
 	// the scan's partition streams for EXPLAIN ANALYZE. Providers without
 	// statistics leave it nil.
 	Runtime *ScanRuntime
+	// Morsels, when non-nil, exposes the scan as dynamically schedulable
+	// units so the engine can replace the static per-partition Open split
+	// with a shared work queue drained by all workers (morsel-driven
+	// scheduling). Providers only publish it when the output is unordered,
+	// since workers interleave units arbitrarily.
+	Morsels *MorselSet
 }
+
+// MorselSet describes the dynamically schedulable units of a scan: finer
+// grained than partitions (typically one or a few row groups each) so
+// that workers finishing early steal remaining units instead of idling
+// behind a static row-balanced deal that mispredicts per-unit cost.
+type MorselSet struct {
+	// Rows[i] estimates unit i's row count (footer counts for files).
+	// Units are ordered largest-first so long units start earliest.
+	Rows []int64
+	// Open starts reading one unit. Each unit may be opened at most once;
+	// distinct units may be opened from different goroutines.
+	Open func(unit int) (Stream, error)
+}
+
+// Units returns the number of schedulable units.
+func (m *MorselSet) Units() int { return len(m.Rows) }
 
 // ScanRuntime accumulates runtime scan counters across all partitions of
 // one prepared scan. Plan-time pruning (whole files / row groups

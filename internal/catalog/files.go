@@ -24,6 +24,9 @@ type GPQTable struct {
 	stats  Statistics
 	order  []OrderedCol
 	cache  *memory.CacheManager
+	// metas holds the footers parsed at construction so scans (which may
+	// open many per-morsel streams) never re-decode them.
+	metas map[string]*parquet.FileMetadata
 }
 
 // NewGPQTable opens a GPQ-backed table. All files must share a schema.
@@ -32,12 +35,13 @@ func NewGPQTable(files []string, cache *memory.CacheManager) (*GPQTable, error) 
 	if len(files) == 0 {
 		return nil, fmt.Errorf("catalog: GPQ table needs at least one file")
 	}
-	t := &GPQTable{files: files, cache: cache, stats: Statistics{}}
+	t := &GPQTable{files: files, cache: cache, stats: Statistics{}, metas: map[string]*parquet.FileMetadata{}}
 	for i, f := range files {
 		meta, err := t.metadata(f)
 		if err != nil {
 			return nil, err
 		}
+		t.metas[f] = meta
 		if i == 0 {
 			t.schema = meta.Schema
 			if so, ok := meta.KV["sort_order"]; ok {
@@ -71,6 +75,9 @@ func parseSortOrder(s string) []OrderedCol {
 
 // metadata reads (and caches) a file's footer.
 func (t *GPQTable) metadata(path string) (*parquet.FileMetadata, error) {
+	if m, ok := t.metas[path]; ok {
+		return m, nil
+	}
 	load := func() (any, error) {
 		f, err := os.Open(path)
 		if err != nil {
@@ -280,6 +287,13 @@ func (t *GPQTable) Scan(req ScanRequest) (*ScanResult, error) {
 	}
 	rt := &ScanRuntime{}
 	rt.RowGroupsPruned.Add(int64(pruned)) // plan-time file/row-group pruning
+	opts := parquet.ScanOptions{
+		Projection: req.Projection,
+		Predicate:  pred,
+		Limit:      limit,
+		BatchRows:  req.BatchRows,
+		Readahead:  req.Readahead,
+	}
 	return &ScanResult{
 		Schema:       outSchema,
 		Partitions:   numParts,
@@ -287,21 +301,52 @@ func (t *GPQTable) Scan(req ScanRequest) (*ScanResult, error) {
 		SortOrder:    order,
 		Detail:       detail,
 		Runtime:      rt,
+		Morsels:      t.morselSet(units, numParts, outSchema, rt, opts),
 		Open: func(p int) (Stream, error) {
-			return &gpqStream{
-				units:  parts[p],
-				schema: outSchema,
-				rt:     rt,
-				opts: parquet.ScanOptions{
-					Projection: req.Projection,
-					Predicate:  pred,
-					Limit:      limit,
-					BatchRows:  req.BatchRows,
-					Readahead:  req.Readahead,
-				},
-			}, nil
+			return &gpqStream{units: parts[p], schema: outSchema, rt: rt, opts: opts, meta: t.metadata}, nil
 		},
 	}, nil
+}
+
+// morselSet builds the dynamically schedulable view of a parallel scan:
+// surviving row groups are chunked about 4x finer than the partition
+// count (dealUnits keeps chunks row-balanced and merges same-file
+// neighbors so each chunk opens its file once), then ordered largest
+// first so the longest chunks start earliest. Single-partition scans
+// keep the static path — there is nobody to steal from.
+func (t *GPQTable) morselSet(units []scanUnit, numParts int, outSchema *arrow.Schema, rt *ScanRuntime, opts parquet.ScanOptions) *MorselSet {
+	if numParts <= 1 || len(units) < 2 {
+		// One worker, or one unit: nothing to schedule dynamically.
+		return nil
+	}
+	n := numParts * 4
+	if n > len(units) {
+		n = len(units)
+	}
+	var ms [][]scanUnit
+	for _, us := range dealUnits(units, n) {
+		if len(us) > 0 {
+			ms = append(ms, us)
+		}
+	}
+	rowsOf := func(us []scanUnit) int64 {
+		var r int64
+		for _, u := range us {
+			r += u.rows
+		}
+		return r
+	}
+	sort.SliceStable(ms, func(i, j int) bool { return rowsOf(ms[i]) > rowsOf(ms[j]) })
+	rows := make([]int64, len(ms))
+	for i, us := range ms {
+		rows[i] = rowsOf(us)
+	}
+	return &MorselSet{
+		Rows: rows,
+		Open: func(unit int) (Stream, error) {
+			return &gpqStream{units: ms[unit], schema: outSchema, rt: rt, opts: opts, meta: t.metadata}, nil
+		},
+	}
 }
 
 func fileColumnStats(meta *parquet.FileMetadata, col int) parquet.ColumnStats {
@@ -311,10 +356,15 @@ func fileColumnStats(meta *parquet.FileMetadata, col int) parquet.ColumnStats {
 // gpqStream reads a list of scan units sequentially, one scanner per
 // unit, with optional readahead inside each scanner.
 type gpqStream struct {
-	units   []scanUnit
-	schema  *arrow.Schema
-	opts    parquet.ScanOptions
-	rt      *ScanRuntime
+	units  []scanUnit
+	schema *arrow.Schema
+	opts   parquet.ScanOptions
+	rt     *ScanRuntime
+	// meta resolves a file's already-parsed footer so per-unit opens skip
+	// the footer decode; morsel-driven scans open many more streams than
+	// static partitions, so this matters there most. Nil falls back to a
+	// full OpenFile.
+	meta    func(path string) (*parquet.FileMetadata, error)
 	reader  *parquet.FileReader
 	scanner *parquet.Scanner
 	taken   int64
@@ -332,7 +382,7 @@ func (s *gpqStream) Next() (*arrow.RecordBatch, error) {
 				return nil, io.EOF
 			}
 			unit := s.units[0]
-			fr, err := parquet.OpenFile(unit.file)
+			fr, err := s.openUnitFile(unit.file)
 			if err != nil {
 				return nil, err
 			}
@@ -360,6 +410,15 @@ func (s *gpqStream) Next() (*arrow.RecordBatch, error) {
 		s.taken += int64(b.NumRows())
 		return b, nil
 	}
+}
+
+func (s *gpqStream) openUnitFile(path string) (*parquet.FileReader, error) {
+	if s.meta != nil {
+		if m, err := s.meta(path); err == nil {
+			return parquet.OpenFileWithMeta(path, m)
+		}
+	}
+	return parquet.OpenFile(path)
 }
 
 func (s *gpqStream) closeCurrent() {

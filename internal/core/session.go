@@ -37,7 +37,9 @@ type SessionConfig struct {
 	// (2), negative disables readahead.
 	ScanReadahead int
 	// ExchangeBufferDepth is the per-channel batch buffer of exchange
-	// operators; 0 means the default (4).
+	// operators; 0 derives max(4, TargetPartitions) so fused consumers
+	// that drain whole chains per pull don't stall producers at high
+	// parallelism.
 	ExchangeBufferDepth int
 	// MemoryLimit bounds tracked operator memory in bytes; 0 = unlimited.
 	MemoryLimit int64
@@ -52,6 +54,12 @@ type SessionConfig struct {
 	DisableOptimizer bool
 	// PreferHashJoin disables merge join selection.
 	PreferHashJoin bool
+	// DisableFusion turns off pipeline fusion and morsel-driven scan
+	// scheduling, keeping every operator on its own pull stream (the
+	// paper-faithful FusePipelines knob, spelled as a Disable flag so the
+	// zero-value config keeps fusion on; for ablations and differential
+	// testing).
+	DisableFusion bool
 }
 
 // DefaultConfig returns the recommended session configuration.
@@ -307,6 +315,7 @@ func (s *SessionContext) CreatePhysicalPlan(plan logical.Plan) (physical.Executi
 		ScanReadahead:     s.cfg.ScanReadahead,
 		Reg:               s.reg,
 		PreferHashJoin:    s.cfg.PreferHashJoin,
+		DisableFusion:     s.cfg.DisableFusion,
 		ExtensionPlanners: s.extPlanners,
 	}
 	return exec.CreatePhysicalPlan(optimized, cfg)
@@ -317,6 +326,7 @@ func (s *SessionContext) newExecContext() (*physical.ExecContext, func()) {
 	ctx := physical.NewExecContext()
 	ctx.Ctx = context.Background()
 	ctx.BatchRows = s.cfg.BatchRows
+	ctx.TargetPartitions = s.cfg.TargetPartitions
 	if s.cfg.ExchangeBufferDepth > 0 {
 		ctx.ExchangeBuffer = s.cfg.ExchangeBufferDepth
 	}

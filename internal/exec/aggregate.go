@@ -361,6 +361,108 @@ func (e *HashAggregateExec) Execute(ctx *physical.ExecContext, partition int) (p
 	return physical.InstrumentStream(s, e.Metrics()), nil
 }
 
+// CanPush allows fusing only partial-mode hash aggregation: a partial
+// agg never spills (it early-flushes under pressure), so it fits a
+// push loop, while Final/Single modes are genuine pipeline breakers and
+// ordered inputs keep the streaming run-detection fast path instead.
+func (e *HashAggregateExec) CanPush() bool {
+	return e.Mode == PartialAgg && !(e.InputOrdered && len(e.GroupExprs) > 0)
+}
+
+// PushInto compiles partial aggregation for a fused loop.
+func (e *HashAggregateExec) PushInto(ctx *physical.ExecContext, _ int) (physical.Pusher, error) {
+	st, err := e.newState()
+	if err != nil {
+		return nil, err
+	}
+	threshold := e.FlushThreshold
+	if threshold <= 0 {
+		threshold = 1 << 31
+	}
+	return &aggPusher{
+		e: e, ctx: ctx, st: st,
+		res:        memory.NewReservation(ctx.Pool, "HashAggregateExec"),
+		unregister: memory.RegisterConsumer(ctx.Pool),
+		threshold:  threshold,
+	}, nil
+}
+
+// aggPusher accumulates partial aggregation state batch by batch,
+// early-flushing downstream on memory pressure or the group-count cap —
+// the same policy as the pull path's executeHashed in partial mode.
+type aggPusher struct {
+	e          *HashAggregateExec
+	ctx        *physical.ExecContext
+	st         *aggState
+	res        *memory.Reservation
+	unregister func()
+	groupIdx   []uint32
+	threshold  int
+	closed     bool
+}
+
+func (p *aggPusher) Push(b *arrow.RecordBatch, emit physical.EmitFn) (bool, error) {
+	var err error
+	p.groupIdx, err = p.e.update(p.st, b, p.groupIdx)
+	if err != nil {
+		return false, err
+	}
+	if p.st.table == nil {
+		return false, nil
+	}
+	if err := p.res.Resize(p.st.table.memUsage()); err == nil {
+		p.e.Metrics().UpdateMemPeak(p.res.Size())
+		if p.st.table.numGroups() < p.threshold {
+			return false, nil
+		}
+	}
+	return false, p.emitAndReset(emit)
+}
+
+// emitAndReset flushes the current partial state downstream and resets
+// the table and accumulators.
+func (p *aggPusher) emitAndReset(emit physical.EmitFn) error {
+	batches, err := p.e.emit(p.st, p.ctx.BatchRows)
+	if err != nil {
+		return err
+	}
+	p.st.table.reset()
+	fresh, err := p.e.newState()
+	if err != nil {
+		return err
+	}
+	p.st.accs = fresh.accs
+	p.res.Shrink(p.res.Size())
+	for _, b := range batches {
+		if err := emit(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *aggPusher) Flush(emit physical.EmitFn) error {
+	batches, err := p.e.emit(p.st, p.ctx.BatchRows)
+	if err != nil {
+		return err
+	}
+	for _, b := range batches {
+		if err := emit(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *aggPusher) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.res.Free()
+	p.unregister()
+}
+
 func (e *HashAggregateExec) executeHashed(ctx *physical.ExecContext, in physical.Stream) (physical.Stream, error) {
 	st, err := e.newState()
 	if err != nil {

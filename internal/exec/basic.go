@@ -60,6 +60,31 @@ func (e *FilterExec) Execute(ctx *physical.ExecContext, partition int) (physical
 	}, in.Close), e.Metrics()), nil
 }
 
+// CanPush marks the filter as fusable: one batch in, at most one out.
+func (e *FilterExec) CanPush() bool { return true }
+
+// PushInto compiles the filter for a fused loop.
+func (e *FilterExec) PushInto(*physical.ExecContext, int) (physical.Pusher, error) {
+	return &filterPusher{e: e}, nil
+}
+
+type filterPusher struct{ e *FilterExec }
+
+func (p *filterPusher) Push(b *arrow.RecordBatch, emit physical.EmitFn) (bool, error) {
+	mask, err := physical.EvalPredicate(p.e.Predicate, b)
+	if err != nil {
+		return false, err
+	}
+	out, err := compute.FilterBatch(b, mask)
+	if err != nil {
+		return false, err
+	}
+	return false, emit(out)
+}
+
+func (p *filterPusher) Flush(physical.EmitFn) error { return nil }
+func (p *filterPusher) Close()                      {}
+
 // ProjectionExec computes output expressions.
 type ProjectionExec struct {
 	physical.OpMetrics
@@ -150,6 +175,31 @@ func (e *ProjectionExec) Execute(ctx *physical.ExecContext, partition int) (phys
 	}, in.Close), e.Metrics()), nil
 }
 
+// CanPush marks the projection as fusable.
+func (e *ProjectionExec) CanPush() bool { return true }
+
+// PushInto compiles the projection for a fused loop.
+func (e *ProjectionExec) PushInto(*physical.ExecContext, int) (physical.Pusher, error) {
+	return &projectionPusher{e: e}, nil
+}
+
+type projectionPusher struct{ e *ProjectionExec }
+
+func (p *projectionPusher) Push(b *arrow.RecordBatch, emit physical.EmitFn) (bool, error) {
+	cols := make([]arrow.Array, len(p.e.Exprs))
+	for i, x := range p.e.Exprs {
+		a, err := physical.EvalToArray(x, b)
+		if err != nil {
+			return false, err
+		}
+		cols[i] = a
+	}
+	return false, emit(arrow.NewRecordBatchWithRows(p.e.schema, cols, b.NumRows()))
+}
+
+func (p *projectionPusher) Flush(physical.EmitFn) error { return nil }
+func (p *projectionPusher) Close()                      {}
+
 // GlobalLimitExec applies skip/fetch over a single partition.
 type GlobalLimitExec struct {
 	physical.OpMetrics
@@ -220,6 +270,48 @@ func (e *GlobalLimitExec) Execute(ctx *physical.ExecContext, partition int) (phy
 	}, in.Close), e.Metrics()), nil
 }
 
+// CanPush allows fusing the global limit only over single-partition
+// input, mirroring the Execute-time invariant.
+func (e *GlobalLimitExec) CanPush() bool { return e.Input.Partitions() == 1 }
+
+// PushInto compiles the skip/fetch window for a fused loop; done fires
+// once the fetch is satisfied so the driver stops the source early.
+func (e *GlobalLimitExec) PushInto(*physical.ExecContext, int) (physical.Pusher, error) {
+	return &globalLimitPusher{skip: e.Skip, remaining: e.Fetch}, nil
+}
+
+type globalLimitPusher struct {
+	skip      int64
+	remaining int64 // -1 = unlimited
+}
+
+func (p *globalLimitPusher) Push(b *arrow.RecordBatch, emit physical.EmitFn) (bool, error) {
+	if p.remaining == 0 {
+		return true, nil
+	}
+	if p.skip > 0 {
+		if int64(b.NumRows()) <= p.skip {
+			p.skip -= int64(b.NumRows())
+			return false, nil
+		}
+		b = b.Slice(int(p.skip), b.NumRows()-int(p.skip))
+		p.skip = 0
+	}
+	if p.remaining > 0 && int64(b.NumRows()) > p.remaining {
+		b = b.Slice(0, int(p.remaining))
+	}
+	if p.remaining > 0 {
+		p.remaining -= int64(b.NumRows())
+	}
+	if err := emit(b); err != nil {
+		return false, err
+	}
+	return p.remaining == 0, nil
+}
+
+func (p *globalLimitPusher) Flush(physical.EmitFn) error { return nil }
+func (p *globalLimitPusher) Close()                      {}
+
 // LocalLimitExec truncates each partition independently (a planner aid
 // under a global limit).
 type LocalLimitExec struct {
@@ -266,6 +358,33 @@ func (e *LocalLimitExec) Execute(ctx *physical.ExecContext, partition int) (phys
 		return b, nil
 	}, in.Close), e.Metrics()), nil
 }
+
+// CanPush marks the per-partition limit as fusable.
+func (e *LocalLimitExec) CanPush() bool { return true }
+
+// PushInto compiles the per-partition truncation for a fused loop.
+func (e *LocalLimitExec) PushInto(*physical.ExecContext, int) (physical.Pusher, error) {
+	return &localLimitPusher{remaining: e.Fetch}, nil
+}
+
+type localLimitPusher struct{ remaining int64 }
+
+func (p *localLimitPusher) Push(b *arrow.RecordBatch, emit physical.EmitFn) (bool, error) {
+	if p.remaining <= 0 {
+		return true, nil
+	}
+	if int64(b.NumRows()) > p.remaining {
+		b = b.Slice(0, int(p.remaining))
+	}
+	p.remaining -= int64(b.NumRows())
+	if err := emit(b); err != nil {
+		return false, err
+	}
+	return p.remaining <= 0, nil
+}
+
+func (p *localLimitPusher) Flush(physical.EmitFn) error { return nil }
+func (p *localLimitPusher) Close()                      {}
 
 // CoalescePartitionsExec merges all input partitions into one stream,
 // reading them concurrently.
@@ -490,3 +609,44 @@ func (e *CoalesceBatchesExec) Execute(ctx *physical.ExecContext, partition int) 
 		return out, err
 	}, in.Close), e.Metrics()), nil
 }
+
+// CanPush marks batch coalescing as fusable.
+func (e *CoalesceBatchesExec) CanPush() bool { return true }
+
+// PushInto compiles the re-buffering for a fused loop; Flush emits the
+// sub-target remainder.
+func (e *CoalesceBatchesExec) PushInto(*physical.ExecContext, int) (physical.Pusher, error) {
+	return &coalescePusher{e: e}, nil
+}
+
+type coalescePusher struct {
+	e       *CoalesceBatchesExec
+	pending []*arrow.RecordBatch
+	rows    int
+}
+
+func (p *coalescePusher) Push(b *arrow.RecordBatch, emit physical.EmitFn) (bool, error) {
+	if b.NumRows() > 0 {
+		p.pending = append(p.pending, b)
+		p.rows += b.NumRows()
+	}
+	if p.rows < p.e.Target {
+		return false, nil
+	}
+	return false, p.drain(emit)
+}
+
+func (p *coalescePusher) drain(emit physical.EmitFn) error {
+	if p.rows == 0 {
+		return nil
+	}
+	out, err := compute.ConcatBatches(p.e.Schema(), p.pending)
+	p.pending, p.rows = nil, 0
+	if err != nil {
+		return err
+	}
+	return emit(out)
+}
+
+func (p *coalescePusher) Flush(emit physical.EmitFn) error { return p.drain(emit) }
+func (p *coalescePusher) Close()                           {}

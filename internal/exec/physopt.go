@@ -14,6 +14,12 @@ func applyPhysicalOptimizers(plan physical.ExecutionPlan, cfg *PlannerConfig) (p
 	if err != nil {
 		return nil, err
 	}
+	if !cfg.DisableFusion {
+		plan, err = fusePipelines(plan)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return plan, nil
 }
 
@@ -42,6 +48,51 @@ func transformUp(plan physical.ExecutionPlan, f func(physical.ExecutionPlan) (ph
 		}
 	}
 	return f(plan)
+}
+
+// fusePipelines compiles maximal chains of push-capable operators into
+// PipelineExec segments (ROADMAP open item 2). Working bottom-up, every
+// push-capable operator either absorbs into the segment its child
+// already started or opens a new one; scans that expose morsels open a
+// segment even alone so they run morsel-driven. A second pass unwraps
+// segments too small to pay off: fewer than two fused stages over a
+// source without morsels. Pipeline breakers (sorts, joins, exchanges,
+// final aggregation, windows) never implement Pushable, so chanStream
+// exchanges survive exactly at breaker boundaries.
+func fusePipelines(plan physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+	fused, err := transformUp(plan, func(p physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+		if pe, ok := p.(physical.Pushable); ok && pe.CanPush() {
+			child := p.Children()[0]
+			if seg, ok := child.(*PipelineExec); ok {
+				top, err := p.WithChildren([]physical.ExecutionPlan{seg.top()})
+				if err != nil {
+					return nil, err
+				}
+				stages := append(append([]physical.ExecutionPlan(nil), seg.Stages...), top)
+				return &PipelineExec{Source: seg.Source, Stages: stages}, nil
+			}
+			return &PipelineExec{Source: child, Stages: []physical.ExecutionPlan{p}}, nil
+		}
+		if scanHasMorsels(p) {
+			return &PipelineExec{Source: p}, nil
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return transformUp(fused, func(p physical.ExecutionPlan) (physical.ExecutionPlan, error) {
+		seg, ok := p.(*PipelineExec)
+		if !ok || len(seg.Stages) >= 2 || scanHasMorsels(seg.Source) {
+			return p, nil
+		}
+		return seg.top(), nil
+	})
+}
+
+func scanHasMorsels(p physical.ExecutionPlan) bool {
+	s, ok := p.(*TableScanExec)
+	return ok && s.Result.Morsels != nil && s.Result.Morsels.Units() > 0
 }
 
 // removeRedundantCoalesce drops stacked CoalesceBatchesExec and

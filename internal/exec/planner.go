@@ -24,6 +24,11 @@ type PlannerConfig struct {
 	Reg *functions.Registry
 	// PreferHashJoin disables sort-merge join selection when true.
 	PreferHashJoin bool
+	// DisableFusion keeps every operator on its own pull stream instead
+	// of compiling pipeline segments into fused PipelineExec loops
+	// (fusion is on by default; this knob exists for ablations and
+	// differential testing).
+	DisableFusion bool
 	// ExtensionPlanners lower user-defined logical nodes (paper Section
 	// 7.7); each is tried in order.
 	ExtensionPlanners []ExtensionPlanner

@@ -51,11 +51,17 @@ func (e *TableScanExec) Execute(_ *physical.ExecContext, partition int) (physica
 	if err != nil {
 		return nil, err
 	}
+	return e.instrument(s), nil
+}
+
+// instrument wraps one partition stream (static or morsel-driven) with
+// the scan's metrics and runtime pruning counters.
+func (e *TableScanExec) instrument(s physical.Stream) physical.Stream {
 	m := e.Metrics()
 	is := physical.InstrumentStream(s, m)
 	rt := e.Result.Runtime
 	if rt == nil {
-		return is, nil
+		return is
 	}
 	// Re-publish the scan-wide pruning totals on every stream close (the
 	// counters are monotone, so Store of the latest totals is exact once
@@ -74,7 +80,7 @@ func (e *TableScanExec) Execute(_ *physical.ExecContext, partition int) (physica
 	// Publish plan-time pruning immediately so it shows even when the
 	// stream is abandoned before any batch is drained.
 	rgPruned.Store(rt.RowGroupsPruned.Load())
-	return NewFuncStream(e.Schema(), is.Next, flush), nil
+	return NewFuncStream(e.Schema(), is.Next, flush)
 }
 func (e *TableScanExec) String() string {
 	cols := make([]string, e.Result.Schema.NumFields())

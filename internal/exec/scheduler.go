@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"io"
+	"sync/atomic"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/catalog"
+	"gofusion/internal/physical"
+)
+
+// morselQueue is the shared work queue of one morsel-driven scan: an
+// atomic cursor over the scan's MorselSet. The engine already runs one
+// consumer goroutine per output partition; those goroutines are the
+// workers — each claims the next unstarted unit when its current one
+// drains, so a worker stuck on a fat or slow unit simply claims fewer
+// and the tail balances itself without any stealing protocol.
+type morselQueue struct {
+	set  *catalog.MorselSet
+	next atomic.Int64
+}
+
+func newMorselQueue(set *catalog.MorselSet) *morselQueue {
+	return &morselQueue{set: set}
+}
+
+// claim returns the next unclaimed unit index, or -1 when the queue is
+// drained.
+func (q *morselQueue) claim() int {
+	i := int(q.next.Add(1)) - 1
+	if i >= q.set.Units() {
+		return -1
+	}
+	return i
+}
+
+// claimed reports how many units have been claimed so far (for tests).
+func (q *morselQueue) claimed() int {
+	n := int(q.next.Load())
+	if n > q.set.Units() {
+		return q.set.Units()
+	}
+	return n
+}
+
+// morselStream is one worker's view of a shared morsel queue: a Stream
+// that reads claimed units one at a time until the queue is empty.
+// Closing mid-drain closes only the unit being read (joining its
+// readahead producer); unclaimed units are simply never opened, so
+// abandoning the stream leaks nothing.
+type morselStream struct {
+	schema *arrow.Schema
+	q      *morselQueue
+	cur    physical.Stream
+	done   bool
+}
+
+func (s *morselStream) Schema() *arrow.Schema { return s.schema }
+
+func (s *morselStream) Next() (*arrow.RecordBatch, error) {
+	for {
+		if s.done {
+			return nil, io.EOF
+		}
+		if s.cur == nil {
+			unit := s.q.claim()
+			if unit < 0 {
+				s.done = true
+				return nil, io.EOF
+			}
+			cur, err := s.q.set.Open(unit)
+			if err != nil {
+				s.done = true
+				return nil, err
+			}
+			s.cur = cur
+		}
+		b, err := s.cur.Next()
+		if err == io.EOF {
+			s.cur.Close()
+			s.cur = nil
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+}
+
+func (s *morselStream) Close() {
+	if s.cur != nil {
+		s.cur.Close()
+		s.cur = nil
+	}
+	s.done = true
+}

@@ -42,6 +42,22 @@ func OpenFile(path string) (*FileReader, error) {
 	return fr, nil
 }
 
+// OpenFileWithMeta opens a GPQ file reusing an already-parsed footer
+// (e.g. the catalog's metadata cache), skipping the footer decode that
+// OpenFile performs. The metadata must describe the file at path.
+func OpenFileWithMeta(path string, meta *FileMetadata) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileReader{r: f, size: st.Size(), meta: meta, closer: f}, nil
+}
+
 // NewReader reads a GPQ file from any random-access source.
 func NewReader(r io.ReaderAt, size int64) (*FileReader, error) {
 	meta, err := ReadMetadata(r, size)

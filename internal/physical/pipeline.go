@@ -1,0 +1,42 @@
+package physical
+
+import (
+	"gofusion/internal/arrow"
+)
+
+// EmitFn receives one output batch from a push-mode operator. Operators
+// call it zero or more times per Push/Flush; the driver buffers emitted
+// batches and feeds them to the next stage after the call returns, so
+// implementations never re-enter downstream operators.
+type EmitFn func(*arrow.RecordBatch) error
+
+// Pusher is the push-mode compilation of one operator for fused pipeline
+// execution: instead of pulling from a child stream, the pipeline driver
+// pushes each input batch through the whole operator chain in a single
+// loop (PAPERS.md: "Push vs. Pull-Based Loop Fusion in Query Engines").
+// A Pusher serves one partition and is not safe for concurrent use.
+type Pusher interface {
+	// Push consumes one input batch, emitting any output via emit. A true
+	// done return means the operator will never emit again (e.g. a limit
+	// was satisfied); the driver then stops feeding the pipeline.
+	Push(b *arrow.RecordBatch, emit EmitFn) (done bool, err error)
+	// Flush emits any buffered state after the input is exhausted
+	// (coalesce remainders, partial aggregation state).
+	Flush(emit EmitFn) error
+	// Close releases resources (memory reservations). It must be safe to
+	// call after Flush and when the pipeline is abandoned before Flush.
+	Close()
+}
+
+// Pushable marks an operator that can compile itself into a Pusher and
+// join a fused pipeline segment. Operators that buffer unboundedly, need
+// their own goroutines, or change partitioning (sorts, joins, exchanges,
+// final aggregation) are pipeline breakers and do not implement it.
+type Pushable interface {
+	ExecutionPlan
+	// CanPush reports whether this node is fusable as configured (e.g.
+	// partial-mode aggregation only).
+	CanPush() bool
+	// PushInto compiles the operator for one partition of a fused loop.
+	PushInto(ctx *ExecContext, partition int) (Pusher, error)
+}

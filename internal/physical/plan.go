@@ -23,24 +23,33 @@ type ExecContext struct {
 	// BatchRows is the target output batch size.
 	BatchRows int
 	// ExchangeBuffer is the per-output-channel batch buffer depth of
-	// exchange operators (RepartitionExec); 0 falls back to the default
-	// of 4. Deeper buffers keep fast producers from stalling on slow
-	// consumers at the cost of more in-flight batches.
+	// exchange operators (RepartitionExec); 0 derives a default from
+	// TargetPartitions. Deeper buffers keep fast producers from stalling
+	// on slow consumers at the cost of more in-flight batches.
 	ExchangeBuffer int
+	// TargetPartitions is the session parallelism, used to size derived
+	// defaults (exchange buffers, morsel granularity); 0 means 1.
+	TargetPartitions int
 	// Pool arbitrates operator memory.
 	Pool memory.Pool
 	// Disk provides spill files; nil disables spilling.
 	Disk *memory.DiskManager
 }
 
-// DefaultExchangeBuffer is the exchange channel depth used when
+// DefaultExchangeBuffer is the minimum exchange channel depth used when
 // ExecContext.ExchangeBuffer is unset.
 const DefaultExchangeBuffer = 4
 
-// ExchangeBufferDepth returns the effective exchange channel depth.
+// ExchangeBufferDepth returns the effective exchange channel depth. When
+// ExchangeBuffer is unset it derives from TargetPartitions: fused
+// consumers drain whole chains per pull, so at high parallelism a fixed
+// shallow buffer stalls producers that all hash into one hot output.
 func (c *ExecContext) ExchangeBufferDepth() int {
 	if c.ExchangeBuffer > 0 {
 		return c.ExchangeBuffer
+	}
+	if c.TargetPartitions > DefaultExchangeBuffer {
+		return c.TargetPartitions
 	}
 	return DefaultExchangeBuffer
 }
@@ -48,7 +57,7 @@ func (c *ExecContext) ExchangeBufferDepth() int {
 // NewExecContext returns a context with unbounded memory and no spilling.
 func NewExecContext() *ExecContext {
 	return &ExecContext{Ctx: context.Background(), BatchRows: 8192,
-		ExchangeBuffer: DefaultExchangeBuffer, Pool: memory.NewUnboundedPool()}
+		Pool: memory.NewUnboundedPool()}
 }
 
 // SortField names one column of a physical ordering.
