@@ -1,7 +1,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: build test lint fuzz-smoke sanitize bench clean
+.PHONY: build test lint fuzz-smoke sanitize bench bench-cache clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-cache measures the shared decoded-page cache and result cache
+# (cold vs warm vs nocache vs warmresult, plus the concurrent mixed
+# workload); medians of 5 runs feed BENCH_cache.json.
+bench-cache:
+	$(GO) test -run '^$$' -bench BenchmarkSharedCache -benchtime 5x -count=5 .
 
 clean:
 	rm -rf $(BIN)

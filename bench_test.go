@@ -163,16 +163,7 @@ func BenchmarkPipelineFusion(b *testing.B) {
 		disable bool
 	}{{"fused", false}, {"unfused", true}}
 
-	// Dedicated TPC-H copy with 25k-row groups: the shared bench dataset
-	// uses the paper's 1M-row groups, which at laptop scale leaves a
-	// single row group per table and nothing for the morsel scheduler to
-	// schedule.
-	fusionDir := filepath.Join(cfg.DataDir, fmt.Sprintf("tpch-fusion-sf%g", cfg.TPCHSF))
-	if _, err := os.Stat(filepath.Join(fusionDir, "lineitem.gpq")); err != nil {
-		if err := tpch.WriteGPQ(fusionDir, cfg.TPCHSF, 25_000); err != nil {
-			b.Fatal(err)
-		}
-	}
+	fusionDir := fusionTPCHDir(b, cfg)
 	sessions := map[string]*core.SessionContext{}
 	for _, m := range modes {
 		scfg := core.DefaultConfig()
@@ -216,6 +207,115 @@ func BenchmarkPipelineFusion(b *testing.B) {
 			}
 		})
 	}
+}
+
+// fusionTPCHDir materializes (once) the dedicated TPC-H copy with
+// 25k-row groups shared by BenchmarkPipelineFusion and
+// BenchmarkSharedCache; the shared bench dataset's 1M-row groups leave a
+// single row group per table at laptop scale.
+func fusionTPCHDir(b *testing.B, cfg bench.Config) string {
+	b.Helper()
+	dir := filepath.Join(cfg.DataDir, fmt.Sprintf("tpch-fusion-sf%g", cfg.TPCHSF))
+	if _, err := os.Stat(filepath.Join(dir, "lineitem.gpq")); err != nil {
+		if err := tpch.WriteGPQ(dir, cfg.TPCHSF, 25_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// BenchmarkSharedCache measures the shared decoded-page cache and the
+// result cache (DESIGN.md section 11) on scan-heavy TPC-H Q1/Q6:
+//
+//	cold       - fresh session per iteration: every page decoded from disk
+//	warm       - shared session, page cache primed: decode-free scans
+//	nocache    - DisableSharedCache on a reused session: the uncached path
+//	warmresult - EnableResultCache primed: whole-result memoization
+//
+// plus a concurrent mixed workload (4 goroutines alternating Q1/Q6 on
+// one session) with the shared cache on vs off.
+func BenchmarkSharedCache(b *testing.B) {
+	cfg := setup(b)
+	const cores = 4
+	dir := fusionTPCHDir(b, cfg)
+	_, queries := bench.WorkloadQueries(bench.TPCH)
+
+	base := core.DefaultConfig()
+	base.TargetPartitions = cores
+	newSession := func(scfg core.SessionConfig) *core.SessionContext {
+		s := core.NewSession(scfg)
+		if err := tpch.RegisterGPQ(s, dir); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	run := func(b *testing.B, s *core.SessionContext, query string) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := bench.RunGoFusion(s, query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	warm := newSession(base)
+	defer warm.Close()
+	noCfg := base
+	noCfg.DisableSharedCache = true
+	nocache := newSession(noCfg)
+	defer nocache.Close()
+	resCfg := base
+	resCfg.EnableResultCache = true
+	rescache := newSession(resCfg)
+	defer rescache.Close()
+
+	for _, n := range []int{1, 6} {
+		query := queries[n]
+		b.Run(fmt.Sprintf("Q%02d/cold", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := newSession(base)
+				if _, _, err := bench.RunGoFusion(s, query); err != nil {
+					b.Fatal(err)
+				}
+				s.Close()
+			}
+		})
+		for _, prime := range []*core.SessionContext{warm, rescache} {
+			if _, _, err := bench.RunGoFusion(prime, query); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("Q%02d/warm", n), func(b *testing.B) { run(b, warm, query) })
+		b.Run(fmt.Sprintf("Q%02d/nocache", n), func(b *testing.B) { run(b, nocache, query) })
+		b.Run(fmt.Sprintf("Q%02d/warmresult", n), func(b *testing.B) { run(b, rescache, query) })
+	}
+
+	mixed := func(b *testing.B, s *core.SessionContext) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, 4)
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					q := queries[1]
+					if g%2 == 1 {
+						q = queries[6]
+					}
+					_, _, errs[g] = bench.RunGoFusion(s, q)
+				}(g)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("ConcurrentMixed/shared", func(b *testing.B) { mixed(b, warm) })
+	b.Run("ConcurrentMixed/nocache", func(b *testing.B) { mixed(b, nocache) })
 }
 
 // BenchmarkAblations measures the design choices called out in DESIGN.md

@@ -1,0 +1,67 @@
+// Package b is the shared-view golden case: arrays handed out by the
+// real parquet.PageCache are pool-charged shared state. Retaining one in
+// a long-lived structure outlives eviction; building batches from it
+// locally (slices, appends) is the scan idiom and must stay clean.
+package b
+
+import (
+	"gofusion/internal/arrow"
+	"gofusion/internal/parquet"
+)
+
+type holder struct{ arr arrow.Array }
+
+var globalArr arrow.Array
+
+func load(pc *parquet.PageCache, key parquet.PageKey) (arrow.Array, error) {
+	arr, _, err := pc.CachedPage(key, decodeStub)
+	return arr, err
+}
+
+func decodeStub() (arrow.Array, error) { return nil, nil }
+
+// The scan idiom: append the shared view into a local batch column
+// slice, or store it at an index. Neither retains it past the scan from
+// the analyzer's point of view, so the reduced sink set allows both.
+func buildBatchOK(pc *parquet.PageCache, key parquet.PageKey, cols []arrow.Array) []arrow.Array {
+	arr, hit, err := pc.CachedPage(key, decodeStub)
+	if err != nil || !hit {
+		return cols
+	}
+	cols = append(cols, arr)
+	cols[0] = arr
+	return cols
+}
+
+func retainField(pc *parquet.PageCache, key parquet.PageKey, h *holder) {
+	arr, _, err := pc.CachedPage(key, decodeStub)
+	if err != nil {
+		return
+	}
+	h.arr = arr // want `shared cache view stored in a struct field`
+}
+
+func retainGlobal(pc *parquet.PageCache, key parquet.PageKey) {
+	arr, _, _ := pc.CachedPage(key, decodeStub)
+	globalArr = arr // want `shared cache view stored in a package variable`
+}
+
+func retainChan(pc *parquet.PageCache, key parquet.PageKey, ch chan arrow.Array) {
+	arr, _, _ := pc.CachedPage(key, decodeStub)
+	ch <- arr // want `shared cache view sent on a channel`
+}
+
+func retainMapKey(pc *parquet.PageCache, key parquet.PageKey, seen map[arrow.Array]bool) {
+	arr, _, _ := pc.CachedPage(key, decodeStub)
+	seen[arr] = true // want `shared cache view used as a map key`
+}
+
+// Reassignment untaints: a fresh local built from the view's data is
+// free to escape.
+func copiedOK(pc *parquet.PageCache, key parquet.PageKey, h *holder) {
+	arr, _, _ := pc.CachedPage(key, decodeStub)
+	arr = materialize(arr)
+	h.arr = arr
+}
+
+func materialize(a arrow.Array) arrow.Array { return a }

@@ -1,5 +1,7 @@
-// Package unsafealias enforces the aliasing contract of the engine's
-// zero-copy string views. arrow's unsafeString (and unsafe.String /
+// Package unsafealias enforces the aliasing contracts of the engine's
+// zero-copy views. It tracks two taint classes:
+//
+// Unsafe string views: arrow's unsafeString (and unsafe.String /
 // unsafe.Slice generally) returns a string aliasing an Arrow buffer: it
 // is valid only while the owning batch is. Such a view must stay a
 // transient local — storing it in a struct field, map, slice, channel, or
@@ -7,6 +9,17 @@
 // keys when buffers are recycled (the failure mode Zerrow documents for
 // zero-copy Arrow pipelines). Key arenas must copy: `append(bs, v...)`
 // into a []byte copies the bytes and is therefore allowed.
+//
+// Shared cache views: parquet's PageCache.CachedPage hands out decoded
+// arrays owned by the process-wide cache — immutable, pool-charged, and
+// (for uncompressed pages) aliasing a file mmap. Scan code may read them
+// and wrap them into batches within the scan, but must not retain them
+// in long-lived structures: after eviction uncharges the entry, a
+// retained reference keeps the bytes alive invisibly to the memory
+// pool. The sink set for this class is deliberately narrower — struct
+// fields, package variables, channel sends, and map keys — because
+// appending a cached array to a local batch slice is the scan's normal
+// idiom.
 package unsafealias
 
 import (
@@ -20,20 +33,33 @@ import (
 // Analyzer is the unsafealias check.
 var Analyzer = &analysis.Analyzer{
 	Name: "unsafealias",
-	Doc: "check that unsafe zero-copy string views do not outlive their batch\n\n" +
+	Doc: "check that zero-copy views do not outlive their owner\n\n" +
 		"results of arrow.unsafeString / unsafe.String / unsafe.Slice must not\n" +
 		"be stored in struct fields, maps, slices, channels, or globals; copy\n" +
-		"first (e.g. append into a byte arena, or string([]byte(v))).",
+		"first (e.g. append into a byte arena, or string([]byte(v))). Shared\n" +
+		"arrays from parquet PageCache.CachedPage must not be retained in\n" +
+		"struct fields, globals, channels, or map keys past the scan.",
 	Run: run,
 }
 
-// sourceFuncs are the functions whose results alias another buffer.
-var sourceFuncs = map[string]map[string]bool{
-	"unsafe":                  {"String": true, "Slice": true, "StringData": true, "SliceData": true},
-	"gofusion/internal/arrow": {"unsafeString": true},
+// taintClass distinguishes the two aliasing contracts the analyzer
+// enforces; zero means untainted.
+type taintClass int
+
+const (
+	aliasView  taintClass = iota + 1 // unsafe string/slice view of a batch buffer
+	sharedView                       // pool-charged shared array from the page cache
+)
+
+// sourceFuncs maps package path -> function (or method) name -> the
+// taint class of its first result.
+var sourceFuncs = map[string]map[string]taintClass{
+	"unsafe":                    {"String": aliasView, "Slice": aliasView, "StringData": aliasView, "SliceData": aliasView},
+	"gofusion/internal/arrow":   {"unsafeString": aliasView},
+	"gofusion/internal/parquet": {"CachedPage": sharedView},
 }
 
-func isSourceCall(info *types.Info, call *ast.CallExpr) bool {
+func sourceClass(info *types.Info, call *ast.CallExpr) taintClass {
 	var obj types.Object
 	switch fn := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -41,13 +67,12 @@ func isSourceCall(info *types.Info, call *ast.CallExpr) bool {
 	case *ast.SelectorExpr:
 		obj = info.Uses[fn.Sel]
 	default:
-		return false
+		return 0
 	}
 	if obj == nil || obj.Pkg() == nil {
-		return false
+		return 0
 	}
-	names, ok := sourceFuncs[obj.Pkg().Path()]
-	return ok && names[obj.Name()]
+	return sourceFuncs[obj.Pkg().Path()][obj.Name()]
 }
 
 func run(pass *analysis.Pass) error {
@@ -72,48 +97,76 @@ func run(pass *analysis.Pass) error {
 // or a tainted local).
 func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 	info := pass.TypesInfo
-	tainted := map[*types.Var]bool{}
+	tainted := map[*types.Var]taintClass{}
 
-	// First pass: collect tainted locals (v := unsafeString(...)), and
-	// untaint on any other reassignment.
+	// First pass: collect tainted locals, and untaint on any other
+	// reassignment. Multi-value forms taint only the first result —
+	// `arr, hit, err := cache.CachedPage(...)` taints arr.
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false // nested literals are checked independently
 		}
 		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		if !ok || len(as.Rhs) != 1 {
 			return true
 		}
-		id, ok := as.Lhs[0].(*ast.Ident)
-		if !ok {
-			return true
+		var cls taintClass
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			cls = sourceClass(info, call)
 		}
-		v := localOf(info, id)
-		if v == nil {
-			return true
-		}
-		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isSourceCall(info, call) {
-			tainted[v] = true
-		} else {
-			delete(tainted, v)
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := localOf(info, id)
+			if v == nil {
+				continue
+			}
+			if cls != 0 && i == 0 {
+				tainted[v] = cls
+			} else {
+				delete(tainted, v)
+			}
 		}
 		return true
 	})
 
-	isTainted := func(e ast.Expr) bool {
+	classOf := func(e ast.Expr) taintClass {
 		switch e := ast.Unparen(e).(type) {
 		case *ast.CallExpr:
-			return isSourceCall(info, e)
+			return sourceClass(info, e)
 		case *ast.Ident:
 			if v := localOf(info, e); v != nil {
 				return tainted[v]
 			}
 		}
-		return false
+		return 0
 	}
 
-	report := func(e ast.Expr, how string) {
+	report := func(e ast.Expr, cls taintClass, how string) {
+		if cls == sharedView {
+			pass.Reportf(e.Pos(), "shared cache view %s; retained references outlive eviction and hide bytes from the memory pool — copy the data instead", how)
+			return
+		}
 		pass.Reportf(e.Pos(), "unsafe zero-copy view %s; it may outlive the batch that owns its bytes — copy it first", how)
+	}
+
+	// sinks the sharedView class cares about: slice stores and appends
+	// are the scan's normal batch-building idiom, so only long-lived
+	// destinations are flagged for it.
+	sharedSink := map[string]bool{
+		"stored in a struct field":                 true,
+		"stored in a package variable":             true,
+		"sent on a channel":                        true,
+		"used as a map key":                        true,
+		"used as a map key in a composite literal": true,
+	}
+	flag := func(e ast.Expr, cls taintClass, how string) {
+		if cls == sharedView && !sharedSink[how] {
+			return
+		}
+		report(e, cls, how)
 	}
 
 	// Second pass: flag escaping uses.
@@ -128,27 +181,30 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 					break
 				}
 				rhs := n.Rhs[i]
-				if !isTainted(rhs) {
+				cls := classOf(rhs)
+				if cls == 0 {
 					continue
 				}
 				switch l := ast.Unparen(lhs).(type) {
 				case *ast.SelectorExpr:
-					report(rhs, "stored in a struct field")
+					flag(rhs, cls, "stored in a struct field")
 				case *ast.IndexExpr:
-					report(rhs, "stored in a map or slice element")
+					flag(rhs, cls, "stored in a map or slice element")
 				case *ast.Ident:
 					if v := localOf(info, l); v == nil {
 						// Package-level variable.
 						if obj, ok := info.Uses[l].(*types.Var); ok && obj.Parent() == obj.Pkg().Scope() {
-							report(rhs, "stored in a package variable")
+							flag(rhs, cls, "stored in a package variable")
 						}
 					}
 				}
 			}
 			// Tainted value used as a map key in an index *target*.
 			for _, lhs := range n.Lhs {
-				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isTainted(ix.Index) {
-					report(ix.Index, "used as a map key")
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if cls := classOf(ix.Index); cls != 0 {
+						flag(ix.Index, cls, "used as a map key")
+					}
 				}
 			}
 		case *ast.CallExpr:
@@ -158,8 +214,8 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 				// itself to a []string retains the alias: flagged.
 				if n.Ellipsis == token.NoPos {
 					for _, arg := range n.Args[1:] {
-						if isTainted(arg) {
-							report(arg, "appended to a slice")
+						if cls := classOf(arg); cls != 0 {
+							flag(arg, cls, "appended to a slice")
 						}
 					}
 				}
@@ -168,19 +224,19 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 		case *ast.CompositeLit:
 			for _, el := range n.Elts {
 				if kv, ok := el.(*ast.KeyValueExpr); ok {
-					if isTainted(kv.Value) {
-						report(kv.Value, "stored in a composite literal")
+					if cls := classOf(kv.Value); cls != 0 {
+						flag(kv.Value, cls, "stored in a composite literal")
 					}
-					if isTainted(kv.Key) {
-						report(kv.Key, "used as a map key in a composite literal")
+					if cls := classOf(kv.Key); cls != 0 {
+						flag(kv.Key, cls, "used as a map key in a composite literal")
 					}
-				} else if isTainted(el) {
-					report(el, "stored in a composite literal")
+				} else if cls := classOf(el); cls != 0 {
+					flag(el, cls, "stored in a composite literal")
 				}
 			}
 		case *ast.SendStmt:
-			if isTainted(n.Value) {
-				report(n.Value, "sent on a channel")
+			if cls := classOf(n.Value); cls != 0 {
+				flag(n.Value, cls, "sent on a channel")
 			}
 		}
 		return true

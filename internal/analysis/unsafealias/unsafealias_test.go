@@ -10,3 +10,9 @@ import (
 func TestUnsafeAlias(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), unsafealias.Analyzer, "a")
 }
+
+// TestSharedView covers the page-cache taint class against the real
+// parquet package: long-lived sinks flag, batch-building stays clean.
+func TestSharedView(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), unsafealias.Analyzer, "b")
+}

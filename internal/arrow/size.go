@@ -1,0 +1,42 @@
+package arrow
+
+// ArraySize estimates the resident bytes of an array's buffers (values,
+// offsets, validity). Caches use it as the charging cost of a shared
+// view; it intentionally ignores Go object headers.
+func ArraySize(a Array) int64 {
+	if a == nil {
+		return 0
+	}
+	n := int64(a.Len())
+	size := int64(len(a.Validity()))
+	switch a.DataType().ID {
+	case BOOL:
+		size += (n + 7) / 8
+	case INT8, UINT8:
+		size += n
+	case INT16, UINT16:
+		size += 2 * n
+	case INT32, UINT32, FLOAT32, DATE32:
+		size += 4 * n
+	case INT64, UINT64, FLOAT64, TIMESTAMP, DECIMAL:
+		size += 8 * n
+	case STRING, BINARY:
+		if sa, ok := a.(*StringArray); ok {
+			size += 4*(n+1) + int64(len(sa.Data()))
+		}
+	}
+	return size
+}
+
+// BatchSize estimates the resident bytes of a record batch as the sum of
+// its column sizes.
+func BatchSize(b *RecordBatch) int64 {
+	if b == nil {
+		return 0
+	}
+	var size int64
+	for i := 0; i < b.NumCols(); i++ {
+		size += ArraySize(b.Column(i))
+	}
+	return size
+}

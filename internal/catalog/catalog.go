@@ -16,6 +16,7 @@ import (
 
 	"gofusion/internal/arrow"
 	"gofusion/internal/logical"
+	"gofusion/internal/parquet"
 )
 
 // Stream incrementally produces record batches; Next returns io.EOF when
@@ -61,6 +62,10 @@ type ScanRequest struct {
 	// Readahead asks file-backed providers to decode this many units (row
 	// groups) ahead of the consumer per partition; 0 disables pipelining.
 	Readahead int
+	// PageCache, when set, asks file-backed providers to share decoded
+	// pages through the process-wide cache. Providers without page
+	// structure ignore it.
+	PageCache *parquet.PageCache
 }
 
 // ScanResult describes a prepared scan: a projected schema and a factory
@@ -124,6 +129,10 @@ type ScanRuntime struct {
 	// BloomSkipped counts row groups rejected specifically by a Bloom
 	// filter probe (a subset of RowGroupsPruned).
 	BloomSkipped atomic.Int64
+	// PageCacheHits / PageCacheMisses count shared decoded-page cache
+	// lookups across the scan's streams (zero when no cache is attached).
+	PageCacheHits   atomic.Int64
+	PageCacheMisses atomic.Int64
 }
 
 // TableProvider is the data source extension point.
@@ -150,8 +159,9 @@ type CatalogProvider interface {
 
 // MemorySchema is the built-in mutable SchemaProvider.
 type MemorySchema struct {
-	mu     sync.RWMutex
-	tables map[string]TableProvider
+	mu      sync.RWMutex
+	tables  map[string]TableProvider
+	version atomic.Int64
 }
 
 // NewMemorySchema returns an empty schema.
@@ -159,19 +169,25 @@ func NewMemorySchema() *MemorySchema {
 	return &MemorySchema{tables: map[string]TableProvider{}}
 }
 
-// Register adds or replaces a table.
+// Register adds or replaces a table, bumping the schema version.
 func (s *MemorySchema) Register(name string, t TableProvider) {
 	s.mu.Lock()
 	s.tables[strings.ToLower(name)] = t
 	s.mu.Unlock()
+	s.version.Add(1)
 }
 
-// Deregister removes a table.
+// Deregister removes a table, bumping the schema version.
 func (s *MemorySchema) Deregister(name string) {
 	s.mu.Lock()
 	delete(s.tables, strings.ToLower(name))
 	s.mu.Unlock()
+	s.version.Add(1)
 }
+
+// Version is a counter bumped on every Register/Deregister; caches keyed
+// on it are invalidated by any table change in this schema.
+func (s *MemorySchema) Version() int64 { return s.version.Load() }
 
 // TableNames lists registered tables, sorted.
 func (s *MemorySchema) TableNames() []string {
@@ -197,6 +213,7 @@ func (s *MemorySchema) Table(name string) (TableProvider, bool) {
 type MemoryCatalog struct {
 	mu      sync.RWMutex
 	schemas map[string]SchemaProvider
+	version atomic.Int64
 }
 
 // NewMemoryCatalog returns a catalog with an empty "public" schema.
@@ -206,11 +223,27 @@ func NewMemoryCatalog() *MemoryCatalog {
 	return c
 }
 
-// RegisterSchema adds or replaces a schema.
+// RegisterSchema adds or replaces a schema, bumping the catalog version.
 func (c *MemoryCatalog) RegisterSchema(name string, s SchemaProvider) {
 	c.mu.Lock()
 	c.schemas[strings.ToLower(name)] = s
 	c.mu.Unlock()
+	c.version.Add(1)
+}
+
+// Version summarizes catalog state for cache invalidation: the catalog's
+// own registration counter plus every versioned schema's counter, so a
+// table registered, replaced, or dropped anywhere changes the value.
+func (c *MemoryCatalog) Version() int64 {
+	v := c.version.Load()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, s := range c.schemas {
+		if vs, ok := s.(interface{ Version() int64 }); ok {
+			v += vs.Version()
+		}
+	}
+	return v
 }
 
 // SchemaNames lists schemas, sorted.
@@ -282,6 +315,20 @@ func NewMemTable(schema *arrow.Schema, partitions [][]*arrow.RecordBatch) (*MemT
 func (m *MemTable) WithSortOrder(order []OrderedCol) *MemTable {
 	m.sortOrder = order
 	return m
+}
+
+// WithAppended returns a new MemTable sharing this table's partitions
+// plus batches as one more partition (INSERT semantics: the original
+// table is immutable, so in-flight scans keep their snapshot; callers
+// re-register the returned table). A known sort order is dropped — the
+// appended rows need not respect it.
+func (m *MemTable) WithAppended(batches []*arrow.RecordBatch) (*MemTable, error) {
+	parts := make([][]*arrow.RecordBatch, 0, len(m.partitions)+1)
+	parts = append(parts, m.partitions...)
+	if len(batches) > 0 {
+		parts = append(parts, batches)
+	}
+	return NewMemTable(m.schema, parts)
 }
 
 // Schema returns the table schema.

@@ -10,7 +10,6 @@ import (
 	"gofusion/internal/csvio"
 	"gofusion/internal/jsonio"
 	"gofusion/internal/logical"
-	"gofusion/internal/memory"
 	"gofusion/internal/parquet"
 )
 
@@ -242,7 +241,7 @@ func TestGPQSchemaMismatch(t *testing.T) {
 func TestListingTable(t *testing.T) {
 	dir := t.TempDir()
 	writeGPQ(t, dir, 50)
-	cache := memory.NewCacheManager(8, 8)
+	cache := NewMetaCache(8, 8)
 	tbl, err := ListingTable(dir, "gpq", cache)
 	if err != nil {
 		t.Fatal(err)

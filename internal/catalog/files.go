@@ -16,6 +16,16 @@ import (
 	"gofusion/internal/parquet"
 )
 
+// MetaCache is the engine's concrete planning-cache instantiation:
+// directory listings plus parsed GPQ footers, typed so callers never
+// cast metadata out of an any.
+type MetaCache = memory.CacheManager[*parquet.FileMetadata]
+
+// NewMetaCache returns a MetaCache with the given entry capacities.
+func NewMetaCache(listingCap, metaCap int) *MetaCache {
+	return memory.NewCacheManager[*parquet.FileMetadata](listingCap, metaCap)
+}
+
 // GPQTable is a TableProvider over one or more GPQ files, with projection,
 // predicate and limit pushdown, file-level pruning, and partitioned reads.
 type GPQTable struct {
@@ -23,25 +33,31 @@ type GPQTable struct {
 	schema *arrow.Schema
 	stats  Statistics
 	order  []OrderedCol
-	cache  *memory.CacheManager
-	// metas holds the footers parsed at construction so scans (which may
-	// open many per-morsel streams) never re-decode them.
-	metas map[string]*parquet.FileMetadata
+	// cache memoizes parsed footers (shared across tables when the session
+	// supplies it, private otherwise) so scans — which may open many
+	// per-morsel streams — never re-decode them. There is exactly one
+	// footer cache; construction primes it.
+	cache *MetaCache
+	// pages, when set, is the process-wide decoded-page cache threaded
+	// into every scan this table plans.
+	pages *parquet.PageCache
 }
 
 // NewGPQTable opens a GPQ-backed table. All files must share a schema.
-// cache may be nil.
-func NewGPQTable(files []string, cache *memory.CacheManager) (*GPQTable, error) {
+// cache may be nil, in which case the table keeps a private footer cache.
+func NewGPQTable(files []string, cache *MetaCache) (*GPQTable, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("catalog: GPQ table needs at least one file")
 	}
-	t := &GPQTable{files: files, cache: cache, stats: Statistics{}, metas: map[string]*parquet.FileMetadata{}}
+	if cache == nil {
+		cache = NewMetaCache(16, 4*len(files))
+	}
+	t := &GPQTable{files: files, cache: cache, stats: Statistics{}}
 	for i, f := range files {
 		meta, err := t.metadata(f)
 		if err != nil {
 			return nil, err
 		}
-		t.metas[f] = meta
 		if i == 0 {
 			t.schema = meta.Schema
 			if so, ok := meta.KV["sort_order"]; ok {
@@ -73,12 +89,9 @@ func parseSortOrder(s string) []OrderedCol {
 	return out
 }
 
-// metadata reads (and caches) a file's footer.
+// metadata reads a file's footer through the shared typed cache.
 func (t *GPQTable) metadata(path string) (*parquet.FileMetadata, error) {
-	if m, ok := t.metas[path]; ok {
-		return m, nil
-	}
-	load := func() (any, error) {
+	return t.cache.FileMeta().GetOrLoad(path, func() (*parquet.FileMetadata, error) {
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
@@ -89,20 +102,12 @@ func (t *GPQTable) metadata(path string) (*parquet.FileMetadata, error) {
 			return nil, err
 		}
 		return parquet.ReadMetadata(f, st.Size())
-	}
-	if t.cache != nil {
-		v, err := t.cache.FileMeta().GetOrLoad(path, load)
-		if err != nil {
-			return nil, err
-		}
-		return v.(*parquet.FileMetadata), nil
-	}
-	v, err := load()
-	if err != nil {
-		return nil, err
-	}
-	return v.(*parquet.FileMetadata), nil
+	})
 }
+
+// SetPageCache attaches the shared decoded-page cache; subsequent Scans
+// thread it into their readers. Nil detaches.
+func (t *GPQTable) SetPageCache(pc *parquet.PageCache) { t.pages = pc }
 
 // Schema returns the table schema.
 func (t *GPQTable) Schema() *arrow.Schema { return t.schema }
@@ -287,12 +292,17 @@ func (t *GPQTable) Scan(req ScanRequest) (*ScanResult, error) {
 	}
 	rt := &ScanRuntime{}
 	rt.RowGroupsPruned.Add(int64(pruned)) // plan-time file/row-group pruning
+	pages := req.PageCache
+	if pages == nil {
+		pages = t.pages
+	}
 	opts := parquet.ScanOptions{
 		Projection: req.Projection,
 		Predicate:  pred,
 		Limit:      limit,
 		BatchRows:  req.BatchRows,
 		Readahead:  req.Readahead,
+		Cache:      pages,
 	}
 	return &ScanResult{
 		Schema:       outSchema,
@@ -431,6 +441,8 @@ func (s *gpqStream) closeCurrent() {
 			s.rt.RowGroupsScanned.Add(int64(s.scanner.RowGroupsMatched))
 			s.rt.PagesPruned.Add(int64(s.scanner.PagesSkipped))
 			s.rt.BloomSkipped.Add(int64(s.scanner.BloomSkipped))
+			s.rt.PageCacheHits.Add(int64(s.scanner.PageCacheHits))
+			s.rt.PageCacheMisses.Add(int64(s.scanner.PageCacheMisses))
 		}
 	}
 	if s.reader != nil {
@@ -619,7 +631,7 @@ func (s *limitStream) Next() (*arrow.RecordBatch, error) {
 // ListingTable builds a TableProvider from a directory of data files of
 // one format ("gpq", "csv", "json"), in the style of Hive-partitioned
 // listings. Files are discovered recursively and sorted for determinism.
-func ListingTable(dir, format string, cache *memory.CacheManager) (TableProvider, error) {
+func ListingTable(dir, format string, cache *MetaCache) (TableProvider, error) {
 	ext := "." + format
 	var files []string
 	listKey := dir + "|" + format

@@ -9,6 +9,7 @@ import (
 	"gofusion/internal/arrow/compute"
 	"gofusion/internal/exec"
 	"gofusion/internal/logical"
+	"gofusion/internal/memory"
 	"gofusion/internal/physical"
 )
 
@@ -19,6 +20,10 @@ type DataFrame struct {
 	session *SessionContext
 	plan    logical.Plan
 	err     error
+	// resultKey, when non-empty, makes Collect consult the session's
+	// result cache (set only by SessionContext.SQL for plain queries —
+	// derived frames drop it, since transformations change the result).
+	resultKey string
 }
 
 // LogicalPlan returns the frame's (unoptimized) logical plan.
@@ -144,16 +149,35 @@ func (df *DataFrame) Alias(name string) *DataFrame {
 	return df.derive(logical.NewSubqueryAlias(df.plan, name), nil)
 }
 
-// Collect executes the frame and returns all batches.
+// Collect executes the frame and returns all batches. Queries entered
+// through SQL() on a session with the result cache enabled are memoized:
+// a repeat of the identical normalized query under an unchanged catalog
+// returns the cached batches (immutable shared views) without planning
+// or executing.
 func (df *DataFrame) Collect() ([]*arrow.RecordBatch, error) {
 	if df.err != nil {
 		return nil, df.err
+	}
+	rc := df.session.results
+	var version int64
+	if df.resultKey != "" && rc != nil {
+		version = df.session.catalog.Version()
+		if batches, ok := rc.get(df.resultKey, version); ok {
+			return batches, nil
+		}
 	}
 	pp, err := df.session.CreatePhysicalPlan(df.plan)
 	if err != nil {
 		return nil, err
 	}
-	return df.session.ExecutePlan(pp)
+	batches, err := df.session.ExecutePlan(pp)
+	if err != nil {
+		return nil, err
+	}
+	if df.resultKey != "" && rc != nil {
+		rc.put(df.resultKey, version, batches)
+	}
+	return batches, nil
 }
 
 // QueryMetrics summarizes one executed query: the executed physical plan
@@ -175,42 +199,93 @@ type QueryMetrics struct {
 	// metadata cache).
 	ListingHits, ListingMisses int64
 	MetaHits, MetaMisses       int64
+	// Shared decoded-page cache deltas attributable to this query, plus
+	// the cache's current residency after it (zero when disabled).
+	PageCacheHits, PageCacheMisses int64
+	PageCacheEvictions             int64
+	PageCacheBytes                 int64
+	// Result cache activity: lookup/store deltas and whether this
+	// execution was served wholly from the result cache.
+	ResultCacheHits, ResultCacheMisses int64
+	ResultCacheBytes                   int64
+	ResultCacheHit                     bool
 }
 
 // CollectWithMetrics executes the frame and returns the batches together
-// with the query's runtime metrics.
+// with the query's runtime metrics. The result cache participates like
+// in Collect: on a hit the returned plan is the planned-but-not-executed
+// physical plan (its operator metrics stay zero) and ResultCacheHit is
+// set.
 func (df *DataFrame) CollectWithMetrics() ([]*arrow.RecordBatch, *QueryMetrics, error) {
 	if df.err != nil {
 		return nil, nil, df.err
 	}
-	cm := df.session.cache
+	s := df.session
+	cm := s.cache
 	lh0, lm0 := cm.Listings().Stats()
 	mh0, mm0 := cm.FileMeta().Stats()
-	pp, err := df.session.CreatePhysicalPlan(df.plan)
+	var pc0, rc0 memory.SizedStats
+	if s.pages != nil {
+		pc0 = s.pages.Stats()
+	}
+	if s.results != nil {
+		rc0 = s.results.stats()
+	}
+	qm := &QueryMetrics{}
+	finish := func(batches []*arrow.RecordBatch) ([]*arrow.RecordBatch, *QueryMetrics, error) {
+		for _, b := range batches {
+			qm.RowsReturned += int64(b.NumRows())
+		}
+		lh1, lm1 := cm.Listings().Stats()
+		mh1, mm1 := cm.FileMeta().Stats()
+		qm.ListingHits, qm.ListingMisses = lh1-lh0, lm1-lm0
+		qm.MetaHits, qm.MetaMisses = mh1-mh0, mm1-mm0
+		if s.pages != nil {
+			pc1 := s.pages.Stats()
+			qm.PageCacheHits = pc1.Hits - pc0.Hits
+			qm.PageCacheMisses = pc1.Misses - pc0.Misses
+			qm.PageCacheEvictions = pc1.Evictions - pc0.Evictions
+			qm.PageCacheBytes = pc1.Bytes
+		}
+		if s.results != nil {
+			rc1 := s.results.stats()
+			qm.ResultCacheHits = rc1.Hits - rc0.Hits
+			qm.ResultCacheMisses = rc1.Misses - rc0.Misses
+			qm.ResultCacheBytes = rc1.Bytes
+		}
+		return batches, qm, nil
+	}
+
+	rc := s.results
+	var version int64
+	if df.resultKey != "" && rc != nil {
+		version = s.catalog.Version()
+		if batches, ok := rc.get(df.resultKey, version); ok {
+			pp, err := s.CreatePhysicalPlan(df.plan)
+			if err != nil {
+				return nil, nil, err
+			}
+			qm.Plan = pp
+			qm.ResultCacheHit = true
+			return finish(batches)
+		}
+	}
+	pp, err := s.CreatePhysicalPlan(df.plan)
 	if err != nil {
 		return nil, nil, err
 	}
-	ctx, cleanup := df.session.newExecContext()
+	ctx, cleanup := s.newExecContext()
 	defer cleanup()
 	batches, err := exec.CollectPlan(ctx, pp)
 	if err != nil {
 		return nil, nil, err
 	}
-	var rows int64
-	for _, b := range batches {
-		rows += int64(b.NumRows())
+	if df.resultKey != "" && rc != nil {
+		rc.put(df.resultKey, version, batches)
 	}
-	lh1, lm1 := cm.Listings().Stats()
-	mh1, mm1 := cm.FileMeta().Stats()
-	return batches, &QueryMetrics{
-		Plan:             pp,
-		RowsReturned:     rows,
-		PoolReservedPeak: ctx.Pool.ReservedPeak(),
-		ListingHits:      lh1 - lh0,
-		ListingMisses:    lm1 - lm0,
-		MetaHits:         mh1 - mh0,
-		MetaMisses:       mm1 - mm0,
-	}, nil
+	qm.Plan = pp
+	qm.PoolReservedPeak = ctx.Pool.ReservedPeak()
+	return finish(batches)
 }
 
 // ExplainAnalyze executes the query to completion and renders the
@@ -228,6 +303,12 @@ func (df *DataFrame) ExplainAnalyze() (string, error) {
 	fmt.Fprintf(&sb, "rows_returned=%d, pool_reserved_peak=%d\n", qm.RowsReturned, qm.PoolReservedPeak)
 	fmt.Fprintf(&sb, "cache: listings hits=%d misses=%d, file_meta hits=%d misses=%d\n",
 		qm.ListingHits, qm.ListingMisses, qm.MetaHits, qm.MetaMisses)
+	fmt.Fprintf(&sb, "page_cache: hits=%d misses=%d evictions=%d charged_bytes=%d\n",
+		qm.PageCacheHits, qm.PageCacheMisses, qm.PageCacheEvictions, qm.PageCacheBytes)
+	if df.session.results != nil {
+		fmt.Fprintf(&sb, "result_cache: hit=%t hits=%d misses=%d charged_bytes=%d\n",
+			qm.ResultCacheHit, qm.ResultCacheHits, qm.ResultCacheMisses, qm.ResultCacheBytes)
+	}
 	return sb.String(), nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"gofusion/internal/logical"
 	"gofusion/internal/memory"
 	"gofusion/internal/optimizer"
+	"gofusion/internal/parquet"
 	"gofusion/internal/physical"
 	"gofusion/internal/planner"
 	"gofusion/internal/sql"
@@ -60,6 +61,21 @@ type SessionConfig struct {
 	// zero-value config keeps fusion on; for ablations and differential
 	// testing).
 	DisableFusion bool
+	// DisableSharedCache turns off the process-wide decoded-page cache
+	// for this session (the cache defaults ON; spelled as a Disable flag
+	// so the zero-value config keeps it).
+	DisableSharedCache bool
+	// EnableResultCache turns on the result cache for repeated identical
+	// read-only queries, keyed on the print-stable SQL normalization plus
+	// session knobs and invalidated by any catalog registration or write.
+	// It defaults OFF (the issue names this knob DisableResultCache; a
+	// default-off cache cannot be spelled as a Disable flag with Go zero
+	// values, so the polarity is flipped).
+	EnableResultCache bool
+	// SharedCacheBytes bounds the decoded-page cache (default 256 MiB).
+	SharedCacheBytes int64
+	// ResultCacheBytes bounds the result cache (default 64 MiB).
+	ResultCacheBytes int64
 }
 
 // DefaultConfig returns the recommended session configuration.
@@ -72,7 +88,10 @@ type SessionContext struct {
 	cfg         SessionConfig
 	catalog     *catalog.MemoryCatalog
 	reg         *functions.Registry
-	cache       *memory.CacheManager
+	cache       *catalog.MetaCache
+	pages       *parquet.PageCache
+	results     *resultCache
+	cachePool   memory.Pool
 	opt         *optimizer.Optimizer
 	extPlanners []exec.ExtensionPlanner
 }
@@ -85,21 +104,53 @@ func NewSession(cfg SessionConfig) *SessionContext {
 	if cfg.BatchRows <= 0 {
 		cfg.BatchRows = 8192
 	}
+	if cfg.SharedCacheBytes <= 0 {
+		cfg.SharedCacheBytes = 256 << 20
+	}
+	if cfg.ResultCacheBytes <= 0 {
+		cfg.ResultCacheBytes = 64 << 20
+	}
 	reg := functions.NewRegistry()
-	return &SessionContext{
+	s := &SessionContext{
 		cfg:     cfg,
 		catalog: catalog.NewMemoryCatalog(),
 		reg:     reg,
-		cache:   memory.NewCacheManager(1024, 4096),
+		cache:   catalog.NewMetaCache(1024, 4096),
 		opt:     optimizer.New(reg),
+	}
+	// Caches charge a session-lifetime pool so resident bytes are visible
+	// to memory accounting (and leak-checked under the sanitize tag);
+	// per-query operator pools stay separate because they come and go
+	// with each query.
+	s.cachePool = memory.NewGreedyPool(cfg.SharedCacheBytes + cfg.ResultCacheBytes)
+	if !cfg.DisableSharedCache {
+		s.pages = parquet.NewPageCache(cfg.SharedCacheBytes, s.cachePool)
+	}
+	if cfg.EnableResultCache {
+		s.results = newResultCache(cfg.ResultCacheBytes, s.cachePool)
+	}
+	return s
+}
+
+// Close releases the session's cache reservations (resident pages and
+// results are dropped). The session stays usable; caches refill on use.
+func (s *SessionContext) Close() {
+	if s.pages != nil {
+		s.pages.Close()
+	}
+	if s.results != nil {
+		s.results.close()
 	}
 }
 
 // Config returns the session configuration.
 func (s *SessionContext) Config() SessionConfig { return s.cfg }
 
-// WithConfig returns a session sharing catalogs and functions but with a
-// different runtime configuration.
+// WithConfig returns a session sharing catalogs, functions, and shared
+// caches but with a different runtime configuration. Cache knobs apply
+// per derived session: DisableSharedCache detaches the shared page cache
+// here without affecting the base session, and EnableResultCache attaches
+// a result cache (sharing the base session's if it has one).
 func (s *SessionContext) WithConfig(cfg SessionConfig) *SessionContext {
 	if cfg.TargetPartitions <= 0 {
 		cfg.TargetPartitions = 1
@@ -107,8 +158,24 @@ func (s *SessionContext) WithConfig(cfg SessionConfig) *SessionContext {
 	if cfg.BatchRows <= 0 {
 		cfg.BatchRows = 8192
 	}
+	if cfg.SharedCacheBytes <= 0 {
+		cfg.SharedCacheBytes = s.cfg.SharedCacheBytes
+	}
+	if cfg.ResultCacheBytes <= 0 {
+		cfg.ResultCacheBytes = s.cfg.ResultCacheBytes
+	}
 	out := *s
 	out.cfg = cfg
+	if cfg.DisableSharedCache {
+		out.pages = nil
+	} else if out.pages == nil {
+		out.pages = parquet.NewPageCache(cfg.SharedCacheBytes, s.cachePool)
+	}
+	if !cfg.EnableResultCache {
+		out.results = nil
+	} else if out.results == nil {
+		out.results = newResultCache(cfg.ResultCacheBytes, s.cachePool)
+	}
 	return &out
 }
 
@@ -120,7 +187,10 @@ func (s *SessionContext) Registry() *functions.Registry { return s.reg }
 func (s *SessionContext) Catalog() *catalog.MemoryCatalog { return s.catalog }
 
 // CacheManager exposes the metadata caches (paper Section 7.4).
-func (s *SessionContext) CacheManager() *memory.CacheManager { return s.cache }
+func (s *SessionContext) CacheManager() *catalog.MetaCache { return s.cache }
+
+// PageCache exposes the shared decoded-page cache (nil when disabled).
+func (s *SessionContext) PageCache() *parquet.PageCache { return s.pages }
 
 // WithOptimizerRule registers a custom logical optimizer rule to run
 // BEFORE the built-in pipeline (macro expansions must precede filter
@@ -240,7 +310,15 @@ func (s *SessionContext) SQL(query string) (*DataFrame, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &DataFrame{session: s, plan: plan}, nil
+		df := &DataFrame{session: s, plan: plan}
+		if s.results != nil {
+			df.resultKey = s.resultCacheKey(st)
+		}
+		return df, nil
+	case *sql.CreateTableStmt:
+		return s.execCreateTable(st)
+	case *sql.InsertStmt:
+		return s.execInsert(st)
 	case *sql.ExplainStmt:
 		inner, ok := st.Stmt.(*sql.SelectStmt)
 		if !ok {
@@ -270,16 +348,144 @@ func (s *SessionContext) SQL(query string) (*DataFrame, error) {
 
 // explainResult wraps EXPLAIN output as a one-column result.
 func (s *SessionContext) explainResult(text string) (*DataFrame, error) {
-	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	return s.textResult("plan", strings.Split(strings.TrimRight(text, "\n"), "\n"))
+}
+
+// statusResult wraps a DDL/DML acknowledgment as a one-row result.
+func (s *SessionContext) statusResult(text string) (*DataFrame, error) {
+	return s.textResult("status", []string{text})
+}
+
+func (s *SessionContext) textResult(col string, lines []string) (*DataFrame, error) {
 	rows := make([][]logical.Expr, len(lines))
 	for i, l := range lines {
-		rows[i] = []logical.Expr{&logical.Alias{E: logical.Lit(l), Name: "plan"}}
+		rows[i] = []logical.Expr{&logical.Alias{E: logical.Lit(l), Name: col}}
 	}
 	plan, err := logical.NewBuilder(s.reg).ValuesRows(rows).Build()
 	if err != nil {
 		return nil, err
 	}
 	return &DataFrame{session: s, plan: plan}, nil
+}
+
+// resultCacheKey identifies a query for the result cache: the
+// print-stable SQL normalization plus every session knob that can change
+// the produced batches. The catalog version is checked at lookup time,
+// not baked into the key, so writes invalidate without growing the map.
+func (s *SessionContext) resultCacheKey(st *sql.SelectStmt) string {
+	return fmt.Sprintf("%s|%+v", sql.FormatStatement(st), s.cfg)
+}
+
+// resolveProvider resolves "table" or "schema.table" to its provider and
+// owning mutable schema.
+func (s *SessionContext) resolveProvider(name string) (catalog.TableProvider, *catalog.MemorySchema, string, error) {
+	schemaName, tableName := "public", name
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		schemaName, tableName = name[:i], name[i+1:]
+	}
+	sp, ok := s.catalog.SchemaByName(schemaName)
+	if !ok {
+		return nil, nil, "", fmt.Errorf("core: schema %q not found", schemaName)
+	}
+	ms, ok := sp.(*catalog.MemorySchema)
+	if !ok {
+		return nil, nil, "", fmt.Errorf("core: schema %q is read-only", schemaName)
+	}
+	t, _ := ms.Table(tableName)
+	return t, ms, tableName, nil
+}
+
+// execCreateTable materializes CREATE TABLE name AS query into an
+// in-memory table. Registration bumps the catalog version, invalidating
+// cached results that could observe the new table.
+func (s *SessionContext) execCreateTable(st *sql.CreateTableStmt) (*DataFrame, error) {
+	existing, ms, name, err := s.resolveProvider(st.Name)
+	if err != nil {
+		return nil, err
+	}
+	if existing != nil {
+		return nil, fmt.Errorf("core: table %q already exists", st.Name)
+	}
+	pl := planner.New(s.resolveTable, s.reg)
+	plan, err := pl.PlanQuery(st.Query)
+	if err != nil {
+		return nil, err
+	}
+	df := &DataFrame{session: s, plan: plan}
+	batches, err := df.Collect()
+	if err != nil {
+		return nil, err
+	}
+	mt, err := catalog.NewMemTable(df.Schema().ToArrow(), [][]*arrow.RecordBatch{batches})
+	if err != nil {
+		return nil, err
+	}
+	ms.Register(name, mt)
+	var rows int64
+	for _, b := range batches {
+		rows += int64(b.NumRows())
+	}
+	return s.statusResult(fmt.Sprintf("CREATE TABLE %s (%d rows)", name, rows))
+}
+
+// execInsert appends INSERT INTO table query rows to an in-memory table.
+// Re-registering the grown table bumps the catalog version, invalidating
+// cached results over the old contents.
+func (s *SessionContext) execInsert(st *sql.InsertStmt) (*DataFrame, error) {
+	existing, ms, name, err := s.resolveProvider(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if existing == nil {
+		return nil, fmt.Errorf("core: table %q not found", st.Table)
+	}
+	mt, ok := existing.(*catalog.MemTable)
+	if !ok {
+		return nil, fmt.Errorf("core: INSERT INTO %q: only in-memory tables are writable", st.Table)
+	}
+	pl := planner.New(s.resolveTable, s.reg)
+	plan, err := pl.PlanQuery(st.Query)
+	if err != nil {
+		return nil, err
+	}
+	batches, err := (&DataFrame{session: s, plan: plan}).Collect()
+	if err != nil {
+		return nil, err
+	}
+	rebased, rows, err := rebaseBatches(mt.Schema(), batches)
+	if err != nil {
+		return nil, fmt.Errorf("core: INSERT INTO %q: %w", st.Table, err)
+	}
+	grown, err := mt.WithAppended(rebased)
+	if err != nil {
+		return nil, err
+	}
+	ms.Register(name, grown)
+	return s.statusResult(fmt.Sprintf("INSERT %d", rows))
+}
+
+// rebaseBatches re-labels query output batches with the target table's
+// schema (names may differ; types must match positionally).
+func rebaseBatches(schema *arrow.Schema, batches []*arrow.RecordBatch) ([]*arrow.RecordBatch, int64, error) {
+	var rows int64
+	out := make([]*arrow.RecordBatch, 0, len(batches))
+	for _, b := range batches {
+		if b.NumCols() != schema.NumFields() {
+			return nil, 0, fmt.Errorf("expected %d columns, query produced %d", schema.NumFields(), b.NumCols())
+		}
+		cols := make([]arrow.Array, b.NumCols())
+		for i := 0; i < b.NumCols(); i++ {
+			col := b.Column(i)
+			want := schema.Field(i).Type
+			if col.DataType().ID != want.ID {
+				return nil, 0, fmt.Errorf("column %d: expected %s, query produced %s", i, want, col.DataType())
+			}
+			cols[i] = col
+		}
+		rows += int64(b.NumRows())
+		out = append(out, arrow.NewRecordBatchWithRows(schema, cols, b.NumRows()))
+	}
+	return out, rows, nil
 }
 
 // Table returns a DataFrame scanning a registered table.
@@ -317,6 +523,7 @@ func (s *SessionContext) CreatePhysicalPlan(plan logical.Plan) (physical.Executi
 		PreferHashJoin:    s.cfg.PreferHashJoin,
 		DisableFusion:     s.cfg.DisableFusion,
 		ExtensionPlanners: s.extPlanners,
+		PageCache:         s.pages,
 	}
 	return exec.CreatePhysicalPlan(optimized, cfg)
 }

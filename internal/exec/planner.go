@@ -8,6 +8,7 @@ import (
 	"gofusion/internal/functions"
 	"gofusion/internal/logical"
 	"gofusion/internal/optimizer"
+	"gofusion/internal/parquet"
 	"gofusion/internal/physical"
 )
 
@@ -32,6 +33,9 @@ type PlannerConfig struct {
 	// ExtensionPlanners lower user-defined logical nodes (paper Section
 	// 7.7); each is tried in order.
 	ExtensionPlanners []ExtensionPlanner
+	// PageCache, when set, is threaded into provider scans so decoded
+	// pages are shared process-wide.
+	PageCache *parquet.PageCache
 }
 
 // ExtensionPlanner lowers one kind of user-defined logical node.
@@ -208,6 +212,7 @@ func (cfg *PlannerConfig) planScan(node *logical.TableScan) (physical.ExecutionP
 		Partitions: cfg.TargetPartitions,
 		BatchRows:  cfg.BatchRows,
 		Readahead:  cfg.ScanReadahead,
+		PageCache:  cfg.PageCache,
 	}
 	result, err := provider.Scan(req)
 	if err != nil {

@@ -70,12 +70,16 @@ func (e *TableScanExec) instrument(s physical.Stream) physical.Stream {
 	rgScanned := m.Counter("row_groups_scanned")
 	pagesPruned := m.Counter("pages_pruned")
 	bloomSkipped := m.Counter("bloom_skipped")
+	cacheHits := m.Counter("page_cache_hits")
+	cacheMisses := m.Counter("page_cache_misses")
 	flush := func() {
 		is.Close()
 		rgPruned.Store(rt.RowGroupsPruned.Load())
 		rgScanned.Store(rt.RowGroupsScanned.Load())
 		pagesPruned.Store(rt.PagesPruned.Load())
 		bloomSkipped.Store(rt.BloomSkipped.Load())
+		cacheHits.Store(rt.PageCacheHits.Load())
+		cacheMisses.Store(rt.PageCacheMisses.Load())
 	}
 	// Publish plan-time pruning immediately so it shows even when the
 	// stream is abandoned before any batch is drained.

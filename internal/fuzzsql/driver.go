@@ -54,6 +54,14 @@ func DefaultConfigs() []EngineConfig {
 		// fused-off pins the pull-per-operator path so fused and unfused
 		// execution cross-check each other and the baseline.
 		{"fused-off", core.SessionConfig{TargetPartitions: 4, DisableFusion: true}},
+		// Shared-cache matrix: every config above runs with the shared
+		// decoded-page cache on (the default) against a tight budget is
+		// covered by unit tests; here nocache pins the uncached decode
+		// path and rescache runs with the result cache on, so cached,
+		// uncached, and memoized execution all cross-check each other and
+		// the baseline under the race+sanitize CI modes.
+		{"p1-nocache", core.SessionConfig{TargetPartitions: 1, DisableSharedCache: true}},
+		{"p4-rescache", core.SessionConfig{TargetPartitions: 4, EnableResultCache: true}},
 	}
 }
 
@@ -151,6 +159,16 @@ func NewHarness(ds *Dataset, dir string, configs []EngineConfig, formats []Forma
 		}
 	}
 	return h, nil
+}
+
+// Close releases every engine session's cache reservations. Required for
+// sanitize-tagged runs: the shared page/result caches hold pool
+// reservations for the session's lifetime, and SanitizerFindings flags
+// any reservation never freed.
+func (h *Harness) Close() {
+	for _, s := range h.engines {
+		s.Close()
+	}
 }
 
 // writeTable encodes a table to its on-disk format, returning the files.

@@ -102,6 +102,7 @@ func TestShrinkerOnRealHarness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer h.Close()
 	q := NewGen(7, ds).Query()
 	if fail := h.CheckQuery(q); fail != nil {
 		t.Fatalf("unexpected failure: %s", fail)

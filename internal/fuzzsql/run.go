@@ -83,6 +83,7 @@ func Run(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer h.Close()
 	gen := NewGen(opts.Seed, ds)
 
 	start := time.Now()

@@ -7,27 +7,30 @@ import (
 
 // CacheManager caches expensive-to-recompute planning inputs: directory
 // listings (object store LIST calls) and per-file metadata such as
-// statistics used for pruning. Both caches are bounded LRU maps; systems
-// with different policies substitute their own implementation.
-type CacheManager struct {
+// statistics used for pruning. The metadata value type is a type
+// parameter so callers get typed entries back (the engine instantiates
+// it with the parquet footer type) instead of casting from any. Both
+// caches are bounded LRU maps; systems with different policies
+// substitute their own implementation.
+type CacheManager[M any] struct {
 	listings *LRU[string, []string]
-	fileMeta *LRU[string, any]
+	fileMeta *LRU[string, M]
 }
 
 // NewCacheManager returns a cache manager with the given per-cache entry
 // capacities.
-func NewCacheManager(listingCap, metaCap int) *CacheManager {
-	return &CacheManager{
+func NewCacheManager[M any](listingCap, metaCap int) *CacheManager[M] {
+	return &CacheManager[M]{
 		listings: NewLRU[string, []string](listingCap),
-		fileMeta: NewLRU[string, any](metaCap),
+		fileMeta: NewLRU[string, M](metaCap),
 	}
 }
 
 // Listings returns the directory-listing cache.
-func (c *CacheManager) Listings() *LRU[string, []string] { return c.listings }
+func (c *CacheManager[M]) Listings() *LRU[string, []string] { return c.listings }
 
 // FileMeta returns the per-file metadata cache.
-func (c *CacheManager) FileMeta() *LRU[string, any] { return c.fileMeta }
+func (c *CacheManager[M]) FileMeta() *LRU[string, M] { return c.fileMeta }
 
 // LRU is a small thread-safe least-recently-used cache.
 type LRU[K comparable, V any] struct {

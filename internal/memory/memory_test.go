@@ -206,13 +206,13 @@ func TestLRUGetOrLoad(t *testing.T) {
 }
 
 func TestCacheManager(t *testing.T) {
-	cm := NewCacheManager(2, 2)
+	cm := NewCacheManager[string](2, 2)
 	cm.Listings().Put("/data", []string{"a.gpq", "b.gpq"})
 	if files, ok := cm.Listings().Get("/data"); !ok || len(files) != 2 {
 		t.Fatal("listing cache wrong")
 	}
 	cm.FileMeta().Put("a.gpq", "stats-blob")
-	if v, ok := cm.FileMeta().Get("a.gpq"); !ok || v.(string) != "stats-blob" {
+	if v, ok := cm.FileMeta().Get("a.gpq"); !ok || v != "stats-blob" {
 		t.Fatal("meta cache wrong")
 	}
 }

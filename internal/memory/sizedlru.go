@@ -1,0 +1,258 @@
+package memory
+
+import (
+	"container/list"
+	"sync"
+)
+
+// SizedLRU is a thread-safe least-recently-used cache bounded by a byte
+// budget rather than an entry count. Each entry carries an explicit cost
+// supplied by its loader; inserting past the budget evicts from the cold
+// end until the new entry fits. An optional memory-pool reservation is
+// charged for every resident byte, so cached data competes with running
+// operators under a bounded pool: when the pool refuses a charge, the
+// cache evicts, and if the entry still does not fit it is returned
+// uncached rather than failing the caller.
+//
+// GetOrLoad deduplicates concurrent loads of the same key (singleflight):
+// the first caller runs the loader while later callers block on the
+// in-flight result, so N concurrent scans of one page decode it once.
+type SizedLRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	order    *list.List
+	items    map[K]*list.Element
+	inflight map[K]*flight[V]
+	res      *Reservation
+
+	hits      int64
+	misses    int64
+	evictions int64
+	loads     int64
+}
+
+type sizedEntry[K comparable, V any] struct {
+	key  K
+	val  V
+	size int64
+}
+
+// flight is one in-progress load shared by concurrent callers.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewSizedLRU returns a cache bounded to maxBytes (min 1). When pool is
+// non-nil, resident bytes are charged to a reservation named name; Close
+// returns them.
+func NewSizedLRU[K comparable, V any](maxBytes int64, pool Pool, name string) *SizedLRU[K, V] {
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	c := &SizedLRU[K, V]{
+		maxBytes: maxBytes,
+		order:    list.New(),
+		items:    map[K]*list.Element{},
+		inflight: map[K]*flight[V]{},
+	}
+	if pool != nil {
+		c.res = NewReservation(pool, name)
+	}
+	return c
+}
+
+// Get returns the cached value and whether it was present.
+func (c *SizedLRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*sizedEntry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// GetOrLoad returns the cached value for key, running load on a miss. The
+// loader returns the value and its resident cost in bytes. Concurrent
+// calls for the same key share one load. The hit result reports whether
+// the value was served without running this caller's loader (a resident
+// entry or a joined in-flight load). Loader errors are propagated to
+// every waiter and nothing is cached.
+func (c *SizedLRU[K, V]) GetOrLoad(key K, load func() (V, int64, error)) (v V, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		v = el.Value.(*sizedEntry[K, V]).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		// Someone is already decoding this key: join their flight.
+		c.hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.val, true, fl.err
+	}
+	c.misses++
+	c.loads++
+	fl := &flight[V]{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	val, size, err := load()
+	fl.val, fl.err = val, err
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.insertLocked(key, val, size)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return val, false, err
+}
+
+// Put inserts or refreshes an entry with the given byte cost.
+func (c *SizedLRU[K, V]) Put(key K, val V, size int64) {
+	c.mu.Lock()
+	c.insertLocked(key, val, size)
+	c.mu.Unlock()
+}
+
+// insertLocked adds the entry, evicting cold entries until both the byte
+// budget and the pool accept it. Entries that cannot fit (larger than the
+// whole budget, or the pool refuses even after the cache is empty) are
+// skipped: callers still get their value, it just is not retained.
+func (c *SizedLRU[K, V]) insertLocked(key K, val V, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*sizedEntry[K, V])
+		c.uncharge(ent.size)
+		c.bytes -= ent.size
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
+	if size > c.maxBytes {
+		return
+	}
+	for c.bytes+size > c.maxBytes {
+		if !c.evictOldestLocked() {
+			return
+		}
+	}
+	for !c.charge(size) {
+		if !c.evictOldestLocked() {
+			return // pool exhausted even with an empty cache: serve uncached
+		}
+	}
+	el := c.order.PushFront(&sizedEntry[K, V]{key: key, val: val, size: size})
+	c.items[key] = el
+	c.bytes += size
+}
+
+// evictOldestLocked removes the least recently used entry, returning
+// false when the cache is already empty.
+func (c *SizedLRU[K, V]) evictOldestLocked() bool {
+	oldest := c.order.Back()
+	if oldest == nil {
+		return false
+	}
+	ent := oldest.Value.(*sizedEntry[K, V])
+	c.order.Remove(oldest)
+	delete(c.items, ent.key)
+	c.bytes -= ent.size
+	c.uncharge(ent.size)
+	c.evictions++
+	return true
+}
+
+// charge asks the pool for n bytes, reporting whether it was granted.
+// Without a pool every charge succeeds.
+func (c *SizedLRU[K, V]) charge(n int64) bool {
+	if c.res == nil || n == 0 {
+		return true
+	}
+	return c.res.Grow(n) == nil
+}
+
+func (c *SizedLRU[K, V]) uncharge(n int64) {
+	if c.res != nil && n > 0 {
+		c.res.Shrink(n)
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *SizedLRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Bytes returns the resident byte total.
+func (c *SizedLRU[K, V]) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// SizedStats is a point-in-time copy of a SizedLRU's counters.
+type SizedStats struct {
+	// Hits counts gets served without running the caller's loader,
+	// including joins of an in-flight load.
+	Hits int64
+	// Misses counts gets that ran (or would run) a loader.
+	Misses int64
+	// Loads counts loader executions (the singleflight-deduplicated
+	// subset of Misses; equal to Misses when there is no contention).
+	Loads int64
+	// Evictions counts entries dropped to make room.
+	Evictions int64
+	// Bytes is the current resident total; Entries the resident count.
+	Bytes   int64
+	Entries int
+}
+
+// Stats returns cumulative counters and current residency.
+func (c *SizedLRU[K, V]) Stats() SizedStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SizedStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Loads:     c.loads,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   c.order.Len(),
+	}
+}
+
+// Clear drops every resident entry, returning charged bytes to the pool.
+// In-flight loads are unaffected (their results insert afterwards).
+func (c *SizedLRU[K, V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.evictOldestLocked() {
+	}
+}
+
+// Close clears the cache and frees its pool reservation. The cache
+// remains usable but stops charging the pool.
+func (c *SizedLRU[K, V]) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.evictOldestLocked() {
+	}
+	if c.res != nil {
+		c.res.Free()
+		c.res = nil
+	}
+}

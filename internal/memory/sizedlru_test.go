@@ -1,0 +1,179 @@
+package memory
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSizedLRUBasicEviction(t *testing.T) {
+	c := NewSizedLRU[string, string](100, nil, "t")
+	c.Put("a", "A", 40)
+	c.Put("b", "B", 40)
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes coldest
+		t.Fatal("a missing")
+	}
+	c.Put("c", "C", 40) // 120 > 100: evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Bytes != 80 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSizedLRUOversizedServedUncached(t *testing.T) {
+	c := NewSizedLRU[string, int](10, nil, "t")
+	v, hit, err := c.GetOrLoad("big", func() (int, int64, error) { return 7, 1000, nil })
+	if err != nil || hit || v != 7 {
+		t.Fatalf("v=%d hit=%t err=%v", v, hit, err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("oversized entry was cached (len=%d)", c.Len())
+	}
+}
+
+func TestSizedLRUSingleflight(t *testing.T) {
+	c := NewSizedLRU[string, int](1<<20, nil, "t")
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	const n = 16
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			v, _, err := c.GetOrLoad("page", func() (int, int64, error) {
+				loads.Add(1)
+				return 42, 8, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := loads.Load(); got != 1 {
+		t.Fatalf("loader ran %d times, want exactly once", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("results[%d] = %d", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Loads != 1 || st.Misses != 1 || st.Hits != n-1 {
+		t.Fatalf("stats = %+v (want loads=1 misses=1 hits=%d)", st, n-1)
+	}
+}
+
+func TestSizedLRULoaderErrorSharedNotCached(t *testing.T) {
+	c := NewSizedLRU[string, int](1<<20, nil, "t")
+	boom := errors.New("decode failed")
+	if _, _, err := c.GetOrLoad("k", func() (int, int64, error) { return 0, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	// A later call retries the loader.
+	v, hit, err := c.GetOrLoad("k", func() (int, int64, error) { return 9, 4, nil })
+	if err != nil || hit || v != 9 {
+		t.Fatalf("v=%d hit=%t err=%v", v, hit, err)
+	}
+}
+
+func TestSizedLRUPoolChargeAndEvict(t *testing.T) {
+	pool := NewGreedyPool(100)
+	c := NewSizedLRU[string, int](1<<20, pool, "cache")
+	c.Put("a", 1, 60)
+	c.Put("b", 2, 60) // pool refuses 120: evicts a, then fits
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted to satisfy the pool")
+	}
+	if pool.Reserved() != 60 {
+		t.Fatalf("pool reserved = %d, want 60", pool.Reserved())
+	}
+
+	// An outside reservation hogging the pool forces serve-uncached even
+	// after the cache empties itself.
+	hog := NewReservation(pool, "hog")
+	if err := hog.Grow(40); err != nil {
+		t.Fatal(err)
+	}
+	c.Put("c", 3, 90) // evicts b (60 free -> 60), still needs 90 > 60: uncached
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0 (pool exhausted)", c.Len())
+	}
+	if pool.Reserved() != 40 {
+		t.Fatalf("pool reserved = %d, want 40 (hog only)", pool.Reserved())
+	}
+	hog.Free()
+
+	c.Put("d", 4, 50)
+	c.Close()
+	if pool.Reserved() != 0 {
+		t.Fatalf("Close leaked %d pool bytes", pool.Reserved())
+	}
+}
+
+func TestSizedLRUReplaceRecharges(t *testing.T) {
+	pool := NewGreedyPool(1000)
+	c := NewSizedLRU[string, int](1000, pool, "cache")
+	c.Put("k", 1, 300)
+	c.Put("k", 2, 100) // replace must uncharge the old 300 first
+	if got := pool.Reserved(); got != 100 {
+		t.Fatalf("pool reserved = %d, want 100", got)
+	}
+	if b := c.Bytes(); b != 100 {
+		t.Fatalf("bytes = %d, want 100", b)
+	}
+	c.Close()
+}
+
+func TestSizedLRUConcurrentMixedKeys(t *testing.T) {
+	pool := NewGreedyPool(1 << 16)
+	c := NewSizedLRU[int, string](4<<10, pool, "cache")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g + i) % 32
+				v, _, err := c.GetOrLoad(k, func() (string, int64, error) {
+					return fmt.Sprintf("v%d", k), 256, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := fmt.Sprintf("v%d", k); v != want {
+					t.Errorf("key %d: got %q want %q", k, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b := c.Bytes(); b > 4<<10 {
+		t.Fatalf("resident bytes %d exceed budget", b)
+	}
+	if r := pool.Reserved(); r != c.Bytes() {
+		t.Fatalf("pool charge %d != resident bytes %d", r, c.Bytes())
+	}
+	c.Close()
+	if pool.Reserved() != 0 {
+		t.Fatalf("Close leaked %d bytes", pool.Reserved())
+	}
+}

@@ -1,0 +1,26 @@
+//go:build !unix
+
+package parquet
+
+import (
+	"fmt"
+	"os"
+)
+
+// Mapping is unavailable on this platform; readers keep the io.ReaderAt
+// path. The type exists so platform-independent code can hold *Mapping.
+type Mapping struct{}
+
+func (m *Mapping) Size() int64 { return 0 }
+
+func (m *Mapping) ReadAt(p []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("parquet: mmap unsupported on this platform")
+}
+
+func (m *Mapping) Bytes(off, n int64) ([]byte, error) {
+	return nil, fmt.Errorf("parquet: mmap unsupported on this platform")
+}
+
+func mmapSupported() bool { return false }
+
+func mapFile(f *os.File, size int64, fingerprint string) *Mapping { return nil }

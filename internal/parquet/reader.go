@@ -20,42 +20,70 @@ type FileReader struct {
 	meta *FileMetadata
 	// closer is set when the reader owns the underlying file.
 	closer io.Closer
+	// fingerprint identifies the file version (path|size|mtime) for the
+	// shared page cache and the mmap registry; empty for readers over
+	// arbitrary io.ReaderAt sources.
+	fingerprint string
+	// mm is the shared memory mapping when the mmap fast path is active;
+	// readRange then returns zero-copy views instead of heap copies.
+	mm *Mapping
 }
 
-// OpenFile opens a GPQ file from the filesystem.
-func OpenFile(path string) (*FileReader, error) {
+// fileFingerprint identifies a file version for cache keying: a changed
+// file gets a new fingerprint, so stale cache entries are never served.
+func fileFingerprint(path string, st os.FileInfo) string {
+	return fmt.Sprintf("%s|%d|%d", path, st.Size(), st.ModTime().UnixNano())
+}
+
+// openMapped opens path, preferring the shared mmap fast path: when the
+// file maps, the descriptor is closed immediately (the mapping outlives
+// it) and the returned reader serves zero-copy reads. Otherwise the
+// reader owns the descriptor as before.
+func openMapped(path string) (r io.ReaderAt, size int64, fp string, mm *Mapping, closer io.Closer, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, "", nil, nil, err
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, 0, "", nil, nil, err
 	}
-	fr, err := NewReader(f, st.Size())
-	if err != nil {
+	size = st.Size()
+	fp = fileFingerprint(path, st)
+	if m := mapFile(f, size, fp); m != nil {
 		f.Close()
+		return m, size, fp, m, nil, nil
+	}
+	return f, size, fp, nil, f, nil
+}
+
+// OpenFile opens a GPQ file from the filesystem, using a shared memory
+// mapping for reads when the platform supports it.
+func OpenFile(path string) (*FileReader, error) {
+	r, size, fp, mm, closer, err := openMapped(path)
+	if err != nil {
 		return nil, err
 	}
-	fr.closer = f
-	return fr, nil
+	meta, err := ReadMetadata(r, size)
+	if err != nil {
+		if closer != nil {
+			closer.Close()
+		}
+		return nil, err
+	}
+	return &FileReader{r: r, size: size, meta: meta, closer: closer, fingerprint: fp, mm: mm}, nil
 }
 
 // OpenFileWithMeta opens a GPQ file reusing an already-parsed footer
 // (e.g. the catalog's metadata cache), skipping the footer decode that
 // OpenFile performs. The metadata must describe the file at path.
 func OpenFileWithMeta(path string, meta *FileMetadata) (*FileReader, error) {
-	f, err := os.Open(path)
+	r, size, fp, mm, closer, err := openMapped(path)
 	if err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	return &FileReader{r: f, size: st.Size(), meta: meta, closer: f}, nil
+	return &FileReader{r: r, size: size, meta: meta, closer: closer, fingerprint: fp, mm: mm}, nil
 }
 
 // NewReader reads a GPQ file from any random-access source.
@@ -115,7 +143,13 @@ func (fr *FileReader) Schema() *arrow.Schema { return fr.meta.Schema }
 // NumRows returns the total row count.
 func (fr *FileReader) NumRows() int64 { return fr.meta.NumRows }
 
-// Close releases the underlying file when the reader owns it.
+// Fingerprint identifies the file version backing this reader for cache
+// keying; empty when the reader wraps an arbitrary io.ReaderAt.
+func (fr *FileReader) Fingerprint() string { return fr.fingerprint }
+
+// Close releases the underlying file when the reader owns it. Mapped
+// readers hold no descriptor, so Close is a no-op for them (the mapping
+// is process-lifetime by design — see Mapping).
 func (fr *FileReader) Close() error {
 	if fr.closer != nil {
 		return fr.closer.Close()
@@ -123,7 +157,12 @@ func (fr *FileReader) Close() error {
 	return nil
 }
 
+// readRange returns length bytes at off. Mapped readers return an
+// immutable zero-copy view of the mapping; otherwise a fresh copy.
 func (fr *FileReader) readRange(off, length int64) ([]byte, error) {
+	if fr.mm != nil {
+		return fr.mm.Bytes(off, length)
+	}
 	buf := make([]byte, length)
 	if _, err := fr.r.ReadAt(buf, off); err != nil {
 		return nil, err
@@ -167,12 +206,55 @@ func (fr *FileReader) decodePage(chunk *columnChunkMeta, page *pageMeta, t *arro
 	return nil, fmt.Errorf("parquet: unknown encoding %q", page.Encoding)
 }
 
+// loadDict returns the chunk dictionary, shared through the page cache
+// when one is attached (key Page=DictPage).
+func (s *Scanner) loadDict(rg, col int, chunk *columnChunkMeta) (*arrow.StringArray, error) {
+	if s.opts.Cache == nil || s.fr.fingerprint == "" {
+		return s.fr.chunkDict(chunk)
+	}
+	key := PageKey{File: s.fr.fingerprint, RowGroup: rg, Col: col, Page: DictPage}
+	arr, hit, err := s.opts.Cache.CachedPage(key, func() (arrow.Array, error) {
+		return s.fr.chunkDict(chunk)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.countCache(hit)
+	return arr.(*arrow.StringArray), nil
+}
+
+// loadPage decodes one data page, shared through the page cache when one
+// is attached. Cached arrays are immutable shared views.
+func (s *Scanner) loadPage(rg, col, pi int, chunk *columnChunkMeta, page *pageMeta, t *arrow.DataType, dict *arrow.StringArray) (arrow.Array, error) {
+	if s.opts.Cache == nil || s.fr.fingerprint == "" {
+		return s.fr.decodePage(chunk, page, t, dict)
+	}
+	key := PageKey{File: s.fr.fingerprint, RowGroup: rg, Col: col, Page: pi}
+	arr, hit, err := s.opts.Cache.CachedPage(key, func() (arrow.Array, error) {
+		return s.fr.decodePage(chunk, page, t, dict)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.countCache(hit)
+	return arr, nil
+}
+
+func (s *Scanner) countCache(hit bool) {
+	if hit {
+		s.PageCacheHits++
+	} else {
+		s.PageCacheMisses++
+	}
+}
+
 // readColumnSelection decodes the rows of (rowGroup, col) covered by sel,
 // in row order, skipping pages with no selected rows. Fully-selected
 // pages pass through untouched; partially-selected pages are filtered
 // with a vectorized mask (cheaper than assembling per-range slices when
 // the selection is fragmented).
-func (fr *FileReader) readColumnSelection(rg, col int, sel RowSelection) (arrow.Array, error) {
+func (s *Scanner) readColumnSelection(rg, col int, sel RowSelection) (arrow.Array, error) {
+	fr := s.fr
 	chunk := &fr.meta.footer.RowGroups[rg].Columns[col]
 	t := fr.meta.Schema.Field(col).Type
 	var dict *arrow.StringArray
@@ -186,11 +268,11 @@ func (fr *FileReader) readColumnSelection(rg, col int, sel RowSelection) (arrow.
 		}
 		if page.Encoding == EncodingDict && dict == nil {
 			var err error
-			if dict, err = fr.chunkDict(chunk); err != nil {
+			if dict, err = s.loadDict(rg, col, chunk); err != nil {
 				return nil, err
 			}
 		}
-		arr, err := fr.decodePage(chunk, page, t, dict)
+		arr, err := s.loadPage(rg, col, pi, chunk, page, t, dict)
 		if err != nil {
 			return nil, err
 		}
@@ -243,6 +325,10 @@ type ScanOptions struct {
 	// DisableLateMaterialization decodes all projected columns before
 	// evaluating the predicate; used by ablation benchmarks.
 	DisableLateMaterialization bool
+	// Cache, when set, shares decoded pages across scanners through the
+	// process-wide page cache (requires a reader opened from a path, which
+	// carries the file fingerprint the cache keys on).
+	Cache *PageCache
 }
 
 // groupResult carries one decoded row group through the readahead pipeline.
@@ -279,6 +365,11 @@ type Scanner struct {
 	// BloomSkipped counts row groups rejected by a Bloom filter probe (a
 	// subset of RowGroupsPruned).
 	BloomSkipped int
+	// PageCacheHits / PageCacheMisses count shared-page-cache lookups by
+	// this scanner (hits include joining another scanner's in-flight
+	// decode). Zero when no cache is attached.
+	PageCacheHits   int
+	PageCacheMisses int
 }
 
 // Scan starts a pushed-down scan over the file.
@@ -567,7 +658,7 @@ func (s *Scanner) scanRowGroup(rg int) error {
 		// evaluate to get the exact row selection.
 		predCols := make(map[int]arrow.Array, len(pred.Columns()))
 		for _, col := range pred.Columns() {
-			arr, err := s.fr.readColumnSelection(rg, col, sel)
+			arr, err := s.readColumnSelection(rg, col, sel)
 			if err != nil {
 				return err
 			}
@@ -601,7 +692,7 @@ func (s *Scanner) scanRowGroup(rg int) error {
 
 	cols := make([]arrow.Array, len(s.opts.Projection))
 	for i, col := range s.opts.Projection {
-		arr, err := s.fr.readColumnSelection(rg, col, sel)
+		arr, err := s.readColumnSelection(rg, col, sel)
 		if err != nil {
 			return err
 		}
@@ -630,7 +721,7 @@ func (s *Scanner) scanRowGroupEager(rg int, numRows int64) error {
 	pred := s.opts.Predicate
 	predCols := make(map[int]arrow.Array, len(pred.Columns()))
 	for _, col := range pred.Columns() {
-		arr, err := s.fr.readColumnSelection(rg, col, all)
+		arr, err := s.readColumnSelection(rg, col, all)
 		if err != nil {
 			return err
 		}
@@ -642,7 +733,7 @@ func (s *Scanner) scanRowGroupEager(rg int, numRows int64) error {
 			cols[i] = arr
 			continue
 		}
-		arr, err := s.fr.readColumnSelection(rg, col, all)
+		arr, err := s.readColumnSelection(rg, col, all)
 		if err != nil {
 			return err
 		}

@@ -27,6 +27,25 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmtNode() {}
 
+// CreateTableStmt is CREATE TABLE name AS query: materialize the query
+// and register the result as an in-memory table.
+type CreateTableStmt struct {
+	Name  string
+	Query *SelectStmt
+}
+
+func (*CreateTableStmt) stmtNode() {}
+
+// InsertStmt is INSERT INTO table query (including INSERT INTO t VALUES
+// (...), since VALUES is a query body): append the query's rows to an
+// existing in-memory table.
+type InsertStmt struct {
+	Table string
+	Query *SelectStmt
+}
+
+func (*InsertStmt) stmtNode() {}
+
 // CTE is one WITH entry.
 type CTE struct {
 	Name      string

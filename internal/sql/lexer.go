@@ -52,7 +52,7 @@ func init() {
 		"WITH", "RECURSIVE", "OVER", "PARTITION", "ROWS", "RANGE", "UNBOUNDED", "PRECEDING",
 		"FOLLOWING", "CURRENT", "ROW", "FILTER", "INTERVAL", "EXTRACT", "SUBSTRING", "FOR",
 		"DATE", "TIMESTAMP", "VALUES", "EXPLAIN", "ANALYZE", "GROUPING", "SETS", "ROLLUP", "CUBE",
-		"SEMI", "ANTI",
+		"SEMI", "ANTI", "CREATE", "TABLE", "INSERT", "INTO",
 	} {
 		keywords[k] = true
 	}

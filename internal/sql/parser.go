@@ -102,10 +102,41 @@ func (p *Parser) parseStatement() (Statement, error) {
 		}
 		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
 	}
+	if p.acceptKw("CREATE") {
+		if err := p.expectKw("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AS"); err != nil {
+			return nil, err
+		}
+		q, err := p.parseSelectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateTableStmt{Name: name, Query: q}, nil
+	}
+	if p.acceptKw("INSERT") {
+		if err := p.expectKw("INTO"); err != nil {
+			return nil, err
+		}
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		q, err := p.parseSelectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &InsertStmt{Table: name, Query: q}, nil
+	}
 	if p.peekKw("SELECT") || p.peekKw("WITH") || p.peekKw("VALUES") || (p.peek().Kind == TokOp && p.peek().Text == "(") {
 		return p.parseSelectStmt()
 	}
-	return nil, p.errf("expected SELECT, WITH, VALUES, or EXPLAIN, found %q", p.peek().Text)
+	return nil, p.errf("expected SELECT, WITH, VALUES, CREATE, INSERT, or EXPLAIN, found %q", p.peek().Text)
 }
 
 func (p *Parser) parseSelectStmt() (*SelectStmt, error) {

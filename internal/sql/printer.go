@@ -42,6 +42,16 @@ func writeStatement(sb *strings.Builder, s Statement) {
 		writeStatement(sb, st.Stmt)
 	case *SelectStmt:
 		writeSelectStmt(sb, st)
+	case *CreateTableStmt:
+		sb.WriteString("CREATE TABLE ")
+		writeIdent(sb, st.Name)
+		sb.WriteString(" AS ")
+		writeSelectStmt(sb, st.Query)
+	case *InsertStmt:
+		sb.WriteString("INSERT INTO ")
+		writeIdent(sb, st.Table)
+		sb.WriteString(" ")
+		writeSelectStmt(sb, st.Query)
 	default:
 		fmt.Fprintf(sb, "<unknown statement %T>", s)
 	}
