@@ -1,7 +1,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: build test lint fuzz-smoke sanitize bench bench-cache clean
+.PHONY: build test lint fuzz-smoke stream-smoke sanitize bench bench-cache clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,18 @@ sanitize:
 
 fuzz-smoke:
 	$(GO) run ./cmd/fuzzsql -seed 7 -n 120 -q
+
+# stream-smoke exercises the streaming surface under the race detector:
+# the differential replay harness (fixed seed, ingestion interleaved
+# with probes and a 300-query corpus across mem/gpq/stream backends),
+# the churn soak (ingest -> query -> cancel cycles; fails on leaked
+# goroutines, reservations, or spill files), and the core streaming
+# end-to-end pack (breakers, watermarks, streaming joins, tailing,
+# cache invalidation under writes). CI also runs all three under the
+# sanitize tag.
+stream-smoke:
+	$(GO) test -race -run 'TestReplay|TestChurn' ./internal/fuzzsql/
+	$(GO) test -race -run 'TestStreaming|TestWatermark|TestTailing|TestCopyInto|TestInsert|TestResultCacheInvalidation|TestPageCacheInvalidation' ./internal/core/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -7,6 +7,7 @@
 package catalog
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -95,6 +96,25 @@ type ScanResult struct {
 	// scheduling). Providers only publish it when the output is unordered,
 	// since workers interleave units arbitrarily.
 	Morsels *MorselSet
+	// Unbounded marks a tailing scan: partition streams block awaiting new
+	// data instead of returning io.EOF, until the source is sealed or the
+	// query is cancelled. The planner refuses to place full-pipeline
+	// breakers (sorts, non-watermark final aggregation) above an unbounded
+	// scan.
+	Unbounded bool
+	// Watermark is the 1-based index (into Schema) of the source's declared
+	// event-time column, 0 when none. Streaming aggregation groups on it to
+	// emit finalized groups as the watermark advances.
+	Watermark int
+}
+
+// CtxStream is an optional Stream extension for tailing sources whose Next
+// blocks awaiting data: the engine binds the query context so blocked
+// reads unblock on cancellation. BindContext is called at most once,
+// before the first Next.
+type CtxStream interface {
+	Stream
+	BindContext(ctx context.Context)
 }
 
 // MorselSet describes the dynamically schedulable units of a scan: finer
@@ -188,6 +208,11 @@ func (s *MemorySchema) Deregister(name string) {
 // Version is a counter bumped on every Register/Deregister; caches keyed
 // on it are invalidated by any table change in this schema.
 func (s *MemorySchema) Version() int64 { return s.version.Load() }
+
+// BumpVersion advances the schema version without changing registrations.
+// In-place writers (StreamTable appends, GPQ file appends) call it so
+// version-keyed caches observe the mutation.
+func (s *MemorySchema) BumpVersion() { s.version.Add(1) }
 
 // TableNames lists registered tables, sorted.
 func (s *MemorySchema) TableNames() []string {
@@ -349,6 +374,22 @@ func (m *MemTable) Scan(req ScanRequest) (*ScanResult, error) {
 	if len(parts) == 0 {
 		parts = [][]*arrow.RecordBatch{nil}
 	}
+	// Respect the requested parallelism: a table grown by repeated appends
+	// accumulates one partition per INSERT, but providers may only return
+	// *fewer* partitions than asked for, never more (a CollectLeft join
+	// under TargetPartitions=1 relies on a single probe partition).
+	// Contiguous grouping keeps each original partition intact; the
+	// per-partition sort order claim cannot survive concatenation.
+	order := m.sortOrder
+	if req.Partitions > 0 && len(parts) > req.Partitions {
+		merged := make([][]*arrow.RecordBatch, req.Partitions)
+		for i, p := range parts {
+			tgt := i * req.Partitions / len(parts)
+			merged[tgt] = append(merged[tgt], p...)
+		}
+		parts = merged
+		order = nil
+	}
 	// Limit pushdown is only sound with no (unapplied) filters.
 	limit := req.Limit
 	if len(req.Filters) > 0 {
@@ -358,7 +399,7 @@ func (m *MemTable) Scan(req ScanRequest) (*ScanResult, error) {
 		Schema:       outSchema,
 		Partitions:   len(parts),
 		ExactFilters: make([]bool, len(req.Filters)),
-		SortOrder:    m.sortOrder,
+		SortOrder:    order,
 		Open: func(p int) (Stream, error) {
 			src := parts[p]
 			var out []*arrow.RecordBatch

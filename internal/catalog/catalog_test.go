@@ -103,11 +103,16 @@ func TestMemTableScanPushdown(t *testing.T) {
 	if total > 4 {
 		t.Fatalf("limit not applied: %d", total)
 	}
-	// Limit must NOT apply under unpushed filters.
+	// Limit must NOT apply under unpushed filters, and a single-partition
+	// request must fold both stored partitions into one stream (providers
+	// may return fewer partitions than asked for, never more).
 	res2, _ := mt.Scan(ScanRequest{Limit: 1, Partitions: 1,
 		Filters: []logical.Expr{logical.Eq(logical.Col("a"), logical.Lit(5))}})
+	if res2.Partitions != 1 {
+		t.Fatalf("requested 1 partition, got %d", res2.Partitions)
+	}
 	s, _ := res2.Open(0)
-	if countRows(drain(t, s)) != 3 {
+	if countRows(drain(t, s)) != 5 {
 		t.Fatal("limit must be ignored with unapplied filters")
 	}
 	if res2.ExactFilters[0] {

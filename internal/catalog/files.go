@@ -105,6 +105,24 @@ func (t *GPQTable) metadata(path string) (*parquet.FileMetadata, error) {
 	})
 }
 
+// Files returns the table's backing file paths.
+func (t *GPQTable) Files() []string { return t.files }
+
+// Append writes batches onto the table's last backing file in place and
+// drops that file's cached footer (the file's size/mtime fingerprint
+// rotates, so page caches and mmap registries key the new contents
+// separately). The receiver's cached statistics and sort order are NOT
+// refreshed — re-open the table over Files() to plan against the grown
+// file.
+func (t *GPQTable) Append(batches []*arrow.RecordBatch, opts parquet.WriterOptions) error {
+	last := t.files[len(t.files)-1]
+	if err := parquet.AppendFile(last, batches, opts); err != nil {
+		return err
+	}
+	t.cache.FileMeta().Delete(last)
+	return nil
+}
+
 // SetPageCache attaches the shared decoded-page cache; subsequent Scans
 // thread it into their readers. Nil detaches.
 func (t *GPQTable) SetPageCache(pc *parquet.PageCache) { t.pages = pc }

@@ -1,0 +1,246 @@
+package catalog
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/jsonio"
+)
+
+// TailingJSONTable is the file-backed unbounded source: it tails an
+// NDJSON file, yielding batches as complete lines are appended by an
+// external writer. The stream ends when a seal marker file (path +
+// ".seal") appears — the file-system analogue of StreamTable.Seal — or
+// when the query is cancelled. Readers poll byte-offset growth (no
+// inotify dependency); only complete newline-terminated lines are
+// consumed, so a writer mid-line never produces a torn row.
+type TailingJSONTable struct {
+	path   string
+	schema *arrow.Schema
+	poll   time.Duration
+	// watermark is the 0-based schema index of the event-time column, -1
+	// when none.
+	watermark int
+}
+
+// SealMarker returns the marker path whose existence ends a tailed file.
+func SealMarker(path string) string { return path + ".seal" }
+
+// NewTailingJSONTable opens a tailing table over an NDJSON file. A nil
+// schema is inferred from the file's current contents (the file must
+// exist and hold at least one row in that case). poll <= 0 defaults to
+// 10ms.
+func NewTailingJSONTable(path string, schema *arrow.Schema, poll time.Duration) (*TailingJSONTable, error) {
+	if schema == nil {
+		inferred, err := jsonio.InferSchema(path, jsonio.Options{})
+		if err != nil {
+			return nil, err
+		}
+		schema = inferred
+	}
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	return &TailingJSONTable{path: path, schema: schema, poll: poll, watermark: -1}, nil
+}
+
+// WithWatermark declares the event-time column (same contract as
+// StreamTable.WithWatermark).
+func (t *TailingJSONTable) WithWatermark(col string) (*TailingJSONTable, error) {
+	idx := t.schema.FieldIndex(col)
+	if idx < 0 {
+		return nil, fmt.Errorf("catalog: watermark column %q not in schema", col)
+	}
+	switch t.schema.Field(idx).Type.ID {
+	case arrow.INT8, arrow.INT16, arrow.INT32, arrow.INT64,
+		arrow.UINT8, arrow.UINT16, arrow.UINT32, arrow.UINT64,
+		arrow.DATE32, arrow.TIMESTAMP:
+	default:
+		return nil, fmt.Errorf("catalog: watermark column %q must be integer, date, or timestamp typed, got %s",
+			col, t.schema.Field(idx).Type)
+	}
+	t.watermark = idx
+	return t, nil
+}
+
+// Schema returns the table schema.
+func (t *TailingJSONTable) Schema() *arrow.Schema { return t.schema }
+
+// Statistics: row counts are unknown for a live tail.
+func (t *TailingJSONTable) Statistics() Statistics { return UnknownStats() }
+
+func (t *TailingJSONTable) sealed() bool {
+	_, err := os.Stat(SealMarker(t.path))
+	return err == nil
+}
+
+// Scan prepares a tailing read; unbounded until the seal marker exists.
+func (t *TailingJSONTable) Scan(req ScanRequest) (*ScanResult, error) {
+	outSchema := t.schema
+	if req.Projection != nil {
+		outSchema = t.schema.Select(req.Projection)
+	}
+	wm := 0
+	if t.watermark >= 0 {
+		if req.Projection == nil {
+			wm = t.watermark + 1
+		} else {
+			for i, c := range req.Projection {
+				if c == t.watermark {
+					wm = i + 1
+					break
+				}
+			}
+		}
+	}
+	batchRows := req.BatchRows
+	if batchRows <= 0 {
+		batchRows = 8192
+	}
+	return &ScanResult{
+		Schema:       outSchema,
+		Partitions:   1,
+		ExactFilters: make([]bool, len(req.Filters)),
+		Unbounded:    !t.sealed(),
+		Watermark:    wm,
+		Detail:       "tail-file",
+		Open: func(p int) (Stream, error) {
+			return &fileTailStream{t: t, schema: outSchema, proj: req.Projection, batchRows: batchRows}, nil
+		},
+	}, nil
+}
+
+// fileTailStream reads complete appended lines from the tailed file.
+// Polling happens inside Next (no background goroutine to leak): each
+// call decodes whatever complete lines arrived, or blocks on a poll
+// timer / context cancellation when the file has not grown.
+type fileTailStream struct {
+	t         *TailingJSONTable
+	schema    *arrow.Schema
+	proj      []int
+	batchRows int
+	offset    int64
+	pending   []byte // partial trailing line carried between polls
+	ctx       context.Context
+	closed    bool
+}
+
+// BindContext attaches the query context so blocked polls cancel.
+func (s *fileTailStream) BindContext(ctx context.Context) { s.ctx = ctx }
+
+func (s *fileTailStream) Schema() *arrow.Schema { return s.schema }
+func (s *fileTailStream) Close()                { s.closed = true }
+
+func (s *fileTailStream) Next() (*arrow.RecordBatch, error) {
+	if s.closed {
+		return nil, io.EOF
+	}
+	var done <-chan struct{}
+	if s.ctx != nil {
+		done = s.ctx.Done()
+	}
+	for {
+		b, err := s.readAvailable()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		if s.t.sealed() {
+			// Drain anything raced in between the read and the marker check.
+			if b, err := s.readAvailable(); err != nil || b != nil {
+				return b, err
+			}
+			return nil, io.EOF
+		}
+		timer := time.NewTimer(s.t.poll)
+		select {
+		case <-timer.C:
+		case <-done:
+			timer.Stop()
+			return nil, s.ctx.Err()
+		}
+	}
+}
+
+// readAvailable decodes up to batchRows complete new lines, returning nil
+// when the file has no complete new line.
+func (s *fileTailStream) readAvailable() (*arrow.RecordBatch, error) {
+	f, err := os.Open(s.t.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // writer has not created the file yet
+		}
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() <= s.offset && len(s.pending) == 0 {
+		return nil, nil
+	}
+	full := s.t.schema
+	builders := make([]arrow.Builder, full.NumFields())
+	for i, fld := range full.Fields() {
+		builders[i] = arrow.NewBuilder(fld.Type)
+	}
+	rows := 0
+	buf := make([]byte, 64<<10)
+	for rows < s.batchRows {
+		n, rerr := f.ReadAt(buf, s.offset)
+		if n == 0 {
+			break
+		}
+		s.offset += int64(n)
+		chunk := buf[:n]
+		for rows < s.batchRows {
+			nl := bytes.IndexByte(chunk, '\n')
+			if nl < 0 {
+				s.pending = append(s.pending, chunk...)
+				chunk = nil
+				break
+			}
+			line := append(s.pending, chunk[:nl]...)
+			s.pending = s.pending[:0]
+			chunk = chunk[nl+1:]
+			ok, derr := jsonio.DecodeLine(line, full, builders)
+			if derr != nil {
+				return nil, derr
+			}
+			if ok {
+				rows++
+			}
+		}
+		if len(chunk) > 0 {
+			// Batch filled mid-chunk: push unconsumed bytes back.
+			s.offset -= int64(len(chunk))
+			break
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+	}
+	if rows == 0 {
+		return nil, nil
+	}
+	arrs := make([]arrow.Array, len(builders))
+	for i, b := range builders {
+		arrs[i] = b.Finish()
+	}
+	batch := arrow.NewRecordBatchWithRows(full, arrs, rows)
+	if s.proj != nil {
+		batch = batch.Project(s.proj)
+	}
+	return batch, nil
+}

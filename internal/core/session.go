@@ -9,7 +9,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"gofusion/internal/arrow"
 	"gofusion/internal/catalog"
@@ -72,6 +75,10 @@ type SessionConfig struct {
 	// default-off cache cannot be spelled as a Disable flag with Go zero
 	// values, so the polarity is flipped).
 	EnableResultCache bool
+	// WatermarkLateness is the event-time slack allowed for out-of-order
+	// rows in streaming aggregation before a time bucket closes (in the
+	// watermark column's units; default 0 = in-order sources).
+	WatermarkLateness int64
 	// SharedCacheBytes bounds the decoded-page cache (default 256 MiB).
 	SharedCacheBytes int64
 	// ResultCacheBytes bounds the result cache (default 64 MiB).
@@ -269,6 +276,43 @@ func (s *SessionContext) RegisterCSV(name, path string, opts csvio.Options) erro
 	return nil
 }
 
+// RegisterStream registers a live append-only table for the streaming
+// workload class: writers call Append on the returned table (or INSERT
+// INTO / COPY INTO it) while queries tail it. watermarkCol, when
+// non-empty, declares the event-time column that streaming aggregation
+// groups by. Writes from any goroutine bump the catalog version so
+// version-keyed result caches invalidate.
+func (s *SessionContext) RegisterStream(name string, schema *arrow.Schema, watermarkCol string) (*catalog.StreamTable, error) {
+	t := catalog.NewStreamTable(schema)
+	if watermarkCol != "" {
+		if _, err := t.WithWatermark(watermarkCol); err != nil {
+			return nil, err
+		}
+	}
+	ps := s.publicSchema()
+	t.OnWrite(ps.BumpVersion)
+	ps.Register(name, t)
+	return t, nil
+}
+
+// RegisterTailingJSON registers an unbounded table tailing an NDJSON file
+// that an external process appends to. A nil schema is inferred from the
+// file's current contents. The stream ends when the seal marker file
+// (catalog.SealMarker(path)) appears.
+func (s *SessionContext) RegisterTailingJSON(name, path string, schema *arrow.Schema, watermarkCol string, poll time.Duration) (*catalog.TailingJSONTable, error) {
+	t, err := catalog.NewTailingJSONTable(path, schema, poll)
+	if err != nil {
+		return nil, err
+	}
+	if watermarkCol != "" {
+		if _, err := t.WithWatermark(watermarkCol); err != nil {
+			return nil, err
+		}
+	}
+	s.RegisterTable(name, t)
+	return t, nil
+}
+
 // RegisterJSON registers an NDJSON-backed table with schema inference.
 func (s *SessionContext) RegisterJSON(name, path string) error {
 	t, err := catalog.NewJSONTable(path, nil, jsonio.Options{})
@@ -319,6 +363,8 @@ func (s *SessionContext) SQL(query string) (*DataFrame, error) {
 		return s.execCreateTable(st)
 	case *sql.InsertStmt:
 		return s.execInsert(st)
+	case *sql.CopyStmt:
+		return s.execCopy(st)
 	case *sql.ExplainStmt:
 		inner, ok := st.Stmt.(*sql.SelectStmt)
 		if !ok {
@@ -428,9 +474,9 @@ func (s *SessionContext) execCreateTable(st *sql.CreateTableStmt) (*DataFrame, e
 	return s.statusResult(fmt.Sprintf("CREATE TABLE %s (%d rows)", name, rows))
 }
 
-// execInsert appends INSERT INTO table query rows to an in-memory table.
-// Re-registering the grown table bumps the catalog version, invalidating
-// cached results over the old contents.
+// execInsert appends INSERT INTO table query rows to a writable table
+// (in-memory, stream, or GPQ-backed). Every write path bumps the catalog
+// version, invalidating cached results over the old contents.
 func (s *SessionContext) execInsert(st *sql.InsertStmt) (*DataFrame, error) {
 	existing, ms, name, err := s.resolveProvider(st.Table)
 	if err != nil {
@@ -438,10 +484,6 @@ func (s *SessionContext) execInsert(st *sql.InsertStmt) (*DataFrame, error) {
 	}
 	if existing == nil {
 		return nil, fmt.Errorf("core: table %q not found", st.Table)
-	}
-	mt, ok := existing.(*catalog.MemTable)
-	if !ok {
-		return nil, fmt.Errorf("core: INSERT INTO %q: only in-memory tables are writable", st.Table)
 	}
 	pl := planner.New(s.resolveTable, s.reg)
 	plan, err := pl.PlanQuery(st.Query)
@@ -452,16 +494,123 @@ func (s *SessionContext) execInsert(st *sql.InsertStmt) (*DataFrame, error) {
 	if err != nil {
 		return nil, err
 	}
-	rebased, rows, err := rebaseBatches(mt.Schema(), batches)
+	rebased, rows, err := rebaseBatches(existing.Schema(), batches)
 	if err != nil {
 		return nil, fmt.Errorf("core: INSERT INTO %q: %w", st.Table, err)
 	}
-	grown, err := mt.WithAppended(rebased)
+	if err := s.appendToProvider(existing, ms, name, rebased); err != nil {
+		return nil, fmt.Errorf("core: INSERT INTO %q: %w", st.Table, err)
+	}
+	return s.statusResult(fmt.Sprintf("INSERT %d", rows))
+}
+
+// execCopy bulk-loads COPY INTO table FROM 'path' rows into an existing
+// writable table. The source format comes from the FORMAT clause or the
+// path's extension.
+func (s *SessionContext) execCopy(st *sql.CopyStmt) (*DataFrame, error) {
+	existing, ms, name, err := s.resolveProvider(st.Table)
 	if err != nil {
 		return nil, err
 	}
-	ms.Register(name, grown)
-	return s.statusResult(fmt.Sprintf("INSERT %d", rows))
+	if existing == nil {
+		return nil, fmt.Errorf("core: table %q not found", st.Table)
+	}
+	format := st.Format
+	if format == "" {
+		format = strings.TrimPrefix(strings.ToLower(filepath.Ext(st.Path)), ".")
+	}
+	schema := existing.Schema()
+	var src catalog.TableProvider
+	switch format {
+	case "gpq":
+		// A private footer cache: staging files are often rewritten in
+		// place between COPYs, so their footers must not stick in the
+		// session-wide path-keyed cache.
+		src, err = catalog.NewGPQTable([]string{st.Path}, catalog.NewMetaCache(1, 4))
+	case "csv":
+		src, err = catalog.NewCSVTable(st.Path, schema, csvio.DefaultOptions())
+	case "json", "ndjson":
+		src, err = catalog.NewJSONTable(st.Path, schema, jsonio.Options{})
+	default:
+		return nil, fmt.Errorf("core: COPY INTO %q: unsupported format %q (want gpq, csv, or json)", st.Table, format)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: COPY INTO %q: %w", st.Table, err)
+	}
+	batches, err := s.readAllRows(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: COPY INTO %q: %w", st.Table, err)
+	}
+	rebased, rows, err := rebaseBatches(schema, batches)
+	if err != nil {
+		return nil, fmt.Errorf("core: COPY INTO %q: %w", st.Table, err)
+	}
+	if err := s.appendToProvider(existing, ms, name, rebased); err != nil {
+		return nil, fmt.Errorf("core: COPY INTO %q: %w", st.Table, err)
+	}
+	return s.statusResult(fmt.Sprintf("COPY %d", rows))
+}
+
+// readAllRows drains every partition of a provider's default scan.
+func (s *SessionContext) readAllRows(t catalog.TableProvider) ([]*arrow.RecordBatch, error) {
+	res, err := t.Scan(catalog.ScanRequest{Limit: -1, Partitions: 1, BatchRows: s.cfg.BatchRows})
+	if err != nil {
+		return nil, err
+	}
+	var out []*arrow.RecordBatch
+	for p := 0; p < res.Partitions; p++ {
+		st, err := res.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			b, err := st.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				st.Close()
+				return nil, err
+			}
+			out = append(out, b)
+		}
+		st.Close()
+	}
+	return out, nil
+}
+
+// appendToProvider routes appended rows to a table's write path:
+// in-memory tables grow immutably and re-register (bumping the catalog
+// version), stream tables append to the live log (waking tail readers and
+// bumping the version explicitly), and GPQ tables append row groups to
+// their last backing file in place, then re-open so planning statistics
+// reflect the grown file.
+func (s *SessionContext) appendToProvider(t catalog.TableProvider, ms *catalog.MemorySchema, name string, batches []*arrow.RecordBatch) error {
+	switch tt := t.(type) {
+	case *catalog.MemTable:
+		grown, err := tt.WithAppended(batches)
+		if err != nil {
+			return err
+		}
+		ms.Register(name, grown)
+	case *catalog.StreamTable:
+		if err := tt.Append(batches...); err != nil {
+			return err
+		}
+		ms.BumpVersion()
+	case *catalog.GPQTable:
+		if err := tt.Append(batches, parquet.DefaultWriterOptions()); err != nil {
+			return err
+		}
+		reopened, err := catalog.NewGPQTable(tt.Files(), s.cache)
+		if err != nil {
+			return err
+		}
+		ms.Register(name, reopened)
+	default:
+		return fmt.Errorf("table %q (%T) is not writable", name, t)
+	}
+	return nil
 }
 
 // rebaseBatches re-labels query output batches with the target table's
@@ -524,6 +673,7 @@ func (s *SessionContext) CreatePhysicalPlan(plan logical.Plan) (physical.Executi
 		DisableFusion:     s.cfg.DisableFusion,
 		ExtensionPlanners: s.extPlanners,
 		PageCache:         s.pages,
+		WatermarkLateness: s.cfg.WatermarkLateness,
 	}
 	return exec.CreatePhysicalPlan(optimized, cfg)
 }

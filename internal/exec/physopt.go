@@ -96,11 +96,17 @@ func scanHasMorsels(p physical.ExecutionPlan) bool {
 }
 
 // removeRedundantCoalesce drops stacked CoalesceBatchesExec and
-// single-input CoalescePartitionsExec nodes.
+// single-input CoalescePartitionsExec nodes, and removes batch coalescing
+// over unbounded inputs entirely: a live tail may never fill the target
+// row count, so buffering toward it would block the pipeline forever.
+// Streaming output trades batch size for latency.
 func removeRedundantCoalesce(plan physical.ExecutionPlan) (physical.ExecutionPlan, error) {
 	return transformUp(plan, func(p physical.ExecutionPlan) (physical.ExecutionPlan, error) {
 		switch node := p.(type) {
 		case *CoalesceBatchesExec:
+			if IsUnbounded(node.Input) {
+				return node.Input, nil
+			}
 			if inner, ok := node.Input.(*CoalesceBatchesExec); ok {
 				return &CoalesceBatchesExec{Input: inner.Input, Target: node.Target}, nil
 			}

@@ -36,6 +36,10 @@ type PlannerConfig struct {
 	// PageCache, when set, is threaded into provider scans so decoded
 	// pages are shared process-wide.
 	PageCache *parquet.PageCache
+	// WatermarkLateness is the event-time slack (in the watermark column's
+	// units) that streaming aggregation allows for out-of-order rows before
+	// closing a time bucket.
+	WatermarkLateness int64
 }
 
 // ExtensionPlanner lowers one kind of user-defined logical node.
@@ -67,7 +71,16 @@ func CreatePhysicalPlan(plan logical.Plan, cfg *PlannerConfig) (physical.Executi
 	if err != nil {
 		return nil, err
 	}
-	return applyPhysicalOptimizers(p, c)
+	p, err = applyPhysicalOptimizers(p, c)
+	if err != nil {
+		return nil, err
+	}
+	// Backstop: no full-pipeline breaker may sit over an unbounded input
+	// (the operator-selection paths above raise friendlier errors first).
+	if err := validateStreamingPlan(p); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 func (cfg *PlannerConfig) compiler(schema *logical.Schema) *physical.Compiler {
@@ -220,8 +233,10 @@ func (cfg *PlannerConfig) planScan(node *logical.TableScan) (physical.ExecutionP
 	}
 	var plan physical.ExecutionPlan = NewTableScanExec(node.Name, result)
 	// Maximize parallelism: fan a narrow scan out across the target
-	// partition count (unless that would destroy a useful sort order).
-	if result.Partitions < cfg.TargetPartitions && result.SortOrder == nil {
+	// partition count (unless that would destroy a useful sort order, or
+	// the scan tails a live source — buffering an unbounded producer
+	// through an exchange only adds latency).
+	if result.Partitions < cfg.TargetPartitions && result.SortOrder == nil && !result.Unbounded {
 		plan = &RepartitionExec{Input: plan, Scheme: RoundRobinPartitioning, NumParts: cfg.TargetPartitions}
 	}
 	// Re-apply filters the provider could not guarantee exactly.
@@ -338,6 +353,10 @@ func (cfg *PlannerConfig) planAggregate(node *logical.Aggregate) (physical.Execu
 		return nil, err
 	}
 
+	if IsUnbounded(input) {
+		return cfg.planStreamingAggregate(input, groupExprs, groupNames, specs)
+	}
+
 	ordered := orderingCoversGroups(input.OutputOrdering(), groupExprs)
 
 	if input.Partitions() == 1 {
@@ -372,6 +391,34 @@ func (cfg *PlannerConfig) planAggregate(node *logical.Aggregate) (physical.Execu
 	return NewHashAggregateExec(mid, FinalAgg, finalGroups, groupNames, finalSpecs), nil
 }
 
+// planStreamingAggregate routes a grouped aggregation over an unbounded
+// input onto WatermarkAggExec, provided the grouping keys include the
+// source's declared event-time column (otherwise no group ever becomes
+// final while the stream runs).
+func (cfg *PlannerConfig) planStreamingAggregate(input physical.ExecutionPlan,
+	groupExprs []physical.PhysicalExpr, groupNames []string, specs []AggSpec) (physical.ExecutionPlan, error) {
+	wm := watermarkColumn(input)
+	if wm < 0 {
+		return nil, breakerErr("HashAggregateExec",
+			"aggregation only finalizes at end of input; declare a watermark column on the source and group by it for streaming emit")
+	}
+	wmPos := -1
+	for i, g := range groupExprs {
+		if c, ok := g.(*physical.ColumnExpr); ok && c.Index == wm {
+			wmPos = i
+			break
+		}
+	}
+	if wmPos < 0 {
+		return nil, breakerErr("HashAggregateExec",
+			"aggregation only finalizes at end of input; group by the source's watermark column for streaming emit")
+	}
+	if input.Partitions() > 1 {
+		input = &CoalescePartitionsExec{Input: input}
+	}
+	return NewWatermarkAggExec(input, groupExprs, groupNames, specs, wmPos, cfg.WatermarkLateness), nil
+}
+
 func (cfg *PlannerConfig) planDistinct(node *logical.Distinct, input physical.ExecutionPlan) (physical.ExecutionPlan, error) {
 	schema := node.Schema()
 	groupExprs := make([]physical.PhysicalExpr, schema.Len())
@@ -379,6 +426,11 @@ func (cfg *PlannerConfig) planDistinct(node *logical.Distinct, input physical.Ex
 	for i, f := range schema.Fields() {
 		groupExprs[i] = physical.NewColumnExpr(i, f.Name, f.Type)
 		groupNames[i] = f.Name
+	}
+	if IsUnbounded(input) {
+		// DISTINCT streams when the watermark column is among the selected
+		// columns: de-duplication then partitions by event time.
+		return cfg.planStreamingAggregate(input, groupExprs, groupNames, nil)
 	}
 	if input.Partitions() == 1 {
 		return NewHashAggregateExec(input, SingleAgg, groupExprs, groupNames, nil), nil
@@ -404,6 +456,12 @@ func (cfg *PlannerConfig) planSort(node *logical.Sort) (physical.ExecutionPlan, 
 			return &GlobalLimitExec{Input: input, Skip: 0, Fetch: node.Fetch}, nil
 		}
 		return input, nil
+	}
+	if IsUnbounded(input) {
+		if node.Fetch >= 0 {
+			return nil, breakerErr("TopKExec", "top-k only emits after the input ends")
+		}
+		return nil, breakerErr("ExternalSortExec", "sorting buffers the entire input")
 	}
 	if node.Fetch >= 0 {
 		topk := &TopKExec{Input: input, Keys: keys, K: node.Fetch}
@@ -486,6 +544,10 @@ func (cfg *PlannerConfig) planJoin(node *logical.Join) (physical.ExecutionPlan, 
 		on[i] = JoinOn{L: le, R: re}
 	}
 
+	if lu, ru := IsUnbounded(left), IsUnbounded(right); lu || ru {
+		return cfg.planStreamingJoin(node, left, right, on, filter, lu, ru)
+	}
+
 	// Sorted inputs with matching keys use the merge join.
 	if !cfg.PreferHashJoin && filter == nil && mergeJoinApplicable(node.Type, left, right, on) {
 		return NewSortMergeJoinExec(left, right, on, node.Type)
@@ -513,6 +575,33 @@ func (cfg *PlannerConfig) planJoin(node *logical.Join) (physical.ExecutionPlan, 
 		return NewHashJoinExec(lrep, rrep, on, filter, node.Type, PartitionedJoin), nil
 	}
 	return NewHashJoinExec(left, right, on, filter, node.Type, CollectLeft), nil
+}
+
+// planStreamingJoin selects a join operator when at least one equi-join
+// input is unbounded. A bounded build with a streaming probe runs on the
+// regular hash join (for join types owing no build-side tail pass); an
+// unbounded build side forces the symmetric hash join, which only supports
+// INNER semantics without retractions.
+func (cfg *PlannerConfig) planStreamingJoin(node *logical.Join, left, right physical.ExecutionPlan,
+	on []JoinOn, filter physical.PhysicalExpr, lu, ru bool) (physical.ExecutionPlan, error) {
+	if !lu && probeStreamableJoin(node.Type) {
+		return NewHashJoinExec(left, right, on, filter, node.Type, CollectLeft), nil
+	}
+	if node.Type != logical.InnerJoin {
+		return nil, breakerErr("HashJoinExec",
+			fmt.Sprintf("%s join over a live stream would need retractions; only INNER equi-joins stream symmetrically", node.Type))
+	}
+	if left.Partitions() > 1 {
+		left = &CoalescePartitionsExec{Input: left}
+	}
+	if right.Partitions() > 1 {
+		right = &CoalescePartitionsExec{Input: right}
+	}
+	var out physical.ExecutionPlan = NewSymmetricHashJoinExec(left, right, on)
+	if filter != nil {
+		out = &CoalesceBatchesExec{Input: &FilterExec{Input: out, Predicate: filter}, Target: cfg.BatchRows}
+	}
+	return out, nil
 }
 
 func coerceJoinKeys(l, r physical.PhysicalExpr) (physical.PhysicalExpr, physical.PhysicalExpr, error) {
@@ -560,6 +649,9 @@ func (cfg *PlannerConfig) planWindow(node *logical.Window) (physical.ExecutionPl
 	input, err := cfg.create(node.Input)
 	if err != nil {
 		return nil, err
+	}
+	if IsUnbounded(input) {
+		return nil, breakerErr("WindowExec", "window functions buffer their partitions")
 	}
 	return PlanWindowOver(input, node, cfg)
 }

@@ -46,10 +46,24 @@ func (e *TableScanExec) Partitions() int { return e.Result.Partitions }
 func (e *TableScanExec) OutputOrdering() []physical.SortField {
 	return e.order
 }
-func (e *TableScanExec) Execute(_ *physical.ExecContext, partition int) (physical.Stream, error) {
+
+// Unbounded reports whether this scan tails a live source (streams block
+// awaiting data instead of returning io.EOF until the source seals).
+func (e *TableScanExec) Unbounded() bool { return e.Result.Unbounded }
+
+// WatermarkIndex returns the output-schema index of the source's declared
+// event-time column, or -1 when none.
+func (e *TableScanExec) WatermarkIndex() int { return e.Result.Watermark - 1 }
+
+func (e *TableScanExec) Execute(ctx *physical.ExecContext, partition int) (physical.Stream, error) {
 	s, err := e.Result.Open(partition)
 	if err != nil {
 		return nil, err
+	}
+	// Tailing sources block in Next awaiting new data; hand them the query
+	// context so blocked reads unblock on cancellation.
+	if cs, ok := s.(catalog.CtxStream); ok && ctx != nil && ctx.Ctx != nil {
+		cs.BindContext(ctx.Ctx)
 	}
 	return e.instrument(s), nil
 }

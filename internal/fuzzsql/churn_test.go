@@ -1,0 +1,117 @@
+package fuzzsql
+
+import (
+	"context"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"gofusion/internal/core"
+	"gofusion/internal/exec"
+	"gofusion/internal/testutil"
+)
+
+// TestChurnSoak cycles ingest -> query -> cancel against live stream
+// tables and a memory-limited spilling session. Every cycle starts a
+// streaming query, feeds it from a concurrent writer, cancels it
+// mid-stream (before the source seals), and tears the table down. The
+// test is bracketed by the goroutine-leak check; the sanitize-tagged
+// TestMain additionally fails the package on any leaked reservation or
+// spill file, and the spill session's pool peak must not drift across
+// cycles (a growing peak means per-query state survives cancellation).
+func TestChurnSoak(t *testing.T) {
+	defer testutil.CheckNoGoroutineLeak(t)()
+
+	cycles := 25
+	if testing.Short() {
+		cycles = 5
+	}
+	ds := NewDataset(21)
+	tbl := ds.Tables[0] // t1: watermark column e rises with the row index
+	chunks := tableChunks(tbl, 5)
+	spillDir := t.TempDir()
+
+	// Streaming session: tail scans and watermark aggregation, always
+	// cancelled mid-stream. Spill session: bounded memory-limited sort
+	// whose reservation peak must stay flat cycle over cycle.
+	s := core.NewSession(core.SessionConfig{TargetPartitions: 2})
+	defer s.Close()
+	sp := core.NewSession(core.SessionConfig{TargetPartitions: 1, MemoryLimit: 4 << 10, SpillDir: spillDir})
+	defer sp.Close()
+
+	streaming := []string{
+		"SELECT e, count(*) AS c0 FROM churn GROUP BY e",
+		"SELECT a, e FROM churn WHERE e >= 10",
+	}
+	var peaks []int64
+	var spills int64
+	for cycle := 0; cycle < cycles; cycle++ {
+		query := streaming[cycle%len(streaming)]
+
+		st, err := s.RegisterStream("churn", tbl.Schema, "e")
+		if err != nil {
+			t.Fatal(err)
+		}
+		df, err := s.SQL(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := df.Execute(context.Background())
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, c := range chunks {
+				if err := st.Append(c...); err != nil {
+					t.Errorf("cycle %d: append: %v", cycle, err)
+					return
+				}
+			}
+		}()
+		// One batch proves the pipeline is live; Close then cancels the
+		// query while the tail is still open (the source never seals).
+		if _, err := qs.Next(); err == io.EOF {
+			t.Fatalf("cycle %d: stream ended before any batch", cycle)
+		} else if err != nil {
+			t.Fatalf("cycle %d: first batch: %v", cycle, err)
+		}
+		qs.Close()
+		wg.Wait()
+		s.DeregisterTable("churn")
+
+		// Bounded churn on the spilling session: register, sort, drop.
+		if err := sp.RegisterBatches("churn_sort", tbl.Schema, tbl.Batches); err != nil {
+			t.Fatal(err)
+		}
+		df2, err := sp.SQL("SELECT a, b, c FROM churn_sort ORDER BY c, a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, qm, err := df2.CollectWithMetrics()
+		if err != nil {
+			t.Fatalf("cycle %d: sort: %v", cycle, err)
+		}
+		peaks = append(peaks, qm.PoolReservedPeak)
+		n, _ := exec.PlanSpillStats(qm.Plan)
+		spills += n
+		sp.DeregisterTable("churn_sort")
+	}
+
+	for i, p := range peaks {
+		if p != peaks[0] {
+			t.Errorf("pool peak drifted: cycle 0 peaked at %d bytes, cycle %d at %d", peaks[0], i, p)
+		}
+	}
+	if spills == 0 {
+		t.Error("memory-limited session never spilled; the soak is not exercising spill cleanup")
+	}
+	// Each query's DiskManager removes the spill dir on close; a surviving
+	// file (or the dir itself) means a spill outlived its query.
+	if ents, err := os.ReadDir(spillDir); err == nil && len(ents) != 0 {
+		t.Errorf("%d spill files leaked in %s", len(ents), spillDir)
+	}
+}

@@ -1,0 +1,103 @@
+package fuzzsql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gofusion/internal/arrow"
+)
+
+// TestReplayDeterministicChunks: chunking must be a pure function of the
+// dataset so a replay run is reproducible from its seed, and the chunks
+// must reassemble to exactly the batch dataset (same rows, same order).
+func TestReplayDeterministicChunks(t *testing.T) {
+	ds := NewDataset(5)
+	for _, tbl := range ds.Tables {
+		chunks := tableChunks(tbl, 6)
+		if len(chunks) != 6 {
+			t.Fatalf("%s: got %d chunks", tbl.Name, len(chunks))
+		}
+		var total int64
+		for _, c := range chunks {
+			total += chunkRows(c)
+		}
+		var want int64
+		for _, b := range tbl.Batches {
+			want += int64(b.NumRows())
+		}
+		if total != want {
+			t.Fatalf("%s: chunks cover %d rows, table has %d", tbl.Name, total, want)
+		}
+		// Every chunk but possibly the last must be non-empty for a table
+		// bigger than the step count.
+		for k, c := range chunks {
+			if chunkRows(c) == 0 && want >= 6 {
+				t.Fatalf("%s: chunk %d is empty", tbl.Name, k)
+			}
+		}
+	}
+}
+
+// TestReplayDifferential is the streaming acceptance gate: the seeded
+// dataset is replayed as timed micro-batches into every (config, target)
+// session — in-memory INSERTs, in-place GPQ appends via COPY INTO, and a
+// live stream table — with exact-count probes after every step, then
+// >=300 generated queries over the final state must agree with the
+// one-shot batch baseline across the whole config matrix.
+func TestReplayDifferential(t *testing.T) {
+	n, steps := 300, 6
+	if testing.Short() {
+		n, steps = 60, 4
+	}
+	rep, err := RunReplay(ReplayOptions{
+		Seed:     11,
+		N:        n,
+		Steps:    steps,
+		Interval: time.Millisecond,
+		Dir:      t.TempDir(),
+		Log:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) > 0 {
+		t.Fatalf("replay divergence:\n%s", rep.Summary())
+	}
+	if rep.Queries < n {
+		t.Fatalf("ran %d differential queries, want >= %d", rep.Queries, n)
+	}
+	// Probes must have covered every (step, table, engine) combination; a
+	// zero here means the ingestion loop silently skipped the checks.
+	minProbes := steps * len(DefaultConfigs()) * len(ReplayTargets)
+	if rep.Probes < minProbes {
+		t.Fatalf("ran %d probes, want >= %d", rep.Probes, minProbes)
+	}
+}
+
+// TestReplayDetectsStaleCount: the probe machinery itself must catch a
+// wrong count — feed it an off-by-one expectation and require a failure
+// that names the stale read (a probe that cannot fail proves nothing).
+func TestReplayDetectsStaleCount(t *testing.T) {
+	ds := NewDataset(3)
+	chunks := map[string][][]*arrow.RecordBatch{}
+	for _, tbl := range ds.Tables {
+		chunks[tbl.Name] = tableChunks(tbl, 2)
+	}
+	e, err := newReplayEngine(t.TempDir(), DefaultConfigs()[0], Mem, ds, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.s.Close()
+	want := chunkRows(chunks["t1"][0])
+	if f := e.checkCount("SELECT count(*) AS c0 FROM t1", want); f != nil {
+		t.Fatalf("correct expectation flagged: %s", f)
+	}
+	f := e.checkCount("SELECT count(*) AS c0 FROM t1", want+1)
+	if f == nil {
+		t.Fatal("off-by-one expectation not flagged")
+	}
+	if !strings.Contains(f.Detail, "stale read") {
+		t.Fatalf("unexpected detail: %s", f.Detail)
+	}
+}

@@ -244,6 +244,29 @@ func (rd *Reader) Next() (*arrow.RecordBatch, error) {
 	return arrow.NewRecordBatchWithRows(rd.schema, arrs, rows), nil
 }
 
+// DecodeLine decodes one NDJSON object into per-field builders (one per
+// schema field, in order). Empty lines are skipped; the return reports
+// whether a row was appended. Exposed for tailing readers that manage
+// their own file offsets.
+func DecodeLine(line []byte, schema *arrow.Schema, builders []arrow.Builder) (bool, error) {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return false, nil
+	}
+	var rec map[string]any
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.UseNumber()
+	if err := dec.Decode(&rec); err != nil {
+		return false, fmt.Errorf("jsonio: %w", err)
+	}
+	for i, f := range schema.Fields() {
+		if err := appendJSON(builders[i], f.Type, rec[f.Name]); err != nil {
+			return false, fmt.Errorf("jsonio: field %q: %w", f.Name, err)
+		}
+	}
+	return true, nil
+}
+
 func appendJSON(b arrow.Builder, t *arrow.DataType, v any) error {
 	if v == nil {
 		b.AppendNull()

@@ -102,6 +102,21 @@ func (l *LRU[K, V]) GetOrLoad(key K, load func() (V, error)) (V, error) {
 	return v, nil
 }
 
+// Delete removes a cache entry if present, reporting whether it existed.
+// Writers invalidate path-keyed metadata with it after rewriting a file in
+// place.
+func (l *LRU[K, V]) Delete(key K) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		return false
+	}
+	l.order.Remove(el)
+	delete(l.items, key)
+	return true
+}
+
 // Len returns the number of cached entries.
 func (l *LRU[K, V]) Len() int {
 	l.mu.Lock()

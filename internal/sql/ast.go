@@ -46,6 +46,18 @@ type InsertStmt struct {
 
 func (*InsertStmt) stmtNode() {}
 
+// CopyStmt is COPY INTO table FROM 'path' [FORMAT name]: bulk-load a data
+// file's rows into an existing table. Format is the lowercased source
+// format name ("gpq", "csv", "json"), empty when left to be inferred from
+// the path's extension.
+type CopyStmt struct {
+	Table  string
+	Path   string
+	Format string
+}
+
+func (*CopyStmt) stmtNode() {}
+
 // CTE is one WITH entry.
 type CTE struct {
 	Name      string

@@ -52,7 +52,7 @@ func init() {
 		"WITH", "RECURSIVE", "OVER", "PARTITION", "ROWS", "RANGE", "UNBOUNDED", "PRECEDING",
 		"FOLLOWING", "CURRENT", "ROW", "FILTER", "INTERVAL", "EXTRACT", "SUBSTRING", "FOR",
 		"DATE", "TIMESTAMP", "VALUES", "EXPLAIN", "ANALYZE", "GROUPING", "SETS", "ROLLUP", "CUBE",
-		"SEMI", "ANTI", "CREATE", "TABLE", "INSERT", "INTO",
+		"SEMI", "ANTI", "CREATE", "TABLE", "INSERT", "INTO", "COPY", "FORMAT",
 	} {
 		keywords[k] = true
 	}

@@ -133,10 +133,39 @@ func (p *Parser) parseStatement() (Statement, error) {
 		}
 		return &InsertStmt{Table: name, Query: q}, nil
 	}
+	if p.acceptKw("COPY") {
+		if err := p.expectKw("INTO"); err != nil {
+			return nil, err
+		}
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("FROM"); err != nil {
+			return nil, err
+		}
+		pathTok := p.peek()
+		if pathTok.Kind != TokString {
+			return nil, p.errf("expected a quoted file path, found %q", pathTok.Text)
+		}
+		p.advance()
+		format := ""
+		if p.acceptKw("FORMAT") {
+			t := p.peek()
+			switch t.Kind {
+			case TokIdent, TokQuotedIdent, TokString:
+				format = strings.ToLower(t.Text)
+				p.advance()
+			default:
+				return nil, p.errf("expected a format name, found %q", t.Text)
+			}
+		}
+		return &CopyStmt{Table: name, Path: pathTok.Text, Format: format}, nil
+	}
 	if p.peekKw("SELECT") || p.peekKw("WITH") || p.peekKw("VALUES") || (p.peek().Kind == TokOp && p.peek().Text == "(") {
 		return p.parseSelectStmt()
 	}
-	return nil, p.errf("expected SELECT, WITH, VALUES, CREATE, INSERT, or EXPLAIN, found %q", p.peek().Text)
+	return nil, p.errf("expected SELECT, WITH, VALUES, CREATE, INSERT, COPY, or EXPLAIN, found %q", p.peek().Text)
 }
 
 func (p *Parser) parseSelectStmt() (*SelectStmt, error) {

@@ -52,6 +52,15 @@ func writeStatement(sb *strings.Builder, s Statement) {
 		writeIdent(sb, st.Table)
 		sb.WriteString(" ")
 		writeSelectStmt(sb, st.Query)
+	case *CopyStmt:
+		sb.WriteString("COPY INTO ")
+		writeIdent(sb, st.Table)
+		sb.WriteString(" FROM ")
+		writeString(sb, st.Path)
+		if st.Format != "" {
+			sb.WriteString(" FORMAT ")
+			writeIdent(sb, st.Format)
+		}
 	default:
 		fmt.Fprintf(sb, "<unknown statement %T>", s)
 	}
