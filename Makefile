@@ -1,7 +1,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: build test lint fuzz-smoke stream-smoke sanitize bench bench-cache clean
+.PHONY: build test lint fuzz-smoke stream-smoke server-smoke sanitize bench bench-cache bench-server clean
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,17 @@ stream-smoke:
 	$(GO) test -race -run 'TestReplay|TestChurn' ./internal/fuzzsql/
 	$(GO) test -race -run 'TestStreaming|TestWatermark|TestTailing|TestCopyInto|TestInsert|TestResultCacheInvalidation|TestPageCacheInvalidation' ./internal/core/
 
+# server-smoke exercises the multi-tenant service layer under the race
+# detector: admission-control units, the HTTP surface, the concurrency
+# soak (mixed read/ingest/cancel; fails on leaked goroutines,
+# reservations, or spill files), and the 8-client differential load
+# harness — zero sheds with an ample queue, all-shed under saturation,
+# and zero result divergences against the serial baseline. CI also runs
+# the pack under the sanitize tag.
+server-smoke:
+	$(GO) test -race ./internal/server/
+	$(GO) test -race -run 'TestLoad' ./internal/serverload/
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
@@ -47,6 +58,12 @@ bench:
 # workload); medians of 5 runs feed BENCH_cache.json.
 bench-cache:
 	$(GO) test -run '^$$' -bench BenchmarkSharedCache -benchtime 5x -count=5 .
+
+# bench-server measures end-to-end service throughput and p50/p99 at
+# 1/4/8 concurrent clients with the plan cache off/on; medians of 3
+# runs feed BENCH_server.json.
+bench-server:
+	$(GO) test -run '^$$' -bench BenchmarkServerLoad -benchtime 200x -count=3 ./internal/serverload/
 
 clean:
 	rm -rf $(BIN)

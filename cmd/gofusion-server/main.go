@@ -1,0 +1,143 @@
+// Command gofusion-server runs the multi-tenant SQL service: an
+// HTTP/JSON front end (internal/server) over one shared engine session
+// with admission control, a global memory budget, plan-cache backed
+// prepared statements, and a /stats endpoint.
+//
+// Endpoints:
+//
+//	POST /query   {"sql": "SELECT ...", "session": "alice", "timeout_ms": 500}
+//	POST /query   {"prepared": "p1", "session": "alice"}
+//	POST /prepare {"sql": "SELECT ...", "session": "alice"}
+//	GET  /stats
+//	GET  /healthz
+//
+// Datasets: -tpch/-clickbench/-fuzz register built-in generated
+// workloads in memory; -gpq and -csv register files. Example:
+//
+//	gofusion-server -addr :8080 -tpch 0.01 -slots 8 -memory-budget 268435456
+//	curl -s localhost:8080/query -d '{"sql":"SELECT count(*) FROM lineitem"}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"gofusion/internal/core"
+	"gofusion/internal/csvio"
+	"gofusion/internal/fuzzsql"
+	"gofusion/internal/server"
+	"gofusion/internal/workload/clickbench"
+	"gofusion/internal/workload/tpch"
+)
+
+// tableFlags collects repeated name=path registrations.
+type tableFlags []string
+
+func (t *tableFlags) String() string     { return strings.Join(*t, ",") }
+func (t *tableFlags) Set(v string) error { *t = append(*t, v); return nil }
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		slots        = flag.Int("slots", 8, "queries allowed to execute concurrently")
+		maxQueue     = flag.Int("max-queue", 0, "bounded wait queue size (0 = 2*slots); beyond it requests shed with 429")
+		queueTimeout = flag.Duration("queue-timeout", 10*time.Second, "longest queue wait before shedding with 503")
+		reqTimeout   = flag.Duration("request-timeout", 60*time.Second, "default per-request execution deadline")
+		budget       = flag.Int64("memory-budget", 0, "global tracked-memory budget in bytes across all queries (0 = unbounded)")
+		queryLimit   = flag.Int64("query-memory-limit", 0, "per-query tracked-memory cap in bytes (0 = budget only)")
+		partitions   = flag.Int("partitions", 0, "target partitions per query (0 = engine default)")
+		planCache    = flag.Bool("plan-cache", true, "enable the logical plan cache (prepared statements and repeats skip planning)")
+		resultCache  = flag.Bool("result-cache", false, "enable the whole-result cache")
+		spillDir     = flag.String("spill-dir", "", "directory for operator spill files")
+		tpchSF       = flag.Float64("tpch", 0, "register the TPC-H tables in memory at this scale factor")
+		cbRows       = flag.Int("clickbench", 0, "register the ClickBench hits table in memory with this many rows")
+		fuzzSeed     = flag.Int64("fuzz", 0, "register the fuzzsql t1/t2 tables generated from this seed")
+		gpqTables    tableFlags
+		csvTables    tableFlags
+	)
+	flag.Var(&gpqTables, "gpq", "register a GPQ table as name=path (repeatable; path may list files comma-separated)")
+	flag.Var(&csvTables, "csv", "register a CSV table as name=path (repeatable)")
+	flag.Parse()
+
+	scfg := core.DefaultConfig()
+	if *partitions > 0 {
+		scfg.TargetPartitions = *partitions
+	}
+	scfg.EnablePlanCache = *planCache
+	scfg.EnableResultCache = *resultCache
+	if *spillDir != "" {
+		scfg.SpillDir = *spillDir
+	}
+	srv := server.New(server.Config{
+		Session:          scfg,
+		MemoryBudget:     *budget,
+		QueryMemoryLimit: *queryLimit,
+		Slots:            *slots,
+		MaxQueue:         *maxQueue,
+		QueueTimeout:     *queueTimeout,
+		RequestTimeout:   *reqTimeout,
+	})
+	defer srv.Close()
+
+	s := srv.Session()
+	if *tpchSF > 0 {
+		if err := tpch.RegisterInMemory(s, *tpchSF); err != nil {
+			log.Fatalf("registering tpch: %v", err)
+		}
+		log.Printf("registered TPC-H sf=%g in memory", *tpchSF)
+	}
+	if *cbRows > 0 {
+		if err := clickbench.RegisterInMemory(s, *cbRows); err != nil {
+			log.Fatalf("registering clickbench: %v", err)
+		}
+		log.Printf("registered ClickBench hits (%d rows)", *cbRows)
+	}
+	if *fuzzSeed != 0 {
+		ds := fuzzsql.NewDataset(*fuzzSeed)
+		for _, t := range ds.Tables {
+			if err := s.RegisterBatches(t.Name, t.Schema, t.Batches); err != nil {
+				log.Fatalf("registering fuzzsql %s: %v", t.Name, err)
+			}
+		}
+		log.Printf("registered fuzzsql tables (seed %d)", *fuzzSeed)
+	}
+	for _, spec := range gpqTables {
+		name, path, err := splitSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.RegisterGPQ(name, strings.Split(path, ",")...); err != nil {
+			log.Fatalf("registering gpq %s: %v", name, err)
+		}
+		log.Printf("registered GPQ table %s from %s", name, path)
+	}
+	for _, spec := range csvTables {
+		name, path, err := splitSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.RegisterCSV(name, path, csvio.DefaultOptions()); err != nil {
+			log.Fatalf("registering csv %s: %v", name, err)
+		}
+		log.Printf("registered CSV table %s from %s", name, path)
+	}
+
+	log.Printf("gofusion-server listening on %s (slots=%d queue=%d budget=%d bytes)",
+		*addr, *slots, *maxQueue, *budget)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func splitSpec(spec string) (name, path string, err error) {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || path == "" {
+		return "", "", fmt.Errorf("bad table spec %q (want name=path)", spec)
+	}
+	return name, path, nil
+}

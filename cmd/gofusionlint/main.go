@@ -30,6 +30,7 @@ import (
 	"gofusion/internal/analysis/eofconvention"
 	"gofusion/internal/analysis/goroutinedrain"
 	"gofusion/internal/analysis/load"
+	"gofusion/internal/analysis/scanlimit"
 	"gofusion/internal/analysis/streamclose"
 	"gofusion/internal/analysis/unsafealias"
 )
@@ -40,6 +41,7 @@ var suite = []*analysis.Analyzer{
 	unsafealias.Analyzer,
 	goroutinedrain.Analyzer,
 	eofconvention.Analyzer,
+	scanlimit.Analyzer,
 }
 
 // vetConfig mirrors the JSON the go command writes for -vettool

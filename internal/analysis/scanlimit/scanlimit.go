@@ -1,0 +1,77 @@
+// Package scanlimit checks that every catalog.ScanRequest composite
+// literal sets Limit explicitly. The field's zero value means "return 0
+// rows", not "no limit" (that is catalog.NoLimit = -1), so a literal
+// that simply omits Limit almost always silently truncates the scan to
+// nothing. PR 8 fixed exactly this bug on the COPY INTO staging path;
+// this analyzer makes the whole class unwritable: either spell
+// Limit: catalog.NoLimit (or -1) to scan everything, or set a real
+// bound.
+package scanlimit
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gofusion/internal/analysis"
+)
+
+// Analyzer is the scanlimit check.
+var Analyzer = &analysis.Analyzer{
+	Name: "scanlimit",
+	Doc: "check that catalog.ScanRequest literals set Limit explicitly\n\n" +
+		"ScanRequest.Limit's zero value means \"return 0 rows\"; omitting the\n" +
+		"field from a composite literal silently yields an empty scan. Every\n" +
+		"keyed ScanRequest literal must name Limit (use catalog.NoLimit for\n" +
+		"an unbounded scan); positional literals necessarily include it.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t, ok := pass.TypesInfo.Types[lit]
+			if !ok || !isScanRequest(t.Type) {
+				return true
+			}
+			if len(lit.Elts) == 0 {
+				pass.Reportf(lit.Pos(),
+					"empty catalog.ScanRequest literal: the Limit zero value means 0 rows; set Limit (catalog.NoLimit for all rows)")
+				return true
+			}
+			keyed := false
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					// Positional literal: every field, Limit included, is
+					// spelled out.
+					return true
+				}
+				keyed = true
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Limit" {
+					return true
+				}
+			}
+			if keyed {
+				pass.Reportf(lit.Pos(),
+					"catalog.ScanRequest literal without Limit: the zero value means 0 rows; set Limit (catalog.NoLimit for all rows)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isScanRequest reports whether t is gofusion/internal/catalog.ScanRequest.
+func isScanRequest(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Name() == "ScanRequest" && obj.Pkg().Path() == "gofusion/internal/catalog"
+}

@@ -1,0 +1,12 @@
+package scanlimit_test
+
+import (
+	"testing"
+
+	"gofusion/internal/analysis/analysistest"
+	"gofusion/internal/analysis/scanlimit"
+)
+
+func TestScanLimit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), scanlimit.Analyzer, "a")
+}

@@ -1,0 +1,38 @@
+package a
+
+import (
+	"gofusion/internal/catalog"
+)
+
+func limitOK(t catalog.TableProvider) {
+	t.Scan(catalog.ScanRequest{Limit: -1, Partitions: 2})
+}
+
+func noLimitConstOK(t catalog.TableProvider) {
+	t.Scan(catalog.ScanRequest{Limit: catalog.NoLimit, Partitions: 4})
+}
+
+func boundedOK(t catalog.TableProvider) {
+	t.Scan(catalog.ScanRequest{Projection: []int{0}, Limit: 10})
+}
+
+func missingLimit(t catalog.TableProvider) {
+	t.Scan(catalog.ScanRequest{Partitions: 2}) // want `without Limit`
+}
+
+func missingLimitMultiline(t catalog.TableProvider) {
+	req := catalog.ScanRequest{ // want `without Limit`
+		Projection: []int{1, 2},
+		Partitions: 4,
+		BatchRows:  1024,
+	}
+	t.Scan(req)
+}
+
+func emptyLiteral(t catalog.TableProvider) {
+	t.Scan(catalog.ScanRequest{}) // want `empty catalog.ScanRequest`
+}
+
+func suppressed(t catalog.TableProvider) {
+	t.Scan(catalog.ScanRequest{Partitions: 2}) //nolint:scanlimit
+}

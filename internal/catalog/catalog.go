@@ -45,6 +45,13 @@ type Statistics struct {
 // UnknownStats is the zero-knowledge statistics value.
 func UnknownStats() Statistics { return Statistics{NumRows: -1, TotalBytes: -1} }
 
+// NoLimit is the ScanRequest.Limit value for an unbounded scan. The
+// Limit zero value means "return 0 rows" — a scan request built without
+// an explicit Limit silently yields nothing (the COPY INTO staging path
+// shipped exactly this bug). The scanlimit analyzer rejects ScanRequest
+// literals that omit the field.
+const NoLimit int64 = -1
+
 // ScanRequest carries pushdown information into a provider scan.
 type ScanRequest struct {
 	// Projection selects provider-schema column indexes; nil means all.
@@ -52,8 +59,10 @@ type ScanRequest struct {
 	// Filters are conjuncts the provider may apply (fully, partially, or
 	// not at all); ScanResult.ExactFilters reports which were exact.
 	Filters []logical.Expr
-	// Limit stops the scan after this many rows, -1 for none. Only valid
-	// when every filter is applied exactly.
+	// Limit stops the scan after this many rows; NoLimit (-1) for none.
+	// The zero value means 0 rows, so literals must set it explicitly
+	// (enforced by the scanlimit analyzer). Only valid when every filter
+	// is applied exactly.
 	Limit int64
 	// Partitions is the desired read parallelism (providers may return
 	// fewer).

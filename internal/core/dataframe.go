@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -24,6 +25,10 @@ type DataFrame struct {
 	// result cache (set only by SessionContext.SQL for plain queries —
 	// derived frames drop it, since transformations change the result).
 	resultKey string
+	// preOptimized marks plan as already optimized (a plan-cache entry):
+	// execution skips the optimizer and lowers directly. Derived frames
+	// drop it, since transformations build new unoptimized nodes on top.
+	preOptimized bool
 }
 
 // LogicalPlan returns the frame's (unoptimized) logical plan.
@@ -155,8 +160,23 @@ func (df *DataFrame) Alias(name string) *DataFrame {
 // returns the cached batches (immutable shared views) without planning
 // or executing.
 func (df *DataFrame) Collect() ([]*arrow.RecordBatch, error) {
+	return df.CollectContext(context.Background())
+}
+
+// CollectContext is Collect under a caller context: cancelling ctx (or
+// its deadline passing) aborts execution, unwinding operators and
+// releasing the per-query runtime. The service layer uses it to enforce
+// per-request timeouts and to stop work for disconnected clients. The
+// result and plan caches participate exactly like in Collect.
+func (df *DataFrame) CollectContext(ctx context.Context) ([]*arrow.RecordBatch, error) {
 	if df.err != nil {
 		return nil, df.err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	rc := df.session.results
 	var version int64
@@ -166,11 +186,14 @@ func (df *DataFrame) Collect() ([]*arrow.RecordBatch, error) {
 			return batches, nil
 		}
 	}
-	pp, err := df.session.CreatePhysicalPlan(df.plan)
+	pp, err := df.session.physicalPlanFor(df)
 	if err != nil {
 		return nil, err
 	}
-	batches, err := df.session.ExecutePlan(pp)
+	ectx, cleanup := df.session.newExecContext()
+	defer cleanup()
+	ectx.Ctx = ctx
+	batches, err := exec.CollectPlan(ectx, pp)
 	if err != nil {
 		return nil, err
 	}
@@ -217,8 +240,21 @@ type QueryMetrics struct {
 // physical plan (its operator metrics stay zero) and ResultCacheHit is
 // set.
 func (df *DataFrame) CollectWithMetrics() ([]*arrow.RecordBatch, *QueryMetrics, error) {
+	return df.CollectWithMetricsContext(context.Background())
+}
+
+// CollectWithMetricsContext is CollectWithMetrics under a caller context
+// (see CollectContext); the service layer's per-request accounting and
+// /stats endpoint reuse this plumbing.
+func (df *DataFrame) CollectWithMetricsContext(ctx context.Context) ([]*arrow.RecordBatch, *QueryMetrics, error) {
 	if df.err != nil {
 		return nil, nil, df.err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	s := df.session
 	cm := s.cache
@@ -261,7 +297,7 @@ func (df *DataFrame) CollectWithMetrics() ([]*arrow.RecordBatch, *QueryMetrics, 
 	if df.resultKey != "" && rc != nil {
 		version = s.catalog.Version()
 		if batches, ok := rc.get(df.resultKey, version); ok {
-			pp, err := s.CreatePhysicalPlan(df.plan)
+			pp, err := s.physicalPlanFor(df)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -270,13 +306,14 @@ func (df *DataFrame) CollectWithMetrics() ([]*arrow.RecordBatch, *QueryMetrics, 
 			return finish(batches)
 		}
 	}
-	pp, err := s.CreatePhysicalPlan(df.plan)
+	pp, err := s.physicalPlanFor(df)
 	if err != nil {
 		return nil, nil, err
 	}
-	ctx, cleanup := s.newExecContext()
+	ectx, cleanup := s.newExecContext()
 	defer cleanup()
-	batches, err := exec.CollectPlan(ctx, pp)
+	ectx.Ctx = ctx
+	batches, err := exec.CollectPlan(ectx, pp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -284,7 +321,7 @@ func (df *DataFrame) CollectWithMetrics() ([]*arrow.RecordBatch, *QueryMetrics, 
 		rc.put(df.resultKey, version, batches)
 	}
 	qm.Plan = pp
-	qm.PoolReservedPeak = ctx.Pool.ReservedPeak()
+	qm.PoolReservedPeak = ectx.Pool.ReservedPeak()
 	return finish(batches)
 }
 
@@ -334,7 +371,9 @@ func (df *DataFrame) Count() (int64, error) {
 	return n, nil
 }
 
-// Explain renders logical, optimized, and physical plans.
+// Explain renders logical, optimized, and physical plans. Frames carrying
+// a plan-cache hit hold only the optimized plan, which then fills both
+// logical sections.
 func (df *DataFrame) Explain() (string, error) {
 	if df.err != nil {
 		return "", df.err
@@ -342,13 +381,17 @@ func (df *DataFrame) Explain() (string, error) {
 	var sb strings.Builder
 	sb.WriteString("== Logical Plan ==\n")
 	sb.WriteString(logical.Explain(df.plan))
-	optimized, err := df.session.OptimizePlan(df.plan)
-	if err != nil {
-		return "", fmt.Errorf("optimizing: %w", err)
+	optimized := df.plan
+	if !df.preOptimized {
+		var err error
+		optimized, err = df.session.OptimizePlan(df.plan)
+		if err != nil {
+			return "", fmt.Errorf("optimizing: %w", err)
+		}
 	}
 	sb.WriteString("== Optimized Plan ==\n")
 	sb.WriteString(logical.Explain(optimized))
-	pp, err := df.session.CreatePhysicalPlan(df.plan)
+	pp, err := df.session.lowerPlan(optimized)
 	if err != nil {
 		return "", fmt.Errorf("physical planning: %w", err)
 	}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"gofusion/internal/logical"
+)
+
+// planCache memoizes optimized logical plans of repeated queries, keyed
+// on the print-stable SQL normalization plus every session knob that
+// changes planning (see SessionContext.planCacheKey). A hit skips
+// parsing-adjacent work, logical planning, and the optimizer pipeline;
+// physical planning always reruns, because physical plans embed one-shot
+// per-execution state (prepared ScanResults whose partitions may each be
+// opened at most once), so a cached physical plan could never safely be
+// executed twice. Re-lowering per execution is what makes cached plans
+// re-instantiable: every execution gets fresh streams, fresh exchanges,
+// and fresh metrics from the same immutable optimized logical plan.
+//
+// Entries record the catalog version they were planned under: a logical
+// plan holds resolved TableProvider snapshots, so any registration or
+// write (DDL, INSERT, COPY, stream append — all bump a version counter)
+// makes the entry stale. Stale entries are dropped on lookup.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+}
+
+type planEntry struct {
+	key     string
+	version int64
+	plan    logical.Plan
+}
+
+// PlanCacheStats is a snapshot of plan-cache activity.
+type PlanCacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Invalidations int64 `json:"invalidations"`
+	Entries       int   `json:"entries"`
+}
+
+// defaultPlanCacheEntries bounds the cache when the session config does
+// not set PlanCacheEntries.
+const defaultPlanCacheEntries = 256
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheEntries
+	}
+	return &planCache{cap: capacity, ll: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// get returns the cached optimized plan for key if it was planned under
+// the current catalog version. A version mismatch drops the entry (the
+// provider snapshot inside it is stale) and counts as an invalidation.
+func (pc *planCache) get(key string, version int64) (logical.Plan, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.byKey[key]
+	if !ok {
+		pc.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*planEntry)
+	if ent.version != version {
+		pc.ll.Remove(el)
+		delete(pc.byKey, key)
+		pc.invalidations.Add(1)
+		pc.misses.Add(1)
+		return nil, false
+	}
+	pc.ll.MoveToFront(el)
+	pc.hits.Add(1)
+	return ent.plan, true
+}
+
+// put memoizes an optimized plan computed under the given catalog
+// version, evicting the least recently used entry past capacity.
+func (pc *planCache) put(key string, version int64, plan logical.Plan) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.byKey[key]; ok {
+		el.Value.(*planEntry).version = version
+		el.Value.(*planEntry).plan = plan
+		pc.ll.MoveToFront(el)
+		return
+	}
+	pc.byKey[key] = pc.ll.PushFront(&planEntry{key: key, version: version, plan: plan})
+	for pc.ll.Len() > pc.cap {
+		last := pc.ll.Back()
+		pc.ll.Remove(last)
+		delete(pc.byKey, last.Value.(*planEntry).key)
+	}
+}
+
+// Stats snapshots hit/miss/invalidation counters and residency.
+func (pc *planCache) Stats() PlanCacheStats {
+	pc.mu.Lock()
+	n := pc.ll.Len()
+	pc.mu.Unlock()
+	return PlanCacheStats{
+		Hits:          pc.hits.Load(),
+		Misses:        pc.misses.Load(),
+		Invalidations: pc.invalidations.Load(),
+		Entries:       n,
+	}
+}

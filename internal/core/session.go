@@ -75,6 +75,22 @@ type SessionConfig struct {
 	// default-off cache cannot be spelled as a Disable flag with Go zero
 	// values, so the polarity is flipped).
 	EnableResultCache bool
+	// EnablePlanCache turns on the logical plan cache: repeated identical
+	// queries (print-stable sql.FormatStatement normalization) skip
+	// parsing, planning, and the optimizer and re-lower the memoized
+	// optimized plan. Entries are invalidated by the catalog version
+	// counters, so any DDL, INSERT, COPY, or stream append drops plans
+	// over stale provider snapshots. Default OFF (same polarity rationale
+	// as EnableResultCache).
+	EnablePlanCache bool
+	// PlanCacheEntries bounds the plan cache (default 256 entries).
+	PlanCacheEntries int
+	// ParentPool, when set, charges every per-query memory pool to this
+	// shared pool, so concurrent queries (sessions of one server) divide
+	// one global budget; MemoryLimit then caps each query individually
+	// before the parent is consulted. When nil, MemoryLimit alone bounds
+	// each query and queries do not share a budget.
+	ParentPool memory.Pool
 	// WatermarkLateness is the event-time slack allowed for out-of-order
 	// rows in streaming aggregation before a time bucket closes (in the
 	// watermark column's units; default 0 = in-order sources).
@@ -98,6 +114,7 @@ type SessionContext struct {
 	cache       *catalog.MetaCache
 	pages       *parquet.PageCache
 	results     *resultCache
+	plans       *planCache
 	cachePool   memory.Pool
 	opt         *optimizer.Optimizer
 	extPlanners []exec.ExtensionPlanner
@@ -135,6 +152,9 @@ func NewSession(cfg SessionConfig) *SessionContext {
 	}
 	if cfg.EnableResultCache {
 		s.results = newResultCache(cfg.ResultCacheBytes, s.cachePool)
+	}
+	if cfg.EnablePlanCache {
+		s.plans = newPlanCache(cfg.PlanCacheEntries)
 	}
 	return s
 }
@@ -182,6 +202,11 @@ func (s *SessionContext) WithConfig(cfg SessionConfig) *SessionContext {
 		out.results = nil
 	} else if out.results == nil {
 		out.results = newResultCache(cfg.ResultCacheBytes, s.cachePool)
+	}
+	if !cfg.EnablePlanCache {
+		out.plans = nil
+	} else if out.plans == nil {
+		out.plans = newPlanCache(cfg.PlanCacheEntries)
 	}
 	return &out
 }
@@ -349,16 +374,7 @@ func (s *SessionContext) SQL(query string) (*DataFrame, error) {
 	}
 	switch st := stmt.(type) {
 	case *sql.SelectStmt:
-		pl := planner.New(s.resolveTable, s.reg)
-		plan, err := pl.PlanQuery(st)
-		if err != nil {
-			return nil, err
-		}
-		df := &DataFrame{session: s, plan: plan}
-		if s.results != nil {
-			df.resultKey = s.resultCacheKey(st)
-		}
-		return df, nil
+		return s.selectDataFrame(st)
 	case *sql.CreateTableStmt:
 		return s.execCreateTable(st)
 	case *sql.InsertStmt:
@@ -392,6 +408,87 @@ func (s *SessionContext) SQL(query string) (*DataFrame, error) {
 	return nil, fmt.Errorf("core: unsupported statement")
 }
 
+// selectDataFrame builds the lazy frame for a query statement, consulting
+// the plan cache when enabled: a hit hands back the memoized optimized
+// logical plan (marked preOptimized so execution skips the optimizer and
+// goes straight to physical lowering); a miss plans, optimizes, and
+// memoizes under the current catalog version.
+func (s *SessionContext) selectDataFrame(st *sql.SelectStmt) (*DataFrame, error) {
+	df := &DataFrame{session: s}
+	if s.results != nil {
+		df.resultKey = s.resultCacheKey(st)
+	}
+	if s.plans != nil {
+		key := s.planCacheKey(st)
+		version := s.catalog.Version()
+		if cached, ok := s.plans.get(key, version); ok {
+			df.plan = cached
+			df.preOptimized = true
+			return df, nil
+		}
+		plan, err := planner.New(s.resolveTable, s.reg).PlanQuery(st)
+		if err != nil {
+			return nil, err
+		}
+		optimized, err := s.OptimizePlan(plan)
+		if err != nil {
+			return nil, err
+		}
+		s.plans.put(key, version, optimized)
+		df.plan = optimized
+		df.preOptimized = true
+		return df, nil
+	}
+	plan, err := planner.New(s.resolveTable, s.reg).PlanQuery(st)
+	if err != nil {
+		return nil, err
+	}
+	df.plan = plan
+	return df, nil
+}
+
+// PreparedStatement is a parsed query handle: Prepare once, execute many
+// times. Each Query() consults the session plan cache (when enabled), so
+// repeated executions skip planning and optimization, and every
+// execution lowers a fresh physical plan (cached plans are logical; see
+// planCache).
+type PreparedStatement struct {
+	session *SessionContext
+	stmt    *sql.SelectStmt
+	text    string
+}
+
+// Prepare parses a query statement for repeated execution. Only plain
+// queries can be prepared; DDL/DML execute eagerly through SQL.
+func (s *SessionContext) Prepare(query string) (*PreparedStatement, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("core: only queries can be prepared")
+	}
+	return &PreparedStatement{session: s, stmt: st, text: sql.FormatStatement(st)}, nil
+}
+
+// SQL returns the print-stable normalized statement text.
+func (ps *PreparedStatement) SQL() string { return ps.text }
+
+// Query builds a fresh lazy frame for one execution of the statement.
+func (ps *PreparedStatement) Query() (*DataFrame, error) {
+	return ps.session.selectDataFrame(ps.stmt)
+}
+
+// PlanCacheStats snapshots the session's plan-cache counters; ok is
+// false when the plan cache is disabled.
+func (s *SessionContext) PlanCacheStats() (PlanCacheStats, bool) {
+	if s.plans == nil {
+		return PlanCacheStats{}, false
+	}
+	return s.plans.Stats(), true
+}
+
 // explainResult wraps EXPLAIN output as a one-column result.
 func (s *SessionContext) explainResult(text string) (*DataFrame, error) {
 	return s.textResult("plan", strings.Split(strings.TrimRight(text, "\n"), "\n"))
@@ -419,6 +516,14 @@ func (s *SessionContext) textResult(col string, lines []string) (*DataFrame, err
 // the produced batches. The catalog version is checked at lookup time,
 // not baked into the key, so writes invalidate without growing the map.
 func (s *SessionContext) resultCacheKey(st *sql.SelectStmt) string {
+	return fmt.Sprintf("%s|%+v", sql.FormatStatement(st), s.cfg)
+}
+
+// planCacheKey identifies a query for the plan cache. The same shape as
+// resultCacheKey: session knobs are part of the key because they change
+// what the optimizer and physical planner would produce, so derived
+// sessions sharing one cache never serve each other mismatched plans.
+func (s *SessionContext) planCacheKey(st *sql.SelectStmt) string {
 	return fmt.Sprintf("%s|%+v", sql.FormatStatement(st), s.cfg)
 }
 
@@ -664,6 +769,14 @@ func (s *SessionContext) CreatePhysicalPlan(plan logical.Plan) (physical.Executi
 	if err != nil {
 		return nil, err
 	}
+	return s.lowerPlan(optimized)
+}
+
+// lowerPlan lowers an already-optimized logical plan to a fresh physical
+// plan. Lowering never mutates the logical plan and re-prepares every
+// provider scan, so one cached logical plan safely yields any number of
+// independent physical plans (plan-cache re-instantiation).
+func (s *SessionContext) lowerPlan(optimized logical.Plan) (physical.ExecutionPlan, error) {
 	cfg := &exec.PlannerConfig{
 		TargetPartitions:  s.cfg.TargetPartitions,
 		BatchRows:         s.cfg.BatchRows,
@@ -678,6 +791,15 @@ func (s *SessionContext) CreatePhysicalPlan(plan logical.Plan) (physical.Executi
 	return exec.CreatePhysicalPlan(optimized, cfg)
 }
 
+// physicalPlanFor builds the physical plan for a frame: plan-cache hits
+// carry pre-optimized plans and skip straight to lowering.
+func (s *SessionContext) physicalPlanFor(df *DataFrame) (physical.ExecutionPlan, error) {
+	if df.preOptimized {
+		return s.lowerPlan(df.plan)
+	}
+	return s.CreatePhysicalPlan(df.plan)
+}
+
 // newExecContext builds the per-query runtime (paper Sections 5.5.4, 7.4).
 func (s *SessionContext) newExecContext() (*physical.ExecContext, func()) {
 	ctx := physical.NewExecContext()
@@ -687,7 +809,13 @@ func (s *SessionContext) newExecContext() (*physical.ExecContext, func()) {
 	if s.cfg.ExchangeBufferDepth > 0 {
 		ctx.ExchangeBuffer = s.cfg.ExchangeBufferDepth
 	}
-	if s.cfg.MemoryLimit > 0 {
+	var child *memory.ChildPool
+	if s.cfg.ParentPool != nil {
+		// Server mode: every query charges the shared parent budget, with
+		// MemoryLimit (if set) as this query's individual cap.
+		child = memory.NewChildPool(s.cfg.ParentPool, "query", s.cfg.MemoryLimit)
+		ctx.Pool = child
+	} else if s.cfg.MemoryLimit > 0 {
 		if s.cfg.FairPool {
 			ctx.Pool = memory.NewFairPool(s.cfg.MemoryLimit)
 		} else {
@@ -702,6 +830,9 @@ func (s *SessionContext) newExecContext() (*physical.ExecContext, func()) {
 	cleanup := func() {
 		if dm != nil {
 			dm.Close()
+		}
+		if child != nil {
+			child.Release()
 		}
 	}
 	return ctx, cleanup

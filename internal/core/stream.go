@@ -49,7 +49,7 @@ func (df *DataFrame) Execute(ctx context.Context) (*QueryStream, error) {
 	if df.err != nil {
 		return nil, df.err
 	}
-	pp, err := df.session.CreatePhysicalPlan(df.plan)
+	pp, err := df.session.physicalPlanFor(df)
 	if err != nil {
 		return nil, err
 	}

@@ -495,8 +495,13 @@ func (e *HashAggregateExec) executeHashed(ctx *physical.ExecContext, in physical
 	m := e.Metrics()
 	// spillState writes the current state (as partial batches) to disk and
 	// resets the table.
-	spillState := func() error {
+	spillState := func(cause error) error {
 		if ctx.Disk == nil || !ctx.Disk.Enabled() {
+			// Keep the reservation failure in the chain so callers (the
+			// server's statusFor) can classify this as retryable pressure.
+			if cause != nil {
+				return fmt.Errorf("exec: aggregation exceeded memory budget and spilling is disabled: %w", cause)
+			}
 			return fmt.Errorf("exec: aggregation exceeded memory budget and spilling is disabled")
 		}
 		// Spill batches use the partial-state layout.
@@ -591,7 +596,7 @@ func (e *HashAggregateExec) executeHashed(ctx *physical.ExecContext, in physical
 						queue = batches
 						continue
 					}
-					if serr := spillState(); serr != nil {
+					if serr := spillState(err); serr != nil {
 						return nil, serr
 					}
 				}

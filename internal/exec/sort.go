@@ -171,8 +171,13 @@ func (e *ExternalSortExec) Execute(ctx *physical.ExecContext, partition int) (ph
 	}
 
 	m := e.Metrics()
-	spillRun := func() error {
+	spillRun := func(cause error) error {
 		if ctx.Disk == nil || !ctx.Disk.Enabled() {
+			// Keep the reservation failure in the chain so callers (the
+			// server's statusFor) can classify this as retryable pressure.
+			if cause != nil {
+				return fmt.Errorf("exec: sort exceeded memory budget and spilling is disabled: %w", cause)
+			}
 			return fmt.Errorf("exec: sort exceeded memory budget and spilling is disabled")
 		}
 		sorted, _, err := e.sortRun(pending, pendingKeys)
@@ -226,7 +231,7 @@ func (e *ExternalSortExec) Execute(ctx *physical.ExecContext, partition int) (ph
 				pendingKeys = append(pendingKeys, ks)
 				pendingBytes += batchBytes(b)
 				if err := res.Resize(pendingBytes); err != nil {
-					if serr := spillRun(); serr != nil {
+					if serr := spillRun(err); serr != nil {
 						return nil, serr
 					}
 				} else {
@@ -263,7 +268,7 @@ func (e *ExternalSortExec) Execute(ctx *physical.ExecContext, partition int) (ph
 			} else {
 				// Spill the final run, then merge all runs.
 				if len(pending) > 0 {
-					if err := spillRun(); err != nil {
+					if err := spillRun(nil); err != nil {
 						return nil, err
 					}
 				}

@@ -62,6 +62,11 @@ func DefaultConfigs() []EngineConfig {
 		// the baseline under the race+sanitize CI modes.
 		{"p1-nocache", core.SessionConfig{TargetPartitions: 1, DisableSharedCache: true}},
 		{"p4-rescache", core.SessionConfig{TargetPartitions: 4, EnableResultCache: true}},
+		// plancache replans nothing after the first sight of a statement:
+		// generated queries that repeat (and every re-execution inside one
+		// config run) execute from the cached optimized logical plan, so
+		// cached planning cross-checks fresh planning and the baseline.
+		{"p4-plancache", core.SessionConfig{TargetPartitions: 4, EnablePlanCache: true}},
 	}
 }
 

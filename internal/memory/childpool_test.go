@@ -1,0 +1,128 @@
+package memory
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestChildPoolChargesParent(t *testing.T) {
+	parent := NewGreedyPool(1000)
+	c1 := NewChildPool(parent, "q1", 0)
+	c2 := NewChildPool(parent, "q2", 0)
+
+	r1 := NewReservation(c1, "op1")
+	if err := r1.Grow(400); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	r2 := NewReservation(c2, "op2")
+	if err := r2.Grow(500); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if got := parent.Reserved(); got != 900 {
+		t.Fatalf("parent reserved = %d, want 900", got)
+	}
+	// The shared budget is exhausted: the second tenant's next grow fails
+	// even though its own pool has no limit.
+	var ere *ErrResourcesExhausted
+	if err := r2.Grow(200); !errors.As(err, &ere) {
+		t.Fatalf("grow past parent budget = %v, want ErrResourcesExhausted", err)
+	}
+	if got := c2.Reserved(); got != 500 {
+		t.Fatalf("failed grow must not charge child: reserved=%d", got)
+	}
+	if got := parent.Reserved(); got != 900 {
+		t.Fatalf("failed grow must not charge parent: reserved=%d", got)
+	}
+
+	// Freeing one tenant returns budget to the other.
+	r1.Free()
+	c1.Release()
+	if err := r2.Grow(200); err != nil {
+		t.Fatalf("grow after sibling release: %v", err)
+	}
+	r2.Free()
+	c2.Release()
+	if got := parent.Reserved(); got != 0 {
+		t.Fatalf("parent reserved after release = %d, want 0", got)
+	}
+	if peak := parent.ReservedPeak(); peak != 900 {
+		t.Fatalf("parent peak = %d, want 900", peak)
+	}
+}
+
+func TestChildPoolOwnLimit(t *testing.T) {
+	parent := NewGreedyPool(1 << 20)
+	c := NewChildPool(parent, "q", 100)
+	r := NewReservation(c, "op")
+	if err := r.Grow(100); err != nil {
+		t.Fatalf("grow to limit: %v", err)
+	}
+	var ere *ErrResourcesExhausted
+	if err := r.Grow(1); !errors.As(err, &ere) {
+		t.Fatalf("grow past child limit = %v, want ErrResourcesExhausted", err)
+	}
+	if ere.Limit != 100 {
+		t.Fatalf("error limit = %d, want the child cap 100", ere.Limit)
+	}
+	// A rejected child grow never reaches the parent.
+	if got := parent.Reserved(); got != 100 {
+		t.Fatalf("parent reserved = %d, want 100", got)
+	}
+	r.Free()
+	c.Release()
+	if got := c.ReservedPeak(); got != 100 {
+		t.Fatalf("child peak = %d, want 100", got)
+	}
+}
+
+func TestChildPoolConcurrent(t *testing.T) {
+	parent := NewGreedyPool(1 << 30)
+	const workers = 8
+	var wg sync.WaitGroup
+	pools := make([]*ChildPool, workers)
+	for w := 0; w < workers; w++ {
+		pools[w] = NewChildPool(parent, "q", 0)
+		wg.Add(1)
+		go func(c *ChildPool) {
+			defer wg.Done()
+			r := NewReservation(c, "op")
+			for i := 0; i < 1000; i++ {
+				if err := r.Grow(64); err != nil {
+					t.Errorf("grow: %v", err)
+					return
+				}
+				r.Shrink(32)
+			}
+			r.Free()
+		}(pools[w])
+	}
+	wg.Wait()
+	for _, c := range pools {
+		if got := c.Reserved(); got != 0 {
+			t.Fatalf("child reserved after free = %d, want 0", got)
+		}
+		c.Release()
+	}
+	if got := parent.Reserved(); got != 0 {
+		t.Fatalf("parent reserved after all releases = %d, want 0", got)
+	}
+}
+
+func TestChildPoolReleaseReturnsRemainder(t *testing.T) {
+	parent := NewGreedyPool(1000)
+	c := NewChildPool(parent, "q", 0)
+	r := NewReservation(c, "op")
+	if err := r.Grow(300); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	// Simulate an abandoned query: the operator reservation is freed by
+	// Release on the pool even without r.Free (defensive teardown).
+	c.Release()
+	if got := parent.Reserved(); got != 0 {
+		t.Fatalf("parent reserved after Release = %d, want 0", got)
+	}
+	// The deliberately-leaked operator reservation must not pollute the
+	// checked allocator's findings for later tests under -tags sanitize.
+	SanitizerReset()
+}

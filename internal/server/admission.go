@@ -1,0 +1,143 @@
+// Package server is the multi-tenant SQL service layer: an HTTP/JSON
+// front end over a shared core.SessionContext with admission control
+// (bounded concurrency + bounded wait queue + per-request deadlines), a
+// global memory budget arbitrated across in-flight queries, plan-cache
+// backed prepared statements, and a /stats endpoint reusing the EXPLAIN
+// ANALYZE metrics plumbing.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQueueFull is returned by Acquire when the wait queue is at capacity:
+// the server is overloaded and the request is shed immediately (HTTP 429).
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// ErrQueueTimeout is returned by Acquire when a queued request waited
+// longer than the queue timeout without a slot freeing up (HTTP 503).
+var ErrQueueTimeout = errors.New("server: timed out waiting for an execution slot")
+
+// Limiter is the admission controller: at most Slots queries execute at
+// once, at most MaxQueue more wait, and no request waits longer than the
+// queue timeout. Requests whose context is cancelled while queued are
+// dequeued immediately (a disconnecting client stops occupying queue
+// capacity).
+type Limiter struct {
+	slots        chan struct{}
+	maxQueue     int64
+	queueTimeout time.Duration
+
+	queued   atomic.Int64
+	inFlight atomic.Int64
+
+	admitted    atomic.Int64
+	shedFull    atomic.Int64
+	shedTimeout atomic.Int64
+	cancelled   atomic.Int64
+	peak        atomic.Int64
+}
+
+// LimiterStats is a snapshot of admission activity.
+type LimiterStats struct {
+	Slots        int   `json:"slots"`
+	MaxQueue     int   `json:"max_queue"`
+	InFlight     int64 `json:"in_flight"`
+	Queued       int64 `json:"queued"`
+	PeakInFlight int64 `json:"peak_in_flight"`
+	Admitted     int64 `json:"admitted"`
+	ShedFull     int64 `json:"shed_queue_full"`
+	ShedTimeout  int64 `json:"shed_queue_timeout"`
+	Cancelled    int64 `json:"cancelled_in_queue"`
+}
+
+// NewLimiter builds an admission controller with the given slot count,
+// queue bound, and maximum queue wait. slots and maxQueue default to 1
+// and 0 (no queue) when non-positive; a non-positive queueTimeout means
+// queued requests wait until their own context expires.
+func NewLimiter(slots, maxQueue int, queueTimeout time.Duration) *Limiter {
+	if slots <= 0 {
+		slots = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{
+		slots:        make(chan struct{}, slots),
+		maxQueue:     int64(maxQueue),
+		queueTimeout: queueTimeout,
+	}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue when all
+// slots are busy. It returns a release function (idempotent) on success,
+// ErrQueueFull or ErrQueueTimeout when the request is shed, or the
+// context error when the caller gave up while queued.
+func (l *Limiter) Acquire(ctx context.Context) (func(), error) {
+	// Fast path: a free slot admits without queueing.
+	select {
+	case l.slots <- struct{}{}:
+		return l.admit(), nil
+	default:
+	}
+
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		l.shedFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	defer l.queued.Add(-1)
+
+	var timeout <-chan time.Time
+	if l.queueTimeout > 0 {
+		t := time.NewTimer(l.queueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return l.admit(), nil
+	case <-timeout:
+		l.shedTimeout.Add(1)
+		return nil, ErrQueueTimeout
+	case <-ctx.Done():
+		l.cancelled.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+func (l *Limiter) admit() func() {
+	l.admitted.Add(1)
+	n := l.inFlight.Add(1)
+	for {
+		p := l.peak.Load()
+		if n <= p || l.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	var released atomic.Bool
+	return func() {
+		if released.CompareAndSwap(false, true) {
+			l.inFlight.Add(-1)
+			<-l.slots
+		}
+	}
+}
+
+// Stats snapshots the limiter counters.
+func (l *Limiter) Stats() LimiterStats {
+	return LimiterStats{
+		Slots:        cap(l.slots),
+		MaxQueue:     int(l.maxQueue),
+		InFlight:     l.inFlight.Load(),
+		Queued:       l.queued.Load(),
+		PeakInFlight: l.peak.Load(),
+		Admitted:     l.admitted.Load(),
+		ShedFull:     l.shedFull.Load(),
+		ShedTimeout:  l.shedTimeout.Load(),
+		Cancelled:    l.cancelled.Load(),
+	}
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gofusion/internal/memory"
+)
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLimiterQueueFullSheds(t *testing.T) {
+	l := NewLimiter(1, 1, 0)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One request may queue; it parks because the slot is busy.
+	queuedDone := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(context.Background())
+		if err == nil {
+			defer r()
+		}
+		queuedDone <- err
+	}()
+	waitFor(t, "request to queue", func() bool { return l.Stats().Queued == 1 })
+
+	// The queue is at capacity: the next request sheds immediately with
+	// the documented sentinel (the HTTP layer maps it to 429).
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("acquire on full queue = %v, want ErrQueueFull", err)
+	}
+	if st := l.Stats(); st.ShedFull != 1 {
+		t.Fatalf("stats = %+v, want shed_queue_full 1", st)
+	}
+
+	release()
+	if err := <-queuedDone; err != nil {
+		t.Fatalf("queued request should admit after release: %v", err)
+	}
+	if st := l.Stats(); st.Admitted != 2 || st.Queued != 0 {
+		t.Fatalf("final stats = %+v, want 2 admitted 0 queued", st)
+	}
+}
+
+func TestLimiterQueueTimeout(t *testing.T) {
+	l := NewLimiter(1, 4, 10*time.Millisecond)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("acquire = %v, want ErrQueueTimeout", err)
+	}
+	if st := l.Stats(); st.ShedTimeout != 1 {
+		t.Fatalf("stats = %+v, want shed_queue_timeout 1", st)
+	}
+}
+
+func TestLimiterCancelDequeues(t *testing.T) {
+	l := NewLimiter(1, 4, 0)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// A queued request whose client disconnects must leave the queue
+	// immediately instead of occupying capacity until a slot frees.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx)
+		done <- err
+	}()
+	waitFor(t, "request to queue", func() bool { return l.Stats().Queued == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	if st := l.Stats(); st.Cancelled != 1 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want 1 cancelled 0 queued", st)
+	}
+}
+
+// TestLimiterFairnessPin is the deterministic fairness invariant: with K
+// slots and 2K concurrent requests (queue sized to hold the overflow),
+// observed concurrency never exceeds K and every request completes.
+func TestLimiterFairnessPin(t *testing.T) {
+	const k = 4
+	l := NewLimiter(k, 2*k, 0)
+	var inFlight, peak, completed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 2*k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond) // hold the slot long enough to overlap
+			inFlight.Add(-1)
+			completed.Add(1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > k {
+		t.Fatalf("observed concurrency %d exceeds %d slots", got, k)
+	}
+	if got := completed.Load(); got != 2*k {
+		t.Fatalf("completed %d of %d requests", got, 2*k)
+	}
+	st := l.Stats()
+	if st.Admitted != 2*k || st.PeakInFlight > k || st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want %d admitted, peak <= %d, all drained", st, 2*k, k)
+	}
+}
+
+func TestLimiterReleaseIdempotent(t *testing.T) {
+	l := NewLimiter(1, 0, 0)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // second call must not free a slot twice
+	if _, err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("reacquire after release: %v", err)
+	}
+	if st := l.Stats(); st.InFlight != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 in flight", st)
+	}
+}
+
+func TestStatusForMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{ErrQueueFull, 429},
+		{ErrQueueTimeout, 503},
+		{fmt.Errorf("executing: %w", &memory.ErrResourcesExhausted{Consumer: "sort", Requested: 1, Limit: 1}), 503},
+		{context.DeadlineExceeded, 504},
+		{context.Canceled, 499},
+		{errors.New("sql: syntax error"), 400},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err); got != c.want {
+			t.Errorf("statusFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

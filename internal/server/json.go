@@ -1,0 +1,97 @@
+package server
+
+import (
+	"gofusion/internal/arrow"
+)
+
+// queryRequest is the POST /query body. Exactly one of SQL or Prepared
+// must be set; Session scopes prepared-statement handles and per-session
+// metrics (empty means the shared anonymous session).
+type queryRequest struct {
+	SQL       string `json:"sql,omitempty"`
+	Prepared  string `json:"prepared,omitempty"`
+	Session   string `json:"session,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// queryResponse carries one query's result rows with enough type
+// information for a client to decode cells losslessly (the load harness
+// rebuilds arrow scalars from Types for differential comparison).
+type queryResponse struct {
+	Columns   []string `json:"columns,omitempty"`
+	Types     []string `json:"types,omitempty"`
+	Rows      [][]any  `json:"rows,omitempty"`
+	RowCount  int64    `json:"row_count"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+	PlanHit   bool     `json:"plan_cache_hit,omitempty"`
+	ResultHit bool     `json:"result_cache_hit,omitempty"`
+}
+
+// prepareRequest is the POST /prepare body.
+type prepareRequest struct {
+	SQL     string `json:"sql"`
+	Session string `json:"session,omitempty"`
+}
+
+// prepareResponse returns the handle to pass as queryRequest.Prepared.
+type prepareResponse struct {
+	Handle  string `json:"handle"`
+	SQL     string `json:"sql"`
+	Session string `json:"session,omitempty"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// EncodeSchema renders column names and arrow type names for a response
+// header.
+func EncodeSchema(s *arrow.Schema) (cols, types []string) {
+	cols = make([]string, s.NumFields())
+	types = make([]string, s.NumFields())
+	for i, f := range s.Fields() {
+		cols[i] = f.Name
+		types[i] = f.Type.String()
+	}
+	return cols, types
+}
+
+// EncodeRows flattens batches into JSON-encodable row slices. Cells map
+// by physical representation: integers (including dates and timestamps)
+// to int64, floats and decimals to float64, strings/binary to string,
+// booleans to bool, nulls to nil; anything else falls back to the
+// scalar's debug rendering.
+func EncodeRows(batches []*arrow.RecordBatch) [][]any {
+	var rows [][]any
+	for _, b := range batches {
+		for r := 0; r < b.NumRows(); r++ {
+			row := make([]any, b.NumCols())
+			for c := 0; c < b.NumCols(); c++ {
+				row[c] = cellValue(b.Column(c).GetScalar(r))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func cellValue(sc arrow.Scalar) any {
+	if sc.Null {
+		return nil
+	}
+	switch sc.Type.ID {
+	case arrow.BOOL:
+		return sc.AsBool()
+	case arrow.FLOAT32, arrow.FLOAT64, arrow.DECIMAL:
+		return sc.AsFloat64()
+	case arrow.STRING, arrow.BINARY:
+		return sc.AsString()
+	case arrow.INT8, arrow.INT16, arrow.INT32, arrow.INT64,
+		arrow.UINT8, arrow.UINT16, arrow.UINT32, arrow.UINT64,
+		arrow.DATE32, arrow.TIMESTAMP:
+		return sc.AsInt64()
+	default:
+		return sc.String()
+	}
+}

@@ -1,0 +1,28 @@
+//go:build sanitize
+
+package server
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"gofusion/internal/memory"
+)
+
+// TestMain (sanitize builds only) fails the package when the checked
+// allocator recorded any double releases, canary overwrites, or leaked
+// reservations/spill files after the server suite — including the
+// concurrency soak — ran.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if fs := memory.SanitizerFindings(); len(fs) > 0 {
+		for _, f := range fs {
+			fmt.Fprintln(os.Stderr, "sanitizer:", f)
+		}
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

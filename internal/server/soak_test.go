@@ -1,0 +1,171 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gofusion/internal/fuzzsql"
+	"gofusion/internal/testutil"
+)
+
+// TestServerConcurrencySoak hammers one server with mixed read, ingest,
+// and client-cancel traffic across several phases and pins the resource
+// invariants the service layer promises: no goroutine leaks, the shared
+// parent pool drains to zero, its peak stays flat across phases (steady
+// state, not monotone growth), and no spill files survive. Under the
+// sanitize build tag the package TestMain additionally fails the run on
+// any leaked reservation or spill file recorded by the checked
+// allocator.
+func TestServerConcurrencySoak(t *testing.T) {
+	defer testutil.CheckNoGoroutineLeak(t)()
+
+	clients, requests, phases := 8, 30, 3
+	if testing.Short() {
+		clients, requests = 4, 10
+	}
+
+	spillDir := t.TempDir()
+	cfg := Config{
+		MemoryBudget:     64 << 20,
+		QueryMemoryLimit: 16 << 20,
+		Slots:            4,
+		MaxQueue:         4 * clients * phases, // ample: admission never sheds
+	}
+	cfg.Session.EnablePlanCache = true
+	cfg.Session.SpillDir = spillDir
+	srv := New(cfg)
+	defer srv.Close()
+	ds := fuzzsql.NewDataset(7)
+	for _, tbl := range ds.Tables {
+		if err := srv.Session().RegisterBatches(tbl.Name, tbl.Schema, tbl.Batches); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	hc := hs.Client()
+	defer hc.CloseIdleConnections()
+
+	post := func(body map[string]any) (int, map[string]any) {
+		resp, out := postJSON(t, hs.URL+"/query", body)
+		return resp.StatusCode, out
+	}
+
+	// Seed the ingest target and learn the per-insert row count so the
+	// final count is checkable despite concurrency.
+	if code, out := post(map[string]any{"sql": "CREATE TABLE soak AS SELECT a, b FROM t1"}); code != http.StatusOK {
+		t.Fatalf("seeding soak table: %d %v", code, out)
+	}
+	_, out := post(map[string]any{"sql": "SELECT count(*) FROM t1 WHERE a > 5"})
+	perInsert := int64(out["rows"].([]any)[0].([]any)[0].(float64))
+	_, out = post(map[string]any{"sql": "SELECT count(*) FROM soak"})
+	baseRows := int64(out["rows"].([]any)[0].([]any)[0].(float64))
+
+	reads := []string{
+		"SELECT s, count(*) AS n, sum(a) AS sa FROM t1 GROUP BY s ORDER BY n DESC, s",
+		"SELECT a, b, c FROM t1 WHERE a > 3 ORDER BY c DESC, a LIMIT 20",
+		"SELECT t1.a, t2.x, t2.y FROM t1 JOIN t2 ON t1.a = t2.x ORDER BY t1.a, t2.y LIMIT 50",
+		"SELECT count(*) FROM t1 WHERE b < 100",
+		"SELECT d, avg(c) AS m FROM t1 GROUP BY d ORDER BY d LIMIT 10",
+	}
+
+	var inserts, cancels, failures atomic.Int64
+	runPhase := func(phase int) {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(phase*1000 + c)))
+				session := fmt.Sprintf("tenant-%d", c)
+				for n := 0; n < requests; n++ {
+					switch {
+					case n%5 == 4: // ingest
+						code, out := post(map[string]any{
+							"sql": "INSERT INTO soak SELECT a, b FROM t1 WHERE a > 5", "session": session})
+						if code != http.StatusOK {
+							failures.Add(1)
+							t.Errorf("insert failed: %d %v", code, out)
+							continue
+						}
+						inserts.Add(1)
+					case n%7 == 6: // client-side cancel via a 1ms deadline
+						code, out := post(map[string]any{
+							"sql": reads[rng.Intn(len(reads))], "session": session, "timeout_ms": 1})
+						switch code {
+						case http.StatusGatewayTimeout, http.StatusServiceUnavailable:
+							cancels.Add(1)
+						case http.StatusOK: // won the race; fine
+						default:
+							failures.Add(1)
+							t.Errorf("cancel probe: unexpected %d %v", code, out)
+						}
+					default: // read
+						code, out := post(map[string]any{
+							"sql": reads[rng.Intn(len(reads))], "session": session})
+						if code != http.StatusOK {
+							failures.Add(1)
+							t.Errorf("read failed: %d %v", code, out)
+						}
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+
+	peaks := make([]int64, phases)
+	for p := 0; p < phases; p++ {
+		runPhase(p)
+		if got := srv.ParentPool().Reserved(); got != 0 {
+			t.Fatalf("phase %d: parent pool reserved = %d, want 0 between phases", p, got)
+		}
+		peaks[p] = srv.ParentPool().ReservedPeak()
+	}
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d unexpected request failures", failures.Load())
+	}
+	if peaks[phases-1] > cfg.MemoryBudget {
+		t.Fatalf("parent pool peak %d exceeded budget %d", peaks[phases-1], cfg.MemoryBudget)
+	}
+	// Steady state: once warmed up in phase 0, later phases must not grow
+	// the high-water mark by more than one query's worth of memory.
+	if growth := peaks[phases-1] - peaks[0]; growth > cfg.QueryMemoryLimit {
+		t.Fatalf("parent pool peak grew %d bytes across phases (peaks %v), want <= one query limit %d",
+			growth, peaks, cfg.QueryMemoryLimit)
+	}
+
+	// Every admitted insert landed exactly once.
+	_, out = post(map[string]any{"sql": "SELECT count(*) FROM soak"})
+	finalRows := int64(out["rows"].([]any)[0].([]any)[0].(float64))
+	if want := baseRows + inserts.Load()*perInsert; finalRows != want {
+		t.Fatalf("soak table has %d rows, want %d (%d inserts x %d rows)",
+			finalRows, want, inserts.Load(), perInsert)
+	}
+
+	// No spill file outlived its query.
+	entries, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("surviving spill file: %s", filepath.Join(spillDir, e.Name()))
+	}
+
+	st := srv.Limiter().Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("limiter not drained: %+v", st)
+	}
+	if st.PeakInFlight > int64(cfg.Slots) {
+		t.Fatalf("peak in-flight %d exceeded %d slots", st.PeakInFlight, cfg.Slots)
+	}
+	t.Logf("soak: %d inserts, %d cancels, peaks %v", inserts.Load(), cancels.Load(), peaks)
+}

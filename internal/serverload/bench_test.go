@@ -1,0 +1,58 @@
+package serverload
+
+import (
+	"fmt"
+	"testing"
+
+	"gofusion/internal/server"
+)
+
+// BenchmarkServerLoad measures end-to-end service throughput and tail
+// latency for the mixed workload at 1/4/8 concurrent clients, with the
+// plan cache off and on. Each op is one HTTP request (per-op time is the
+// wall clock of the whole run divided by requests). qps, p50_ms, and
+// p99_ms ride as custom metrics; BENCH_server.json records the
+// trajectory.
+func BenchmarkServerLoad(b *testing.B) {
+	const seed = 42
+	w, err := NewWorkload(seed, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, clients := range []int{1, 4, 8} {
+		for _, planCache := range []bool{false, true} {
+			name := fmt.Sprintf("clients=%d/plancache=%v", clients, planCache)
+			b.Run(name, func(b *testing.B) {
+				cfg := server.Config{Slots: 8, MaxQueue: 4096}
+				cfg.Session.EnablePlanCache = planCache
+				srv, hs := newLoadServer(b, w, cfg)
+				defer srv.Close()
+				defer hs.Close()
+				hc := hs.Client()
+				defer hc.CloseIdleConnections()
+
+				perClient := b.N / clients
+				if perClient == 0 {
+					perClient = 1
+				}
+				b.ResetTimer()
+				res := Run(hs.URL, hc, w, Options{
+					Clients:           clients,
+					RequestsPerClient: perClient,
+					Seed:              seed,
+					PreparedEvery:     4,
+				})
+				b.StopTimer()
+				if len(res.Failures) > 0 {
+					b.Fatalf("%d failures, first: %s", len(res.Failures), res.Failures[0])
+				}
+				if res.Shed != 0 {
+					b.Fatalf("%d sheds with an ample queue", res.Shed)
+				}
+				b.ReportMetric(res.Throughput(), "qps")
+				b.ReportMetric(float64(res.LatencyPercentile(0.50).Microseconds())/1e3, "p50_ms")
+				b.ReportMetric(float64(res.LatencyPercentile(0.99).Microseconds())/1e3, "p99_ms")
+			})
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package serverload is the load-test harness for the multi-tenant SQL
+// service (internal/server): a seeded, deterministic N-client generator
+// of mixed TPC-H / ClickBench / fuzzsql traffic that doubles as a
+// differential oracle — every result returned under concurrency is
+// cross-checked against a serial baseline session running the same
+// engine — while recording a throughput and latency (p50/p99)
+// trajectory for BENCH_server.json.
+package serverload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"gofusion/internal/server"
+)
+
+// QueryResult mirrors the server's /query response body. Row cells are
+// decoded with json.Number so integer columns survive the round trip
+// losslessly (a plain decode would flatten every number to float64).
+type QueryResult struct {
+	Columns   []string `json:"columns"`
+	Types     []string `json:"types"`
+	Rows      [][]any  `json:"rows"`
+	RowCount  int64    `json:"row_count"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+	PlanHit   bool     `json:"plan_cache_hit"`
+	ResultHit bool     `json:"result_cache_hit"`
+}
+
+// QueryError is a non-2xx reply: the HTTP status plus the server's error
+// message. Shed statuses (429/503) and query failures (400) both land
+// here; the runner tells them apart by Status.
+type QueryError struct {
+	Status  int
+	Message string
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.Status, e.Message)
+}
+
+// Client speaks the server's JSON protocol.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+	// Session scopes prepared handles and per-session stats server-side.
+	Session string
+}
+
+// NewClient returns a client for the server at baseURL using the given
+// HTTP client (http.DefaultClient when nil).
+func NewClient(baseURL string, hc *http.Client, session string) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{BaseURL: baseURL, HTTP: hc, Session: session}
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(raw, &e)
+		return &QueryError{Status: resp.StatusCode, Message: e.Error}
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	return dec.Decode(out)
+}
+
+// Query runs one SQL statement.
+func (c *Client) Query(ctx context.Context, sql string) (*QueryResult, error) {
+	var out QueryResult
+	req := map[string]any{"sql": sql, "session": c.Session}
+	if err := c.post(ctx, "/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryPrepared executes a prepared-statement handle.
+func (c *Client) QueryPrepared(ctx context.Context, handle string) (*QueryResult, error) {
+	var out QueryResult
+	req := map[string]any{"prepared": handle, "session": c.Session}
+	if err := c.post(ctx, "/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Prepare registers a prepared statement and returns its handle.
+func (c *Client) Prepare(ctx context.Context, sql string) (string, error) {
+	var out struct {
+		Handle string `json:"handle"`
+	}
+	req := map[string]any{"sql": sql, "session": c.Session}
+	if err := c.post(ctx, "/prepare", req, &out); err != nil {
+		return "", err
+	}
+	return out.Handle, nil
+}
+
+// Stats scrapes GET /stats.
+func (c *Client) Stats(ctx context.Context) (*server.Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats: http %d", resp.StatusCode)
+	}
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

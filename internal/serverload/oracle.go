@@ -1,0 +1,229 @@
+package serverload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gofusion/internal/core"
+	"gofusion/internal/server"
+	"gofusion/internal/testutil"
+)
+
+// Oracle is the differential baseline: a single serial engine session
+// (no plan cache, no result cache, no admission) that executes each
+// distinct query once, memoizes the canonical result, and compares every
+// concurrent server response against it. Comparison uses the repo's
+// canonical normalization: order-insensitive rows, NULL == NULL, floats
+// under the testutil abs/rel/ULP tolerance (absorbing summation-order
+// differences between concurrent and serial execution).
+type Oracle struct {
+	mu   sync.Mutex
+	s    *core.SessionContext
+	memo map[string]*refResult
+}
+
+type refResult struct {
+	types []string
+	rows  []canonRow
+	err   error
+}
+
+// cell is one canonicalized result cell, shared between the JSON wire
+// representation and the baseline's arrow batches.
+type cell struct {
+	null    bool
+	isFloat bool
+	f       float64
+	s       string
+}
+
+type canonRow struct {
+	key   string
+	cells []cell
+}
+
+// NewOracle builds the serial baseline session and registers the
+// workload's datasets into it.
+func NewOracle(w *Workload, partitions int) (*Oracle, error) {
+	cfg := core.DefaultConfig()
+	cfg.TargetPartitions = partitions
+	s := core.NewSession(cfg)
+	if err := w.Register(s); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return &Oracle{s: s, memo: map[string]*refResult{}}, nil
+}
+
+// Close releases the baseline session.
+func (o *Oracle) Close() { o.s.Close() }
+
+// ref returns the memoized serial result for sql, executing it on first
+// use. Serial by construction: the whole oracle runs under one mutex.
+func (o *Oracle) ref(sql string) *refResult {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if r, ok := o.memo[sql]; ok {
+		return r
+	}
+	r := &refResult{}
+	df, err := o.s.SQL(sql)
+	if err != nil {
+		r.err = err
+		o.memo[sql] = r
+		return r
+	}
+	batches, err := df.Collect()
+	if err != nil {
+		r.err = err
+		o.memo[sql] = r
+		return r
+	}
+	if len(batches) > 0 {
+		_, r.types = server.EncodeSchema(batches[0].Schema())
+	}
+	r.rows = canonRowsFromValues(server.EncodeRows(batches), floatCols(r.types))
+	o.memo[sql] = r
+	return r
+}
+
+// Check compares a successful server response against the serial
+// baseline, returning a descriptive divergence error or nil.
+func (o *Oracle) Check(sql string, res *QueryResult) error {
+	ref := o.ref(sql)
+	if ref.err != nil {
+		return fmt.Errorf("server succeeded but serial baseline failed (%v) for: %s", ref.err, sql)
+	}
+	if int64(len(ref.rows)) != res.RowCount || len(ref.rows) != len(res.Rows) {
+		return fmt.Errorf("row count divergence: server=%d baseline=%d for: %s",
+			len(res.Rows), len(ref.rows), sql)
+	}
+	if len(ref.rows) == 0 {
+		return nil
+	}
+	if len(res.Types) != len(ref.types) {
+		return fmt.Errorf("schema divergence: server types %v, baseline %v for: %s", res.Types, ref.types, sql)
+	}
+	got := canonRowsFromValues(res.Rows, floatCols(res.Types))
+	for i := range got {
+		if err := rowsEqual(got[i], ref.rows[i]); err != nil {
+			return fmt.Errorf("row %d: %v for: %s", i, err, sql)
+		}
+	}
+	return nil
+}
+
+// CheckError verifies error parity: the server rejected the query (HTTP
+// 400), so the serial baseline must reject it too. Shed statuses are the
+// caller's business, not the oracle's.
+func (o *Oracle) CheckError(sql string) error {
+	if ref := o.ref(sql); ref.err == nil {
+		return fmt.Errorf("server failed but serial baseline succeeded for: %s", sql)
+	}
+	return nil
+}
+
+func rowsEqual(a, b canonRow) error {
+	if len(a.cells) != len(b.cells) {
+		return fmt.Errorf("cell count %d vs %d", len(a.cells), len(b.cells))
+	}
+	for c := range a.cells {
+		x, y := a.cells[c], b.cells[c]
+		switch {
+		case x.null != y.null:
+			return fmt.Errorf("col %d: NULL divergence (%v vs %v)", c, x, y)
+		case x.null:
+		case x.isFloat:
+			if !testutil.FloatsEqual(x.f, y.f) {
+				return fmt.Errorf("col %d: %v vs %v", c, x.f, y.f)
+			}
+		case x.s != y.s:
+			return fmt.Errorf("col %d: %q vs %q", c, x.s, y.s)
+		}
+	}
+	return nil
+}
+
+// floatCols classifies wire types whose cells ride as float64 (floats
+// and decimals; see server.EncodeRows).
+func floatCols(types []string) []bool {
+	out := make([]bool, len(types))
+	for i, t := range types {
+		out[i] = strings.HasPrefix(t, "Float") || strings.HasPrefix(t, "Decimal")
+	}
+	return out
+}
+
+// canonRowsFromValues canonicalizes and sorts rows from either side of
+// the wire: server rows decode to json.Number / string / bool / nil,
+// baseline rows encode to int64 / float64 / string / bool / nil. One
+// canonicalizer covers both, so comparisons never depend on which side a
+// value came from.
+func canonRowsFromValues(rows [][]any, isFloat []bool) []canonRow {
+	out := make([]canonRow, len(rows))
+	for i, r := range rows {
+		cells := make([]cell, len(r))
+		var key strings.Builder
+		for c, v := range r {
+			fl := c < len(isFloat) && isFloat[c]
+			cells[c] = canonCell(v, fl)
+			key.WriteString(cellKey(cells[c]))
+			key.WriteByte('|')
+		}
+		out[i] = canonRow{key: key.String(), cells: cells}
+	}
+	sortCanon(out)
+	return out
+}
+
+func canonCell(v any, isFloat bool) cell {
+	switch x := v.(type) {
+	case nil:
+		return cell{null: true}
+	case bool:
+		return cell{s: strconv.FormatBool(x)}
+	case string:
+		return cell{s: x}
+	case int64:
+		return cell{s: strconv.FormatInt(x, 10)}
+	case float64:
+		return cell{isFloat: true, f: x}
+	case json.Number:
+		if isFloat {
+			f, err := x.Float64()
+			if err != nil {
+				return cell{s: x.String()}
+			}
+			return cell{isFloat: true, f: f}
+		}
+		return cell{s: x.String()}
+	default:
+		return cell{s: fmt.Sprint(x)}
+	}
+}
+
+// cellKey mirrors testutil's canonical sort key: floats rounded to six
+// significant decimals so summation-order jitter does not reorder rows;
+// the cell-level comparison is tolerance-aware regardless.
+func cellKey(c cell) string {
+	switch {
+	case c.null:
+		return "NULL"
+	case c.isFloat:
+		if math.IsNaN(c.f) {
+			return "NaN"
+		}
+		return strconv.FormatFloat(c.f, 'e', 6, 64)
+	default:
+		return c.s
+	}
+}
+
+func sortCanon(rows []canonRow) {
+	sort.Slice(rows, func(a, b int) bool { return rows[a].key < rows[b].key })
+}

@@ -1,0 +1,183 @@
+package serverload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options tunes one load run.
+type Options struct {
+	// Clients is the number of concurrent client goroutines.
+	Clients int
+	// RequestsPerClient is each client's request count.
+	RequestsPerClient int
+	// Seed derives every client's deterministic query sequence (client i
+	// uses Seed*1000+i), so a failing run replays exactly.
+	Seed int64
+	// PreparedEvery routes every Nth request of a client through a
+	// prepared-statement handle (0 disables prepared traffic).
+	PreparedEvery int
+	// Oracle, when set, cross-checks every successful response (and the
+	// error parity of every 400) against the serial baseline.
+	Oracle *Oracle
+}
+
+// Result aggregates one load run.
+type Result struct {
+	Requests    int64
+	Succeeded   int64
+	QueryErrors int64 // HTTP 400 with verified baseline parity
+	Shed        int64 // HTTP 429/503/504: admission or deadline shedding
+	Failures    []string
+	Divergences []string
+	PlanHits    int64
+	ResultHits  int64
+	Elapsed     time.Duration
+
+	latencies []time.Duration // successful requests only
+}
+
+// Throughput returns successful queries per second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Succeeded) / r.Elapsed.Seconds()
+}
+
+// LatencyPercentile returns the p-quantile (0 < p <= 1) of successful
+// request latencies, 0 when none succeeded.
+func (r *Result) LatencyPercentile(p float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(r.latencies))
+	copy(sorted, r.latencies)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Run drives Clients concurrent clients of mixed traffic against the
+// server at baseURL and aggregates outcomes. Divergences and unexpected
+// transport failures are collected, not fatal: the caller (test or
+// benchmark) decides what is acceptable.
+func Run(baseURL string, hc *http.Client, w *Workload, opt Options) *Result {
+	if opt.Clients <= 0 {
+		opt.Clients = 1
+	}
+	if opt.RequestsPerClient <= 0 {
+		opt.RequestsPerClient = 1
+	}
+	res := &Result{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < opt.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed*1000 + int64(id)))
+			c := NewClient(baseURL, hc, fmt.Sprintf("client-%d", id))
+			ctx := context.Background()
+
+			// Prepared traffic: each client pins one deterministic query
+			// as a handle and replays it every PreparedEvery-th request.
+			var handle, handleSQL string
+			if opt.PreparedEvery > 0 {
+				handleSQL = w.Pick(rng)
+				h, err := c.Prepare(ctx, handleSQL)
+				if err == nil {
+					handle = h
+				}
+			}
+
+			local := struct {
+				lat         []time.Duration
+				failures    []string
+				divergences []string
+				succeeded   int64
+				queryErrs   int64
+				shed        int64
+				planHits    int64
+				resultHits  int64
+			}{}
+			for n := 0; n < opt.RequestsPerClient; n++ {
+				sql := w.Pick(rng)
+				usePrepared := handle != "" && opt.PreparedEvery > 0 && n%opt.PreparedEvery == 0
+				if usePrepared {
+					sql = handleSQL
+				}
+				t0 := time.Now()
+				var qr *QueryResult
+				var err error
+				if usePrepared {
+					qr, err = c.QueryPrepared(ctx, handle)
+				} else {
+					qr, err = c.Query(ctx, sql)
+				}
+				lat := time.Since(t0)
+				if err != nil {
+					var qe *QueryError
+					if errors.As(err, &qe) {
+						switch qe.Status {
+						case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+							local.shed++
+						case http.StatusBadRequest:
+							local.queryErrs++
+							if opt.Oracle != nil {
+								if derr := opt.Oracle.CheckError(sql); derr != nil {
+									local.divergences = append(local.divergences, derr.Error())
+								}
+							}
+						default:
+							local.failures = append(local.failures, err.Error())
+						}
+					} else {
+						local.failures = append(local.failures, err.Error())
+					}
+					continue
+				}
+				local.succeeded++
+				local.lat = append(local.lat, lat)
+				if qr.PlanHit {
+					local.planHits++
+				}
+				if qr.ResultHit {
+					local.resultHits++
+				}
+				if opt.Oracle != nil {
+					if derr := opt.Oracle.Check(sql, qr); derr != nil {
+						local.divergences = append(local.divergences, derr.Error())
+					}
+				}
+			}
+			mu.Lock()
+			res.latencies = append(res.latencies, local.lat...)
+			res.Failures = append(res.Failures, local.failures...)
+			res.Divergences = append(res.Divergences, local.divergences...)
+			res.Succeeded += local.succeeded
+			res.QueryErrors += local.queryErrs
+			res.Shed += local.shed
+			res.PlanHits += local.planHits
+			res.ResultHits += local.resultHits
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Requests = int64(opt.Clients) * int64(opt.RequestsPerClient)
+	return res
+}

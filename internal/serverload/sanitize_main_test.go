@@ -1,0 +1,27 @@
+//go:build sanitize
+
+package serverload
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"gofusion/internal/memory"
+)
+
+// TestMain (sanitize builds only) fails the package when the checked
+// allocator recorded any double releases, canary overwrites, or leaked
+// reservations/spill files after the load harness ran.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if fs := memory.SanitizerFindings(); len(fs) > 0 {
+		for _, f := range fs {
+			fmt.Fprintln(os.Stderr, "sanitizer:", f)
+		}
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,71 @@
+package tpch_test
+
+import (
+	"testing"
+
+	"gofusion/internal/arrow"
+	"gofusion/internal/core"
+	"gofusion/internal/testutil"
+	"gofusion/internal/workload/tpch"
+)
+
+// TestTPCHPlanCacheDifferential pins the plan cache's core contract on
+// all 22 TPC-H queries: executing from a cached optimized logical plan
+// is indistinguishable from planning fresh. Pass 1 on the caching
+// session populates the cache (22 misses), pass 2 replans nothing (22
+// hits), and both passes must match a cache-free session query by
+// query.
+func TestTPCHPlanCacheDifferential(t *testing.T) {
+	const sf = 0.005
+	fresh := core.NewSession(core.SessionConfig{TargetPartitions: 4})
+	defer fresh.Close()
+	cached := core.NewSession(core.SessionConfig{TargetPartitions: 4, EnablePlanCache: true})
+	defer cached.Close()
+	if err := tpch.RegisterInMemory(fresh, sf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tpch.RegisterInMemory(cached, sf); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(s *core.SessionContext, n int, q string) *arrow.RecordBatch {
+		t.Helper()
+		df, err := s.SQL(q)
+		if err != nil {
+			t.Fatalf("Q%d plan: %v", n, err)
+		}
+		b, err := df.CollectBatch()
+		if err != nil {
+			t.Fatalf("Q%d exec: %v", n, err)
+		}
+		return b
+	}
+
+	for pass := 1; pass <= 2; pass++ {
+		for n := 1; n <= 22; n++ {
+			q, err := tpch.Query(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := run(fresh, n, q)
+			got := run(cached, n, q)
+			if diff := testutil.DiffBatches(got, want); diff != "" {
+				t.Fatalf("Q%d pass %d: cached plan diverges from fresh plan:\n%s", n, pass, diff)
+			}
+		}
+		pcs, ok := cached.PlanCacheStats()
+		if !ok {
+			t.Fatal("plan cache not enabled on caching session")
+		}
+		switch pass {
+		case 1:
+			if pcs.Hits != 0 || pcs.Misses != 22 {
+				t.Fatalf("cold pass stats = %+v, want 22 misses 0 hits", pcs)
+			}
+		case 2:
+			if pcs.Hits != 22 || pcs.Misses != 22 {
+				t.Fatalf("warm pass stats = %+v, want every query served from cache", pcs)
+			}
+		}
+	}
+}
