@@ -1,7 +1,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: build test lint fuzz-smoke stream-smoke server-smoke sanitize bench bench-cache bench-server clean
+.PHONY: build test lint lint-self fuzz-smoke stream-smoke server-smoke sanitize bench bench-cache bench-server clean
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,20 @@ test:
 # lint builds the engine-invariant analyzer suite (internal/analysis) and
 # runs it over the whole module through the standard vet driver, then
 # checks formatting. The analyzers: streamclose, atomicfield,
-# unsafealias, goroutinedrain, eofconvention.
+# unsafealias, goroutinedrain, eofconvention, scanlimit, and the
+# interprocedural dataflow checks lockorder, resbalance, ctxflow (over
+# the shared CFG/summary IR in internal/analysis/cfg and flow), plus the
+# nolintaudit suppression audit.
 lint:
 	$(GO) build -o $(BIN)/gofusionlint ./cmd/gofusionlint
 	$(GO) vet -vettool=$(BIN)/gofusionlint ./...
 	@out="$$(gofmt -l ./cmd ./internal)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# lint-self tests the analyzers themselves: CFG golden dumps and the
+# randomized structural self-check, the fixpoint driver, and every
+# analyzer's analysistest golden suite, under the race detector.
+lint-self:
+	$(GO) test -race ./internal/analysis/...
 
 # sanitize reruns the memory-layer unit tests and the differential SQL
 # fuzzer with the checked allocator (canaries, double-release and leak

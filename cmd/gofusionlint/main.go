@@ -24,12 +24,17 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"gofusion/internal/analysis"
 	"gofusion/internal/analysis/atomicfield"
+	"gofusion/internal/analysis/ctxflow"
 	"gofusion/internal/analysis/eofconvention"
 	"gofusion/internal/analysis/goroutinedrain"
 	"gofusion/internal/analysis/load"
+	"gofusion/internal/analysis/lockorder"
+	"gofusion/internal/analysis/nolintaudit"
+	"gofusion/internal/analysis/resbalance"
 	"gofusion/internal/analysis/scanlimit"
 	"gofusion/internal/analysis/streamclose"
 	"gofusion/internal/analysis/unsafealias"
@@ -42,6 +47,10 @@ var suite = []*analysis.Analyzer{
 	goroutinedrain.Analyzer,
 	eofconvention.Analyzer,
 	scanlimit.Analyzer,
+	lockorder.Analyzer,
+	resbalance.Analyzer,
+	ctxflow.Analyzer,
+	nolintaudit.Analyzer,
 }
 
 // vetConfig mirrors the JSON the go command writes for -vettool
@@ -76,6 +85,7 @@ func main() {
 	}
 	versionFlag := flag.String("V", "", "print version and exit (-V=full for a build-cache stamp)")
 	flagsFlag := flag.Bool("flags", false, "print the tool's flags as JSON and exit")
+	flag.BoolVar(&debug, "debug", false, "print per-analyzer wall time to stderr")
 	flag.Parse()
 
 	if *versionFlag != "" {
@@ -115,7 +125,7 @@ func printFlags() {
 	}
 	var out []jsonFlag
 	flag.VisitAll(func(f *flag.Flag) {
-		if f.Name == "V" || f.Name == "flags" {
+		if f.Name == "V" || f.Name == "flags" || f.Name == "debug" {
 			return
 		}
 		out = append(out, jsonFlag{Name: f.Name, Bool: true, Usage: f.Usage})
@@ -210,8 +220,16 @@ func runStandalone(active []*analysis.Analyzer, patterns []string) int {
 	return exit
 }
 
+// debug enables the per-analyzer wall-time breakdown on stderr.
+var debug bool
+
 func report(active []*analysis.Analyzer, fset *token.FileSet, pkg *load.Package) int {
-	diags, err := analysis.RunAnalyzers(active, fset, pkg.Files, pkg.Types, pkg.Info)
+	diags, timings, err := analysis.RunAnalyzersTimed(active, fset, pkg.Files, pkg.Types, pkg.Info)
+	if debug {
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "debug: %-16s %10v  %s\n", tm.Name, tm.Elapsed.Round(time.Microsecond), pkg.ImportPath)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

@@ -17,6 +17,7 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+	"time"
 )
 
 // Analyzer describes one static check.
@@ -70,12 +71,50 @@ func NewTypesInfo() *types.Info {
 	}
 }
 
+// NolintAuditName is the name of the driver-level audit of //nolint
+// directives (package nolintaudit). Because staleness is defined by what
+// the other analyzers suppressed, the audit runs inside RunAnalyzers —
+// the analyzer under this name is a marker that enables it.
+const NolintAuditName = "nolintaudit"
+
+// Timing records one analyzer's wall-clock cost over one package.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // RunAnalyzers executes each analyzer over the package and returns the
 // surviving diagnostics (suppressed lines removed) sorted by position.
+// If the list includes the nolintaudit marker, every //nolint directive
+// is additionally audited: it must carry a "// reason:" trailer, and
+// each analyzer it names (among those that ran) must actually have a
+// finding suppressed by it — otherwise the directive is stale.
 func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	suppressed := suppressedLines(fset, files)
+	diags, _, err := RunAnalyzersTimed(analyzers, fset, files, pkg, info)
+	return diags, err
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus a per-analyzer wall-time
+// breakdown, in suite order, for the driver's -debug output.
+func RunAnalyzersTimed(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, []Timing, error) {
+	directives := collectDirectives(fset, files)
+	byLine := map[lineKey][]*directive{}
+	for _, d := range directives {
+		for _, k := range d.lines {
+			byLine[k] = append(byLine[k], d)
+		}
+	}
+
+	audit := false
+	ran := map[string]bool{}
 	var out []Diagnostic
+	var timings []Timing
 	for _, a := range analyzers {
+		if a.Name == NolintAuditName {
+			audit = true
+			continue
+		}
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
@@ -88,19 +127,31 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 				d.Category = a.Name
 			}
 			p := fset.Position(d.Pos)
-			if names, ok := suppressed[lineKey{p.Filename, p.Line}]; ok {
-				if names[d.Category] || names["all"] {
-					return
+			sup := false
+			for _, dir := range byLine[lineKey{p.Filename, p.Line}] {
+				if dir.matches(d.Category) {
+					dir.used[d.Category] = true
+					sup = true
 				}
 			}
-			out = append(out, d)
+			if !sup {
+				out = append(out, d)
+			}
 		}
-		if err := a.Run(pass); err != nil {
-			return out, fmt.Errorf("%s: %w", a.Name, err)
+		start := time.Now()
+		err := a.Run(pass)
+		timings = append(timings, Timing{Name: a.Name, Elapsed: time.Since(start)})
+		if err != nil {
+			return out, timings, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
+	if audit {
+		start := time.Now()
+		out = append(out, auditDirectives(directives, ran)...)
+		timings = append(timings, Timing{Name: NolintAuditName, Elapsed: time.Since(start)})
+	}
 	sortDiagnostics(fset, out)
-	return out, nil
+	return out, timings, nil
 }
 
 type lineKey struct {
@@ -108,46 +159,95 @@ type lineKey struct {
 	line int
 }
 
-// suppressedLines maps file:line to the set of analyzer names suppressed
-// there by a trailing or preceding "//nolint:name1,name2" comment
-// ("//nolint:all" silences every analyzer on the line).
-func suppressedLines(fset *token.FileSet, files []*ast.File) map[lineKey]map[string]bool {
-	sup := map[lineKey]map[string]bool{}
+// directive is one parsed //nolint comment:
+//
+//	//nolint:name1,name2 // reason: why the findings are acceptable
+type directive struct {
+	pos    token.Pos
+	names  []string
+	reason bool
+	// lines the directive covers: its own, plus the next when it stands
+	// on a line of its own.
+	lines []lineKey
+	// used records the analyzer names whose findings the directive
+	// actually suppressed during this run.
+	used map[string]bool
+}
+
+func (d *directive) matches(category string) bool {
+	for _, n := range d.names {
+		if n == category || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives parses every //nolint comment in the files.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var out []*directive
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 				if !strings.HasPrefix(text, "nolint:") {
 					continue
 				}
-				names := map[string]bool{}
-				for _, n := range strings.Split(strings.TrimPrefix(text, "nolint:"), ",") {
+				rest := strings.TrimPrefix(text, "nolint:")
+				reason := false
+				if i := strings.Index(rest, "//"); i >= 0 {
+					trailer := strings.TrimSpace(rest[i+2:])
+					rest = rest[:i]
+					if tail, ok := strings.CutPrefix(trailer, "reason:"); ok {
+						reason = strings.TrimSpace(tail) != ""
+					}
+				}
+				d := &directive{pos: c.Pos(), reason: reason, used: map[string]bool{}}
+				for _, n := range strings.Split(rest, ",") {
 					if n = strings.TrimSpace(n); n != "" {
-						names[n] = true
+						d.names = append(d.names, n)
 					}
 				}
 				p := fset.Position(c.Pos())
-				merge(sup, lineKey{p.Filename, p.Line}, names)
-				// A nolint comment on its own line also covers the next line.
+				d.lines = []lineKey{{p.Filename, p.Line}}
 				if onOwnLine(fset, f, c) {
-					merge(sup, lineKey{p.Filename, p.Line + 1}, names)
+					d.lines = append(d.lines, lineKey{p.Filename, p.Line + 1})
 				}
+				out = append(out, d)
 			}
 		}
 	}
-	return sup
+	return out
 }
 
-func merge(sup map[lineKey]map[string]bool, k lineKey, names map[string]bool) {
-	dst, ok := sup[k]
-	if !ok {
-		dst = map[string]bool{}
-		sup[k] = dst
+// auditDirectives produces the nolintaudit findings: directives without
+// a reason trailer, naming no analyzer, or suppressing nothing that the
+// analyzers which ran would have reported (stale).
+func auditDirectives(directives []*directive, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{Pos: pos, Category: NolintAuditName, Message: fmt.Sprintf(format, args...)})
 	}
-	for n := range names {
-		dst[n] = true
+	for _, d := range directives {
+		if len(d.names) == 0 {
+			report(d.pos, "nolint directive names no analyzer; spell //nolint:<name> // reason: ...")
+			continue
+		}
+		if !d.reason {
+			report(d.pos, `nolint directive has no justification; append " // reason: ..." explaining why the finding is acceptable`)
+		}
+		for _, n := range d.names {
+			switch {
+			case n == "all":
+				if len(ran) > 0 && len(d.used) == 0 {
+					report(d.pos, "nolint:all suppresses no finding here; remove the stale directive")
+				}
+			case ran[n] && !d.used[n]:
+				report(d.pos, "nolint:%s suppresses no %s finding here; remove the stale directive", n, n)
+			}
+		}
 	}
+	return out
 }
 
 // onOwnLine reports whether comment c has no code before it on its line.

@@ -1,0 +1,657 @@
+// Package cfg builds a per-function control-flow graph over go/ast for
+// the gofusionlint interprocedural analyzers (internal/analysis/flow and
+// the lockorder/resbalance/ctxflow checks built on it).
+//
+// The graph is deliberately lightweight: blocks hold the original
+// *ast.Stmt nodes (atomic statements only — control statements contribute
+// their condition/tag expressions to the Exprs of the block that
+// evaluates them and their bodies become separate blocks), and edges
+// model Go's structured control flow including labeled break/continue,
+// goto, fallthrough, and early returns. Every function has one synthetic
+// Exit block; return statements, panics, and calls that syntactically
+// never return (os.Exit, t.Fatal) edge straight to it.
+//
+// Defers are NOT lowered into edges: a DeferStmt appears as an ordinary
+// statement in its block, and dataflow clients accumulate deferred
+// effects in their abstract state, applying them when a path reaches
+// Exit. This matches how the engine uses defers (paired Unlock/Free on
+// every exit) without modeling Go's full dynamic defer stack.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Block is one basic block: a maximal straight-line statement sequence.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable across builds
+	// of the same function; used in dumps).
+	Index int
+	// Kind describes why the block exists ("entry", "exit", "if.then",
+	// "for.head", "select.case", ...). Informational, for dumps and
+	// debugging.
+	Kind string
+	// Stmts are the atomic statements executed in order. Control
+	// statements (if/for/switch/...) do not appear; their init/post
+	// statements land in the appropriate blocks and their condition/tag
+	// expressions are recorded in Exprs.
+	Stmts []ast.Stmt
+	// Exprs are expressions this block evaluates that are not part of any
+	// statement in Stmts: if/for conditions, switch tags, range operands,
+	// select is represented by its comm statements instead. They are real
+	// AST nodes, so type-info lookups work. Evaluated after Stmts.
+	Exprs []ast.Expr
+	// Succs are the possible next blocks. For a block ending in a
+	// two-way condition (Kind "if.head"/"for.head"), Succs[0] is the
+	// true edge.
+	Succs []*Block
+	// CommNonBlocking is set on "select.case" blocks whose select has a
+	// default clause: reaching the comm statement (the block's first
+	// statement) cannot park the goroutine. Lock-hold analyses use it to
+	// exempt guarded non-blocking channel operations.
+	CommNonBlocking bool
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks in creation order; Blocks[0] is Entry, Blocks[1] is Exit.
+	// Unreachable blocks (code after a terminating statement) are
+	// retained so every source statement appears in exactly one block.
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the single synthetic exit block (no statements, no
+	// successors). Return statements edge to it.
+	Exit *Block
+}
+
+type loopTargets struct {
+	brk, cont *Block
+}
+
+// builder state for one function body.
+type builder struct {
+	g *CFG
+	// cur is the block statements accumulate into; nil after a
+	// terminating statement until a new reachable block starts.
+	cur *Block
+	// loops is the stack of enclosing break/continue targets; the top is
+	// the innermost. Labeled entries are in labeledLoops.
+	loops []loopTargets
+	// labeledLoops maps a loop/switch label to its targets (cont is nil
+	// for switches).
+	labeledLoops map[string]loopTargets
+	// labels maps label names to their statement's block for goto.
+	labels map[string]*Block
+	// gotos are gotos resolved after the walk (forward targets may not
+	// exist yet).
+	gotos []pendingGoto
+	// pendingLabel is set between seeing a LabeledStmt and building its
+	// statement, so loops/switches register their labeled targets.
+	pendingLabel string
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// New builds the CFG of a function body.
+func New(body *ast.BlockStmt) *CFG {
+	g := &CFG{}
+	b := &builder{
+		g:            g,
+		labeledLoops: map[string]loopTargets{},
+		labels:       map[string]*Block{},
+	}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	b.cur = g.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, g.Exit) // fall off the end of the function
+	}
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, target)
+		}
+		// An unresolved label is a type error; nothing to connect here.
+	}
+	return g
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// current returns the block to accumulate into, materializing an
+// unreachable block for dead code after a terminating statement.
+func (b *builder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+func (b *builder) add(s ast.Stmt) {
+	blk := b.current()
+	blk.Stmts = append(blk.Stmts, s)
+}
+
+func (b *builder) addExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	blk := b.current()
+	blk.Exprs = append(blk.Exprs, e)
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.EmptyStmt:
+		// no effect
+
+	case *ast.LabeledStmt:
+		// The labeled statement heads its own block so goto can target it.
+		target := b.newBlock("label." + s.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, target)
+		}
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.current()
+		head.Kind = kindOr(head.Kind, "if.head")
+		b.addExpr(s.Cond)
+		thenBlk := b.newBlock("if.then")
+		b.edge(head, thenBlk)
+		b.cur = thenBlk
+		b.stmts(s.Body.List)
+		thenEnd := b.cur
+		var elseEnd *Block
+		hasElse := s.Else != nil
+		if hasElse {
+			elseBlk := b.newBlock("if.else")
+			b.edge(head, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		join := b.newBlock("if.join")
+		if !hasElse {
+			b.edge(head, join) // false edge skips the then body
+		}
+		if thenEnd != nil {
+			b.edge(thenEnd, join)
+		}
+		if elseEnd != nil {
+			b.edge(elseEnd, join)
+		}
+		if hasElse && thenEnd == nil && elseEnd == nil {
+			// Both arms terminated: anything after is dead code.
+			join.Kind = "unreachable"
+			b.cur = nil
+		} else {
+			b.cur = join
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.cur = head
+		b.addExpr(s.Cond)
+		body := b.newBlock("for.body")
+		after := b.newBlock("for.after")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		cont := head
+		if s.Post != nil {
+			post := b.newBlock("for.post")
+			post.Stmts = append(post.Stmts, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		b.pushLoop(label, after, cont)
+		b.cur = body
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, cont)
+		}
+		b.popLoop(label)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		// The range operand is evaluated once on entry; key/value
+		// assignment per iteration is not modeled (the analyzers track
+		// resources and locks, which never originate from a range).
+		b.addExpr(s.X)
+		head := b.newBlock("range.head")
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.after")
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.popLoop(label)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.addExpr(s.Tag)
+		b.cases(label, s.Body, hasDefaultCase(s.Body), false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.cases(label, s.Body, hasDefaultCase(s.Body), false)
+
+	case *ast.SelectStmt:
+		b.cases(label, s.Body, hasDefaultComm(s.Body), true)
+
+	case *ast.ReturnStmt:
+		from := b.current()
+		from.Stmts = append(from.Stmts, s)
+		b.edge(from, b.g.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		from := b.cur
+		b.cur = nil
+		if from == nil {
+			return
+		}
+		name := ""
+		if s.Label != nil {
+			name = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.breakTarget(name); t != nil {
+				b.edge(from, t)
+			}
+		case token.CONTINUE:
+			if t := b.continueTarget(name); t != nil {
+				b.edge(from, t)
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: from, label: name})
+		case token.FALLTHROUGH:
+			// Lowered by cases(); reaching here means a malformed tree.
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isTerminalCall(call) {
+			b.edge(b.cur, b.g.Exit)
+			b.cur = nil
+		}
+
+	default:
+		// Assign, Decl, Send, IncDec, Go, Defer: atomic.
+		b.add(s)
+	}
+}
+
+// cases lowers switch/type-switch/select bodies. The dispatching block
+// branches to every case clause; a switch without a default also edges
+// to the join (no case matched). A select without a default has no such
+// edge: it blocks until some case is ready.
+func (b *builder) cases(label string, body *ast.BlockStmt, hasDefault, isSelect bool) {
+	head := b.current()
+	if isSelect {
+		head.Kind = kindOr(head.Kind, "select.head")
+	} else {
+		head.Kind = kindOr(head.Kind, "switch.head")
+	}
+	join := b.newBlock("switch.join")
+	b.loops = append(b.loops, loopTargets{brk: join}) // break targets the join
+	if label != "" {
+		b.labeledLoops[label] = loopTargets{brk: join}
+	}
+
+	var caseEnds []*Block
+	var fallFrom *Block // end of the previous case body ending in fallthrough
+	for _, cs := range body.List {
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			blk := b.newBlock("case")
+			b.edge(head, blk)
+			for _, e := range cs.List {
+				blk.Exprs = append(blk.Exprs, e)
+			}
+			if fallFrom != nil {
+				b.edge(fallFrom, blk)
+				fallFrom = nil
+			}
+			b.cur = blk
+			bodyStmts := cs.Body
+			fall := endsInFallthrough(bodyStmts)
+			if fall {
+				bodyStmts = bodyStmts[:len(bodyStmts)-1]
+			}
+			b.stmts(bodyStmts)
+			if fall {
+				b.add(cs.Body[len(cs.Body)-1]) // keep the fallthrough stmt visible
+				fallFrom = b.cur
+			} else if b.cur != nil {
+				caseEnds = append(caseEnds, b.cur)
+			}
+		case *ast.CommClause:
+			blk := b.newBlock("select.case")
+			blk.CommNonBlocking = hasDefault
+			b.edge(head, blk)
+			b.cur = blk
+			if cs.Comm != nil {
+				b.stmt(cs.Comm)
+			}
+			b.stmts(cs.Body)
+			if b.cur != nil {
+				caseEnds = append(caseEnds, b.cur)
+			}
+		}
+	}
+	if !hasDefault && !isSelect {
+		b.edge(head, join) // no case matched
+	}
+	for _, end := range caseEnds {
+		b.edge(end, join)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if label != "" {
+		delete(b.labeledLoops, label)
+	}
+	if len(join.Succs) == 0 && !blockHasPred(b.g, join) {
+		join.Kind = "unreachable"
+		b.cur = nil
+	} else {
+		b.cur = join
+	}
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.loops = append(b.loops, loopTargets{brk: brk, cont: cont})
+	if label != "" {
+		b.labeledLoops[label] = loopTargets{brk: brk, cont: cont}
+	}
+}
+
+func (b *builder) popLoop(label string) {
+	b.loops = b.loops[:len(b.loops)-1]
+	if label != "" {
+		delete(b.labeledLoops, label)
+	}
+}
+
+func (b *builder) breakTarget(label string) *Block {
+	if label != "" {
+		return b.labeledLoops[label].brk
+	}
+	if len(b.loops) == 0 {
+		return nil
+	}
+	return b.loops[len(b.loops)-1].brk
+}
+
+func (b *builder) continueTarget(label string) *Block {
+	if label != "" {
+		return b.labeledLoops[label].cont
+	}
+	// The innermost *loop*: switch/select entries have cont==nil.
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if b.loops[i].cont != nil {
+			return b.loops[i].cont
+		}
+	}
+	return nil
+}
+
+func blockHasPred(g *CFG, blk *Block) bool {
+	for _, other := range g.Blocks {
+		if other == blk {
+			continue
+		}
+		for _, s := range other.Succs {
+			if s == blk {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func kindOr(existing, kind string) string {
+	if existing == "entry" || existing == "exit" || strings.HasPrefix(existing, "label.") {
+		return existing
+	}
+	return kind
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func hasDefaultComm(body *ast.BlockStmt) bool {
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func endsInFallthrough(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	bs, ok := stmts[len(stmts)-1].(*ast.BranchStmt)
+	return ok && bs.Tok == token.FALLTHROUGH
+}
+
+// isTerminalCall reports whether the call never returns: panic, os.Exit,
+// runtime.Goexit, and the testing/log Fatal helpers. Purely syntactic
+// (the builder has no type info); flow clients with type info may refine.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// RPO returns the reachable blocks in reverse post-order (predecessors
+// generally before successors), the natural iteration order for forward
+// dataflow.
+func (g *CFG) RPO() []*Block {
+	seen := map[*Block]bool{}
+	var post []*Block
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		post = append(post, b)
+	}
+	walk(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dump renders the graph for golden tests: one line per block in index
+// order, statements summarized position-free.
+func (g *CFG) Dump() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.Index, blk.Kind)
+		for _, s := range blk.Stmts {
+			fmt.Fprintf(&sb, " [%s]", stmtLabel(s))
+		}
+		for _, e := range blk.Exprs {
+			fmt.Fprintf(&sb, " (%s)", exprLabel(e))
+		}
+		if len(blk.Succs) > 0 {
+			succs := make([]string, len(blk.Succs))
+			for i, s := range blk.Succs {
+				succs[i] = fmt.Sprintf("b%d", s.Index)
+			}
+			fmt.Fprintf(&sb, " -> %s", strings.Join(succs, " "))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func stmtLabel(s ast.Stmt) string {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return "assign " + exprList(s.Lhs)
+	case *ast.ExprStmt:
+		return exprLabel(s.X)
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.DeferStmt:
+		return "defer " + exprLabel(s.Call)
+	case *ast.GoStmt:
+		return "go " + exprLabel(s.Call)
+	case *ast.SendStmt:
+		return "send " + exprLabel(s.Chan)
+	case *ast.IncDecStmt:
+		return "incdec " + exprLabel(s.X)
+	case *ast.DeclStmt:
+		return "decl"
+	case *ast.BranchStmt:
+		if s.Label != nil {
+			return s.Tok.String() + " " + s.Label.Name
+		}
+		return s.Tok.String()
+	}
+	return fmt.Sprintf("%T", s)
+}
+
+func exprList(es []ast.Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = exprLabel(e)
+	}
+	return strings.Join(parts, ",")
+}
+
+func exprLabel(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprLabel(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprLabel(e.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprLabel(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprLabel(e.X)
+	case *ast.BinaryExpr:
+		return exprLabel(e.X) + e.Op.String() + exprLabel(e.Y)
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.IndexExpr:
+		return exprLabel(e.X) + "[]"
+	case *ast.TypeAssertExpr:
+		return exprLabel(e.X) + ".(T)"
+	case *ast.StarExpr:
+		return "*" + exprLabel(e.X)
+	}
+	return "expr"
+}
+
+// Stmts returns every atomic statement recorded in the graph in source
+// order — the self-check tests compare this against an AST walk.
+func (g *CFG) Stmts() []ast.Stmt {
+	var out []ast.Stmt
+	for _, b := range g.Blocks {
+		out = append(out, b.Stmts...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

@@ -1,0 +1,444 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// build parses src as a function body and returns its CFG.
+func build(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// Golden dumps pin the lowering of the shapes the interprocedural
+// analyzers depend on: defers staying in-block, early returns edging to
+// exit, labeled break/continue, fallthrough, select, goto.
+func TestDumpGolden(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{
+			name: "defer_early_return",
+			body: `
+mu.Lock()
+defer mu.Unlock()
+if err != nil {
+	return
+}
+work()`,
+			want: `b0 entry: [mu.Lock()] [defer mu.Unlock()] (err!=nil) -> b2 b3
+b1 exit:
+b2 if.then: [return] -> b1
+b3 if.join: [work()] -> b1
+`,
+		},
+		{
+			name: "labeled_break_continue",
+			body: `
+outer:
+for i := 0; i < n; i++ {
+	for {
+		if a {
+			continue outer
+		}
+		if b {
+			break outer
+		}
+		step()
+	}
+}
+done()`,
+			want: `b0 entry: -> b2
+b1 exit:
+b2 label.outer: [assign i] -> b3
+b3 for.head: (i<n) -> b4 b5
+b4 for.body: -> b7
+b5 for.after: [done()] -> b1
+b6 for.post: [incdec i] -> b3
+b7 for.head: -> b8
+b8 if.head: (a) -> b10 b11
+b9 for.after: -> b6
+b10 if.then: [continue outer] -> b6
+b11 if.head: (b) -> b12 b13
+b12 if.then: [break outer] -> b5
+b13 if.join: [step()] -> b7
+`,
+		},
+		{
+			name: "switch_fallthrough",
+			body: `
+switch x {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+after()`,
+			want: `b0 entry: (x) -> b3 b4 b5
+b1 exit:
+b2 switch.join: [after()] -> b1
+b3 case: [a()] [fallthrough] (1) -> b4
+b4 case: [b()] (2) -> b2
+b5 case: [c()] -> b2
+`,
+		},
+		{
+			name: "select_no_default_blocks",
+			body: `
+select {
+case ch <- v:
+	sent()
+case <-done:
+	return
+}
+after()`,
+			want: `b0 entry: -> b3 b4
+b1 exit:
+b2 switch.join: [after()] -> b1
+b3 select.case: [send ch] [sent()] -> b2
+b4 select.case: [<-done] [return] -> b1
+`,
+		},
+		{
+			name: "range_loop",
+			body: `
+for _, v := range xs {
+	use(v)
+}
+end()`,
+			want: `b0 entry: (xs) -> b2
+b1 exit:
+b2 range.head: -> b3 b4
+b3 range.body: [use()] -> b2
+b4 range.after: [end()] -> b1
+`,
+		},
+		{
+			name: "goto_backward",
+			body: `
+retry:
+x = f()
+if bad {
+	goto retry
+}
+ok()`,
+			want: `b0 entry: -> b2
+b1 exit:
+b2 label.retry: [assign x] (bad) -> b3 b4
+b3 if.then: [goto retry] -> b2
+b4 if.join: [ok()] -> b1
+`, // label kind survives the if lowering so goto targets stay visible
+		},
+		{
+			name: "dead_code_after_return",
+			body: `
+return
+dead()`,
+			want: `b0 entry: [return] -> b1
+b1 exit:
+b2 unreachable: [dead()] -> b1
+`,
+		},
+		{
+			name: "terminal_panic",
+			body: `
+if bad {
+	panic("x")
+}
+ok()`,
+			want: `b0 entry: (bad) -> b2 b3
+b1 exit:
+b2 if.then: [panic()] -> b1
+b3 if.join: [ok()] -> b1
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := build(t, tc.body).Dump()
+			if got != tc.want {
+				t.Errorf("dump mismatch:\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExitHasNoSuccessors(t *testing.T) {
+	g := build(t, "x = 1\nreturn")
+	if len(g.Exit.Succs) != 0 {
+		t.Fatalf("exit block has successors: %v", g.Exit.Succs)
+	}
+	if g.Blocks[0] != g.Entry || g.Blocks[1] != g.Exit {
+		t.Fatalf("entry/exit not at fixed indexes")
+	}
+}
+
+// genStmts emits a random but always-valid statement list. loopDepth
+// tracks whether break/continue are legal; labels holds active loop
+// labels for labeled branches.
+type gen struct {
+	rng    *rand.Rand
+	sb     *strings.Builder
+	depth  int
+	loops  int
+	labels []string
+	nlabel int
+}
+
+func (g *gen) stmts(n int) {
+	for i := 0; i < n; i++ {
+		g.stmt()
+	}
+}
+
+func (g *gen) stmt() {
+	if g.depth > 4 {
+		fmt.Fprintln(g.sb, "x++")
+		return
+	}
+	switch g.rng.Intn(12) {
+	case 0, 1, 2:
+		fmt.Fprintln(g.sb, "x++")
+	case 3:
+		fmt.Fprintln(g.sb, "x = x + 1")
+	case 4:
+		fmt.Fprintln(g.sb, "if x > 0 {")
+		g.nested(1 + g.rng.Intn(2))
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintln(g.sb, "} else {")
+			g.nested(1 + g.rng.Intn(2))
+		}
+		fmt.Fprintln(g.sb, "}")
+	case 5:
+		fmt.Fprintln(g.sb, "for x < 10 {")
+		g.loops++
+		g.nested(1 + g.rng.Intn(2))
+		g.loops--
+		fmt.Fprintln(g.sb, "}")
+	case 6:
+		label := ""
+		if g.rng.Intn(2) == 0 {
+			g.nlabel++
+			label = fmt.Sprintf("l%d", g.nlabel)
+			fmt.Fprintf(g.sb, "%s:\n", label)
+			g.labels = append(g.labels, label)
+		}
+		fmt.Fprintln(g.sb, "for i := 0; i < 3; i++ {")
+		g.loops++
+		g.nested(1 + g.rng.Intn(2))
+		g.loops--
+		fmt.Fprintln(g.sb, "}")
+		if label != "" {
+			g.labels = g.labels[:len(g.labels)-1]
+		}
+	case 7:
+		fmt.Fprintln(g.sb, "switch x {")
+		ncase := 1 + g.rng.Intn(2)
+		for i := 0; i < ncase; i++ {
+			fmt.Fprintf(g.sb, "case %d:\n", i)
+			g.nested(1)
+		}
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintln(g.sb, "default:")
+			g.nested(1)
+		}
+		fmt.Fprintln(g.sb, "}")
+	case 8:
+		if g.loops > 0 {
+			if len(g.labels) > 0 && g.rng.Intn(2) == 0 {
+				fmt.Fprintf(g.sb, "break %s\n", g.labels[len(g.labels)-1])
+			} else {
+				fmt.Fprintln(g.sb, "break")
+			}
+		} else {
+			fmt.Fprintln(g.sb, "x--")
+		}
+	case 9:
+		if g.loops > 0 {
+			if len(g.labels) > 0 && g.rng.Intn(2) == 0 {
+				fmt.Fprintf(g.sb, "continue %s\n", g.labels[len(g.labels)-1])
+			} else {
+				fmt.Fprintln(g.sb, "continue")
+			}
+		} else {
+			fmt.Fprintln(g.sb, "x--")
+		}
+	case 10:
+		fmt.Fprintln(g.sb, "return")
+	case 11:
+		fmt.Fprintln(g.sb, "for range xs {")
+		g.loops++
+		g.nested(1 + g.rng.Intn(2))
+		g.loops--
+		fmt.Fprintln(g.sb, "}")
+	}
+}
+
+func (g *gen) nested(n int) {
+	g.depth++
+	g.stmts(n)
+	g.depth--
+}
+
+// countAtomic mirrors the builder's notion of an atomic statement: walks
+// the body counting every statement that lands in some block (control
+// statements contribute their init/post/assign parts).
+func countAtomic(list []ast.Stmt) int {
+	n := 0
+	for _, s := range list {
+		n += atomicIn(s)
+	}
+	return n
+}
+
+func atomicIn(s ast.Stmt) int {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return countAtomic(s.List)
+	case *ast.EmptyStmt:
+		return 0
+	case *ast.LabeledStmt:
+		return atomicIn(s.Stmt)
+	case *ast.IfStmt:
+		n := countAtomic(s.Body.List)
+		if s.Init != nil {
+			n++
+		}
+		if s.Else != nil {
+			n += atomicIn(s.Else)
+		}
+		return n
+	case *ast.ForStmt:
+		n := countAtomic(s.Body.List)
+		if s.Init != nil {
+			n++
+		}
+		if s.Post != nil {
+			n++
+		}
+		return n
+	case *ast.RangeStmt:
+		return countAtomic(s.Body.List)
+	case *ast.SwitchStmt:
+		n := 0
+		if s.Init != nil {
+			n++
+		}
+		for _, cs := range s.Body.List {
+			n += countAtomic(cs.(*ast.CaseClause).Body)
+		}
+		return n
+	case *ast.TypeSwitchStmt:
+		n := 1 // the assign
+		if s.Init != nil {
+			n++
+		}
+		for _, cs := range s.Body.List {
+			n += countAtomic(cs.(*ast.CaseClause).Body)
+		}
+		return n
+	case *ast.SelectStmt:
+		n := 0
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			if cc.Comm != nil {
+				n += atomicIn(cc.Comm)
+			}
+			n += countAtomic(cc.Body)
+		}
+		return n
+	default:
+		return 1
+	}
+}
+
+// TestRandomizedSelfCheck builds CFGs for seeded random function bodies
+// and checks the structural invariants every client relies on: each
+// atomic statement lands in exactly one block, statement-bearing blocks
+// flow somewhere, the exit is terminal, and RPO covers exactly the
+// reachable set.
+func TestRandomizedSelfCheck(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		g := &gen{rng: rng, sb: &sb}
+		g.stmts(3 + rng.Intn(5))
+		body := sb.String()
+
+		src := "package p\nfunc f() {\nvar x int\nvar xs []int\n_ = x\n_ = xs\n" + body + "\n}\n"
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "f.go", src, 0)
+		if err != nil {
+			t.Fatalf("seed %d: generated invalid source: %v\n%s", seed, err, src)
+		}
+		fn := f.Decls[0].(*ast.FuncDecl)
+		cfgGraph := New(fn.Body)
+
+		// 1. Every atomic statement appears in exactly one block.
+		seen := map[ast.Stmt]int{}
+		total := 0
+		for _, blk := range cfgGraph.Blocks {
+			for _, s := range blk.Stmts {
+				seen[s]++
+				total++
+			}
+		}
+		for s, n := range seen {
+			if n != 1 {
+				t.Fatalf("seed %d: statement at %v appears in %d blocks\n%s",
+					seed, fset.Position(s.Pos()), n, cfgGraph.Dump())
+			}
+		}
+		wantAtomic := countAtomic(fn.Body.List)
+		if total != wantAtomic {
+			t.Fatalf("seed %d: CFG records %d atomic statements, AST has %d\n%s\n%s",
+				seed, total, wantAtomic, src, cfgGraph.Dump())
+		}
+
+		// 2. Every statement-bearing block flows somewhere (the exit is
+		// the only legitimate dead end).
+		for _, blk := range cfgGraph.Blocks {
+			if blk == cfgGraph.Exit {
+				continue
+			}
+			if len(blk.Stmts) > 0 && len(blk.Succs) == 0 {
+				t.Fatalf("seed %d: block b%d holds statements but has no successors\n%s",
+					seed, blk.Index, cfgGraph.Dump())
+			}
+		}
+		if len(cfgGraph.Exit.Succs) != 0 {
+			t.Fatalf("seed %d: exit has successors", seed)
+		}
+
+		// 3. RPO enumerates exactly the reachable set, entry first.
+		reach := cfgGraph.Reachable()
+		rpo := cfgGraph.RPO()
+		if len(rpo) != len(reach) {
+			t.Fatalf("seed %d: RPO has %d blocks, reachable set has %d", seed, len(rpo), len(reach))
+		}
+		if rpo[0] != cfgGraph.Entry {
+			t.Fatalf("seed %d: RPO does not start at entry", seed)
+		}
+		for _, blk := range rpo {
+			if !reach[blk] {
+				t.Fatalf("seed %d: RPO contains unreachable block b%d", seed, blk.Index)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"gofusion/internal/analysis/analysistest"
+	"gofusion/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "a")
+}

@@ -1,0 +1,167 @@
+// Package a seeds the ctxflow golden suite: detached context roots,
+// handlers ignoring the request context, blocking channel operations
+// that no context bounds, and the guarded idioms that must stay quiet.
+package a
+
+import (
+	"context"
+	"net/http"
+
+	"gofusion/internal/physical"
+)
+
+// --- detached roots ---
+
+func detachedRoot(ctx context.Context, work chan int) {
+	c := context.Background() // want `context\.Background\(\) detaches this work from the caller's cancellation`
+	_ = c
+	_ = ctx
+	_ = work
+}
+
+func detachedTODO(ctx *physical.ExecContext) {
+	c := context.TODO() // want `context\.TODO\(\) detaches this work from the caller's cancellation`
+	_ = c
+	_ = ctx
+}
+
+// The nil-default idiom assigns the root to the parameter itself.
+func nilDefault(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `handler uses context\.Background\(\); derive from the request context`
+	_ = ctx
+	_ = w
+	_ = r
+}
+
+func handlerOK(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	_ = ctx
+	_ = w
+}
+
+// --- blocking channel operations ---
+
+func bareSend(ctx context.Context, out chan int) {
+	out <- 1 // want `channel send ignores ctx and can block forever`
+}
+
+func bareRecv(ctx context.Context, in chan int) int {
+	return <-in // want `channel receive ignores ctx and can block forever`
+}
+
+func bareRange(ctx context.Context, in chan int) (n int) {
+	for v := range in { // want `channel range ignores ctx and can block forever`
+		n += v
+	}
+	return n
+}
+
+func unguardedSelect(ctx context.Context, a, b chan int) int {
+	select { // want `select can park without observing ctx`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func guardedSelect(ctx context.Context, in chan int) (int, error) {
+	select {
+	case v := <-in:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func guardedExecContext(ctx *physical.ExecContext, in chan int) (int, error) {
+	select {
+	case v := <-in:
+		return v, nil
+	case <-ctx.Ctx.Done():
+		return 0, ctx.Ctx.Err()
+	}
+}
+
+// A stored Done() channel is a plain <-chan struct{}; receiving from a
+// chan struct{} is the close-to-cancel convention and counts as a guard.
+func storedDone(ctx context.Context, in chan int) (int, error) {
+	done := ctx.Done()
+	select {
+	case v := <-in:
+		return v, nil
+	case <-done:
+		return 0, ctx.Err()
+	}
+}
+
+// A default clause means the select cannot park.
+func nonBlockingSelect(ctx context.Context, out chan int) bool {
+	select {
+	case out <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// --- interprocedural: blocking buried in a context-less helper ---
+
+func pump(out chan int) {
+	out <- 1
+}
+
+func callsPump(ctx context.Context, out chan int) {
+	pump(out) // want `pump blocks on a channel send but takes no context; plumb this function's ctx through`
+}
+
+// Two levels deep: the summary propagates bottom-up.
+func viaMiddle(out chan int) {
+	pump(out)
+}
+
+func callsMiddle(ctx context.Context, out chan int) {
+	viaMiddle(out) // want `viaMiddle blocks on a channel send but takes no context; plumb this function's ctx through`
+}
+
+// A helper that takes a context is its own remediation point: the
+// caller passing its ctx has done its part.
+func guardedPump(ctx context.Context, out chan int) error {
+	select {
+	case out <- 1:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func callsGuarded(ctx context.Context, out chan int) error {
+	return guardedPump(ctx, out)
+}
+
+// Goroutine bodies and returned closures run on their own schedule;
+// their blocking is not this function's summary.
+func spawns(ctx context.Context, out chan int) func() {
+	go func() {
+		for i := 0; i < 4; i++ {
+			select {
+			case out <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return func() { <-out }
+}
+
+func callsSpawns(ctx context.Context, out chan int) {
+	release := spawns(ctx, out)
+	defer release()
+}

@@ -1,0 +1,309 @@
+// Package flow is the interprocedural layer under the gofusionlint
+// analyzers: it collects every function of the package under analysis
+// with its control-flow graph (internal/analysis/cfg), builds the
+// same-package call graph, and drives bottom-up summary computation in
+// strongly-connected-component order so recursive groups iterate to a
+// fixpoint while everything else is visited exactly once, callees before
+// callers.
+//
+// Analyzers own their summary types; flow owns the traversal. A typical
+// client computes, per function, facts like "releases its i-th
+// parameter on every path", "acquires lock class L", or "threads its
+// ctx parameter into blocking calls", then consults callee summaries at
+// call sites while walking the caller's CFG with the Forward dataflow
+// runner.
+//
+// The layer is package-local by design: the driver analyzes one package
+// against its dependencies' export data only (no cross-package facts),
+// matching the rest of the suite. Cross-package invariants (the global
+// lock-order policy) are encoded as explicit rank tables in the
+// analyzers instead.
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gofusion/internal/analysis"
+	"gofusion/internal/analysis/cfg"
+	"gofusion/internal/analysis/fusion"
+)
+
+// FuncInfo is one function or method declared in the package under
+// analysis.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	// Graph is the function's CFG (nil for bodyless declarations).
+	Graph *cfg.CFG
+}
+
+// Pkg holds the package-level interprocedural context.
+type Pkg struct {
+	Pass  *analysis.Pass
+	Funcs map[*types.Func]*FuncInfo
+	// Callees maps each declared function to the same-package declared
+	// functions it calls (direct calls only; calls through interfaces and
+	// function values are not resolved).
+	Callees map[*types.Func][]*types.Func
+}
+
+// NewPkg collects the package's declared functions, their CFGs, and the
+// same-package call graph.
+func NewPkg(pass *analysis.Pass) *Pkg {
+	p := &Pkg{
+		Pass:    pass,
+		Funcs:   map[*types.Func]*FuncInfo{},
+		Callees: map[*types.Func][]*types.Func{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			p.Funcs[fn] = &FuncInfo{Obj: fn, Decl: fd, Graph: cfg.New(fd.Body)}
+		}
+	}
+	for fn, info := range p.Funcs {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := p.Callee(call)
+			if callee != nil && !seen[callee] {
+				seen[callee] = true
+				p.Callees[fn] = append(p.Callees[fn], callee)
+			}
+			return true
+		})
+	}
+	return p
+}
+
+// Callee resolves a call expression to a function declared in this
+// package, or nil (externals, interface calls, function values).
+func (p *Pkg) Callee(call *ast.CallExpr) *types.Func {
+	fn, _ := fusion.CalleeObj(p.Pass.TypesInfo, call).(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	if _, ok := p.Funcs[fn]; !ok {
+		return nil
+	}
+	return fn
+}
+
+// BottomUp visits every function callees-first. visit returns whether
+// the function's summary changed; members of a recursive cycle (an SCC
+// of the call graph) are revisited until no member changes, so summary
+// computation reaches a fixpoint on recursion.
+func (p *Pkg) BottomUp(visit func(*FuncInfo) bool) {
+	for _, scc := range p.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range scc {
+				if visit(p.Funcs[fn]) {
+					changed = true
+				}
+			}
+			if len(scc) == 1 && !p.selfRecursive(scc[0]) {
+				break // no cycle: one visit suffices
+			}
+		}
+	}
+}
+
+func (p *Pkg) selfRecursive(fn *types.Func) bool {
+	for _, c := range p.Callees[fn] {
+		if c == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// SCCs returns the call graph's strongly connected components in
+// reverse topological order: every edge leaves a later component, so
+// iterating in order processes callees before callers. (Tarjan's
+// algorithm emits components in exactly this order.)
+func (p *Pkg) SCCs() [][]*types.Func {
+	// Deterministic node order: by source position of the declaration.
+	nodes := make([]*types.Func, 0, len(p.Funcs))
+	for fn := range p.Funcs {
+		nodes = append(nodes, fn)
+	}
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && p.Funcs[nodes[j]].Decl.Pos() < p.Funcs[nodes[j-1]].Decl.Pos(); j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+
+	index := map[*types.Func]int{}
+	low := map[*types.Func]int{}
+	onStack := map[*types.Func]bool{}
+	var stack []*types.Func
+	var out [][]*types.Func
+	next := 0
+
+	var strongconnect func(v *types.Func)
+	strongconnect = func(v *types.Func) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range p.Callees[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []*types.Func
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return out
+}
+
+// Forward runs a forward dataflow over g until fixpoint and returns the
+// IN state of every reachable block. transfer must not mutate its input
+// (copy-on-write via the client's clone); merge combines two states
+// (used at join points); equal stops iteration.
+func Forward[T any](
+	g *cfg.CFG,
+	init T,
+	transfer func(b *cfg.Block, in T) T,
+	merge func(a, b T) T,
+	equal func(a, b T) bool,
+) map[*cfg.Block]T {
+	rpo := g.RPO()
+	order := map[*cfg.Block]int{}
+	for i, b := range rpo {
+		order[b] = i
+	}
+	in := map[*cfg.Block]T{g.Entry: init}
+	out := map[*cfg.Block]T{}
+	have := map[*cfg.Block]bool{g.Entry: true}
+	haveOut := map[*cfg.Block]bool{}
+
+	// Worklist in RPO order; loops revisit until stable.
+	work := append([]*cfg.Block(nil), rpo...)
+	queued := map[*cfg.Block]bool{}
+	for _, b := range work {
+		queued[b] = true
+	}
+	for len(work) > 0 {
+		// Pop the lowest-RPO queued block for fast convergence.
+		bi := 0
+		for i := 1; i < len(work); i++ {
+			if order[work[i]] < order[work[bi]] {
+				bi = i
+			}
+		}
+		b := work[bi]
+		work = append(work[:bi], work[bi+1:]...)
+		queued[b] = false
+
+		if !have[b] {
+			continue // no predecessor state yet; will be requeued by preds
+		}
+		o := transfer(b, in[b])
+		if haveOut[b] && equal(out[b], o) {
+			continue
+		}
+		out[b] = o
+		haveOut[b] = true
+		for _, s := range b.Succs {
+			var ns T
+			if have[s] {
+				ns = merge(in[s], o)
+			} else {
+				ns = o
+			}
+			if !have[s] || !equal(in[s], ns) {
+				in[s] = ns
+				have[s] = true
+				if !queued[s] {
+					work = append(work, s)
+					queued[s] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// ParamIndex returns which parameter of fn (by declaration order,
+// receiver excluded) the object v is, or -1. Used to map dataflow facts
+// about local variables back to summary slots.
+func ParamIndex(fn *ast.FuncDecl, info *types.Info, v *types.Var) int {
+	if fn.Type.Params == nil {
+		return -1
+	}
+	i := 0
+	for _, field := range fn.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if info.Defs[name] == v {
+				return i
+			}
+			i++
+		}
+	}
+	return -1
+}
+
+// RecvVar returns the receiver variable of a method declaration, or nil.
+func RecvVar(fn *ast.FuncDecl, info *types.Info) *types.Var {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := info.Defs[fn.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// VarOf resolves an identifier expression (possibly parenthesized) to
+// its variable object, or nil.
+func VarOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	var obj types.Object
+	if d, ok := info.Defs[id]; ok {
+		obj = d
+	} else if u, ok := info.Uses[id]; ok {
+		obj = u
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}

@@ -1,0 +1,130 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"gofusion/internal/analysis"
+	"gofusion/internal/analysis/cfg"
+)
+
+func checkSrc(t *testing.T, src string) *analysis.Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+func TestSCCOrderCalleesFirst(t *testing.T) {
+	pass := checkSrc(t, `package p
+func leaf() int { return 1 }
+func mid() int { return leaf() }
+func a() int { return b() + mid() }
+func b() int { return a() }
+func top() int { return a() }
+`)
+	p := NewPkg(pass)
+	if len(p.Funcs) != 5 {
+		t.Fatalf("expected 5 functions, got %d", len(p.Funcs))
+	}
+	sccs := p.SCCs()
+	pos := map[string]int{}
+	for i, scc := range sccs {
+		for _, fn := range scc {
+			pos[fn.Name()] = i
+		}
+	}
+	// leaf before mid before the {a,b} cycle before top.
+	if !(pos["leaf"] < pos["mid"] && pos["mid"] < pos["a"] && pos["a"] < pos["top"]) {
+		t.Fatalf("bad SCC order: %v", pos)
+	}
+	if pos["a"] != pos["b"] {
+		t.Fatalf("a and b are mutually recursive and must share an SCC: %v", pos)
+	}
+
+	// BottomUp revisits the recursive component until stable.
+	visits := map[string]int{}
+	p.BottomUp(func(fi *FuncInfo) bool {
+		visits[fi.Obj.Name()]++
+		// Report "changed" on the first visit only: the cycle then needs
+		// one more confirming round.
+		return visits[fi.Obj.Name()] == 1
+	})
+	if visits["leaf"] != 1 || visits["top"] != 1 {
+		t.Fatalf("non-recursive functions visited more than once: %v", visits)
+	}
+	if visits["a"] < 2 || visits["b"] < 2 {
+		t.Fatalf("recursive component not iterated: %v", visits)
+	}
+}
+
+// TestForwardReachingFlag runs a tiny gen-kill problem: a boolean fact
+// set by a call to set() and killed by clear(), checked at exit.
+func TestForwardReachingFlag(t *testing.T) {
+	pass := checkSrc(t, `package p
+func set()
+func clear()
+func f(c bool) {
+	set()
+	if c {
+		clear()
+		return
+	}
+	_ = c
+}
+`)
+	p := NewPkg(pass)
+	var target *FuncInfo
+	for _, fi := range p.Funcs {
+		if fi.Obj.Name() == "f" {
+			target = fi
+		}
+	}
+	if target == nil {
+		t.Fatal("f not found")
+	}
+	transfer := func(b *cfg.Block, in bool) bool {
+		out := in
+		for _, s := range b.Stmts {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "set":
+					out = true
+				case "clear":
+					out = false
+				}
+			}
+		}
+		return out
+	}
+	merge := func(a, b bool) bool { return a || b } // may-analysis
+	equal := func(a, b bool) bool { return a == b }
+	in := Forward(target.Graph, false, transfer, merge, equal)
+
+	// The exit joins the cleared return path (false) and the fall-through
+	// path (true): a may-analysis sees true.
+	if got := in[target.Graph.Exit]; !got {
+		t.Fatalf("exit IN state = %v, want true (set() reaches exit on the else path)", got)
+	}
+}

@@ -51,9 +51,36 @@ type listedPkg struct {
 	Error      *struct{ Err string }
 }
 
+var (
+	listCacheMu sync.Mutex
+	listCache   = map[string][]listedPkg{}
+)
+
 // goList invokes `go list -export -deps -json` for the patterns and
-// decodes the JSON stream.
+// decodes the JSON stream. Results are cached per (moduleDir, patterns)
+// for the life of the process: the export-data inventory does not change
+// under a single lint run, and every analyzer suite, analysistest
+// invocation, and standalone driver pass can share one `go list` (the
+// dominant cost of loading).
 func goList(moduleDir string, patterns []string) ([]listedPkg, error) {
+	key := moduleDir + "\x00" + strings.Join(patterns, "\x00")
+	listCacheMu.Lock()
+	cached, ok := listCache[key]
+	listCacheMu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	pkgs, err := goListUncached(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	listCacheMu.Lock()
+	listCache[key] = pkgs
+	listCacheMu.Unlock()
+	return pkgs, nil
+}
+
+func goListUncached(moduleDir string, patterns []string) ([]listedPkg, error) {
 	args := append([]string{"list", "-export", "-deps",
 		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error"}, patterns...)
 	cmd := exec.Command("go", args...)

@@ -1,0 +1,27 @@
+package lockorder
+
+import (
+	"testing"
+
+	"gofusion/internal/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	// The testdata package mirrors the engine's locking structure under
+	// its own names; register them in the rank table with the engine's
+	// relative ranks so the policy check is exercised end to end.
+	seed := map[string]int{
+		"a.Server.writeMu": 10,
+		"a.Server.mu":      20,
+		"a.Pool.mu":        70,
+	}
+	for k, v := range seed {
+		Ranks[k] = v
+	}
+	defer func() {
+		for k := range seed {
+			delete(Ranks, k)
+		}
+	}()
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "a")
+}

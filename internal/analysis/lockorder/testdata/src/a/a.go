@@ -1,0 +1,207 @@
+// Package a seeds the lockorder golden suite. The shapes mirror the
+// engine's real locking structure: a Server with an outermost writer
+// mutex and an inner session mutex, a leaf memory Pool, and a pair of
+// caches with a deliberately inconsistent acquisition order. The test
+// registers Server.writeMu/Server.mu/Pool.mu in the rank table with the
+// same relative ranks the engine policy uses.
+package a
+
+import (
+	"sync"
+
+	"gofusion/internal/exec"
+	"gofusion/internal/physical"
+)
+
+type Server struct {
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	pool    *Pool
+}
+
+type Pool struct {
+	mu   sync.Mutex
+	used int
+}
+
+type Cache struct{ mu sync.Mutex }
+type Table struct{ mu sync.Mutex }
+
+// Correct nesting: writeMu, then mu, then the pool leaf — the engine's
+// write path. The pool acquisition happens inside a callee; the edges
+// writeMu -> Pool.mu and mu -> Pool.mu come from its summary.
+func (s *Server) writePath() {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.reserve(1)
+}
+
+func (p *Pool) reserve(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.used += n
+}
+
+// Rank violation: the pool leaf is held while taking the outermost
+// writer mutex.
+func (s *Server) inverted(p *Pool) {
+	p.mu.Lock()
+	s.writeMu.Lock() // want `lock order requires Server.writeMu \(rank 10\) before Pool.mu \(rank 70\)`
+	s.writeMu.Unlock()
+	p.mu.Unlock()
+}
+
+// Lock/unlock helper pair: callers see netHeld/netReleased summaries.
+func (s *Server) lockSessions()   { s.mu.Lock() }
+func (s *Server) unlockSessions() { s.mu.Unlock() }
+
+// Interprocedural rank violation: the session mutex is acquired through
+// a helper while the pool leaf is held.
+func helperInverted(s *Server, p *Pool) {
+	p.mu.Lock()
+	s.lockSessions() // want `lock order requires Server.mu \(rank 20\) before Pool.mu \(rank 70\)`
+	s.unlockSessions()
+	p.mu.Unlock()
+}
+
+// Seeded lock-order cycle: one path takes Cache before Table, the other
+// Table before Cache. Neither class is ranked, so only cycle detection
+// can catch this.
+func cacheThenTable(c *Cache, t *Table) {
+	c.mu.Lock()
+	t.mu.Lock() // want `lock-order cycle \(potential deadlock\) among Cache.mu, Table.mu`
+	t.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func tableThenCache(c *Cache, t *Table) {
+	t.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// Two instances of one class nested: instance order is unspecified, so
+// this can deadlock against another goroutine nesting them the other
+// way around.
+func nestedSameClass(a, b *Pool) {
+	a.mu.Lock()
+	b.mu.Lock() // want `nested acquisition of Pool.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Blocking operations under a held mutex.
+
+func sendWhileHeld(s *Server, ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want `channel send while holding Server.mu`
+	s.mu.Unlock()
+}
+
+func recvWhileHeld(s *Server, ch chan int) {
+	s.mu.Lock()
+	<-ch // want `channel receive while holding Server.mu`
+	s.mu.Unlock()
+}
+
+func rangeWhileHeld(s *Server, ch chan int) {
+	s.mu.Lock()
+	for v := range ch { // want `channel receive \(range\) while holding Server.mu`
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+func selectWhileHeld(s *Server, a, b chan int) {
+	s.mu.Lock()
+	select {
+	case <-a: // want `blocking select while holding Server.mu`
+	case <-b: // want `blocking select while holding Server.mu`
+	}
+	s.mu.Unlock()
+}
+
+// A select with a default clause cannot park: exempt.
+func nonBlockingSendOK(s *Server, ch chan int) {
+	s.mu.Lock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func waitWhileHeld(s *Server, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `sync.WaitGroup.Wait while holding Server.mu`
+	s.mu.Unlock()
+}
+
+// Full-result materialization drives the whole plan, including worker
+// goroutines that may need the held lock.
+func collectWhileHeld(s *Server, ctx *physical.ExecContext, plan physical.ExecutionPlan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = exec.CollectPlan(ctx, plan) // want `CollectPlan \(full result materialization\) while holding Server.mu`
+}
+
+// Blocking through a same-package callee: the summary carries the
+// parking operation up to the call site.
+func blockingHelper(ch chan int) { <-ch }
+
+func callsBlockingWhileHeld(s *Server, ch chan int) {
+	s.mu.Lock()
+	blockingHelper(ch) // want `call to blockingHelper \(channel receive\) while holding Server.mu`
+	s.mu.Unlock()
+}
+
+// Negative cases: helpers that transfer lock ownership must not leave
+// phantom held state behind.
+
+func deferOK(s *Server) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.used
+}
+
+func afterDeferOK(s *Server, ch chan int) {
+	_ = deferOK(s)
+	<-ch // deferOK released via defer: nothing held here
+}
+
+func helperPairOK(s *Server, ch chan int) {
+	s.lockSessions()
+	s.unlockSessions()
+	<-ch // helper released the lock: nothing held here
+}
+
+func helperLockHeld(s *Server, ch chan int) {
+	s.lockSessions()
+	<-ch // want `channel receive while holding Server.mu`
+	s.unlockSessions()
+}
+
+// Goroutine bodies run concurrently with their own empty held set: the
+// send inside the literal is not "under" the caller's lock (and the
+// literal itself holds nothing).
+func goroutineOK(s *Server, ch chan int) {
+	s.mu.Lock()
+	go func() {
+		ch <- 1
+	}()
+	s.mu.Unlock()
+}
+
+// Branch join: the lock is held on only one arm, so the must-held set
+// at the join is empty and the receive is clean.
+func branchJoinOK(s *Server, ch chan int, cond bool) {
+	if cond {
+		s.mu.Lock()
+		s.pool.used++
+		s.mu.Unlock()
+	}
+	<-ch
+}

@@ -1,0 +1,30 @@
+// Package nolintaudit keeps the suppression escape hatch honest. A
+// //nolint directive is a standing claim that a finding on its line is
+// acceptable; the audit enforces two properties on every such claim:
+//
+//   - It must say why: the directive needs a "// reason: ..." trailer,
+//     so the justification is reviewed with the code rather than lost
+//     in a commit message.
+//   - It must still be true: a directive naming an analyzer that ran
+//     but suppressed nothing is stale — the code was fixed, the finding
+//     moved, or the name was misspelled — and silently widens the blind
+//     spot for future findings on that line. Stale directives are
+//     flagged for removal.
+//
+// Staleness is defined by what the other analyzers actually reported,
+// so the audit runs inside the driver (analysis.RunAnalyzers) after all
+// of them; this Analyzer is the marker that turns it on and gives it a
+// -nolintaudit flag like any other check.
+package nolintaudit
+
+import "gofusion/internal/analysis"
+
+// Analyzer enables the //nolint audit in the driver.
+var Analyzer = &analysis.Analyzer{
+	Name: analysis.NolintAuditName,
+	Doc: "audit //nolint directives for a reason trailer and staleness\n\n" +
+		"every //nolint:<name> needs a \" // reason: ...\" trailer, and must\n" +
+		"suppress a live finding of an analyzer that ran; stale or\n" +
+		"unjustified directives are flagged for removal.",
+	Run: func(*analysis.Pass) error { return nil },
+}

@@ -1,0 +1,88 @@
+package nolintaudit_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"gofusion/internal/analysis"
+	"gofusion/internal/analysis/nolintaudit"
+)
+
+const src = `package p
+
+func bad() int  { return 1 }
+func bad2() int { return 2 } //nolint:dummy // reason: pinned by the harness
+func bad3() int { return 3 } //nolint:dummy
+//nolint:dummy // reason: covers the next line
+func bad4() int { return 4 }
+func ok() int   { return 0 } //nolint:dummy // reason: nothing to suppress here, stale
+func ok2() int  { return 0 } //nolint:all // reason: suppresses nothing either
+func ok3() int  { return 0 } //nolint: // reason: names nobody
+func ok4() int  { return 0 } //nolint:other // reason: other did not run, not auditable
+`
+
+// dummy flags every function whose name starts with "bad".
+var dummy = &analysis.Analyzer{
+	Name: "dummy",
+	Doc:  "flag bad functions",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fn.Name.Name, "bad") {
+					pass.Reportf(fn.Pos(), "bad function")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestNolintAudit(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Error: func(error) {}}
+	pkg, _ := conf.Check("p", fset, []*ast.File{f}, info)
+
+	diags, err := analysis.RunAnalyzers(
+		[]*analysis.Analyzer{dummy, nolintaudit.Analyzer},
+		fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type wantDiag struct {
+		line int
+		sub  string
+	}
+	wants := []wantDiag{
+		{3, "bad function"},                     // unsuppressed dummy finding
+		{5, "no justification"},                 // suppression without a reason trailer
+		{8, "nolint:dummy suppresses no dummy"}, // stale: nothing to suppress
+		{9, "nolint:all suppresses no finding"}, // stale all
+		{10, "names no analyzer"},               // empty name list
+	}
+	// Line 4 (reasoned suppression), lines 6/7 (own-line directive
+	// covering the next line), and line 11 (naming an analyzer that did
+	// not run) must produce nothing.
+	if len(diags) != len(wants) {
+		for _, d := range diags {
+			t.Logf("got: %s: %s", fset.Position(d.Pos), d.Message)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(wants))
+	}
+	for i, w := range wants {
+		pos := fset.Position(diags[i].Pos)
+		if pos.Line != w.line || !strings.Contains(diags[i].Message, w.sub) {
+			t.Errorf("diag %d: got line %d %q, want line %d containing %q",
+				i, pos.Line, diags[i].Message, w.line, w.sub)
+		}
+	}
+}

@@ -1,0 +1,781 @@
+// Package resbalance checks that memory-accounting resources are
+// balanced: every memory.NewReservation, memory.NewChildPool, and
+// memory.AllocBuffer must reach its release (Free, Release,
+// ReleaseBuffer) on every path out of the function — including early
+// error returns — unless ownership is transferred first.
+//
+// Ownership transfers keep the common engine idioms quiet:
+//
+//   - storing the resource in a struct literal or field (the operator's
+//     Close releases it),
+//   - returning it (the caller owns it),
+//   - capturing it in a function literal (cleanup closures),
+//   - passing it to a function that releases or keeps it, established
+//     interprocedurally from same-package function summaries computed
+//     bottom-up over the call graph.
+//
+// Helpers that construct and return a resource propagate the obligation
+// to their callers: `res := newTrackedBuf(...)` is an acquisition site
+// if newTrackedBuf returns a fresh buffer. Helpers that release a
+// parameter on every path count as releases at their call sites.
+package resbalance
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"gofusion/internal/analysis"
+	"gofusion/internal/analysis/cfg"
+	"gofusion/internal/analysis/flow"
+)
+
+// Analyzer is the resbalance check.
+var Analyzer = &analysis.Analyzer{
+	Name: "resbalance",
+	Doc: "check that memory reservations, child pools, and buffers are released on all paths\n\n" +
+		"every memory.NewReservation/NewChildPool/AllocBuffer must reach\n" +
+		"Free/Release/ReleaseBuffer on every path out of the function,\n" +
+		"including error returns, unless ownership is transferred (stored,\n" +
+		"returned, captured, or passed to a releasing/keeping callee).",
+	Run: run,
+}
+
+const memoryPkg = "gofusion/internal/memory"
+
+// kinds of tracked resources, with their acquisition entry points and
+// release spellings.
+var (
+	acquireFuncs = map[string]string{ // memory.<func> -> kind
+		"NewReservation": "reservation",
+		"NewChildPool":   "child pool",
+		"AllocBuffer":    "buffer",
+	}
+	releaseMethods = map[string]string{ // kind -> method on the resource
+		"reservation": "Free",
+		"child pool":  "Release",
+	}
+	releaseVerb = map[string]string{
+		"reservation": "freed",
+		"child pool":  "released",
+		"buffer":      "released",
+	}
+)
+
+type status int
+
+const (
+	live     status = iota + 1 // acquired, this function's obligation
+	escaped                    // ownership transferred
+	released                   // release reached
+)
+
+// varState is one tracked resource variable's dataflow fact.
+type varState struct {
+	st   status
+	kind string
+	// errVar pairs the resource with the error result of the acquiring
+	// call (`v, err := helper()`): a return carrying that error is the
+	// error path on which v is nil by convention, not a leak.
+	errVar *types.Var
+}
+
+type state map[*types.Var]varState
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// merge keeps the strongest remaining obligation per variable: a path
+// where the resource is still live dominates one where it was escaped
+// or released.
+func merge(a, b state) state {
+	m := a.clone()
+	for k, v := range b {
+		cur, ok := m[k]
+		if !ok || rank(v.st) > rank(cur.st) {
+			m[k] = v
+		}
+	}
+	return m
+}
+
+func rank(s status) int {
+	switch s {
+	case live:
+		return 3
+	case escaped:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func equal(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w.st != v.st {
+			return false
+		}
+	}
+	return true
+}
+
+// summary is one function's resource behaviour as seen by callers.
+type summary struct {
+	// constructs: result index -> kind for results that carry a freshly
+	// acquired resource out of the function.
+	constructs map[int]string
+	// releasesParam: parameter indices released on every path.
+	releasesParam map[int]bool
+	// keepsParam: parameter indices whose ownership the function takes
+	// (stores, returns, or captures them).
+	keepsParam map[int]bool
+}
+
+func (s *summary) equal(o *summary) bool {
+	return o != nil &&
+		len(s.constructs) == len(o.constructs) &&
+		len(s.releasesParam) == len(o.releasesParam) &&
+		len(s.keepsParam) == len(o.keepsParam)
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	pkg       *flow.Pkg
+	summaries map[*types.Func]*summary
+	findings  map[string]findRec
+}
+
+type findRec struct {
+	pos token.Pos
+	msg string
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:      pass,
+		pkg:       flow.NewPkg(pass),
+		summaries: map[*types.Func]*summary{},
+		findings:  map[string]findRec{},
+	}
+	c.pkg.BottomUp(func(fi *flow.FuncInfo) bool {
+		s := c.analyze(fi)
+		prev := c.summaries[fi.Obj]
+		c.summaries[fi.Obj] = s
+		return !s.equal(prev)
+	})
+	// Function literals own their acquisitions too (no summaries).
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.analyzeBody(cfg.New(lit.Body), nil, nil)
+			}
+			return true
+		})
+	}
+	out := make([]findRec, 0, len(c.findings))
+	for _, fr := range c.findings {
+		out = append(out, fr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].msg < out[j].msg
+	})
+	for _, fr := range out {
+		c.pass.Reportf(fr.pos, "%s", fr.msg)
+	}
+	return nil
+}
+
+// fnFacts accumulates per-function observations across the dataflow.
+type fnFacts struct {
+	acquired   map[*types.Var]token.Pos // acquisition site
+	sawRelease map[*types.Var]bool
+	sawEscape  map[*types.Var]bool
+	// leakAt: exit sites where the variable was still live. pos NoPos
+	// means the function end (no return statement).
+	leakAt map[*types.Var]map[token.Pos]bool
+	// paramSlot maps tracked parameter variables to their index.
+	paramSlot map[*types.Var]int
+	// paramLiveExit: some exit still saw the parameter unreleased.
+	paramLiveExit map[*types.Var]bool
+	// constructs: result index -> kind seen at some return.
+	constructs map[int]string
+}
+
+func (c *checker) analyze(fi *flow.FuncInfo) *summary {
+	facts := &fnFacts{
+		acquired:      map[*types.Var]token.Pos{},
+		sawRelease:    map[*types.Var]bool{},
+		sawEscape:     map[*types.Var]bool{},
+		leakAt:        map[*types.Var]map[token.Pos]bool{},
+		paramSlot:     map[*types.Var]int{},
+		paramLiveExit: map[*types.Var]bool{},
+		constructs:    map[int]string{},
+	}
+	init := state{}
+	if fi.Decl.Type.Params != nil {
+		i := 0
+		for _, field := range fi.Decl.Type.Params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			for j := 0; j < n; j++ {
+				if j < len(field.Names) {
+					if v, ok := c.pass.TypesInfo.Defs[field.Names[j]].(*types.Var); ok && v != nil {
+						if kind := kindOfType(v.Type()); kind != "" {
+							facts.paramSlot[v] = i
+							init[v] = varState{st: live, kind: kind}
+						}
+					}
+				}
+				i++
+			}
+		}
+	}
+	c.analyzeBody(fi.Graph, init, facts)
+
+	s := &summary{
+		constructs:    map[int]string{},
+		releasesParam: map[int]bool{},
+		keepsParam:    map[int]bool{},
+	}
+	for i, kind := range facts.constructs {
+		s.constructs[i] = kind
+	}
+	for v, slot := range facts.paramSlot {
+		if facts.sawEscape[v] {
+			s.keepsParam[slot] = true
+			continue
+		}
+		if facts.sawRelease[v] && !facts.paramLiveExit[v] {
+			s.releasesParam[slot] = true
+		}
+	}
+	c.reportLeaks(facts)
+	return s
+}
+
+func (c *checker) reportLeaks(facts *fnFacts) {
+	for v, pos := range facts.acquired {
+		vs := facts.leakAt[v]
+		kind := "resource"
+		if k := kindOfType(v.Type()); k != "" {
+			kind = k
+		}
+		verb := releaseVerb[kind]
+		if verb == "" {
+			verb = "released"
+		}
+		if !facts.sawRelease[v] && !facts.sawEscape[v] {
+			c.addFinding(pos, fmt.Sprintf("%s %q is never %s in this function", kind, v.Name(), verb))
+			continue
+		}
+		for at := range vs {
+			if at == token.NoPos {
+				c.addFinding(pos, fmt.Sprintf("%s %q may not be %s on every path through this function", kind, v.Name(), verb))
+			} else {
+				c.addFinding(at, fmt.Sprintf("%s %q may not be %s on this return path", kind, v.Name(), verb))
+			}
+		}
+	}
+}
+
+// analyzeBody runs the resource dataflow over one CFG. facts is nil for
+// function literals (diagnostics only, via a fresh facts).
+func (c *checker) analyzeBody(g *cfg.CFG, init state, facts *fnFacts) {
+	if facts == nil {
+		facts = &fnFacts{
+			acquired:      map[*types.Var]token.Pos{},
+			sawRelease:    map[*types.Var]bool{},
+			sawEscape:     map[*types.Var]bool{},
+			leakAt:        map[*types.Var]map[token.Pos]bool{},
+			paramSlot:     map[*types.Var]int{},
+			paramLiveExit: map[*types.Var]bool{},
+			constructs:    map[int]string{},
+		}
+		defer c.reportLeaks(facts)
+	}
+	if init == nil {
+		init = state{}
+	}
+	transfer := func(b *cfg.Block, in state) state {
+		st := in.clone()
+		for _, stmt := range b.Stmts {
+			c.applyStmt(stmt, st, facts)
+		}
+		for _, e := range b.Exprs {
+			c.applyExpr(e, st, facts)
+		}
+		c.recordExits(g, b, st, facts)
+		return st
+	}
+	flow.Forward(g, init, transfer, merge, equal)
+}
+
+// recordExits notes still-live resources on edges into Exit. Panic-style
+// terminal edges are not leak paths.
+func (c *checker) recordExits(g *cfg.CFG, b *cfg.Block, st state, facts *fnFacts) {
+	toExit := false
+	for _, s := range b.Succs {
+		if s == g.Exit {
+			toExit = true
+		}
+	}
+	if !toExit {
+		return
+	}
+	var ret *ast.ReturnStmt
+	if n := len(b.Stmts); n > 0 {
+		last := b.Stmts[n-1]
+		if r, ok := last.(*ast.ReturnStmt); ok {
+			ret = r
+		} else if es, ok := last.(*ast.ExprStmt); ok {
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok && terminalCall(call) {
+				return // panic/Fatal path, not a resource leak
+			}
+		}
+	}
+	pos := token.NoPos
+	if ret != nil {
+		pos = ret.Pos()
+	}
+	for v, vs := range st {
+		if vs.st != live {
+			continue
+		}
+		if _, isParam := facts.paramSlot[v]; isParam {
+			facts.paramLiveExit[v] = true
+			continue
+		}
+		if ret != nil && vs.errVar != nil && returnsVar(c.pass.TypesInfo, ret, vs.errVar) {
+			continue // error-path return: the resource is nil by convention
+		}
+		if facts.leakAt[v] == nil {
+			facts.leakAt[v] = map[token.Pos]bool{}
+		}
+		facts.leakAt[v][pos] = true
+	}
+}
+
+// applyStmt handles one atomic statement.
+func (c *checker) applyStmt(stmt ast.Stmt, st state, facts *fnFacts) {
+	switch stmt := stmt.(type) {
+	case *ast.AssignStmt:
+		c.applyAssign(stmt, st, facts)
+		return
+	case *ast.DeclStmt:
+		if gd, ok := stmt.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.bindValues(vs.Names, vs.Values, st, facts)
+				}
+			}
+		}
+		return
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+			if kind := c.acquisitionKind(call); kind != "" {
+				c.addFinding(call.Pos(), fmt.Sprintf(
+					"result of %s is discarded; the %s can never be %s",
+					callName(call), kind, releaseVerb[kind]))
+				return
+			}
+		}
+	case *ast.ReturnStmt:
+		for i, r := range stmt.Results {
+			if kind := c.resultKind(r, st, facts); kind != "" {
+				facts.constructs[i] = kind
+			}
+		}
+	}
+	c.applyExpr(stmt, st, facts)
+}
+
+// resultKind reports the resource kind a return result carries out: a
+// live variable this function acquired (not a passed-through parameter)
+// or a direct acquisition call.
+func (c *checker) resultKind(r ast.Expr, st state, facts *fnFacts) string {
+	if v := flow.VarOf(c.pass.TypesInfo, r); v != nil {
+		if _, isParam := facts.paramSlot[v]; isParam {
+			return ""
+		}
+		if vs, ok := st[v]; ok && vs.st == live {
+			return vs.kind
+		}
+		return ""
+	}
+	if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+		return c.acquisitionKind(call)
+	}
+	return ""
+}
+
+// applyAssign handles bindings (acquisitions) and stores (escapes).
+func (c *checker) applyAssign(a *ast.AssignStmt, st state, facts *fnFacts) {
+	if len(a.Lhs) == len(a.Rhs) {
+		for i := range a.Lhs {
+			c.bindOne(a.Lhs[i], a.Rhs[i], st, facts)
+		}
+	} else if len(a.Rhs) == 1 {
+		var names []*ast.Ident
+		for _, lhs := range a.Lhs {
+			id, _ := ast.Unparen(lhs).(*ast.Ident)
+			names = append(names, id) // nil for non-ident targets
+		}
+		c.bindMulti(names, a.Rhs[0], st, facts)
+	}
+	// Process calls and remaining uses on the right-hand sides.
+	for _, rhs := range a.Rhs {
+		c.applyExpr(rhs, st, facts)
+	}
+}
+
+// bindValues handles `var v = expr` declarations.
+func (c *checker) bindValues(names []*ast.Ident, values []ast.Expr, st state, facts *fnFacts) {
+	if len(values) == len(names) {
+		for i := range names {
+			c.bindOne(names[i], values[i], st, facts)
+			c.applyExpr(values[i], st, facts)
+		}
+	} else if len(values) == 1 {
+		c.bindMulti(names, values[0], st, facts)
+		c.applyExpr(values[0], st, facts)
+	}
+}
+
+// bindOne binds a single-value expression to a target.
+func (c *checker) bindOne(lhs, rhs ast.Expr, st state, facts *fnFacts) {
+	id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+	// Acquisition bound to a variable.
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+		kind := c.acquisitionKind(call)
+		if kind == "" {
+			if callee := c.pkg.Callee(call); callee != nil {
+				if s := c.summaries[callee]; s != nil {
+					kind = s.constructs[0]
+				}
+			}
+		}
+		if kind != "" {
+			if isIdent && id.Name != "_" {
+				if v := flow.VarOf(c.pass.TypesInfo, id); v != nil {
+					st[v] = varState{st: live, kind: kind}
+					facts.acquired[v] = call.Pos()
+				}
+				return
+			}
+			// Bound to a field or index: ownership transferred at birth.
+			return
+		}
+	}
+	// Aliasing or storing a tracked variable transfers ownership
+	// (`w := v`, `s.f = v`, `m[k] = v`) — but `_ = v` keeps it here.
+	if v := flow.VarOf(c.pass.TypesInfo, rhs); v != nil {
+		if vs, ok := st[v]; ok && vs.st == live {
+			if !isIdent || id.Name != "_" {
+				vs.st = escaped
+				st[v] = vs
+				facts.sawEscape[v] = true
+			}
+		}
+	}
+}
+
+// bindMulti binds a multi-result call `a, b := f()`.
+func (c *checker) bindMulti(names []*ast.Ident, rhs ast.Expr, st state, facts *fnFacts) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	constructs := map[int]string{}
+	if callee := c.pkg.Callee(call); callee != nil {
+		if s := c.summaries[callee]; s != nil {
+			for i, k := range s.constructs {
+				constructs[i] = k
+			}
+		}
+	}
+	if len(constructs) == 0 {
+		return
+	}
+	// Pair each constructed result with the call's error result, if any.
+	var errVar *types.Var
+	for i, id := range names {
+		if id == nil || id.Name == "_" {
+			continue
+		}
+		if _, isRes := constructs[i]; isRes {
+			continue
+		}
+		if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok && v != nil && isErrorVar(v) {
+			_ = i
+			errVar = v
+		}
+	}
+	for i, kind := range constructs {
+		if i >= len(names) || names[i] == nil || names[i].Name == "_" {
+			continue
+		}
+		if v, ok := c.pass.TypesInfo.Defs[names[i]].(*types.Var); ok && v != nil {
+			st[v] = varState{st: live, kind: kind, errVar: errVar}
+			facts.acquired[v] = call.Pos()
+		}
+	}
+}
+
+func isErrorVar(v *types.Var) bool {
+	t := v.Type()
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// applyExpr walks an expression or statement fragment for releases,
+// calls, sends, composite literals, and closure captures.
+func (c *checker) applyExpr(n ast.Node, st state, facts *fnFacts) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			// Captured resources belong to the closure now.
+			c.escapeIdents(m, st, facts)
+			return false
+		case *ast.GoStmt:
+			c.escapeIdents(m.Call, st, facts)
+			return false
+		case *ast.CallExpr:
+			c.applyCall(m, st, facts)
+		case *ast.SendStmt:
+			c.escapeIfVar(m.Value, st, facts)
+		case *ast.CompositeLit:
+			for _, el := range m.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					c.escapeIfVar(kv.Value, st, facts)
+				} else {
+					c.escapeIfVar(el, st, facts)
+				}
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				c.escapeIfVar(m.X, st, facts)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				c.escapeIfVar(r, st, facts)
+			}
+		}
+		return true
+	})
+}
+
+// escapeIfVar transfers ownership only when the expression's value IS a
+// tracked resource variable — mentioning the variable inside a larger
+// expression (res.Size(), len(buf)) is not a transfer.
+func (c *checker) escapeIfVar(e ast.Expr, st state, facts *fnFacts) {
+	v := flow.VarOf(c.pass.TypesInfo, e)
+	if v == nil {
+		return
+	}
+	if vs, ok := st[v]; ok && vs.st == live {
+		vs.st = escaped
+		st[v] = vs
+		facts.sawEscape[v] = true
+	}
+}
+
+// applyCall handles release calls and argument passing.
+func (c *checker) applyCall(call *ast.CallExpr, st state, facts *fnFacts) {
+	// memory.ReleaseBuffer(b)
+	if obj := calleeIn(c.pass.TypesInfo, call, memoryPkg); obj != nil && obj.Name() == "ReleaseBuffer" {
+		if len(call.Args) == 1 {
+			c.release(call.Args[0], st, facts)
+		}
+		return
+	}
+	// v.Free() / v.Release() on a tracked resource.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if v := flow.VarOf(c.pass.TypesInfo, sel.X); v != nil {
+			if vs, ok := st[v]; ok {
+				if releaseMethods[vs.kind] == sel.Sel.Name {
+					vs.st = released
+					st[v] = vs
+					facts.sawRelease[v] = true
+				}
+				// Other methods on the resource (Grow, Shrink, Size,
+				// Reserved...) neither release nor transfer it.
+				return
+			}
+		}
+	}
+	// Arguments: same-package summaries decide; unknown callees are
+	// assumed to take ownership (conservative against false leaks).
+	callee := c.pkg.Callee(call)
+	var s *summary
+	if callee != nil {
+		s = c.summaries[callee]
+	}
+	for i, arg := range call.Args {
+		v := flow.VarOf(c.pass.TypesInfo, arg)
+		if v == nil {
+			continue
+		}
+		vs, ok := st[v]
+		if !ok || vs.st != live {
+			continue
+		}
+		switch {
+		case s != nil && s.releasesParam[i]:
+			vs.st = released
+			st[v] = vs
+			facts.sawRelease[v] = true
+		case s != nil && !s.keepsParam[i]:
+			// Known same-package callee that neither releases nor keeps:
+			// obligation stays here.
+		default:
+			vs.st = escaped
+			st[v] = vs
+			facts.sawEscape[v] = true
+		}
+	}
+}
+
+func (c *checker) release(arg ast.Expr, st state, facts *fnFacts) {
+	v := flow.VarOf(c.pass.TypesInfo, arg)
+	if v == nil {
+		return
+	}
+	if vs, ok := st[v]; ok {
+		vs.st = released
+		st[v] = vs
+		facts.sawRelease[v] = true
+	}
+}
+
+// escapeIdents marks every tracked live variable mentioned under n as
+// ownership-transferred.
+func (c *checker) escapeIdents(n ast.Node, st state, facts *fnFacts) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := flow.VarOf(c.pass.TypesInfo, id)
+		if v == nil {
+			return true
+		}
+		if vs, ok := st[v]; ok && vs.st == live {
+			vs.st = escaped
+			st[v] = vs
+			facts.sawEscape[v] = true
+		}
+		return true
+	})
+}
+
+// acquisitionKind reports the resource kind of a direct acquisition
+// call into the memory package, or "".
+func (c *checker) acquisitionKind(call *ast.CallExpr) string {
+	obj := calleeIn(c.pass.TypesInfo, call, memoryPkg)
+	if obj == nil {
+		return ""
+	}
+	return acquireFuncs[obj.Name()]
+}
+
+// calleeIn resolves a call to a function object declared in pkgPath.
+func calleeIn(info *types.Info, call *ast.CallExpr, pkgPath string) types.Object {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	}
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return nil
+	}
+	return obj
+}
+
+func kindOfType(t types.Type) string {
+	t = types.Unalias(t)
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		if named, ok := types.Unalias(ptr.Elem()).(*types.Named); ok {
+			if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == memoryPkg {
+				switch named.Obj().Name() {
+				case "Reservation":
+					return "reservation"
+				case "ChildPool":
+					return "child pool"
+				}
+			}
+		}
+	}
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		if basic, ok := sl.Elem().Underlying().(*types.Basic); ok && basic.Kind() == types.Byte {
+			// Only treat []byte as a tracked buffer for parameters of
+			// release helpers; plain byte slices are ubiquitous.
+			return "buffer"
+		}
+	}
+	return ""
+}
+
+// returnsVar reports whether ret's results mention v (the paired error).
+func returnsVar(info *types.Info, ret *ast.ReturnStmt, v *types.Var) bool {
+	for _, r := range ret.Results {
+		found := false
+		ast.Inspect(r, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && flow.VarOf(info, id) == v {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func terminalCall(call *ast.CallExpr) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return "the call"
+}
+
+func (c *checker) addFinding(pos token.Pos, msg string) {
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if _, ok := c.findings[key]; ok {
+		return
+	}
+	c.findings[key] = findRec{pos: pos, msg: msg}
+}

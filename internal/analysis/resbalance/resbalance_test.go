@@ -1,0 +1,12 @@
+package resbalance_test
+
+import (
+	"testing"
+
+	"gofusion/internal/analysis/analysistest"
+	"gofusion/internal/analysis/resbalance"
+)
+
+func TestResBalance(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), resbalance.Analyzer, "a")
+}

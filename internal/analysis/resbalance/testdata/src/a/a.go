@@ -1,0 +1,168 @@
+// Package a seeds the resbalance golden suite: leaks on early error
+// returns, never-released acquisitions, and the ownership-transfer
+// idioms (struct literals, cleanup closures, constructor helpers) that
+// must stay quiet.
+package a
+
+import (
+	"errors"
+
+	"gofusion/internal/memory"
+)
+
+func pool() memory.Pool { return memory.NewUnboundedPool() }
+
+// --- true positives ---
+
+func neverFreed() {
+	res := memory.NewReservation(pool(), "op") // want `reservation "res" is never freed in this function`
+	_ = res.Size()
+}
+
+func leakOnErrorReturn(n int64) error {
+	res := memory.NewReservation(pool(), "op")
+	if err := res.Grow(n); err != nil {
+		return err // want `reservation "res" may not be freed on this return path`
+	}
+	res.Free()
+	return nil
+}
+
+func leakOnOneBranch(flag bool) {
+	buf := memory.AllocBuffer(64)
+	if flag {
+		return // want `buffer "buf" may not be released on this return path`
+	}
+	memory.ReleaseBuffer(buf)
+}
+
+func discarded() {
+	memory.AllocBuffer(16) // want `result of AllocBuffer is discarded; the buffer can never be released`
+}
+
+func childNeverReleased() {
+	child := memory.NewChildPool(pool(), "query", 0) // want `child pool "child" is never released in this function`
+	_ = child.Reserved()
+}
+
+// Constructor helper: the obligation propagates to the caller.
+func newOpReservation(name string) *memory.Reservation {
+	return memory.NewReservation(pool(), name)
+}
+
+func leakFromHelper() {
+	res := newOpReservation("sort") // want `reservation "res" is never freed in this function`
+	_ = res.Size()
+}
+
+// A helper that neither releases nor keeps its parameter leaves the
+// obligation with the caller.
+func peek(res *memory.Reservation) int64 { return res.Size() }
+
+func leakThroughNeutralHelper(flag bool) {
+	res := memory.NewReservation(pool(), "op")
+	_ = peek(res)
+	if flag {
+		return // want `reservation "res" may not be freed on this return path`
+	}
+	res.Free()
+}
+
+// --- ownership transfers: no findings ---
+
+type op struct {
+	res   *memory.Reservation
+	child *memory.ChildPool
+	buf   []byte
+}
+
+// Constructor-hands-to-struct: the operator's Close owns the release.
+func newOp() *op {
+	return &op{
+		res:   memory.NewReservation(pool(), "op"),
+		child: memory.NewChildPool(pool(), "op", 0),
+		buf:   memory.AllocBuffer(1 << 10),
+	}
+}
+
+func (o *op) Close() {
+	o.res.Free()
+	o.child.Release()
+	memory.ReleaseBuffer(o.buf)
+}
+
+// Acquire-then-store via a local.
+func newOpViaLocal() *op {
+	res := memory.NewReservation(pool(), "op")
+	return &op{res: res}
+}
+
+func storeInField(o *op) {
+	res := memory.NewReservation(pool(), "op")
+	o.res = res
+}
+
+// Cleanup-closure idiom (sort/aggregate executors).
+func closureCleanup(n int64) (func(), error) {
+	res := memory.NewReservation(pool(), "op")
+	cleanup := func() { res.Free() }
+	if err := res.Grow(n); err != nil {
+		cleanup()
+		return nil, err
+	}
+	return cleanup, nil
+}
+
+// Deferred release covers every return path.
+func deferFree(n int64) error {
+	res := memory.NewReservation(pool(), "op")
+	defer res.Free()
+	if err := res.Grow(n); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Release through a helper that frees its parameter on all paths.
+func freeIt(res *memory.Reservation) { res.Free() }
+
+func helperRelease() {
+	res := memory.NewReservation(pool(), "op")
+	freeIt(res)
+}
+
+// Constructing helper with an error result: returning the paired error
+// is the path on which the resource is nil by convention.
+func newGrown(n int64) (*memory.Reservation, error) {
+	res := memory.NewReservation(pool(), "op")
+	if err := res.Grow(n); err != nil {
+		res.Free()
+		return nil, err
+	}
+	return res, nil
+}
+
+func errIdiom(n int64) error {
+	res, err := newGrown(n)
+	if err != nil {
+		return err
+	}
+	res.Free()
+	return nil
+}
+
+// The session idiom: the child pool is released by the returned cleanup.
+func sessionStyle() (memory.Pool, func()) {
+	child := memory.NewChildPool(pool(), "query", 0)
+	cleanup := func() { child.Release() }
+	return child, cleanup
+}
+
+// Panic paths are not leak paths.
+func panicPath(flag bool) {
+	buf := memory.AllocBuffer(8)
+	if flag {
+		panic(errors.New("boom"))
+	}
+	memory.ReleaseBuffer(buf)
+}

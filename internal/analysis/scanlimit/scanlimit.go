@@ -1,15 +1,19 @@
-// Package scanlimit checks that every catalog.ScanRequest composite
-// literal sets Limit explicitly. The field's zero value means "return 0
-// rows", not "no limit" (that is catalog.NoLimit = -1), so a literal
-// that simply omits Limit almost always silently truncates the scan to
+// Package scanlimit checks that every catalog.ScanRequest and
+// parquet.ScanOptions composite literal sets Limit explicitly. In both
+// structs the field's zero value means "return 0 rows", not "no limit"
+// (that is catalog.NoLimit / any negative value), so a literal that
+// simply omits Limit almost always silently truncates the scan to
 // nothing. PR 8 fixed exactly this bug on the COPY INTO staging path;
 // this analyzer makes the whole class unwritable: either spell
 // Limit: catalog.NoLimit (or -1) to scan everything, or set a real
-// bound.
+// bound. Assigning the constant 0 to a Limit field after construction
+// (`req.Limit = 0`) is the same bug in a different spelling and is
+// flagged too.
 package scanlimit
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 
 	"gofusion/internal/analysis"
@@ -18,46 +22,24 @@ import (
 // Analyzer is the scanlimit check.
 var Analyzer = &analysis.Analyzer{
 	Name: "scanlimit",
-	Doc: "check that catalog.ScanRequest literals set Limit explicitly\n\n" +
-		"ScanRequest.Limit's zero value means \"return 0 rows\"; omitting the\n" +
-		"field from a composite literal silently yields an empty scan. Every\n" +
-		"keyed ScanRequest literal must name Limit (use catalog.NoLimit for\n" +
-		"an unbounded scan); positional literals necessarily include it.",
+	Doc: "check that catalog.ScanRequest and parquet.ScanOptions literals set Limit explicitly\n\n" +
+		"In both structs Limit's zero value means \"return 0 rows\"; omitting\n" +
+		"the field from a composite literal silently yields an empty scan.\n" +
+		"Every keyed literal must name Limit (use catalog.NoLimit or -1 for\n" +
+		"an unbounded scan), and assigning the constant 0 to a Limit field\n" +
+		"is flagged for the same reason; positional literals necessarily\n" +
+		"include the field.",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			lit, ok := n.(*ast.CompositeLit)
-			if !ok {
-				return true
-			}
-			t, ok := pass.TypesInfo.Types[lit]
-			if !ok || !isScanRequest(t.Type) {
-				return true
-			}
-			if len(lit.Elts) == 0 {
-				pass.Reportf(lit.Pos(),
-					"empty catalog.ScanRequest literal: the Limit zero value means 0 rows; set Limit (catalog.NoLimit for all rows)")
-				return true
-			}
-			keyed := false
-			for _, el := range lit.Elts {
-				kv, ok := el.(*ast.KeyValueExpr)
-				if !ok {
-					// Positional literal: every field, Limit included, is
-					// spelled out.
-					return true
-				}
-				keyed = true
-				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Limit" {
-					return true
-				}
-			}
-			if keyed {
-				pass.Reportf(lit.Pos(),
-					"catalog.ScanRequest literal without Limit: the zero value means 0 rows; set Limit (catalog.NoLimit for all rows)")
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkLiteral(pass, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
 			}
 			return true
 		})
@@ -65,13 +47,89 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// isScanRequest reports whether t is gofusion/internal/catalog.ScanRequest.
-func isScanRequest(t types.Type) bool {
+func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	name, ok := limitStructName(t.Type)
+	if !ok {
+		return
+	}
+	if len(lit.Elts) == 0 {
+		pass.Reportf(lit.Pos(),
+			"empty %s literal: the Limit zero value means 0 rows; set Limit (catalog.NoLimit or -1 for all rows)", name)
+		return
+	}
+	keyed := false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional literal: every field, Limit included, is
+			// spelled out.
+			return
+		}
+		keyed = true
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Limit" {
+			return
+		}
+	}
+	if keyed {
+		pass.Reportf(lit.Pos(),
+			"%s literal without Limit: the zero value means 0 rows; set Limit (catalog.NoLimit or -1 for all rows)", name)
+	}
+}
+
+// checkAssign flags `x.Limit = 0` on a scan-config struct: an explicit
+// zero has the same empty-scan meaning as an omitted field.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // a tuple assignment from one call carries no constant 0
+	}
+	for i, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Limit" {
+			continue
+		}
+		recvT, ok := pass.TypesInfo.Types[sel.X]
+		if !ok {
+			continue
+		}
+		rt := recvT.Type
+		if ptr, ok := rt.Underlying().(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		name, ok := limitStructName(rt)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[as.Rhs[i]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			continue
+		}
+		if v, ok := constant.Int64Val(tv.Value); ok && v == 0 {
+			pass.Reportf(as.Pos(),
+				"assigning 0 to %s.Limit means \"return 0 rows\"; use catalog.NoLimit or -1 for an unbounded scan, or a real bound", name)
+		}
+	}
+}
+
+// limitStructName recognizes the two scan-config structs whose Limit
+// zero value truncates the scan, returning a display name.
+func limitStructName(t types.Type) (string, bool) {
 	named, ok := types.Unalias(t).(*types.Named)
 	if !ok {
-		return false
+		return "", false
 	}
 	obj := named.Obj()
-	return obj != nil && obj.Pkg() != nil &&
-		obj.Name() == "ScanRequest" && obj.Pkg().Path() == "gofusion/internal/catalog"
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	switch {
+	case obj.Name() == "ScanRequest" && obj.Pkg().Path() == "gofusion/internal/catalog":
+		return "catalog.ScanRequest", true
+	case obj.Name() == "ScanOptions" && obj.Pkg().Path() == "gofusion/internal/parquet":
+		return "parquet.ScanOptions", true
+	}
+	return "", false
 }

@@ -2,6 +2,7 @@ package a
 
 import (
 	"gofusion/internal/catalog"
+	"gofusion/internal/parquet"
 )
 
 func limitOK(t catalog.TableProvider) {
@@ -34,5 +35,37 @@ func emptyLiteral(t catalog.TableProvider) {
 }
 
 func suppressed(t catalog.TableProvider) {
-	t.Scan(catalog.ScanRequest{Partitions: 2}) //nolint:scanlimit
+	t.Scan(catalog.ScanRequest{Partitions: 2}) //nolint:scanlimit // reason: exercising the suppression path
+}
+
+func optionsOK(fr *parquet.FileReader) {
+	fr.Scan(parquet.ScanOptions{Limit: -1})
+	fr.Scan(parquet.ScanOptions{Projection: []int{0}, Limit: 100})
+}
+
+func optionsMissingLimit(fr *parquet.FileReader) {
+	fr.Scan(parquet.ScanOptions{Projection: []int{0}}) // want `parquet\.ScanOptions literal without Limit`
+}
+
+func optionsEmpty(fr *parquet.FileReader) {
+	fr.Scan(parquet.ScanOptions{}) // want `empty parquet\.ScanOptions`
+}
+
+func assignZero(req *catalog.ScanRequest, opts *parquet.ScanOptions) {
+	req.Limit = 0  // want `assigning 0 to catalog\.ScanRequest\.Limit`
+	opts.Limit = 0 // want `assigning 0 to parquet\.ScanOptions\.Limit`
+}
+
+func assignZeroValue() {
+	var req catalog.ScanRequest
+	req.Limit = 0 // want `assigning 0 to catalog\.ScanRequest\.Limit`
+	_ = req
+}
+
+func assignOK(req *catalog.ScanRequest) {
+	req.Limit = catalog.NoLimit
+	req.Limit = -1
+	req.Limit = 500
+	n := int64(0)
+	req.Limit = n // not a constant: runtime values are the caller's business
 }

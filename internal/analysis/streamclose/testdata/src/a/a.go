@@ -140,6 +140,6 @@ func capturedLeak() func() {
 }
 
 func suppressed() {
-	s, _ := open() //nolint:streamclose
+	s, _ := open() //nolint:streamclose // reason: exercising the suppression path
 	_ = s.Schema()
 }

@@ -47,10 +47,9 @@ type HashJoinExec struct {
 
 	schema *arrow.Schema
 
-	mu        sync.Mutex
+	buildOnce sync.Once
 	built     *builtTable
 	buildErr  error
-	buildDone bool
 }
 
 // NewHashJoinExec computes the join output schema.
@@ -246,19 +245,22 @@ func (e *HashJoinExec) needsBuildTracking() bool {
 	return false
 }
 
-// sharedBuild builds the table once from all left partitions (CollectLeft).
+// sharedBuild builds the table once from all left partitions
+// (CollectLeft). sync.Once rather than a mutex around the build: the
+// build drives the whole left subtree through CollectPlan, and a named
+// lock held across that would pin every probe partition behind a lock
+// class other code could order against (lockorder flags it). Once gives
+// the same run-exactly-once / later-callers-wait semantics with the
+// result fields published by its happens-before edge.
 func (e *HashJoinExec) sharedBuild(ctx *physical.ExecContext) (*builtTable, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.buildDone {
+	e.buildOnce.Do(func() {
 		batches, err := CollectPlan(ctx, e.Left)
 		if err != nil {
 			e.buildErr = err
-		} else {
-			e.built, e.buildErr = e.buildFrom(ctx, batches)
+			return
 		}
-		e.buildDone = true
-	}
+		e.built, e.buildErr = e.buildFrom(ctx, batches)
+	})
 	return e.built, e.buildErr
 }
 

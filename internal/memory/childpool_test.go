@@ -87,6 +87,7 @@ func TestChildPoolConcurrent(t *testing.T) {
 		go func(c *ChildPool) {
 			defer wg.Done()
 			r := NewReservation(c, "op")
+			defer r.Free()
 			for i := 0; i < 1000; i++ {
 				if err := r.Grow(64); err != nil {
 					t.Errorf("grow: %v", err)
@@ -94,7 +95,6 @@ func TestChildPoolConcurrent(t *testing.T) {
 				}
 				r.Shrink(32)
 			}
-			r.Free()
 		}(pools[w])
 	}
 	wg.Wait()
@@ -112,7 +112,7 @@ func TestChildPoolConcurrent(t *testing.T) {
 func TestChildPoolReleaseReturnsRemainder(t *testing.T) {
 	parent := NewGreedyPool(1000)
 	c := NewChildPool(parent, "q", 0)
-	r := NewReservation(c, "op")
+	r := NewReservation(c, "op") //nolint:resbalance // reason: deliberately abandoned; Release on the pool reclaims it
 	if err := r.Grow(300); err != nil {
 		t.Fatalf("grow: %v", err)
 	}

@@ -42,6 +42,7 @@ func TestGreedyPoolLimit(t *testing.T) {
 func TestReservationResizeAndOverShrink(t *testing.T) {
 	p := NewGreedyPool(100)
 	r := NewReservation(p, "op")
+	defer r.Free()
 	if err := r.Resize(40); err != nil {
 		t.Fatal(err)
 	}
@@ -99,6 +100,7 @@ func TestPoolConcurrency(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			r := NewReservation(p, "worker")
+			defer r.Free()
 			for i := 0; i < 1000; i++ {
 				if err := r.Grow(1024); err != nil {
 					t.Error(err)
